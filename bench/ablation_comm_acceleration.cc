@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation (paper Section 5): the communication-acceleration
+ * techniques the paper surveys, applied to the Figure 14 case study
+ * at 4x flop-vs-bw scaling:
+ *  - Technique 1: offloading communication (no co-location
+ *    interference),
+ *  - Technique 2: processing-in-network (2x effective AR bandwidth),
+ *  - Technique 3: fine-grained compute/communication overlap,
+ *  - and simply scaling the network with compute (bwScale = 4).
+ */
+
+#include "bench_common.hh"
+#include "core/case_study.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Ablation (Section 5)", "Accelerating communication");
+
+    core::CaseStudy study;
+    core::CaseStudyConfig base;
+    base.system.flopScale = 4.0;
+    // A contended baseline: DP comm co-located with compute.
+    base.commInterferenceSlowdown = 1.3;
+
+    TextTable t({ "technique", "iteration", "serialized comm",
+                  "exposed comm", "speedup vs baseline" });
+    const auto baseline = study.run(base);
+    auto row = [&](const std::string &name,
+                   const core::CaseStudyResult &r) {
+        t.addRowOf(name, formatSeconds(r.makespan),
+                   formatPercent(r.serializedCommFraction()),
+                   formatPercent(r.exposedCommFraction()),
+                   baseline.makespan / r.makespan);
+    };
+    row("baseline (ring, co-located)", baseline);
+
+    core::CaseStudyConfig offload = base;
+    offload.offloadCommunication = true;
+    const auto r_offload = study.run(offload);
+    row("T1: offload to comm co-processor", r_offload);
+
+    core::CaseStudyConfig pin = base;
+    pin.system.inNetworkReduction = true;
+    const auto r_pin = study.run(pin);
+    row("T2: processing-in-network", r_pin);
+
+    core::CaseStudyConfig overlap = base;
+    overlap.fineGrainedOverlapFraction = 0.6;
+    const auto r_overlap = study.run(overlap);
+    row("T3: fine-grained overlap (60%)", r_overlap);
+
+    core::CaseStudyConfig all = base;
+    all.offloadCommunication = true;
+    all.system.inNetworkReduction = true;
+    all.fineGrainedOverlapFraction = 0.6;
+    const auto r_all = study.run(all);
+    row("T1 + T2 + T3", r_all);
+
+    core::CaseStudyConfig net = base;
+    net.system.bwScale = 4.0;
+    const auto r_net = study.run(net);
+    row("network scaled with compute (4x)", r_net);
+
+    bench::show(t);
+
+    bench::checkClaim("every technique improves on the baseline",
+                      r_offload.makespan <= baseline.makespan &&
+                          r_pin.makespan < baseline.makespan &&
+                          r_overlap.makespan < baseline.makespan);
+    bench::checkClaim("techniques compose",
+                      r_all.makespan < r_pin.makespan &&
+                          r_all.makespan < r_overlap.makespan);
+    bench::checkBand("PIN alone buys close to the 2x bandwidth effect "
+                     "on serialized comm",
+                     baseline.serializedCommTime /
+                         r_pin.serializedCommTime,
+                     1.6, 2.2);
+    bench::checkClaim(
+        "scaling the network with compute shrinks both the serialized "
+        "share and the iteration the most",
+        r_net.makespan <= r_pin.makespan &&
+            r_net.serializedCommFraction() <
+                0.7 * baseline.serializedCommFraction());
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation (paper Section 6.1.1): how Mixture-of-Experts shifts the
+ * Comp-vs-Comm balance. Sweeps the expert-parallel degree and prints
+ * the per-layer time split of a dense model against its MoE variant
+ * with the same quality-class capacity.
+ */
+
+#include "bench_common.hh"
+#include "core/system_config.hh"
+#include "model/layer_graph.hh"
+#include "model/zoo.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Ablation (Section 6.1.1)",
+                  "Expert parallelism vs dense Comp-vs-Comm");
+
+    core::SystemConfig sys;
+    const auto profiler = sys.profiler();
+    const model::Hyperparams dense_hp =
+        model::bertLarge().withHidden(4096).withCompatibleHeads(4);
+
+    model::ParallelConfig dense_par;
+    dense_par.tpDegree = 4;
+    const model::LayerGraphBuilder dense(dense_hp, dense_par);
+    const auto dense_profile = profiler.profileLayer(dense, 0);
+    const double dense_share =
+        dense_profile.serializedCommTime() / dense_profile.totalTime();
+
+    TextTable t({ "setup", "layer compute", "serialized comm",
+                  "comm share" });
+    t.addRowOf("dense (TP=4)",
+               formatSeconds(dense_profile.computeTime()),
+               formatSeconds(dense_profile.serializedCommTime()),
+               formatPercent(dense_share));
+
+    double last_share = 0.0;
+    for (int ep : { 2, 4, 8, 16 }) {
+        model::ParallelConfig par;
+        par.tpDegree = 4;
+        par.epDegree = ep;
+        const model::LayerGraphBuilder moe(dense_hp.withMoe(ep * 2),
+                                           par);
+        const auto p = profiler.profileLayer(moe, 0);
+        last_share = p.serializedCommTime() / p.totalTime();
+        t.addRowOf("MoE " + std::to_string(ep * 2) + " experts (EP=" +
+                       std::to_string(ep) + ", TP=4)",
+                   formatSeconds(p.computeTime()),
+                   formatSeconds(p.serializedCommTime()),
+                   formatPercent(last_share));
+    }
+    bench::show(t);
+
+    bench::checkClaim(
+        "expert parallelism raises the serialized-comm share over the "
+        "dense model",
+        last_share > dense_share);
+    return 0;
+}

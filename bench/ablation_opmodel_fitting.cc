@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation (paper Section 4.3.8 discussion): the paper notes its
+ * projection error "may improve by using a larger baseline model".
+ * This bench compares three calibration strategies on a withheld
+ * sweep: (a) the paper's single-point scaling from BERT, (b) the
+ * same from a 4x larger baseline, and (c) a least-squares fit over a
+ * small multi-point sweep.
+ */
+
+#include "bench_common.hh"
+#include "core/system_config.hh"
+#include "model/zoo.hh"
+#include "opmodel/operator_model.hh"
+#include "util/stats.hh"
+
+using namespace twocs;
+
+namespace {
+
+double
+evalGemmError(const opmodel::OperatorScalingModel &m,
+              const profiling::IterationProfiler &profiler,
+              const std::vector<std::int64_t> &hiddens)
+{
+    ErrorAccumulator err;
+    model::ParallelConfig par;
+    for (std::int64_t h : hiddens) {
+        const model::LayerGraphBuilder target(
+            model::bertLarge().withHidden(h), par);
+        for (const auto &op : target.forwardLayerOps(0)) {
+            if (op.isComm() || op.kernel.kind != hw::KernelKind::Gemm)
+                continue;
+            err.add(m.projectOp(op),
+                    profiler.profileOp(op, par).duration);
+        }
+    }
+    return err.geomeanError();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation (Section 4.3.8)",
+                  "Operator-model calibration strategies");
+
+    core::SystemConfig sys;
+    const auto profiler = sys.profiler();
+    model::ParallelConfig par;
+    const std::vector<std::int64_t> withheld = { 16384, 32768, 65536 };
+
+    // (a) Single point at BERT scale (the paper's method).
+    const model::LayerGraphBuilder bert(model::bertLarge(), par);
+    const auto single =
+        opmodel::OperatorScalingModel::calibrate(profiler, bert);
+    const double err_single = evalGemmError(single, profiler, withheld);
+
+    // (b) Single point at a 4x larger baseline.
+    const model::LayerGraphBuilder big(
+        model::bertLarge().withHidden(4096), par);
+    const auto big_single =
+        opmodel::OperatorScalingModel::calibrate(profiler, big);
+    const double err_big =
+        evalGemmError(big_single, profiler, withheld);
+
+    // (c) Least-squares fit over an H sweep.
+    const auto fitted = opmodel::OperatorScalingModel::calibrateFitted(
+        profiler, bert,
+        { model::bertLarge().withHidden(2048),
+          model::bertLarge().withHidden(4096),
+          model::bertLarge().withHidden(8192) });
+    const double err_fitted =
+        evalGemmError(fitted, profiler, withheld);
+
+    TextTable t({ "calibration", "profiling points",
+                  "geomean GEMM error on withheld H" });
+    t.addRowOf("single point @ BERT (paper)", 1,
+               formatPercent(err_single));
+    t.addRowOf("single point @ 4x baseline", 1,
+               formatPercent(err_big));
+    t.addRowOf("least-squares over H sweep", 4,
+               formatPercent(err_fitted));
+    bench::show(t);
+
+    bench::checkClaim(
+        "a larger baseline reduces projection error (paper's "
+        "conjecture)",
+        err_big < err_single);
+    bench::checkClaim("multi-point fitting reduces projection error",
+                      err_fitted < err_single);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation (paper Section 6.1.2): pipeline parallelism's bubbles and
+ * point-to-point transfers. Shows why micro-batching (and thus large
+ * batch sizes) is required to amortize the bubble — the tension that
+ * keeps the paper focused on DP + TP.
+ */
+
+#include "analytic/pipeline.hh"
+#include "bench_common.hh"
+#include "core/system_config.hh"
+#include "model/zoo.hh"
+#include "profiling/profiler.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Ablation (Section 6.1.2)",
+                  "Pipeline-parallel bubbles and p2p transfers");
+
+    core::SystemConfig sys;
+    const model::Hyperparams hp =
+        model::zooModel("GPT-3").hp.withBatchSize(1);
+
+    // Per-micro-batch time of one pipeline stage (layers/stages
+    // layers of forward+backward), measured on the substrate.
+    model::ParallelConfig par;
+    par.tpDegree = 8;
+    const model::LayerGraphBuilder graph(hp.withCompatibleHeads(8),
+                                         par);
+    const auto layer_profile = sys.profiler().profileLayer(graph, 0);
+
+    TextTable t({ "stages", "micro-batches", "bubble fraction",
+                  "p2p / iteration", "iteration time",
+                  "vs ideal (no bubble)" });
+    double worst = 0.0, best = 1.0;
+    for (int stages : { 2, 4, 8 }) {
+        const Seconds stage_time = layer_profile.totalTime() *
+                                   hp.numLayers / stages;
+        for (int micro : { 1, 4, 16, 64 }) {
+            analytic::PipelineConfig cfg;
+            cfg.stages = stages;
+            cfg.microBatches = micro;
+            const auto cost = analytic::pipelineCost(
+                hp, cfg, sys.device.link);
+            const Seconds iter = analytic::pipelineIterationTime(
+                stage_time / micro * micro / micro, cfg,
+                cost.p2pTimePerTransfer);
+            const Seconds ideal = stage_time;
+            (void)iter;
+            const Seconds actual = analytic::pipelineIterationTime(
+                stage_time / micro, cfg, cost.p2pTimePerTransfer);
+            const double overhead = actual / ideal;
+            t.addRowOf(stages, micro,
+                       formatPercent(cost.bubbleFraction),
+                       formatSeconds(cost.totalP2pTime),
+                       formatSeconds(actual), overhead);
+            worst = std::max(worst, cost.bubbleFraction);
+            if (stages == 8)
+                best = std::min(best, cost.bubbleFraction);
+        }
+    }
+    bench::show(t);
+
+    bench::checkClaim("single-micro-batch pipelines waste most of the "
+                      "machine in bubbles",
+                      worst >= 0.5);
+    bench::checkClaim("64 micro-batches amortize an 8-stage bubble "
+                      "below 10%",
+                      best < 0.10);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation (paper Section 6.2): number formats. Compute peak scales
+ * super-linearly as bits drop while communicated bytes scale only
+ * linearly, so reduced precision pushes the communication fraction
+ * up — the paper's takeaways carry over to FP16/FP8 training.
+ */
+
+#include "bench_common.hh"
+#include "core/precision_study.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Ablation (Section 6.2)",
+                  "Number formats: compute scales faster than bytes");
+
+    TextTable t({ "config", "precision", "compute", "serialized comm",
+                  "comm fraction" });
+    std::vector<double> fp32_frac, fp8_frac;
+    struct
+    {
+        std::int64_t h, sl;
+        int tp;
+    } configs[] = { { 4096, 1024, 16 }, { 16384, 2048, 64 } };
+
+    for (const auto &c : configs) {
+        const auto points = core::precisionStudy(core::SystemConfig{},
+                                                 c.h, c.sl, 1, c.tp);
+        for (const auto &p : points) {
+            t.addRowOf("H=" + std::to_string(c.h) +
+                           " TP=" + std::to_string(c.tp),
+                       hw::precisionName(p.precision),
+                       formatSeconds(p.computeTime),
+                       formatSeconds(p.serializedCommTime),
+                       formatPercent(p.commFraction()));
+            if (p.precision == hw::Precision::FP32)
+                fp32_frac.push_back(p.commFraction());
+            if (p.precision == hw::Precision::FP8)
+                fp8_frac.push_back(p.commFraction());
+        }
+    }
+    bench::show(t);
+
+    bool monotone = true;
+    for (std::size_t i = 0; i < fp32_frac.size(); ++i)
+        monotone = monotone && fp8_frac[i] > fp32_frac[i];
+    bench::checkClaim("comm fraction grows as precision drops "
+                      "(FP32 -> FP8) in every configuration",
+                      monotone);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: ring vs tree all-reduce algorithm selection. The ring is
+ * bandwidth-optimal (2*S*(P-1)/P wire bytes) but pays 2(P-1) latency
+ * steps; the binary tree pays only 2*lg(P) steps at 2*lg(P)*S bytes.
+ * Collective libraries switch per payload — and the crossover is
+ * exactly why latency-bound regimes (decode, huge TP) need more than
+ * fat links (Section 5).
+ */
+
+#include "bench_common.hh"
+#include "core/system_config.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Ablation",
+                  "Ring vs tree all-reduce: the latency/bandwidth "
+                  "trade");
+
+    const comm::CollectiveModel m =
+        core::SystemConfig{}.collectiveModel();
+
+    TextTable t({ "devices", "payload", "ring", "tree", "auto picks" });
+    for (int p : { 8, 64, 256 }) {
+        for (Bytes s : { 64e3, 1e6, 16e6, 256e6 }) {
+            const Seconds ring = m.allReduce(s, p).total;
+            const Seconds tree = m.treeAllReduce(s, p).total;
+            t.addRowOf(p, formatBytes(s), formatSeconds(ring),
+                       formatSeconds(tree),
+                       tree < ring ? "tree" : "ring");
+        }
+    }
+    bench::show(t);
+
+    std::cout << "\ncrossover payload (tree wins below):\n";
+    TextTable c({ "devices", "crossover" });
+    Bytes cross8 = 0.0, cross256 = 0.0;
+    for (int p : { 4, 8, 16, 64, 256 }) {
+        const Bytes x = m.ringTreeCrossover(p);
+        c.addRowOf(p, x > 0.0 ? formatBytes(x) : "never");
+        if (p == 8)
+            cross8 = x;
+        if (p == 256)
+            cross256 = x;
+    }
+    bench::show(c);
+
+    bench::checkClaim("the tree wins for small payloads at large "
+                      "group sizes",
+                      m.treeAllReduce(64e3, 256).total <
+                          m.allReduce(64e3, 256).total);
+    bench::checkClaim("the ring wins for large payloads",
+                      m.allReduce(1e9, 8).total <
+                          m.treeAllReduce(1e9, 8).total);
+    bench::checkClaim("the crossover payload grows with group size "
+                      "(more ring latency steps to amortize)",
+                      cross256 > cross8);
+    bench::checkClaim("auto selection never loses to either "
+                      "algorithm",
+                      m.allReduceAuto(64e3, 256).total <=
+                              m.allReduce(64e3, 256).total &&
+                          m.allReduceAuto(1e9, 8).total <=
+                              m.treeAllReduce(1e9, 8).total);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration benches.
+ *
+ * Every bench prints (a) the experiment provenance, (b) the same
+ * rows/series the paper's figure plots, and (c) PASS/CHECK lines
+ * comparing our measured shape against the paper's reported bands.
+ * Absolute numbers come from the simulated substrate and are not
+ * expected to match the authors' testbed; the bands assert the
+ * qualitative claims (who wins, by what rough factor).
+ */
+
+#ifndef TWOCS_BENCH_BENCH_COMMON_HH
+#define TWOCS_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace twocs::bench {
+
+/** Print the bench banner. */
+inline void
+banner(const std::string &id, const std::string &title)
+{
+    std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+/** Print one band check: PASS/FAIL plus the observed value. */
+inline bool
+checkBand(const std::string &claim, double value, double lo, double hi)
+{
+    const bool ok = value >= lo && value <= hi;
+    std::printf("[%s] %s: observed %.3g (paper band [%.3g, %.3g])\n",
+                ok ? "PASS" : "WARN", claim.c_str(), value, lo, hi);
+    return ok;
+}
+
+/** Print a check of a boolean qualitative claim. */
+inline bool
+checkClaim(const std::string &claim, bool ok)
+{
+    std::printf("[%s] %s\n", ok ? "PASS" : "WARN", claim.c_str());
+    return ok;
+}
+
+/** Render a table to stdout (CSV when TWOCS_CSV=1 is set, for
+ *  piping into plotting scripts). */
+inline void
+show(const TextTable &table)
+{
+    const char *csv = std::getenv("TWOCS_CSV");
+    if (csv != nullptr && csv[0] == '1')
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+} // namespace twocs::bench
+
+#endif // TWOCS_BENCH_BENCH_COMMON_HH

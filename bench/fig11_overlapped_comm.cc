@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Figure 11: overlapped (DP) communication as a
+ * percentage of the backprop compute available to hide it, sweeping
+ * SL * B for each hidden size at TP = 16 (ROI extraction method).
+ */
+
+#include "bench_common.hh"
+#include "core/slack.hh"
+#include "core/sweep.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Figure 11",
+                  "Overlapped comm. as a percentage of comp. time");
+
+    core::SlackAnalysis analysis(core::SystemConfig{});
+    const core::SweepSpace space = core::table3();
+
+    TextTable t({ "H", "SL*B", "backprop compute", "DP all-reduce",
+                  "overlap %" });
+    double lo = 1e18, hi = 0.0;
+    for (std::int64_t h : space.hiddens) {
+        for (std::int64_t sl : space.seqLens) {
+            for (std::int64_t b : space.batches) {
+                const core::SlackPoint p = analysis.evaluate(h, sl, b);
+                t.addRowOf(static_cast<long>(h),
+                           static_cast<long>(p.slTimesB()),
+                           formatSeconds(p.backpropComputeTime),
+                           formatSeconds(p.dpCommTime),
+                           formatPercent(p.overlappedCommVsCompute()));
+                lo = std::min(lo, p.overlappedCommVsCompute());
+                hi = std::max(hi, p.overlappedCommVsCompute());
+            }
+        }
+    }
+    bench::show(t);
+
+    // Section 4.3.5 claims.
+    std::printf("\nobserved overlap range over the sweep: %.1f%% .. "
+                "%.1f%% (paper: 17%% .. 140%%)\n",
+                100.0 * lo, 100.0 * hi);
+    const double at4k_small =
+        analysis.evaluate(1024, 4096, 1).overlappedCommVsCompute();
+    const double at4k_large =
+        analysis.evaluate(65536, 4096, 1).overlappedCommVsCompute();
+    bench::checkBand("overlap at SL*B=4K, small H (paper: up to ~55%)",
+                     at4k_small, 0.20, 0.60);
+    bench::checkBand("overlap at SL*B=4K, large H (paper: ~20%)",
+                     at4k_large, 0.15, 0.30);
+    bench::checkClaim(
+        "smaller H leaves less slack (network under-utilization)",
+        at4k_small > 1.5 * at4k_large);
+    return 0;
+}

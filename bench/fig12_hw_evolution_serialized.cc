@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Figure 12: impact of hardware evolution (flop-vs-bw
+ * scaling of 1x/2x/4x) on the serialized communication fraction of
+ * the Figure 10 model lines at their required TP degrees.
+ */
+
+#include "bench_common.hh"
+#include "core/amdahl.hh"
+#include "core/sweep.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Figure 12",
+                  "Hardware evolution vs serialized comm. fraction");
+
+    TextTable t({ "line", "TP", "flop-vs-bw 1x", "2x", "4x" });
+    double lo2 = 1.0, hi2 = 0.0, lo4 = 1.0, hi4 = 0.0;
+    std::vector<core::AmdahlAnalysis> analyses;
+    for (double fs : { 1.0, 2.0, 4.0 }) {
+        core::SystemConfig sys;
+        sys.flopScale = fs;
+        analyses.emplace_back(sys);
+    }
+
+    for (const core::ModelLine &line : core::figure10Lines()) {
+        std::vector<double> f;
+        for (const auto &a : analyses) {
+            f.push_back(a.evaluate(line.hidden, line.seqLen, 1,
+                                   line.requiredTp)
+                            .commFraction());
+        }
+        t.addRowOf(line.tag, line.requiredTp, formatPercent(f[0]),
+                   formatPercent(f[1]), formatPercent(f[2]));
+        lo2 = std::min(lo2, f[1]);
+        hi2 = std::max(hi2, f[1]);
+        lo4 = std::min(lo4, f[2]);
+        hi4 = std::max(hi4, f[2]);
+    }
+    bench::show(t);
+
+    // Section 4.3.6: "the range increasing from 20-50% to 30-65% and
+    // 40-75%, respectively".
+    bench::checkBand("2x flop-vs-bw comm-fraction range low", lo2, 0.30,
+                     0.65);
+    bench::checkBand("2x flop-vs-bw comm-fraction range high", hi2,
+                     0.30, 0.65);
+    bench::checkBand("4x flop-vs-bw comm-fraction range low", lo4, 0.40,
+                     0.75);
+    bench::checkBand("4x flop-vs-bw comm-fraction range high", hi4,
+                     0.40, 0.75);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Figure 13: impact of hardware evolution on overlapped
+ * (DP) communication as a percentage of compute time. Values >= 100%
+ * mean the communication can no longer be hidden.
+ */
+
+#include "bench_common.hh"
+#include "core/slack.hh"
+#include "core/sweep.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Figure 13",
+                  "Hardware evolution vs overlapped comm. percentage");
+
+    std::vector<core::SlackAnalysis> analyses;
+    for (double fs : { 1.0, 2.0, 4.0 }) {
+        core::SystemConfig sys;
+        sys.flopScale = fs;
+        analyses.emplace_back(sys);
+    }
+
+    TextTable t({ "H", "SL*B", "1x", "2x", "4x", "exposed at 4x?" });
+    int exposed_count = 0, total = 0;
+    for (std::int64_t h : { 1024, 4096, 16384, 65536 }) {
+        for (std::int64_t slb : { 1024, 2048, 4096, 8192 }) {
+            std::vector<double> r;
+            for (const auto &a : analyses) {
+                r.push_back(
+                    a.evaluate(h, slb, 1).overlappedCommVsCompute());
+            }
+            t.addRowOf(static_cast<long>(h), static_cast<long>(slb),
+                       formatPercent(r[0]), formatPercent(r[1]),
+                       formatPercent(r[2]), r[2] >= 1.0 ? "yes" : "no");
+            exposed_count += r[2] >= 1.0 ? 1 : 0;
+            ++total;
+        }
+    }
+    bench::show(t);
+
+    // Section 4.3.6: overlapped comm reaches 50-100% (2x) and
+    // 80-210% (4x) in the common region and is exposed (>= 100%) in
+    // many cases.
+    const double r2 =
+        analyses[1].evaluate(16384, 4096, 1).overlappedCommVsCompute();
+    const double r4 =
+        analyses[2].evaluate(16384, 4096, 1).overlappedCommVsCompute();
+    bench::checkBand("2x overlap at common SL*B=4K", r2, 0.30, 1.00);
+    bench::checkBand("4x overlap at common SL*B=4K", r4, 0.60, 2.10);
+    bench::checkClaim("communication exposed (>=100%) in several 4x "
+                      "configurations",
+                      exposed_count >= total / 4);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates Figure 14: the end-to-end Comp-vs-Comm case study.
+ * Setup: H=64K, B=1, SL=4K, TP=128, flop-vs-bw = 4x, combining
+ * serialized (TP) and overlapped (DP) communication on the
+ * two-stream training timeline, plus the inter-node scenario.
+ */
+
+#include "bench_common.hh"
+#include "core/case_study.hh"
+
+using namespace twocs;
+
+namespace {
+
+void
+addRow(TextTable &t, const std::string &name,
+       const core::CaseStudyResult &r)
+{
+    t.addRowOf(name, formatSeconds(r.makespan),
+               formatPercent(r.computeFraction()),
+               formatPercent(r.serializedCommFraction()),
+               formatPercent(r.hiddenCommFraction()),
+               formatPercent(r.dpExposedTime / r.makespan));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 14", "Overall Comp-vs-Comm case study "
+                               "(H=64K, B=1, SL=4K, TP=128, 4x)");
+
+    core::CaseStudy study;
+    core::CaseStudyConfig cfg;
+    cfg.system.flopScale = 4.0;
+
+    TextTable t({ "scenario", "iteration", "compute", "serialized comm",
+                  "hidden DP comm", "exposed DP comm" });
+
+    // Scenario 1: TP only.
+    core::CaseStudyConfig tp_only = cfg;
+    tp_only.dpDegree = 1;
+    addRow(t, "TP only", study.run(tp_only));
+
+    // Scenario 2: TP + DP on intra-node-class links.
+    const core::CaseStudyResult both = study.run(cfg);
+    addRow(t, "TP + DP (fast links)", both);
+
+    // Scenario 3: DP over ~8x slower inter-node links w/ interference.
+    core::CaseStudyConfig inter = cfg;
+    inter.interNodeDp = true;
+    const core::CaseStudyResult slow = study.run(inter);
+    addRow(t, "TP + DP (inter-node, ~8x)", slow);
+
+    bench::show(t);
+
+    // Section 4.3.7: ~half the time is serialized communication, the
+    // DP communication is completely hidden on fast links but becomes
+    // exposed over inter-node links.
+    bench::checkBand("serialized comm fraction (paper: 47%)",
+                     both.serializedCommFraction(), 0.40, 0.65);
+    bench::checkBand("hidden DP comm fraction (paper: 9%)",
+                     both.hiddenCommFraction(), 0.02, 0.15);
+    bench::checkClaim("DP comm fully hidden on fast links",
+                      both.dpExposedTime < 0.15 * both.makespan);
+    bench::checkClaim("DP comm exposed over inter-node links",
+                      slow.dpExposedTime > 4.0 * both.dpExposedTime);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Regenerates Figure 15: effectiveness of the operator-level models.
+ * (a) GEMM runtime vs SL (linear) and vs H (quadratic),
+ * (b) LayerNorm runtime vs SL and H (linear),
+ * (c) all-reduce time vs reduced data size (linear),
+ * each projected from the BERT baseline and compared against the
+ * simulated ground truth.
+ */
+
+#include "bench_common.hh"
+#include "core/system_config.hh"
+#include "model/zoo.hh"
+#include "opmodel/accuracy.hh"
+
+using namespace twocs;
+
+namespace {
+
+void
+showSeries(const opmodel::AccuracySeries &s, const char *sweep_name)
+{
+    std::cout << "\n-- " << s.name << " --\n";
+    TextTable t({ sweep_name, "projected", "measured", "rel. error" });
+    for (const auto &p : s.points) {
+        t.addRowOf(p.sweepValue, formatSeconds(p.projected),
+                   formatSeconds(p.measured),
+                   formatPercent(p.relError));
+    }
+    bench::show(t);
+    std::printf("geomean error %.1f%%, max error %.1f%%\n",
+                100.0 * s.geomeanError, 100.0 * s.maxError);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 15", "Effectiveness of operator-level "
+                               "modeling");
+
+    core::SystemConfig sys;
+    model::ParallelConfig par;
+    model::LayerGraphBuilder baseline(model::bertLarge(), par);
+    opmodel::AccuracyEvaluator eval(sys.profiler(), baseline);
+
+    const auto gemm_sl =
+        eval.operatorVsSeqLen("fc1_fwd", { 1024, 2048, 4096, 8192 });
+    const auto gemm_h =
+        eval.operatorVsHidden("fc1_fwd", { 2048, 4096, 8192, 16384 });
+    const auto ln_sl =
+        eval.operatorVsSeqLen("ln1_fwd", { 1024, 2048, 4096, 8192 });
+    const auto ln_h =
+        eval.operatorVsHidden("ln1_fwd", { 2048, 4096, 8192, 16384 });
+    const auto ar =
+        eval.allReduceVsBytes({ 8e6, 32e6, 128e6, 512e6, 1e9 });
+
+    showSeries(gemm_sl, "SL");
+    showSeries(gemm_h, "H");
+    showSeries(ln_sl, "SL");
+    showSeries(ln_h, "H");
+    showSeries(ar, "bytes");
+
+    // Section 4.3.8 headline numbers: GEMM ~15%, LayerNorm ~7%,
+    // all-reduce ~11%; "< 15% error" overall.
+    bench::checkBand("GEMM-vs-H geomean error (paper ~15%)",
+                     gemm_h.geomeanError, 0.0, 0.16);
+    bench::checkBand("GEMM-vs-SL geomean error (linear fit)",
+                     gemm_sl.geomeanError, 0.0, 0.10);
+    bench::checkBand("LayerNorm geomean error (paper ~7%)",
+                     std::max(ln_sl.geomeanError, ln_h.geomeanError),
+                     0.0, 0.16);
+    bench::checkBand("all-reduce geomean error (paper ~11%)",
+                     ar.geomeanError, 0.0, 0.15);
+    return 0;
+}

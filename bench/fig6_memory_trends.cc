@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Regenerates Figure 6: model memory demand (H * SL proxy) versus
+ * device memory capacity trends, normalized to BERT/2018.
+ */
+
+#include "analytic/trends.hh"
+#include "bench_common.hh"
+#include "hw/catalog.hh"
+#include "model/zoo.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Figure 6", "Model and device memory capacity trends");
+
+    const auto points =
+        analytic::memoryTrend(model::modelZoo(), hw::allDevices());
+
+    TextTable t({ "Model", "Year", "H*SL demand (norm)",
+                  "device capacity (norm)", "demand/capacity gap" });
+    for (const auto &p : points) {
+        t.addRowOf(p.name, p.year, p.demandProxyNorm, p.capacityNorm,
+                   p.gap);
+    }
+    bench::show(t);
+
+    bench::checkClaim(
+        "the demand/capacity gap widens monotonically era over era",
+        points.back().gap > points[points.size() / 2].gap &&
+            points[points.size() / 2].gap >= points.front().gap);
+    bench::checkBand("final demand-vs-capacity gap (PaLM era)",
+                     points.back().gap, 5.0, 100.0);
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Regenerates Figure 7: algorithmic scaling of compute's slack
+ * (SL * B) and Amdahl's-law edge ((H + SL)/TP) across the model zoo,
+ * normalized to BERT.
+ */
+
+#include "analytic/trends.hh"
+#include "bench_common.hh"
+#include "model/zoo.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Figure 7", "Algorithmic scaling of slack and edge");
+
+    const auto points = analytic::algorithmicScaling(model::modelZoo());
+
+    TextTable t({ "Model", "Year", "slack SL*B (norm to BERT)",
+                  "edge (H+SL)/TP (norm to BERT)" });
+    for (const auto &p : points)
+        t.addRowOf(p.name, p.year, p.slackNorm, p.edgeNorm);
+    bench::show(t);
+
+    // Section 3.5: "compute's slack is reduced by ~75% ... compute's
+    // edge drops by ~80%".
+    bench::checkBand("slack drop at PaLM (1 - slackNorm)",
+                     1.0 - points.back().slackNorm, 0.70, 0.80);
+    bench::checkBand("edge drop at PaLM (1 - edgeNorm)",
+                     1.0 - points.back().edgeNorm, 0.75, 0.85);
+    return 0;
+}

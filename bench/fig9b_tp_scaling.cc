@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates Figure 9(b): required TP scaling (p/s) relative to the
+ * Megatron-LM BERT anchor (3.9B, TP = 8) for the zoo models.
+ */
+
+#include "analytic/trends.hh"
+#include "bench_common.hh"
+#include "model/zoo.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Figure 9(b)", "TP scaling with model size");
+
+    TextTable t({ "Model", "Year", "size ratio p", "capacity scale s",
+                  "TP scale p/s", "required TP (base_TP * p/s)" });
+    for (const model::ZooEntry &e : model::modelZoo()) {
+        if (e.hp.year < model::megatronBertAnchor().year)
+            continue;
+        const auto r = analytic::requiredTp(
+            e.hp.name, e.publishedSizeBillions, e.hp.year);
+        t.addRowOf(r.name, e.hp.year, r.modelSizeRatio, r.capacityScale,
+                   r.tpScale, r.requiredTpDegree);
+    }
+    bench::show(t);
+
+    // Section 4.3.2: "TP needs to be scaled by 40-60x, leading to a
+    // required TP degree of ~250-550".
+    const auto mtnlg = analytic::requiredTp("MT-NLG", 530.0, 2021);
+    const auto palm = analytic::requiredTp("PaLM", 540.0, 2022);
+    bench::checkBand("MT-NLG TP scale p/s", mtnlg.tpScale, 40.0, 62.0);
+    bench::checkBand("PaLM TP scale p/s", palm.tpScale, 40.0, 62.0);
+    bench::checkBand("MT-NLG required TP", mtnlg.requiredTpDegree,
+                     250.0, 550.0);
+    bench::checkBand("PaLM required TP", palm.requiredTpDegree, 250.0,
+                     550.0);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Regenerates the Section 4.3.6 hardware-evolution evidence: per
+ * vendor, compute FLOPS scaled ~5-7x between 2018 and 2020 while
+ * network bandwidth scaled only ~1.7-2x, giving the 2-4x flop-vs-bw
+ * ratios used in Figures 12 and 13.
+ */
+
+#include "bench_common.hh"
+#include "hw/catalog.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Section 4.3.6 / 2.4",
+                  "Compute vs network bandwidth scaling across GPU "
+                  "generations");
+
+    TextTable t({ "device", "year", "FP16 peak", "HBM BW", "capacity",
+                  "total link BW" });
+    for (const hw::DeviceSpec &d : hw::allDevices()) {
+        t.addRowOf(d.name, d.year,
+                   formatRate(d.peakFlopsFp16, "FLOP"),
+                   formatRate(d.memBandwidth, "B"),
+                   formatBytes(d.memCapacity),
+                   formatRate(d.numLinks * d.link.bandwidth, "B"));
+    }
+    bench::show(t);
+
+    const double nv = hw::flopVsBwScaling(hw::v100(), hw::a100());
+    const double amd = hw::flopVsBwScaling(hw::mi50(), hw::mi100());
+
+    std::cout << "\n";
+    TextTable r({ "generation pair", "FLOPS scale", "net BW scale",
+                  "flop-vs-bw" });
+    r.addRowOf("V100 -> A100 (2018-2020)",
+               hw::a100().peakFlopsFp16 / hw::v100().peakFlopsFp16,
+               (hw::a100().numLinks * hw::a100().link.bandwidth) /
+                   (hw::v100().numLinks * hw::v100().link.bandwidth),
+               nv);
+    r.addRowOf("MI50 -> MI100 (2018-2020)",
+               hw::mi100().peakFlopsFp16 / hw::mi50().peakFlopsFp16,
+               (hw::mi100().numLinks * hw::mi100().link.bandwidth) /
+                   (hw::mi50().numLinks * hw::mi50().link.bandwidth),
+               amd);
+    bench::show(r);
+
+    // Paper: compute scaled relatively more, "by ~2-4x".
+    bench::checkBand("NVIDIA flop-vs-bw ratio", nv, 2.0, 3.0);
+    bench::checkBand("AMD flop-vs-bw ratio", amd, 3.0, 4.5);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Replays the Section 3.5 narrative as an experiment: for each zoo
+ * model on its own era's best device, compute the memory-mandated
+ * minimum TP degree and the largest per-device micro-batch that
+ * still fits. The trend — B forced toward 1 while TP climbs — is
+ * exactly what erodes compute's slack (SL*B) and edge ((H+SL)/TP).
+ */
+
+#include "bench_common.hh"
+#include "hw/catalog.hh"
+#include "model/memory.hh"
+#include "model/zoo.hh"
+
+using namespace twocs;
+
+namespace {
+
+/** Largest power-of-two micro-batch fitting at the given TP. */
+std::int64_t
+maxFeasibleBatch(const model::Hyperparams &hp, int tp,
+                 const hw::DeviceSpec &device)
+{
+    std::int64_t best = 0;
+    for (std::int64_t b = 1; b <= 64; b *= 2) {
+        model::ParallelConfig par;
+        par.tpDegree = tp;
+        const model::MemoryModel mm(
+            hp.withBatchSize(b).withCompatibleHeads(tp), par);
+        if (mm.fitsIn(device))
+            best = b;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 3.5",
+                  "Memory pressure history: B down, TP up, era by era");
+
+    TextTable t({ "model", "year", "era device", "HBM", "min TP",
+                  "max micro-batch at min TP" });
+    int first_tp = -1, last_tp = -1;
+    std::int64_t first_b = -1, last_b = -1;
+    for (const model::ZooEntry &e : model::modelZoo()) {
+        const hw::DeviceSpec dev = hw::deviceOfYear(e.hp.year);
+        const int tp = model::MemoryModel::minTpDegree(e.hp, dev);
+        const std::int64_t b = maxFeasibleBatch(e.hp, tp, dev);
+        t.addRowOf(e.hp.name, e.hp.year, dev.name,
+                   formatBytes(dev.memCapacity), tp,
+                   static_cast<long>(b));
+        if (first_tp < 0) {
+            first_tp = tp;
+            first_b = b;
+        }
+        last_tp = tp;
+        last_b = b;
+    }
+    bench::show(t);
+
+    bench::checkClaim(
+        "required TP grows by more than an order of magnitude from "
+        "BERT to PaLM",
+        last_tp >= 16 * first_tp);
+    bench::checkClaim(
+        "the feasible micro-batch collapses toward 1 for the largest "
+        "models",
+        first_b >= 8 && last_b <= 4);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate
+ * itself: kernel costing, collective costing, iteration profiling,
+ * operator-model projection, and the two-stream timeline. These
+ * quantify the "2100x cheaper than real profiling" premise in wall
+ * clock terms on the host machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/amdahl.hh"
+#include "core/case_study.hh"
+#include "core/system_config.hh"
+#include "opmodel/operator_model.hh"
+
+using namespace twocs;
+
+namespace {
+
+const core::SystemConfig &
+sys()
+{
+    static const core::SystemConfig s{};
+    return s;
+}
+
+void
+BM_KernelCost(benchmark::State &state)
+{
+    const hw::KernelCostModel m = sys().kernelModel();
+    hw::KernelDesc k;
+    k.kind = hw::KernelKind::Gemm;
+    k.label = "bench";
+    k.gemm = { state.range(0), state.range(0), state.range(0) };
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.cost(k));
+}
+BENCHMARK(BM_KernelCost)->Arg(1024)->Arg(8192);
+
+void
+BM_AllReduceCost(benchmark::State &state)
+{
+    const comm::CollectiveModel m = sys().collectiveModel();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            m.allReduce(256e6, static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_AllReduceCost)->Arg(4)->Arg(64)->Arg(256);
+
+void
+BM_BuildIterationOps(benchmark::State &state)
+{
+    model::ParallelConfig par;
+    par.tpDegree = 8;
+    par.dpDegree = 4;
+    const model::LayerGraphBuilder g(model::bertLarge(), par);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(g.iterationOps());
+}
+BENCHMARK(BM_BuildIterationOps);
+
+void
+BM_ProfileIteration(benchmark::State &state)
+{
+    model::ParallelConfig par;
+    par.tpDegree = 8;
+    par.dpDegree = 4;
+    const model::LayerGraphBuilder g(model::bertLarge(), par);
+    const profiling::IterationProfiler p = sys().profiler();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p.profileIteration(g));
+    state.SetItemsProcessed(state.iterations() *
+                            g.iterationOps().size());
+}
+BENCHMARK(BM_ProfileIteration);
+
+void
+BM_OperatorModelProjection(benchmark::State &state)
+{
+    core::AmdahlAnalysis analysis(sys());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analysis.evaluate(16384, 2048, 1, 64));
+    }
+}
+BENCHMARK(BM_OperatorModelProjection);
+
+void
+BM_CaseStudyTimeline(benchmark::State &state)
+{
+    core::CaseStudy study;
+    core::CaseStudyConfig cfg;
+    cfg.hidden = 8192;
+    cfg.seqLen = 2048;
+    cfg.tpDegree = 16;
+    cfg.dpDegree = 4;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(study.run(cfg));
+}
+BENCHMARK(BM_CaseStudyTimeline);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The designer's inverse question (paper Section 5): as compute
+ * scales 2x/4x/8x per the historical trend, how much must network
+ * bandwidth scale so serialized communication stays at or below 25%
+ * of the training critical path? The paper's answer — "network
+ * capabilities will scale commensurate (if not more) to compute" —
+ * is quantified here.
+ */
+
+#include "bench_common.hh"
+#include "core/requirements.hh"
+#include "core/sweep.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Section 5",
+                  "Required network scaling to keep comm <= 25%");
+
+    core::SystemConfig base;
+    TextTable t({ "model line", "flop scale", "comm w/o net scaling",
+                  "required net scale", "comm achieved" });
+
+    bool commensurate = true;
+    int achievable_count = 0;
+    bool saw_latency_floor = false;
+    for (const core::ModelLine &line : core::figure10Lines()) {
+        for (double fs : { 1.0, 2.0, 4.0 }) {
+            const auto r = core::requiredBandwidthScale(
+                base, line.hidden, line.seqLen, 1, line.requiredTp, fs,
+                /*target_fraction=*/0.25);
+            char scale_buf[32];
+            std::snprintf(scale_buf, sizeof(scale_buf), "%.2fx",
+                          r.requiredBwScale);
+            t.addRowOf(line.tag, fs,
+                       formatPercent(r.unscaledCommFraction),
+                       r.achievable
+                           ? std::string(scale_buf)
+                           : "unachievable (latency floor)",
+                       formatPercent(r.achievedCommFraction));
+            if (r.achievable) {
+                ++achievable_count;
+                commensurate &= r.requiredBwScale >= fs;
+            }
+            saw_latency_floor |= !r.achievable;
+        }
+    }
+    bench::show(t);
+
+    bench::checkClaim(
+        "wherever the target is reachable, the network must scale at "
+        "least commensurate with compute (required >= flop scale)",
+        achievable_count > 0 && commensurate);
+    bench::checkClaim(
+        "at extreme TP the fabric becomes latency-bound: fatter links "
+        "alone cannot reach the target (Section 5's case for "
+        "topology/offload innovation)",
+        saw_latency_floor);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Device-count scaling study (paper Section 2.4's premise:
+ * communication "may cause compute resources to be idle ... and
+ * limit throughput scaling with increasing device count"). Uses the
+ * layout planner to pick the best (TP, PP, DP) at each cluster size
+ * and reports throughput and parallel efficiency.
+ */
+
+#include "bench_common.hh"
+#include "core/planner.hh"
+#include "model/zoo.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Scaling study",
+                  "Best-layout throughput vs device count (GPT-3)");
+
+    core::LayoutPlanner planner(core::SystemConfig{},
+                                model::zooModel("GPT-3").hp);
+
+    TextTable t({ "devices", "best layout (TP/PP/DP)", "iteration",
+                  "comm fraction", "tokens/s", "parallel efficiency" });
+    double base_per_device = 0.0;
+    double last_eff = 1.0;
+    for (int devices : { 64, 128, 256, 512, 1024, 2048 }) {
+        core::PlannerOptions opts;
+        opts.maxDevices = devices;
+        opts.maxTpDegree = 64;
+        opts.maxPipelineStages = 8;
+        const core::LayoutCandidate best = planner.best(opts);
+        const double per_device =
+            best.tokensPerSecond / best.totalDevices();
+        if (base_per_device == 0.0)
+            base_per_device = per_device;
+        last_eff = per_device / base_per_device;
+        t.addRowOf(devices,
+                   std::to_string(best.tpDegree) + "/" +
+                       std::to_string(best.pipelineStages) + "/" +
+                       std::to_string(best.dpDegree),
+                   formatSeconds(best.iterationTime),
+                   formatPercent(best.commFraction()),
+                   best.tokensPerSecond, formatPercent(last_eff));
+    }
+    bench::show(t);
+
+    bench::checkClaim(
+        "parallel efficiency stays sub-linear but useful (comm limits "
+        "perfect scaling)",
+        last_eff <= 1.001 && last_eff > 0.3);
+    return 0;
+}

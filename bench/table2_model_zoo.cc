@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Regenerates Table 2: hyperparameters of the studied NLP models,
+ * plus the derived quantities the later analyses consume.
+ */
+
+#include "bench_common.hh"
+#include "model/zoo.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Table 2", "Different NLP model hyperparameters");
+
+    TextTable t({ "Model", "Year", "#Layers", "H", "#Heads", "Size(B)",
+                  "Type", "SL", "FC dim", "computed params (B)" });
+    for (const model::ZooEntry &e : model::modelZoo()) {
+        t.addRowOf(e.hp.name, e.hp.year, e.hp.numLayers,
+                   static_cast<long>(e.hp.hidden), e.hp.numHeads,
+                   e.publishedSizeBillions,
+                   model::layerTypeName(e.hp.type),
+                   static_cast<long>(e.hp.sequenceLength),
+                   static_cast<long>(e.hp.fcDim),
+                   e.hp.totalParams() / 1e9);
+    }
+    bench::show(t);
+
+    const auto &zoo = model::modelZoo();
+    bench::checkClaim("models span 2018 (BERT) to 2022 (PaLM)",
+                      zoo.front().hp.year == 2018 &&
+                          zoo.back().hp.year == 2022);
+    bench::checkBand("PaLM / BERT published size ratio",
+                     zoo.back().publishedSizeBillions /
+                         zoo.front().publishedSizeBillions,
+                     1000.0, 2000.0);
+    return 0;
+}

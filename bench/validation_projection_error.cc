@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Methodology validation sweep: for every Table 3 serialized
+ * configuration, compare the operator-level projection (the paper's
+ * method) against the full ground-truth simulation, and report the
+ * error distribution. Complements Figure 15's per-operator accuracy
+ * with an end-to-end view, including where the projection's known
+ * blind spots (ring latency at extreme TP, efficiency drift at
+ * extreme H) show up.
+ */
+
+#include <algorithm>
+
+#include "bench_common.hh"
+#include "core/amdahl.hh"
+#include "core/sweep.hh"
+#include "util/stats.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    bench::banner("Validation", "Projection vs ground truth over the "
+                                "full Table 3 serialized grid");
+
+    core::AmdahlAnalysis analysis(core::SystemConfig{});
+    std::vector<double> compute_errors, fraction_gaps;
+
+    for (const core::SerializedConfig &c :
+         core::serializedConfigs(core::table3())) {
+        const auto proj =
+            analysis.evaluate(c.hidden, c.seqLen, 1, c.tpDegree);
+        const auto direct =
+            analysis.evaluateDirect(c.hidden, c.seqLen, 1, c.tpDegree);
+        compute_errors.push_back(
+            relativeError(proj.computeTime, direct.computeTime));
+        fraction_gaps.push_back(direct.commFraction() -
+                                proj.commFraction());
+    }
+
+    auto pct = [&](std::vector<double> v, double q) {
+        std::sort(v.begin(), v.end());
+        return v[static_cast<std::size_t>(q * (v.size() - 1))];
+    };
+
+    TextTable t({ "metric", "p50", "p90", "max" });
+    t.addRowOf("compute-time projection error",
+               formatPercent(pct(compute_errors, 0.5)),
+               formatPercent(pct(compute_errors, 0.9)),
+               formatPercent(maxOf(compute_errors)));
+    t.addRowOf("comm-fraction gap (direct - projected)",
+               formatPercent(pct(fraction_gaps, 0.5)),
+               formatPercent(pct(fraction_gaps, 0.9)),
+               formatPercent(maxOf(fraction_gaps)));
+    bench::show(t);
+
+    bench::checkBand("median compute-time projection error "
+                     "(paper: <15%)",
+                     pct(compute_errors, 0.5), 0.0, 0.15);
+    bench::checkClaim(
+        "projection is systematically optimistic about communication "
+        "(the paper's stated caveat)",
+        pct(fraction_gaps, 0.5) > 0.0);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Future-model explorer: sweep hypothetical Transformer scales and
+ * hardware generations and find where communication crosses 50% of
+ * the training critical path — the "Comp-vs-Comm frontier".
+ *
+ * Run: ./future_model_explorer
+ */
+
+#include <iostream>
+
+#include "core/amdahl.hh"
+#include "core/system_config.hh"
+#include "model/zoo.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace twocs;
+
+int
+main()
+{
+    std::cout << "Comp-vs-Comm frontier: serialized comm share of the "
+                 "critical path\n(model scale x hardware generation, "
+                 "TP sized to model per Fig. 9b)\n\n";
+
+    const std::vector<std::int64_t> hiddens = { 4096, 8192, 16384,
+                                                32768, 65536, 131072 };
+    const std::vector<double> flop_scales = { 1.0, 2.0, 4.0, 8.0 };
+
+    TextTable t({ "H", "SL", "TP", "1x", "2x", "4x", "8x (future)" });
+    for (std::int64_t h : hiddens) {
+        // Scale SL and required TP with the model, mirroring the
+        // paper's highlighted diagonal.
+        const std::int64_t sl = std::min<std::int64_t>(h / 4, 8192);
+        const int tp = static_cast<int>(std::min<std::int64_t>(
+            std::max<std::int64_t>(h / 256, 4), 512));
+
+        std::vector<std::string> cells = { std::to_string(h),
+                                           std::to_string(sl),
+                                           std::to_string(tp) };
+        for (double fs : flop_scales) {
+            core::SystemConfig sys;
+            sys.flopScale = fs;
+            core::AmdahlAnalysis analysis(sys);
+            const double f =
+                analysis.evaluate(h, sl, 1, tp).commFraction();
+            std::string cell = formatPercent(f);
+            if (f >= 0.5)
+                cell += " <-- comm-bound";
+            cells.push_back(cell);
+        }
+        t.addRow(cells);
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nEach column scales compute FLOPS (and HBM bandwidth) by "
+           "the given factor\nwhile network bandwidth stays flat — the "
+           "historical flop-vs-bw trend.\nOnce a cell crosses 50%, "
+           "adding FLOPS buys almost nothing: the network\nis the "
+           "product.\n";
+
+    // Also show what fixing the network would do (Section 5).
+    std::cout << "\nWith processing-in-network (2x effective AR "
+                 "bandwidth) at 4x compute:\n";
+    core::SystemConfig pin;
+    pin.flopScale = 4.0;
+    pin.inNetworkReduction = true;
+    core::SystemConfig nopin;
+    nopin.flopScale = 4.0;
+    core::AmdahlAnalysis with_pin(pin);
+    core::AmdahlAnalysis without_pin(nopin);
+    const double f_pin = with_pin.evaluate(65536, 4096, 1, 256)
+                             .commFraction();
+    const double f_ring = without_pin.evaluate(65536, 4096, 1, 256)
+                              .commFraction();
+    std::cout << "  H=64K future model: " << formatPercent(f_ring)
+              << " (ring) -> " << formatPercent(f_pin)
+              << " (PIN) of critical path is communication\n";
+    return 0;
+}

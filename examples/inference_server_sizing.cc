@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Inference-server sizing (paper Section 6.3 in practice): given a
+ * model and a latency budget per generated token, find the TP degree
+ * and batch size that maximize serving throughput — and see how the
+ * tiny decode collectives, not FLOPS, set the limits.
+ *
+ * Run: ./inference_server_sizing [hidden] [context]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/inference_study.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace twocs;
+
+int
+main(int argc, char **argv)
+{
+    const std::int64_t h = argc > 1 ? std::atoll(argv[1]) : 12288;
+    const std::int64_t ctx = argc > 2 ? std::atoll(argv[2]) : 4096;
+    const Seconds latency_budget = 25e-3; // 25 ms/token SLO
+
+    core::InferenceStudy study((core::SystemConfig()));
+
+    std::cout << "Serving a GPT-3-class model (H=" << h
+              << ", context=" << ctx << ") under a "
+              << formatSeconds(latency_budget)
+              << "/token latency SLO\n\n";
+
+    TextTable t({ "TP", "batch", "token latency", "comm fraction",
+                  "tokens/s", "meets SLO" });
+    double best_tput = 0.0;
+    int best_tp = 0;
+    std::int64_t best_b = 0;
+    for (int tp : { 1, 2, 4, 8, 16 }) {
+        for (std::int64_t b : { 1, 4, 16, 64 }) {
+            const core::DecodePoint d =
+                study.decodeStep(h, ctx, b, tp);
+            const bool ok = d.tokenLatency() <= latency_budget;
+            t.addRowOf(tp, static_cast<long>(b),
+                       formatSeconds(d.tokenLatency()),
+                       formatPercent(d.commFraction()),
+                       d.tokensPerSecond(), ok ? "yes" : "no");
+            if (ok && d.tokensPerSecond() > best_tput) {
+                best_tput = d.tokensPerSecond();
+                best_tp = tp;
+                best_b = b;
+            }
+        }
+    }
+    t.print(std::cout);
+
+    if (best_tp > 0) {
+        std::cout << "\nBest SLO-compliant setup: TP=" << best_tp
+                  << ", batch=" << best_b << " -> " << best_tput
+                  << " tokens/s per replica.\n";
+    } else {
+        std::cout << "\nNo setup meets the SLO — the decode "
+                     "collectives' latency floor, not compute, is "
+                     "binding (Section 5's case for better-than-ring "
+                     "collectives).\n";
+    }
+    std::cout << "Note how the comm fraction climbs with TP while "
+                 "batching amortizes it:\nthe same Comp-vs-Comm "
+                 "tension as training, at millisecond scale.\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Mixture-of-Experts extension (paper Section 6.1.1): expert
+ * parallelism adds all-to-all exchanges on the critical path while
+ * cutting per-token FC compute. This example quantifies how MoE
+ * shifts the Comp-vs-Comm balance relative to a dense model.
+ *
+ * Run: ./moe_expert_parallelism
+ */
+
+#include <iostream>
+
+#include "comm/collectives.hh"
+#include "core/system_config.hh"
+#include "model/layer_graph.hh"
+#include "model/zoo.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace twocs;
+
+namespace {
+
+/** Per-layer costs of a dense vs MoE FC sub-layer. */
+struct MoeComparison
+{
+    Seconds denseFcCompute;
+    Seconds moeFcCompute;
+    Seconds moeAllToAll;
+};
+
+MoeComparison
+compare(const core::SystemConfig &sys, const model::Hyperparams &hp,
+        int ep_degree, int top_k)
+{
+    const hw::KernelCostModel kernels = sys.kernelModel();
+    const comm::CollectiveModel colls = sys.collectiveModel();
+    const std::int64_t tokens = hp.batchSize * hp.sequenceLength;
+
+    // Dense FC: every token through the full fc width.
+    hw::KernelDesc fc1;
+    fc1.kind = hw::KernelKind::Gemm;
+    fc1.label = "fc1";
+    fc1.gemm = { tokens, hp.fcDim, hp.hidden };
+    hw::KernelDesc fc2 = fc1;
+    fc2.label = "fc2";
+    fc2.gemm = { tokens, hp.hidden, hp.fcDim };
+
+    MoeComparison r{};
+    r.denseFcCompute = kernels.cost(fc1) + kernels.cost(fc2);
+
+    // MoE: each device hosts one expert of the same width; tokens are
+    // routed to top_k experts, so each device processes
+    // tokens * top_k / ep_degree of the global batch shard.
+    const std::int64_t moe_tokens =
+        std::max<std::int64_t>(1, tokens * top_k / ep_degree);
+    hw::KernelDesc m1 = fc1;
+    m1.gemm.m = moe_tokens;
+    hw::KernelDesc m2 = fc2;
+    m2.gemm.m = moe_tokens;
+    r.moeFcCompute = kernels.cost(m1) + kernels.cost(m2);
+
+    // Two all-to-alls per layer (dispatch + combine), payload = the
+    // routed activations.
+    const Bytes a2a_bytes = 2.0 * static_cast<double>(tokens) * top_k *
+                            hp.hidden / ep_degree;
+    r.moeAllToAll = 2.0 * colls.allToAll(a2a_bytes, ep_degree).total;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    core::SystemConfig sys;
+    const model::Hyperparams hp =
+        model::zooModel("GPT-3").hp.withBatchSize(2);
+
+    std::cout << "Dense vs Mixture-of-Experts FC sub-layer "
+                 "(H=" << hp.hidden << ", SL=" << hp.sequenceLength
+              << ", B=" << hp.batchSize << ", top-2 routing)\n\n";
+
+    TextTable t({ "experts (EP degree)", "dense FC compute",
+                  "MoE FC compute", "MoE all-to-all",
+                  "MoE comm share", "compute saved" });
+    for (int ep : { 4, 8, 16, 32, 64 }) {
+        const MoeComparison r = compare(sys, hp, ep, 2);
+        const double comm_share =
+            r.moeAllToAll / (r.moeFcCompute + r.moeAllToAll);
+        t.addRowOf(ep, formatSeconds(r.denseFcCompute),
+                   formatSeconds(r.moeFcCompute),
+                   formatSeconds(r.moeAllToAll),
+                   formatPercent(comm_share),
+                   formatPercent(1.0 - r.moeFcCompute /
+                                           r.denseFcCompute));
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nAs Section 6.1.1 argues: MoE lowers computation per "
+           "input while adding\nserialized all-to-all exchanges — the "
+           "communication share climbs with the\nexpert count, "
+           "reinforcing the paper's call to accelerate "
+           "communication.\n";
+    return 0;
+}

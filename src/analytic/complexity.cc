@@ -1,0 +1,84 @@
+#include "complexity.hh"
+
+#include "model/layer_graph.hh"
+#include "util/logging.hh"
+
+namespace twocs::analytic {
+
+LayerComplexity
+layerComplexity(const model::Hyperparams &hp,
+                const model::ParallelConfig &par, hw::Precision precision)
+{
+    hp.validate();
+    par.validate(hp);
+
+    const double b = static_cast<double>(hp.batchSize);
+    const double sl = static_cast<double>(hp.sequenceLength);
+    const double h = static_cast<double>(hp.hidden);
+    const double fc = static_cast<double>(hp.fcDim);
+    const double t = static_cast<double>(par.tpDegree);
+    const double prec = hw::precisionBytes(precision);
+
+    LayerComplexity lc;
+    // Eq. 1 (generalized beyond fc = 4H): two GEMMs of H x fc/TP.
+    lc.fcGemmOps = 2.0 * (2.0 * h * (fc / t) * sl * b);
+    // Eq. 2: QK^T and attn*V, each 2 * (H/TP) * SL * SL * B ops.
+    lc.attentionGemmOps = 2.0 * (2.0 * (h / t) * sl * sl * b);
+    // Eq. 3: QKV (3 GEMMs worth) plus output projection.
+    lc.linearGemmOps = 4.0 * 2.0 * ((h / t) * h * sl * b);
+
+    lc.forwardOps = lc.fcGemmOps + lc.attentionGemmOps + lc.linearGemmOps;
+    // Backward runs an input-gradient and a weight-gradient GEMM for
+    // every forward GEMM: 3x forward in total.
+    lc.trainingOps = 3.0 * lc.forwardOps;
+
+    // Eq. 5.
+    lc.tpAllReduceBytes = prec * h * sl * b;
+    lc.serializedCommBytes =
+        model::LayerGraphBuilder::tpAllReducesPerLayer *
+        lc.tpAllReduceBytes;
+
+    // Weight gradients per layer per device (attention 4H^2 + FC
+    // 2*H*fc parameters, sliced by TP).
+    lc.dpGradientBytes = prec * (4.0 * h * h + 2.0 * h * fc) / t;
+    return lc;
+}
+
+double
+amdahlEdge(const model::Hyperparams &hp, int tp_degree)
+{
+    fatalIf(tp_degree < 1, "tp_degree must be >= 1");
+    return (static_cast<double>(hp.hidden) +
+            static_cast<double>(hp.sequenceLength)) /
+           static_cast<double>(tp_degree);
+}
+
+double
+amdahlEdgeExact(const model::Hyperparams &hp,
+                const model::ParallelConfig &par, hw::Precision precision)
+{
+    const LayerComplexity lc = layerComplexity(hp, par, precision);
+    return lc.trainingOps / lc.serializedCommBytes;
+}
+
+double
+slackAdvantage(const model::Hyperparams &hp)
+{
+    return static_cast<double>(hp.sequenceLength) *
+           static_cast<double>(hp.batchSize);
+}
+
+double
+slackAdvantageExact(const model::Hyperparams &hp,
+                    const model::ParallelConfig &par,
+                    hw::Precision precision)
+{
+    const LayerComplexity lc = layerComplexity(hp, par, precision);
+    // Backprop ops are 2x the forward ops (Eq. 7 generalizes this to
+    // every sub-layer); the DP all-reduce moves the layer's weight
+    // gradients (Eq. 8).
+    const double backprop_ops = 2.0 * lc.forwardOps;
+    return backprop_ops / lc.dpGradientBytes;
+}
+
+} // namespace twocs::analytic

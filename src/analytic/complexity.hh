@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Algorithmic Comp-vs.-Comm analysis (paper Section 3).
+ *
+ * Two families of results:
+ *  - the paper's literal per-layer complexity equations (Eqs. 1-9),
+ *    asymptotic in the hyperparameters, and
+ *  - exact counts derived from the layer graph (used to cross-check
+ *    the equations and to drive the empirical strategy).
+ */
+
+#ifndef TWOCS_ANALYTIC_COMPLEXITY_HH
+#define TWOCS_ANALYTIC_COMPLEXITY_HH
+
+#include "hw/device_spec.hh"
+#include "model/hyperparams.hh"
+#include "model/parallel.hh"
+#include "util/units.hh"
+
+namespace twocs::analytic {
+
+/** Per-layer operation/byte counts under tensor parallelism. */
+struct LayerComplexity
+{
+    /** Eq. 1: FC sub-layer GEMM operations (both FC GEMMs). */
+    FlopCount fcGemmOps = 0.0;
+    /** Eq. 2: attention-score GEMM operations (QK^T and attn*V). */
+    FlopCount attentionGemmOps = 0.0;
+    /** Eq. 3: linear projection GEMM operations (QKV + output). */
+    FlopCount linearGemmOps = 0.0;
+    /** Eq. 4: total forward GEMM operations. */
+    FlopCount forwardOps = 0.0;
+    /** Forward + backward (IG + WG) GEMM operations (3x forward). */
+    FlopCount trainingOps = 0.0;
+
+    /** Eq. 5: bytes of one serialized activation/error all-reduce. */
+    Bytes tpAllReduceBytes = 0.0;
+    /** All four serialized all-reduces of one layer. */
+    Bytes serializedCommBytes = 0.0;
+
+    /** DP weight-gradient bytes per layer per device. */
+    Bytes dpGradientBytes = 0.0;
+};
+
+/** Evaluate the closed forms for one model and parallel setup. */
+LayerComplexity layerComplexity(const model::Hyperparams &hp,
+                                const model::ParallelConfig &par,
+                                hw::Precision precision =
+                                    hw::Precision::FP16);
+
+/**
+ * Eq. 6 asymptotic form of compute's Amdahl's-law edge over
+ * serialized communication: (H + SL) / TP.
+ */
+double amdahlEdge(const model::Hyperparams &hp, int tp_degree);
+
+/**
+ * Exact edge: training GEMM ops per serialized all-reduce byte for
+ * one layer. Dimensionally FLOP/byte.
+ */
+double amdahlEdgeExact(const model::Hyperparams &hp,
+                       const model::ParallelConfig &par,
+                       hw::Precision precision = hw::Precision::FP16);
+
+/**
+ * Eq. 9 asymptotic form of compute's slack advantage over the
+ * overlapped DP gradient all-reduce: SL * B.
+ */
+double slackAdvantage(const model::Hyperparams &hp);
+
+/**
+ * Exact slack: backprop (WG + IG) GEMM ops per DP gradient byte for
+ * one layer. Dimensionally FLOP/byte.
+ */
+double slackAdvantageExact(const model::Hyperparams &hp,
+                           const model::ParallelConfig &par,
+                           hw::Precision precision =
+                               hw::Precision::FP16);
+
+} // namespace twocs::analytic
+
+#endif // TWOCS_ANALYTIC_COMPLEXITY_HH

@@ -1,0 +1,61 @@
+#include "pipeline.hh"
+
+#include "hw/efficiency.hh"
+#include "util/logging.hh"
+
+namespace twocs::analytic {
+
+PipelineCost
+pipelineCost(const model::Hyperparams &hp, const PipelineConfig &config,
+             const hw::LinkSpec &link, hw::Precision precision)
+{
+    hp.validate();
+    fatalIf(config.stages < 1, "pipeline needs >= 1 stage");
+    fatalIf(config.microBatches < 1, "pipeline needs >= 1 micro-batch");
+    fatalIf(link.bandwidth <= 0.0,
+            "pipeline link bandwidth must be positive");
+
+    PipelineCost c;
+    c.bubbleFraction =
+        static_cast<double>(config.stages - 1) /
+        static_cast<double>(config.microBatches + config.stages - 1);
+
+    // One micro-batch's boundary activation: B_micro x SL x H.
+    c.p2pBytesPerBoundary = hw::precisionBytes(precision) *
+                            static_cast<double>(hp.batchSize) *
+                            static_cast<double>(hp.sequenceLength) *
+                            static_cast<double>(hp.hidden);
+
+    const double eff = hw::linkEfficiency(c.p2pBytesPerBoundary);
+    c.p2pTimePerTransfer =
+        c.p2pBytesPerBoundary / (link.bandwidth * eff) + link.latency;
+
+    // Every micro-batch crosses each interior boundary once forward
+    // and once backward; a device on an interior stage sees two
+    // transfers per direction (receive + send), but per-device wire
+    // occupancy is one in and one out, which overlap on full-duplex
+    // links: charge send-side only.
+    const int interior = config.stages > 1 ? 2 : 0;
+    c.totalP2pTime =
+        interior * config.microBatches * c.p2pTimePerTransfer;
+    return c;
+}
+
+Seconds
+pipelineIterationTime(Seconds stage_time_per_microbatch,
+                      const PipelineConfig &config,
+                      Seconds p2p_per_transfer)
+{
+    fatalIf(stage_time_per_microbatch <= 0.0,
+            "stage time must be positive");
+    fatalIf(config.stages < 1 || config.microBatches < 1,
+            "invalid pipeline configuration");
+
+    // GPipe-style schedule: (m + s - 1) slots of one micro-batch
+    // stage time, plus a p2p hop per slot on the critical path.
+    const double slots = config.microBatches + config.stages - 1;
+    const double hop = config.stages > 1 ? 2.0 * p2p_per_transfer : 0.0;
+    return slots * (stage_time_per_microbatch + hop);
+}
+
+} // namespace twocs::analytic

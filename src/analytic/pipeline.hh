@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Pipeline-parallelism cost model (paper Section 6.1.2).
+ *
+ * Pipeline parallelism splits the layer stack into stages on
+ * different devices. It adds (a) point-to-point activation/error
+ * transfers between stages on the critical path, and (b) idle
+ * "bubbles" at pipeline fill/drain whose share shrinks with the
+ * micro-batch count — which is exactly why micro-batching demands
+ * large batch sizes, the memory/convergence tension the paper cites
+ * for excluding PP from its main study.
+ */
+
+#ifndef TWOCS_ANALYTIC_PIPELINE_HH
+#define TWOCS_ANALYTIC_PIPELINE_HH
+
+#include "hw/device_spec.hh"
+#include "model/hyperparams.hh"
+#include "util/units.hh"
+
+namespace twocs::analytic {
+
+/** A pipeline-parallel layout. */
+struct PipelineConfig
+{
+    /** Pipeline stages (devices along the depth dimension). */
+    int stages = 1;
+    /** Micro-batches per training iteration. */
+    int microBatches = 1;
+};
+
+/** Derived per-iteration pipeline costs. */
+struct PipelineCost
+{
+    /** Idle fraction of a GPipe/1F1B schedule:
+     *  (stages - 1) / (microBatches + stages - 1). */
+    double bubbleFraction = 0.0;
+    /** Activation bytes crossing one stage boundary per micro-batch
+     *  (errors cross back in the backward pass). */
+    Bytes p2pBytesPerBoundary = 0.0;
+    /** Wire time of one boundary crossing (one direction). */
+    Seconds p2pTimePerTransfer = 0.0;
+    /** Total p2p communication per device per iteration (forward +
+     *  backward transfers for every micro-batch). */
+    Seconds totalP2pTime = 0.0;
+};
+
+/**
+ * Cost of running `hp` (whose batchSize is the micro-batch size)
+ * through the given pipeline over `link`-class interconnect.
+ */
+PipelineCost pipelineCost(const model::Hyperparams &hp,
+                          const PipelineConfig &config,
+                          const hw::LinkSpec &link,
+                          hw::Precision precision = hw::Precision::FP16);
+
+/**
+ * Iteration wall-clock with pipelining: per-micro-batch stage time
+ * stretched by the bubble and the (serialized) p2p transfers.
+ */
+Seconds pipelineIterationTime(Seconds stage_time_per_microbatch,
+                              const PipelineConfig &config,
+                              Seconds p2p_per_transfer);
+
+} // namespace twocs::analytic
+
+#endif // TWOCS_ANALYTIC_PIPELINE_HH

@@ -1,0 +1,131 @@
+#include "trends.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytic/complexity.hh"
+#include "util/logging.hh"
+
+namespace twocs::analytic {
+
+namespace {
+
+/**
+ * Piecewise-linear device capacity (bytes) in a given year, from the
+ * catalog's year-sorted capacity envelope (the largest part of each
+ * year), extrapolated geometrically outside the covered range.
+ */
+double
+capacityInYear(const std::vector<hw::DeviceSpec> &devices, int year)
+{
+    fatalIf(devices.empty(), "capacityInYear() with an empty catalog");
+
+    // Build the per-year max-capacity envelope.
+    std::vector<std::pair<int, double>> env;
+    for (const hw::DeviceSpec &d : devices) {
+        auto it = std::find_if(env.begin(), env.end(),
+                               [&](const auto &p) {
+                                   return p.first == d.year;
+                               });
+        if (it == env.end())
+            env.emplace_back(d.year, d.memCapacity);
+        else
+            it->second = std::max(it->second, d.memCapacity);
+    }
+    std::sort(env.begin(), env.end());
+    // Capacity never regresses: carry the running maximum forward.
+    for (std::size_t i = 1; i < env.size(); ++i)
+        env[i].second = std::max(env[i].second, env[i - 1].second);
+
+    if (year <= env.front().first)
+        return env.front().second;
+    if (year >= env.back().first) {
+        // Geometric extrapolation using the overall catalog trend.
+        const double years = env.back().first - env.front().first;
+        const double growth =
+            years > 0
+                ? std::pow(env.back().second / env.front().second,
+                           1.0 / years)
+                : 1.0;
+        return env.back().second *
+               std::pow(growth, year - env.back().first);
+    }
+    for (std::size_t i = 1; i < env.size(); ++i) {
+        if (year <= env[i].first) {
+            const double t =
+                static_cast<double>(year - env[i - 1].first) /
+                (env[i].first - env[i - 1].first);
+            // Geometric interpolation between the two points.
+            return env[i - 1].second *
+                   std::pow(env[i].second / env[i - 1].second, t);
+        }
+    }
+    panic("capacityInYear() fell through the envelope");
+}
+
+} // namespace
+
+std::vector<MemoryTrendPoint>
+memoryTrend(const std::vector<model::ZooEntry> &zoo,
+            const std::vector<hw::DeviceSpec> &devices)
+{
+    fatalIf(zoo.empty(), "memoryTrend() with an empty zoo");
+
+    const double demand0 = zoo.front().hp.memoryDemandProxy();
+    const double cap0 = capacityInYear(devices, zoo.front().hp.year);
+
+    std::vector<MemoryTrendPoint> points;
+    points.reserve(zoo.size());
+    for (const model::ZooEntry &e : zoo) {
+        MemoryTrendPoint p;
+        p.name = e.hp.name;
+        p.year = e.hp.year;
+        p.demandProxyNorm = e.hp.memoryDemandProxy() / demand0;
+        p.capacityNorm = capacityInYear(devices, e.hp.year) / cap0;
+        p.gap = p.demandProxyNorm / p.capacityNorm;
+        points.push_back(p);
+    }
+    return points;
+}
+
+std::vector<AlgorithmicScalingPoint>
+algorithmicScaling(const std::vector<model::ZooEntry> &zoo)
+{
+    fatalIf(zoo.empty(), "algorithmicScaling() with an empty zoo");
+
+    const model::ZooEntry &base = zoo.front();
+    const double slack0 = slackAdvantage(base.hp);
+    const double edge0 = amdahlEdge(base.hp, base.assumedTpDegree);
+
+    std::vector<AlgorithmicScalingPoint> points;
+    points.reserve(zoo.size());
+    for (const model::ZooEntry &e : zoo) {
+        AlgorithmicScalingPoint p;
+        p.name = e.hp.name;
+        p.year = e.hp.year;
+        p.slackNorm = slackAdvantage(e.hp) / slack0;
+        p.edgeNorm = amdahlEdge(e.hp, e.assumedTpDegree) / edge0;
+        points.push_back(p);
+    }
+    return points;
+}
+
+TpRequirement
+requiredTp(const std::string &name, double size_billions, int year,
+           const model::TpAnchor &anchor, double capacity_scale_per_year)
+{
+    fatalIf(size_billions <= 0.0, "requiredTp() needs a positive size");
+    fatalIf(capacity_scale_per_year < 1.0,
+            "capacity scale per year must be >= 1");
+
+    TpRequirement r;
+    r.name = name;
+    r.modelSizeRatio = size_billions / anchor.sizeBillions;
+    const int dyears = std::max(0, year - anchor.year);
+    r.capacityScale = std::pow(capacity_scale_per_year, dyears);
+    r.tpScale = r.modelSizeRatio / r.capacityScale;
+    r.requiredTpDegree = anchor.tpDegree * r.tpScale;
+    return r;
+}
+
+} // namespace twocs::analytic

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Model-scaling and hardware-capacity trend analysis
+ * (paper Sections 3.5 and 4.3.2; Figures 6, 7 and 9(b)).
+ */
+
+#ifndef TWOCS_ANALYTIC_TRENDS_HH
+#define TWOCS_ANALYTIC_TRENDS_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/device_spec.hh"
+#include "model/zoo.hh"
+
+namespace twocs::analytic {
+
+/** One point on the Figure 6 trend lines. */
+struct MemoryTrendPoint
+{
+    std::string name;
+    int year = 0;
+    /** H * SL demand proxy, normalized to the first model. */
+    double demandProxyNorm = 0.0;
+    /** Device memory capacity in the same year, normalized. */
+    double capacityNorm = 0.0;
+    /** demand / capacity: the widening gap the paper highlights. */
+    double gap = 0.0;
+};
+
+/**
+ * Figure 6: the H*SL memory-demand proxy of each zoo model against
+ * the device-capacity trend line interpolated from the HW catalog.
+ */
+std::vector<MemoryTrendPoint> memoryTrend(
+    const std::vector<model::ZooEntry> &zoo,
+    const std::vector<hw::DeviceSpec> &devices);
+
+/** One bar pair of Figure 7. */
+struct AlgorithmicScalingPoint
+{
+    std::string name;
+    int year = 0;
+    /** SL * B slack, normalized to the first (BERT) entry. */
+    double slackNorm = 0.0;
+    /** (H + SL)/TP edge, normalized to the first entry. */
+    double edgeNorm = 0.0;
+};
+
+/**
+ * Figure 7: compute's algorithmic slack and edge for every zoo model,
+ * normalized to BERT. Reproduces the ~75% slack and ~80% edge drops.
+ */
+std::vector<AlgorithmicScalingPoint> algorithmicScaling(
+    const std::vector<model::ZooEntry> &zoo);
+
+/** Result of the Section 4.3.2 TP-requirement estimate. */
+struct TpRequirement
+{
+    std::string name;
+    /** p: model size over the Megatron-LM BERT anchor (3.9B). */
+    double modelSizeRatio = 0.0;
+    /** s: device-capacity scaling since the anchor year. */
+    double capacityScale = 0.0;
+    /** p / s: the Figure 9(b) TP scaling value. */
+    double tpScale = 0.0;
+    /** base_TP * p / s, the estimated required TP degree. */
+    double requiredTpDegree = 0.0;
+};
+
+/**
+ * Figure 9(b): required TP for a model of the given published size
+ * and year, anchored at Megatron-LM BERT (TP = 8, 3.9B, 2019).
+ * capacity_scale_per_year defaults to 1.5x, the paper-era HBM
+ * capacity trend; the resulting tpScale lands in the paper's
+ * 40-60x band for MT-NLG and PaLM.
+ */
+TpRequirement requiredTp(const std::string &name, double size_billions,
+                         int year,
+                         const model::TpAnchor &anchor =
+                             model::megatronBertAnchor(),
+                         double capacity_scale_per_year = 1.5);
+
+} // namespace twocs::analytic
+
+#endif // TWOCS_ANALYTIC_TRENDS_HH

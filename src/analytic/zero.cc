@@ -1,0 +1,65 @@
+#include "zero.hh"
+
+#include "util/logging.hh"
+
+namespace twocs::analytic {
+
+std::string
+zeroStageName(ZeroStage stage)
+{
+    switch (stage) {
+      case ZeroStage::None:
+        return "plain-dp";
+      case ZeroStage::OptimizerSharding:
+        return "zero-1";
+      case ZeroStage::GradientSharding:
+        return "zero-2";
+      case ZeroStage::ParameterSharding:
+        return "zero-3";
+    }
+    panic("unknown ZeRO stage");
+}
+
+ZeroCommCost
+zeroCommCost(const comm::CollectiveModel &collectives, Bytes model_bytes,
+             int dp_degree, ZeroStage stage)
+{
+    fatalIf(model_bytes <= 0.0, "zeroCommCost() needs positive bytes");
+    fatalIf(dp_degree < 2, "zeroCommCost() needs dp_degree >= 2");
+
+    ZeroCommCost cost;
+    const auto add = [&](const comm::CollectiveCost &c) {
+        cost.wireBytes += c.bytesOnWire;
+        cost.time += c.total;
+        ++cost.collectives;
+    };
+
+    switch (stage) {
+      case ZeroStage::None:
+      case ZeroStage::OptimizerSharding:
+        // Gradients all-reduced; stage 1 only changes where the
+        // optimizer state lives.
+        add(collectives.allReduce(model_bytes, dp_degree));
+        break;
+      case ZeroStage::GradientSharding:
+        // Reduce-scatter gradients to their owning shard, update
+        // there, all-gather the refreshed parameters.
+        add(collectives.reduceScatter(model_bytes, dp_degree));
+        add(collectives.allGather(model_bytes / dp_degree, dp_degree));
+        break;
+      case ZeroStage::ParameterSharding:
+        // Parameters re-gathered for the forward AND backward pass,
+        // gradients reduce-scattered: 1.5x plain-DP traffic.
+        add(collectives.allGather(model_bytes / dp_degree, dp_degree));
+        add(collectives.allGather(model_bytes / dp_degree, dp_degree));
+        add(collectives.reduceScatter(model_bytes, dp_degree));
+        break;
+    }
+
+    const Bytes plain =
+        collectives.allReduce(model_bytes, dp_degree).bytesOnWire;
+    cost.trafficVsPlainDp = cost.wireBytes / plain;
+    return cost;
+}
+
+} // namespace twocs::analytic

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ZeRO-style data-parallel state sharding (paper Section 6.1.3).
+ *
+ * ZeRO trades extra collective traffic for per-device memory: stage 1
+ * shards optimizer state, stage 2 additionally shards gradients
+ * (reduce-scatter + all-gather replace the all-reduce at equal wire
+ * volume), and stage 3 additionally shards parameters (parameters are
+ * re-gathered in both passes, 1.5x the baseline traffic). This module
+ * quantifies the communication side of that trade on our collective
+ * model; the memory side lives in model::MemoryOptions.
+ */
+
+#ifndef TWOCS_ANALYTIC_ZERO_HH
+#define TWOCS_ANALYTIC_ZERO_HH
+
+#include "comm/collectives.hh"
+#include "util/units.hh"
+
+namespace twocs::analytic {
+
+/** ZeRO optimization stages. */
+enum class ZeroStage
+{
+    None,              //!< plain DP: all-reduce gradients
+    OptimizerSharding, //!< stage 1: same traffic as plain DP
+    GradientSharding,  //!< stage 2: RS grads + AG params
+    ParameterSharding, //!< stage 3: AG params (fwd+bwd) + RS grads
+};
+
+std::string zeroStageName(ZeroStage stage);
+
+/** Per-device per-iteration DP communication under a ZeRO stage. */
+struct ZeroCommCost
+{
+    /** Bytes each device injects into the network. */
+    Bytes wireBytes = 0.0;
+    /** Total collective time (serialized view). */
+    Seconds time = 0.0;
+    /** Number of collective operations issued. */
+    int collectives = 0;
+    /** Traffic relative to plain DP's gradient all-reduce. */
+    double trafficVsPlainDp = 0.0;
+};
+
+/**
+ * Communication cost of synchronizing `model_bytes` of gradients /
+ * parameters across `dp_degree` replicas under the given stage.
+ */
+ZeroCommCost zeroCommCost(const comm::CollectiveModel &collectives,
+                          Bytes model_bytes, int dp_degree,
+                          ZeroStage stage);
+
+} // namespace twocs::analytic
+
+#endif // TWOCS_ANALYTIC_ZERO_HH

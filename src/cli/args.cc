@@ -1,0 +1,85 @@
+#include "args.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace twocs::cli {
+
+Args
+Args::parse(int argc, const char *const *argv)
+{
+    Args args;
+    int i = 1;
+    if (i < argc && argv[i][0] != '-')
+        args.command_ = argv[i++];
+
+    while (i < argc) {
+        const std::string key = argv[i];
+        fatalIf(key.size() < 3 || key.rfind("--", 0) != 0,
+                "expected an option of the form --key, got '", key,
+                "'");
+        fatalIf(i + 1 >= argc, "option '", key, "' is missing a value");
+        args.options_[key.substr(2)] = argv[i + 1];
+        i += 2;
+    }
+    return args;
+}
+
+bool
+Args::has(const std::string &key) const
+{
+    consumed_[key] = true;
+    return options_.count(key) > 0;
+}
+
+std::string
+Args::get(const std::string &key, const std::string &fallback) const
+{
+    consumed_[key] = true;
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t
+Args::getInt(const std::string &key, std::int64_t fallback) const
+{
+    consumed_[key] = true;
+    const auto it = options_.find(key);
+    if (it == options_.end())
+        return fallback;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    fatalIf(end == it->second.c_str() || *end != '\0',
+            "option --", key, " expects an integer, got '", it->second,
+            "'");
+    return v;
+}
+
+double
+Args::getDouble(const std::string &key, double fallback) const
+{
+    consumed_[key] = true;
+    const auto it = options_.find(key);
+    if (it == options_.end())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    fatalIf(end == it->second.c_str() || *end != '\0',
+            "option --", key, " expects a number, got '", it->second,
+            "'");
+    return v;
+}
+
+std::vector<std::string>
+Args::unusedKeys() const
+{
+    std::vector<std::string> unused;
+    for (const auto &[key, value] : options_) {
+        if (!consumed_.count(key))
+            unused.push_back(key);
+    }
+    return unused;
+}
+
+} // namespace twocs::cli

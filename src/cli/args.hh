@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A tiny dependency-free command-line argument parser for the twocs
+ * CLI: one positional command followed by `--key value` options.
+ */
+
+#ifndef TWOCS_CLI_ARGS_HH
+#define TWOCS_CLI_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace twocs::cli {
+
+/** Parsed command line. */
+class Args
+{
+  public:
+    /**
+     * Parse argv into a command plus options; fatal() on malformed
+     * input (an option without a value, or an unknown shape).
+     */
+    static Args parse(int argc, const char *const *argv);
+
+    /** The positional command ("analyze", "plan", ...); empty if
+     *  none was given. */
+    const std::string &command() const { return command_; }
+
+    bool has(const std::string &key) const;
+
+    /** String option with a default. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /** Integer option with a default; fatal() if non-numeric. */
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t fallback) const;
+
+    /** Double option with a default; fatal() if non-numeric. */
+    double getDouble(const std::string &key, double fallback) const;
+
+    /** Keys the program never consumed (for typo detection). */
+    std::vector<std::string> unusedKeys() const;
+
+  private:
+    std::string command_;
+    std::map<std::string, std::string> options_;
+    mutable std::map<std::string, bool> consumed_;
+};
+
+} // namespace twocs::cli
+
+#endif // TWOCS_CLI_ARGS_HH

@@ -1,0 +1,450 @@
+#include "commands.hh"
+
+#include <fstream>
+#include <iostream>
+
+#include "core/amdahl.hh"
+#include "core/case_study.hh"
+#include "core/cluster_sim.hh"
+#include "core/inference_study.hh"
+#include "core/planner.hh"
+#include "core/precision_study.hh"
+#include "core/slack.hh"
+#include "core/sweep.hh"
+#include "core/system_config.hh"
+#include "model/memory.hh"
+#include "model/zoo.hh"
+#include "profiling/roofline.hh"
+#include "sim/trace.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace twocs::cli {
+
+namespace {
+
+core::SystemConfig
+systemFrom(const Args &args)
+{
+    core::SystemConfig sys;
+    if (args.has("device"))
+        sys.device = hw::deviceByName(args.get("device"));
+    sys.flopScale = args.getDouble("flop-scale", 1.0);
+    sys.bwScale = args.getDouble("bw-scale", 1.0);
+    if (args.getInt("pin", 0) != 0)
+        sys.inNetworkReduction = true;
+    return sys;
+}
+
+hw::Precision
+precisionFrom(const Args &args)
+{
+    const std::string p = args.get("precision", "fp16");
+    if (p == "fp32")
+        return hw::Precision::FP32;
+    if (p == "fp16")
+        return hw::Precision::FP16;
+    if (p == "bf16")
+        return hw::Precision::BF16;
+    if (p == "fp8")
+        return hw::Precision::FP8;
+    fatal("unknown precision '", p, "' (fp32|fp16|bf16|fp8)");
+}
+
+int
+cmdZoo()
+{
+    TextTable t({ "model", "year", "layers", "H", "heads", "SL",
+                  "FC dim", "size (B)" });
+    for (const model::ZooEntry &e : model::modelZoo()) {
+        t.addRowOf(e.hp.name, e.hp.year, e.hp.numLayers,
+                   static_cast<long>(e.hp.hidden), e.hp.numHeads,
+                   static_cast<long>(e.hp.sequenceLength),
+                   static_cast<long>(e.hp.fcDim),
+                   e.publishedSizeBillions);
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    const core::SystemConfig sys = systemFrom(args);
+    const int tp = static_cast<int>(args.getInt("tp", 1));
+    const int dp = static_cast<int>(args.getInt("dp", 1));
+    model::Hyperparams hp =
+        model::zooModel(args.get("model", "BERT")).hp;
+    hp = hp.withCompatibleHeads(tp);
+    if (args.has("batch"))
+        hp = hp.withBatchSize(args.getInt("batch", hp.batchSize));
+
+    model::ParallelConfig par;
+    par.tpDegree = tp;
+    par.dpDegree = dp;
+    const model::LayerGraphBuilder graph(hp, par, precisionFrom(args));
+    const profiling::Profile p =
+        sys.profiler().profileIteration(graph);
+
+    TextTable t({ "component", "time", "share" });
+    const Seconds total = p.totalTime();
+    auto row = [&](const char *name, Seconds s) {
+        t.addRowOf(name, formatSeconds(s), formatPercent(s / total));
+    };
+    row("forward compute", p.timeByRole(model::OpRole::FwdCompute));
+    row("backward compute", p.timeByRole(model::OpRole::BwdCompute));
+    row("optimizer", p.timeByRole(model::OpRole::OptimizerStep));
+    row("serialized comm (TP/EP)", p.serializedCommTime());
+    row("DP gradient comm", p.dpCommTime());
+    t.print(std::cout);
+    std::cout << "iteration (serialized view): "
+              << formatSeconds(total) << "\n";
+    return 0;
+}
+
+int
+cmdProject(const Args &args)
+{
+    const core::SystemConfig sys = systemFrom(args);
+    core::AmdahlAnalysis analysis(sys);
+    const core::AmdahlPoint p = analysis.evaluate(
+        args.getInt("hidden", 16384), args.getInt("seqlen", 2048),
+        args.getInt("batch", 1),
+        static_cast<int>(args.getInt("tp", 64)));
+    std::cout << "compute " << formatSeconds(p.computeTime)
+              << ", serialized comm "
+              << formatSeconds(p.serializedCommTime)
+              << " -> comm fraction "
+              << formatPercent(p.commFraction()) << "\n";
+    return 0;
+}
+
+int
+cmdSlack(const Args &args)
+{
+    core::SlackAnalysis analysis(systemFrom(args));
+    const core::SlackPoint p = analysis.evaluate(
+        args.getInt("hidden", 16384), args.getInt("slb", 4096),
+        args.getInt("batch", 1));
+    std::cout << "backprop compute "
+              << formatSeconds(p.backpropComputeTime)
+              << ", DP all-reduce " << formatSeconds(p.dpCommTime)
+              << " -> overlap "
+              << formatPercent(p.overlappedCommVsCompute())
+              << (p.commExposed() ? " (EXPOSED)" : " (hidden)")
+              << "\n";
+    return 0;
+}
+
+int
+cmdMemory(const Args &args)
+{
+    const core::SystemConfig sys = systemFrom(args);
+    const model::Hyperparams hp =
+        model::zooModel(args.get("model", "GPT-3")).hp;
+
+    if (args.has("tp")) {
+        const int tp = static_cast<int>(args.getInt("tp", 1));
+        model::ParallelConfig par;
+        par.tpDegree = tp;
+        const model::MemoryModel mm(hp.withCompatibleHeads(tp), par,
+                                    precisionFrom(args));
+        const model::MemoryBreakdown b = mm.perDeviceFootprint();
+        TextTable t({ "component", "bytes" });
+        t.addRowOf("weights", formatBytes(b.weights));
+        t.addRowOf("gradients", formatBytes(b.gradients));
+        t.addRowOf("optimizer state", formatBytes(b.optimizerState));
+        t.addRowOf("activations", formatBytes(b.activations));
+        t.addRowOf("total", formatBytes(b.total()));
+        t.print(std::cout);
+        std::cout << (mm.fitsIn(sys.effectiveDevice()) ? "fits on "
+                                                       : "DOES NOT fit on ")
+                  << sys.device.name << "\n";
+    } else {
+        const int tp =
+            model::MemoryModel::minTpDegree(hp, sys.effectiveDevice());
+        std::cout << hp.name << " needs TP >= " << tp << " on "
+                  << sys.device.name << "\n";
+    }
+    return 0;
+}
+
+int
+cmdPlan(const Args &args)
+{
+    const core::SystemConfig sys = systemFrom(args);
+    const model::Hyperparams hp =
+        model::zooModel(args.get("model", "MT-NLG")).hp;
+
+    core::PlannerOptions opts;
+    opts.maxDevices =
+        static_cast<int>(args.getInt("max-devices", 2048));
+    opts.microBatches =
+        static_cast<int>(args.getInt("micro-batches", 16));
+
+    core::LayoutPlanner planner(sys, hp, precisionFrom(args));
+    const auto layouts = planner.enumerate(opts);
+    fatalIf(layouts.empty(), "no feasible layout for ", hp.name,
+            " within ", opts.maxDevices, " devices");
+
+    TextTable t({ "TP", "PP", "DP", "devices", "recompute",
+                  "iteration", "comm fraction", "tokens/s" });
+    const std::size_t show = std::min<std::size_t>(layouts.size(), 8);
+    for (std::size_t i = 0; i < show; ++i) {
+        const auto &c = layouts[i];
+        t.addRowOf(c.tpDegree, c.pipelineStages, c.dpDegree,
+                   c.totalDevices(), c.recompute ? "yes" : "no",
+                   formatSeconds(c.iterationTime),
+                   formatPercent(c.commFraction()),
+                   c.tokensPerSecond);
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdCluster(const Args &args)
+{
+    core::ClusterSim sim;
+    core::ClusterSimConfig cfg;
+    cfg.hidden = args.getInt("hidden", 8192);
+    cfg.seqLen = args.getInt("seqlen", 2048);
+    cfg.tpDegree = static_cast<int>(args.getInt("tp", 8));
+    cfg.numLayers = static_cast<int>(args.getInt("layers", 4));
+    cfg.computeJitter = args.getDouble("jitter", 0.0);
+    cfg.seed = args.getInt("seed", 1);
+    cfg.system = systemFrom(args);
+
+    const core::ClusterSimResult r = sim.run(cfg);
+    TextTable t({ "quantity", "value" });
+    t.addRowOf("iteration (explicit group)",
+               formatSeconds(r.iterationTime));
+    t.addRowOf("compute / device",
+               formatSeconds(r.computeTimePerDevice));
+    t.addRowOf("ring comm / device",
+               formatSeconds(r.commTimePerDevice));
+    t.addRowOf("stall / device", formatSeconds(r.stallTimePerDevice));
+    t.addRowOf("comm fraction", formatPercent(r.commFraction()));
+    t.addRowOf("stall fraction", formatPercent(r.stallFraction()));
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    // Regenerate the Figure 10 or 11 data grid, optionally as CSV.
+    const std::int64_t figure = args.getInt("figure", 10);
+    const bool csv = args.getInt("csv", 0) != 0;
+    const core::SystemConfig sys = systemFrom(args);
+    const core::SweepSpace space = core::table3();
+
+    if (figure == 10) {
+        core::AmdahlAnalysis analysis(sys);
+        TextTable t({ "H", "SL", "TP", "comm_fraction" });
+        for (const core::ModelLine &line : core::figure10Lines()) {
+            for (int tp : space.tpDegrees) {
+                const auto p = analysis.evaluate(line.hidden,
+                                                 line.seqLen, 1, tp);
+                t.addRowOf(static_cast<long>(line.hidden),
+                           static_cast<long>(line.seqLen), tp,
+                           p.commFraction());
+            }
+        }
+        csv ? t.printCsv(std::cout) : t.print(std::cout);
+    } else if (figure == 11) {
+        core::SlackAnalysis analysis(sys);
+        TextTable t({ "H", "SL_x_B", "overlap_vs_compute" });
+        for (std::int64_t h : space.hiddens) {
+            for (std::int64_t sl : space.seqLens) {
+                for (std::int64_t b : space.batches) {
+                    const auto p = analysis.evaluate(h, sl, b);
+                    t.addRowOf(static_cast<long>(h),
+                               static_cast<long>(p.slTimesB()),
+                               p.overlappedCommVsCompute());
+                }
+            }
+        }
+        csv ? t.printCsv(std::cout) : t.print(std::cout);
+    } else {
+        fatal("--figure must be 10 or 11, got ", figure);
+    }
+    return 0;
+}
+
+int
+cmdInference(const Args &args)
+{
+    core::InferenceStudy study(systemFrom(args));
+    const std::int64_t h = args.getInt("hidden", 12288);
+    const std::int64_t ctx = args.getInt("context", 2048);
+    const std::int64_t b = args.getInt("batch", 1);
+
+    TextTable t({ "phase", "TP", "comm fraction",
+                  "per-token latency" });
+    for (int tp : { 1, 2, 4, 8, 16 }) {
+        const auto pre = study.prefill(h, ctx, b, tp);
+        const auto dec = study.decodeStep(h, ctx, b, tp);
+        t.addRowOf("prefill", tp, formatPercent(pre.commFraction()),
+                   "-");
+        t.addRowOf("decode", tp, formatPercent(dec.commFraction()),
+                   formatSeconds(dec.tokenLatency()));
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdPrecision(const Args &args)
+{
+    const auto points = core::precisionStudy(
+        systemFrom(args), args.getInt("hidden", 16384),
+        args.getInt("seqlen", 2048), args.getInt("batch", 1),
+        static_cast<int>(args.getInt("tp", 64)));
+    TextTable t({ "precision", "compute", "serialized comm",
+                  "comm fraction" });
+    for (const auto &p : points) {
+        t.addRowOf(hw::precisionName(p.precision),
+                   formatSeconds(p.computeTime),
+                   formatSeconds(p.serializedCommTime),
+                   formatPercent(p.commFraction()));
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdRoofline(const Args &args)
+{
+    const core::SystemConfig sys = systemFrom(args);
+    const int tp = static_cast<int>(args.getInt("tp", 1));
+    const hw::Precision prec = precisionFrom(args);
+    const model::Hyperparams hp = model::zooModel(
+                                      args.get("model", "BERT"))
+                                      .hp.withCompatibleHeads(tp);
+    model::ParallelConfig par;
+    par.tpDegree = tp;
+    const model::LayerGraphBuilder graph(hp, par, prec);
+    const profiling::Profile profile =
+        sys.profiler().profileLayer(graph, 0);
+    const hw::DeviceSpec dev = sys.effectiveDevice();
+    const profiling::RooflineSummary summary =
+        profiling::rooflineSummary(dev, profile, prec);
+
+    TextTable t({ "kernel", "FLOP/byte", "attained", "ceiling frac",
+                  "bound" });
+    for (const auto &p : summary.points) {
+        t.addRowOf(p.label, p.arithmeticIntensity,
+                   formatRate(p.attainedFlops, "FLOP"),
+                   formatPercent(p.ceilingFraction),
+                   p.computeBound ? "compute" : "memory");
+    }
+    t.print(std::cout);
+    std::cout << "ridge point: "
+              << profiling::ridgePoint(dev, prec)
+              << " FLOP/byte; compute-bound time share "
+              << formatPercent(summary.computeBoundTimeShare) << "\n";
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    core::CaseStudy study;
+    core::CaseStudyConfig cfg;
+    const model::Hyperparams hp =
+        model::zooModel(args.get("model", "BERT")).hp;
+    cfg.hidden = args.getInt("hidden", hp.hidden);
+    cfg.seqLen = args.getInt("seqlen", hp.sequenceLength);
+    cfg.batch = args.getInt("batch", hp.batchSize);
+    cfg.tpDegree = static_cast<int>(args.getInt("tp", 8));
+    cfg.dpDegree = static_cast<int>(args.getInt("dp", 2));
+    cfg.system = systemFrom(args);
+
+    const std::string out = args.get("out", "trace.json");
+    std::ofstream os(out);
+    fatalIf(!os, "cannot open '", out, "' for writing");
+    sim::exportChromeTrace(study.buildSchedule(cfg), os);
+    std::cout << "wrote " << out
+              << " (open in a Chrome-trace/Perfetto viewer)\n";
+    return 0;
+}
+
+} // namespace
+
+void
+printUsage()
+{
+    std::cout <<
+        "usage: twocs <command> [--key value ...]\n"
+        "\n"
+        "commands:\n"
+        "  zoo       print the Table 2 model zoo\n"
+        "  analyze   profile a training iteration\n"
+        "            --model NAME --tp N --dp N [--batch B]\n"
+        "  project   operator-model projection of a future model\n"
+        "            --hidden H --seqlen SL --batch B --tp N\n"
+        "  slack     overlapped-comm slack analysis\n"
+        "            --hidden H --slb SL*B [--batch B]\n"
+        "  memory    per-device footprint / minimum TP\n"
+        "            --model NAME [--tp N]\n"
+        "  plan      rank (TP, PP, DP) layouts by throughput\n"
+        "            --model NAME [--max-devices N]\n"
+        "  cluster   explicit multi-device group simulation\n"
+        "            [--tp N --jitter X --layers L]\n"
+        "  sweep     regenerate a figure's data grid\n"
+        "            --figure 10|11 [--csv 1]\n"
+        "  inference prefill vs decode Comp-vs-Comm under TP\n"
+        "            [--hidden H --context N --batch B]\n"
+        "  precision comm fraction across number formats\n"
+        "            [--hidden H --seqlen SL --tp N]\n"
+        "  roofline  place one layer's kernels on the roofline\n"
+        "            --model NAME [--tp N]\n"
+        "  trace     export a timeline as Chrome-trace JSON\n"
+        "            --model NAME --tp N --dp N [--out FILE]\n"
+        "\n"
+        "common options: --device NAME, --precision fp32|fp16|fp8,\n"
+        "                --flop-scale X, --bw-scale X, --pin 1\n";
+}
+
+int
+runCommand(const Args &args)
+{
+    const std::string &cmd = args.command();
+    int rc = 0;
+    if (cmd == "zoo") {
+        rc = cmdZoo();
+    } else if (cmd == "analyze") {
+        rc = cmdAnalyze(args);
+    } else if (cmd == "project") {
+        rc = cmdProject(args);
+    } else if (cmd == "slack") {
+        rc = cmdSlack(args);
+    } else if (cmd == "memory") {
+        rc = cmdMemory(args);
+    } else if (cmd == "plan") {
+        rc = cmdPlan(args);
+    } else if (cmd == "cluster") {
+        rc = cmdCluster(args);
+    } else if (cmd == "sweep") {
+        rc = cmdSweep(args);
+    } else if (cmd == "inference") {
+        rc = cmdInference(args);
+    } else if (cmd == "precision") {
+        rc = cmdPrecision(args);
+    } else if (cmd == "roofline") {
+        rc = cmdRoofline(args);
+    } else if (cmd == "trace") {
+        rc = cmdTrace(args);
+    } else {
+        printUsage();
+        return cmd.empty() ? 0 : 2;
+    }
+
+    for (const std::string &key : args.unusedKeys())
+        warn("unused option --", key);
+    return rc;
+}
+
+} // namespace twocs::cli

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * twocs CLI commands. Each command maps one library analysis onto a
+ * terminal workflow:
+ *
+ *   twocs zoo
+ *   twocs analyze  --model GPT-3 --tp 16 --dp 4 [--flop-scale 2]
+ *   twocs project  --hidden 65536 --seqlen 4096 --tp 256 [--flop-scale 4]
+ *   twocs slack    --hidden 16384 --slb 4096 [--flop-scale 4]
+ *   twocs memory   --model MT-NLG [--tp 128]
+ *   twocs plan     --model MT-NLG [--max-devices 2048]
+ *   twocs trace    --model BERT --tp 4 --dp 2 --out trace.json
+ */
+
+#ifndef TWOCS_CLI_COMMANDS_HH
+#define TWOCS_CLI_COMMANDS_HH
+
+#include "cli/args.hh"
+
+namespace twocs::cli {
+
+/** Dispatch a parsed command line; returns the process exit code. */
+int runCommand(const Args &args);
+
+/** Print the usage text. */
+void printUsage();
+
+} // namespace twocs::cli
+
+#endif // TWOCS_CLI_COMMANDS_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * twocs command-line entry point.
+ */
+
+#include <exception>
+#include <iostream>
+
+#include "cli/args.hh"
+#include "cli/commands.hh"
+#include "util/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace twocs;
+    try {
+        return cli::runCommand(cli::Args::parse(argc, argv));
+    } catch (const FatalError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "internal error: " << e.what() << "\n";
+        return 70;
+    }
+}

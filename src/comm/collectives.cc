@@ -1,0 +1,283 @@
+#include "collectives.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace twocs::comm {
+
+std::string
+collectiveKindName(CollectiveKind kind)
+{
+    switch (kind) {
+      case CollectiveKind::AllReduce:
+        return "all_reduce";
+      case CollectiveKind::AllGather:
+        return "all_gather";
+      case CollectiveKind::ReduceScatter:
+        return "reduce_scatter";
+      case CollectiveKind::Broadcast:
+        return "broadcast";
+      case CollectiveKind::AllToAll:
+        return "all_to_all";
+    }
+    panic("unknown collective kind");
+}
+
+CollectiveModel::CollectiveModel(hw::Topology topology,
+                                 hw::LinkEfficiencyParams link_params)
+    : topology_(std::move(topology)), linkParams_(link_params)
+{
+}
+
+void
+CollectiveModel::setInNetworkReduction(bool enabled)
+{
+    inNetworkReduction_ = enabled;
+}
+
+namespace {
+
+void
+checkArgs(Bytes bytes, int participants)
+{
+    fatalIf(bytes <= 0.0, "collective with non-positive payload");
+    fatalIf(participants < 2,
+            "collective needs >= 2 participants, got ", participants);
+}
+
+} // namespace
+
+Seconds
+CollectiveModel::intraWireTime(Bytes wire_bytes_per_device) const
+{
+    const int rings = topology_.parallelRings();
+    const Bytes per_ring = wire_bytes_per_device / rings;
+    const double eff = hw::linkEfficiency(per_ring, linkParams_);
+    return per_ring / (topology_.intraLink().bandwidth * eff);
+}
+
+CollectiveCost
+CollectiveModel::allReduce(Bytes bytes, int participants) const
+{
+    checkArgs(bytes, participants);
+
+    if (topology_.crossesNodes() &&
+        participants > topology_.devicesPerNode()) {
+        return hierarchicalAllReduce(bytes, participants);
+    }
+
+    CollectiveCost c;
+    const double p = participants;
+
+    if (inNetworkReduction_) {
+        // Devices push data to the reducing switch and receive the
+        // result: bytes cross each device's port once each way.
+        c.steps = 2;
+        c.bytesOnWire = bytes;
+    } else {
+        // Ring: reduce-scatter then all-gather, (P-1) steps each,
+        // chunk of S/P bytes per step.
+        c.steps = 2 * (participants - 1);
+        c.bytesOnWire = 2.0 * bytes * (p - 1.0) / p;
+    }
+
+    c.wireTime = intraWireTime(c.bytesOnWire);
+    c.latencyTime = c.steps * topology_.intraLink().latency;
+    c.total = c.wireTime + c.latencyTime;
+    return c;
+}
+
+CollectiveCost
+CollectiveModel::treeAllReduce(Bytes bytes, int participants) const
+{
+    checkArgs(bytes, participants);
+
+    int levels = 0;
+    for (int span = 1; span < participants; span *= 2)
+        ++levels;
+
+    CollectiveCost c;
+    // Reduce up the tree then broadcast down: each level moves the
+    // full payload across one link per participating device pair.
+    c.steps = 2 * levels;
+    c.bytesOnWire = 2.0 * levels * bytes;
+    // A node talks to one child at a time: a single link (no
+    // multi-ring striping), so small payloads still pay less latency
+    // than the ring's 2(P-1) steps.
+    const double eff = hw::linkEfficiency(bytes, linkParams_);
+    c.wireTime = c.bytesOnWire /
+                 (topology_.intraLink().bandwidth * eff);
+    c.latencyTime = c.steps * topology_.intraLink().latency;
+    c.total = c.wireTime + c.latencyTime;
+    return c;
+}
+
+CollectiveCost
+CollectiveModel::allReduceAuto(Bytes bytes, int participants) const
+{
+    const CollectiveCost ring = allReduce(bytes, participants);
+    const CollectiveCost tree = treeAllReduce(bytes, participants);
+    return tree.total < ring.total ? tree : ring;
+}
+
+Bytes
+CollectiveModel::ringTreeCrossover(int participants) const
+{
+    fatalIf(participants < 2, "crossover needs >= 2 participants");
+    Bytes lo = 64.0;      // tree certainly wins here
+    Bytes hi = 16.0e9;    // ring certainly wins here
+    if (treeAllReduce(lo, participants).total >=
+        allReduce(lo, participants).total) {
+        return 0.0; // ring wins everywhere
+    }
+    if (treeAllReduce(hi, participants).total <
+        allReduce(hi, participants).total) {
+        return hi; // tree wins across the whole studied range
+    }
+    for (int i = 0; i < 60 && hi / lo > 1.01; ++i) {
+        const Bytes mid = std::sqrt(lo * hi);
+        if (treeAllReduce(mid, participants).total <
+            allReduce(mid, participants).total) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return hi;
+}
+
+CollectiveCost
+CollectiveModel::allGather(Bytes bytes, int participants) const
+{
+    checkArgs(bytes, participants);
+
+    CollectiveCost c;
+    const double p = participants;
+    c.steps = participants - 1;
+    // Each device forwards every peer's contribution once.
+    c.bytesOnWire = bytes * (p - 1.0);
+    c.wireTime = intraWireTime(c.bytesOnWire);
+    c.latencyTime = c.steps * topology_.intraLink().latency;
+    c.total = c.wireTime + c.latencyTime;
+    return c;
+}
+
+CollectiveCost
+CollectiveModel::reduceScatter(Bytes bytes, int participants) const
+{
+    checkArgs(bytes, participants);
+
+    CollectiveCost c;
+    const double p = participants;
+    c.steps = participants - 1;
+    c.bytesOnWire = bytes * (p - 1.0) / p;
+    c.wireTime = intraWireTime(c.bytesOnWire);
+    c.latencyTime = c.steps * topology_.intraLink().latency;
+    c.total = c.wireTime + c.latencyTime;
+    return c;
+}
+
+CollectiveCost
+CollectiveModel::broadcast(Bytes bytes, int participants) const
+{
+    checkArgs(bytes, participants);
+
+    CollectiveCost c;
+    // Pipelined ring broadcast: wire time for one payload traversal
+    // plus a pipeline fill of P-2 hops.
+    c.steps = participants - 1;
+    c.bytesOnWire = bytes;
+    c.wireTime = intraWireTime(c.bytesOnWire);
+    c.latencyTime = c.steps * topology_.intraLink().latency;
+    c.total = c.wireTime + c.latencyTime;
+    return c;
+}
+
+CollectiveCost
+CollectiveModel::allToAll(Bytes bytes, int participants) const
+{
+    checkArgs(bytes, participants);
+
+    CollectiveCost c;
+    const double p = participants;
+    c.steps = participants - 1;
+    // Each device keeps its own 1/P shard and sends the rest.
+    c.bytesOnWire = bytes * (p - 1.0) / p;
+    c.wireTime = intraWireTime(c.bytesOnWire);
+    c.latencyTime = c.steps * topology_.intraLink().latency;
+    c.total = c.wireTime + c.latencyTime;
+    return c;
+}
+
+CollectiveCost
+CollectiveModel::hierarchicalAllReduce(Bytes bytes, int participants) const
+{
+    fatalIf(bytes <= 0.0, "collective with non-positive payload");
+    fatalIf(!topology_.crossesNodes(),
+            "hierarchicalAllReduce() on a single-node topology");
+
+    if (participants == 0)
+        participants = topology_.numDevices();
+    const int per_node = topology_.devicesPerNode();
+    fatalIf(participants % per_node != 0,
+            "hierarchical all-reduce participants (", participants,
+            ") must be a multiple of devices per node (", per_node, ")");
+    const int nodes = participants / per_node;
+    fatalIf(nodes < 2, "hierarchical all-reduce needs >= 2 nodes");
+
+    CollectiveCost c;
+
+    // Phase 1: intra-node reduce-scatter.
+    const CollectiveCost rs =
+        per_node >= 2 ? reduceScatter(bytes, per_node) : CollectiveCost{};
+
+    // Phase 2: inter-node all-reduce of the local shard.
+    const Bytes shard = bytes / per_node;
+    const double n = nodes;
+    const Bytes inter_wire = 2.0 * shard * (n - 1.0) / n;
+    const double inter_eff = hw::linkEfficiency(inter_wire, linkParams_);
+    const Seconds inter_wire_time =
+        inter_wire / (topology_.interNodeBandwidth() * inter_eff);
+    const Seconds inter_latency =
+        2.0 * (nodes - 1) * topology_.interLink().latency;
+
+    // Phase 3: intra-node all-gather of the reduced shards.
+    const CollectiveCost ag =
+        per_node >= 2 ? allGather(shard, per_node) : CollectiveCost{};
+
+    c.steps = rs.steps + 2 * (nodes - 1) + ag.steps;
+    c.bytesOnWire = rs.bytesOnWire + inter_wire + ag.bytesOnWire;
+    c.wireTime = rs.wireTime + inter_wire_time + ag.wireTime;
+    c.latencyTime = rs.latencyTime + inter_latency + ag.latencyTime;
+    c.total = c.wireTime + c.latencyTime;
+    return c;
+}
+
+CollectiveCost
+CollectiveModel::cost(const CollectiveDesc &desc) const
+{
+    switch (desc.kind) {
+      case CollectiveKind::AllReduce:
+        return allReduce(desc.bytes, desc.participants);
+      case CollectiveKind::AllGather:
+        return allGather(desc.bytes, desc.participants);
+      case CollectiveKind::ReduceScatter:
+        return reduceScatter(desc.bytes, desc.participants);
+      case CollectiveKind::Broadcast:
+        return broadcast(desc.bytes, desc.participants);
+      case CollectiveKind::AllToAll:
+        return allToAll(desc.bytes, desc.participants);
+    }
+    panic("unknown collective kind");
+}
+
+ByteRate
+CollectiveModel::achievedAllReduceBandwidth(Bytes bytes,
+                                            int participants) const
+{
+    const CollectiveCost c = allReduce(bytes, participants);
+    return c.bytesOnWire / c.total;
+}
+
+} // namespace twocs::comm

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Communication-collective cost models over a hardware topology.
+ *
+ * This is the RCCL/NCCL stand-in: bandwidth-optimal ring algorithms
+ * (all-reduce = reduce-scatter + all-gather), plus the collectives
+ * needed by the paper's extensions (all-gather and reduce-scatter for
+ * ZeRO-style techniques, all-to-all for expert parallelism, broadcast)
+ * and a hierarchical all-reduce for multi-node setups. Costs combine
+ * per-step link latency with a message-size bandwidth ramp, matching
+ * the saturation behaviour of Figure 15(c).
+ */
+
+#ifndef TWOCS_COMM_COLLECTIVES_HH
+#define TWOCS_COMM_COLLECTIVES_HH
+
+#include <string>
+
+#include "hw/efficiency.hh"
+#include "hw/topology.hh"
+#include "util/units.hh"
+
+namespace twocs::comm {
+
+/** The collective operations the model understands. */
+enum class CollectiveKind
+{
+    AllReduce,
+    AllGather,
+    ReduceScatter,
+    Broadcast,
+    AllToAll,
+};
+
+/** Human-readable name ("all_reduce", ...). */
+std::string collectiveKindName(CollectiveKind kind);
+
+/** One collective invocation. */
+struct CollectiveDesc
+{
+    CollectiveKind kind = CollectiveKind::AllReduce;
+    /** Payload bytes per device (the tensor being reduced/moved). */
+    Bytes bytes = 0.0;
+    /** Number of participating devices. */
+    int participants = 0;
+};
+
+/** Cost breakdown of one collective. */
+struct CollectiveCost
+{
+    Seconds total = 0.0;
+    /** Bandwidth-bound portion. */
+    Seconds wireTime = 0.0;
+    /** Per-step latency portion. */
+    Seconds latencyTime = 0.0;
+    /** Bytes each device injects into the network. */
+    Bytes bytesOnWire = 0.0;
+    /** Algorithm steps (ring stages). */
+    int steps = 0;
+};
+
+/**
+ * Cost model for collectives executed on a Topology.
+ *
+ * Projection setups (any TP degree on the measured node fabric) use
+ * the intra-node ring path; topologies that cross nodes route through
+ * hierarchicalAllReduce() automatically.
+ */
+class CollectiveModel
+{
+  public:
+    explicit CollectiveModel(hw::Topology topology,
+                             hw::LinkEfficiencyParams link_params = {});
+
+    const hw::Topology &topology() const { return topology_; }
+
+    /**
+     * Enable processing-in-network reduction (paper Section 5,
+     * Technique 2): switches halve the all-reduce wire traffic,
+     * doubling effective bandwidth.
+     */
+    void setInNetworkReduction(bool enabled);
+    bool inNetworkReduction() const { return inNetworkReduction_; }
+
+    /** Dispatch on the descriptor's kind. */
+    CollectiveCost cost(const CollectiveDesc &desc) const;
+
+    /** Ring all-reduce of `bytes` across `participants` devices. */
+    CollectiveCost allReduce(Bytes bytes, int participants) const;
+
+    /**
+     * Binary-tree all-reduce (reduce up, broadcast down): 2*ceil(lg P)
+     * steps each moving the full payload — latency-optimal where the
+     * ring is bandwidth-optimal. Collective libraries pick per size;
+     * see allReduceAuto().
+     */
+    CollectiveCost treeAllReduce(Bytes bytes, int participants) const;
+
+    /** NCCL/RCCL-style algorithm selection: the cheaper of ring and
+     *  tree for this payload and group size. */
+    CollectiveCost allReduceAuto(Bytes bytes, int participants) const;
+
+    /** Payload below which the tree beats the ring for this group
+     *  size (bisected; 0 when the ring always wins). */
+    Bytes ringTreeCrossover(int participants) const;
+
+    /** Ring all-gather; bytes = per-device contribution. */
+    CollectiveCost allGather(Bytes bytes, int participants) const;
+
+    /** Ring reduce-scatter; bytes = full tensor size. */
+    CollectiveCost reduceScatter(Bytes bytes, int participants) const;
+
+    /** Pipelined ring broadcast of `bytes`. */
+    CollectiveCost broadcast(Bytes bytes, int participants) const;
+
+    /** All-to-all exchange; bytes = per-device send total. */
+    CollectiveCost allToAll(Bytes bytes, int participants) const;
+
+    /**
+     * Reduce-scatter within each node, all-reduce of shards across
+     * nodes, all-gather within each node. Used automatically when an
+     * all-reduce spans more devices than one node holds
+     * (Section 4.3.7). `participants` defaults to every device.
+     */
+    CollectiveCost hierarchicalAllReduce(Bytes bytes,
+                                         int participants = 0) const;
+
+    /**
+     * Effective achieved all-reduce bandwidth for a payload:
+     * algorithm bytes-on-wire / time. Saturates near the topology's
+     * ring bandwidth for large payloads.
+     */
+    ByteRate achievedAllReduceBandwidth(Bytes bytes,
+                                        int participants) const;
+
+  private:
+    /** Bandwidth time for per-device wire bytes on the intra fabric. */
+    Seconds intraWireTime(Bytes wire_bytes_per_device) const;
+
+    hw::Topology topology_;
+    hw::LinkEfficiencyParams linkParams_;
+    bool inNetworkReduction_ = false;
+};
+
+} // namespace twocs::comm
+
+#endif // TWOCS_COMM_COLLECTIVES_HH

@@ -1,0 +1,87 @@
+#include "ring_sim.hh"
+
+#include <algorithm>
+
+#include "hw/efficiency.hh"
+#include "util/logging.hh"
+
+namespace twocs::comm {
+
+RingSimResult
+simulateRingAllReduce(const hw::Topology &topology, Bytes payload,
+                      const std::vector<Seconds> &arrival_times,
+                      const hw::LinkEfficiencyParams &link_params)
+{
+    const int p = static_cast<int>(arrival_times.size());
+    fatalIf(p < 2, "ring simulation needs >= 2 devices");
+    fatalIf(payload <= 0.0, "ring simulation needs a payload");
+    for (Seconds t : arrival_times)
+        fatalIf(t < 0.0, "arrival times must be non-negative");
+
+    // Per-step transfer: each device forwards one chunk of S/P bytes
+    // over its share of the parallel rings.
+    const int rings = topology.parallelRings();
+    const Bytes chunk = payload / p;
+    const Bytes per_ring = chunk / rings;
+    // Utilization follows the device's total per-step payload.
+    const double eff = hw::linkEfficiency(
+        std::max(per_ring, 1.0), link_params);
+    const Seconds step_wire =
+        per_ring / (topology.intraLink().bandwidth * eff);
+    const Seconds step_time =
+        step_wire + topology.intraLink().latency;
+    const int steps = 2 * (p - 1);
+
+    sim::EventSimulator des;
+    std::vector<sim::ResourceId> comm(p);
+    std::vector<sim::TaskId> arrive(p);
+    for (int d = 0; d < p; ++d) {
+        comm[d] = des.addResource("dev" + std::to_string(d));
+        // Arrival modelled as a zero-successor task of length
+        // arrival_times[d] on the device's stream.
+        arrive[d] = des.addTask("arrive", "arrive", comm[d],
+                                arrival_times[d]);
+    }
+
+    // step s on device d needs: own previous step, and the upstream
+    // neighbour's previous step (the chunk it is about to forward).
+    std::vector<sim::TaskId> prev = arrive;
+    for (int s = 0; s < steps; ++s) {
+        std::vector<sim::TaskId> cur(p);
+        for (int d = 0; d < p; ++d) {
+            const int upstream = (d + p - 1) % p;
+            std::vector<sim::TaskId> deps = { prev[d],
+                                              prev[upstream] };
+            cur[d] = des.addTask("step" + std::to_string(s),
+                                 "ring_step", comm[d], step_time,
+                                 deps);
+        }
+        prev = std::move(cur);
+    }
+
+    RingSimResult result;
+    result.schedule = des.run();
+    result.deviceFinish.resize(p);
+    Seconds latest_arrival = 0.0;
+    Seconds earliest_arrival = 1e300;
+    for (int d = 0; d < p; ++d) {
+        result.deviceFinish[d] =
+            result.schedule.placement(prev[d]).end;
+        result.finishTime =
+            std::max(result.finishTime, result.deviceFinish[d]);
+        latest_arrival = std::max(latest_arrival, arrival_times[d]);
+        earliest_arrival =
+            std::min(earliest_arrival, arrival_times[d]);
+    }
+    result.collectiveTime = result.finishTime - latest_arrival;
+    // The earliest device is done computing at earliest_arrival but
+    // cannot finish before finishTime: everything beyond its own
+    // collective share is stall.
+    result.maxStallTime = result.finishTime - earliest_arrival -
+                          steps * step_time;
+    if (result.maxStallTime < 0.0)
+        result.maxStallTime = 0.0;
+    return result;
+}
+
+} // namespace twocs::comm

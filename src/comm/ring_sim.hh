@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Explicit multi-device ring all-reduce simulation.
+ *
+ * The CollectiveModel costs a ring all-reduce with a closed form
+ * that assumes every participant arrives simultaneously. This module
+ * instead builds the actual 2(P-1)-step ring on the discrete-event
+ * engine — one communication stream per device, each step waiting on
+ * the neighbour's previous step — so it can answer questions the
+ * closed form cannot: what happens when participants arrive at
+ * different times (stragglers), and how collective synchronization
+ * amplifies tail latency across a data-parallel group.
+ */
+
+#ifndef TWOCS_COMM_RING_SIM_HH
+#define TWOCS_COMM_RING_SIM_HH
+
+#include <vector>
+
+#include "comm/collectives.hh"
+#include "sim/engine.hh"
+
+namespace twocs::comm {
+
+/** Result of one explicit ring simulation. */
+struct RingSimResult
+{
+    /** When each device finishes the all-reduce. */
+    std::vector<Seconds> deviceFinish;
+    /** Completion of the whole collective (max over devices). */
+    Seconds finishTime = 0.0;
+    /** The collective's own duration once everyone arrived
+     *  (finish - latest arrival). */
+    Seconds collectiveTime = 0.0;
+    /** Time the earliest arrival spent stalled on stragglers. */
+    Seconds maxStallTime = 0.0;
+
+    /** The underlying schedule, for trace export. */
+    sim::Schedule schedule{ {}, {}, {} };
+};
+
+/**
+ * Simulate a ring all-reduce of `payload` bytes across
+ * arrival_times.size() devices on the given topology's intra-node
+ * fabric. arrival_times[d] is when device d's data becomes ready
+ * (e.g. the end of its gradient computation).
+ */
+RingSimResult simulateRingAllReduce(
+    const hw::Topology &topology, Bytes payload,
+    const std::vector<Seconds> &arrival_times,
+    const hw::LinkEfficiencyParams &link_params = {});
+
+} // namespace twocs::comm
+
+#endif // TWOCS_COMM_RING_SIM_HH

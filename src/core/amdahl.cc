@@ -1,0 +1,81 @@
+#include "amdahl.hh"
+
+#include "util/logging.hh"
+
+namespace twocs::core {
+
+namespace {
+
+model::LayerGraphBuilder
+baselineGraph(const model::Hyperparams &hp, hw::Precision precision)
+{
+    model::ParallelConfig par;
+    par.tpDegree = 1;
+    par.dpDegree = 1;
+    return model::LayerGraphBuilder(hp, par, precision);
+}
+
+} // namespace
+
+AmdahlAnalysis::AmdahlAnalysis(const SystemConfig &system,
+                               model::Hyperparams baseline,
+                               hw::Precision precision)
+    : system_(system), baseline_(std::move(baseline)),
+      precision_(precision), profiler_(system.profiler()),
+      scalingModel_(opmodel::OperatorScalingModel::calibrate(
+          profiler_, baselineGraph(baseline_, precision_)))
+{
+}
+
+model::LayerGraphBuilder
+AmdahlAnalysis::makeGraph(std::int64_t hidden, std::int64_t seq_len,
+                          std::int64_t batch, int tp_degree) const
+{
+    const model::Hyperparams hp = baseline_.withHidden(hidden)
+                                      .withSequenceLength(seq_len)
+                                      .withBatchSize(batch)
+                                      .withCompatibleHeads(tp_degree);
+    model::ParallelConfig par;
+    par.tpDegree = tp_degree;
+    par.dpDegree = 1;
+    return model::LayerGraphBuilder(hp, par, precision_);
+}
+
+AmdahlPoint
+AmdahlAnalysis::evaluate(std::int64_t hidden, std::int64_t seq_len,
+                         std::int64_t batch, int tp_degree) const
+{
+    const model::LayerGraphBuilder graph =
+        makeGraph(hidden, seq_len, batch, tp_degree);
+    const opmodel::ProjectedBreakdown pb =
+        scalingModel_.projectIteration(graph);
+
+    AmdahlPoint p;
+    p.hidden = hidden;
+    p.seqLen = seq_len;
+    p.batch = batch;
+    p.tpDegree = tp_degree;
+    p.computeTime = pb.computeTime();
+    p.serializedCommTime = pb.serializedComm;
+    return p;
+}
+
+AmdahlPoint
+AmdahlAnalysis::evaluateDirect(std::int64_t hidden, std::int64_t seq_len,
+                               std::int64_t batch, int tp_degree) const
+{
+    const model::LayerGraphBuilder graph =
+        makeGraph(hidden, seq_len, batch, tp_degree);
+    const profiling::Profile prof = profiler_.profileIteration(graph);
+
+    AmdahlPoint p;
+    p.hidden = hidden;
+    p.seqLen = seq_len;
+    p.batch = batch;
+    p.tpDegree = tp_degree;
+    p.computeTime = prof.computeTime();
+    p.serializedCommTime = prof.serializedCommTime();
+    return p;
+}
+
+} // namespace twocs::core

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Serialized-communication (Amdahl's-law edge) analysis
+ * (paper Sections 4.3.4 and 4.3.6; Figures 10 and 12).
+ *
+ * For each (H, SL, B, TP) configuration the analysis produces the
+ * fraction of training-iteration time spent in the TP activation/
+ * error all-reduces that sit on the critical path. Following the
+ * paper's empirical strategy, the default path projects these times
+ * with the operator-level model calibrated once on the baseline
+ * (BERT); evaluateDirect() runs the full simulated iteration instead
+ * and serves as ground truth.
+ */
+
+#ifndef TWOCS_CORE_AMDAHL_HH
+#define TWOCS_CORE_AMDAHL_HH
+
+#include <vector>
+
+#include "core/system_config.hh"
+#include "model/zoo.hh"
+#include "opmodel/operator_model.hh"
+
+namespace twocs::core {
+
+/** One configuration's serialized Comp-vs.-Comm result. */
+struct AmdahlPoint
+{
+    std::int64_t hidden = 0;
+    std::int64_t seqLen = 0;
+    std::int64_t batch = 0;
+    int tpDegree = 0;
+
+    Seconds computeTime = 0.0;
+    Seconds serializedCommTime = 0.0;
+
+    /** Serialized comm share of the critical path (Figure 10's y). */
+    double commFraction() const
+    {
+        return serializedCommTime / (computeTime + serializedCommTime);
+    }
+};
+
+/** Projects serialized Comp-vs.-Comm over model/hardware scaling. */
+class AmdahlAnalysis
+{
+  public:
+    /**
+     * Calibrates the operator-level model once, from a single
+     * baseline-layer profile on the configured system.
+     */
+    explicit AmdahlAnalysis(const SystemConfig &system,
+                            model::Hyperparams baseline =
+                                model::bertLarge(),
+                            hw::Precision precision =
+                                hw::Precision::FP16);
+
+    /** Paper method: operator-model projection. */
+    AmdahlPoint evaluate(std::int64_t hidden, std::int64_t seq_len,
+                         std::int64_t batch, int tp_degree) const;
+
+    /** Ground truth: full simulated iteration. */
+    AmdahlPoint evaluateDirect(std::int64_t hidden,
+                               std::int64_t seq_len,
+                               std::int64_t batch,
+                               int tp_degree) const;
+
+    /** Target-model graph for a configuration (baseline template). */
+    model::LayerGraphBuilder makeGraph(std::int64_t hidden,
+                                       std::int64_t seq_len,
+                                       std::int64_t batch,
+                                       int tp_degree) const;
+
+    const opmodel::OperatorScalingModel &scalingModel() const
+    {
+        return scalingModel_;
+    }
+
+  private:
+    SystemConfig system_;
+    model::Hyperparams baseline_;
+    hw::Precision precision_;
+    profiling::IterationProfiler profiler_;
+    opmodel::OperatorScalingModel scalingModel_;
+};
+
+} // namespace twocs::core
+
+#endif // TWOCS_CORE_AMDAHL_HH

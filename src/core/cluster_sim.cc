@@ -1,0 +1,111 @@
+#include "cluster_sim.hh"
+
+#include <algorithm>
+
+#include "hw/efficiency.hh"
+#include "model/layer_graph.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace twocs::core {
+
+ClusterSim::ClusterSim(model::Hyperparams baseline,
+                       hw::Precision precision)
+    : baseline_(std::move(baseline)), precision_(precision)
+{
+}
+
+ClusterSimResult
+ClusterSim::run(const ClusterSimConfig &config) const
+{
+    fatalIf(config.tpDegree < 2,
+            "cluster simulation needs a TP group of >= 2");
+    fatalIf(config.numLayers < 1, "need at least one layer");
+    fatalIf(config.computeJitter < 0.0, "jitter must be >= 0");
+
+    const int p = config.tpDegree;
+    model::Hyperparams hp = baseline_.withHidden(config.hidden)
+                                .withSequenceLength(config.seqLen)
+                                .withBatchSize(config.batch)
+                                .withCompatibleHeads(p);
+    hp.numLayers = config.numLayers;
+    model::ParallelConfig par;
+    par.tpDegree = p;
+    const model::LayerGraphBuilder graph(hp, par, precision_);
+    const hw::KernelCostModel kernels = config.system.kernelModel();
+    const hw::Topology topo = config.system.topology();
+
+    // Ring-step timing (one chunk per step per device).
+    const int rings = topo.parallelRings();
+
+    sim::EventSimulator des;
+    std::vector<sim::ResourceId> compute(p), comm(p);
+    for (int d = 0; d < p; ++d) {
+        compute[d] = des.addResource("compute" + std::to_string(d));
+        comm[d] = des.addResource("comm" + std::to_string(d));
+    }
+
+    Rng rng(config.seed);
+    std::vector<sim::TaskId> last(p, sim::InvalidTask);
+
+    for (const model::TrainingOp &op : graph.iterationOps()) {
+        if (op.isComm()) {
+            // Explicit ring all-reduce across the group.
+            const Bytes chunk = op.commBytes / p;
+            const Bytes per_ring = std::max(chunk / rings, 1.0);
+            const double eff = hw::linkEfficiency(
+                per_ring, config.system.linkEfficiency);
+            const Seconds step_time =
+                per_ring / (topo.intraLink().bandwidth * eff) +
+                topo.intraLink().latency;
+            const int steps = 2 * (p - 1);
+
+            std::vector<sim::TaskId> prev = last;
+            for (int s = 0; s < steps; ++s) {
+                std::vector<sim::TaskId> cur(p);
+                for (int d = 0; d < p; ++d) {
+                    std::vector<sim::TaskId> deps;
+                    if (prev[d] != sim::InvalidTask)
+                        deps.push_back(prev[d]);
+                    const int upstream = (d + p - 1) % p;
+                    if (prev[upstream] != sim::InvalidTask)
+                        deps.push_back(prev[upstream]);
+                    cur[d] = des.addTask(op.kernel.label, "ring_step",
+                                         comm[d], step_time, deps);
+                }
+                prev = std::move(cur);
+            }
+            last = std::move(prev);
+        } else {
+            const Seconds base = kernels.cost(op.kernel);
+            for (int d = 0; d < p; ++d) {
+                const Seconds dur =
+                    base * rng.noiseFactor(config.computeJitter);
+                std::vector<sim::TaskId> deps;
+                if (last[d] != sim::InvalidTask)
+                    deps.push_back(last[d]);
+                last[d] = des.addTask(op.kernel.label, "compute",
+                                      compute[d], dur, deps);
+            }
+        }
+    }
+
+    const sim::Schedule sched = des.run();
+
+    ClusterSimResult r;
+    r.iterationTime = sched.makespan();
+    Seconds comm_busy = 0.0, compute_busy = 0.0;
+    for (int d = 0; d < p; ++d) {
+        compute_busy += sched.busyTime(compute[d]);
+        comm_busy += sched.busyTime(comm[d]);
+    }
+    r.computeTimePerDevice = compute_busy / p;
+    r.commTimePerDevice = comm_busy / p;
+    r.stallTimePerDevice = r.iterationTime - r.computeTimePerDevice -
+                           r.commTimePerDevice;
+    if (r.stallTimePerDevice < 0.0)
+        r.stallTimePerDevice = 0.0;
+    return r;
+}
+
+} // namespace twocs::core

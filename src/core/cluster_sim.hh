@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Explicit multi-device training simulation.
+ *
+ * Every other analysis in this library exploits SPMD symmetry and
+ * simulates one representative device. This module instead
+ * instantiates the whole tensor-parallel group on the event engine —
+ * one compute and one communication stream per device, ring
+ * all-reduces decomposed into their 2(P-1) neighbour-dependent steps
+ * — and optionally perturbs each device's kernel times with seeded
+ * noise. Because the four per-layer all-reduces act as
+ * synchronization barriers, per-device jitter compounds into
+ * iteration-level slowdown that no single-device model can see.
+ */
+
+#ifndef TWOCS_CORE_CLUSTER_SIM_HH
+#define TWOCS_CORE_CLUSTER_SIM_HH
+
+#include "core/system_config.hh"
+#include "model/zoo.hh"
+#include "sim/engine.hh"
+
+namespace twocs::core {
+
+/** Cluster-simulation inputs. */
+struct ClusterSimConfig
+{
+    std::int64_t hidden = 8192;
+    std::int64_t seqLen = 2048;
+    std::int64_t batch = 1;
+    /** Devices simulated explicitly (the TP group). */
+    int tpDegree = 8;
+    /** Layers simulated (fewer than the model's keeps the task
+     *  graph small; results scale linearly in layers). */
+    int numLayers = 4;
+
+    SystemConfig system;
+
+    /** Per-kernel, per-device relative timing jitter (0 = exact). */
+    double computeJitter = 0.0;
+    std::uint64_t seed = 1;
+};
+
+/** Cluster-simulation outputs. */
+struct ClusterSimResult
+{
+    /** Iteration makespan across the whole group. */
+    Seconds iterationTime = 0.0;
+    /** Mean per-device time inside ring steps. */
+    Seconds commTimePerDevice = 0.0;
+    /** Mean per-device compute busy time. */
+    Seconds computeTimePerDevice = 0.0;
+    /** Time devices spend neither computing nor communicating —
+     *  synchronization stalls induced by jitter. */
+    Seconds stallTimePerDevice = 0.0;
+
+    double commFraction() const
+    {
+        return commTimePerDevice / iterationTime;
+    }
+    double stallFraction() const
+    {
+        return stallTimePerDevice / iterationTime;
+    }
+};
+
+/** Runs the explicit group simulation. */
+class ClusterSim
+{
+  public:
+    explicit ClusterSim(model::Hyperparams baseline =
+                            model::bertLarge(),
+                        hw::Precision precision = hw::Precision::FP16);
+
+    ClusterSimResult run(const ClusterSimConfig &config) const;
+
+  private:
+    model::Hyperparams baseline_;
+    hw::Precision precision_;
+};
+
+} // namespace twocs::core
+
+#endif // TWOCS_CORE_CLUSTER_SIM_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Profiling-cost study (paper Section 4.3.8, "Profiling Speedups").
+ *
+ * Quantifies how much machine time the empirical strategy saves:
+ *  - the operator-level model replaces ~196 full-model profiling runs
+ *    with a single baseline iteration plus an all-reduce calibration
+ *    sweep (the paper's 2100x),
+ *  - ROI extraction skips the forward pass for the overlapped
+ *    analysis (the paper's 1.5x).
+ */
+
+#ifndef TWOCS_CORE_COST_STUDY_HH
+#define TWOCS_CORE_COST_STUDY_HH
+
+#include "core/sweep.hh"
+#include "core/system_config.hh"
+#include "model/zoo.hh"
+#include "profiling/cost_ledger.hh"
+
+namespace twocs::core {
+
+/** Outcome of the cost accounting. */
+struct CostStudyResult
+{
+    profiling::CostLedger ledger;
+    /** exhaustive-profiling time / strategy time (paper: ~2100x). */
+    double projectionSpeedup = 0.0;
+    /** iteration time / backward-only time (paper: ~1.5x). */
+    double roiSpeedup = 0.0;
+    int configsAvoided = 0;
+};
+
+/**
+ * Run the accounting: every Table 3 serialized configuration is
+ * costed at its true simulated iteration time (what exhaustive
+ * profiling would execute, `repetitions` runs each), while the
+ * strategy only executes the baseline iteration and an all-reduce
+ * calibration sweep.
+ */
+CostStudyResult profilingCostStudy(const SystemConfig &system,
+                                   const model::Hyperparams &baseline =
+                                       model::bertLarge(),
+                                   const SweepSpace &space = table3(),
+                                   int repetitions = 10);
+
+} // namespace twocs::core
+
+#endif // TWOCS_CORE_COST_STUDY_HH

@@ -1,0 +1,67 @@
+#include "inference_study.hh"
+
+namespace twocs::core {
+
+InferenceStudy::InferenceStudy(const SystemConfig &system,
+                               model::Hyperparams baseline,
+                               hw::Precision precision)
+    : system_(system), baseline_(std::move(baseline)),
+      precision_(precision), profiler_(system.profiler())
+{
+}
+
+model::LayerGraphBuilder
+InferenceStudy::makeGraph(std::int64_t hidden, std::int64_t seq_len,
+                          std::int64_t batch, int tp_degree) const
+{
+    const model::Hyperparams hp = baseline_.withHidden(hidden)
+                                      .withSequenceLength(seq_len)
+                                      .withBatchSize(batch)
+                                      .withCompatibleHeads(tp_degree);
+    model::ParallelConfig par;
+    par.tpDegree = tp_degree;
+    // No optimizer or DP in inference.
+    return model::LayerGraphBuilder(hp, par, precision_,
+                                    /*include_optimizer=*/false);
+}
+
+DecodePoint
+InferenceStudy::decodeStep(std::int64_t hidden,
+                           std::int64_t context_len, std::int64_t batch,
+                           int tp_degree) const
+{
+    const model::LayerGraphBuilder graph =
+        makeGraph(hidden, context_len, batch, tp_degree);
+    const profiling::Profile p = profiler_.profileOps(
+        graph.decodeStepOps(context_len), graph.parallel());
+
+    DecodePoint d;
+    d.hidden = hidden;
+    d.contextLen = context_len;
+    d.batch = batch;
+    d.tpDegree = tp_degree;
+    d.computeTime = p.computeTime();
+    d.serializedCommTime = p.serializedCommTime();
+    return d;
+}
+
+PrefillPoint
+InferenceStudy::prefill(std::int64_t hidden, std::int64_t seq_len,
+                        std::int64_t batch, int tp_degree) const
+{
+    const model::LayerGraphBuilder graph =
+        makeGraph(hidden, seq_len, batch, tp_degree);
+    const profiling::Profile p =
+        profiler_.profileOps(graph.inferenceOps(), graph.parallel());
+
+    PrefillPoint d;
+    d.hidden = hidden;
+    d.seqLen = seq_len;
+    d.batch = batch;
+    d.tpDegree = tp_degree;
+    d.computeTime = p.computeTime();
+    d.serializedCommTime = p.serializedCommTime();
+    return d;
+}
+
+} // namespace twocs::core

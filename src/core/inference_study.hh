@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Distributed-inference Comp-vs-Comm analysis (paper Section 6.3).
+ *
+ * Inference has two regimes. Prefill is a forward pass over the
+ * prompt — compute-rich, like training's forward. Autoregressive
+ * decode emits one token at a time: GEMV-like projections, KV-cache
+ * streaming, and per-layer TP all-reduces of only B*H bytes. Those
+ * tiny collectives run deep in the latency/low-utilization region of
+ * the network curve, so tensor-parallel decode is where the paper's
+ * communication concern bites hardest.
+ */
+
+#ifndef TWOCS_CORE_INFERENCE_STUDY_HH
+#define TWOCS_CORE_INFERENCE_STUDY_HH
+
+#include "core/system_config.hh"
+#include "model/zoo.hh"
+
+namespace twocs::core {
+
+/** One decode-step evaluation. */
+struct DecodePoint
+{
+    std::int64_t hidden = 0;
+    std::int64_t contextLen = 0;
+    std::int64_t batch = 0;
+    int tpDegree = 1;
+
+    Seconds computeTime = 0.0;
+    Seconds serializedCommTime = 0.0;
+
+    /** Latency of producing one token per sequence. */
+    Seconds tokenLatency() const
+    {
+        return computeTime + serializedCommTime;
+    }
+
+    double commFraction() const
+    {
+        return serializedCommTime / tokenLatency();
+    }
+
+    /** Aggregate decode throughput across the batch. */
+    double tokensPerSecond() const
+    {
+        return static_cast<double>(batch) / tokenLatency();
+    }
+};
+
+/** One prefill (prompt ingestion) evaluation. */
+struct PrefillPoint
+{
+    std::int64_t hidden = 0;
+    std::int64_t seqLen = 0;
+    std::int64_t batch = 0;
+    int tpDegree = 1;
+
+    Seconds computeTime = 0.0;
+    Seconds serializedCommTime = 0.0;
+
+    Seconds totalTime() const
+    {
+        return computeTime + serializedCommTime;
+    }
+
+    double commFraction() const
+    {
+        return serializedCommTime / totalTime();
+    }
+};
+
+/** Evaluates distributed-inference configurations. */
+class InferenceStudy
+{
+  public:
+    explicit InferenceStudy(const SystemConfig &system,
+                            model::Hyperparams baseline =
+                                model::bertLarge(),
+                            hw::Precision precision =
+                                hw::Precision::FP16);
+
+    /** One decode step over a cache of context_len tokens. */
+    DecodePoint decodeStep(std::int64_t hidden,
+                           std::int64_t context_len,
+                           std::int64_t batch, int tp_degree) const;
+
+    /** Prompt prefill of seq_len tokens. */
+    PrefillPoint prefill(std::int64_t hidden, std::int64_t seq_len,
+                         std::int64_t batch, int tp_degree) const;
+
+  private:
+    model::LayerGraphBuilder makeGraph(std::int64_t hidden,
+                                       std::int64_t seq_len,
+                                       std::int64_t batch,
+                                       int tp_degree) const;
+
+    SystemConfig system_;
+    model::Hyperparams baseline_;
+    hw::Precision precision_;
+    profiling::IterationProfiler profiler_;
+};
+
+} // namespace twocs::core
+
+#endif // TWOCS_CORE_INFERENCE_STUDY_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Number-format study (paper Section 6.2).
+ *
+ * Reduced precision scales peak compute super-linearly (FP16 matrix
+ * rates are ~8x the FP32 vector rate on MI210-class parts; FP8
+ * doubles FP16) while communicated bytes shrink only linearly — so
+ * dropping precision pushes the communication fraction UP, carrying
+ * the paper's takeaways over to alternate number formats.
+ */
+
+#ifndef TWOCS_CORE_PRECISION_STUDY_HH
+#define TWOCS_CORE_PRECISION_STUDY_HH
+
+#include <vector>
+
+#include "core/system_config.hh"
+#include "model/zoo.hh"
+
+namespace twocs::core {
+
+/** One number format's Comp-vs-Comm outcome. */
+struct PrecisionPoint
+{
+    hw::Precision precision = hw::Precision::FP16;
+    Seconds computeTime = 0.0;
+    Seconds serializedCommTime = 0.0;
+
+    double commFraction() const
+    {
+        return serializedCommTime / (computeTime + serializedCommTime);
+    }
+};
+
+/**
+ * Direct-simulate one configuration at each precision and report the
+ * Comp-vs-Comm split.
+ */
+std::vector<PrecisionPoint>
+precisionStudy(const SystemConfig &system, std::int64_t hidden,
+               std::int64_t seq_len, std::int64_t batch, int tp_degree,
+               const std::vector<hw::Precision> &precisions =
+                   { hw::Precision::FP32, hw::Precision::FP16,
+                     hw::Precision::FP8 },
+               const model::Hyperparams &baseline = model::bertLarge());
+
+} // namespace twocs::core
+
+#endif // TWOCS_CORE_PRECISION_STUDY_HH

@@ -1,0 +1,84 @@
+#include "requirements.hh"
+
+#include <cmath>
+
+#include "core/amdahl.hh"
+#include "util/logging.hh"
+
+namespace twocs::core {
+
+namespace {
+
+double
+commFractionAt(const SystemConfig &base, double flop_scale,
+               double bw_scale, std::int64_t hidden,
+               std::int64_t seq_len, std::int64_t batch, int tp_degree,
+               const model::Hyperparams &baseline)
+{
+    SystemConfig sys = base;
+    sys.flopScale = flop_scale;
+    sys.bwScale = bw_scale;
+    AmdahlAnalysis analysis(sys, baseline);
+    return analysis.evaluateDirect(hidden, seq_len, batch, tp_degree)
+        .commFraction();
+}
+
+} // namespace
+
+NetworkRequirement
+requiredBandwidthScale(const SystemConfig &base, std::int64_t hidden,
+                       std::int64_t seq_len, std::int64_t batch,
+                       int tp_degree, double flop_scale,
+                       double target_fraction, double max_bw_scale,
+                       const model::Hyperparams &baseline)
+{
+    fatalIf(target_fraction <= 0.0 || target_fraction >= 1.0,
+            "target_fraction must be in (0, 1)");
+    fatalIf(flop_scale <= 0.0, "flop_scale must be positive");
+    fatalIf(max_bw_scale < 1.0, "max_bw_scale must be >= 1");
+
+    NetworkRequirement r;
+    r.flopScale = flop_scale;
+    r.unscaledCommFraction =
+        commFractionAt(base, flop_scale, 1.0, hidden, seq_len, batch,
+                       tp_degree, baseline);
+
+    if (r.unscaledCommFraction <= target_fraction) {
+        r.requiredBwScale = 1.0;
+        r.achievedCommFraction = r.unscaledCommFraction;
+        return r;
+    }
+
+    double lo = 1.0;
+    double hi = max_bw_scale;
+    const double at_max =
+        commFractionAt(base, flop_scale, hi, hidden, seq_len, batch,
+                       tp_degree, baseline);
+    if (at_max > target_fraction) {
+        // Latency-bound: ring steps, not wire rate, set the floor.
+        r.achievable = false;
+        r.requiredBwScale = max_bw_scale;
+        r.achievedCommFraction = at_max;
+        return r;
+    }
+
+    // The comm fraction is monotone decreasing in bandwidth scale.
+    for (int iter = 0; iter < 40 && hi / lo > 1.001; ++iter) {
+        const double mid = std::sqrt(lo * hi);
+        const double f =
+            commFractionAt(base, flop_scale, mid, hidden, seq_len,
+                           batch, tp_degree, baseline);
+        if (f <= target_fraction)
+            hi = mid;
+        else
+            lo = mid;
+    }
+
+    r.requiredBwScale = hi;
+    r.achievedCommFraction =
+        commFractionAt(base, flop_scale, hi, hidden, seq_len, batch,
+                       tp_degree, baseline);
+    return r;
+}
+
+} // namespace twocs::core

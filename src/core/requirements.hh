@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Inverse network-requirement analysis (paper Section 5's opening
+ * claim: "network capabilities will scale commensurate (if not more)
+ * to compute capabilities").
+ *
+ * Instead of asking "how bad does communication get?", this asks the
+ * system designer's question: given a compute-scaling factor, how
+ * much must network bandwidth scale so serialized communication
+ * stays below a target share of the critical path?
+ */
+
+#ifndef TWOCS_CORE_REQUIREMENTS_HH
+#define TWOCS_CORE_REQUIREMENTS_HH
+
+#include "core/system_config.hh"
+#include "model/zoo.hh"
+
+namespace twocs::core {
+
+/** One solved requirement point. */
+struct NetworkRequirement
+{
+    double flopScale = 1.0;
+    /**
+     * Whether any bandwidth scale up to the search limit meets the
+     * target. False means the configuration is latency-bound: ring
+     * step count, not wire rate, sets the communication floor —
+     * bandwidth alone cannot fix it (see paper Section 5's push for
+     * topology/offload innovations, not just fatter links).
+     */
+    bool achievable = true;
+    /** Smallest bandwidth scale meeting the target (bisection);
+     *  equals the search limit when not achievable. */
+    double requiredBwScale = 1.0;
+    /** Comm fraction at exactly that bandwidth. */
+    double achievedCommFraction = 0.0;
+    /** Comm fraction if the network were not scaled at all. */
+    double unscaledCommFraction = 0.0;
+};
+
+/**
+ * Solve for the bandwidth scale that keeps the serialized-comm share
+ * of (hidden, seq_len, batch, tp) at or below target_fraction when
+ * compute scales by flop_scale. Uses ground-truth simulation and
+ * bisection over [1, max_bw_scale]; when even max_bw_scale cannot
+ * meet the target the result comes back with achievable == false
+ * (a latency-bound configuration).
+ */
+NetworkRequirement
+requiredBandwidthScale(const SystemConfig &base, std::int64_t hidden,
+                       std::int64_t seq_len, std::int64_t batch,
+                       int tp_degree, double flop_scale,
+                       double target_fraction,
+                       double max_bw_scale = 64.0,
+                       const model::Hyperparams &baseline =
+                           model::bertLarge());
+
+} // namespace twocs::core
+
+#endif // TWOCS_CORE_REQUIREMENTS_HH

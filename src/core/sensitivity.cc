@@ -1,0 +1,78 @@
+#include "sensitivity.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/amdahl.hh"
+
+namespace twocs::core {
+
+namespace {
+
+double
+fractionAt(const SensitivityConfig &c, double h_mul, double sl_mul,
+           double b_mul, double tp_mul, double flop_mul, double bw_mul,
+           const model::Hyperparams &baseline)
+{
+    SystemConfig sys = c.system;
+    sys.flopScale *= flop_mul;
+    sys.bwScale *= bw_mul;
+    AmdahlAnalysis analysis(sys, baseline);
+    const auto round_pow2 = [](double v) {
+        return std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(std::llround(v)));
+    };
+    return analysis
+        .evaluateDirect(round_pow2(c.hidden * h_mul),
+                        round_pow2(c.seqLen * sl_mul),
+                        round_pow2(c.batch * b_mul),
+                        static_cast<int>(round_pow2(c.tpDegree *
+                                                    tp_mul)))
+        .commFraction();
+}
+
+} // namespace
+
+std::vector<SensitivityEntry>
+sensitivityTornado(const SensitivityConfig &config,
+                   const model::Hyperparams &baseline)
+{
+    const double base = fractionAt(config, 1, 1, 1, 1, 1, 1, baseline);
+
+    struct Knob
+    {
+        const char *name;
+        double mul[6]; // h, sl, b, tp, flop, bw — the varied slot
+        int slot;
+    };
+    const char *names[6] = { "hidden (H)",      "sequence (SL)",
+                             "batch (B)",       "TP degree",
+                             "compute FLOPS",   "network bandwidth" };
+
+    std::vector<SensitivityEntry> out;
+    for (int slot = 0; slot < 6; ++slot) {
+        double lo_mul[6] = { 1, 1, 1, 1, 1, 1 };
+        double hi_mul[6] = { 1, 1, 1, 1, 1, 1 };
+        lo_mul[slot] = 0.5;
+        hi_mul[slot] = 2.0;
+
+        SensitivityEntry e;
+        e.knob = names[slot];
+        e.fractionBase = base;
+        e.fractionLow =
+            fractionAt(config, lo_mul[0], lo_mul[1], lo_mul[2],
+                       lo_mul[3], lo_mul[4], lo_mul[5], baseline);
+        e.fractionHigh =
+            fractionAt(config, hi_mul[0], hi_mul[1], hi_mul[2],
+                       hi_mul[3], hi_mul[4], hi_mul[5], baseline);
+        out.push_back(e);
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const SensitivityEntry &a, const SensitivityEntry &b) {
+                  return std::fabs(a.swing()) > std::fabs(b.swing());
+              });
+    return out;
+}
+
+} // namespace twocs::core

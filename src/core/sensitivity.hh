@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Sensitivity (tornado) analysis of the serialized communication
+ * fraction.
+ *
+ * The paper's algebra (Eq. 6) says the Comp-vs-Comm balance moves
+ * with H, SL, TP and the flop-vs-bw ratio. This module measures the
+ * actual elasticity of the simulated comm fraction to each knob —
+ * d(fraction) for a 2x move of one knob with the rest held fixed —
+ * so a designer can see at a glance which lever matters most.
+ */
+
+#ifndef TWOCS_CORE_SENSITIVITY_HH
+#define TWOCS_CORE_SENSITIVITY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/system_config.hh"
+#include "model/zoo.hh"
+
+namespace twocs::core {
+
+/** One knob's effect on the communication fraction. */
+struct SensitivityEntry
+{
+    std::string knob;
+    /** Comm fraction with the knob halved / at baseline / doubled. */
+    double fractionLow = 0.0;
+    double fractionBase = 0.0;
+    double fractionHigh = 0.0;
+
+    /** Total swing across the 4x range (tornado bar length). */
+    double swing() const { return fractionHigh - fractionLow; }
+};
+
+/** The studied operating point. */
+struct SensitivityConfig
+{
+    std::int64_t hidden = 16384;
+    std::int64_t seqLen = 2048;
+    std::int64_t batch = 1;
+    int tpDegree = 64;
+    SystemConfig system;
+};
+
+/**
+ * Evaluate the comm-fraction sensitivity to each of
+ * {H, SL, B, TP, flop scale, network scale} by halving and doubling
+ * that knob around the operating point (ground-truth simulation).
+ * Entries are sorted by descending swing magnitude.
+ */
+std::vector<SensitivityEntry>
+sensitivityTornado(const SensitivityConfig &config,
+                   const model::Hyperparams &baseline =
+                       model::bertLarge());
+
+} // namespace twocs::core
+
+#endif // TWOCS_CORE_SENSITIVITY_HH

@@ -1,0 +1,40 @@
+#include "slack.hh"
+
+namespace twocs::core {
+
+SlackAnalysis::SlackAnalysis(const SystemConfig &system,
+                             model::Hyperparams baseline,
+                             hw::Precision precision)
+    : system_(system), baseline_(std::move(baseline)),
+      precision_(precision), roi_(system.profiler())
+{
+}
+
+SlackPoint
+SlackAnalysis::evaluate(std::int64_t hidden, std::int64_t seq_len,
+                        std::int64_t batch, int tp_degree,
+                        int dp_degree) const
+{
+    const model::Hyperparams hp = baseline_.withHidden(hidden)
+                                      .withSequenceLength(seq_len)
+                                      .withBatchSize(batch)
+                                      .withCompatibleHeads(tp_degree);
+    model::ParallelConfig par;
+    par.tpDegree = tp_degree;
+    par.dpDegree = dp_degree;
+    const model::LayerGraphBuilder graph(hp, par, precision_);
+
+    const profiling::SlackRoi roi = roi_.layerSlackRoi(graph);
+
+    SlackPoint p;
+    p.hidden = hidden;
+    p.seqLen = seq_len;
+    p.batch = batch;
+    p.tpDegree = tp_degree;
+    p.dpDegree = dp_degree;
+    p.backpropComputeTime = roi.backpropComputeTime;
+    p.dpCommTime = roi.dpCommTime;
+    return p;
+}
+
+} // namespace twocs::core

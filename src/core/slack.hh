@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Overlapped-communication (slack advantage) analysis
+ * (paper Sections 4.3.5 and 4.3.6; Figures 11 and 13).
+ *
+ * For each (H, SL, B) the analysis extracts the backprop compute and
+ * DP gradient all-reduce ROIs of one layer and reports overlapped
+ * communication as a percentage of the compute available to hide it.
+ * Values >= 100% mean the communication can no longer be hidden and
+ * spills onto the critical path.
+ */
+
+#ifndef TWOCS_CORE_SLACK_HH
+#define TWOCS_CORE_SLACK_HH
+
+#include "core/system_config.hh"
+#include "model/zoo.hh"
+#include "profiling/roi.hh"
+
+namespace twocs::core {
+
+/** One configuration's overlapped Comp-vs.-Comm result. */
+struct SlackPoint
+{
+    std::int64_t hidden = 0;
+    std::int64_t seqLen = 0;
+    std::int64_t batch = 0;
+    int tpDegree = 0;
+    int dpDegree = 0;
+
+    /** Per-layer backprop compute time (the hiding budget). */
+    Seconds backpropComputeTime = 0.0;
+    /** Per-layer DP gradient all-reduce time (isolated). */
+    Seconds dpCommTime = 0.0;
+
+    /** SL * B, the x-axis of Figure 11. */
+    std::int64_t slTimesB() const { return seqLen * batch; }
+
+    /** Overlapped comm as a fraction of compute (Figure 11's y). */
+    double overlappedCommVsCompute() const
+    {
+        return dpCommTime / backpropComputeTime;
+    }
+
+    /** True when communication exceeds the compute hiding it. */
+    bool commExposed() const { return dpCommTime > backpropComputeTime; }
+};
+
+/** Evaluates DP-slack scaling via ROI extraction. */
+class SlackAnalysis
+{
+  public:
+    explicit SlackAnalysis(const SystemConfig &system,
+                           model::Hyperparams baseline =
+                               model::bertLarge(),
+                           hw::Precision precision =
+                               hw::Precision::FP16);
+
+    /**
+     * ROI measurement for one configuration. The paper fixes
+     * TP = 16 for this analysis; the result is independent of the
+     * DP degree (ring all-reduce traffic is ~constant in N).
+     */
+    SlackPoint evaluate(std::int64_t hidden, std::int64_t seq_len,
+                        std::int64_t batch, int tp_degree = 16,
+                        int dp_degree = 4) const;
+
+  private:
+    SystemConfig system_;
+    model::Hyperparams baseline_;
+    hw::Precision precision_;
+    profiling::RoiExtractor roi_;
+};
+
+} // namespace twocs::core
+
+#endif // TWOCS_CORE_SLACK_HH

@@ -1,0 +1,41 @@
+#include "sweep.hh"
+
+namespace twocs::core {
+
+SweepSpace
+table3()
+{
+    SweepSpace s;
+    s.hiddens = { 1024, 2048, 4096, 8192, 16384, 32768, 65536 };
+    s.batches = { 1, 4 };
+    s.seqLens = { 1024, 2048, 4096, 8192 };
+    s.tpDegrees = { 4, 8, 16, 32, 64, 128, 256 };
+    return s;
+}
+
+std::vector<SerializedConfig>
+serializedConfigs(const SweepSpace &space)
+{
+    std::vector<SerializedConfig> configs;
+    configs.reserve(space.hiddens.size() * space.seqLens.size() *
+                    space.tpDegrees.size());
+    for (std::int64_t h : space.hiddens) {
+        for (std::int64_t sl : space.seqLens) {
+            for (int tp : space.tpDegrees)
+                configs.push_back({ h, sl, tp });
+        }
+    }
+    return configs;
+}
+
+std::vector<ModelLine>
+figure10Lines()
+{
+    return {
+        { "~T-NLG", 4096, 1024, 16 },
+        { "~PaLM (1x)", 16384, 2048, 64 },
+        { "PaLM-3x (future)", 65536, 4096, 256 },
+    };
+}
+
+} // namespace twocs::core

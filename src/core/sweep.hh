@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The studied configuration space (paper Table 3) and the highlighted
+ * model lines of Figures 10 and 12.
+ */
+
+#ifndef TWOCS_CORE_SWEEP_HH
+#define TWOCS_CORE_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace twocs::core {
+
+/** Table 3: parameters and setup of models studied. */
+struct SweepSpace
+{
+    std::vector<std::int64_t> hiddens;
+    std::vector<std::int64_t> batches;
+    std::vector<std::int64_t> seqLens;
+    std::vector<int> tpDegrees;
+};
+
+/** The paper's Table 3 values. */
+SweepSpace table3();
+
+/** One serialized-analysis configuration (B fixed at 1). */
+struct SerializedConfig
+{
+    std::int64_t hidden = 0;
+    std::int64_t seqLen = 0;
+    int tpDegree = 0;
+};
+
+/**
+ * The H x SL x TP grid of the serialized-communication study:
+ * 7 x 4 x 7 = 196 configurations, the iterations the operator-level
+ * model avoids executing (Section 4.3.8).
+ */
+std::vector<SerializedConfig> serializedConfigs(const SweepSpace &space);
+
+/** A highlighted (H, SL) line of Figure 10 with its required TP. */
+struct ModelLine
+{
+    std::string tag;
+    std::int64_t hidden = 0;
+    std::int64_t seqLen = 0;
+    /** TP degree this model class needs (Section 4.3.2 estimate). */
+    int requiredTp = 0;
+};
+
+/** ~T-NLG, ~PaLM (1x) and the futuristic PaLM-3x lines. */
+std::vector<ModelLine> figure10Lines();
+
+} // namespace twocs::core
+
+#endif // TWOCS_CORE_SWEEP_HH

@@ -1,0 +1,69 @@
+#include "system_config.hh"
+
+#include "util/logging.hh"
+
+namespace twocs::core {
+
+hw::DeviceSpec
+SystemConfig::effectiveDevice() const
+{
+    if (flopScale == 1.0 && bwScale == 1.0)
+        return device;
+    return device.scaled(flopScale, bwScale);
+}
+
+hw::Topology
+SystemConfig::topology() const
+{
+    fatalIf(maxDomainDevices < 2,
+            "SystemConfig.maxDomainDevices must be >= 2");
+    return hw::Topology::singleNode(effectiveDevice(), maxDomainDevices);
+}
+
+hw::KernelCostModel
+SystemConfig::kernelModel() const
+{
+    return hw::KernelCostModel(effectiveDevice(), gemmEfficiency,
+                               memEfficiency);
+}
+
+comm::CollectiveModel
+SystemConfig::collectiveModel() const
+{
+    comm::CollectiveModel cm(topology(), linkEfficiency);
+    cm.setInNetworkReduction(inNetworkReduction);
+    return cm;
+}
+
+profiling::IterationProfiler
+SystemConfig::profiler() const
+{
+    return profiling::IterationProfiler(kernelModel(), collectiveModel());
+}
+
+comm::CollectiveModel
+SystemConfig::interNodeCollectiveModel(int devices_per_node,
+                                       double slowdown) const
+{
+    fatalIf(slowdown < 1.0, "inter-node slowdown must be >= 1");
+    const hw::DeviceSpec dev = effectiveDevice();
+
+    // Inter-node fabrics of the period run at roughly the intra-node
+    // link rate before the slowdown factor (NIC-per-GPU designs);
+    // the slowdown folds in both the slower wire and interference.
+    hw::LinkSpec inter = dev.link;
+    inter.bandwidth = dev.link.bandwidth / slowdown;
+    inter.latency = dev.link.latency * 4.0;
+
+    int total = maxDomainDevices;
+    if (total % devices_per_node != 0)
+        total = (total / devices_per_node + 1) * devices_per_node;
+
+    hw::Topology topo =
+        hw::Topology::multiNode(dev, total, devices_per_node, inter);
+    comm::CollectiveModel cm(topo, linkEfficiency);
+    cm.setInNetworkReduction(inNetworkReduction);
+    return cm;
+}
+
+} // namespace twocs::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * System-under-study configuration.
+ *
+ * Bundles a device, a fabric assumption, and the hardware-evolution
+ * knobs (flop-vs-bw scaling, paper Section 4.3.6) and manufactures
+ * the cost models / profiler every analysis consumes. The default
+ * reproduces the paper's measurement platform: an MI210 node whose
+ * links form rings with 150 GB/s aggregate all-reduce bandwidth.
+ */
+
+#ifndef TWOCS_CORE_SYSTEM_CONFIG_HH
+#define TWOCS_CORE_SYSTEM_CONFIG_HH
+
+#include "comm/collectives.hh"
+#include "hw/catalog.hh"
+#include "hw/kernels.hh"
+#include "hw/topology.hh"
+#include "profiling/profiler.hh"
+
+namespace twocs::core {
+
+/** One studied system (device + fabric + evolution scaling). */
+struct SystemConfig
+{
+    /** Base device; MI210 matches the paper's testbed. */
+    hw::DeviceSpec device = hw::mi210();
+
+    /**
+     * Compute-FLOPS scaling relative to the base device. Combined
+     * with bwScale this realizes the flop-vs-bw ratios of Figures 12
+     * and 13 (flopScale in {1, 2, 4}, bwScale = 1).
+     */
+    double flopScale = 1.0;
+    /** Network-bandwidth scaling relative to the base device. */
+    double bwScale = 1.0;
+
+    /**
+     * Largest communication domain the fabric must support. The
+     * paper optimistically assumes intra-node-class links at every
+     * scale (Section 4.3.2); benchmarks size this to the largest TP
+     * degree under study.
+     */
+    int maxDomainDevices = 1024;
+
+    /** Model processing-in-network switches (Section 5). */
+    bool inNetworkReduction = false;
+
+    /** Efficiency-curve tuning (defaults calibrated for MI210). */
+    hw::GemmEfficiencyParams gemmEfficiency;
+    hw::MemEfficiencyParams memEfficiency;
+    hw::LinkEfficiencyParams linkEfficiency;
+
+    /** The device after evolution scaling. */
+    hw::DeviceSpec effectiveDevice() const;
+
+    /** Single-domain topology sized to maxDomainDevices. */
+    hw::Topology topology() const;
+
+    /** Kernel cost model on the effective device. */
+    hw::KernelCostModel kernelModel() const;
+
+    /** Collective model on the fabric. */
+    comm::CollectiveModel collectiveModel() const;
+
+    /** Profiler combining both. */
+    profiling::IterationProfiler profiler() const;
+
+    /**
+     * A variant whose communication crosses node boundaries with
+     * `slowdown`-times lower bandwidth (inter-node links plus
+     * compute/communication interference, Section 4.3.7).
+     */
+    comm::CollectiveModel
+    interNodeCollectiveModel(int devices_per_node,
+                             double slowdown) const;
+};
+
+} // namespace twocs::core
+
+#endif // TWOCS_CORE_SYSTEM_CONFIG_HH

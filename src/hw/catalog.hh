@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Catalog of real accelerators used throughout the paper.
+ *
+ * MI210 is the measurement platform (Section 4.3.1); the V100/A100
+ * and MI50/MI100 pairs provide the historical flop-vs-bw scaling
+ * ratios (Section 4.3.6); the rest feed the memory-capacity trend
+ * line of Figure 6.
+ */
+
+#ifndef TWOCS_HW_CATALOG_HH
+#define TWOCS_HW_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/device_spec.hh"
+
+namespace twocs::hw {
+
+/** AMD Instinct MI210 (2022): the paper's measurement device. */
+DeviceSpec mi210();
+
+/** AMD Instinct MI50 (2018). */
+DeviceSpec mi50();
+
+/** AMD Instinct MI100 (2020). */
+DeviceSpec mi100();
+
+/** NVIDIA V100 (2018 generation as used in the paper's trend). */
+DeviceSpec v100();
+
+/** NVIDIA A100 (2020). */
+DeviceSpec a100();
+
+/** NVIDIA P100 (2016), memory-capacity trend point. */
+DeviceSpec p100();
+
+/** NVIDIA H100 (2022), memory-capacity trend point. */
+DeviceSpec h100();
+
+/** All catalog devices sorted by year (for trend lines). */
+std::vector<DeviceSpec> allDevices();
+
+/** Look up a catalog device by name; fatal() when unknown. */
+DeviceSpec deviceByName(const std::string &name);
+
+/**
+ * The highest-capacity catalog device available in the given year
+ * (the part a lab training that year's model would buy). Years
+ * before the first catalog entry return that first entry.
+ */
+DeviceSpec deviceOfYear(int year);
+
+/**
+ * Historical compute-vs-network scaling between two generations of
+ * the same vendor: ratio of FP16 FLOPS scaling to link-bandwidth
+ * scaling (the paper reports ~2-4x, Section 4.3.6).
+ */
+double flopVsBwScaling(const DeviceSpec &older, const DeviceSpec &newer);
+
+} // namespace twocs::hw
+
+#endif // TWOCS_HW_CATALOG_HH

@@ -1,0 +1,86 @@
+#include "device_spec.hh"
+
+#include "util/logging.hh"
+
+namespace twocs::hw {
+
+double
+precisionBytes(Precision p)
+{
+    switch (p) {
+      case Precision::FP32:
+        return 4.0;
+      case Precision::FP16:
+      case Precision::BF16:
+        return 2.0;
+      case Precision::FP8:
+        return 1.0;
+    }
+    panic("unknown precision");
+}
+
+std::string
+precisionName(Precision p)
+{
+    switch (p) {
+      case Precision::FP32:
+        return "fp32";
+      case Precision::FP16:
+        return "fp16";
+      case Precision::BF16:
+        return "bf16";
+      case Precision::FP8:
+        return "fp8";
+    }
+    panic("unknown precision");
+}
+
+FlopRate
+DeviceSpec::peakFlops(Precision p) const
+{
+    switch (p) {
+      case Precision::FP32:
+        return peakFlopsFp32;
+      case Precision::FP16:
+      case Precision::BF16:
+        return peakFlopsFp16;
+      case Precision::FP8:
+        return peakFlopsFp8 > 0.0 ? peakFlopsFp8 : 2.0 * peakFlopsFp16;
+    }
+    panic("unknown precision");
+}
+
+void
+DeviceSpec::validate() const
+{
+    fatalIf(name.empty(), "DeviceSpec without a name");
+    fatalIf(peakFlopsFp32 <= 0.0, name, ": peakFlopsFp32 must be > 0");
+    fatalIf(peakFlopsFp16 <= 0.0, name, ": peakFlopsFp16 must be > 0");
+    fatalIf(memBandwidth <= 0.0, name, ": memBandwidth must be > 0");
+    fatalIf(memCapacity <= 0.0, name, ": memCapacity must be > 0");
+    fatalIf(numComputeUnits <= 0, name, ": numComputeUnits must be > 0");
+    fatalIf(link.bandwidth <= 0.0, name, ": link bandwidth must be > 0");
+    fatalIf(numLinks <= 0, name, ": numLinks must be > 0");
+}
+
+DeviceSpec
+DeviceSpec::scaled(double flop_scale, double bw_scale,
+                   double cap_scale) const
+{
+    fatalIf(flop_scale <= 0.0 || bw_scale <= 0.0 || cap_scale <= 0.0,
+            "DeviceSpec::scaled() factors must be positive");
+
+    DeviceSpec out = *this;
+    out.name = name + "-x" + std::to_string(flop_scale) + "flop";
+    out.peakFlopsFp32 *= flop_scale;
+    out.peakFlopsFp16 *= flop_scale;
+    out.peakFlopsFp8 *= flop_scale;
+    // Memory bandwidth tracks compute so GEMMs stay compute-bound,
+    // the regime the paper observes (>85% FLOPS utilization).
+    out.memBandwidth *= flop_scale;
+    out.memCapacity *= cap_scale;
+    out.link.bandwidth *= bw_scale;
+    return out;
+}
+
+} // namespace twocs::hw

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Accelerator device descriptions.
+ *
+ * A DeviceSpec captures the handful of datasheet numbers the paper's
+ * analysis depends on: peak math throughput per number format, memory
+ * bandwidth and capacity, and interconnect link characteristics. The
+ * catalog (hw/catalog.hh) provides real GPUs; scaled() derives
+ * hypothetical future parts for the flop-vs-bw evolution study
+ * (paper Section 4.3.6).
+ */
+
+#ifndef TWOCS_HW_DEVICE_SPEC_HH
+#define TWOCS_HW_DEVICE_SPEC_HH
+
+#include <string>
+
+#include "util/units.hh"
+
+namespace twocs::hw {
+
+/** Number formats the cost models understand (paper Section 6.2). */
+enum class Precision
+{
+    FP32,
+    FP16,
+    BF16,
+    FP8,
+};
+
+/** Bytes occupied by one element of the given precision. */
+double precisionBytes(Precision p);
+
+/** Human-readable name ("fp16", ...). */
+std::string precisionName(Precision p);
+
+/** Interconnect link characteristics (one point-to-point link). */
+struct LinkSpec
+{
+    /** Bandwidth per direction, bytes/s. Datasheets usually quote
+     *  bidirectional bandwidth; this is half of that. */
+    ByteRate bandwidth = 0.0;
+    /** Per-message fixed latency (software + wire), seconds. */
+    Seconds latency = 0.0;
+};
+
+/** One accelerator (GPU-class) device. */
+struct DeviceSpec
+{
+    std::string name;
+    int year = 0;
+
+    /** Peak dense-math throughput, FLOP/s. */
+    FlopRate peakFlopsFp32 = 0.0;
+    FlopRate peakFlopsFp16 = 0.0;
+    FlopRate peakFlopsFp8 = 0.0;
+
+    /** High-bandwidth memory. */
+    ByteRate memBandwidth = 0.0;
+    Bytes memCapacity = 0.0;
+
+    /** Number of compute units / SMs (for wave quantization). */
+    int numComputeUnits = 0;
+
+    /** Fixed kernel launch + scheduling overhead per kernel. */
+    Seconds kernelLaunchOverhead = 0.0;
+
+    /** Intra-node point-to-point link (e.g. Infinity Fabric/NVLink). */
+    LinkSpec link;
+    /** Number of peer links per device within a node. */
+    int numLinks = 0;
+
+    /** Peak FLOP/s at the given precision (BF16 uses the FP16 rate;
+     *  FP8 falls back to 2x FP16 when the part predates FP8). */
+    FlopRate peakFlops(Precision p) const;
+
+    /** Validate that all required fields are set; fatal() if not. */
+    void validate() const;
+
+    /**
+     * Derive a future device by scaling compute throughput by
+     * flop_scale and network bandwidth by bw_scale (the paper applies
+     * flop_scale/bw_scale in {2, 4} with bw_scale = 1). Memory
+     * bandwidth follows compute (GEMMs must stay compute-bound, see
+     * Section 4.2.3); memory capacity follows cap_scale.
+     */
+    DeviceSpec scaled(double flop_scale, double bw_scale,
+                      double cap_scale = 1.0) const;
+};
+
+} // namespace twocs::hw
+
+#endif // TWOCS_HW_DEVICE_SPEC_HH

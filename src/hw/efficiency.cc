@@ -1,0 +1,92 @@
+#include "efficiency.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace twocs::hw {
+
+namespace {
+
+/** Efficiency of one candidate tile shape. */
+double
+tileEfficiency(std::int64_t m, std::int64_t n, std::int64_t k,
+               int num_compute_units, int tile_m, int tile_n,
+               double tile_peak, const GemmEfficiencyParams &params)
+{
+    // Wave quantization: the kernel launches one workgroup per output
+    // tile; the final wave of workgroups may only partially occupy
+    // the CUs, lowering average utilization.
+    const double tiles_m = std::ceil(static_cast<double>(m) / tile_m);
+    const double tiles_n = std::ceil(static_cast<double>(n) / tile_n);
+    const double tiles = tiles_m * tiles_n;
+    const double waves = std::ceil(tiles / num_compute_units);
+    const double wave_util = tiles / (waves * num_compute_units);
+
+    // Tile-edge waste: M or N smaller than a tile leaves MACs idle.
+    const double edge_util =
+        (static_cast<double>(m) / (tiles_m * tile_m)) *
+        (static_cast<double>(n) / (tiles_n * tile_n));
+
+    // Pipeline ramp along K: short accumulation chains cannot hide
+    // MAC latency.
+    const double k_util =
+        static_cast<double>(k) / (static_cast<double>(k) + params.kHalf);
+
+    return params.peakFraction * tile_peak * wave_util * edge_util *
+           k_util;
+}
+
+} // namespace
+
+double
+gemmEfficiency(std::int64_t m, std::int64_t n, std::int64_t k,
+               int num_compute_units, const GemmEfficiencyParams &params)
+{
+    fatalIf(m <= 0 || n <= 0 || k <= 0,
+            "gemmEfficiency() with non-positive dims ", m, "x", n, "x", k);
+    fatalIf(num_compute_units <= 0,
+            "gemmEfficiency() needs a positive CU count");
+
+    // BLAS libraries carry kernels tuned per problem size; pick the
+    // best of a small family. Smaller tiles occupy more CUs on small
+    // problems but reuse operands less (lower attainable peak).
+    struct TileChoice
+    {
+        int tileM;
+        int tileN;
+        double peak;
+    };
+    static constexpr TileChoice choices[] = {
+        { 128, 128, 1.00 },
+        { 128, 64, 0.92 },
+        { 64, 64, 0.85 },
+        { 32, 32, 0.62 },
+    };
+
+    double best = 0.0;
+    for (const TileChoice &c : choices) {
+        best = std::max(best,
+                        tileEfficiency(m, n, k, num_compute_units,
+                                       c.tileM, c.tileN, c.peak, params));
+    }
+    return best;
+}
+
+double
+memEfficiency(Bytes bytes, const MemEfficiencyParams &params)
+{
+    fatalIf(bytes <= 0.0, "memEfficiency() with non-positive size");
+    return params.peakFraction * bytes / (bytes + params.rampBytes);
+}
+
+double
+linkEfficiency(Bytes message_bytes, const LinkEfficiencyParams &params)
+{
+    fatalIf(message_bytes <= 0.0,
+            "linkEfficiency() with non-positive size");
+    return params.peakFraction * message_bytes /
+           (message_bytes + params.halfSaturation);
+}
+
+} // namespace twocs::hw

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Size-dependent efficiency curves for the kernel and link models.
+ *
+ * These curves are the crux of the substitution for real-GPU
+ * measurements: operation efficiency improves with size (better
+ * FLOPS, memory, or network utilization), which is exactly the
+ * effect the paper identifies as the source of its operator-level
+ * model's projection error (Section 4.3.8) and of the larger comm
+ * overlap at small hidden sizes (Section 4.3.5).
+ */
+
+#ifndef TWOCS_HW_EFFICIENCY_HH
+#define TWOCS_HW_EFFICIENCY_HH
+
+#include <cstdint>
+
+#include "util/units.hh"
+
+namespace twocs::hw {
+
+/** Tuning knobs for GEMM compute efficiency. */
+struct GemmEfficiencyParams
+{
+    /** Best-case fraction of peak FLOPS a tuned kernel reaches. */
+    double peakFraction = 0.90;
+    /** K extent at which the MAC pipelines reach half utilization. */
+    double kHalf = 128.0;
+};
+
+/**
+ * Fraction of peak FLOPS achieved by an MxNxK GEMM on a device with
+ * num_compute_units CUs. Mimics a tuned BLAS library: several tile
+ * shapes are considered (large tiles reuse data best but quantize
+ * badly on small problems) and the best-performing one wins. Each
+ * candidate combines (a) wave quantization: the tile grid rarely
+ * fills an integer number of CU waves, (b) tile-edge waste, and
+ * (c) pipeline ramp-up along K. Result is in (0, peakFraction].
+ */
+double gemmEfficiency(std::int64_t m, std::int64_t n, std::int64_t k,
+                      int num_compute_units,
+                      const GemmEfficiencyParams &params = {});
+
+/** Tuning knobs for memory-bound kernel efficiency. */
+struct MemEfficiencyParams
+{
+    /** Best-case fraction of peak DRAM bandwidth. */
+    double peakFraction = 0.85;
+    /** Transfer size at which bandwidth reaches half of peak. */
+    Bytes rampBytes = 256.0 * 1024.0;
+};
+
+/**
+ * Fraction of peak memory bandwidth achieved when streaming `bytes`
+ * through a memory-bound kernel. Small kernels cannot keep enough
+ * requests in flight; the curve saturates for multi-MiB transfers.
+ */
+double memEfficiency(Bytes bytes, const MemEfficiencyParams &params = {});
+
+/** Tuning knobs for link bandwidth utilization. */
+struct LinkEfficiencyParams
+{
+    /** Best-case fraction of wire bandwidth (protocol overheads). */
+    double peakFraction = 0.92;
+    /** Per-link payload size reaching half of peak utilization.
+     *  Collective libraries need multi-MiB messages to fill the
+     *  pipeline of chunked ring steps. */
+    Bytes halfSaturation = 1024.0 * 1024.0;
+};
+
+/**
+ * Fraction of a link's peak bandwidth achieved for a single transfer
+ * of message_bytes. Reproduces the sub-linear communication cost
+ * growth the paper observes for small all-reduces (Section 4.3.5).
+ */
+double linkEfficiency(Bytes message_bytes,
+                      const LinkEfficiencyParams &params = {});
+
+} // namespace twocs::hw
+
+#endif // TWOCS_HW_EFFICIENCY_HH

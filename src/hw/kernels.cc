@@ -1,0 +1,178 @@
+#include "kernels.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace twocs::hw {
+
+std::string
+kernelKindName(KernelKind kind)
+{
+    switch (kind) {
+      case KernelKind::Gemm:
+        return "gemm";
+      case KernelKind::LayerNorm:
+        return "layernorm";
+      case KernelKind::Softmax:
+        return "softmax";
+      case KernelKind::Gelu:
+        return "gelu";
+      case KernelKind::Residual:
+        return "residual";
+      case KernelKind::Dropout:
+        return "dropout";
+      case KernelKind::OptimStep:
+        return "optimstep";
+      case KernelKind::KvAttend:
+        return "kvattend";
+    }
+    panic("unknown kernel kind");
+}
+
+FlopCount
+GemmDims::flops() const
+{
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k);
+}
+
+Bytes
+GemmDims::bytes(Precision p) const
+{
+    const double elem = precisionBytes(p);
+    const double dm = static_cast<double>(m);
+    const double dn = static_cast<double>(n);
+    const double dk = static_cast<double>(k);
+    return elem * (dm * dk + dk * dn + dm * dn);
+}
+
+namespace {
+
+/** DRAM passes over the operand tensor per element-wise kind. */
+double
+passesPerElement(KernelKind kind)
+{
+    switch (kind) {
+      case KernelKind::LayerNorm:
+        // Read for statistics, read again for normalization, write.
+        return 3.0;
+      case KernelKind::Softmax:
+        // Max pass, exp+sum pass, normalize+write pass.
+        return 3.0;
+      case KernelKind::Gelu:
+      case KernelKind::Dropout:
+        // Read input, write output.
+        return 2.0;
+      case KernelKind::Residual:
+        // Read both addends, write the sum.
+        return 3.0;
+      case KernelKind::OptimStep:
+        // Read weight + gradient + momentum, write weight + momentum.
+        return 5.0;
+      case KernelKind::KvAttend:
+        // Each cached key/value byte streams through once.
+        return 1.0;
+      case KernelKind::Gemm:
+        break;
+    }
+    panic("passesPerElement() on a GEMM kernel");
+}
+
+/** Arithmetic operations per element (all memory-bound in practice). */
+double
+flopsPerElement(KernelKind kind)
+{
+    switch (kind) {
+      case KernelKind::LayerNorm:
+        return 8.0;
+      case KernelKind::Softmax:
+        return 5.0;
+      case KernelKind::Gelu:
+        return 10.0;
+      case KernelKind::Residual:
+        return 1.0;
+      case KernelKind::Dropout:
+        return 2.0;
+      case KernelKind::OptimStep:
+        return 6.0;
+      case KernelKind::KvAttend:
+        // One multiply-accumulate per cached element.
+        return 2.0;
+      case KernelKind::Gemm:
+        break;
+    }
+    panic("flopsPerElement() on a GEMM kernel");
+}
+
+} // namespace
+
+FlopCount
+KernelDesc::flops() const
+{
+    if (kind == KernelKind::Gemm)
+        return gemm.flops();
+    return flopsPerElement(kind) * static_cast<double>(elems);
+}
+
+Bytes
+KernelDesc::bytes() const
+{
+    if (kind == KernelKind::Gemm)
+        return gemm.bytes(precision);
+    return passesPerElement(kind) * precisionBytes(precision) *
+           static_cast<double>(elems);
+}
+
+KernelCostModel::KernelCostModel(DeviceSpec device,
+                                 GemmEfficiencyParams gemm_params,
+                                 MemEfficiencyParams mem_params)
+    : device_(std::move(device)), gemmParams_(gemm_params),
+      memParams_(mem_params)
+{
+    device_.validate();
+}
+
+double
+KernelCostModel::achievedGemmEfficiency(const GemmDims &dims) const
+{
+    return gemmEfficiency(dims.m, dims.n, dims.k,
+                          device_.numComputeUnits, gemmParams_);
+}
+
+Seconds
+KernelCostModel::computeTime(const KernelDesc &kernel) const
+{
+    const FlopRate peak = device_.peakFlops(kernel.precision);
+    if (kernel.kind == KernelKind::Gemm) {
+        const double eff = achievedGemmEfficiency(kernel.gemm);
+        return kernel.flops() / (peak * eff);
+    }
+    // Element-wise kernels run on the vector pipelines; model them at
+    // the (lower) FP32 vector rate regardless of storage precision.
+    return kernel.flops() / device_.peakFlopsFp32;
+}
+
+Seconds
+KernelCostModel::memoryTime(const KernelDesc &kernel) const
+{
+    const Bytes bytes = kernel.bytes();
+    const double eff = memEfficiency(bytes, memParams_);
+    return bytes / (device_.memBandwidth * eff);
+}
+
+Seconds
+KernelCostModel::cost(const KernelDesc &kernel) const
+{
+    fatalIf(kernel.kind == KernelKind::Gemm &&
+                (kernel.gemm.m <= 0 || kernel.gemm.n <= 0 ||
+                 kernel.gemm.k <= 0),
+            "GEMM kernel '", kernel.label, "' has unset dimensions");
+    fatalIf(kernel.kind != KernelKind::Gemm && kernel.elems <= 0,
+            "kernel '", kernel.label, "' has unset element count");
+
+    return std::max(computeTime(kernel), memoryTime(kernel)) +
+           device_.kernelLaunchOverhead;
+}
+
+} // namespace twocs::hw

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Kernel descriptors and the roofline kernel cost model.
+ *
+ * The cost model plays the role of the physical GPU in the paper's
+ * methodology: given a kernel (GEMM or one of the fused/elementwise
+ * training operators) it returns a deterministic execution time
+ * combining peak throughput, size-dependent efficiency, a roofline
+ * memory bound, and a fixed launch overhead.
+ */
+
+#ifndef TWOCS_HW_KERNELS_HH
+#define TWOCS_HW_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "hw/device_spec.hh"
+#include "hw/efficiency.hh"
+#include "util/units.hh"
+
+namespace twocs::hw {
+
+/** The operator kinds a Transformer training iteration launches. */
+enum class KernelKind
+{
+    Gemm,       //!< dense matrix multiply (attention/FC sub-layers)
+    LayerNorm,  //!< normalization sub-layer
+    Softmax,    //!< attention probability normalization
+    Gelu,       //!< FC activation function
+    Residual,   //!< element-wise residual addition
+    Dropout,    //!< element-wise masking
+    OptimStep,  //!< per-parameter optimizer update (backward only)
+    KvAttend,   //!< decode attention streaming over the KV cache
+};
+
+/** Human-readable kind name ("gemm", "layernorm", ...). */
+std::string kernelKindName(KernelKind kind);
+
+/** Dimensions of a (M x K) * (K x N) GEMM. */
+struct GemmDims
+{
+    std::int64_t m = 0;
+    std::int64_t n = 0;
+    std::int64_t k = 0;
+
+    /** Multiply-accumulate operation count (2 FLOPs per MAC). */
+    FlopCount flops() const;
+
+    /** Bytes moved assuming A, B read and C written once. */
+    Bytes bytes(Precision p) const;
+
+    bool operator==(const GemmDims &) const = default;
+};
+
+/** One kernel launch. */
+struct KernelDesc
+{
+    KernelKind kind = KernelKind::Gemm;
+    /** Stable operator label, e.g. "fc1_fwd" (ROI extraction keys). */
+    std::string label;
+    Precision precision = Precision::FP16;
+
+    /** GEMM dimensions; only meaningful for KernelKind::Gemm. */
+    GemmDims gemm;
+
+    /** Element count; meaningful for all non-GEMM kinds. */
+    std::int64_t elems = 0;
+
+    /** FLOPs this kernel performs. */
+    FlopCount flops() const;
+
+    /** Bytes this kernel moves through memory. */
+    Bytes bytes() const;
+};
+
+/**
+ * Roofline execution-time model for a single device.
+ *
+ * cost() = max(compute time at achieved FLOPS,
+ *              memory time at achieved bandwidth) + launch overhead.
+ */
+class KernelCostModel
+{
+  public:
+    explicit KernelCostModel(DeviceSpec device,
+                             GemmEfficiencyParams gemm_params = {},
+                             MemEfficiencyParams mem_params = {});
+
+    const DeviceSpec &device() const { return device_; }
+
+    /** Execution time of one kernel launch. */
+    Seconds cost(const KernelDesc &kernel) const;
+
+    /** Compute-roof time only (no memory bound, no launch cost). */
+    Seconds computeTime(const KernelDesc &kernel) const;
+
+    /** Memory-roof time only. */
+    Seconds memoryTime(const KernelDesc &kernel) const;
+
+    /** Achieved fraction of peak FLOPS for a GEMM. */
+    double achievedGemmEfficiency(const GemmDims &dims) const;
+
+  private:
+    DeviceSpec device_;
+    GemmEfficiencyParams gemmParams_;
+    MemEfficiencyParams memParams_;
+};
+
+} // namespace twocs::hw
+
+#endif // TWOCS_HW_KERNELS_HH

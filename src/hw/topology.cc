@@ -1,0 +1,83 @@
+#include "topology.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace twocs::hw {
+
+Topology
+Topology::singleNode(const DeviceSpec &device, int num_devices)
+{
+    fatalIf(num_devices < 2,
+            "a topology needs at least two devices, got ", num_devices);
+    device.validate();
+
+    Topology t;
+    t.numDevices_ = num_devices;
+    t.devicesPerNode_ = num_devices;
+    t.linksPerDevice_ = device.numLinks;
+    t.intraLink_ = device.link;
+    t.interLink_ = device.link;
+    return t;
+}
+
+Topology
+Topology::multiNode(const DeviceSpec &device, int total_devices,
+                    int devices_per_node, const LinkSpec &inter_link)
+{
+    fatalIf(devices_per_node < 1, "devices_per_node must be >= 1");
+    fatalIf(total_devices < devices_per_node,
+            "total_devices (", total_devices,
+            ") smaller than devices_per_node (", devices_per_node, ")");
+    fatalIf(total_devices % devices_per_node != 0,
+            "total_devices must be a multiple of devices_per_node");
+    fatalIf(inter_link.bandwidth <= 0.0,
+            "inter-node link bandwidth must be positive");
+    device.validate();
+
+    Topology t;
+    t.numDevices_ = total_devices;
+    t.devicesPerNode_ = devices_per_node;
+    t.linksPerDevice_ = device.numLinks;
+    t.intraLink_ = device.link;
+    t.interLink_ = inter_link;
+    return t;
+}
+
+int
+Topology::numNodes() const
+{
+    return numDevices_ / devicesPerNode_;
+}
+
+int
+Topology::parallelRings() const
+{
+    if (devicesPerNode_ < 2)
+        return 1;
+    // A full mesh of P devices decomposes into P-1 edge-disjoint
+    // rings, but each device can only drive as many as it has links.
+    return std::min(linksPerDevice_, devicesPerNode_ - 1);
+}
+
+ByteRate
+Topology::ringBandwidth() const
+{
+    return parallelRings() * intraLink_.bandwidth;
+}
+
+ByteRate
+Topology::interNodeBandwidth() const
+{
+    return interLink_.bandwidth;
+}
+
+void
+Topology::applyInterNodeSlowdown(double factor)
+{
+    fatalIf(factor < 1.0, "slowdown factor must be >= 1, got ", factor);
+    interLink_.bandwidth /= factor;
+}
+
+} // namespace twocs::hw

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Interconnect topology descriptions.
+ *
+ * The paper's testbed is a single node of four fully-connected MI210s
+ * whose links form multiple rings (150 GB/s aggregate ring all-reduce
+ * bandwidth). Projections for larger TP degrees optimistically assume
+ * the same per-device ring bandwidth (Section 4.3.2); the multi-node
+ * constructor models the pessimistic inter-node case of Section 4.3.7.
+ */
+
+#ifndef TWOCS_HW_TOPOLOGY_HH
+#define TWOCS_HW_TOPOLOGY_HH
+
+#include "hw/device_spec.hh"
+
+namespace twocs::hw {
+
+/** A (possibly hierarchical) set of interconnected devices. */
+class Topology
+{
+  public:
+    /**
+     * A single fully-connected domain of num_devices devices with the
+     * given device's link characteristics. Projection setups use this
+     * for any TP degree, matching the paper's optimistic assumption.
+     */
+    static Topology singleNode(const DeviceSpec &device, int num_devices);
+
+    /**
+     * total_devices split into nodes of devices_per_node. Intra-node
+     * links come from the device spec; inter-node links are given
+     * explicitly (e.g. ~8x slower, Section 4.3.7).
+     */
+    static Topology multiNode(const DeviceSpec &device, int total_devices,
+                              int devices_per_node,
+                              const LinkSpec &inter_link);
+
+    int numDevices() const { return numDevices_; }
+    int devicesPerNode() const { return devicesPerNode_; }
+    int numNodes() const;
+    bool crossesNodes() const { return numDevices_ > devicesPerNode_; }
+
+    const LinkSpec &intraLink() const { return intraLink_; }
+    const LinkSpec &interLink() const { return interLink_; }
+
+    /**
+     * Number of edge-disjoint rings embeddable in the intra-node
+     * full mesh (one per peer link of each device).
+     */
+    int parallelRings() const;
+
+    /**
+     * Aggregate per-device ring injection bandwidth: parallel rings
+     * times per-direction link bandwidth. 150 GB/s for the MI210 node.
+     */
+    ByteRate ringBandwidth() const;
+
+    /** Per-device injection bandwidth across the node boundary. */
+    ByteRate interNodeBandwidth() const;
+
+    /**
+     * Multiply inter-node bandwidth by 1/factor to model interference
+     * between concurrent compute and communication (Section 4.3.7).
+     */
+    void applyInterNodeSlowdown(double factor);
+
+  private:
+    Topology() = default;
+
+    int numDevices_ = 0;
+    int devicesPerNode_ = 0;
+    int linksPerDevice_ = 0;
+    LinkSpec intraLink_;
+    LinkSpec interLink_;
+};
+
+} // namespace twocs::hw
+
+#endif // TWOCS_HW_TOPOLOGY_HH

@@ -1,0 +1,149 @@
+#include "hyperparams.hh"
+
+#include "util/logging.hh"
+
+namespace twocs::model {
+
+std::string
+layerTypeName(LayerType type)
+{
+    switch (type) {
+      case LayerType::Encoder:
+        return "encoder";
+      case LayerType::Decoder:
+        return "decoder";
+      case LayerType::EncoderDecoder:
+        return "encoder-decoder";
+    }
+    panic("unknown layer type");
+}
+
+std::int64_t
+Hyperparams::headDim() const
+{
+    fatalIf(numHeads <= 0 || hidden % numHeads != 0,
+            name, ": hidden (", hidden,
+            ") must be divisible by heads (", numHeads, ")");
+    return hidden / numHeads;
+}
+
+double
+Hyperparams::layerParams() const
+{
+    const double h = static_cast<double>(hidden);
+    const double fc = static_cast<double>(fcDim);
+    // QKV projections (3 H^2) + output projection (H^2) + two FC
+    // matrices (2 H*fc) + biases and LayerNorm scales (~9H).
+    return 4.0 * h * h + 2.0 * h * fc + 9.0 * h;
+}
+
+double
+Hyperparams::totalParams() const
+{
+    const double h = static_cast<double>(hidden);
+    const double embeddings =
+        static_cast<double>(vocabSize) * h +
+        static_cast<double>(sequenceLength) * h;
+    return numLayers * layerParams() + embeddings;
+}
+
+double
+Hyperparams::memoryDemandProxy() const
+{
+    return static_cast<double>(hidden) *
+           static_cast<double>(sequenceLength);
+}
+
+void
+Hyperparams::validate() const
+{
+    fatalIf(name.empty(), "Hyperparams without a name");
+    fatalIf(numLayers <= 0, name, ": numLayers must be > 0");
+    fatalIf(hidden <= 0, name, ": hidden must be > 0");
+    fatalIf(numHeads <= 0, name, ": numHeads must be > 0");
+    fatalIf(hidden % numHeads != 0,
+            name, ": hidden must be divisible by numHeads");
+    fatalIf(sequenceLength <= 0, name, ": sequenceLength must be > 0");
+    fatalIf(batchSize <= 0, name, ": batchSize must be > 0");
+    fatalIf(fcDim <= 0, name, ": fcDim must be > 0");
+    fatalIf(vocabSize <= 0, name, ": vocabSize must be > 0");
+    if (moe.enabled()) {
+        fatalIf(moe.topK < 1 || moe.topK > moe.numExperts,
+                name, ": MoE topK (", moe.topK,
+                ") must be in [1, numExperts]");
+        fatalIf(moe.capacityFactor < 1.0,
+                name, ": MoE capacityFactor must be >= 1");
+    }
+}
+
+Hyperparams
+Hyperparams::withHidden(std::int64_t h) const
+{
+    fatalIf(h <= 0, "withHidden() needs a positive H");
+    Hyperparams out = *this;
+    const double fc_ratio =
+        static_cast<double>(fcDim) / static_cast<double>(hidden);
+    out.hidden = h;
+    out.fcDim = static_cast<std::int64_t>(fc_ratio * h);
+    // Keep the head dimension roughly constant as H scales, the
+    // convention followed by the Table 2 models.
+    const std::int64_t hd = headDim();
+    out.numHeads = static_cast<int>(h / hd);
+    if (out.numHeads < 1)
+        out.numHeads = 1;
+    while (h % out.numHeads != 0)
+        --out.numHeads;
+    return out;
+}
+
+Hyperparams
+Hyperparams::withMoe(int num_experts, int top_k,
+                     double capacity_factor) const
+{
+    fatalIf(num_experts < 1, "withMoe() needs at least one expert");
+    Hyperparams out = *this;
+    out.moe.numExperts = num_experts;
+    out.moe.topK = top_k;
+    out.moe.capacityFactor = capacity_factor;
+    out.validate();
+    return out;
+}
+
+Hyperparams
+Hyperparams::withCompatibleHeads(int tp_degree) const
+{
+    fatalIf(tp_degree < 1, "withCompatibleHeads() needs TP >= 1");
+    Hyperparams out = *this;
+    if (out.numHeads % tp_degree == 0)
+        return out;
+    fatalIf(out.hidden % tp_degree != 0,
+            name, ": hidden (", hidden,
+            ") not divisible by TP degree ", tp_degree);
+    // Use one head per slice at minimum; grow until divisibility of
+    // the hidden dimension by the head count holds.
+    int heads = tp_degree;
+    while (out.hidden % heads != 0)
+        heads += tp_degree;
+    out.numHeads = heads;
+    return out;
+}
+
+Hyperparams
+Hyperparams::withSequenceLength(std::int64_t sl) const
+{
+    fatalIf(sl <= 0, "withSequenceLength() needs a positive SL");
+    Hyperparams out = *this;
+    out.sequenceLength = sl;
+    return out;
+}
+
+Hyperparams
+Hyperparams::withBatchSize(std::int64_t b) const
+{
+    fatalIf(b <= 0, "withBatchSize() needs a positive B");
+    Hyperparams out = *this;
+    out.batchSize = b;
+    return out;
+}
+
+} // namespace twocs::model

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Transformer model hyperparameters (paper Table 1 / Table 2).
+ *
+ * The paper studies Transformer evolution through the hyperparameters
+ * that set operation sizes: hidden dimension H, sequence length SL,
+ * batch size B, plus structural values (layer count, head count, FC
+ * dimension). All models share BERT's architecture with different
+ * hyperparameters (Section 2.1).
+ */
+
+#ifndef TWOCS_MODEL_HYPERPARAMS_HH
+#define TWOCS_MODEL_HYPERPARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hh"
+
+namespace twocs::model {
+
+/** Layer flavour (computationally identical for training). */
+enum class LayerType
+{
+    Encoder,
+    Decoder,
+    EncoderDecoder,
+};
+
+std::string layerTypeName(LayerType type);
+
+/**
+ * Mixture-of-Experts configuration (paper Section 6.1.1).
+ * numExperts == 0 means a dense model.
+ */
+struct MoeConfig
+{
+    /** Experts replacing each FC sub-layer (0 = dense). */
+    int numExperts = 0;
+    /** Experts each token is routed to. */
+    int topK = 2;
+    /** Slack factor for uneven routing (tokens per expert are
+     *  padded to capacityFactor * fair share). */
+    double capacityFactor = 1.25;
+
+    bool enabled() const { return numExperts > 0; }
+};
+
+/** The hyperparameters of one Transformer model. */
+struct Hyperparams
+{
+    std::string name;
+    int year = 0;
+    LayerType type = LayerType::Decoder;
+
+    int numLayers = 0;
+    std::int64_t hidden = 0;        //!< H
+    int numHeads = 0;
+    std::int64_t sequenceLength = 0; //!< SL
+    std::int64_t batchSize = 1;      //!< B (per-device microbatch)
+    std::int64_t fcDim = 0;          //!< FC dimension (usually 4H)
+    std::int64_t vocabSize = 50257;  //!< embedding table rows
+
+    /** Mixture-of-Experts settings; disabled for the dense models. */
+    MoeConfig moe;
+
+    /** Per-attention-head dimension H / heads. */
+    std::int64_t headDim() const;
+
+    /** Learnable parameters in one encoder/decoder layer. */
+    double layerParams() const;
+
+    /** Total learnable parameters (layers + embeddings). */
+    double totalParams() const;
+
+    /** The paper's H * SL memory-demand proxy (Figure 6). */
+    double memoryDemandProxy() const;
+
+    /** Sanity-check the configuration; fatal() on nonsense. */
+    void validate() const;
+
+    /** Copy with a scaled hidden dimension (and FC dim). */
+    Hyperparams withHidden(std::int64_t h) const;
+    /**
+     * Copy whose head count is divisible by the given TP degree
+     * (raises the head count to TP when needed, shrinking the head
+     * dimension — how practitioners configure small-H/large-TP runs).
+     */
+    Hyperparams withCompatibleHeads(int tp_degree) const;
+    /** Copy with a different sequence length. */
+    Hyperparams withSequenceLength(std::int64_t sl) const;
+    /** Copy with a different batch size. */
+    Hyperparams withBatchSize(std::int64_t b) const;
+    /** Copy with Mixture-of-Experts enabled (Section 6.1.1). */
+    Hyperparams withMoe(int num_experts, int top_k = 2,
+                        double capacity_factor = 1.25) const;
+};
+
+} // namespace twocs::model
+
+#endif // TWOCS_MODEL_HYPERPARAMS_HH

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Builds the operator stream of a distributed Transformer training
+ * iteration (paper Figures 4 and 5).
+ *
+ * One encoder/decoder layer contains an attention sub-layer (QKV
+ * projection, Q*K^T scores, softmax, attention*V, output projection)
+ * and a fully-connected sub-layer (FC1, GELU, FC2), each followed by
+ * dropout, residual addition, and LayerNorm. Under Megatron-style TP
+ * the parameter matrices are sliced across devices and four
+ * activation/error all-reduces per layer land on the critical path
+ * (two forward, two backward). DP adds one overlappable weight-
+ * gradient all-reduce per sub-layer.
+ */
+
+#ifndef TWOCS_MODEL_LAYER_GRAPH_HH
+#define TWOCS_MODEL_LAYER_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/kernels.hh"
+#include "model/hyperparams.hh"
+#include "model/parallel.hh"
+#include "util/units.hh"
+
+namespace twocs::model {
+
+/** What role an operator plays in the training timeline. */
+enum class OpRole
+{
+    FwdCompute,     //!< forward kernel
+    BwdCompute,     //!< backward kernel (WG/IG GEMMs, bwd elementwise)
+    TpAllReduceFwd, //!< serialized activation all-reduce (forward)
+    TpAllReduceBwd, //!< serialized error all-reduce (backward)
+    DpAllReduce,    //!< overlappable weight-gradient all-reduce
+    EpAllToAll,     //!< serialized MoE token exchange (Section 6.1.1)
+    OptimizerStep,  //!< parameter update after gradients are ready
+};
+
+std::string opRoleName(OpRole role);
+
+/** Which sub-layer an operator belongs to. */
+enum class SubLayer
+{
+    Attention,
+    FeedForward,
+};
+
+std::string subLayerName(SubLayer sub);
+
+/** One operator in the training stream (compute or communication). */
+struct TrainingOp
+{
+    OpRole role = OpRole::FwdCompute;
+    SubLayer subLayer = SubLayer::Attention;
+    int layerIndex = 0;
+
+    /** Kernel descriptor; valid for compute/optimizer roles. */
+    hw::KernelDesc kernel;
+
+    /** Collective payload bytes; valid for all-reduce roles. */
+    Bytes commBytes = 0.0;
+
+    bool isComm() const;
+    bool isCompute() const { return !isComm(); }
+
+    /** Only DP gradient all-reduces may overlap compute. */
+    bool overlappable() const { return role == OpRole::DpAllReduce; }
+};
+
+/** Emits the per-layer / per-iteration operator streams. */
+class LayerGraphBuilder
+{
+  public:
+    /**
+     * @param fuse_elementwise Fold GELU, dropout and residual
+     *        additions into the adjacent GEMMs (zero standalone
+     *        cost), as modern Transformer implementations do
+     *        (paper Section 3.3). LayerNorm and softmax always
+     *        remain standalone kernels.
+     * @param recompute_activations Re-execute each layer's forward
+     *        pass at the start of its backward pass (activation
+     *        checkpointing): trades ~1/3 more compute for the
+     *        activation memory the MemoryModel's checkpointing mode
+     *        assumes.
+     */
+    LayerGraphBuilder(Hyperparams hp, ParallelConfig par,
+                      hw::Precision precision = hw::Precision::FP16,
+                      bool include_optimizer = true,
+                      bool fuse_elementwise = true,
+                      bool recompute_activations = false);
+
+    const Hyperparams &hyperparams() const { return hp_; }
+    const ParallelConfig &parallel() const { return par_; }
+    hw::Precision precision() const { return precision_; }
+
+    /** Forward operators of one layer, in issue order. */
+    std::vector<TrainingOp> forwardLayerOps(int layer) const;
+
+    /**
+     * Backward operators of one layer (reverse order of forward),
+     * including WG/IG GEMMs, the two serialized TP all-reduces, the
+     * per-sub-layer DP gradient all-reduces, and (optionally) the
+     * optimizer step.
+     */
+    std::vector<TrainingOp> backwardLayerOps(int layer) const;
+
+    /** A full training iteration over all layers. */
+    std::vector<TrainingOp> iterationOps() const;
+
+    /**
+     * Forward-only operator stream over all layers: the inference
+     * prefill path of Section 6.3 (no backward, no optimizer, no DP
+     * gradient traffic; TP and EP collectives remain).
+     */
+    std::vector<TrainingOp> inferenceOps() const;
+
+    /**
+     * One autoregressive decode step (a single new token per
+     * sequence) against a KV cache of `context_len` tokens, over all
+     * layers: GEMV-like projections, attention streaming the cache,
+     * and per-layer TP all-reduces of just B * H bytes — the
+     * latency-bound regime of distributed inference.
+     */
+    std::vector<TrainingOp> decodeStepOps(std::int64_t context_len) const;
+
+    /** Payload of one MoE all-to-all (dispatch or combine). */
+    Bytes epAllToAllBytes() const;
+
+    /** Payload of one TP activation/error all-reduce (Eq. 5). */
+    Bytes tpAllReduceBytes() const;
+
+    /** Weight-gradient bytes of the attention sub-layer (per dev). */
+    Bytes attnWeightGradBytes() const;
+
+    /** Weight-gradient bytes of the FC sub-layer (Eq. 8, per dev). */
+    Bytes fcWeightGradBytes() const;
+
+    /** Total weight-gradient bytes per layer per device. */
+    Bytes layerWeightGradBytes() const;
+
+    /** Learnable parameters held by one device for one layer
+     *  (TP-sliced; MoE-aware). */
+    double perDeviceLayerParams() const;
+
+    /** Serialized all-reduces per layer (2 fwd + 2 bwd). */
+    static constexpr int tpAllReducesPerLayer = 4;
+
+  private:
+    std::vector<TrainingOp> forwardSubLayerOps(int layer,
+                                               SubLayer sub) const;
+    std::vector<TrainingOp> backwardSubLayerOps(int layer,
+                                                SubLayer sub) const;
+
+    TrainingOp gemmOp(OpRole role, SubLayer sub, int layer,
+                      const std::string &label, std::int64_t m,
+                      std::int64_t n, std::int64_t k) const;
+    TrainingOp elemOp(OpRole role, SubLayer sub, int layer,
+                      hw::KernelKind kind, const std::string &label,
+                      std::int64_t elems) const;
+    TrainingOp commOp(OpRole role, SubLayer sub, int layer,
+                      Bytes bytes) const;
+
+    /** Append `op` unless it is a fused-away element-wise kernel. */
+    void push(std::vector<TrainingOp> &ops, TrainingOp op) const;
+
+    Hyperparams hp_;
+    ParallelConfig par_;
+    hw::Precision precision_;
+    bool includeOptimizer_;
+    bool fuseElementwise_;
+    bool recomputeActivations_;
+};
+
+/**
+ * DDP-style gradient bucketing: walk an operator stream and merge
+ * pending DP gradient all-reduces into buckets of at least
+ * bucket_bytes before issuing them (larger buckets amortize per-
+ * collective latency; smaller buckets start communicating earlier
+ * and overlap more). bucket_bytes == 0 returns the stream unchanged
+ * (one all-reduce per sub-layer, the paper's granularity).
+ */
+std::vector<TrainingOp> coalesceDpAllReduces(std::vector<TrainingOp> ops,
+                                             Bytes bucket_bytes);
+
+} // namespace twocs::model
+
+#endif // TWOCS_MODEL_LAYER_GRAPH_HH

@@ -1,0 +1,86 @@
+#include "memory.hh"
+
+#include "util/logging.hh"
+
+namespace twocs::model {
+
+MemoryModel::MemoryModel(Hyperparams hp, ParallelConfig par,
+                         hw::Precision precision, MemoryOptions options)
+    : hp_(std::move(hp)), par_(par), precision_(precision),
+      options_(options)
+{
+    hp_.validate();
+    par_.validate(hp_);
+}
+
+MemoryBreakdown
+MemoryModel::perDeviceFootprint() const
+{
+    const double prec = hw::precisionBytes(precision_);
+    const double params_per_dev = hp_.totalParams() / par_.tpDegree;
+
+    MemoryBreakdown mb;
+    mb.weights = prec * params_per_dev;
+    mb.gradients = prec * params_per_dev;
+    mb.optimizerState = options_.optimizerBytesPerParam * params_per_dev;
+    if (options_.shardOptimizerOverDp)
+        mb.optimizerState /= par_.dpDegree;
+
+    const double b = static_cast<double>(hp_.batchSize);
+    const double sl = static_cast<double>(hp_.sequenceLength);
+    const double h = static_cast<double>(hp_.hidden);
+    const double a = static_cast<double>(hp_.numHeads);
+    const double t = static_cast<double>(par_.tpDegree);
+
+    // Sequence parallelism shards the otherwise-replicated
+    // full-width activations along SL.
+    const double full_width_share =
+        par_.sequenceParallel ? 1.0 / t : 1.0;
+
+    if (options_.activationCheckpointing) {
+        // Only each layer's input survives until backprop.
+        mb.activations =
+            hp_.numLayers * prec * b * sl * h * full_width_share;
+    } else {
+        // Full stashing, Megatron-style estimate per layer:
+        // s*b*h*(34 + 5*a*s/h) bytes at FP16, sliced by TP except the
+        // two full-width LayerNorm/residual tensors (~8sbh), which
+        // sequence parallelism also shards.
+        const double per_layer =
+            sl * b * h * (26.0 / t + 8.0 * full_width_share) +
+            5.0 * a * sl * sl * b / t;
+        mb.activations = hp_.numLayers * per_layer * (prec / 2.0);
+    }
+    return mb;
+}
+
+bool
+MemoryModel::fitsIn(const hw::DeviceSpec &device,
+                    double usable_fraction) const
+{
+    fatalIf(usable_fraction <= 0.0 || usable_fraction > 1.0,
+            "usable_fraction must be in (0, 1]");
+    return perDeviceFootprint().total() <=
+           usable_fraction * device.memCapacity;
+}
+
+int
+MemoryModel::minTpDegree(const Hyperparams &hp,
+                         const hw::DeviceSpec &device, int max_tp,
+                         hw::Precision precision, MemoryOptions options)
+{
+    for (int tp = 1; tp <= max_tp; tp *= 2) {
+        if (hp.hidden % tp != 0 || hp.fcDim % tp != 0)
+            continue;
+        ParallelConfig par;
+        par.tpDegree = tp;
+        MemoryModel mm(hp.withCompatibleHeads(tp), par, precision,
+                       options);
+        if (mm.fitsIn(device))
+            return tp;
+    }
+    fatal(hp.name, " does not fit on ", device.name,
+          " even at TP = ", max_tp);
+}
+
+} // namespace twocs::model

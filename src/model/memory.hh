@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-device memory footprint of distributed Transformer training.
+ *
+ * Memory capacity is the force pushing B down and TP up in the
+ * paper's trend analysis (Section 3.5, Figures 6 and 9(b)): model
+ * state must fit in device HBM, so as parameters outgrow capacity,
+ * larger TP degrees become mandatory.
+ */
+
+#ifndef TWOCS_MODEL_MEMORY_HH
+#define TWOCS_MODEL_MEMORY_HH
+
+#include "hw/device_spec.hh"
+#include "model/hyperparams.hh"
+#include "model/parallel.hh"
+#include "util/units.hh"
+
+namespace twocs::model {
+
+/** Where the bytes go. */
+struct MemoryBreakdown
+{
+    Bytes weights = 0.0;
+    Bytes gradients = 0.0;
+    Bytes optimizerState = 0.0;
+    Bytes activations = 0.0;
+
+    Bytes total() const
+    {
+        return weights + gradients + optimizerState + activations;
+    }
+};
+
+/** Options affecting the footprint. */
+struct MemoryOptions
+{
+    /** Store only layer-boundary activations, recompute the rest. */
+    bool activationCheckpointing = true;
+    /** ZeRO stage-1 style sharding of optimizer state over DP. */
+    bool shardOptimizerOverDp = false;
+    /** Mixed-precision training keeps FP32 master weights + Adam
+     *  moments: 12 bytes of optimizer state per parameter. */
+    double optimizerBytesPerParam = 12.0;
+};
+
+/** Computes per-device training memory requirements. */
+class MemoryModel
+{
+  public:
+    MemoryModel(Hyperparams hp, ParallelConfig par,
+                hw::Precision precision = hw::Precision::FP16,
+                MemoryOptions options = {});
+
+    /** Footprint on one device. */
+    MemoryBreakdown perDeviceFootprint() const;
+
+    /** Whether the footprint fits in the device's HBM (with a small
+     *  reserve for workspace and fragmentation). */
+    bool fitsIn(const hw::DeviceSpec &device,
+                double usable_fraction = 0.9) const;
+
+    /**
+     * Smallest power-of-two TP degree at which the model fits on the
+     * given device; fatal() if none up to max_tp works.
+     */
+    static int minTpDegree(const Hyperparams &hp,
+                           const hw::DeviceSpec &device,
+                           int max_tp = 4096,
+                           hw::Precision precision = hw::Precision::FP16,
+                           MemoryOptions options = {});
+
+  private:
+    Hyperparams hp_;
+    ParallelConfig par_;
+    hw::Precision precision_;
+    MemoryOptions options_;
+};
+
+} // namespace twocs::model
+
+#endif // TWOCS_MODEL_MEMORY_HH

@@ -1,0 +1,38 @@
+#include "parallel.hh"
+
+#include "util/logging.hh"
+
+namespace twocs::model {
+
+void
+ParallelConfig::validate(const Hyperparams &hp) const
+{
+    fatalIf(tpDegree < 1, "tpDegree must be >= 1, got ", tpDegree);
+    fatalIf(dpDegree < 1, "dpDegree must be >= 1, got ", dpDegree);
+    fatalIf(hp.hidden % tpDegree != 0,
+            hp.name, ": hidden (", hp.hidden,
+            ") not divisible by TP degree ", tpDegree);
+    fatalIf(hp.fcDim % tpDegree != 0,
+            hp.name, ": fcDim (", hp.fcDim,
+            ") not divisible by TP degree ", tpDegree);
+    fatalIf(hp.numHeads % tpDegree != 0,
+            hp.name, ": numHeads (", hp.numHeads,
+            ") not divisible by TP degree ", tpDegree);
+    fatalIf(epDegree < 1, "epDegree must be >= 1, got ", epDegree);
+    fatalIf(sequenceParallel && tpDegree < 2,
+            hp.name, ": sequence parallelism requires TP >= 2");
+    fatalIf(sequenceParallel && hp.sequenceLength % tpDegree != 0,
+            hp.name, ": sequenceLength (", hp.sequenceLength,
+            ") not divisible by TP degree ", tpDegree,
+            " for sequence parallelism");
+    if (hp.moe.enabled()) {
+        fatalIf(hp.moe.numExperts % epDegree != 0,
+                hp.name, ": numExperts (", hp.moe.numExperts,
+                ") not divisible by EP degree ", epDegree);
+    } else {
+        fatalIf(epDegree != 1,
+                hp.name, ": epDegree > 1 requires an MoE model");
+    }
+}
+
+} // namespace twocs::model

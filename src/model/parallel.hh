@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Distributed-training configuration (paper Sections 2.3, 3.1).
+ *
+ * Data parallelism (DP) replicates the model and all-reduces weight
+ * gradients (overlappable with backprop compute). Tensor parallelism
+ * (TP) slices every layer Megatron-style and all-reduces activations
+ * and errors on the critical path (four all-reduces per layer).
+ */
+
+#ifndef TWOCS_MODEL_PARALLEL_HH
+#define TWOCS_MODEL_PARALLEL_HH
+
+#include "model/hyperparams.hh"
+
+namespace twocs::model {
+
+/** How a model is spread over devices. */
+struct ParallelConfig
+{
+    /** Tensor-parallel degree (number of slices per layer). */
+    int tpDegree = 1;
+    /** Data-parallel degree (number of model replicas). */
+    int dpDegree = 1;
+    /**
+     * Expert-parallel degree for MoE models (paper Section 6.1.1):
+     * experts are spread over this many devices and tokens are
+     * exchanged with all-to-alls on the critical path. Ignored for
+     * dense models.
+     */
+    int epDegree = 1;
+
+    /**
+     * Megatron-style sequence parallelism: the LayerNorm/dropout/
+     * residual regions between TP blocks are sharded along the
+     * sequence dimension, and each TP all-reduce becomes a
+     * reduce-scatter + all-gather pair (identical ring wire volume,
+     * so the Comp-vs-Comm picture is unchanged, but the full-width
+     * element-wise work and activation memory shrink by 1/TP).
+     */
+    bool sequenceParallel = false;
+    /**
+     * Whether DP gradient all-reduces may overlap backprop compute
+     * (asynchronous bucketed all-reduce, Section 2.3.2). When false
+     * they serialize at the end of the backward pass.
+     */
+    bool overlapDpComm = true;
+
+    /** Total devices involved. */
+    int totalDevices() const { return tpDegree * dpDegree; }
+
+    /** Check divisibility constraints against a model. */
+    void validate(const Hyperparams &hp) const;
+};
+
+} // namespace twocs::model
+
+#endif // TWOCS_MODEL_PARALLEL_HH

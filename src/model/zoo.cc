@@ -1,0 +1,104 @@
+#include "zoo.hh"
+
+#include "util/logging.hh"
+
+namespace twocs::model {
+
+namespace {
+
+ZooEntry
+make(const std::string &name, int year, LayerType type, int layers,
+     std::int64_t h, int heads, std::int64_t sl, std::int64_t fc,
+     double size_billions, std::int64_t assumed_b, int assumed_tp)
+{
+    ZooEntry e;
+    e.hp.name = name;
+    e.hp.year = year;
+    e.hp.type = type;
+    e.hp.numLayers = layers;
+    e.hp.hidden = h;
+    e.hp.numHeads = heads;
+    e.hp.sequenceLength = sl;
+    e.hp.fcDim = fc;
+    e.hp.batchSize = assumed_b;
+    e.hp.validate();
+    e.publishedSizeBillions = size_billions;
+    e.assumedTpDegree = assumed_tp;
+    return e;
+}
+
+} // namespace
+
+const std::vector<ZooEntry> &
+modelZoo()
+{
+    // Table 2 columns; assumed (B, TP) per the Section 3.5/4.3.2
+    // discussion (B falls to 1, TP grows with model size).
+    static const std::vector<ZooEntry> zoo = {
+        make("BERT", 2018, LayerType::Encoder, 24, 1024, 16, 512,
+             4096, 0.34, 16, 1),
+        make("T5", 2019, LayerType::EncoderDecoder, 24, 1024, 128, 512,
+             4096, 11.0, 8, 1),
+        make("GPT-2", 2019, LayerType::Decoder, 48, 1600, 25, 1024,
+             6400, 1.54, 8, 1),
+        make("Megatron-LM", 2019, LayerType::Decoder, 74, 3072, 24, 1024,
+             12288, 8.3, 4, 8),
+        make("T-NLG", 2020, LayerType::Decoder, 78, 4256, 28, 1024,
+             17024, 17.0, 4, 16),
+        make("GPT-3", 2020, LayerType::Decoder, 96, 12288, 96, 2048,
+             49152, 175.0, 2, 32),
+        make("MT-NLG", 2021, LayerType::Decoder, 105, 20480, 128, 2048,
+             81920, 530.0, 1, 64),
+        make("PaLM", 2022, LayerType::Decoder, 118, 18432, 48, 2048,
+             73728, 540.0, 1, 64),
+    };
+    return zoo;
+}
+
+const std::vector<ZooEntry> &
+extendedZoo()
+{
+    static const std::vector<ZooEntry> zoo = [] {
+        std::vector<ZooEntry> all = modelZoo();
+        all.push_back(make("LLaMA-2-70B", 2023, LayerType::Decoder, 80,
+                           8192, 64, 4096, 28672, 70.0, 1, 8));
+        // GPT-4-class sparse estimate: 16 experts, top-2 routing.
+        ZooEntry gpt4 = make("GPT-4-class", 2023, LayerType::Decoder,
+                             120, 12288, 96, 8192, 49152, 1760.0, 1,
+                             64);
+        gpt4.hp.moe.numExperts = 16;
+        gpt4.hp.moe.topK = 2;
+        all.push_back(gpt4);
+        all.push_back(make("Frontier-2025", 2025, LayerType::Decoder,
+                           160, 32768, 256, 16384, 131072, 2500.0, 1,
+                           128));
+        return all;
+    }();
+    return zoo;
+}
+
+const ZooEntry &
+zooModel(const std::string &name)
+{
+    for (const ZooEntry &e : extendedZoo()) {
+        if (e.hp.name == name)
+            return e;
+    }
+    fatal("unknown zoo model '", name, "'");
+}
+
+Hyperparams
+bertLarge()
+{
+    Hyperparams hp = zooModel("BERT").hp;
+    hp.batchSize = 4;
+    return hp;
+}
+
+TpAnchor
+megatronBertAnchor()
+{
+    return TpAnchor{};
+}
+
+} // namespace twocs::model

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The paper's model zoo (Table 2): eight published NLP Transformers
+ * from BERT (2018) to PaLM (2022), plus the Megatron-LM BERT anchor
+ * used by the TP-requirement estimate of Figure 9(b).
+ *
+ * Per-device microbatch sizes and TP degrees are not part of Table 2;
+ * the paper discusses them in Sections 3.5 and 4.3.2 (B shrinking to
+ * 1, TP growing to dozens). The assumed values recorded here follow
+ * the published training setups and reproduce the paper's Figure 7
+ * normalization (~75% slack drop, ~80% edge drop vs. BERT).
+ */
+
+#ifndef TWOCS_MODEL_ZOO_HH
+#define TWOCS_MODEL_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "model/hyperparams.hh"
+
+namespace twocs::model {
+
+/** One Table 2 row plus its assumed distributed setup. */
+struct ZooEntry
+{
+    Hyperparams hp;
+    /** Parameter count as published, in billions. */
+    double publishedSizeBillions = 0.0;
+    /** Tensor-parallel degree assumed for the algorithmic trends. */
+    int assumedTpDegree = 1;
+};
+
+/** All Table 2 models in publication order (BERT first). */
+const std::vector<ZooEntry> &modelZoo();
+
+/**
+ * Table 2 plus post-paper models (LLaMA-2 70B, a GPT-4-class MoE
+ * estimate and a 2025-class dense frontier model) for forward-
+ * looking studies. The Table 2 reproduction benches use modelZoo()
+ * only.
+ */
+const std::vector<ZooEntry> &extendedZoo();
+
+/** Look up a zoo model by name; fatal() when unknown. */
+const ZooEntry &zooModel(const std::string &name);
+
+/** BERT-Large: the paper's baseline model for operator profiling. */
+Hyperparams bertLarge();
+
+/**
+ * Megatron-LM BERT (3.9B parameters, TP = 8): the first publicly
+ * known tensor-parallel Transformer, used as the base point of the
+ * TP-requirement estimate base_TP * (p/s) in Section 4.3.2.
+ */
+struct TpAnchor
+{
+    double sizeBillions = 3.9;
+    int tpDegree = 8;
+    int year = 2019;
+};
+
+TpAnchor megatronBertAnchor();
+
+} // namespace twocs::model
+
+#endif // TWOCS_MODEL_ZOO_HH

@@ -1,0 +1,119 @@
+#include "accuracy.hh"
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace twocs::opmodel {
+
+AccuracyEvaluator::AccuracyEvaluator(profiling::IterationProfiler profiler,
+                                     model::LayerGraphBuilder baseline)
+    : profiler_(std::move(profiler)), baseline_(std::move(baseline)),
+      model_(OperatorScalingModel::calibrate(profiler_, baseline_))
+{
+}
+
+model::TrainingOp
+AccuracyEvaluator::findOp(const model::LayerGraphBuilder &graph,
+                          const std::string &label) const
+{
+    std::vector<model::TrainingOp> ops = graph.forwardLayerOps(0);
+    std::vector<model::TrainingOp> bwd = graph.backwardLayerOps(0);
+    ops.insert(ops.end(), bwd.begin(), bwd.end());
+    for (const model::TrainingOp &op : ops) {
+        if (!op.isComm() && op.kernel.label == label)
+            return op;
+    }
+    fatal("operator '", label, "' not found in the layer graph");
+}
+
+AccuracySeries
+AccuracyEvaluator::sweep(const std::string &series_name,
+                         const std::string &label,
+                         const std::vector<model::Hyperparams> &targets,
+                         const std::vector<double> &sweep_values) const
+{
+    panicIf(targets.size() != sweep_values.size(),
+            "sweep targets/values size mismatch");
+    fatalIf(targets.empty(), "empty accuracy sweep for ", series_name);
+
+    AccuracySeries series;
+    series.name = series_name;
+    ErrorAccumulator errors;
+
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        model::LayerGraphBuilder graph(targets[i], baseline_.parallel(),
+                                       baseline_.precision());
+        const model::TrainingOp op = findOp(graph, label);
+
+        AccuracyPoint p;
+        p.sweepValue = sweep_values[i];
+        p.projected = model_.projectOp(op);
+        p.measured =
+            profiler_.profileOp(op, graph.parallel()).duration;
+        p.relError = relativeError(p.projected, p.measured);
+        errors.add(p.projected, p.measured);
+        series.points.push_back(p);
+    }
+
+    series.geomeanError = errors.geomeanError();
+    series.maxError = errors.maxError();
+    return series;
+}
+
+AccuracySeries
+AccuracyEvaluator::operatorVsSeqLen(
+    const std::string &label,
+    const std::vector<std::int64_t> &seq_lens) const
+{
+    std::vector<model::Hyperparams> targets;
+    std::vector<double> values;
+    for (std::int64_t sl : seq_lens) {
+        targets.push_back(
+            baseline_.hyperparams().withSequenceLength(sl));
+        values.push_back(static_cast<double>(sl));
+    }
+    return sweep(label + " vs SL", label, targets, values);
+}
+
+AccuracySeries
+AccuracyEvaluator::operatorVsHidden(
+    const std::string &label,
+    const std::vector<std::int64_t> &hiddens) const
+{
+    std::vector<model::Hyperparams> targets;
+    std::vector<double> values;
+    for (std::int64_t h : hiddens) {
+        targets.push_back(baseline_.hyperparams().withHidden(h));
+        values.push_back(static_cast<double>(h));
+    }
+    return sweep(label + " vs H", label, targets, values);
+}
+
+AccuracySeries
+AccuracyEvaluator::allReduceVsBytes(const std::vector<Bytes> &sizes,
+                                    int participants) const
+{
+    fatalIf(sizes.empty(), "empty all-reduce accuracy sweep");
+
+    AccuracySeries series;
+    series.name = "all_reduce vs bytes";
+    ErrorAccumulator errors;
+    const BaselinePoint &base = model_.allReduceBaseline();
+
+    for (Bytes s : sizes) {
+        AccuracyPoint p;
+        p.sweepValue = s;
+        p.projected = base.duration * s / base.predictor;
+        p.measured =
+            profiler_.collectiveModel().allReduce(s, participants).total;
+        p.relError = relativeError(p.projected, p.measured);
+        errors.add(p.projected, p.measured);
+        series.points.push_back(p);
+    }
+
+    series.geomeanError = errors.geomeanError();
+    series.maxError = errors.maxError();
+    return series;
+}
+
+} // namespace twocs::opmodel

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Operator-model accuracy evaluation (paper Section 4.3.8, Fig. 15).
+ *
+ * Sweeps a hyperparameter, projects each operator's runtime with the
+ * OperatorScalingModel, measures it on the simulated hardware, and
+ * reports per-point and geomean relative errors. The paper's
+ * headline numbers: ~15% for GEMMs (linear-in-SL, quadratic-in-H
+ * scaling), ~7% for LayerNorm, ~11% for all-reduce.
+ */
+
+#ifndef TWOCS_OPMODEL_ACCURACY_HH
+#define TWOCS_OPMODEL_ACCURACY_HH
+
+#include <string>
+#include <vector>
+
+#include "opmodel/operator_model.hh"
+#include "profiling/profiler.hh"
+
+namespace twocs::opmodel {
+
+/** One sweep point of a Figure 15 series. */
+struct AccuracyPoint
+{
+    /** Swept hyperparameter value (SL, H, or payload bytes). */
+    double sweepValue = 0.0;
+    Seconds projected = 0.0;
+    Seconds measured = 0.0;
+    double relError = 0.0;
+};
+
+/** One sweep series. */
+struct AccuracySeries
+{
+    std::string name;
+    std::vector<AccuracyPoint> points;
+    double geomeanError = 0.0;
+    double maxError = 0.0;
+};
+
+/** Drives the Figure 15 sweeps. */
+class AccuracyEvaluator
+{
+  public:
+    /**
+     * The evaluator calibrates an OperatorScalingModel from the given
+     * baseline and measures sweep points on the same simulated
+     * hardware.
+     */
+    AccuracyEvaluator(profiling::IterationProfiler profiler,
+                      model::LayerGraphBuilder baseline);
+
+    /** Projected-vs-measured for one operator as SL sweeps. */
+    AccuracySeries operatorVsSeqLen(
+        const std::string &label,
+        const std::vector<std::int64_t> &seq_lens) const;
+
+    /** Projected-vs-measured for one operator as H sweeps. */
+    AccuracySeries operatorVsHidden(
+        const std::string &label,
+        const std::vector<std::int64_t> &hiddens) const;
+
+    /** Projected-vs-measured for all-reduce as payload sweeps. */
+    AccuracySeries allReduceVsBytes(const std::vector<Bytes> &sizes,
+                                    int participants = 4) const;
+
+    const OperatorScalingModel &scalingModel() const { return model_; }
+
+  private:
+    /** Find the op with the label in one fwd+bwd layer of a graph. */
+    model::TrainingOp findOp(const model::LayerGraphBuilder &graph,
+                             const std::string &label) const;
+
+    AccuracySeries sweep(const std::string &series_name,
+                         const std::string &label,
+                         const std::vector<model::Hyperparams> &targets,
+                         const std::vector<double> &sweep_values) const;
+
+    profiling::IterationProfiler profiler_;
+    model::LayerGraphBuilder baseline_;
+    OperatorScalingModel model_;
+};
+
+} // namespace twocs::opmodel
+
+#endif // TWOCS_OPMODEL_ACCURACY_HH

@@ -1,0 +1,93 @@
+#include "calibration_io.hh"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace twocs::opmodel {
+
+namespace {
+
+constexpr const char *kAllReduceKey = "__all_reduce__";
+constexpr const char *kAllToAllKey = "__all_to_all__";
+constexpr const char *kHeader = "label,duration_s,predictor";
+
+void
+emitRow(std::ostream &os, const std::string &label,
+        const BaselinePoint &point)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.17g,%.17g", point.duration,
+                  point.predictor);
+    os << label << ',' << buf << '\n';
+}
+
+} // namespace
+
+void
+saveCalibration(const OperatorScalingModel &model, std::ostream &os)
+{
+    os << kHeader << '\n';
+    for (const auto &[label, point] : model.computeBaselines()) {
+        fatalIf(label.find(',') != std::string::npos,
+                "operator label '", label, "' contains a comma");
+        emitRow(os, label, point);
+    }
+    emitRow(os, kAllReduceKey, model.allReduceBaseline());
+    emitRow(os, kAllToAllKey, model.allToAllBaseline());
+}
+
+OperatorScalingModel
+loadCalibration(std::istream &is)
+{
+    std::string line;
+    fatalIf(!std::getline(is, line) || line != kHeader,
+            "calibration stream missing the '", kHeader, "' header");
+
+    std::map<std::string, BaselinePoint> compute;
+    BaselinePoint ar, a2a;
+    bool saw_ar = false, saw_a2a = false;
+
+    int line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        const std::size_t c1 = line.find(',');
+        const std::size_t c2 =
+            c1 == std::string::npos ? std::string::npos
+                                    : line.find(',', c1 + 1);
+        fatalIf(c1 == std::string::npos || c2 == std::string::npos,
+                "calibration line ", line_no, " is not label,dur,pred");
+
+        const std::string label = line.substr(0, c1);
+        char *end = nullptr;
+        const std::string dur_s = line.substr(c1 + 1, c2 - c1 - 1);
+        const std::string pred_s = line.substr(c2 + 1);
+        const double dur = std::strtod(dur_s.c_str(), &end);
+        fatalIf(end == dur_s.c_str(), "bad duration on line ", line_no);
+        const double pred = std::strtod(pred_s.c_str(), &end);
+        fatalIf(end == pred_s.c_str(), "bad predictor on line ",
+                line_no);
+
+        const BaselinePoint point{ dur, pred };
+        if (label == kAllReduceKey) {
+            ar = point;
+            saw_ar = true;
+        } else if (label == kAllToAllKey) {
+            a2a = point;
+            saw_a2a = true;
+        } else {
+            compute[label] = point;
+        }
+    }
+
+    fatalIf(!saw_ar || !saw_a2a,
+            "calibration stream lacks the collective baselines");
+    return OperatorScalingModel::fromBaselines(std::move(compute), ar,
+                                               a2a);
+}
+
+} // namespace twocs::opmodel

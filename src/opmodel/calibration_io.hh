@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Persistence of operator-model calibrations.
+ *
+ * On the paper's real testbed, calibration is a profiling session on
+ * scarce hardware; persisting the calibrated baselines lets later
+ * projection runs skip it entirely (the "profile once, project
+ * hundreds of models" workflow of Section 4.2.4). The format is a
+ * small CSV: one row per operator label plus sentinel rows for the
+ * collective baselines.
+ */
+
+#ifndef TWOCS_OPMODEL_CALIBRATION_IO_HH
+#define TWOCS_OPMODEL_CALIBRATION_IO_HH
+
+#include <istream>
+#include <ostream>
+
+#include "opmodel/operator_model.hh"
+
+namespace twocs::opmodel {
+
+/** Serialize a calibration as CSV (label,duration,predictor). */
+void saveCalibration(const OperatorScalingModel &model,
+                     std::ostream &os);
+
+/**
+ * Parse a calibration saved by saveCalibration(); fatal() on a
+ * malformed stream or a calibration without collective baselines.
+ */
+OperatorScalingModel loadCalibration(std::istream &is);
+
+} // namespace twocs::opmodel
+
+#endif // TWOCS_OPMODEL_CALIBRATION_IO_HH

@@ -1,0 +1,60 @@
+#include "cost_ledger.hh"
+
+#include "util/logging.hh"
+
+namespace twocs::profiling {
+
+void
+CostLedger::recordExecuted(std::string what, Seconds time,
+                           int repetitions)
+{
+    fatalIf(time < 0.0 || repetitions < 1,
+            "ledger entry '", what, "' with invalid time/repetitions");
+    entries_.push_back({ std::move(what), time, repetitions, true });
+}
+
+void
+CostLedger::recordAvoided(std::string what, Seconds time, int repetitions)
+{
+    fatalIf(time < 0.0 || repetitions < 1,
+            "ledger entry '", what, "' with invalid time/repetitions");
+    entries_.push_back({ std::move(what), time, repetitions, false });
+}
+
+Seconds
+CostLedger::executedTime() const
+{
+    Seconds t = 0.0;
+    for (const auto &e : entries_) {
+        if (e.executed)
+            t += e.totalTime();
+    }
+    return t;
+}
+
+Seconds
+CostLedger::avoidedTime() const
+{
+    Seconds t = 0.0;
+    for (const auto &e : entries_) {
+        if (!e.executed)
+            t += e.totalTime();
+    }
+    return t;
+}
+
+Seconds
+CostLedger::exhaustiveTime() const
+{
+    return executedTime() + avoidedTime();
+}
+
+double
+CostLedger::speedup() const
+{
+    const Seconds exec = executedTime();
+    fatalIf(exec <= 0.0, "speedup() with no executed profiling time");
+    return exhaustiveTime() / exec;
+}
+
+} // namespace twocs::profiling

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Profiling-cost accounting (paper Section 4.3.8, "Profiling
+ * Speedups").
+ *
+ * The ledger tracks how much (simulated) machine time the empirical
+ * strategy actually spends versus how much an exhaustive study would
+ * have spent, yielding the paper's headline 2100x reduction and the
+ * 1.5x forward-pass saving from ROI extraction.
+ */
+
+#ifndef TWOCS_PROFILING_COST_LEDGER_HH
+#define TWOCS_PROFILING_COST_LEDGER_HH
+
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace twocs::profiling {
+
+/** One accounted execution (or avoided execution). */
+struct LedgerEntry
+{
+    std::string what;
+    /** Machine time for one repetition. */
+    Seconds time = 0.0;
+    /** Profiling repetitions (warmup + measured runs). */
+    int repetitions = 1;
+    /** True if the strategy actually executed this. */
+    bool executed = false;
+
+    Seconds totalTime() const { return time * repetitions; }
+};
+
+/** Accumulates executed vs. avoided profiling cost. */
+class CostLedger
+{
+  public:
+    /** Record machine time the strategy spends. */
+    void recordExecuted(std::string what, Seconds time,
+                        int repetitions = 1);
+
+    /** Record machine time the strategy avoids (projected instead). */
+    void recordAvoided(std::string what, Seconds time,
+                       int repetitions = 1);
+
+    Seconds executedTime() const;
+    Seconds avoidedTime() const;
+
+    /** Exhaustive-study cost: executed + avoided. */
+    Seconds exhaustiveTime() const;
+
+    /** exhaustive / executed — the paper's profiling speedup. */
+    double speedup() const;
+
+    const std::vector<LedgerEntry> &entries() const { return entries_; }
+
+  private:
+    std::vector<LedgerEntry> entries_;
+};
+
+} // namespace twocs::profiling
+
+#endif // TWOCS_PROFILING_COST_LEDGER_HH

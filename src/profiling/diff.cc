@@ -1,0 +1,43 @@
+#include "diff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace twocs::profiling {
+
+ProfileDiff
+diffProfiles(const Profile &before, const Profile &after)
+{
+    fatalIf(before.empty() && after.empty(),
+            "diffProfiles() with two empty profiles");
+
+    std::map<std::string, DiffEntry> by_label;
+    for (const ProfileRecord &r : before.records()) {
+        DiffEntry &e = by_label[r.label];
+        e.label = r.label;
+        e.before += r.duration;
+        ++e.count;
+    }
+    for (const ProfileRecord &r : after.records()) {
+        DiffEntry &e = by_label[r.label];
+        e.label = r.label;
+        e.after += r.duration;
+    }
+
+    ProfileDiff diff;
+    diff.beforeTotal = before.totalTime();
+    diff.afterTotal = after.totalTime();
+    diff.entries.reserve(by_label.size());
+    for (auto &[label, entry] : by_label)
+        diff.entries.push_back(std::move(entry));
+    std::sort(diff.entries.begin(), diff.entries.end(),
+              [](const DiffEntry &a, const DiffEntry &b) {
+                  return std::fabs(a.delta()) > std::fabs(b.delta());
+              });
+    return diff;
+}
+
+} // namespace twocs::profiling

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Profile diffing: compare two runs of the same operator stream
+ * (different hardware, precision, parallelism, or model scale) and
+ * report per-operator and aggregate speedups — the tool one reaches
+ * for after any what-if experiment.
+ */
+
+#ifndef TWOCS_PROFILING_DIFF_HH
+#define TWOCS_PROFILING_DIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "profiling/profiler.hh"
+
+namespace twocs::profiling {
+
+/** One operator label's before/after comparison. */
+struct DiffEntry
+{
+    std::string label;
+    /** Total time across all instances of the label. */
+    Seconds before = 0.0;
+    Seconds after = 0.0;
+    int count = 0;
+
+    double speedup() const { return before / after; }
+    Seconds delta() const { return after - before; }
+};
+
+/** Aggregate comparison of two profiles. */
+struct ProfileDiff
+{
+    /** Per-label rows, largest absolute time delta first. */
+    std::vector<DiffEntry> entries;
+    Seconds beforeTotal = 0.0;
+    Seconds afterTotal = 0.0;
+
+    double overallSpeedup() const { return beforeTotal / afterTotal; }
+};
+
+/**
+ * Diff two profiles by operator label. Labels present in only one
+ * profile appear with a zero on the other side; fatal() only if both
+ * profiles are empty.
+ */
+ProfileDiff diffProfiles(const Profile &before, const Profile &after);
+
+} // namespace twocs::profiling
+
+#endif // TWOCS_PROFILING_DIFF_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Measurement-noise model for profiled timings.
+ *
+ * Real rocprof samples jitter run to run (clock boosts, cache state,
+ * scheduling). The paper calibrates from such noisy measurements; to
+ * validate that the operator-level methodology tolerates this, the
+ * NoiseModel perturbs a Profile with seeded log-normal noise and can
+ * average repeated "runs" the way a careful experimenter would.
+ */
+
+#ifndef TWOCS_PROFILING_NOISE_HH
+#define TWOCS_PROFILING_NOISE_HH
+
+#include "profiling/profiler.hh"
+#include "util/rng.hh"
+
+namespace twocs::profiling {
+
+/** Multiplicative log-normal timing noise. */
+class NoiseModel
+{
+  public:
+    /**
+     * @param rel_stddev Relative standard deviation of one measured
+     *        kernel duration (a few percent on real hardware).
+     * @param seed PRNG seed; runs with the same seed are identical.
+     */
+    NoiseModel(double rel_stddev, std::uint64_t seed);
+
+    /** One noisy "measurement run" of a profile. */
+    Profile perturb(const Profile &profile);
+
+    /**
+     * Average of `runs` independent noisy measurements — the
+     * variance shrinks as 1/sqrt(runs), like real repeat profiling.
+     */
+    Profile averageOfRuns(const Profile &profile, int runs);
+
+  private:
+    double relStddev_;
+    Rng rng_;
+};
+
+} // namespace twocs::profiling
+
+#endif // TWOCS_PROFILING_NOISE_HH

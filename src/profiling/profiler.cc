@@ -1,0 +1,161 @@
+#include "profiler.hh"
+
+#include "util/logging.hh"
+
+namespace twocs::profiling {
+
+bool
+ProfileRecord::isComm() const
+{
+    return role == model::OpRole::TpAllReduceFwd ||
+           role == model::OpRole::TpAllReduceBwd ||
+           role == model::OpRole::DpAllReduce ||
+           role == model::OpRole::EpAllToAll;
+}
+
+void
+Profile::add(ProfileRecord record)
+{
+    records_.push_back(std::move(record));
+}
+
+Seconds
+Profile::totalTime() const
+{
+    Seconds t = 0.0;
+    for (const auto &r : records_)
+        t += r.duration;
+    return t;
+}
+
+Seconds
+Profile::timeByRole(model::OpRole role) const
+{
+    Seconds t = 0.0;
+    for (const auto &r : records_) {
+        if (r.role == role)
+            t += r.duration;
+    }
+    return t;
+}
+
+Seconds
+Profile::computeTime() const
+{
+    return timeByRole(model::OpRole::FwdCompute) +
+           timeByRole(model::OpRole::BwdCompute) +
+           timeByRole(model::OpRole::OptimizerStep);
+}
+
+Seconds
+Profile::serializedCommTime() const
+{
+    // TP all-reduces and MoE all-to-alls both sit on the critical
+    // path (Sections 2.3.3 and 6.1.1).
+    return timeByRole(model::OpRole::TpAllReduceFwd) +
+           timeByRole(model::OpRole::TpAllReduceBwd) +
+           timeByRole(model::OpRole::EpAllToAll);
+}
+
+Seconds
+Profile::dpCommTime() const
+{
+    return timeByRole(model::OpRole::DpAllReduce);
+}
+
+std::vector<ProfileRecord>
+Profile::byLabel(const std::string &label) const
+{
+    std::vector<ProfileRecord> out;
+    for (const auto &r : records_) {
+        if (r.label == label)
+            out.push_back(r);
+    }
+    return out;
+}
+
+const ProfileRecord &
+Profile::find(const std::string &label, int layer_index) const
+{
+    for (const auto &r : records_) {
+        if (r.label == label && r.layerIndex == layer_index)
+            return r;
+    }
+    fatal("profile has no record '", label, "' in layer ", layer_index);
+}
+
+IterationProfiler::IterationProfiler(hw::KernelCostModel kernel_model,
+                                     comm::CollectiveModel collective_model)
+    : kernelModel_(std::move(kernel_model)),
+      collectiveModel_(std::move(collective_model))
+{
+}
+
+ProfileRecord
+IterationProfiler::profileOp(const model::TrainingOp &op,
+                             const model::ParallelConfig &par) const
+{
+    ProfileRecord r;
+    r.label = op.kernel.label;
+    r.role = op.role;
+    r.subLayer = op.subLayer;
+    r.layerIndex = op.layerIndex;
+
+    if (op.isComm()) {
+        int participants = par.tpDegree;
+        if (op.role == model::OpRole::DpAllReduce)
+            participants = par.dpDegree;
+        else if (op.role == model::OpRole::EpAllToAll)
+            participants = par.epDegree;
+        panicIf(participants < 2,
+                "comm op '", op.kernel.label,
+                "' with fewer than two participants");
+        const comm::CollectiveCost c =
+            op.role == model::OpRole::EpAllToAll
+                ? collectiveModel_.allToAll(op.commBytes, participants)
+                : collectiveModel_.allReduce(op.commBytes,
+                                             participants);
+        r.duration = c.total;
+        r.bytes = op.commBytes;
+        r.elems = 0;
+    } else {
+        r.duration = kernelModel_.cost(op.kernel);
+        r.flops = op.kernel.flops();
+        r.bytes = op.kernel.bytes();
+        r.kernelKind = op.kernel.kind;
+        r.gemm = op.kernel.gemm;
+        r.elems = op.kernel.elems;
+    }
+    return r;
+}
+
+Profile
+IterationProfiler::profileOps(const std::vector<model::TrainingOp> &ops,
+                              const model::ParallelConfig &par) const
+{
+    Profile p;
+    for (const model::TrainingOp &op : ops)
+        p.add(profileOp(op, par));
+    return p;
+}
+
+Profile
+IterationProfiler::profileIteration(
+    const model::LayerGraphBuilder &graph) const
+{
+    return profileOps(graph.iterationOps(), graph.parallel());
+}
+
+Profile
+IterationProfiler::profileLayer(const model::LayerGraphBuilder &graph,
+                                int layer_index) const
+{
+    std::vector<model::TrainingOp> ops =
+        graph.forwardLayerOps(layer_index);
+    std::vector<model::TrainingOp> bwd =
+        graph.backwardLayerOps(layer_index);
+    ops.insert(ops.end(), bwd.begin(), bwd.end());
+    return profileOps(ops, graph.parallel());
+}
+
+} // namespace twocs::profiling

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Kernel-level profiler over the simulated hardware (the rocprof
+ * stand-in, paper Section 4.3.3).
+ *
+ * The IterationProfiler walks a model's operator stream, costs every
+ * kernel on the KernelCostModel and every collective on the
+ * CollectiveModel, and emits one ProfileRecord per launch — the same
+ * shape of data rocprof produces on the real machine. Everything
+ * downstream (ROI extraction, operator-model calibration) consumes
+ * Profiles rather than touching the cost models directly, mirroring
+ * how the paper's methodology only sees measured timelines.
+ */
+
+#ifndef TWOCS_PROFILING_PROFILER_HH
+#define TWOCS_PROFILING_PROFILER_HH
+
+#include <string>
+#include <vector>
+
+#include "comm/collectives.hh"
+#include "hw/kernels.hh"
+#include "model/layer_graph.hh"
+#include "util/units.hh"
+
+namespace twocs::profiling {
+
+/** One profiled kernel or collective launch. */
+struct ProfileRecord
+{
+    /** Stable operator label ("fc1_fwd", "tp_allreduce_fwd", ...). */
+    std::string label;
+    model::OpRole role = model::OpRole::FwdCompute;
+    model::SubLayer subLayer = model::SubLayer::Attention;
+    int layerIndex = 0;
+
+    Seconds duration = 0.0;
+
+    /** Work descriptors, for calibration. */
+    FlopCount flops = 0.0;
+    Bytes bytes = 0.0;
+    hw::KernelKind kernelKind = hw::KernelKind::Gemm;
+    hw::GemmDims gemm;
+    std::int64_t elems = 0;
+
+    bool isComm() const;
+};
+
+/** A recorded execution (an iteration, a layer, or an ROI). */
+class Profile
+{
+  public:
+    void add(ProfileRecord record);
+
+    const std::vector<ProfileRecord> &records() const
+    {
+        return records_;
+    }
+    bool empty() const { return records_.empty(); }
+    std::size_t size() const { return records_.size(); }
+
+    /** Sum of all record durations (serialized execution time). */
+    Seconds totalTime() const;
+
+    /** Sum of durations for records with the given role. */
+    Seconds timeByRole(model::OpRole role) const;
+
+    /** Sum over the compute roles (fwd + bwd + optimizer). */
+    Seconds computeTime() const;
+
+    /** Sum over the serialized TP all-reduce roles. */
+    Seconds serializedCommTime() const;
+
+    /** Sum over the overlappable DP all-reduce role. */
+    Seconds dpCommTime() const;
+
+    /** All records with a given label, in issue order. */
+    std::vector<ProfileRecord> byLabel(const std::string &label) const;
+
+    /** The single record with the label in the given layer. */
+    const ProfileRecord &find(const std::string &label,
+                              int layer_index) const;
+
+  private:
+    std::vector<ProfileRecord> records_;
+};
+
+/** Runs operator streams against the simulated hardware. */
+class IterationProfiler
+{
+  public:
+    IterationProfiler(hw::KernelCostModel kernel_model,
+                      comm::CollectiveModel collective_model);
+
+    const hw::KernelCostModel &kernelModel() const
+    {
+        return kernelModel_;
+    }
+    const comm::CollectiveModel &collectiveModel() const
+    {
+        return collectiveModel_;
+    }
+
+    /** Cost one operator (collective participants from `par`). */
+    ProfileRecord profileOp(const model::TrainingOp &op,
+                            const model::ParallelConfig &par) const;
+
+    /** Profile an explicit operator stream. */
+    Profile profileOps(const std::vector<model::TrainingOp> &ops,
+                       const model::ParallelConfig &par) const;
+
+    /** Profile a full training iteration of the model. */
+    Profile profileIteration(const model::LayerGraphBuilder &graph) const;
+
+    /** Profile only one layer's forward + backward (cheap baseline). */
+    Profile profileLayer(const model::LayerGraphBuilder &graph,
+                         int layer_index) const;
+
+  private:
+    hw::KernelCostModel kernelModel_;
+    comm::CollectiveModel collectiveModel_;
+};
+
+} // namespace twocs::profiling
+
+#endif // TWOCS_PROFILING_PROFILER_HH

@@ -1,0 +1,76 @@
+#include "roi.hh"
+
+#include "util/logging.hh"
+
+namespace twocs::profiling {
+
+double
+SlackRoi::overlappedCommVsCompute() const
+{
+    fatalIf(backpropComputeTime <= 0.0,
+            "SlackRoi with no backprop compute time");
+    return dpCommTime / backpropComputeTime;
+}
+
+Seconds
+SlackRoi::remainingSlack() const
+{
+    return backpropComputeTime > dpCommTime
+               ? backpropComputeTime - dpCommTime
+               : 0.0;
+}
+
+RoiExtractor::RoiExtractor(IterationProfiler profiler)
+    : profiler_(std::move(profiler))
+{
+}
+
+SlackRoi
+RoiExtractor::slackRoi(const model::LayerGraphBuilder &graph,
+                       model::SubLayer sub, int layer_index) const
+{
+    const model::ParallelConfig &par = graph.parallel();
+    fatalIf(par.dpDegree < 2,
+            "slack ROI needs a data-parallel setup (dpDegree >= 2)");
+
+    SlackRoi roi;
+    for (const model::TrainingOp &op :
+         graph.backwardLayerOps(layer_index)) {
+        if (op.subLayer != sub)
+            continue;
+        if (op.role == model::OpRole::BwdCompute &&
+            op.kernel.kind == hw::KernelKind::Gemm) {
+            // The paper's slack ROI pairs the weight-gradient (WG)
+            // and error (IG) GEMMs against the gradient all-reduce
+            // (Section 3.4, Eq. 7); non-GEMM backward kernels are
+            // not part of the extracted region.
+            roi.backpropComputeTime +=
+                profiler_.profileOp(op, par).duration;
+        } else if (op.role == model::OpRole::DpAllReduce) {
+            roi.dpCommTime += profiler_.profileOp(op, par).duration;
+            roi.gradientBytes += op.commBytes;
+        }
+    }
+    fatalIf(roi.gradientBytes <= 0.0,
+            "slack ROI found no DP all-reduce; is dpDegree > 1?");
+    return roi;
+}
+
+SlackRoi
+RoiExtractor::layerSlackRoi(const model::LayerGraphBuilder &graph,
+                            int layer_index) const
+{
+    const SlackRoi attn =
+        slackRoi(graph, model::SubLayer::Attention, layer_index);
+    const SlackRoi fc =
+        slackRoi(graph, model::SubLayer::FeedForward, layer_index);
+
+    SlackRoi sum;
+    sum.backpropComputeTime =
+        attn.backpropComputeTime + fc.backpropComputeTime;
+    sum.dpCommTime = attn.dpCommTime + fc.dpCommTime;
+    sum.gradientBytes = attn.gradientBytes + fc.gradientBytes;
+    return sum;
+}
+
+} // namespace twocs::profiling

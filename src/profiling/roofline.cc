@@ -1,0 +1,66 @@
+#include "roofline.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace twocs::profiling {
+
+double
+ridgePoint(const hw::DeviceSpec &device, hw::Precision precision)
+{
+    return device.peakFlops(precision) / device.memBandwidth;
+}
+
+RooflinePoint
+rooflinePoint(const hw::DeviceSpec &device, const ProfileRecord &record,
+              hw::Precision precision)
+{
+    fatalIf(record.isComm(),
+            "roofline analysis of a communication record '",
+            record.label, "'");
+    fatalIf(record.bytes <= 0.0 || record.duration <= 0.0,
+            "record '", record.label, "' lacks bytes or duration");
+
+    RooflinePoint p;
+    p.label = record.label;
+    p.arithmeticIntensity = record.flops / record.bytes;
+    p.attainedFlops = record.flops / record.duration;
+
+    const double peak = device.peakFlops(precision);
+    const double ceiling = std::min(
+        peak, p.arithmeticIntensity * device.memBandwidth);
+    p.ceilingFraction = ceiling > 0.0 ? p.attainedFlops / ceiling : 0.0;
+    p.computeBound =
+        p.arithmeticIntensity >= ridgePoint(device, precision);
+    return p;
+}
+
+RooflineSummary
+rooflineSummary(const hw::DeviceSpec &device, const Profile &profile,
+                hw::Precision precision)
+{
+    RooflineSummary s;
+    Seconds total = 0.0;
+    Seconds compute_bound_time = 0.0;
+    double weighted_fraction = 0.0;
+
+    for (const ProfileRecord &rec : profile.records()) {
+        if (rec.isComm() || rec.flops <= 0.0)
+            continue;
+        const RooflinePoint p = rooflinePoint(device, rec, precision);
+        total += rec.duration;
+        if (p.computeBound)
+            compute_bound_time += rec.duration;
+        weighted_fraction += p.ceilingFraction * rec.duration;
+        s.points.push_back(p);
+    }
+
+    fatalIf(s.points.empty(),
+            "profile has no compute kernels to characterize");
+    s.computeBoundTimeShare = compute_bound_time / total;
+    s.meanCeilingFraction = weighted_fraction / total;
+    return s;
+}
+
+} // namespace twocs::profiling

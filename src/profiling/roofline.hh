@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Roofline characterization of profiled kernels.
+ *
+ * Places every profiled kernel on the device's roofline (arithmetic
+ * intensity vs attained FLOP rate) — the workload-characterization
+ * view behind the paper's claim that Transformer GEMMs are compute
+ * bound with high FLOPS utilization (Section 4.2.3) while the
+ * remaining operators are memory bound.
+ */
+
+#ifndef TWOCS_PROFILING_ROOFLINE_HH
+#define TWOCS_PROFILING_ROOFLINE_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/device_spec.hh"
+#include "profiling/profiler.hh"
+
+namespace twocs::profiling {
+
+/** One kernel's position on the roofline. */
+struct RooflinePoint
+{
+    std::string label;
+    /** FLOPs per byte moved. */
+    double arithmeticIntensity = 0.0;
+    /** Attained FLOP/s (flops / measured duration). */
+    double attainedFlops = 0.0;
+    /** Attained fraction of the roofline ceiling at this intensity. */
+    double ceilingFraction = 0.0;
+    /** True when the intensity exceeds the ridge point. */
+    bool computeBound = false;
+};
+
+/** Aggregate over a profile. */
+struct RooflineSummary
+{
+    std::vector<RooflinePoint> points;
+    /** Share of compute time spent in compute-bound kernels. */
+    double computeBoundTimeShare = 0.0;
+    /** Time-weighted mean ceiling fraction. */
+    double meanCeilingFraction = 0.0;
+};
+
+/** Intensity (FLOP/byte) where the device turns compute bound. */
+double ridgePoint(const hw::DeviceSpec &device, hw::Precision precision);
+
+/** Place one record on the roofline (communication records are
+ *  rejected — they have no FLOPs). */
+RooflinePoint rooflinePoint(const hw::DeviceSpec &device,
+                            const ProfileRecord &record,
+                            hw::Precision precision);
+
+/** Characterize every compute kernel in a profile. */
+RooflineSummary rooflineSummary(const hw::DeviceSpec &device,
+                                const Profile &profile,
+                                hw::Precision precision);
+
+} // namespace twocs::profiling
+
+#endif // TWOCS_PROFILING_ROOFLINE_HH

@@ -1,0 +1,189 @@
+#include "engine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace twocs::sim {
+
+Schedule::Schedule(std::vector<Task> tasks,
+                   std::vector<ScheduledTask> placed,
+                   std::vector<std::string> resource_names)
+    : tasks_(std::move(tasks)), placed_(std::move(placed)),
+      resourceNames_(std::move(resource_names))
+{
+    panicIf(tasks_.size() != placed_.size(),
+            "Schedule task/placement size mismatch");
+}
+
+const std::string &
+Schedule::resourceName(ResourceId resource) const
+{
+    panicIf(resource < 0 ||
+                static_cast<std::size_t>(resource) >=
+                    resourceNames_.size(),
+            "resourceName() of unknown resource ", resource);
+    return resourceNames_[resource];
+}
+
+Seconds
+Schedule::makespan() const
+{
+    Seconds end = 0.0;
+    for (const auto &p : placed_)
+        end = std::max(end, p.end);
+    return end;
+}
+
+Seconds
+Schedule::busyTime(ResourceId resource) const
+{
+    Seconds total = 0.0;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        if (tasks_[i].resource == resource)
+            total += placed_[i].end - placed_[i].start;
+    }
+    return total;
+}
+
+Seconds
+Schedule::timeByTag(const std::string &tag) const
+{
+    Seconds total = 0.0;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        if (tasks_[i].tag == tag)
+            total += placed_[i].end - placed_[i].start;
+    }
+    return total;
+}
+
+const ScheduledTask &
+Schedule::placement(TaskId id) const
+{
+    panicIf(id < 0 || static_cast<std::size_t>(id) >= placed_.size(),
+            "placement() of unknown task ", id);
+    return placed_[id];
+}
+
+std::vector<std::pair<Seconds, Seconds>>
+Schedule::busyIntervals(ResourceId resource) const
+{
+    std::vector<std::pair<Seconds, Seconds>> ivals;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        if (tasks_[i].resource == resource &&
+            placed_[i].end > placed_[i].start) {
+            ivals.emplace_back(placed_[i].start, placed_[i].end);
+        }
+    }
+    std::sort(ivals.begin(), ivals.end());
+    // Merge abutting/overlapping intervals.
+    std::vector<std::pair<Seconds, Seconds>> merged;
+    for (const auto &iv : ivals) {
+        if (!merged.empty() && iv.first <= merged.back().second) {
+            merged.back().second = std::max(merged.back().second,
+                                            iv.second);
+        } else {
+            merged.push_back(iv);
+        }
+    }
+    return merged;
+}
+
+namespace {
+
+/** Total length of the intersection of two merged interval lists. */
+Seconds
+intersectionLength(const std::vector<std::pair<Seconds, Seconds>> &a,
+                   const std::vector<std::pair<Seconds, Seconds>> &b)
+{
+    Seconds total = 0.0;
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        const Seconds lo = std::max(a[i].first, b[j].first);
+        const Seconds hi = std::min(a[i].second, b[j].second);
+        if (hi > lo)
+            total += hi - lo;
+        if (a[i].second < b[j].second)
+            ++i;
+        else
+            ++j;
+    }
+    return total;
+}
+
+} // namespace
+
+Seconds
+Schedule::exposedTime(ResourceId target, ResourceId other) const
+{
+    const auto t_busy = busyIntervals(target);
+    const auto o_busy = busyIntervals(other);
+    Seconds target_total = 0.0;
+    for (const auto &iv : t_busy)
+        target_total += iv.second - iv.first;
+    return target_total - intersectionLength(t_busy, o_busy);
+}
+
+Seconds
+Schedule::overlappedTime(ResourceId a, ResourceId b) const
+{
+    return intersectionLength(busyIntervals(a), busyIntervals(b));
+}
+
+ResourceId
+EventSimulator::addResource(std::string name)
+{
+    resourceNames_.push_back(std::move(name));
+    return static_cast<ResourceId>(resourceNames_.size()) - 1;
+}
+
+TaskId
+EventSimulator::addTask(std::string label, std::string tag,
+                        ResourceId resource, Seconds duration,
+                        std::vector<TaskId> deps)
+{
+    fatalIf(resource < 0 ||
+                static_cast<std::size_t>(resource) >=
+                    resourceNames_.size(),
+            "addTask() on unknown resource ", resource);
+    fatalIf(duration < 0.0, "addTask() with negative duration for '",
+            label, "'");
+
+    const TaskId id = static_cast<TaskId>(tasks_.size());
+    for (TaskId dep : deps) {
+        fatalIf(dep < 0 || dep >= id,
+                "task '", label, "' depends on unknown task ", dep);
+    }
+
+    Task t;
+    t.id = id;
+    t.label = std::move(label);
+    t.tag = std::move(tag);
+    t.resource = resource;
+    t.duration = duration;
+    t.deps = std::move(deps);
+    tasks_.push_back(std::move(t));
+    return id;
+}
+
+Schedule
+EventSimulator::run() const
+{
+    std::vector<ScheduledTask> placed(tasks_.size());
+    std::vector<Seconds> resource_free(resourceNames_.size(), 0.0);
+
+    // Tasks were added in program order and dependencies point
+    // backwards, so a single forward pass is a valid simulation.
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        const Task &t = tasks_[i];
+        Seconds ready = resource_free[t.resource];
+        for (TaskId dep : t.deps)
+            ready = std::max(ready, placed[dep].end);
+        placed[i] = { t.id, ready, ready + t.duration };
+        resource_free[t.resource] = placed[i].end;
+    }
+
+    return Schedule(tasks_, std::move(placed), resourceNames_);
+}
+
+} // namespace twocs::sim

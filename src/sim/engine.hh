@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A small deterministic discrete-event engine with GPU-stream
+ * semantics.
+ *
+ * Resources model hardware queues (a device's compute stream and
+ * communication stream). Tasks are issued to a resource in program
+ * order and execute FIFO, but a task additionally waits for all of
+ * its dependencies — exactly the semantics of GPU streams plus
+ * cross-stream events. The engine is the ground-truth substrate the
+ * operator-level projection models are validated against.
+ */
+
+#ifndef TWOCS_SIM_ENGINE_HH
+#define TWOCS_SIM_ENGINE_HH
+
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace twocs::sim {
+
+using TaskId = int;
+using ResourceId = int;
+
+/** An invalid task id (usable as "no dependency"). */
+inline constexpr TaskId InvalidTask = -1;
+
+/** One unit of work bound to a resource. */
+struct Task
+{
+    TaskId id = InvalidTask;
+    std::string label;
+    /** Classification tag aggregated by Schedule::timeByTag(). */
+    std::string tag;
+    ResourceId resource = 0;
+    Seconds duration = 0.0;
+    std::vector<TaskId> deps;
+};
+
+/** Execution record of one task. */
+struct ScheduledTask
+{
+    TaskId id = InvalidTask;
+    Seconds start = 0.0;
+    Seconds end = 0.0;
+};
+
+/** The result of running an EventSimulator. */
+class Schedule
+{
+  public:
+    Schedule(std::vector<Task> tasks, std::vector<ScheduledTask> placed,
+             std::vector<std::string> resource_names);
+
+    /** Name of a resource (stream), as registered. */
+    const std::string &resourceName(ResourceId resource) const;
+
+    std::size_t numResources() const { return resourceNames_.size(); }
+
+    /** Completion time of the last task. */
+    Seconds makespan() const;
+
+    /** Sum of task durations executed on the given resource. */
+    Seconds busyTime(ResourceId resource) const;
+
+    /** Sum of durations of tasks carrying the given tag. */
+    Seconds timeByTag(const std::string &tag) const;
+
+    /**
+     * Wall-clock time during which `target` is busy while `other` is
+     * idle — e.g. communication not hidden by any computation.
+     */
+    Seconds exposedTime(ResourceId target, ResourceId other) const;
+
+    /**
+     * Wall-clock time during which both resources are simultaneously
+     * busy (e.g. overlapped compute and communication).
+     */
+    Seconds overlappedTime(ResourceId a, ResourceId b) const;
+
+    const std::vector<Task> &tasks() const { return tasks_; }
+    const std::vector<ScheduledTask> &placements() const
+    {
+        return placed_;
+    }
+
+    /** Start/end of one task by id. */
+    const ScheduledTask &placement(TaskId id) const;
+
+  private:
+    std::vector<std::pair<Seconds, Seconds>>
+    busyIntervals(ResourceId resource) const;
+
+    std::vector<Task> tasks_;
+    std::vector<ScheduledTask> placed_;
+    std::vector<std::string> resourceNames_;
+};
+
+/** Builds a task graph and schedules it. */
+class EventSimulator
+{
+  public:
+    /** Register a resource (stream); returns its id. */
+    ResourceId addResource(std::string name);
+
+    /**
+     * Append a task to a resource's FIFO queue. Dependencies must be
+     * previously-added task ids.
+     */
+    TaskId addTask(std::string label, std::string tag,
+                   ResourceId resource, Seconds duration,
+                   std::vector<TaskId> deps = {});
+
+    std::size_t numTasks() const { return tasks_.size(); }
+    std::size_t numResources() const { return resourceNames_.size(); }
+
+    /**
+     * Execute: each resource runs its tasks in insertion order, each
+     * task starting once the resource is free and all deps finished.
+     */
+    Schedule run() const;
+
+  private:
+    std::vector<std::string> resourceNames_;
+    std::vector<Task> tasks_;
+};
+
+} // namespace twocs::sim
+
+#endif // TWOCS_SIM_ENGINE_HH

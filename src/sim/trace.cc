@@ -1,0 +1,81 @@
+#include "trace.hh"
+
+#include <cstdio>
+
+namespace twocs::sim {
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+exportChromeTrace(const Schedule &schedule, std::ostream &os)
+{
+    os << "[\n";
+    bool first = true;
+
+    // Thread-name metadata events, one per resource.
+    for (std::size_t r = 0; r < schedule.numResources(); ++r) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  {\"name\": \"thread_name\", \"ph\": \"M\", "
+           << "\"pid\": 1, \"tid\": " << r << ", \"args\": {\"name\": \""
+           << escape(schedule.resourceName(static_cast<ResourceId>(r)))
+           << "\"}}";
+    }
+
+    const auto &tasks = schedule.tasks();
+    const auto &placed = schedule.placements();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "  {\"name\": \"%s\", \"cat\": \"%s\", "
+                      "\"ph\": \"X\", \"pid\": 1, \"tid\": %d, "
+                      "\"ts\": %.3f, \"dur\": %.3f}",
+                      escape(tasks[i].label).c_str(),
+                      escape(tasks[i].tag).c_str(), tasks[i].resource,
+                      placed[i].start * 1e6,
+                      (placed[i].end - placed[i].start) * 1e6);
+        os << buf;
+    }
+    os << "\n]\n";
+}
+
+} // namespace twocs::sim

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Chrome-trace (about://tracing / Perfetto) export of a Schedule.
+ *
+ * Each resource becomes a trace "thread" and each task a complete
+ * ('X') event, so a simulated training timeline can be inspected in
+ * any Chrome-trace viewer — the moral equivalent of looking at a
+ * rocprof timeline of the real run.
+ */
+
+#ifndef TWOCS_SIM_TRACE_HH
+#define TWOCS_SIM_TRACE_HH
+
+#include <ostream>
+
+#include "sim/engine.hh"
+
+namespace twocs::sim {
+
+/**
+ * Write `schedule` as Chrome-trace JSON (an array of event objects).
+ * Durations are emitted in microseconds, the trace format's native
+ * unit.
+ */
+void exportChromeTrace(const Schedule &schedule, std::ostream &os);
+
+} // namespace twocs::sim
+
+#endif // TWOCS_SIM_TRACE_HH

@@ -1,0 +1,22 @@
+#include "logging.hh"
+
+namespace twocs {
+
+namespace detail {
+
+bool &
+verboseFlag()
+{
+    static bool verbose = true;
+    return verbose;
+}
+
+} // namespace detail
+
+void
+setVerbose(bool verbose)
+{
+    detail::verboseFlag() = verbose;
+}
+
+} // namespace twocs

@@ -1,0 +1,86 @@
+#include "rng.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace twocs {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    for (auto &s : state_)
+        s = splitmix64(seed);
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0)
+        u1 = nextDouble();
+    const double u2 = nextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586;
+    spare_ = mag * std::sin(two_pi * u2);
+    hasSpare_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+double
+Rng::noiseFactor(double rel_stddev)
+{
+    fatalIf(rel_stddev < 0.0, "noise stddev must be >= 0");
+    if (rel_stddev == 0.0)
+        return 1.0;
+    // Log-normal with unit mean: exp(sigma*Z - sigma^2/2) where
+    // sigma approximates the relative stddev for small values.
+    const double sigma =
+        std::sqrt(std::log(1.0 + rel_stddev * rel_stddev));
+    return std::exp(sigma * nextGaussian() - 0.5 * sigma * sigma);
+}
+
+} // namespace twocs

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * A small deterministic PRNG (xoshiro256**) for the places the
+ * library deliberately injects randomness (measurement-noise
+ * modelling). Seeded explicitly everywhere — the simulator itself
+ * stays bit-reproducible.
+ */
+
+#ifndef TWOCS_UTIL_RNG_HH
+#define TWOCS_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace twocs {
+
+/** xoshiro256** with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t nextU64();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Standard normal deviate (Box-Muller). */
+    double nextGaussian();
+
+    /**
+     * Log-normal multiplicative noise factor with the given relative
+     * standard deviation; mean 1. rel_stddev == 0 returns exactly 1.
+     */
+    double noiseFactor(double rel_stddev);
+
+  private:
+    std::uint64_t state_[4];
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace twocs
+
+#endif // TWOCS_UTIL_RNG_HH

@@ -1,0 +1,181 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace twocs {
+
+double
+mean(std::span<const double> xs)
+{
+    fatalIf(xs.empty(), "mean() of empty range");
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(std::span<const double> xs)
+{
+    fatalIf(xs.empty(), "geomean() of empty range");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        fatalIf(x <= 0.0, "geomean() requires positive values, got ", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+minOf(std::span<const double> xs)
+{
+    fatalIf(xs.empty(), "minOf() of empty range");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(std::span<const double> xs)
+{
+    fatalIf(xs.empty(), "maxOf() of empty range");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+relativeError(double predicted, double actual)
+{
+    fatalIf(actual == 0.0, "relativeError() with zero actual value");
+    return std::fabs(predicted - actual) / std::fabs(actual);
+}
+
+namespace {
+
+double
+computeR2(std::span<const double> xs, std::span<const double> ys,
+          double slope, double bias)
+{
+    const double y_mean = mean(ys);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double pred = slope * xs[i] + bias;
+        ss_res += (ys[i] - pred) * (ys[i] - pred);
+        ss_tot += (ys[i] - y_mean) * (ys[i] - y_mean);
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+} // namespace
+
+LinearFit
+fitLinear(std::span<const double> xs, std::span<const double> ys)
+{
+    fatalIf(xs.size() != ys.size(), "fitLinear() size mismatch");
+    fatalIf(xs.size() < 2, "fitLinear() needs at least two points");
+
+    const double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    fatalIf(denom == 0.0, "fitLinear() requires distinct x values");
+
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.bias = (sy - fit.slope * sx) / n;
+    fit.r2 = computeR2(xs, ys, fit.slope, fit.bias);
+    return fit;
+}
+
+LinearFit
+fitProportional(std::span<const double> xs, std::span<const double> ys)
+{
+    fatalIf(xs.size() != ys.size(), "fitProportional() size mismatch");
+    fatalIf(xs.empty(), "fitProportional() of empty range");
+
+    double sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    fatalIf(sxx == 0.0, "fitProportional() requires a nonzero x");
+
+    LinearFit fit;
+    fit.slope = sxy / sxx;
+    fit.bias = 0.0;
+    fit.r2 = computeR2(xs, ys, fit.slope, 0.0);
+    return fit;
+}
+
+double
+PowerFit::eval(double x) const
+{
+    return scale * std::pow(x, exponent);
+}
+
+PowerFit
+fitPower(std::span<const double> xs, std::span<const double> ys)
+{
+    fatalIf(xs.size() != ys.size(), "fitPower() size mismatch");
+    std::vector<double> lx(xs.size()), ly(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        fatalIf(xs[i] <= 0.0 || ys[i] <= 0.0,
+                "fitPower() requires positive values");
+        lx[i] = std::log(xs[i]);
+        ly[i] = std::log(ys[i]);
+    }
+    const LinearFit lf = fitLinear(lx, ly);
+
+    PowerFit fit;
+    fit.scale = std::exp(lf.bias);
+    fit.exponent = lf.slope;
+    fit.r2 = lf.r2;
+    return fit;
+}
+
+void
+ErrorAccumulator::add(double predicted, double actual)
+{
+    // Geomean needs strictly positive inputs; a perfect prediction is
+    // recorded as a vanishingly small error instead of zero.
+    const double err = std::max(relativeError(predicted, actual), 1e-12);
+    errors_.push_back(err);
+}
+
+double
+ErrorAccumulator::geomeanError() const
+{
+    return geomean(errors_);
+}
+
+double
+ErrorAccumulator::meanError() const
+{
+    return mean(errors_);
+}
+
+double
+ErrorAccumulator::maxError() const
+{
+    return maxOf(errors_);
+}
+
+} // namespace twocs

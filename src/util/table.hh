@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Aligned console tables and CSV export.
+ *
+ * Every bench binary regenerates a paper table/figure as rows; this
+ * writer keeps those rows readable on a terminal and loadable by
+ * plotting scripts (CSV).
+ */
+
+#ifndef TWOCS_UTIL_TABLE_HH
+#define TWOCS_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace twocs {
+
+/** A simple column-aligned table with optional CSV serialization. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles/ints/strings into a row. */
+    template <typename... Cells>
+    void
+    addRowOf(Cells &&...cells)
+    {
+        std::vector<std::string> row;
+        row.reserve(sizeof...(cells));
+        (row.push_back(toCell(std::forward<Cells>(cells))), ...);
+        addRow(std::move(row));
+    }
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+
+    /** Render with space padding and a header underline. */
+    void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (quotes cells containing commas). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    static std::string toCell(const std::string &s) { return s; }
+    static std::string toCell(const char *s) { return s; }
+    static std::string toCell(double v);
+    static std::string toCell(int v);
+    static std::string toCell(long v);
+    static std::string toCell(unsigned long v);
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace twocs
+
+#endif // TWOCS_UTIL_TABLE_HH

@@ -1,0 +1,78 @@
+#include "units.hh"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace twocs {
+
+namespace {
+
+std::string
+withPrefix(double value, double base, const char *const *prefixes,
+           int num_prefixes, const std::string &unit, int precision)
+{
+    double magnitude = std::fabs(value);
+    int idx = 0;
+    while (idx + 1 < num_prefixes && magnitude >= base) {
+        magnitude /= base;
+        value /= base;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s%s", precision, value,
+                  prefixes[idx], unit.c_str());
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatSeconds(Seconds s, int precision)
+{
+    static const std::array<const char *, 4> prefix = {
+        "ns", "us", "ms", "s"
+    };
+    double v = s * 1e9;
+    int idx = 0;
+    while (idx + 1 < static_cast<int>(prefix.size()) &&
+           std::fabs(v) >= 1000.0) {
+        v /= 1000.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s", precision, v, prefix[idx]);
+    return buf;
+}
+
+std::string
+formatBytes(Bytes b, int precision)
+{
+    static const char *prefixes[] = { "", "Ki", "Mi", "Gi", "Ti", "Pi" };
+    return withPrefix(b, 1024.0, prefixes, 6, "B", precision);
+}
+
+std::string
+formatFlops(FlopCount f, int precision)
+{
+    static const char *prefixes[] = { "", "K", "M", "G", "T", "P", "E" };
+    return withPrefix(f, 1000.0, prefixes, 7, "FLOP", precision);
+}
+
+std::string
+formatRate(double per_second, const std::string &unit, int precision)
+{
+    static const char *prefixes[] = { "", "K", "M", "G", "T", "P", "E" };
+    return withPrefix(per_second, 1000.0, prefixes, 7, unit + "/s",
+                      precision);
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace twocs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Strongly-suggestive unit aliases and human-readable formatting.
+ *
+ * The library models physical quantities (time, bytes, FLOP rates)
+ * as doubles with unit-bearing aliases, plus helpers to convert and
+ * pretty-print them. Binary prefixes are used for capacities and
+ * decimal prefixes for rates, matching vendor datasheet conventions.
+ */
+
+#ifndef TWOCS_UTIL_UNITS_HH
+#define TWOCS_UTIL_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace twocs {
+
+/** Seconds of (simulated) execution time. */
+using Seconds = double;
+/** A count of floating-point operations (multiply + add count as 2). */
+using FlopCount = double;
+/** Floating point operations per second. */
+using FlopRate = double;
+/** A byte count (sizes, volumes). */
+using Bytes = double;
+/** Bytes per second. */
+using ByteRate = double;
+
+namespace units {
+
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * KiB;
+inline constexpr double GiB = 1024.0 * MiB;
+
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+inline constexpr double tera = 1e12;
+inline constexpr double peta = 1e15;
+
+inline constexpr double micro = 1e-6;
+inline constexpr double milli = 1e-3;
+inline constexpr double nano = 1e-9;
+
+/** GB/s as used on interconnect datasheets (decimal). */
+inline constexpr double GBps = giga;
+/** TFLOP/s as used on accelerator datasheets (decimal). */
+inline constexpr double TFLOPs = tera;
+
+} // namespace units
+
+/** Format seconds with an auto-selected prefix, e.g. "3.21 ms". */
+std::string formatSeconds(Seconds s, int precision = 3);
+
+/** Format a byte count with binary prefixes, e.g. "1.50 GiB". */
+std::string formatBytes(Bytes b, int precision = 2);
+
+/** Format a FLOP count with decimal prefixes, e.g. "4.10 GFLOP". */
+std::string formatFlops(FlopCount f, int precision = 2);
+
+/** Format a rate (bytes/s or FLOP/s) with decimal prefixes. */
+std::string formatRate(double per_second, const std::string &unit,
+                       int precision = 2);
+
+/** Format a [0, 1] ratio as a percentage, e.g. "47.3%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+} // namespace twocs
+
+#endif // TWOCS_UTIL_UNITS_HH

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "analytic/complexity.hh"
+#include "analytic/trends.hh"
+#include "hw/catalog.hh"
+#include "model/layer_graph.hh"
+#include "util/logging.hh"
+
+namespace twocs::analytic {
+namespace {
+
+using model::bertLarge;
+using model::modelZoo;
+using model::ParallelConfig;
+
+ParallelConfig
+par(int tp)
+{
+    ParallelConfig p;
+    p.tpDegree = tp;
+    return p;
+}
+
+TEST(Complexity, EquationsMatchLayerGraphFlops)
+{
+    // The closed forms (Eqs. 1-4) must agree exactly with the GEMM
+    // flops of the constructed layer graph.
+    for (int tp : { 1, 4, 16 }) {
+        const auto hp = bertLarge().withCompatibleHeads(tp);
+        const LayerComplexity lc = layerComplexity(hp, par(tp));
+        model::LayerGraphBuilder g(hp, par(tp));
+
+        double fwd_flops = 0.0;
+        for (const auto &op : g.forwardLayerOps(0)) {
+            if (op.isCompute() &&
+                op.kernel.kind == hw::KernelKind::Gemm) {
+                fwd_flops += op.kernel.flops();
+            }
+        }
+        EXPECT_NEAR(lc.forwardOps / fwd_flops, 1.0, 1e-9) << tp;
+        EXPECT_NEAR(lc.trainingOps, 3.0 * lc.forwardOps, 1e-3);
+    }
+}
+
+TEST(Complexity, CommBytesMatchLayerGraph)
+{
+    const auto hp = bertLarge();
+    const LayerComplexity lc = layerComplexity(hp, par(8));
+    model::LayerGraphBuilder g(hp, par(8));
+    EXPECT_DOUBLE_EQ(lc.tpAllReduceBytes, g.tpAllReduceBytes());
+    EXPECT_DOUBLE_EQ(lc.serializedCommBytes, 4.0 * g.tpAllReduceBytes());
+    EXPECT_DOUBLE_EQ(lc.dpGradientBytes, g.layerWeightGradBytes());
+}
+
+TEST(Complexity, AmdahlEdgeAsymptoticForm)
+{
+    // Eq. 6: edge = (H + SL) / TP.
+    const auto hp = bertLarge();
+    EXPECT_DOUBLE_EQ(amdahlEdge(hp, 8), (1024.0 + 512.0) / 8.0);
+    EXPECT_THROW(amdahlEdge(hp, 0), FatalError);
+}
+
+TEST(Complexity, ExactEdgeTracksAsymptoticForm)
+{
+    // Across H values, the exact FLOP/byte edge must be proportional
+    // to (H + SL)/TP (Eq. 6's O-form), to within the fc!=4H wiggle.
+    const auto base = bertLarge();
+    const double r1 =
+        amdahlEdgeExact(base.withHidden(4096), par(4)) /
+        amdahlEdge(base.withHidden(4096), 4);
+    const double r2 =
+        amdahlEdgeExact(base.withHidden(16384), par(4)) /
+        amdahlEdge(base.withHidden(16384), 4);
+    EXPECT_NEAR(r1 / r2, 1.0, 0.15);
+}
+
+TEST(Complexity, SlackAsymptoticForm)
+{
+    EXPECT_DOUBLE_EQ(slackAdvantage(bertLarge()), 512.0 * 4.0);
+}
+
+TEST(Complexity, ExactSlackIsProportionalToSlTimesB)
+{
+    // Eq. 9: slack ~ SL * B, independent of H and TP.
+    const auto base = bertLarge();
+    const double s1 = slackAdvantageExact(base.withBatchSize(1), par(4));
+    const double s8 = slackAdvantageExact(base.withBatchSize(8), par(4));
+    EXPECT_NEAR(s8 / s1, 8.0, 1e-6);
+
+    // Independent of TP degree (both ops and bytes slice by TP).
+    const double t4 = slackAdvantageExact(base, par(4));
+    const double t16 =
+        slackAdvantageExact(base.withCompatibleHeads(16), par(16));
+    EXPECT_NEAR(t4 / t16, 1.0, 1e-6);
+}
+
+TEST(Complexity, EdgeShrinksWithTp)
+{
+    const auto hp = bertLarge();
+    EXPECT_GT(amdahlEdgeExact(hp, par(4)),
+              amdahlEdgeExact(hp.withCompatibleHeads(64), par(64)));
+}
+
+// --- trends (Figures 6, 7, 9b) ---
+
+TEST(Trends, MemoryGapWidensOverTime)
+{
+    const auto points = memoryTrend(modelZoo(), hw::allDevices());
+    ASSERT_EQ(points.size(), modelZoo().size());
+    EXPECT_NEAR(points.front().gap, 1.0, 1e-9);
+    // Figure 6: demand outruns capacity by a growing margin.
+    EXPECT_GT(points.back().gap, 4.0);
+    EXPECT_GT(points.back().demandProxyNorm,
+              10.0 * points.back().capacityNorm);
+}
+
+TEST(Trends, AlgorithmicScalingMatchesPaperDrops)
+{
+    const auto points = algorithmicScaling(modelZoo());
+    ASSERT_EQ(points.size(), 8u);
+    EXPECT_DOUBLE_EQ(points.front().slackNorm, 1.0);
+    EXPECT_DOUBLE_EQ(points.front().edgeNorm, 1.0);
+    // Section 3.5: ~75% slack drop and ~80% edge drop by PaLM.
+    const auto &palm = points.back();
+    EXPECT_NEAR(palm.slackNorm, 0.25, 0.05);
+    EXPECT_NEAR(palm.edgeNorm, 0.20, 0.05);
+}
+
+TEST(Trends, RequiredTpInPaperBand)
+{
+    // Figure 9(b): TP scaling of 40-60x for the largest recent
+    // models, i.e. required TP of ~250-550 from base_TP = 8.
+    const auto mtnlg = requiredTp("MT-NLG", 530.0, 2021);
+    const auto palm = requiredTp("PaLM", 540.0, 2022);
+    EXPECT_GE(mtnlg.tpScale, 40.0);
+    EXPECT_LE(mtnlg.tpScale, 62.0);
+    EXPECT_GE(palm.tpScale, 40.0);
+    EXPECT_LE(palm.tpScale, 62.0);
+    EXPECT_GE(mtnlg.requiredTpDegree, 250.0);
+    EXPECT_LE(mtnlg.requiredTpDegree, 550.0);
+    EXPECT_GE(palm.requiredTpDegree, 250.0);
+    EXPECT_LE(palm.requiredTpDegree, 550.0);
+}
+
+TEST(Trends, RequiredTpAnchorsAtBase)
+{
+    const auto anchor = requiredTp("Mega-BERT", 3.9, 2019);
+    EXPECT_NEAR(anchor.requiredTpDegree, 8.0, 1e-9);
+    EXPECT_NEAR(anchor.tpScale, 1.0, 1e-9);
+}
+
+TEST(Trends, RequiredTpValidation)
+{
+    EXPECT_THROW(requiredTp("bad", -1.0, 2022), FatalError);
+    EXPECT_THROW(requiredTp("bad", 10.0, 2022,
+                            model::megatronBertAnchor(), 0.5),
+                 FatalError);
+}
+
+/** Property: the edge drops monotonically as TP grows (Eq. 6). */
+class EdgeVsTp : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EdgeVsTp, EdgeDecreasesWithTp)
+{
+    const int tp = GetParam();
+    const auto hp = bertLarge();
+    EXPECT_GT(amdahlEdgeExact(hp.withCompatibleHeads(tp), par(tp)),
+              amdahlEdgeExact(hp.withCompatibleHeads(2 * tp),
+                              par(2 * tp)));
+}
+
+INSTANTIATE_TEST_SUITE_P(TpDegrees, EdgeVsTp,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128));
+
+} // namespace
+} // namespace twocs::analytic

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "comm/collectives.hh"
+#include "hw/catalog.hh"
+#include "util/logging.hh"
+
+namespace twocs::comm {
+namespace {
+
+CollectiveModel
+nodeModel(int devices = 4)
+{
+    return CollectiveModel(hw::Topology::singleNode(hw::mi210(), devices));
+}
+
+constexpr Bytes MiB = 1024.0 * 1024.0;
+
+TEST(AllReduce, RingWireTraffic)
+{
+    const CollectiveModel m = nodeModel();
+    const CollectiveCost c = m.allReduce(64 * MiB, 4);
+    // Ring all-reduce moves 2*S*(P-1)/P bytes per device.
+    EXPECT_DOUBLE_EQ(c.bytesOnWire, 2.0 * 64 * MiB * 3.0 / 4.0);
+    EXPECT_EQ(c.steps, 6);
+    EXPECT_DOUBLE_EQ(c.total, c.wireTime + c.latencyTime);
+}
+
+TEST(AllReduce, AchievedBandwidthSaturatesNearRingPeak)
+{
+    const CollectiveModel m = nodeModel();
+    const ByteRate bw = m.achievedAllReduceBandwidth(1e9, 4);
+    // 150 GB/s ring peak with ~0.92 protocol efficiency.
+    EXPECT_GT(bw, 0.85 * 150e9);
+    EXPECT_LT(bw, 150e9);
+}
+
+TEST(AllReduce, SmallMessagesUnderutilizeBandwidth)
+{
+    const CollectiveModel m = nodeModel();
+    const ByteRate small = m.achievedAllReduceBandwidth(256.0 * 1024, 4);
+    const ByteRate large = m.achievedAllReduceBandwidth(1e9, 4);
+    // Section 4.3.5: sub-linear communication cost growth at small
+    // sizes -> far lower achieved bandwidth.
+    EXPECT_LT(small, 0.4 * large);
+}
+
+TEST(AllReduce, TimeMonotoneInPayload)
+{
+    const CollectiveModel m = nodeModel(64);
+    Seconds prev = 0.0;
+    for (Bytes s = MiB; s <= 1024 * MiB; s *= 4) {
+        const Seconds t = m.allReduce(s, 16).total;
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(AllReduce, TimeMonotoneInParticipants)
+{
+    const CollectiveModel m = nodeModel(256);
+    Seconds prev = 0.0;
+    for (int p = 2; p <= 256; p *= 2) {
+        const Seconds t = m.allReduce(64 * MiB, p).total;
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(AllReduce, RejectsBadArguments)
+{
+    const CollectiveModel m = nodeModel();
+    EXPECT_THROW(m.allReduce(0.0, 4), FatalError);
+    EXPECT_THROW(m.allReduce(MiB, 1), FatalError);
+}
+
+TEST(AllGather, WireTraffic)
+{
+    const CollectiveModel m = nodeModel();
+    const CollectiveCost c = m.allGather(16 * MiB, 4);
+    EXPECT_DOUBLE_EQ(c.bytesOnWire, 16 * MiB * 3.0);
+    EXPECT_EQ(c.steps, 3);
+}
+
+TEST(ReduceScatter, WireTraffic)
+{
+    const CollectiveModel m = nodeModel();
+    const CollectiveCost c = m.reduceScatter(64 * MiB, 4);
+    EXPECT_DOUBLE_EQ(c.bytesOnWire, 64 * MiB * 3.0 / 4.0);
+}
+
+TEST(ReduceScatterPlusAllGather, ComposeToAllReduce)
+{
+    // The ring all-reduce is exactly RS(S) + AG(S/P) in traffic.
+    const CollectiveModel m = nodeModel();
+    const Bytes s = 64 * MiB;
+    const CollectiveCost ar = m.allReduce(s, 4);
+    const CollectiveCost rs = m.reduceScatter(s, 4);
+    const CollectiveCost ag = m.allGather(s / 4, 4);
+    EXPECT_NEAR(ar.bytesOnWire, rs.bytesOnWire + ag.bytesOnWire, 1.0);
+    EXPECT_EQ(ar.steps, rs.steps + ag.steps);
+}
+
+TEST(Broadcast, PipelinedCost)
+{
+    const CollectiveModel m = nodeModel();
+    const CollectiveCost c = m.broadcast(32 * MiB, 4);
+    EXPECT_DOUBLE_EQ(c.bytesOnWire, 32 * MiB);
+    EXPECT_EQ(c.steps, 3);
+}
+
+TEST(AllToAll, WireTraffic)
+{
+    const CollectiveModel m = nodeModel(8);
+    const CollectiveCost c = m.allToAll(64 * MiB, 8);
+    EXPECT_DOUBLE_EQ(c.bytesOnWire, 64 * MiB * 7.0 / 8.0);
+}
+
+TEST(Dispatch, CostMatchesDirectCalls)
+{
+    const CollectiveModel m = nodeModel();
+    CollectiveDesc d;
+    d.kind = CollectiveKind::AllReduce;
+    d.bytes = 8 * MiB;
+    d.participants = 4;
+    EXPECT_DOUBLE_EQ(m.cost(d).total, m.allReduce(8 * MiB, 4).total);
+    d.kind = CollectiveKind::AllToAll;
+    EXPECT_DOUBLE_EQ(m.cost(d).total, m.allToAll(8 * MiB, 4).total);
+}
+
+TEST(InNetworkReduction, HalvesAllReduceTraffic)
+{
+    // Section 5, Technique 2: PIN gives a ~2x effective bandwidth
+    // benefit over ring all-reduce.
+    CollectiveModel m = nodeModel();
+    const CollectiveCost ring = m.allReduce(256 * MiB, 4);
+    m.setInNetworkReduction(true);
+    const CollectiveCost pin = m.allReduce(256 * MiB, 4);
+    EXPECT_NEAR(pin.bytesOnWire, ring.bytesOnWire / 1.5, 1.0);
+    EXPECT_LT(pin.total, ring.total);
+}
+
+TEST(Hierarchical, UsedWhenSpanningNodes)
+{
+    hw::LinkSpec inter;
+    inter.bandwidth = 6.25e9; // ~8x slower than a 50 GB/s link
+    inter.latency = 12e-6;
+    const CollectiveModel multi(
+        hw::Topology::multiNode(hw::mi210(), 64, 4, inter));
+    const CollectiveModel single = nodeModel(64);
+
+    const Seconds t_multi = multi.allReduce(256 * MiB, 16).total;
+    const Seconds t_single = single.allReduce(256 * MiB, 16).total;
+    EXPECT_GT(t_multi, t_single);
+}
+
+TEST(Hierarchical, IntraNodeCollectivesUnaffected)
+{
+    hw::LinkSpec inter;
+    inter.bandwidth = 6.25e9;
+    inter.latency = 12e-6;
+    const CollectiveModel multi(
+        hw::Topology::multiNode(hw::mi210(), 64, 4, inter));
+    const CollectiveModel single = nodeModel(4);
+    // A 4-wide all-reduce stays inside one node.
+    EXPECT_DOUBLE_EQ(multi.allReduce(64 * MiB, 4).total,
+                     single.allReduce(64 * MiB, 4).total);
+}
+
+TEST(Hierarchical, ExplicitCallValidation)
+{
+    const CollectiveModel single = nodeModel(8);
+    EXPECT_THROW(single.hierarchicalAllReduce(MiB), FatalError);
+
+    hw::LinkSpec inter;
+    inter.bandwidth = 1e10;
+    const CollectiveModel multi(
+        hw::Topology::multiNode(hw::mi210(), 16, 4, inter));
+    EXPECT_THROW(multi.hierarchicalAllReduce(MiB, 6), FatalError);
+    EXPECT_NO_THROW(multi.hierarchicalAllReduce(MiB, 8));
+}
+
+TEST(Hierarchical, PhaseAccountingIsConsistent)
+{
+    hw::LinkSpec inter;
+    inter.bandwidth = 6.25e9;
+    inter.latency = 12e-6;
+    const CollectiveModel multi(
+        hw::Topology::multiNode(hw::mi210(), 32, 4, inter));
+    const CollectiveCost c = multi.hierarchicalAllReduce(256 * MiB, 32);
+    // Phases: intra RS (3 steps) + inter AR (2*(8-1)=14) + intra AG
+    // (3 steps).
+    EXPECT_EQ(c.steps, 3 + 14 + 3);
+    EXPECT_NEAR(c.total, c.wireTime + c.latencyTime, 1e-15);
+    // Wire bytes: RS 3/4*S + inter 2*(S/4)*(7/8) + AG 3/4*S.
+    const double s = 256 * MiB;
+    EXPECT_NEAR(c.bytesOnWire,
+                0.75 * s + 2.0 * (s / 4.0) * (7.0 / 8.0) + 0.75 * s,
+                1.0);
+}
+
+TEST(KindNames, AllNamed)
+{
+    EXPECT_EQ(collectiveKindName(CollectiveKind::AllReduce),
+              "all_reduce");
+    EXPECT_EQ(collectiveKindName(CollectiveKind::AllToAll),
+              "all_to_all");
+}
+
+/** Property: for any payload, doubling the payload at most doubles
+ *  the all-reduce time (sub-linear cost growth from the bandwidth
+ *  ramp, Section 4.3.5), and never less than 1x. */
+class SubLinearGrowth : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SubLinearGrowth, DoublingPayloadAtMostDoublesTime)
+{
+    const CollectiveModel m = nodeModel();
+    const Bytes s = GetParam();
+    const Seconds t1 = m.allReduce(s, 4).total;
+    const Seconds t2 = m.allReduce(2.0 * s, 4).total;
+    EXPECT_GE(t2, t1);
+    EXPECT_LE(t2, 2.0 * t1 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Payloads, SubLinearGrowth,
+                         ::testing::Values(64e3, 1e6, 16e6, 256e6, 2e9));
+
+} // namespace
+} // namespace twocs::comm

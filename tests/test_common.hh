@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the twocs test suite.
+ */
+
+#ifndef TWOCS_TESTS_TEST_COMMON_HH
+#define TWOCS_TESTS_TEST_COMMON_HH
+
+#include <gtest/gtest.h>
+
+#include "core/system_config.hh"
+#include "model/layer_graph.hh"
+#include "model/zoo.hh"
+
+namespace twocs::test {
+
+/** The paper's measurement system (MI210 node, no evolution). */
+inline core::SystemConfig
+paperSystem()
+{
+    return core::SystemConfig{};
+}
+
+/** A BERT-Large layer graph at the given parallel degrees. */
+inline model::LayerGraphBuilder
+bertGraph(int tp = 1, int dp = 1)
+{
+    model::ParallelConfig par;
+    par.tpDegree = tp;
+    par.dpDegree = dp;
+    return model::LayerGraphBuilder(model::bertLarge(), par);
+}
+
+/** EXPECT that `value` lies within [lo, hi]. */
+#define EXPECT_IN_RANGE(value, lo, hi)                                    \
+    do {                                                                  \
+        const double v_ = (value);                                        \
+        EXPECT_GE(v_, (lo));                                              \
+        EXPECT_LE(v_, (hi));                                              \
+    } while (0)
+
+} // namespace twocs::test
+
+#endif // TWOCS_TESTS_TEST_COMMON_HH

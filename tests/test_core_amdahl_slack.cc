@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "core/amdahl.hh"
+#include "core/slack.hh"
+#include "core/sweep.hh"
+#include "test_common.hh"
+
+namespace twocs::core {
+namespace {
+
+TEST(SweepSpace, TableThreeValues)
+{
+    const SweepSpace s = table3();
+    EXPECT_EQ(s.hiddens.size(), 7u);
+    EXPECT_EQ(s.hiddens.front(), 1024);
+    EXPECT_EQ(s.hiddens.back(), 65536);
+    EXPECT_EQ(s.batches, (std::vector<std::int64_t>{ 1, 4 }));
+    EXPECT_EQ(s.seqLens.size(), 4u);
+    EXPECT_EQ(s.tpDegrees.size(), 7u);
+    EXPECT_EQ(s.tpDegrees.front(), 4);
+    EXPECT_EQ(s.tpDegrees.back(), 256);
+}
+
+TEST(SweepSpace, SerializedGridHas196Configs)
+{
+    // Section 4.3.8: ~196 avoided configurations.
+    EXPECT_EQ(serializedConfigs(table3()).size(), 196u);
+}
+
+TEST(SweepSpace, Figure10LinesMatchPaper)
+{
+    const auto lines = figure10Lines();
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0].hidden, 4096);   // ~T-NLG
+    EXPECT_EQ(lines[0].requiredTp, 16);
+    EXPECT_EQ(lines[1].hidden, 16384);  // ~PaLM
+    EXPECT_EQ(lines[1].requiredTp, 64);
+    EXPECT_EQ(lines[2].hidden, 65536);  // future
+    EXPECT_EQ(lines[2].requiredTp, 256);
+}
+
+class AmdahlFixture : public ::testing::Test
+{
+  protected:
+    AmdahlFixture() : analysis_(test::paperSystem()) {}
+
+    AmdahlAnalysis analysis_;
+};
+
+TEST_F(AmdahlFixture, CommFractionGrowsWithTp)
+{
+    // Figure 10: along one (H, SL) line, the serialized comm
+    // fraction rises with TP degree.
+    double prev = 0.0;
+    for (int tp : { 4, 8, 16, 32, 64, 128, 256 }) {
+        const AmdahlPoint p = analysis_.evaluate(8192, 2048, 1, tp);
+        EXPECT_GT(p.commFraction(), prev) << tp;
+        prev = p.commFraction();
+    }
+}
+
+TEST_F(AmdahlFixture, CommFractionDropsWithHiddenAtFixedTp)
+{
+    // Figure 10: with TP fixed, larger H means more compute per
+    // communicated byte (the (H+SL)/TP edge grows).
+    const AmdahlPoint small = analysis_.evaluate(2048, 2048, 1, 16);
+    const AmdahlPoint large = analysis_.evaluate(32768, 2048, 1, 16);
+    EXPECT_GT(small.commFraction(), large.commFraction());
+}
+
+TEST_F(AmdahlFixture, PaperBandAtRequiredTps)
+{
+    // Figure 10 blue highlights: a considerable 20-50% of execution
+    // at each model's required TP degree, growing with model scale.
+    std::vector<double> fractions;
+    for (const ModelLine &l : figure10Lines()) {
+        const AmdahlPoint p =
+            analysis_.evaluate(l.hidden, l.seqLen, 1, l.requiredTp);
+        EXPECT_IN_RANGE(p.commFraction(), 0.20, 0.50);
+        fractions.push_back(p.commFraction());
+    }
+    EXPECT_GT(fractions.back(), fractions.front());
+}
+
+TEST_F(AmdahlFixture, ProjectionTracksDirectSimulation)
+{
+    // The operator-level model must stay close to ground truth at
+    // node-scale setups (the regime it was calibrated in).
+    const AmdahlPoint proj = analysis_.evaluate(4096, 1024, 4, 4);
+    const AmdahlPoint direct =
+        analysis_.evaluateDirect(4096, 1024, 4, 4);
+    EXPECT_NEAR(proj.commFraction(), direct.commFraction(), 0.10);
+    EXPECT_NEAR(proj.computeTime / direct.computeTime, 1.0, 0.20);
+}
+
+TEST_F(AmdahlFixture, DirectFractionIsHigherAtExtremeTp)
+{
+    // Ring latency and the (P-1)/P factor, absent from the linear
+    // projection, push the true fraction up at large TP — the
+    // paper's "optimistic" caveat (Section 4.3.2).
+    const AmdahlPoint proj = analysis_.evaluate(65536, 4096, 1, 256);
+    const AmdahlPoint direct =
+        analysis_.evaluateDirect(65536, 4096, 1, 256);
+    EXPECT_GT(direct.commFraction(), proj.commFraction());
+}
+
+TEST(AmdahlEvolution, FlopScalingRaisesCommFraction)
+{
+    // Figures 12: 2x and 4x flop-vs-bw scaling push the serialized
+    // fraction from 20-50% to 30-65% and 40-75%.
+    std::vector<double> fraction_at_scale;
+    for (double fs : { 1.0, 2.0, 4.0 }) {
+        SystemConfig sys = test::paperSystem();
+        sys.flopScale = fs;
+        AmdahlAnalysis analysis(sys);
+        const AmdahlPoint p = analysis.evaluate(65536, 4096, 1, 256);
+        fraction_at_scale.push_back(p.commFraction());
+    }
+    EXPECT_LT(fraction_at_scale[0], fraction_at_scale[1]);
+    EXPECT_LT(fraction_at_scale[1], fraction_at_scale[2]);
+    EXPECT_IN_RANGE(fraction_at_scale[1], 0.30, 0.65);
+    EXPECT_IN_RANGE(fraction_at_scale[2], 0.40, 0.75);
+}
+
+class SlackFixture : public ::testing::Test
+{
+  protected:
+    SlackFixture() : analysis_(test::paperSystem()) {}
+
+    SlackAnalysis analysis_;
+};
+
+TEST_F(SlackFixture, OverlapDropsAsSlTimesBGrows)
+{
+    // Figure 11: compute grows with SL*B while gradient size does
+    // not, so the overlapped share falls.
+    double prev = 1e9;
+    for (std::int64_t sl : { 1024, 2048, 4096, 8192 }) {
+        const SlackPoint p = analysis_.evaluate(8192, sl, 1);
+        EXPECT_LT(p.overlappedCommVsCompute(), prev);
+        prev = p.overlappedCommVsCompute();
+    }
+}
+
+TEST_F(SlackFixture, SmallHiddenHasLessSlack)
+{
+    // Figure 11 / Section 4.3.5: small H means small gradient
+    // messages that under-utilize network bandwidth, leaving less
+    // compute slack.
+    const SlackPoint small = analysis_.evaluate(1024, 4096, 1);
+    const SlackPoint large = analysis_.evaluate(65536, 4096, 1);
+    EXPECT_GT(small.overlappedCommVsCompute(),
+              1.5 * large.overlappedCommVsCompute());
+}
+
+TEST_F(SlackFixture, PaperBandAtCommonSlTimesB)
+{
+    // Highlighted region: at SL*B = 4K, overlapped communication is
+    // 20-55% of the compute available to hide it.
+    for (std::int64_t h : { 1024, 4096, 16384, 65536 }) {
+        const SlackPoint p = analysis_.evaluate(h, 4096, 1);
+        EXPECT_IN_RANGE(p.overlappedCommVsCompute(), 0.15, 0.60);
+    }
+}
+
+TEST_F(SlackFixture, BatchAndSeqLenInterchangeable)
+{
+    // The slack ratio depends on the SL*B product (Eq. 9), not on
+    // the individual factors.
+    const SlackPoint a = analysis_.evaluate(8192, 4096, 1);
+    const SlackPoint b = analysis_.evaluate(8192, 1024, 4);
+    EXPECT_EQ(a.slTimesB(), b.slTimesB());
+    EXPECT_NEAR(a.overlappedCommVsCompute() /
+                    b.overlappedCommVsCompute(),
+                1.0, 0.15);
+}
+
+TEST_F(SlackFixture, NotExposedAtPaperScaleOneX)
+{
+    const SlackPoint p = analysis_.evaluate(16384, 4096, 1);
+    EXPECT_FALSE(p.commExposed());
+}
+
+TEST(SlackEvolution, FlopScalingExposesOverlappedComm)
+{
+    // Figure 13: at 4x flop-vs-bw, overlapped communication reaches
+    // 80-210% of compute, i.e. exposed in many configurations.
+    SystemConfig sys = test::paperSystem();
+    sys.flopScale = 4.0;
+    SlackAnalysis analysis(sys);
+
+    const SlackPoint hidden = analysis.evaluate(16384, 8192, 4);
+    EXPECT_FALSE(hidden.commExposed()); // big SL*B still hides
+
+    const SlackPoint exposed = analysis.evaluate(4096, 1024, 1);
+    EXPECT_TRUE(exposed.commExposed());
+    EXPECT_GT(exposed.overlappedCommVsCompute(), 1.0);
+}
+
+TEST(SlackEvolution, RatioScalesRoughlyWithFlopScale)
+{
+    SlackAnalysis base(test::paperSystem());
+    SystemConfig sys4 = test::paperSystem();
+    sys4.flopScale = 4.0;
+    SlackAnalysis fast(sys4);
+    const double r1 = base.evaluate(16384, 4096, 1)
+                          .overlappedCommVsCompute();
+    const double r4 = fast.evaluate(16384, 4096, 1)
+                          .overlappedCommVsCompute();
+    EXPECT_NEAR(r4 / r1, 4.0, 0.8);
+}
+
+/** Property: the overlapped ratio is monotone non-increasing in the
+ *  SL*B product at every hidden size (Figure 11's family shape). */
+class SlackShape : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(SlackShape, MonotoneInSlTimesB)
+{
+    SlackAnalysis analysis(test::paperSystem());
+    const std::int64_t h = GetParam();
+    double prev = 1e12;
+    for (std::int64_t slb : { 1024, 2048, 4096, 8192, 16384, 32768 }) {
+        const SlackPoint p = analysis.evaluate(h, slb, 1);
+        EXPECT_LE(p.overlappedCommVsCompute(), prev * 1.0001);
+        prev = p.overlappedCommVsCompute();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hiddens, SlackShape,
+                         ::testing::Values(1024, 2048, 4096, 8192,
+                                           16384, 32768, 65536));
+
+} // namespace
+} // namespace twocs::core

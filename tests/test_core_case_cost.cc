@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "core/case_study.hh"
+#include "core/cost_study.hh"
+#include "core/system_config.hh"
+#include "test_common.hh"
+#include "util/logging.hh"
+
+namespace twocs::core {
+namespace {
+
+TEST(SystemConfig, EffectiveDeviceAppliesScaling)
+{
+    SystemConfig sys;
+    sys.flopScale = 4.0;
+    const hw::DeviceSpec d = sys.effectiveDevice();
+    EXPECT_DOUBLE_EQ(d.peakFlopsFp16, 4.0 * hw::mi210().peakFlopsFp16);
+    EXPECT_DOUBLE_EQ(d.link.bandwidth, hw::mi210().link.bandwidth);
+}
+
+TEST(SystemConfig, IdentityScalingKeepsDeviceName)
+{
+    EXPECT_EQ(SystemConfig{}.effectiveDevice().name, "MI210");
+}
+
+TEST(SystemConfig, TopologySizedToDomain)
+{
+    SystemConfig sys;
+    sys.maxDomainDevices = 64;
+    EXPECT_EQ(sys.topology().numDevices(), 64);
+    sys.maxDomainDevices = 1;
+    EXPECT_THROW(sys.topology(), FatalError);
+}
+
+TEST(SystemConfig, InNetworkReductionPlumbsThrough)
+{
+    SystemConfig sys;
+    sys.inNetworkReduction = true;
+    EXPECT_TRUE(sys.collectiveModel().inNetworkReduction());
+}
+
+TEST(SystemConfig, InterNodeModelIsSlower)
+{
+    SystemConfig sys;
+    const Seconds intra =
+        sys.collectiveModel().allReduce(256e6, 8).total;
+    const Seconds inter =
+        sys.interNodeCollectiveModel(4, 8.0).allReduce(256e6, 8).total;
+    EXPECT_GT(inter, 2.0 * intra);
+    EXPECT_THROW(sys.interNodeCollectiveModel(4, 0.5), FatalError);
+}
+
+class CaseStudyFixture : public ::testing::Test
+{
+  protected:
+    CaseStudyConfig
+    paperConfig() const
+    {
+        CaseStudyConfig c;
+        c.system.flopScale = 4.0;
+        return c;
+    }
+
+    CaseStudy study_;
+};
+
+TEST_F(CaseStudyFixture, TimelineDecompositionIsConsistent)
+{
+    const CaseStudyResult r = study_.run(paperConfig());
+    EXPECT_GT(r.makespan, 0.0);
+    // Compute + exposed comm fill the makespan (two-stream model).
+    EXPECT_NEAR(r.computeTime + r.serializedCommTime + r.dpExposedTime,
+                r.makespan, 0.02 * r.makespan);
+    // Hidden + exposed DP comm account for all DP comm.
+    EXPECT_LE(r.overlappedCommTime + r.dpExposedTime,
+              r.dpCommTime * 1.001 + r.serializedCommTime);
+}
+
+TEST_F(CaseStudyFixture, SerializedCommDominatesFutureSetup)
+{
+    // Figure 14: for H=64K, SL=4K, TP=128 at 4x flop-vs-bw scaling,
+    // roughly half of the iteration is serialized communication and
+    // a small share is hidden DP communication.
+    const CaseStudyResult r = study_.run(paperConfig());
+    EXPECT_IN_RANGE(r.serializedCommFraction(), 0.40, 0.65);
+    EXPECT_IN_RANGE(r.hiddenCommFraction(), 0.02, 0.15);
+}
+
+TEST_F(CaseStudyFixture, InterNodeExposesDpComm)
+{
+    // Figure 14, third scenario: ~8x slower inter-node DP links plus
+    // interference leave DP communication no longer hidden.
+    CaseStudyConfig base = paperConfig();
+    const CaseStudyResult fast = study_.run(base);
+    base.interNodeDp = true;
+    const CaseStudyResult slow = study_.run(base);
+    EXPECT_GT(slow.dpExposedTime, 4.0 * fast.dpExposedTime);
+    EXPECT_GT(slow.makespan, fast.makespan);
+    EXPECT_GT(slow.exposedCommFraction(), fast.exposedCommFraction());
+}
+
+TEST_F(CaseStudyFixture, NoDpMeansNoDpComm)
+{
+    CaseStudyConfig c = paperConfig();
+    c.dpDegree = 1;
+    const CaseStudyResult r = study_.run(c);
+    EXPECT_DOUBLE_EQ(r.dpCommTime, 0.0);
+    EXPECT_DOUBLE_EQ(r.dpExposedTime, 0.0);
+}
+
+TEST_F(CaseStudyFixture, NoTpMeansNoSerializedComm)
+{
+    CaseStudyConfig c = paperConfig();
+    c.hidden = 4096;
+    c.seqLen = 1024;
+    c.tpDegree = 1;
+    const CaseStudyResult r = study_.run(c);
+    EXPECT_DOUBLE_EQ(r.serializedCommTime, 0.0);
+    EXPECT_GT(r.dpCommTime, 0.0);
+}
+
+TEST_F(CaseStudyFixture, ScheduleHasTwoStreams)
+{
+    CaseStudyConfig c = paperConfig();
+    c.hidden = 2048;
+    c.seqLen = 1024;
+    c.tpDegree = 8;
+    c.dpDegree = 2;
+    const sim::Schedule s = study_.buildSchedule(c);
+    // TP all-reduces are never overlapped with compute: the exposed
+    // comm time is at least the serialized total.
+    EXPECT_GE(s.exposedTime(1, 0), s.timeByTag("tp_ar") * 0.999);
+    EXPECT_GT(s.tasks().size(), 100u);
+}
+
+TEST_F(CaseStudyFixture, FasterNetworkShrinksCommShare)
+{
+    CaseStudyConfig slow = paperConfig();
+    CaseStudyConfig fast = paperConfig();
+    fast.system.bwScale = 4.0;
+    const CaseStudyResult a = study_.run(slow);
+    const CaseStudyResult b = study_.run(fast);
+    EXPECT_LT(b.serializedCommFraction(), a.serializedCommFraction());
+    EXPECT_LT(b.makespan, a.makespan);
+}
+
+// --- profiling cost study ---
+
+TEST(CostStudy, ReproducesPaperScaleSpeedups)
+{
+    const CostStudyResult r = profilingCostStudy(test::paperSystem());
+    // Section 4.3.8: >3 orders of magnitude from projection, ~1.5x
+    // from skipping the forward pass.
+    EXPECT_GT(r.projectionSpeedup, 1000.0);
+    EXPECT_EQ(r.configsAvoided, 196);
+    EXPECT_NEAR(r.roiSpeedup, 1.5, 0.1);
+    EXPECT_GT(r.ledger.avoidedTime(), r.ledger.executedTime());
+}
+
+TEST(CostStudy, RepetitionsCancelInSpeedup)
+{
+    const CostStudyResult a =
+        profilingCostStudy(test::paperSystem(), model::bertLarge(),
+                           table3(), 1);
+    const CostStudyResult b =
+        profilingCostStudy(test::paperSystem(), model::bertLarge(),
+                           table3(), 10);
+    EXPECT_NEAR(a.projectionSpeedup / b.projectionSpeedup, 1.0, 1e-9);
+}
+
+TEST(CostStudy, RejectsBadRepetitions)
+{
+    EXPECT_THROW(profilingCostStudy(test::paperSystem(),
+                                    model::bertLarge(), table3(), 0),
+                 FatalError);
+}
+
+} // namespace
+} // namespace twocs::core

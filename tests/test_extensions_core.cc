@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the Section 5/6 extensions at the core level: precision
+ * study (6.2), communication-acceleration techniques (5), the fitted
+ * operator model, and the chrome-trace exporter.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/case_study.hh"
+#include "core/precision_study.hh"
+#include "opmodel/accuracy.hh"
+#include "sim/trace.hh"
+#include "test_common.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace twocs {
+namespace {
+
+// --- precision study (Section 6.2) ---
+
+TEST(PrecisionStudy, LowerPrecisionRaisesCommFraction)
+{
+    // Compute peak scales super-linearly with fewer bits while comm
+    // bytes scale linearly -> comm share grows as precision drops.
+    const auto points =
+        core::precisionStudy(test::paperSystem(), 16384, 2048, 1, 64);
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_EQ(points[0].precision, hw::Precision::FP32);
+    EXPECT_EQ(points[2].precision, hw::Precision::FP8);
+    EXPECT_LT(points[0].commFraction(), points[1].commFraction());
+    EXPECT_LT(points[1].commFraction(), points[2].commFraction());
+}
+
+TEST(PrecisionStudy, HalvingBitsHalvesCommBytesNotTime)
+{
+    const auto points =
+        core::precisionStudy(test::paperSystem(), 8192, 2048, 1, 16,
+                             { hw::Precision::FP32,
+                               hw::Precision::FP16 });
+    // Comm time shrinks by at most 2x (linear in bytes)...
+    EXPECT_GT(points[1].serializedCommTime,
+              0.45 * points[0].serializedCommTime);
+    // ...while compute shrinks by much more than 2x.
+    EXPECT_LT(points[1].computeTime, 0.45 * points[0].computeTime);
+}
+
+// --- Section 5 techniques on the case-study timeline ---
+
+class AccelFixture : public ::testing::Test
+{
+  protected:
+    core::CaseStudyConfig
+    base() const
+    {
+        core::CaseStudyConfig cfg;
+        cfg.hidden = 16384;
+        cfg.seqLen = 2048;
+        cfg.tpDegree = 64;
+        cfg.dpDegree = 4;
+        cfg.system.flopScale = 4.0;
+        return cfg;
+    }
+
+    core::CaseStudy study_;
+};
+
+TEST_F(AccelFixture, FineGrainedOverlapShortensIteration)
+{
+    // Technique 3: decomposing the serialized collectives hides part
+    // of them under compute.
+    core::CaseStudyConfig cfg = base();
+    const auto plain = study_.run(cfg);
+    cfg.fineGrainedOverlapFraction = 0.5;
+    const auto overlapped = study_.run(cfg);
+    EXPECT_LT(overlapped.makespan, plain.makespan);
+    EXPECT_LT(overlapped.serializedCommTime, plain.serializedCommTime);
+}
+
+TEST_F(AccelFixture, FullOverlapRemovesSerializedComm)
+{
+    core::CaseStudyConfig cfg = base();
+    cfg.fineGrainedOverlapFraction = 1.0;
+    const auto r = study_.run(cfg);
+    EXPECT_NEAR(r.serializedCommTime, 0.0, 1e-12);
+}
+
+TEST_F(AccelFixture, InterferenceSlowsOverlappedComm)
+{
+    core::CaseStudyConfig cfg = base();
+    cfg.fineGrainedOverlapFraction = 0.5;
+    const auto clean = study_.run(cfg);
+    cfg.commInterferenceSlowdown = 2.0;
+    const auto contended = study_.run(cfg);
+    EXPECT_GT(contended.makespan, clean.makespan * 0.999);
+    EXPECT_GT(contended.dpCommTime, clean.dpCommTime);
+}
+
+TEST_F(AccelFixture, OffloadRemovesInterference)
+{
+    // Technique 1: a communication co-processor avoids the
+    // co-location contention.
+    core::CaseStudyConfig cfg = base();
+    cfg.fineGrainedOverlapFraction = 0.5;
+    cfg.commInterferenceSlowdown = 2.0;
+    const auto contended = study_.run(cfg);
+    cfg.offloadCommunication = true;
+    const auto offloaded = study_.run(cfg);
+    EXPECT_LE(offloaded.makespan, contended.makespan);
+    EXPECT_LT(offloaded.dpCommTime, contended.dpCommTime);
+}
+
+TEST_F(AccelFixture, PinReducesSerializedComm)
+{
+    // Technique 2 end to end.
+    core::CaseStudyConfig cfg = base();
+    const auto ring = study_.run(cfg);
+    cfg.system.inNetworkReduction = true;
+    const auto pin = study_.run(cfg);
+    EXPECT_LT(pin.serializedCommTime, 0.7 * ring.serializedCommTime);
+    EXPECT_LT(pin.makespan, ring.makespan);
+}
+
+TEST_F(AccelFixture, KnobValidation)
+{
+    core::CaseStudyConfig cfg = base();
+    cfg.fineGrainedOverlapFraction = 1.5;
+    EXPECT_THROW(study_.run(cfg), FatalError);
+    cfg = base();
+    cfg.commInterferenceSlowdown = 0.5;
+    EXPECT_THROW(study_.run(cfg), FatalError);
+}
+
+// --- fitted operator model ---
+
+TEST(FittedOpModel, MatchesOrBeatsSinglePointOnHSweep)
+{
+    const auto profiler = test::paperSystem().profiler();
+    const auto baseline = test::bertGraph(1);
+
+    const auto single =
+        opmodel::OperatorScalingModel::calibrate(profiler, baseline);
+    const auto fitted = opmodel::OperatorScalingModel::calibrateFitted(
+        profiler, baseline,
+        { model::bertLarge().withHidden(2048),
+          model::bertLarge().withHidden(4096),
+          model::bertLarge().withHidden(8192) });
+
+    // Evaluate both on a withheld H point.
+    model::ParallelConfig par;
+    const model::LayerGraphBuilder target(
+        model::bertLarge().withHidden(16384), par);
+    ErrorAccumulator err_single, err_fitted;
+    for (const auto &op : target.forwardLayerOps(0)) {
+        if (op.isComm() || op.kernel.kind != hw::KernelKind::Gemm)
+            continue;
+        const Seconds truth =
+            profiler.profileOp(op, target.parallel()).duration;
+        err_single.add(single.projectOp(op), truth);
+        err_fitted.add(fitted.projectOp(op), truth);
+    }
+    EXPECT_LT(err_fitted.geomeanError(), err_single.geomeanError());
+}
+
+TEST(FittedOpModel, ExactOnPureLinearOperator)
+{
+    // The all-reduce fit across sizes must interpolate well inside
+    // the sweep range.
+    const auto profiler = test::paperSystem().profiler();
+    const auto fitted = opmodel::OperatorScalingModel::calibrateFitted(
+        profiler, test::bertGraph(1), {});
+    model::TrainingOp ar;
+    ar.role = model::OpRole::TpAllReduceFwd;
+    ar.kernel.label = "tp_allreduce_fwd";
+    ar.commBytes = 128.0 * 1024 * 1024;
+    const Seconds truth =
+        profiler.collectiveModel().allReduce(ar.commBytes, 4).total;
+    EXPECT_NEAR(fitted.projectOp(ar) / truth, 1.0, 0.05);
+}
+
+TEST(FittedOpModel, Validation)
+{
+    const auto profiler = test::paperSystem().profiler();
+    EXPECT_THROW(opmodel::OperatorScalingModel::calibrateFitted(
+                     profiler, test::bertGraph(1), {}, {}),
+                 FatalError);
+    EXPECT_THROW(opmodel::OperatorScalingModel::calibrateFitted(
+                     profiler, test::bertGraph(1), {}, { 1e6 }, 1),
+                 FatalError);
+}
+
+// --- chrome-trace export ---
+
+TEST(Trace, ExportsWellFormedEvents)
+{
+    sim::EventSimulator des;
+    const auto comp = des.addResource("compute");
+    const auto comm = des.addResource("comm");
+    const auto t0 = des.addTask("gemm \"a\"", "fwd", comp, 1e-3);
+    des.addTask("all_reduce", "tp_ar", comm, 2e-3, { t0 });
+    const sim::Schedule sched = des.run();
+
+    std::ostringstream oss;
+    sim::exportChromeTrace(sched, oss);
+    const std::string json = oss.str();
+
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"compute\""), std::string::npos);
+    EXPECT_NE(json.find("\"comm\""), std::string::npos);
+    // Quotes in labels must be escaped.
+    EXPECT_NE(json.find("gemm \\\"a\\\""), std::string::npos);
+    // Durations in microseconds.
+    EXPECT_NE(json.find("\"dur\": 1000.000"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": 2000.000"), std::string::npos);
+    // The dependent task starts at 1 ms.
+    EXPECT_NE(json.find("\"ts\": 1000.000"), std::string::npos);
+}
+
+TEST(Trace, CaseStudyScheduleExports)
+{
+    core::CaseStudy study;
+    core::CaseStudyConfig cfg;
+    cfg.hidden = 2048;
+    cfg.seqLen = 1024;
+    cfg.tpDegree = 8;
+    cfg.dpDegree = 2;
+    const sim::Schedule sched = study.buildSchedule(cfg);
+    std::ostringstream oss;
+    sim::exportChromeTrace(sched, oss);
+    EXPECT_GT(oss.str().size(), 10000u);
+}
+
+TEST(Trace, ResourceNameValidation)
+{
+    sim::EventSimulator des;
+    des.addResource("only");
+    const sim::Schedule sched = des.run();
+    EXPECT_EQ(sched.resourceName(0), "only");
+    EXPECT_THROW(sched.resourceName(7), PanicError);
+}
+
+} // namespace
+} // namespace twocs

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Golden regression tests: the simulator is fully deterministic, so
+ * key end-to-end numbers are pinned (with a small tolerance for
+ * floating-point reassociation across compilers). A deliberate model
+ * change that moves these values should update them consciously —
+ * these are the repo's "has the physics changed?" tripwires.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/amdahl.hh"
+#include "core/case_study.hh"
+#include "core/slack.hh"
+#include "test_common.hh"
+
+namespace twocs {
+namespace {
+
+constexpr double kTol = 0.02; // 2% relative
+
+TEST(Golden, BertLayerProfileOnMi210)
+{
+    const auto g = test::bertGraph(1, 1);
+    const auto p = test::paperSystem().profiler().profileLayer(g, 0);
+    // BERT-Large layer (B=4, SL=512), fwd+bwd+optim, FP16 on MI210.
+    EXPECT_NEAR(p.totalTime(), 1.7465e-3, kTol * 1.7465e-3);
+}
+
+TEST(Golden, AllReduce64MiBOn4Gpus)
+{
+    const auto c = test::paperSystem().collectiveModel().allReduce(
+        64.0 * 1024 * 1024, 4);
+    EXPECT_NEAR(c.total, 7.7024e-4, kTol * 7.7024e-4);
+}
+
+TEST(Golden, Fig10FuturePointProjection)
+{
+    core::AmdahlAnalysis analysis(test::paperSystem());
+    const auto p = analysis.evaluate(65536, 4096, 1, 256);
+    EXPECT_NEAR(p.commFraction(), 0.3430, 0.01);
+}
+
+TEST(Golden, Fig11SlackPointAtCommonSlb)
+{
+    core::SlackAnalysis analysis(test::paperSystem());
+    const auto p = analysis.evaluate(16384, 4096, 1);
+    EXPECT_NEAR(p.overlappedCommVsCompute(), 0.193, 0.01);
+}
+
+TEST(Golden, Fig14CaseStudyFractions)
+{
+    core::CaseStudy study;
+    core::CaseStudyConfig cfg;
+    cfg.system.flopScale = 4.0;
+    const auto r = study.run(cfg);
+    EXPECT_NEAR(r.serializedCommFraction(), 0.569, 0.01);
+    EXPECT_NEAR(r.hiddenCommFraction(), 0.068, 0.01);
+}
+
+TEST(Golden, DeterminismAcrossRuns)
+{
+    core::AmdahlAnalysis a(test::paperSystem());
+    core::AmdahlAnalysis b(test::paperSystem());
+    const auto pa = a.evaluate(8192, 2048, 1, 32);
+    const auto pb = b.evaluate(8192, 2048, 1, 32);
+    EXPECT_DOUBLE_EQ(pa.computeTime, pb.computeTime);
+    EXPECT_DOUBLE_EQ(pa.serializedCommTime, pb.serializedCommTime);
+}
+
+} // namespace
+} // namespace twocs

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hh"
+#include "hw/device_spec.hh"
+#include "util/logging.hh"
+
+namespace twocs::hw {
+namespace {
+
+TEST(Precision, Bytes)
+{
+    EXPECT_DOUBLE_EQ(precisionBytes(Precision::FP32), 4.0);
+    EXPECT_DOUBLE_EQ(precisionBytes(Precision::FP16), 2.0);
+    EXPECT_DOUBLE_EQ(precisionBytes(Precision::BF16), 2.0);
+    EXPECT_DOUBLE_EQ(precisionBytes(Precision::FP8), 1.0);
+}
+
+TEST(Precision, Names)
+{
+    EXPECT_EQ(precisionName(Precision::FP32), "fp32");
+    EXPECT_EQ(precisionName(Precision::FP8), "fp8");
+}
+
+TEST(DeviceSpec, PeakFlopsByPrecision)
+{
+    const DeviceSpec d = mi210();
+    EXPECT_DOUBLE_EQ(d.peakFlops(Precision::FP32), d.peakFlopsFp32);
+    EXPECT_DOUBLE_EQ(d.peakFlops(Precision::FP16), d.peakFlopsFp16);
+    EXPECT_DOUBLE_EQ(d.peakFlops(Precision::BF16), d.peakFlopsFp16);
+    // MI210 predates FP8: falls back to 2x FP16 (Section 6.2's
+    // at-least-linear precision scaling).
+    EXPECT_DOUBLE_EQ(d.peakFlops(Precision::FP8),
+                     2.0 * d.peakFlopsFp16);
+}
+
+TEST(DeviceSpec, Fp8NativeRateWins)
+{
+    const DeviceSpec d = h100();
+    EXPECT_GT(d.peakFlops(Precision::FP8), 2.0 * 0.9 * d.peakFlopsFp16);
+}
+
+TEST(DeviceSpec, ValidateRejectsUnsetFields)
+{
+    DeviceSpec d = mi210();
+    d.name.clear();
+    EXPECT_THROW(d.validate(), FatalError);
+
+    d = mi210();
+    d.peakFlopsFp16 = 0.0;
+    EXPECT_THROW(d.validate(), FatalError);
+
+    d = mi210();
+    d.memCapacity = 0.0;
+    EXPECT_THROW(d.validate(), FatalError);
+
+    d = mi210();
+    d.numLinks = 0;
+    EXPECT_THROW(d.validate(), FatalError);
+}
+
+TEST(DeviceSpec, ScaledAppliesFactors)
+{
+    const DeviceSpec base = mi210();
+    const DeviceSpec s = base.scaled(4.0, 2.0, 1.5);
+    EXPECT_DOUBLE_EQ(s.peakFlopsFp16, 4.0 * base.peakFlopsFp16);
+    EXPECT_DOUBLE_EQ(s.peakFlopsFp32, 4.0 * base.peakFlopsFp32);
+    // Memory bandwidth tracks compute (GEMMs stay compute-bound).
+    EXPECT_DOUBLE_EQ(s.memBandwidth, 4.0 * base.memBandwidth);
+    EXPECT_DOUBLE_EQ(s.link.bandwidth, 2.0 * base.link.bandwidth);
+    EXPECT_DOUBLE_EQ(s.memCapacity, 1.5 * base.memCapacity);
+    // Structural fields unchanged.
+    EXPECT_EQ(s.numComputeUnits, base.numComputeUnits);
+    EXPECT_EQ(s.numLinks, base.numLinks);
+}
+
+TEST(DeviceSpec, ScaledRejectsNonPositiveFactors)
+{
+    EXPECT_THROW(mi210().scaled(0.0, 1.0), FatalError);
+    EXPECT_THROW(mi210().scaled(1.0, -2.0), FatalError);
+}
+
+TEST(Catalog, Mi210MatchesPaperSetup)
+{
+    const DeviceSpec d = mi210();
+    // Section 4.3.1: 64 GB HBM, 100 GB/s bidirectional links.
+    EXPECT_DOUBLE_EQ(d.memCapacity, 64.0 * 1024.0 * 1024.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(d.link.bandwidth, 50e9); // per direction
+    EXPECT_EQ(d.numLinks, 3);
+    EXPECT_DOUBLE_EQ(d.peakFlopsFp16, 181e12);
+    EXPECT_EQ(d.year, 2022);
+}
+
+TEST(Catalog, AllDevicesSortedByYearAndValid)
+{
+    const auto all = allDevices();
+    ASSERT_GE(all.size(), 6u);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        EXPECT_NO_THROW(all[i].validate());
+        if (i > 0) {
+            EXPECT_GE(all[i].year, all[i - 1].year);
+        }
+    }
+}
+
+TEST(Catalog, LookupByName)
+{
+    EXPECT_EQ(deviceByName("V100").name, "V100");
+    EXPECT_THROW(deviceByName("TPUv9"), FatalError);
+}
+
+TEST(Catalog, FlopVsBwScalingMatchesPaperRatios)
+{
+    // Section 4.3.6: compute scaled ~5x (NVIDIA) / ~7x (AMD) while
+    // network scaled ~2x / ~1.7x, i.e. flop-vs-bw of ~2-4x.
+    const double nvidia = flopVsBwScaling(v100(), a100());
+    const double amd = flopVsBwScaling(mi50(), mi100());
+    EXPECT_GE(nvidia, 2.0);
+    EXPECT_LE(nvidia, 3.0);
+    EXPECT_GE(amd, 3.0);
+    EXPECT_LE(amd, 4.5);
+}
+
+TEST(Catalog, ComputeScalesFasterThanNetworkEverywhere)
+{
+    EXPECT_GT(flopVsBwScaling(v100(), a100()), 1.0);
+    EXPECT_GT(flopVsBwScaling(mi50(), mi100()), 1.0);
+    EXPECT_GT(flopVsBwScaling(p100(), h100()), 1.0);
+}
+
+} // namespace
+} // namespace twocs::hw

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "hw/efficiency.hh"
+#include "util/logging.hh"
+
+namespace twocs::hw {
+namespace {
+
+constexpr int kCus = 104; // MI210
+
+TEST(GemmEfficiency, WithinBounds)
+{
+    for (std::int64_t m : { 64, 1024, 65536 }) {
+        for (std::int64_t k : { 64, 1024, 65536 }) {
+            const double e = gemmEfficiency(m, m, k, kCus);
+            EXPECT_GT(e, 0.0);
+            EXPECT_LE(e, 0.90);
+        }
+    }
+}
+
+TEST(GemmEfficiency, LargeGemmsApproachPeak)
+{
+    EXPECT_GT(gemmEfficiency(16384, 16384, 16384, kCus), 0.8);
+}
+
+TEST(GemmEfficiency, TinyGemmsAreInefficient)
+{
+    EXPECT_LT(gemmEfficiency(32, 32, 64, kCus), 0.2);
+}
+
+TEST(GemmEfficiency, MonotoneInK)
+{
+    // Longer accumulation chains only help pipeline utilization.
+    double prev = 0.0;
+    for (std::int64_t k = 64; k <= 65536; k *= 2) {
+        const double e = gemmEfficiency(4096, 4096, k, kCus);
+        EXPECT_GE(e, prev);
+        prev = e;
+    }
+}
+
+TEST(GemmEfficiency, AdaptiveTilesHelpSmallProblems)
+{
+    // A 1024x192 output grid fills few 128x128 tiles; the kernel
+    // family must do clearly better than the single-tile estimate.
+    const double e = gemmEfficiency(1024, 192, 4096, kCus);
+    EXPECT_GT(e, 0.3);
+}
+
+TEST(GemmEfficiency, RejectsBadInput)
+{
+    EXPECT_THROW(gemmEfficiency(0, 1, 1, kCus), FatalError);
+    EXPECT_THROW(gemmEfficiency(1, -1, 1, kCus), FatalError);
+    EXPECT_THROW(gemmEfficiency(1, 1, 1, 0), FatalError);
+}
+
+TEST(MemEfficiency, RampsWithSize)
+{
+    const double small = memEfficiency(64.0 * 1024.0);
+    const double large = memEfficiency(256.0 * 1024.0 * 1024.0);
+    EXPECT_LT(small, large);
+    EXPECT_GT(large, 0.8);
+    EXPECT_LE(large, 0.85);
+}
+
+TEST(MemEfficiency, HalfSaturationPoint)
+{
+    MemEfficiencyParams p;
+    EXPECT_NEAR(memEfficiency(p.rampBytes, p), p.peakFraction / 2.0,
+                1e-12);
+}
+
+TEST(MemEfficiency, RejectsNonPositiveSize)
+{
+    EXPECT_THROW(memEfficiency(0.0), FatalError);
+}
+
+TEST(LinkEfficiency, RampsWithMessageSize)
+{
+    const double small = linkEfficiency(64.0 * 1024.0);
+    const double large = linkEfficiency(1e9);
+    EXPECT_LT(small, 0.15);
+    EXPECT_GT(large, 0.9);
+    EXPECT_LE(large, 0.92);
+}
+
+TEST(LinkEfficiency, HalfSaturationPoint)
+{
+    LinkEfficiencyParams p;
+    EXPECT_NEAR(linkEfficiency(p.halfSaturation, p),
+                p.peakFraction / 2.0, 1e-12);
+}
+
+TEST(LinkEfficiency, RejectsNonPositiveSize)
+{
+    EXPECT_THROW(linkEfficiency(-1.0), FatalError);
+}
+
+/** Property sweep: every efficiency curve is monotone in size. */
+class EfficiencyMonotonicity
+    : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(EfficiencyMonotonicity, MemAndLinkNeverDecrease)
+{
+    const std::int64_t size = GetParam();
+    EXPECT_LE(memEfficiency(size), memEfficiency(2 * size));
+    EXPECT_LE(linkEfficiency(size), linkEfficiency(2 * size));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, EfficiencyMonotonicity,
+    ::testing::Values(1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26,
+                      1 << 30));
+
+} // namespace
+} // namespace twocs::hw

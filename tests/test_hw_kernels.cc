@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hh"
+#include "hw/kernels.hh"
+#include "util/logging.hh"
+
+namespace twocs::hw {
+namespace {
+
+KernelDesc
+gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+     Precision p = Precision::FP16)
+{
+    KernelDesc d;
+    d.kind = KernelKind::Gemm;
+    d.label = "test_gemm";
+    d.precision = p;
+    d.gemm = { m, n, k };
+    return d;
+}
+
+KernelDesc
+elem(KernelKind kind, std::int64_t elems, Precision p = Precision::FP16)
+{
+    KernelDesc d;
+    d.kind = kind;
+    d.label = "test_elem";
+    d.precision = p;
+    d.elems = elems;
+    return d;
+}
+
+TEST(GemmDims, FlopsAndBytes)
+{
+    const GemmDims d{ 128, 256, 512 };
+    EXPECT_DOUBLE_EQ(d.flops(), 2.0 * 128 * 256 * 512);
+    // A (128x512) + B (512x256) + C (128x256), 2 bytes each.
+    EXPECT_DOUBLE_EQ(d.bytes(Precision::FP16),
+                     2.0 * (128.0 * 512 + 512.0 * 256 + 128.0 * 256));
+    EXPECT_DOUBLE_EQ(d.bytes(Precision::FP32),
+                     2.0 * d.bytes(Precision::FP16));
+}
+
+TEST(KernelDesc, ElementwiseBytesScaleWithPasses)
+{
+    // LayerNorm does three DRAM passes, GELU two.
+    const Bytes ln = elem(KernelKind::LayerNorm, 1000).bytes();
+    const Bytes gl = elem(KernelKind::Gelu, 1000).bytes();
+    EXPECT_DOUBLE_EQ(ln, 3.0 * 2.0 * 1000.0);
+    EXPECT_DOUBLE_EQ(gl, 2.0 * 2.0 * 1000.0);
+}
+
+TEST(KernelCostModel, GemmIsComputeBoundAtTransformerSizes)
+{
+    const KernelCostModel m(mi210());
+    const KernelDesc k = gemm(2048, 4096, 1024);
+    EXPECT_GT(m.computeTime(k), m.memoryTime(k));
+}
+
+TEST(KernelCostModel, ElementwiseIsMemoryBound)
+{
+    const KernelCostModel m(mi210());
+    const KernelDesc k = elem(KernelKind::LayerNorm, 1 << 22);
+    EXPECT_GT(m.memoryTime(k), m.computeTime(k));
+}
+
+TEST(KernelCostModel, CostIsRooflineMaxPlusLaunch)
+{
+    const KernelCostModel m(mi210());
+    const KernelDesc k = gemm(4096, 4096, 4096);
+    const Seconds expect = std::max(m.computeTime(k), m.memoryTime(k)) +
+                           mi210().kernelLaunchOverhead;
+    EXPECT_DOUBLE_EQ(m.cost(k), expect);
+}
+
+TEST(KernelCostModel, CostMonotoneInGemmSize)
+{
+    const KernelCostModel m(mi210());
+    Seconds prev = 0.0;
+    for (std::int64_t s = 256; s <= 16384; s *= 2) {
+        const Seconds t = m.cost(gemm(s, s, s));
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(KernelCostModel, LargeGemmNearPeakUtilization)
+{
+    // Gshard reports >85% FLOPS utilization for large GEMMs; our
+    // model must reproduce that compute-bound regime.
+    const KernelCostModel m(mi210());
+    const KernelDesc k = gemm(16384, 16384, 16384);
+    const double achieved =
+        k.flops() / (m.cost(k) * mi210().peakFlopsFp16);
+    EXPECT_GT(achieved, 0.80);
+}
+
+TEST(KernelCostModel, Fp16DoublesThroughputOverFp32)
+{
+    const KernelCostModel m(mi210());
+    const Seconds t16 = m.cost(gemm(8192, 8192, 8192, Precision::FP16));
+    const Seconds t32 = m.cost(gemm(8192, 8192, 8192, Precision::FP32));
+    EXPECT_GT(t32, t16);
+}
+
+TEST(KernelCostModel, UnsetGemmDimsAreFatal)
+{
+    const KernelCostModel m(mi210());
+    KernelDesc d;
+    d.kind = KernelKind::Gemm;
+    d.label = "unset";
+    EXPECT_THROW(m.cost(d), FatalError);
+}
+
+TEST(KernelCostModel, UnsetElemCountIsFatal)
+{
+    const KernelCostModel m(mi210());
+    KernelDesc d;
+    d.kind = KernelKind::LayerNorm;
+    d.label = "unset";
+    EXPECT_THROW(m.cost(d), FatalError);
+}
+
+TEST(KernelKindNames, AllKindsNamed)
+{
+    EXPECT_EQ(kernelKindName(KernelKind::Gemm), "gemm");
+    EXPECT_EQ(kernelKindName(KernelKind::LayerNorm), "layernorm");
+    EXPECT_EQ(kernelKindName(KernelKind::Softmax), "softmax");
+    EXPECT_EQ(kernelKindName(KernelKind::OptimStep), "optimstep");
+}
+
+/** Property: scaling compute 2x cannot slow any kernel down. */
+class ScaledDeviceProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ScaledDeviceProperty, FasterDeviceIsNeverSlower)
+{
+    const double scale = GetParam();
+    const KernelCostModel base(mi210());
+    const KernelCostModel fast(mi210().scaled(scale, 1.0));
+    for (std::int64_t s : { 512, 2048, 8192 }) {
+        EXPECT_LE(fast.cost(gemm(s, s, s)), base.cost(gemm(s, s, s)));
+        EXPECT_LE(fast.cost(elem(KernelKind::LayerNorm, s * s)),
+                  base.cost(elem(KernelKind::LayerNorm, s * s)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaledDeviceProperty,
+                         ::testing::Values(1.0, 2.0, 4.0, 8.0));
+
+} // namespace
+} // namespace twocs::hw

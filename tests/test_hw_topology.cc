@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hh"
+#include "hw/topology.hh"
+#include "util/logging.hh"
+
+namespace twocs::hw {
+namespace {
+
+TEST(Topology, Mi210NodeRingBandwidthMatchesPaper)
+{
+    // Section 4.3.1: links form multiple rings, 150 GB/s peak ring
+    // all-reduce bandwidth on the 4-GPU node.
+    const Topology t = Topology::singleNode(mi210(), 4);
+    EXPECT_EQ(t.parallelRings(), 3);
+    EXPECT_DOUBLE_EQ(t.ringBandwidth(), 150e9);
+    EXPECT_FALSE(t.crossesNodes());
+    EXPECT_EQ(t.numNodes(), 1);
+}
+
+TEST(Topology, RingsLimitedByPeerCount)
+{
+    // Two devices can embed only one ring however many links exist.
+    const Topology t = Topology::singleNode(mi210(), 2);
+    EXPECT_EQ(t.parallelRings(), 1);
+}
+
+TEST(Topology, SingleNodeNeedsTwoDevices)
+{
+    EXPECT_THROW(Topology::singleNode(mi210(), 1), FatalError);
+}
+
+TEST(Topology, MultiNodeStructure)
+{
+    LinkSpec inter;
+    inter.bandwidth = 12.5e9;
+    inter.latency = 5e-6;
+    const Topology t = Topology::multiNode(mi210(), 16, 4, inter);
+    EXPECT_TRUE(t.crossesNodes());
+    EXPECT_EQ(t.numNodes(), 4);
+    EXPECT_EQ(t.devicesPerNode(), 4);
+    EXPECT_DOUBLE_EQ(t.interNodeBandwidth(), 12.5e9);
+    // Intra-node fabric unchanged.
+    EXPECT_DOUBLE_EQ(t.ringBandwidth(), 150e9);
+}
+
+TEST(Topology, MultiNodeValidation)
+{
+    LinkSpec inter;
+    inter.bandwidth = 1e9;
+    EXPECT_THROW(Topology::multiNode(mi210(), 10, 4, inter), FatalError);
+    EXPECT_THROW(Topology::multiNode(mi210(), 2, 4, inter), FatalError);
+    LinkSpec bad;
+    EXPECT_THROW(Topology::multiNode(mi210(), 8, 4, bad), FatalError);
+}
+
+TEST(Topology, InterNodeSlowdown)
+{
+    LinkSpec inter;
+    inter.bandwidth = 40e9;
+    inter.latency = 5e-6;
+    Topology t = Topology::multiNode(mi210(), 8, 4, inter);
+    t.applyInterNodeSlowdown(8.0);
+    EXPECT_DOUBLE_EQ(t.interNodeBandwidth(), 5e9);
+    EXPECT_THROW(t.applyInterNodeSlowdown(0.5), FatalError);
+}
+
+TEST(Topology, LargeProjectionDomain)
+{
+    // The paper projects TP up to 256 assuming intra-node-class
+    // links at scale (Section 4.3.2).
+    const Topology t = Topology::singleNode(mi210(), 256);
+    EXPECT_EQ(t.numDevices(), 256);
+    EXPECT_FALSE(t.crossesNodes());
+    EXPECT_DOUBLE_EQ(t.ringBandwidth(), 150e9);
+}
+
+} // namespace
+} // namespace twocs::hw

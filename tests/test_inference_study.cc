@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the distributed-inference (prefill/decode) study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/inference_study.hh"
+#include "model/layer_graph.hh"
+#include "test_common.hh"
+#include "util/logging.hh"
+
+namespace twocs {
+namespace {
+
+class InferenceFixture : public ::testing::Test
+{
+  protected:
+    InferenceFixture() : study_(test::paperSystem()) {}
+
+    core::InferenceStudy study_;
+};
+
+TEST_F(InferenceFixture, DecodeStepOpsShape)
+{
+    model::ParallelConfig par;
+    par.tpDegree = 8;
+    const model::LayerGraphBuilder g(
+        model::bertLarge().withCompatibleHeads(8), par);
+    const auto ops = g.decodeStepOps(1024);
+
+    int ars = 0, kv = 0;
+    for (const auto &op : ops) {
+        EXPECT_NE(op.role, model::OpRole::BwdCompute);
+        EXPECT_NE(op.role, model::OpRole::OptimizerStep);
+        if (op.role == model::OpRole::TpAllReduceFwd) {
+            ++ars;
+            // One token: B * H * 2 bytes.
+            EXPECT_DOUBLE_EQ(op.commBytes, 4.0 * 1024.0 * 2.0);
+        }
+        if (op.isCompute() &&
+            op.kernel.kind == hw::KernelKind::KvAttend) {
+            ++kv;
+            EXPECT_EQ(op.kernel.elems, 4 * 2 * 1024 * 1024 / 8);
+        }
+    }
+    EXPECT_EQ(ars, 2 * g.hyperparams().numLayers);
+    EXPECT_EQ(kv, g.hyperparams().numLayers);
+    EXPECT_THROW(g.decodeStepOps(0), FatalError);
+}
+
+TEST_F(InferenceFixture, DecodeMoreCommBoundThanPrefill)
+{
+    const auto pre = study_.prefill(12288, 2048, 1, 8);
+    const auto dec = study_.decodeStep(12288, 2048, 1, 8);
+    EXPECT_GT(dec.commFraction(), pre.commFraction());
+}
+
+TEST_F(InferenceFixture, CommFractionGrowsWithTp)
+{
+    double prev = 0.0;
+    for (int tp : { 2, 4, 8, 16 }) {
+        const auto dec = study_.decodeStep(12288, 2048, 1, tp);
+        EXPECT_GT(dec.commFraction(), prev) << tp;
+        prev = dec.commFraction();
+    }
+}
+
+TEST_F(InferenceFixture, TpStillSpeedsUpDecodeLatencyInitially)
+{
+    // TP slices the GEMV work; latency improves until the tiny
+    // all-reduces eat the gains.
+    const auto tp1 = study_.decodeStep(12288, 2048, 1, 1);
+    const auto tp4 = study_.decodeStep(12288, 2048, 1, 4);
+    EXPECT_LT(tp4.tokenLatency(), tp1.tokenLatency());
+    EXPECT_GT(tp4.tokensPerSecond(), tp1.tokensPerSecond());
+}
+
+TEST_F(InferenceFixture, LongerContextCostsMoreButDilutesComm)
+{
+    const auto short_ctx = study_.decodeStep(12288, 512, 1, 8);
+    const auto long_ctx = study_.decodeStep(12288, 16384, 1, 8);
+    EXPECT_GT(long_ctx.tokenLatency(), short_ctx.tokenLatency());
+    EXPECT_LT(long_ctx.commFraction(), short_ctx.commFraction());
+}
+
+TEST_F(InferenceFixture, PrefillMatchesInferenceOpsProfile)
+{
+    const auto pre = study_.prefill(4096, 1024, 2, 4);
+    EXPECT_GT(pre.computeTime, 0.0);
+    EXPECT_GT(pre.serializedCommTime, 0.0);
+    EXPECT_DOUBLE_EQ(pre.totalTime(),
+                     pre.computeTime + pre.serializedCommTime);
+}
+
+TEST_F(InferenceFixture, BatchingAmortizesDecodeComm)
+{
+    // Larger decode batches raise per-collective payloads out of the
+    // latency floor: throughput scales super-linearly at first.
+    const auto b1 = study_.decodeStep(12288, 2048, 1, 8);
+    const auto b16 = study_.decodeStep(12288, 2048, 16, 8);
+    EXPECT_GT(b16.tokensPerSecond(), 8.0 * b1.tokensPerSecond());
+}
+
+} // namespace
+} // namespace twocs

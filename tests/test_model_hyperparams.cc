@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "model/hyperparams.hh"
+#include "model/zoo.hh"
+#include "util/logging.hh"
+
+namespace twocs::model {
+namespace {
+
+TEST(Hyperparams, HeadDim)
+{
+    EXPECT_EQ(bertLarge().headDim(), 64);
+    Hyperparams hp = bertLarge();
+    hp.numHeads = 7;
+    EXPECT_THROW(hp.headDim(), FatalError);
+}
+
+TEST(Hyperparams, LayerParamsBert)
+{
+    // BERT-Large layer: 4 H^2 attention + 2 * H * 4H FC = 12 H^2.
+    const Hyperparams hp = bertLarge();
+    const double h = 1024.0;
+    EXPECT_NEAR(hp.layerParams(), 12.0 * h * h, 10.0 * h);
+}
+
+TEST(Hyperparams, TotalParamsMatchPublishedSizes)
+{
+    // Table 2 cross-check: computed totals within 20% of published
+    // sizes (which include model-specific extras we abstract away).
+    for (const ZooEntry &e : modelZoo()) {
+        if (e.hp.type == LayerType::EncoderDecoder)
+            continue; // T5's published size counts both stacks.
+        const double computed = e.hp.totalParams() / 1e9;
+        EXPECT_NEAR(computed, e.publishedSizeBillions,
+                    0.2 * e.publishedSizeBillions)
+            << e.hp.name;
+    }
+}
+
+TEST(Hyperparams, MemoryDemandProxy)
+{
+    const Hyperparams hp = bertLarge();
+    EXPECT_DOUBLE_EQ(hp.memoryDemandProxy(), 1024.0 * 512.0);
+}
+
+TEST(Hyperparams, ValidateRejectsBadValues)
+{
+    Hyperparams hp = bertLarge();
+    hp.numLayers = 0;
+    EXPECT_THROW(hp.validate(), FatalError);
+
+    hp = bertLarge();
+    hp.numHeads = 5; // 1024 % 5 != 0
+    EXPECT_THROW(hp.validate(), FatalError);
+
+    hp = bertLarge();
+    hp.batchSize = 0;
+    EXPECT_THROW(hp.validate(), FatalError);
+}
+
+TEST(Hyperparams, WithHiddenKeepsHeadDimAndFcRatio)
+{
+    const Hyperparams hp = bertLarge().withHidden(16384);
+    EXPECT_EQ(hp.hidden, 16384);
+    EXPECT_EQ(hp.fcDim, 4 * 16384);
+    EXPECT_EQ(hp.headDim(), 64);
+    EXPECT_EQ(hp.numHeads, 256);
+    EXPECT_NO_THROW(hp.validate());
+}
+
+TEST(Hyperparams, WithHiddenRejectsNonPositive)
+{
+    EXPECT_THROW(bertLarge().withHidden(0), FatalError);
+}
+
+TEST(Hyperparams, WithSequenceLengthAndBatch)
+{
+    const Hyperparams hp =
+        bertLarge().withSequenceLength(4096).withBatchSize(2);
+    EXPECT_EQ(hp.sequenceLength, 4096);
+    EXPECT_EQ(hp.batchSize, 2);
+    EXPECT_EQ(hp.hidden, 1024); // untouched
+}
+
+TEST(Hyperparams, WithCompatibleHeads)
+{
+    // BERT has 16 heads; TP = 64 forces at least 64 heads.
+    const Hyperparams hp = bertLarge().withCompatibleHeads(64);
+    EXPECT_EQ(hp.numHeads % 64, 0);
+    EXPECT_EQ(hp.hidden % hp.numHeads, 0);
+    EXPECT_NO_THROW(hp.validate());
+
+    // Already compatible: unchanged.
+    const Hyperparams same = bertLarge().withCompatibleHeads(8);
+    EXPECT_EQ(same.numHeads, 16);
+}
+
+TEST(Hyperparams, LayerTypeNames)
+{
+    EXPECT_EQ(layerTypeName(LayerType::Encoder), "encoder");
+    EXPECT_EQ(layerTypeName(LayerType::EncoderDecoder),
+              "encoder-decoder");
+}
+
+/** Property: layer parameter count scales quadratically in H. */
+class QuadraticParams : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(QuadraticParams, LayerParamsScaleAsHSquared)
+{
+    const std::int64_t h = GetParam();
+    const Hyperparams a = bertLarge().withHidden(h);
+    const Hyperparams b = bertLarge().withHidden(2 * h);
+    // Ignore the O(H) bias/LayerNorm terms.
+    EXPECT_NEAR(b.layerParams() / a.layerParams(), 4.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hiddens, QuadraticParams,
+                         ::testing::Values(1024, 2048, 8192, 32768));
+
+} // namespace
+} // namespace twocs::model

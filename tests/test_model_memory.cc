@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hh"
+#include "model/memory.hh"
+#include "model/zoo.hh"
+#include "util/logging.hh"
+
+namespace twocs::model {
+namespace {
+
+MemoryModel
+mm(const Hyperparams &hp, int tp, int dp = 1, MemoryOptions opts = {})
+{
+    ParallelConfig par;
+    par.tpDegree = tp;
+    par.dpDegree = dp;
+    return MemoryModel(hp.withCompatibleHeads(tp), par,
+                       hw::Precision::FP16, opts);
+}
+
+TEST(Memory, BreakdownComponentsPositive)
+{
+    const MemoryBreakdown b = mm(bertLarge(), 1).perDeviceFootprint();
+    EXPECT_GT(b.weights, 0.0);
+    EXPECT_GT(b.gradients, 0.0);
+    EXPECT_GT(b.optimizerState, 0.0);
+    EXPECT_GT(b.activations, 0.0);
+    EXPECT_DOUBLE_EQ(b.total(), b.weights + b.gradients +
+                                    b.optimizerState + b.activations);
+}
+
+TEST(Memory, WeightsMatchParamCount)
+{
+    const Hyperparams hp = bertLarge();
+    const MemoryBreakdown b = mm(hp, 1).perDeviceFootprint();
+    EXPECT_DOUBLE_EQ(b.weights, 2.0 * hp.totalParams());
+    EXPECT_DOUBLE_EQ(b.gradients, b.weights);
+    // Mixed precision: 12 optimizer bytes per parameter.
+    EXPECT_DOUBLE_EQ(b.optimizerState, 12.0 * hp.totalParams());
+}
+
+TEST(Memory, TpSlicesModelState)
+{
+    const MemoryBreakdown b1 = mm(bertLarge(), 1).perDeviceFootprint();
+    const MemoryBreakdown b8 = mm(bertLarge(), 8).perDeviceFootprint();
+    EXPECT_NEAR(b1.weights / b8.weights, 8.0, 1e-9);
+}
+
+TEST(Memory, ZeroStyleShardingDividesOptimizerState)
+{
+    MemoryOptions opts;
+    opts.shardOptimizerOverDp = true;
+    const MemoryBreakdown sharded =
+        mm(bertLarge(), 1, 8, opts).perDeviceFootprint();
+    const MemoryBreakdown plain = mm(bertLarge(), 1, 8).perDeviceFootprint();
+    EXPECT_NEAR(plain.optimizerState / sharded.optimizerState, 8.0,
+                1e-9);
+}
+
+TEST(Memory, CheckpointingShrinksActivations)
+{
+    MemoryOptions full;
+    full.activationCheckpointing = false;
+    MemoryOptions ckpt;
+    ckpt.activationCheckpointing = true;
+    const Bytes a_full =
+        mm(bertLarge(), 1, 1, full).perDeviceFootprint().activations;
+    const Bytes a_ckpt =
+        mm(bertLarge(), 1, 1, ckpt).perDeviceFootprint().activations;
+    EXPECT_GT(a_full, 3.0 * a_ckpt);
+}
+
+TEST(Memory, BertFitsOnOneMi210)
+{
+    EXPECT_TRUE(mm(bertLarge(), 1).fitsIn(hw::mi210()));
+}
+
+TEST(Memory, MtNlgNeedsManyDevices)
+{
+    // A 530B model cannot fit on one 64 GiB device; Section 4.3.2's
+    // premise for growing TP.
+    const Hyperparams hp = zooModel("MT-NLG").hp;
+    EXPECT_FALSE(mm(hp, 1).fitsIn(hw::mi210()));
+    const int tp = MemoryModel::minTpDegree(hp, hw::mi210());
+    EXPECT_GE(tp, 64);
+}
+
+TEST(Memory, MinTpDegreeIsMinimal)
+{
+    const Hyperparams hp = zooModel("GPT-3").hp;
+    const int tp = MemoryModel::minTpDegree(hp, hw::mi210());
+    ASSERT_GT(tp, 1);
+    EXPECT_TRUE(mm(hp, tp).fitsIn(hw::mi210()));
+    EXPECT_FALSE(mm(hp, tp / 2).fitsIn(hw::mi210()));
+}
+
+TEST(Memory, MinTpDegreeFailureIsFatal)
+{
+    EXPECT_THROW(
+        MemoryModel::minTpDegree(zooModel("MT-NLG").hp, hw::mi210(), 2),
+        FatalError);
+}
+
+TEST(Memory, UsableFractionValidation)
+{
+    const MemoryModel m = mm(bertLarge(), 1);
+    EXPECT_THROW(m.fitsIn(hw::mi210(), 0.0), FatalError);
+    EXPECT_THROW(m.fitsIn(hw::mi210(), 1.5), FatalError);
+}
+
+/** Property: footprint is non-increasing in TP degree. */
+class TpFootprint : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TpFootprint, MoreSlicesNeverIncreaseFootprint)
+{
+    const int tp = GetParam();
+    const Hyperparams hp = zooModel("GPT-3").hp;
+    const Bytes a = mm(hp, tp).perDeviceFootprint().total();
+    const Bytes b = mm(hp, 2 * tp).perDeviceFootprint().total();
+    EXPECT_LE(b, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(TpDegrees, TpFootprint,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+} // namespace
+} // namespace twocs::model

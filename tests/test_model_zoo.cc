@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "model/zoo.hh"
+#include "util/logging.hh"
+
+namespace twocs::model {
+namespace {
+
+TEST(Zoo, HasAllTableTwoModels)
+{
+    const auto &zoo = modelZoo();
+    ASSERT_EQ(zoo.size(), 8u);
+    EXPECT_EQ(zoo.front().hp.name, "BERT");
+    EXPECT_EQ(zoo.back().hp.name, "PaLM");
+}
+
+TEST(Zoo, TableTwoValuesExact)
+{
+    // Spot-check Table 2 entries.
+    const ZooEntry &bert = zooModel("BERT");
+    EXPECT_EQ(bert.hp.year, 2018);
+    EXPECT_EQ(bert.hp.numLayers, 24);
+    EXPECT_EQ(bert.hp.hidden, 1024);
+    EXPECT_EQ(bert.hp.numHeads, 16);
+    EXPECT_EQ(bert.hp.sequenceLength, 512);
+    EXPECT_EQ(bert.hp.fcDim, 4096);
+    EXPECT_EQ(bert.hp.type, LayerType::Encoder);
+
+    const ZooEntry &gpt3 = zooModel("GPT-3");
+    EXPECT_EQ(gpt3.hp.numLayers, 96);
+    EXPECT_EQ(gpt3.hp.hidden, 12288);
+    EXPECT_EQ(gpt3.hp.numHeads, 96);
+    EXPECT_EQ(gpt3.hp.sequenceLength, 2048);
+    EXPECT_EQ(gpt3.hp.fcDim, 49152);
+    EXPECT_DOUBLE_EQ(gpt3.publishedSizeBillions, 175.0);
+
+    const ZooEntry &palm = zooModel("PaLM");
+    EXPECT_EQ(palm.hp.year, 2022);
+    EXPECT_EQ(palm.hp.numLayers, 118);
+    EXPECT_EQ(palm.hp.hidden, 18432);
+    EXPECT_EQ(palm.hp.numHeads, 48);
+
+    const ZooEntry &mtnlg = zooModel("MT-NLG");
+    EXPECT_EQ(mtnlg.hp.hidden, 20480);
+    EXPECT_EQ(mtnlg.hp.numHeads, 128);
+    EXPECT_DOUBLE_EQ(mtnlg.publishedSizeBillions, 530.0);
+}
+
+TEST(Zoo, AllEntriesValidate)
+{
+    for (const ZooEntry &e : modelZoo()) {
+        EXPECT_NO_THROW(e.hp.validate()) << e.hp.name;
+        EXPECT_GT(e.publishedSizeBillions, 0.0);
+        EXPECT_GE(e.assumedTpDegree, 1);
+    }
+}
+
+TEST(Zoo, ModelsGrowOverTime)
+{
+    const auto &zoo = modelZoo();
+    // Hidden size and model size trend upward (Figure 6).
+    EXPECT_GT(zoo.back().hp.hidden, 16 * zoo.front().hp.hidden);
+    EXPECT_GT(zoo.back().publishedSizeBillions,
+              1000.0 * zoo.front().publishedSizeBillions);
+}
+
+TEST(Zoo, BatchShrinksAndTpGrows)
+{
+    // The memory-pressure trend of Section 3.5: B down to 1, TP up.
+    const auto &zoo = modelZoo();
+    EXPECT_GE(zoo.front().hp.batchSize, 8);
+    EXPECT_EQ(zoo.back().hp.batchSize, 1);
+    EXPECT_EQ(zoo.front().assumedTpDegree, 1);
+    EXPECT_GE(zoo.back().assumedTpDegree, 32);
+}
+
+TEST(Zoo, UnknownModelIsFatal)
+{
+    EXPECT_THROW(zooModel("LSTM-9000"), FatalError);
+}
+
+TEST(Zoo, BertLargeBaseline)
+{
+    const Hyperparams hp = bertLarge();
+    EXPECT_EQ(hp.name, "BERT");
+    EXPECT_EQ(hp.batchSize, 4);
+    EXPECT_NO_THROW(hp.validate());
+}
+
+TEST(Zoo, MegatronAnchorMatchesPaper)
+{
+    const TpAnchor a = megatronBertAnchor();
+    EXPECT_DOUBLE_EQ(a.sizeBillions, 3.9);
+    EXPECT_EQ(a.tpDegree, 8);
+    EXPECT_EQ(a.year, 2019);
+}
+
+} // namespace
+} // namespace twocs::model

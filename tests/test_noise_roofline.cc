@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the PRNG, the measurement-noise model, and the roofline
+ * characterization tooling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hh"
+#include "opmodel/operator_model.hh"
+#include "profiling/noise.hh"
+#include "profiling/roofline.hh"
+#include "test_common.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace twocs {
+namespace {
+
+// --- Rng ---
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU64() == b.nextU64() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoublesInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard)
+{
+    Rng rng(13);
+    std::vector<double> xs(20000);
+    for (double &x : xs)
+        x = rng.nextGaussian();
+    EXPECT_NEAR(mean(xs), 0.0, 0.03);
+    EXPECT_NEAR(stddev(xs), 1.0, 0.03);
+}
+
+TEST(Rng, NoiseFactorHasUnitMean)
+{
+    Rng rng(99);
+    std::vector<double> xs(20000);
+    for (double &x : xs)
+        x = rng.noiseFactor(0.10);
+    EXPECT_NEAR(mean(xs), 1.0, 0.01);
+    EXPECT_NEAR(stddev(xs), 0.10, 0.01);
+    EXPECT_DOUBLE_EQ(rng.noiseFactor(0.0), 1.0);
+    EXPECT_THROW(rng.noiseFactor(-0.1), FatalError);
+}
+
+// --- NoiseModel ---
+
+TEST(Noise, PerturbKeepsStructure)
+{
+    const auto profile =
+        test::paperSystem().profiler().profileLayer(test::bertGraph(4, 2),
+                                                    0);
+    profiling::NoiseModel noise(0.05, 1);
+    const auto noisy = noise.perturb(profile);
+    ASSERT_EQ(noisy.size(), profile.size());
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+        EXPECT_EQ(noisy.records()[i].label, profile.records()[i].label);
+        EXPECT_GT(noisy.records()[i].duration, 0.0);
+        EXPECT_NE(noisy.records()[i].duration,
+                  profile.records()[i].duration);
+    }
+}
+
+TEST(Noise, SameSeedSameNoise)
+{
+    const auto profile =
+        test::paperSystem().profiler().profileLayer(test::bertGraph(1),
+                                                    0);
+    profiling::NoiseModel a(0.05, 77), b(0.05, 77);
+    const auto na = a.perturb(profile);
+    const auto nb = b.perturb(profile);
+    for (std::size_t i = 0; i < na.size(); ++i) {
+        EXPECT_DOUBLE_EQ(na.records()[i].duration,
+                         nb.records()[i].duration);
+    }
+}
+
+TEST(Noise, AveragingConvergesTowardTruth)
+{
+    const auto profile =
+        test::paperSystem().profiler().profileLayer(test::bertGraph(1),
+                                                    0);
+    profiling::NoiseModel one(0.10, 5);
+    profiling::NoiseModel many(0.10, 5);
+    const double err1 = relativeError(
+        one.perturb(profile).totalTime(), profile.totalTime());
+    const double err64 = relativeError(
+        many.averageOfRuns(profile, 64).totalTime(),
+        profile.totalTime());
+    EXPECT_LT(err64, 0.02);
+    EXPECT_LE(err64, err1 + 0.02);
+}
+
+TEST(Noise, CalibrationDegradesGracefullyUnderNoise)
+{
+    // The paper calibrates from real (noisy) measurements; a few
+    // percent of timing jitter must not blow up the projection.
+    const auto profiler = test::paperSystem().profiler();
+    const auto baseline = test::bertGraph(1);
+    const auto clean =
+        opmodel::OperatorScalingModel::calibrate(profiler, baseline);
+
+    // Perturb the calibrated baselines directly (5% measurement
+    // noise on each operator's profiled duration).
+    Rng rng(3);
+    std::map<std::string, opmodel::BaselinePoint> noisy_points;
+    for (const auto &[label, p] : clean.computeBaselines()) {
+        noisy_points[label] = { p.duration * rng.noiseFactor(0.05),
+                                p.predictor };
+    }
+    const auto noisy = opmodel::OperatorScalingModel::fromBaselines(
+        noisy_points, clean.allReduceBaseline(),
+        clean.allToAllBaseline());
+
+    const auto target = test::bertGraph(8, 1);
+    const auto pb_clean = clean.projectIteration(target);
+    const auto pb_noisy = noisy.projectIteration(target);
+    EXPECT_NEAR(pb_noisy.criticalPathTime() /
+                    pb_clean.criticalPathTime(),
+                1.0, 0.05);
+}
+
+// --- roofline ---
+
+TEST(Roofline, RidgePointOfMi210)
+{
+    // 181 TFLOP/s over 1.6 TB/s ~ 113 FLOP/byte at FP16.
+    EXPECT_NEAR(profiling::ridgePoint(hw::mi210(), hw::Precision::FP16), 113.1,
+                0.5);
+}
+
+TEST(Roofline, GemmsAreComputeBoundElementwiseMemoryBound)
+{
+    const auto profile =
+        test::paperSystem().profiler().profileLayer(test::bertGraph(1),
+                                                    0);
+    const auto summary = profiling::rooflineSummary(
+        hw::mi210(), profile, hw::Precision::FP16);
+    for (const auto &p : summary.points) {
+        if (p.label.find("ln") == 0 || p.label == "softmax_fwd") {
+            EXPECT_FALSE(p.computeBound) << p.label;
+        }
+        if (p.label == "fc1_fwd" || p.label == "qkv_fwd") {
+            EXPECT_TRUE(p.computeBound) << p.label;
+        }
+        EXPECT_GT(p.ceilingFraction, 0.0);
+        EXPECT_LE(p.ceilingFraction, 1.0);
+    }
+}
+
+TEST(Roofline, LargeTransformerLayerIsMostlyComputeBound)
+{
+    // The Gshard-style observation the paper leans on (Section
+    // 4.2.3): key Transformer operations of large models run compute
+    // bound at high utilization.
+    model::ParallelConfig par;
+    par.tpDegree = 8;
+    const model::LayerGraphBuilder g(
+        model::bertLarge().withHidden(12288).withSequenceLength(2048),
+        par);
+    const auto profile =
+        test::paperSystem().profiler().profileLayer(g, 0);
+    const auto summary = profiling::rooflineSummary(
+        hw::mi210(), profile, hw::Precision::FP16);
+    EXPECT_GT(summary.computeBoundTimeShare, 0.80);
+    EXPECT_GT(summary.meanCeilingFraction, 0.6);
+}
+
+TEST(Roofline, RejectsCommRecords)
+{
+    profiling::ProfileRecord rec;
+    rec.label = "tp_allreduce_fwd";
+    rec.role = model::OpRole::TpAllReduceFwd;
+    rec.duration = 1e-3;
+    rec.bytes = 1e6;
+    EXPECT_THROW(
+        profiling::rooflinePoint(hw::mi210(), rec,
+                                 hw::Precision::FP16),
+        FatalError);
+}
+
+} // namespace
+} // namespace twocs

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Integration tests pinning the paper's headline claims end-to-end.
+ * Each test names the section/figure it reproduces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/complexity.hh"
+#include "analytic/trends.hh"
+#include "core/amdahl.hh"
+#include "core/case_study.hh"
+#include "core/cost_study.hh"
+#include "core/slack.hh"
+#include "hw/catalog.hh"
+#include "opmodel/accuracy.hh"
+#include "test_common.hh"
+
+namespace twocs {
+namespace {
+
+TEST(PaperClaims, Abstract_CommBecomesSignificantPortionOfRuntime)
+{
+    // "communication will be a significant portion (40-75%) of
+    // runtime as models and hardware evolve."
+    core::SystemConfig sys;
+    sys.flopScale = 4.0;
+    core::AmdahlAnalysis analysis(sys);
+    for (const core::ModelLine &l : core::figure10Lines()) {
+        const double f =
+            analysis.evaluate(l.hidden, l.seqLen, 1, l.requiredTp)
+                .commFraction();
+        EXPECT_IN_RANGE(f, 0.40, 0.75);
+    }
+}
+
+TEST(PaperClaims, Section3_ComputeHasAlgorithmicEdge)
+{
+    // "(H + SL) being always greater than TP" for real models:
+    // compute ops exceed communicated bytes.
+    for (const model::ZooEntry &e : model::modelZoo()) {
+        EXPECT_GT(analytic::amdahlEdge(e.hp, e.assumedTpDegree), 1.0)
+            << e.hp.name;
+    }
+}
+
+TEST(PaperClaims, Section35_ModelScalingStressesEdgeAndSlack)
+{
+    // "compute's slack is reduced by ~75% ... compute's edge drops
+    // by ~80%" (Figure 7).
+    const auto pts = analytic::algorithmicScaling(model::modelZoo());
+    EXPECT_LE(pts.back().slackNorm, 0.30);
+    EXPECT_LE(pts.back().edgeNorm, 0.25);
+}
+
+TEST(PaperClaims, Section432_RequiredTpScaling40To60x)
+{
+    // "TP needs to be scaled by 40-60x, leading to a required TP
+    // degree of ~250-550."
+    for (const model::ZooEntry &e : model::modelZoo()) {
+        if (e.publishedSizeBillions < 500.0)
+            continue;
+        const auto r = analytic::requiredTp(
+            e.hp.name, e.publishedSizeBillions, e.hp.year);
+        EXPECT_IN_RANGE(r.tpScale, 40.0, 62.0);
+        EXPECT_IN_RANGE(r.requiredTpDegree, 250.0, 550.0);
+    }
+}
+
+TEST(PaperClaims, Section434_SerializedCommUpTo50PercentToday)
+{
+    // "it can be a considerable 50% of the execution time for a
+    // model with H = 64K" — ground-truth simulation at 1x hardware.
+    core::AmdahlAnalysis analysis(test::paperSystem());
+    const auto direct = analysis.evaluateDirect(65536, 4096, 1, 256);
+    EXPECT_IN_RANGE(direct.commFraction(), 0.35, 0.55);
+}
+
+TEST(PaperClaims, Section435_OverlappedCommRange)
+{
+    // "communication overlap percentages ... 17% to 140% for the
+    // range of H, SL, and B values" at TP = 16 — our substrate
+    // reproduces the same order-of-magnitude span.
+    core::SlackAnalysis analysis(test::paperSystem());
+    double lo = 1e9, hi = 0.0;
+    for (std::int64_t h : { 1024, 4096, 16384, 65536 }) {
+        for (std::int64_t slb : { 1024, 4096, 8192, 32768 }) {
+            const double r =
+                analysis.evaluate(h, slb, 1).overlappedCommVsCompute();
+            lo = std::min(lo, r);
+            hi = std::max(hi, r);
+        }
+    }
+    EXPECT_LT(lo, 0.17);
+    EXPECT_GT(hi, 0.60);
+    EXPECT_LT(hi, 3.0);
+}
+
+TEST(PaperClaims, Section436_HardwareEvolutionRatios)
+{
+    // "compute FLOPS scaled by ~5x and ~7x, while corresponding
+    // network bandwidth scaled only by ~2x and ~1.7x" (2018-2020).
+    const double nv_flops =
+        hw::a100().peakFlopsFp16 / hw::v100().peakFlopsFp16;
+    const double amd_flops =
+        hw::mi100().peakFlopsFp16 / hw::mi50().peakFlopsFp16;
+    EXPECT_NEAR(nv_flops, 5.0, 0.3);
+    EXPECT_NEAR(amd_flops, 7.0, 0.3);
+
+    const double nv_bw =
+        (hw::a100().numLinks * hw::a100().link.bandwidth) /
+        (hw::v100().numLinks * hw::v100().link.bandwidth);
+    const double amd_bw =
+        (hw::mi100().numLinks * hw::mi100().link.bandwidth) /
+        (hw::mi50().numLinks * hw::mi50().link.bandwidth);
+    EXPECT_NEAR(nv_bw, 2.0, 0.2);
+    EXPECT_NEAR(amd_bw, 1.7, 0.2);
+}
+
+TEST(PaperClaims, Section436_OverlappedCommUnderEvolution)
+{
+    // Figure 13: "the overlapped communication is 50-100% and
+    // 80-210% of the compute time with 2x and 4x flop-vs-bw
+    // scaling" (common SL*B region).
+    for (double fs : { 2.0, 4.0 }) {
+        core::SystemConfig sys;
+        sys.flopScale = fs;
+        core::SlackAnalysis analysis(sys);
+        const double r =
+            analysis.evaluate(16384, 4096, 1).overlappedCommVsCompute();
+        if (fs == 2.0)
+            EXPECT_IN_RANGE(r, 0.30, 1.00);
+        else
+            EXPECT_IN_RANGE(r, 0.60, 2.10);
+    }
+}
+
+TEST(PaperClaims, Section437_CaseStudyCombinedBottleneck)
+{
+    // Figure 14: serialized comm ~half the iteration; DP comm hidden
+    // on fast fabric, exposed over inter-node links.
+    core::CaseStudy study;
+    core::CaseStudyConfig cfg;
+    cfg.system.flopScale = 4.0;
+
+    const auto fast = study.run(cfg);
+    EXPECT_IN_RANGE(fast.serializedCommFraction(), 0.40, 0.65);
+    EXPECT_LT(fast.dpExposedTime / fast.makespan, 0.15);
+
+    cfg.interNodeDp = true;
+    const auto slow = study.run(cfg);
+    EXPECT_GT(slow.dpExposedTime / slow.makespan, 0.25);
+}
+
+TEST(PaperClaims, Section438_OperatorModelUnder15PercentError)
+{
+    // "< 15% error" headline for the operator-level models.
+    opmodel::AccuracyEvaluator ev(test::paperSystem().profiler(),
+                                  test::bertGraph(1));
+    EXPECT_LT(ev.operatorVsSeqLen("fc1_fwd", { 1024, 2048, 4096, 8192 })
+                  .geomeanError,
+              0.15);
+    EXPECT_LT(
+        ev.operatorVsHidden("fc1_fwd", { 2048, 4096, 8192, 16384 })
+            .geomeanError,
+        0.16);
+    EXPECT_LT(ev.allReduceVsBytes({ 8e6, 32e6, 128e6, 512e6, 1e9 })
+                  .geomeanError,
+              0.15);
+}
+
+TEST(PaperClaims, Section438_ProfilingSpeedups)
+{
+    // "reducing profiling overheads by over three orders of
+    // magnitude" and "speeds up profiling by 1.5x".
+    const auto r = core::profilingCostStudy(test::paperSystem());
+    EXPECT_GT(r.projectionSpeedup, 1000.0);
+    EXPECT_NEAR(r.roiSpeedup, 1.5, 0.1);
+}
+
+TEST(PaperClaims, Section5_PinDoublesEffectiveBandwidth)
+{
+    // "PIN ... provides a 2x effective network bandwidth benefit."
+    core::SystemConfig sys;
+    const Seconds ring = sys.collectiveModel().allReduce(1e9, 16).total;
+    sys.inNetworkReduction = true;
+    const Seconds pin = sys.collectiveModel().allReduce(1e9, 16).total;
+    EXPECT_IN_RANGE(ring / pin, 1.7, 2.2);
+}
+
+TEST(PaperClaims, Section62_PrecisionScalesComputeMoreThanComm)
+{
+    // "peak compute for FP16 vs FP32 [scales 4x on MI210] ... bytes
+    // communicated only scale linearly."
+    const hw::DeviceSpec d = hw::mi210();
+    EXPECT_NEAR(d.peakFlops(hw::Precision::FP16) /
+                    d.peakFlops(hw::Precision::FP32),
+                8.0, 0.1); // matrix FP16 vs vector FP32 rate
+    EXPECT_DOUBLE_EQ(hw::precisionBytes(hw::Precision::FP32) /
+                         hw::precisionBytes(hw::Precision::FP16),
+                     2.0);
+}
+
+} // namespace
+} // namespace twocs

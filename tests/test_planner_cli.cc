@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the cluster layout planner and the CLI argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cli/args.hh"
+#include "core/planner.hh"
+#include "test_common.hh"
+#include "util/logging.hh"
+
+namespace twocs {
+namespace {
+
+// --- planner ---
+
+class PlannerFixture : public ::testing::Test
+{
+  protected:
+    PlannerFixture()
+        : planner_(test::paperSystem(), model::zooModel("T-NLG").hp)
+    {
+    }
+
+    core::PlannerOptions
+    smallSpace() const
+    {
+        core::PlannerOptions o;
+        o.maxDevices = 128;
+        o.maxTpDegree = 16;
+        o.maxPipelineStages = 4;
+        o.microBatches = 8;
+        return o;
+    }
+
+    core::LayoutPlanner planner_;
+};
+
+TEST_F(PlannerFixture, EnumerationRespectsDeviceBudget)
+{
+    const auto layouts = planner_.enumerate(smallSpace());
+    ASSERT_FALSE(layouts.empty());
+    for (const auto &c : layouts) {
+        EXPECT_LE(c.totalDevices(), 128);
+        EXPECT_TRUE(c.fitsInMemory);
+        EXPECT_GT(c.tokensPerSecond, 0.0);
+        EXPECT_GT(c.iterationTime, 0.0);
+    }
+}
+
+TEST_F(PlannerFixture, RankedByThroughput)
+{
+    const auto layouts = planner_.enumerate(smallSpace());
+    for (std::size_t i = 1; i < layouts.size(); ++i) {
+        EXPECT_GE(layouts[i - 1].tokensPerSecond,
+                  layouts[i].tokensPerSecond);
+    }
+}
+
+TEST_F(PlannerFixture, BestIsFirst)
+{
+    const auto layouts = planner_.enumerate(smallSpace());
+    const auto best = planner_.best(smallSpace());
+    EXPECT_DOUBLE_EQ(best.tokensPerSecond,
+                     layouts.front().tokensPerSecond);
+}
+
+TEST_F(PlannerFixture, RecomputeAddsComputeTime)
+{
+    const auto plain = planner_.evaluate(8, 2, 1, false, smallSpace());
+    const auto rc = planner_.evaluate(8, 2, 1, true, smallSpace());
+    EXPECT_GT(rc.iterationTime, plain.iterationTime);
+    EXPECT_LE(rc.memoryPerDevice, plain.memoryPerDevice);
+}
+
+TEST_F(PlannerFixture, PipelineAddsBubble)
+{
+    const auto flat = planner_.evaluate(8, 2, 1, false, smallSpace());
+    const auto piped = planner_.evaluate(8, 2, 4, false, smallSpace());
+    EXPECT_DOUBLE_EQ(flat.bubbleFraction, 0.0);
+    EXPECT_GT(piped.bubbleFraction, 0.0);
+    EXPECT_LT(piped.memoryPerDevice, flat.memoryPerDevice);
+}
+
+TEST_F(PlannerFixture, HigherTpRaisesCommFraction)
+{
+    const auto tp4 = planner_.evaluate(4, 2, 1, false, smallSpace());
+    const auto tp16 = planner_.evaluate(16, 2, 1, false, smallSpace());
+    EXPECT_GT(tp16.commFraction(), tp4.commFraction());
+}
+
+TEST_F(PlannerFixture, Validation)
+{
+    EXPECT_THROW(planner_.evaluate(0, 1, 1, false), FatalError);
+    EXPECT_THROW(planner_.evaluate(1, 1, 1000, false), FatalError);
+}
+
+TEST(Planner, HugeModelNeedsManyDevices)
+{
+    core::LayoutPlanner planner(test::paperSystem(),
+                                model::zooModel("MT-NLG").hp);
+    core::PlannerOptions tiny;
+    tiny.maxDevices = 8;
+    EXPECT_THROW(planner.best(tiny), FatalError);
+
+    core::PlannerOptions big;
+    big.maxDevices = 4096;
+    big.maxTpDegree = 256;
+    const auto best = planner.best(big);
+    EXPECT_GE(best.totalDevices(), 64);
+}
+
+// --- CLI args ---
+
+TEST(CliArgs, ParsesCommandAndOptions)
+{
+    const char *argv[] = { "twocs", "analyze", "--model", "GPT-3",
+                           "--tp", "16", "--flop-scale", "2.5" };
+    const cli::Args args = cli::Args::parse(8, argv);
+    EXPECT_EQ(args.command(), "analyze");
+    EXPECT_EQ(args.get("model"), "GPT-3");
+    EXPECT_EQ(args.getInt("tp", 1), 16);
+    EXPECT_DOUBLE_EQ(args.getDouble("flop-scale", 1.0), 2.5);
+    EXPECT_TRUE(args.has("model"));
+    EXPECT_FALSE(args.has("dp"));
+}
+
+TEST(CliArgs, DefaultsApplyWhenMissing)
+{
+    const char *argv[] = { "twocs", "zoo" };
+    const cli::Args args = cli::Args::parse(2, argv);
+    EXPECT_EQ(args.get("model", "BERT"), "BERT");
+    EXPECT_EQ(args.getInt("tp", 4), 4);
+}
+
+TEST(CliArgs, NoCommandIsEmpty)
+{
+    const char *argv[] = { "twocs" };
+    EXPECT_EQ(cli::Args::parse(1, argv).command(), "");
+}
+
+TEST(CliArgs, RejectsMalformedInput)
+{
+    const char *missing_value[] = { "twocs", "analyze", "--model" };
+    EXPECT_THROW(cli::Args::parse(3, missing_value), FatalError);
+
+    const char *bad_key[] = { "twocs", "analyze", "model", "GPT-3" };
+    EXPECT_THROW(cli::Args::parse(4, bad_key), FatalError);
+}
+
+TEST(CliArgs, RejectsNonNumericValues)
+{
+    const char *argv[] = { "twocs", "analyze", "--tp", "many" };
+    const cli::Args args = cli::Args::parse(4, argv);
+    EXPECT_THROW(args.getInt("tp", 1), FatalError);
+    EXPECT_THROW(args.getDouble("tp", 1.0), FatalError);
+}
+
+TEST(CliArgs, TracksUnusedKeys)
+{
+    const char *argv[] = { "twocs", "zoo", "--typo", "1", "--tp", "2" };
+    const cli::Args args = cli::Args::parse(6, argv);
+    (void)args.getInt("tp", 1);
+    const auto unused = args.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused.front(), "typo");
+}
+
+} // namespace
+} // namespace twocs

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the profile-diff utility.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "profiling/diff.hh"
+#include "test_common.hh"
+#include "util/logging.hh"
+
+namespace twocs::profiling {
+namespace {
+
+TEST(ProfileDiff, IdenticalProfilesHaveUnitSpeedup)
+{
+    const auto profile =
+        test::paperSystem().profiler().profileLayer(test::bertGraph(1),
+                                                    0);
+    const ProfileDiff d = diffProfiles(profile, profile);
+    EXPECT_DOUBLE_EQ(d.overallSpeedup(), 1.0);
+    for (const auto &e : d.entries) {
+        EXPECT_DOUBLE_EQ(e.speedup(), 1.0);
+        EXPECT_DOUBLE_EQ(e.delta(), 0.0);
+    }
+}
+
+TEST(ProfileDiff, DetectsFasterHardware)
+{
+    const auto g = test::bertGraph(1);
+    const auto before =
+        test::paperSystem().profiler().profileLayer(g, 0);
+    core::SystemConfig fast = test::paperSystem();
+    fast.flopScale = 2.0;
+    const auto after = fast.profiler().profileLayer(g, 0);
+
+    const ProfileDiff d = diffProfiles(before, after);
+    EXPECT_GT(d.overallSpeedup(), 1.3);
+    // GEMM-heavy labels speed up close to 2x.
+    for (const auto &e : d.entries) {
+        if (e.label == "fc1_fwd") {
+            EXPECT_NEAR(e.speedup(), 2.0, 0.1);
+        }
+    }
+}
+
+TEST(ProfileDiff, SortedByAbsoluteDelta)
+{
+    const auto g = test::bertGraph(1);
+    const auto before =
+        test::paperSystem().profiler().profileLayer(g, 0);
+    core::SystemConfig fast = test::paperSystem();
+    fast.flopScale = 4.0;
+    const auto after = fast.profiler().profileLayer(g, 0);
+    const ProfileDiff d = diffProfiles(before, after);
+    for (std::size_t i = 1; i < d.entries.size(); ++i) {
+        EXPECT_GE(std::fabs(d.entries[i - 1].delta()),
+                  std::fabs(d.entries[i].delta()));
+    }
+}
+
+TEST(ProfileDiff, HandlesDisjointLabels)
+{
+    Profile a, b;
+    ProfileRecord ra;
+    ra.label = "only_in_a";
+    ra.duration = 1.0;
+    a.add(ra);
+    ProfileRecord rb;
+    rb.label = "only_in_b";
+    rb.duration = 2.0;
+    b.add(rb);
+
+    const ProfileDiff d = diffProfiles(a, b);
+    ASSERT_EQ(d.entries.size(), 2u);
+    for (const auto &e : d.entries) {
+        if (e.label == "only_in_a") {
+            EXPECT_DOUBLE_EQ(e.before, 1.0);
+            EXPECT_DOUBLE_EQ(e.after, 0.0);
+        } else {
+            EXPECT_DOUBLE_EQ(e.before, 0.0);
+            EXPECT_DOUBLE_EQ(e.after, 2.0);
+        }
+    }
+}
+
+TEST(ProfileDiff, AggregatesRepeatedLabels)
+{
+    Profile a;
+    for (int i = 0; i < 3; ++i) {
+        ProfileRecord r;
+        r.label = "k";
+        r.duration = 1.0;
+        r.layerIndex = i;
+        a.add(r);
+    }
+    const ProfileDiff d = diffProfiles(a, a);
+    ASSERT_EQ(d.entries.size(), 1u);
+    EXPECT_DOUBLE_EQ(d.entries[0].before, 3.0);
+    EXPECT_EQ(d.entries[0].count, 3);
+}
+
+TEST(ProfileDiff, EmptyPairIsFatal)
+{
+    Profile a, b;
+    EXPECT_THROW(diffProfiles(a, b), FatalError);
+}
+
+} // namespace
+} // namespace twocs::profiling

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "profiling/cost_ledger.hh"
+#include "profiling/profiler.hh"
+#include "profiling/roi.hh"
+#include "test_common.hh"
+#include "util/logging.hh"
+
+namespace twocs::profiling {
+namespace {
+
+IterationProfiler
+profiler()
+{
+    return test::paperSystem().profiler();
+}
+
+TEST(Profiler, LayerProfileRecordCountsMatchGraph)
+{
+    const auto g = test::bertGraph(4, 2);
+    const Profile p = profiler().profileLayer(g, 0);
+    const std::size_t expect = g.forwardLayerOps(0).size() +
+                               g.backwardLayerOps(0).size();
+    EXPECT_EQ(p.size(), expect);
+    EXPECT_FALSE(p.empty());
+}
+
+TEST(Profiler, DurationsArePositiveAndAdditive)
+{
+    const auto g = test::bertGraph(4, 2);
+    const Profile p = profiler().profileLayer(g, 0);
+    Seconds sum = 0.0;
+    for (const ProfileRecord &r : p.records()) {
+        EXPECT_GT(r.duration, 0.0) << r.label;
+        sum += r.duration;
+    }
+    EXPECT_DOUBLE_EQ(p.totalTime(), sum);
+    EXPECT_NEAR(p.computeTime() + p.serializedCommTime() + p.dpCommTime(),
+                p.totalTime(), 1e-12);
+}
+
+TEST(Profiler, RolesClassifiedCorrectly)
+{
+    const auto g = test::bertGraph(4, 2);
+    const Profile p = profiler().profileLayer(g, 0);
+    EXPECT_GT(p.serializedCommTime(), 0.0);
+    EXPECT_GT(p.dpCommTime(), 0.0);
+    EXPECT_GT(p.computeTime(), 0.0);
+    EXPECT_GT(p.timeByRole(model::OpRole::OptimizerStep), 0.0);
+}
+
+TEST(Profiler, IterationScalesWithLayerCount)
+{
+    const auto g = test::bertGraph(1, 1);
+    const Profile layer = profiler().profileLayer(g, 0);
+    const Profile iter = profiler().profileIteration(g);
+    const int layers = g.hyperparams().numLayers;
+    EXPECT_NEAR(iter.totalTime(), layers * layer.totalTime(),
+                1e-9 * iter.totalTime());
+}
+
+TEST(Profiler, FindAndByLabel)
+{
+    const auto g = test::bertGraph(1, 1);
+    const Profile p = profiler().profileIteration(g);
+    const ProfileRecord &r = p.find("fc1_fwd", 3);
+    EXPECT_EQ(r.label, "fc1_fwd");
+    EXPECT_EQ(r.layerIndex, 3);
+    EXPECT_EQ(p.byLabel("fc1_fwd").size(),
+              static_cast<std::size_t>(g.hyperparams().numLayers));
+    EXPECT_THROW(p.find("nonexistent", 0), FatalError);
+}
+
+TEST(Profiler, CommRecordsCarryPayload)
+{
+    const auto g = test::bertGraph(8, 1);
+    const Profile p = profiler().profileLayer(g, 0);
+    bool saw_comm = false;
+    for (const ProfileRecord &r : p.records()) {
+        if (r.isComm()) {
+            saw_comm = true;
+            EXPECT_DOUBLE_EQ(r.bytes, g.tpAllReduceBytes());
+            EXPECT_DOUBLE_EQ(r.flops, 0.0);
+        }
+    }
+    EXPECT_TRUE(saw_comm);
+}
+
+// --- ROI extraction ---
+
+TEST(Roi, SlackRoiIsolatesGemmsAndGradientAllReduce)
+{
+    const auto g = test::bertGraph(4, 4);
+    RoiExtractor roi(profiler());
+    const SlackRoi r = roi.slackRoi(g, model::SubLayer::FeedForward);
+    EXPECT_GT(r.backpropComputeTime, 0.0);
+    EXPECT_GT(r.dpCommTime, 0.0);
+    EXPECT_DOUBLE_EQ(r.gradientBytes, g.fcWeightGradBytes());
+}
+
+TEST(Roi, LayerRoiSumsSubLayers)
+{
+    const auto g = test::bertGraph(4, 4);
+    RoiExtractor roi(profiler());
+    const SlackRoi attn = roi.slackRoi(g, model::SubLayer::Attention);
+    const SlackRoi fc = roi.slackRoi(g, model::SubLayer::FeedForward);
+    const SlackRoi layer = roi.layerSlackRoi(g);
+    EXPECT_NEAR(layer.dpCommTime, attn.dpCommTime + fc.dpCommTime,
+                1e-15);
+    EXPECT_NEAR(layer.backpropComputeTime,
+                attn.backpropComputeTime + fc.backpropComputeTime,
+                1e-15);
+    EXPECT_DOUBLE_EQ(layer.gradientBytes, g.layerWeightGradBytes());
+}
+
+TEST(Roi, ComputeRegionIsGemmsOnly)
+{
+    // The ROI pairs WG/IG GEMMs against the gradient all-reduce
+    // (Section 3.4); LayerNorm/softmax backward must not inflate it.
+    const auto g = test::bertGraph(4, 4);
+    RoiExtractor roi(profiler());
+    const SlackRoi r = roi.slackRoi(g, model::SubLayer::FeedForward);
+
+    Seconds gemm_time = 0.0;
+    for (const auto &op : g.backwardLayerOps(0)) {
+        if (op.subLayer == model::SubLayer::FeedForward &&
+            op.role == model::OpRole::BwdCompute &&
+            op.kernel.kind == hw::KernelKind::Gemm) {
+            gemm_time += profiler().profileOp(op, g.parallel()).duration;
+        }
+    }
+    EXPECT_NEAR(r.backpropComputeTime, gemm_time, 1e-15);
+}
+
+TEST(Roi, RequiresDataParallelism)
+{
+    const auto g = test::bertGraph(4, 1);
+    RoiExtractor roi(profiler());
+    EXPECT_THROW(roi.slackRoi(g, model::SubLayer::Attention),
+                 FatalError);
+}
+
+TEST(Roi, DerivedMetrics)
+{
+    SlackRoi r;
+    r.backpropComputeTime = 10.0;
+    r.dpCommTime = 4.0;
+    EXPECT_DOUBLE_EQ(r.overlappedCommVsCompute(), 0.4);
+    EXPECT_DOUBLE_EQ(r.remainingSlack(), 6.0);
+    r.dpCommTime = 15.0;
+    EXPECT_DOUBLE_EQ(r.remainingSlack(), 0.0);
+}
+
+// --- cost ledger ---
+
+TEST(Ledger, SpeedupArithmetic)
+{
+    CostLedger ledger;
+    ledger.recordExecuted("baseline", 1.0, 10);
+    ledger.recordAvoided("big model", 100.0, 10);
+    ledger.recordAvoided("bigger model", 109.0, 10);
+    EXPECT_DOUBLE_EQ(ledger.executedTime(), 10.0);
+    EXPECT_DOUBLE_EQ(ledger.avoidedTime(), 2090.0);
+    EXPECT_DOUBLE_EQ(ledger.exhaustiveTime(), 2100.0);
+    EXPECT_DOUBLE_EQ(ledger.speedup(), 210.0);
+    EXPECT_EQ(ledger.entries().size(), 3u);
+}
+
+TEST(Ledger, Validation)
+{
+    CostLedger ledger;
+    EXPECT_THROW(ledger.recordExecuted("x", -1.0), FatalError);
+    EXPECT_THROW(ledger.recordAvoided("x", 1.0, 0), FatalError);
+    EXPECT_THROW(ledger.speedup(), FatalError);
+}
+
+} // namespace
+} // namespace twocs::profiling

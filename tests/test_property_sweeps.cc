@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Cross-module property sweeps: broad parameterized invariants that
+ * tie the stack together, plus the deviceOfYear helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/amdahl.hh"
+#include "hw/catalog.hh"
+#include "test_common.hh"
+
+namespace twocs {
+namespace {
+
+TEST(DeviceOfYear, TracksCapacityEnvelope)
+{
+    EXPECT_EQ(hw::deviceOfYear(2016).name, "P100");
+    EXPECT_EQ(hw::deviceOfYear(2018).name, "V100");
+    EXPECT_EQ(hw::deviceOfYear(2021).name, "A100");
+    // Years before the catalog clamp to the first entry.
+    EXPECT_EQ(hw::deviceOfYear(2010).name, "P100");
+    // Capacity never regresses over the years.
+    Bytes prev = 0.0;
+    for (int year = 2016; year <= 2024; ++year) {
+        const Bytes cap = hw::deviceOfYear(year).memCapacity;
+        EXPECT_GE(cap, prev);
+        prev = cap;
+    }
+}
+
+/** Figure 10's family shape must hold on EVERY (H, SL) line, not
+ *  just the highlighted ones: comm fraction rises with TP. */
+struct Line
+{
+    std::int64_t h;
+    std::int64_t sl;
+};
+
+class Fig10Shape : public ::testing::TestWithParam<Line>
+{
+};
+
+TEST_P(Fig10Shape, FractionMonotoneInTp)
+{
+    static core::AmdahlAnalysis analysis(test::paperSystem());
+    const Line line = GetParam();
+    double prev = -1.0;
+    for (int tp : { 4, 16, 64, 256 }) {
+        const double f =
+            analysis.evaluate(line.h, line.sl, 1, tp).commFraction();
+        EXPECT_GT(f, prev);
+        EXPECT_GT(f, 0.0);
+        EXPECT_LT(f, 1.0);
+        prev = f;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lines, Fig10Shape,
+    ::testing::Values(Line{ 1024, 1024 }, Line{ 2048, 8192 },
+                      Line{ 8192, 1024 }, Line{ 16384, 4096 },
+                      Line{ 65536, 2048 }, Line{ 65536, 8192 }));
+
+/** Projection consistency: projecting a model at its own calibration
+ *  point is exact for ALL TP degrees (the AR payload and predictor
+ *  both depend only on the hyperparameters). */
+class ProjectionConsistency : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ProjectionConsistency, ComputeTimeScalesInverselyWithTp)
+{
+    static core::AmdahlAnalysis analysis(test::paperSystem());
+    const int tp = GetParam();
+    const auto once = analysis.evaluate(8192, 2048, 1, tp);
+    const auto twice = analysis.evaluate(8192, 2048, 1, 2 * tp);
+    // GEMM flops halve with doubled TP; projected compute must track
+    // (the full-width LayerNorm terms do not shrink with TP, so the
+    // ratio drifts below 2x as slicing gets extreme).
+    EXPECT_GT(once.computeTime / twice.computeTime, 1.4);
+    EXPECT_LT(once.computeTime / twice.computeTime, 2.05);
+    // The serialized payload per AR is TP-independent (Eq. 5), so
+    // projected comm time is flat in TP.
+    EXPECT_NEAR(once.serializedCommTime / twice.serializedCommTime,
+                1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(TpDegrees, ProjectionConsistency,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+/** Hardware evolution property: comm fraction is monotone in the
+ *  flop-vs-bw ratio at every studied point. */
+class EvolutionMonotone : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(EvolutionMonotone, FractionRisesWithFlopScale)
+{
+    const std::int64_t h = GetParam();
+    double prev = -1.0;
+    for (double fs : { 1.0, 2.0, 4.0, 8.0 }) {
+        core::SystemConfig sys;
+        sys.flopScale = fs;
+        core::AmdahlAnalysis analysis(sys);
+        const double f =
+            analysis.evaluate(h, 2048, 1, 64).commFraction();
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hiddens, EvolutionMonotone,
+                         ::testing::Values(2048, 8192, 32768, 65536));
+
+} // namespace
+} // namespace twocs

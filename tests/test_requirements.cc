@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the inverse network-requirement analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/requirements.hh"
+#include "test_common.hh"
+#include "util/logging.hh"
+
+namespace twocs::core {
+namespace {
+
+TEST(Requirements, AlreadyMetNeedsNoScaling)
+{
+    // A generous target at 1x hardware is already satisfied.
+    const auto r = requiredBandwidthScale(test::paperSystem(), 16384,
+                                          2048, 1, 64, 1.0, 0.60);
+    EXPECT_TRUE(r.achievable);
+    EXPECT_DOUBLE_EQ(r.requiredBwScale, 1.0);
+    EXPECT_LE(r.achievedCommFraction, 0.60);
+}
+
+TEST(Requirements, BisectionHitsTargetTightly)
+{
+    const auto r = requiredBandwidthScale(test::paperSystem(), 65536,
+                                          4096, 1, 256, 1.0, 0.25);
+    ASSERT_TRUE(r.achievable);
+    EXPECT_GT(r.requiredBwScale, 1.0);
+    EXPECT_LE(r.achievedCommFraction, 0.25);
+    // Tight: the achieved fraction is within a whisker of the target.
+    EXPECT_GT(r.achievedCommFraction, 0.24);
+}
+
+TEST(Requirements, FasterComputeNeedsMoreNetwork)
+{
+    const auto r1 = requiredBandwidthScale(test::paperSystem(), 65536,
+                                           4096, 1, 256, 1.0, 0.25);
+    const auto r2 = requiredBandwidthScale(test::paperSystem(), 65536,
+                                           4096, 1, 256, 2.0, 0.25);
+    ASSERT_TRUE(r1.achievable);
+    ASSERT_TRUE(r2.achievable);
+    EXPECT_GT(r2.requiredBwScale, r1.requiredBwScale);
+    // At least commensurate with compute (paper Section 5).
+    EXPECT_GE(r2.requiredBwScale, 2.0);
+}
+
+TEST(Requirements, LatencyFloorReportedNotFatal)
+{
+    // Small payloads at a large TP are latency-bound: no bandwidth
+    // scale reaches an aggressive target.
+    const auto r = requiredBandwidthScale(test::paperSystem(), 4096,
+                                          1024, 1, 16, 4.0, 0.10, 8.0);
+    EXPECT_FALSE(r.achievable);
+    EXPECT_DOUBLE_EQ(r.requiredBwScale, 8.0);
+    EXPECT_GT(r.achievedCommFraction, 0.10);
+}
+
+TEST(Requirements, Validation)
+{
+    EXPECT_THROW(requiredBandwidthScale(test::paperSystem(), 4096,
+                                        1024, 1, 16, 1.0, 0.0),
+                 FatalError);
+    EXPECT_THROW(requiredBandwidthScale(test::paperSystem(), 4096,
+                                        1024, 1, 16, 1.0, 1.5),
+                 FatalError);
+    EXPECT_THROW(requiredBandwidthScale(test::paperSystem(), 4096,
+                                        1024, 1, 16, -1.0, 0.5),
+                 FatalError);
+}
+
+} // namespace
+} // namespace twocs::core

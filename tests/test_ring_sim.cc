@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the explicit multi-device ring all-reduce simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "comm/ring_sim.hh"
+#include "hw/catalog.hh"
+#include "util/logging.hh"
+
+namespace twocs::comm {
+namespace {
+
+hw::Topology
+node(int p)
+{
+    return hw::Topology::singleNode(hw::mi210(), p);
+}
+
+TEST(RingSim, UniformArrivalMatchesClosedForm)
+{
+    // With synchronized arrivals and a large payload, the explicit
+    // ring and the CollectiveModel closed form must agree closely.
+    const int p = 8;
+    const Bytes payload = 1e9;
+    const std::vector<Seconds> arrivals(p, 0.0);
+    const RingSimResult sim =
+        simulateRingAllReduce(node(p), payload, arrivals);
+    const Seconds closed =
+        CollectiveModel(node(p)).allReduce(payload, p).total;
+    EXPECT_NEAR(sim.finishTime / closed, 1.0, 0.10);
+    EXPECT_NEAR(sim.maxStallTime, 0.0, 1e-9);
+}
+
+TEST(RingSim, AllDevicesFinishTogetherWhenUniform)
+{
+    const std::vector<Seconds> arrivals(6, 1e-3);
+    const RingSimResult r =
+        simulateRingAllReduce(node(6), 64e6, arrivals);
+    for (Seconds f : r.deviceFinish)
+        EXPECT_NEAR(f, r.finishTime, 1e-12);
+}
+
+TEST(RingSim, StragglerDelaysEveryone)
+{
+    std::vector<Seconds> arrivals(8, 1e-3);
+    const RingSimResult base =
+        simulateRingAllReduce(node(8), 64e6, arrivals);
+    arrivals[3] = 5e-3; // one straggler
+    const RingSimResult slow =
+        simulateRingAllReduce(node(8), 64e6, arrivals);
+
+    // Everyone's finish moves out by roughly the straggler's delay.
+    EXPECT_NEAR(slow.finishTime - base.finishTime, 4e-3, 1e-3);
+    EXPECT_GT(slow.maxStallTime, 3e-3);
+    for (Seconds f : slow.deviceFinish)
+        EXPECT_GT(f, base.finishTime);
+}
+
+TEST(RingSim, CollectiveTimeExcludesArrivalSkew)
+{
+    std::vector<Seconds> arrivals = { 0.0, 1e-3, 2e-3, 8e-3 };
+    const RingSimResult r =
+        simulateRingAllReduce(node(4), 64e6, arrivals);
+    const RingSimResult uniform = simulateRingAllReduce(
+        node(4), 64e6, std::vector<Seconds>(4, 8e-3));
+    // Once the last device arrives, the remaining work is at most a
+    // full collective (pipelining may have absorbed earlier steps).
+    EXPECT_LE(r.collectiveTime, uniform.collectiveTime * 1.001);
+    EXPECT_GT(r.collectiveTime, 0.0);
+}
+
+TEST(RingSim, MoreDevicesMoreSteps)
+{
+    const Seconds t4 =
+        simulateRingAllReduce(node(4), 64e6,
+                              std::vector<Seconds>(4, 0.0))
+            .finishTime;
+    const Seconds t16 =
+        simulateRingAllReduce(node(16), 64e6,
+                              std::vector<Seconds>(16, 0.0))
+            .finishTime;
+    EXPECT_GT(t16, t4);
+}
+
+TEST(RingSim, Validation)
+{
+    EXPECT_THROW(simulateRingAllReduce(node(4), 64e6, { 0.0 }),
+                 FatalError);
+    EXPECT_THROW(simulateRingAllReduce(node(4), 0.0,
+                                       std::vector<Seconds>(4, 0.0)),
+                 FatalError);
+    EXPECT_THROW(simulateRingAllReduce(node(4), 64e6,
+                                       { 0.0, 0.0, -1.0, 0.0 }),
+                 FatalError);
+}
+
+TEST(RingSim, ScheduleIsExportable)
+{
+    const RingSimResult r = simulateRingAllReduce(
+        node(4), 64e6, std::vector<Seconds>(4, 0.0));
+    EXPECT_EQ(r.schedule.numResources(), 4u);
+    EXPECT_EQ(r.schedule.tasks().size(), 4u + 4u * 6u);
+}
+
+} // namespace
+} // namespace twocs::comm

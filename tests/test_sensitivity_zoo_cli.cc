@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the sensitivity tornado, the extended model zoo, and
+ * end-to-end CLI command execution.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli/commands.hh"
+#include "core/sensitivity.hh"
+#include "model/zoo.hh"
+#include "test_common.hh"
+#include "util/logging.hh"
+
+namespace twocs {
+namespace {
+
+// --- sensitivity ---
+
+TEST(Sensitivity, TornadoShapeMatchesEquationSix)
+{
+    core::SensitivityConfig cfg;
+    cfg.hidden = 8192;
+    cfg.seqLen = 2048;
+    cfg.tpDegree = 32;
+    const auto entries = core::sensitivityTornado(cfg);
+    ASSERT_EQ(entries.size(), 6u);
+
+    // Sorted by swing magnitude.
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        EXPECT_GE(std::fabs(entries[i - 1].swing()),
+                  std::fabs(entries[i].swing()));
+    }
+
+    auto find = [&](const std::string &name) {
+        for (const auto &e : entries) {
+            if (e.knob == name)
+                return e;
+        }
+        throw std::runtime_error("knob not found: " + name);
+    };
+    // Eq. 6: edge = (H + SL)/TP. TP up -> comm up; H up -> comm down.
+    EXPECT_GT(find("TP degree").swing(), 0.0);
+    EXPECT_LT(find("hidden (H)").swing(), 0.0);
+    EXPECT_GT(find("compute FLOPS").swing(), 0.0);
+    EXPECT_LT(find("network bandwidth").swing(), 0.0);
+    // B scales compute and comm alike: tiny swing.
+    EXPECT_LT(std::fabs(find("batch (B)").swing()), 0.08);
+    // Baselines agree across entries.
+    for (const auto &e : entries)
+        EXPECT_DOUBLE_EQ(e.fractionBase, entries[0].fractionBase);
+}
+
+// --- extended zoo ---
+
+TEST(ExtendedZoo, SupersetOfTableTwo)
+{
+    const auto &base = model::modelZoo();
+    const auto &ext = model::extendedZoo();
+    ASSERT_GT(ext.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        EXPECT_EQ(ext[i].hp.name, base[i].hp.name);
+}
+
+TEST(ExtendedZoo, PostPaperModelsValidate)
+{
+    for (const auto &e : model::extendedZoo()) {
+        EXPECT_NO_THROW(e.hp.validate()) << e.hp.name;
+    }
+    const auto &llama = model::zooModel("LLaMA-2-70B");
+    EXPECT_EQ(llama.hp.year, 2023);
+    EXPECT_EQ(llama.hp.hidden, 8192);
+    const auto &gpt4 = model::zooModel("GPT-4-class");
+    EXPECT_TRUE(gpt4.hp.moe.enabled());
+    EXPECT_EQ(gpt4.hp.moe.numExperts, 16);
+}
+
+TEST(ExtendedZoo, TableTwoBenchesUnaffected)
+{
+    // Figure 6/7 reproduction must still see exactly eight models.
+    EXPECT_EQ(model::modelZoo().size(), 8u);
+}
+
+// --- CLI end-to-end ---
+
+/** RAII stdout capture that survives exceptions. */
+class CoutCapture
+{
+  public:
+    CoutCapture() : old_(std::cout.rdbuf(capture_.rdbuf())) {}
+    ~CoutCapture() { std::cout.rdbuf(old_); }
+    std::string str() const { return capture_.str(); }
+
+  private:
+    std::ostringstream capture_;
+    std::streambuf *old_;
+};
+
+int
+run(std::initializer_list<const char *> argv_list, std::string *out)
+{
+    std::vector<const char *> argv(argv_list);
+    const cli::Args args =
+        cli::Args::parse(static_cast<int>(argv.size()), argv.data());
+    CoutCapture capture;
+    const int rc = cli::runCommand(args);
+    if (out != nullptr)
+        *out = capture.str();
+    return rc;
+}
+
+TEST(Cli, ZooPrintsAllModels)
+{
+    std::string out;
+    EXPECT_EQ(run({ "twocs", "zoo" }, &out), 0);
+    EXPECT_NE(out.find("BERT"), std::string::npos);
+    EXPECT_NE(out.find("PaLM"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeBreaksDownIteration)
+{
+    std::string out;
+    EXPECT_EQ(run({ "twocs", "analyze", "--model", "GPT-3", "--tp",
+                    "16", "--dp", "4" },
+                  &out),
+              0);
+    EXPECT_NE(out.find("serialized comm"), std::string::npos);
+    EXPECT_NE(out.find("iteration"), std::string::npos);
+}
+
+TEST(Cli, ProjectReportsFraction)
+{
+    std::string out;
+    EXPECT_EQ(run({ "twocs", "project", "--hidden", "16384",
+                    "--seqlen", "2048", "--tp", "64" },
+                  &out),
+              0);
+    EXPECT_NE(out.find("comm fraction"), std::string::npos);
+}
+
+TEST(Cli, MemoryReportsMinTp)
+{
+    std::string out;
+    EXPECT_EQ(run({ "twocs", "memory", "--model", "MT-NLG" }, &out), 0);
+    EXPECT_NE(out.find("TP >="), std::string::npos);
+}
+
+TEST(Cli, InferenceAndPrecisionCommands)
+{
+    std::string out;
+    EXPECT_EQ(run({ "twocs", "inference", "--hidden", "4096",
+                    "--context", "1024" },
+                  &out),
+              0);
+    EXPECT_NE(out.find("decode"), std::string::npos);
+    EXPECT_EQ(run({ "twocs", "precision", "--hidden", "4096", "--tp",
+                    "16" },
+                  &out),
+              0);
+    EXPECT_NE(out.find("fp8"), std::string::npos);
+}
+
+TEST(Cli, ClusterCommandRuns)
+{
+    std::string out;
+    EXPECT_EQ(run({ "twocs", "cluster", "--tp", "4", "--layers", "1",
+                    "--jitter", "0.05" },
+                  &out),
+              0);
+    EXPECT_NE(out.find("stall fraction"), std::string::npos);
+}
+
+TEST(Cli, SweepCommandEmitsCsv)
+{
+    std::string out;
+    EXPECT_EQ(run({ "twocs", "sweep", "--figure", "11", "--csv", "1" },
+                  &out),
+              0);
+    EXPECT_NE(out.find("H,SL_x_B,overlap_vs_compute"),
+              std::string::npos);
+    EXPECT_THROW(run({ "twocs", "sweep", "--figure", "9" }, nullptr),
+                 FatalError);
+}
+
+TEST(Cli, UnknownCommandPrintsUsageAndFails)
+{
+    std::string out;
+    EXPECT_EQ(run({ "twocs", "frobnicate" }, &out), 2);
+    EXPECT_NE(out.find("usage:"), std::string::npos);
+    EXPECT_EQ(run({ "twocs" }, &out), 0); // bare usage is not an error
+}
+
+TEST(Cli, UnknownModelIsFatal)
+{
+    EXPECT_THROW(run({ "twocs", "analyze", "--model", "ELIZA" },
+                     nullptr),
+                 FatalError);
+}
+
+} // namespace
+} // namespace twocs

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "util/logging.hh"
+
+namespace twocs::sim {
+namespace {
+
+TEST(Engine, SingleResourceRunsFifo)
+{
+    EventSimulator des;
+    const ResourceId r = des.addResource("stream");
+    des.addTask("a", "x", r, 1.0);
+    des.addTask("b", "x", r, 2.0);
+    des.addTask("c", "y", r, 3.0);
+    const Schedule s = des.run();
+    EXPECT_DOUBLE_EQ(s.makespan(), 6.0);
+    EXPECT_DOUBLE_EQ(s.placement(0).start, 0.0);
+    EXPECT_DOUBLE_EQ(s.placement(1).start, 1.0);
+    EXPECT_DOUBLE_EQ(s.placement(2).start, 3.0);
+    EXPECT_DOUBLE_EQ(s.busyTime(r), 6.0);
+    EXPECT_DOUBLE_EQ(s.timeByTag("x"), 3.0);
+    EXPECT_DOUBLE_EQ(s.timeByTag("y"), 3.0);
+}
+
+TEST(Engine, IndependentResourcesRunInParallel)
+{
+    EventSimulator des;
+    const ResourceId a = des.addResource("a");
+    const ResourceId b = des.addResource("b");
+    des.addTask("a0", "", a, 5.0);
+    des.addTask("b0", "", b, 3.0);
+    const Schedule s = des.run();
+    EXPECT_DOUBLE_EQ(s.makespan(), 5.0);
+    EXPECT_DOUBLE_EQ(s.overlappedTime(a, b), 3.0);
+    EXPECT_DOUBLE_EQ(s.exposedTime(a, b), 2.0);
+    EXPECT_DOUBLE_EQ(s.exposedTime(b, a), 0.0);
+}
+
+TEST(Engine, DependencyDelaysStart)
+{
+    EventSimulator des;
+    const ResourceId a = des.addResource("a");
+    const ResourceId b = des.addResource("b");
+    const TaskId t0 = des.addTask("produce", "", a, 4.0);
+    des.addTask("consume", "", b, 1.0, { t0 });
+    const Schedule s = des.run();
+    EXPECT_DOUBLE_EQ(s.placement(1).start, 4.0);
+    EXPECT_DOUBLE_EQ(s.makespan(), 5.0);
+}
+
+TEST(Engine, CrossStreamSerializationPattern)
+{
+    // compute -> comm -> compute, like a TP all-reduce.
+    EventSimulator des;
+    const ResourceId comp = des.addResource("compute");
+    const ResourceId comm = des.addResource("comm");
+    const TaskId c0 = des.addTask("gemm0", "comp", comp, 2.0);
+    const TaskId ar = des.addTask("ar", "comm", comm, 3.0, { c0 });
+    des.addTask("gemm1", "comp", comp, 2.0, { ar });
+    const Schedule s = des.run();
+    EXPECT_DOUBLE_EQ(s.makespan(), 7.0);
+    // The all-reduce is fully exposed: no compute runs during it.
+    EXPECT_DOUBLE_EQ(s.exposedTime(comm, comp), 3.0);
+    EXPECT_DOUBLE_EQ(s.overlappedTime(comm, comp), 0.0);
+}
+
+TEST(Engine, OverlappedCommHiddenByCompute)
+{
+    // compute keeps running while an async all-reduce proceeds.
+    EventSimulator des;
+    const ResourceId comp = des.addResource("compute");
+    const ResourceId comm = des.addResource("comm");
+    const TaskId wg = des.addTask("wg", "comp", comp, 1.0);
+    des.addTask("dp_ar", "comm", comm, 2.0, { wg });
+    des.addTask("more_compute", "comp", comp, 5.0);
+    const Schedule s = des.run();
+    EXPECT_DOUBLE_EQ(s.makespan(), 6.0);
+    EXPECT_DOUBLE_EQ(s.overlappedTime(comm, comp), 2.0);
+    EXPECT_DOUBLE_EQ(s.exposedTime(comm, comp), 0.0);
+}
+
+TEST(Engine, ExposedTimeWithGaps)
+{
+    EventSimulator des;
+    const ResourceId a = des.addResource("a");
+    const ResourceId b = des.addResource("b");
+    const TaskId a0 = des.addTask("a0", "", a, 1.0);
+    // b waits for a0, then runs 4s while a runs only 2s more.
+    des.addTask("b0", "", b, 4.0, { a0 });
+    des.addTask("a1", "", a, 2.0);
+    const Schedule s = des.run();
+    // a busy [0,3), b busy [1,5): overlap [1,3) = 2, exposed b = 2.
+    EXPECT_DOUBLE_EQ(s.overlappedTime(a, b), 2.0);
+    EXPECT_DOUBLE_EQ(s.exposedTime(b, a), 2.0);
+}
+
+TEST(Engine, ZeroDurationTasksAllowed)
+{
+    EventSimulator des;
+    const ResourceId r = des.addResource("r");
+    des.addTask("marker", "", r, 0.0);
+    des.addTask("work", "", r, 1.0);
+    const Schedule s = des.run();
+    EXPECT_DOUBLE_EQ(s.makespan(), 1.0);
+}
+
+TEST(Engine, RejectsUnknownResource)
+{
+    EventSimulator des;
+    EXPECT_THROW(des.addTask("t", "", 0, 1.0), FatalError);
+}
+
+TEST(Engine, RejectsForwardDependency)
+{
+    EventSimulator des;
+    const ResourceId r = des.addResource("r");
+    EXPECT_THROW(des.addTask("t", "", r, 1.0, { 5 }), FatalError);
+}
+
+TEST(Engine, RejectsNegativeDuration)
+{
+    EventSimulator des;
+    const ResourceId r = des.addResource("r");
+    EXPECT_THROW(des.addTask("t", "", r, -1.0), FatalError);
+}
+
+TEST(Engine, EmptyScheduleIsValid)
+{
+    EventSimulator des;
+    des.addResource("r");
+    const Schedule s = des.run();
+    EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
+}
+
+/** Property: makespan is at least the busy time of every resource
+ *  and at most the sum of all durations. */
+class MakespanBounds : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MakespanBounds, HoldsForChainLayouts)
+{
+    const int n = GetParam();
+    EventSimulator des;
+    const ResourceId a = des.addResource("a");
+    const ResourceId b = des.addResource("b");
+    TaskId prev = InvalidTask;
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double d = 0.5 + (i % 3);
+        std::vector<TaskId> deps;
+        if (prev != InvalidTask && i % 2 == 0)
+            deps.push_back(prev);
+        prev = des.addTask("t", "", i % 2 ? b : a, d, deps);
+        total += d;
+    }
+    const Schedule s = des.run();
+    EXPECT_GE(s.makespan(), s.busyTime(a));
+    EXPECT_GE(s.makespan(), s.busyTime(b));
+    EXPECT_LE(s.makespan(), total + 1e-9);
+    EXPECT_NEAR(s.busyTime(a) + s.busyTime(b), total, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainSizes, MakespanBounds,
+                         ::testing::Values(1, 2, 5, 16, 64));
+
+} // namespace
+} // namespace twocs::sim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Randomized (seeded, reproducible) stress tests of the discrete-
+ * event engine: generate random task graphs and check the schedule
+ * invariants that must hold for ANY input — per-resource serialization,
+ * dependency ordering, conservation of busy time, and makespan bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "util/rng.hh"
+
+namespace twocs::sim {
+namespace {
+
+struct FuzzCase
+{
+    std::uint64_t seed;
+    int resources;
+    int tasks;
+};
+
+class EngineFuzz : public ::testing::TestWithParam<FuzzCase>
+{
+};
+
+TEST_P(EngineFuzz, ScheduleInvariantsHold)
+{
+    const FuzzCase fc = GetParam();
+    Rng rng(fc.seed);
+
+    EventSimulator des;
+    for (int r = 0; r < fc.resources; ++r)
+        des.addResource("r" + std::to_string(r));
+
+    double total_duration = 0.0;
+    for (int i = 0; i < fc.tasks; ++i) {
+        const ResourceId res =
+            static_cast<ResourceId>(rng.nextU64() % fc.resources);
+        const double dur = rng.nextDouble() * 2.0;
+        std::vector<TaskId> deps;
+        // Up to three random backward dependencies.
+        const int ndeps =
+            i == 0 ? 0 : static_cast<int>(rng.nextU64() % 4);
+        for (int d = 0; d < ndeps; ++d) {
+            deps.push_back(
+                static_cast<TaskId>(rng.nextU64() % i));
+        }
+        des.addTask("t" + std::to_string(i), i % 2 ? "odd" : "even",
+                    res, dur, deps);
+        total_duration += dur;
+    }
+
+    const Schedule s = des.run();
+    const auto &tasks = s.tasks();
+    const auto &placed = s.placements();
+
+    // 1. Every task runs for exactly its duration, non-negatively.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        EXPECT_NEAR(placed[i].end - placed[i].start, tasks[i].duration,
+                    1e-12);
+        EXPECT_GE(placed[i].start, 0.0);
+    }
+
+    // 2. Dependencies: no task starts before its deps end.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        for (TaskId dep : tasks[i].deps)
+            EXPECT_GE(placed[i].start, placed[dep].end - 1e-12);
+    }
+
+    // 3. Per-resource FIFO serialization: each task starts no
+    //    earlier than the previous task on its resource ended
+    //    (transitively covers all pairs).
+    std::vector<TaskId> last_on(fc.resources, InvalidTask);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const ResourceId r = tasks[i].resource;
+        if (last_on[r] != InvalidTask) {
+            EXPECT_GE(placed[i].start,
+                      placed[last_on[r]].end - 1e-12)
+                << "task " << i;
+        }
+        last_on[r] = static_cast<TaskId>(i);
+    }
+
+    // 4. Conservation: busy time sums to total duration.
+    double busy = 0.0;
+    for (int r = 0; r < fc.resources; ++r)
+        busy += s.busyTime(r);
+    EXPECT_NEAR(busy, total_duration, 1e-9);
+    EXPECT_NEAR(s.timeByTag("odd") + s.timeByTag("even"),
+                total_duration, 1e-9);
+
+    // 5. Makespan bounds: at least the longest resource, at most the
+    //    serial sum.
+    for (int r = 0; r < fc.resources; ++r)
+        EXPECT_GE(s.makespan(), s.busyTime(r) - 1e-12);
+    EXPECT_LE(s.makespan(), total_duration + 1e-9);
+
+    // 6. Overlap accounting is symmetric and bounded.
+    if (fc.resources >= 2) {
+        const Seconds o01 = s.overlappedTime(0, 1);
+        EXPECT_NEAR(o01, s.overlappedTime(1, 0), 1e-12);
+        EXPECT_LE(o01, std::min(s.busyTime(0), s.busyTime(1)) + 1e-12);
+        EXPECT_NEAR(s.exposedTime(0, 1), s.busyTime(0) - o01, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, EngineFuzz,
+    ::testing::Values(FuzzCase{ 1, 2, 50 }, FuzzCase{ 2, 2, 500 },
+                      FuzzCase{ 3, 3, 200 }, FuzzCase{ 4, 4, 1000 },
+                      FuzzCase{ 5, 1, 100 }, FuzzCase{ 99, 5, 2000 },
+                      FuzzCase{ 123, 2, 3000 },
+                      FuzzCase{ 7777, 8, 4000 }));
+
+} // namespace
+} // namespace twocs::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the tree all-reduce and algorithm auto-selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "comm/collectives.hh"
+#include "hw/catalog.hh"
+#include "util/logging.hh"
+
+namespace twocs::comm {
+namespace {
+
+CollectiveModel
+model(int devices = 256)
+{
+    return CollectiveModel(
+        hw::Topology::singleNode(hw::mi210(), devices));
+}
+
+TEST(TreeAllReduce, StepCountIsLogarithmic)
+{
+    const CollectiveModel m = model();
+    EXPECT_EQ(m.treeAllReduce(1e6, 2).steps, 2);
+    EXPECT_EQ(m.treeAllReduce(1e6, 8).steps, 6);
+    EXPECT_EQ(m.treeAllReduce(1e6, 9).steps, 8); // ceil(lg 9) = 4
+    EXPECT_EQ(m.treeAllReduce(1e6, 256).steps, 16);
+}
+
+TEST(TreeAllReduce, WireBytesScaleWithDepth)
+{
+    const CollectiveModel m = model();
+    const CollectiveCost c = m.treeAllReduce(1e6, 16);
+    EXPECT_DOUBLE_EQ(c.bytesOnWire, 2.0 * 4 * 1e6);
+    EXPECT_DOUBLE_EQ(c.total, c.wireTime + c.latencyTime);
+}
+
+TEST(TreeAllReduce, BeatsRingForSmallPayloadsAtScale)
+{
+    const CollectiveModel m = model();
+    EXPECT_LT(m.treeAllReduce(32e3, 128).total,
+              m.allReduce(32e3, 128).total);
+}
+
+TEST(TreeAllReduce, LosesToRingForLargePayloads)
+{
+    const CollectiveModel m = model();
+    EXPECT_GT(m.treeAllReduce(1e9, 8).total,
+              m.allReduce(1e9, 8).total);
+}
+
+TEST(TreeAllReduce, Validation)
+{
+    const CollectiveModel m = model();
+    EXPECT_THROW(m.treeAllReduce(0.0, 8), FatalError);
+    EXPECT_THROW(m.treeAllReduce(1e6, 1), FatalError);
+    EXPECT_THROW(m.ringTreeCrossover(1), FatalError);
+}
+
+TEST(AllReduceAuto, PicksTheMinimumEverywhere)
+{
+    const CollectiveModel m = model();
+    for (int p : { 2, 8, 64, 256 }) {
+        for (Bytes s : { 1e4, 1e6, 1e8, 2e9 }) {
+            const Seconds a = m.allReduceAuto(s, p).total;
+            EXPECT_LE(a, m.allReduce(s, p).total);
+            EXPECT_LE(a, m.treeAllReduce(s, p).total);
+        }
+    }
+}
+
+TEST(Crossover, SeparatesTheRegimes)
+{
+    const CollectiveModel m = model();
+    const Bytes x = m.ringTreeCrossover(64);
+    ASSERT_GT(x, 0.0);
+    ASSERT_LT(x, 16e9);
+    EXPECT_LT(m.treeAllReduce(x / 2, 64).total,
+              m.allReduce(x / 2, 64).total);
+    EXPECT_GE(m.treeAllReduce(2 * x, 64).total,
+              m.allReduce(2 * x, 64).total);
+}
+
+/** Property: the crossover grows monotonically with group size. */
+class CrossoverGrowth : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CrossoverGrowth, MoreDevicesLargerCrossover)
+{
+    const CollectiveModel m = model(512);
+    const int p = GetParam();
+    EXPECT_LE(m.ringTreeCrossover(p), m.ringTreeCrossover(2 * p));
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, CrossoverGrowth,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+} // namespace
+} // namespace twocs::comm

@@ -1,0 +1,137 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace twocs {
+namespace {
+
+// --- logging ---
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config: ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant broken"), PanicError);
+}
+
+TEST(Logging, FatalCarriesMessage)
+{
+    try {
+        fatal("value was ", 7, ", expected ", 9);
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value was 7, expected 9");
+    }
+}
+
+TEST(Logging, FatalIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "never"));
+    EXPECT_THROW(fatalIf(true, "always"), FatalError);
+    EXPECT_NO_THROW(panicIf(false, "never"));
+    EXPECT_THROW(panicIf(true, "always"), PanicError);
+}
+
+TEST(Logging, FatalErrorIsNotPanicError)
+{
+    // The two error classes must stay distinguishable: fatal is a
+    // user error, panic is a library bug.
+    try {
+        fatal("user error");
+    } catch (const PanicError &) {
+        FAIL() << "fatal() threw PanicError";
+    } catch (const FatalError &) {
+        SUCCEED();
+    }
+}
+
+// --- units ---
+
+TEST(Units, FormatSecondsPicksPrefix)
+{
+    EXPECT_EQ(formatSeconds(1.5), "1.500 s");
+    EXPECT_EQ(formatSeconds(0.0032), "3.200 ms");
+    EXPECT_EQ(formatSeconds(4.2e-6), "4.200 us");
+    EXPECT_EQ(formatSeconds(7e-9), "7.000 ns");
+}
+
+TEST(Units, FormatBytesUsesBinaryPrefixes)
+{
+    EXPECT_EQ(formatBytes(512.0), "512.00 B");
+    EXPECT_EQ(formatBytes(2048.0), "2.00 KiB");
+    EXPECT_EQ(formatBytes(1.5 * 1024 * 1024 * 1024), "1.50 GiB");
+}
+
+TEST(Units, FormatFlopsUsesDecimalPrefixes)
+{
+    EXPECT_EQ(formatFlops(2.0e12), "2.00 TFLOP");
+    EXPECT_EQ(formatFlops(123.0), "123.00 FLOP");
+}
+
+TEST(Units, FormatRate)
+{
+    EXPECT_EQ(formatRate(150e9, "B"), "150.00 GB/s");
+}
+
+TEST(Units, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.473), "47.3%");
+    EXPECT_EQ(formatPercent(1.4, 0), "140%");
+}
+
+// --- table ---
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t({ "name", "value" });
+    t.addRowOf("alpha", 1.5);
+    t.addRowOf("b", 22);
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    // Header underline present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecialCells)
+{
+    TextTable t({ "a", "b" });
+    t.addRow({ "x,y", "he said \"hi\"" });
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RowArityMismatchIsFatal)
+{
+    TextTable t({ "a", "b" });
+    EXPECT_THROW(t.addRow({ "only one" }), FatalError);
+}
+
+TEST(Table, EmptyHeaderIsFatal)
+{
+    EXPECT_THROW(TextTable({}), FatalError);
+}
+
+TEST(Table, CountsRowsAndCols)
+{
+    TextTable t({ "a", "b", "c" });
+    EXPECT_EQ(t.numCols(), 3u);
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRowOf(1, 2, 3);
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+} // namespace
+} // namespace twocs
