@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_comm_acceleration.dir/ablation_comm_acceleration.cc.o"
+  "CMakeFiles/ablation_comm_acceleration.dir/ablation_comm_acceleration.cc.o.d"
+  "ablation_comm_acceleration"
+  "ablation_comm_acceleration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_comm_acceleration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

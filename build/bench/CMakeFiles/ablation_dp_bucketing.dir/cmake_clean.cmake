@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dp_bucketing.dir/ablation_dp_bucketing.cc.o"
+  "CMakeFiles/ablation_dp_bucketing.dir/ablation_dp_bucketing.cc.o.d"
+  "ablation_dp_bucketing"
+  "ablation_dp_bucketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dp_bucketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

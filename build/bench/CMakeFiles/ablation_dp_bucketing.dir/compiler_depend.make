@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_dp_bucketing.
+# This may be replaced when dependencies are built.

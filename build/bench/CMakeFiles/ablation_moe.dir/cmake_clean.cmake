@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_moe.dir/ablation_moe.cc.o"
+  "CMakeFiles/ablation_moe.dir/ablation_moe.cc.o.d"
+  "ablation_moe"
+  "ablation_moe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_opmodel_fitting.dir/ablation_opmodel_fitting.cc.o"
+  "CMakeFiles/ablation_opmodel_fitting.dir/ablation_opmodel_fitting.cc.o.d"
+  "ablation_opmodel_fitting"
+  "ablation_opmodel_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_opmodel_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ring_vs_tree.dir/ablation_ring_vs_tree.cc.o"
+  "CMakeFiles/ablation_ring_vs_tree.dir/ablation_ring_vs_tree.cc.o.d"
+  "ablation_ring_vs_tree"
+  "ablation_ring_vs_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ring_vs_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_substrate_sensitivity.dir/ablation_substrate_sensitivity.cc.o"
+  "CMakeFiles/ablation_substrate_sensitivity.dir/ablation_substrate_sensitivity.cc.o.d"
+  "ablation_substrate_sensitivity"
+  "ablation_substrate_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_substrate_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_jitter.dir/cluster_jitter.cc.o"
+  "CMakeFiles/cluster_jitter.dir/cluster_jitter.cc.o.d"
+  "cluster_jitter"
+  "cluster_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_serialized_comm_fraction.dir/fig10_serialized_comm_fraction.cc.o"
+  "CMakeFiles/fig10_serialized_comm_fraction.dir/fig10_serialized_comm_fraction.cc.o.d"
+  "fig10_serialized_comm_fraction"
+  "fig10_serialized_comm_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_serialized_comm_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

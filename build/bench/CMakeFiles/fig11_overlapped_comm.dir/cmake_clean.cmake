@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_overlapped_comm.dir/fig11_overlapped_comm.cc.o"
+  "CMakeFiles/fig11_overlapped_comm.dir/fig11_overlapped_comm.cc.o.d"
+  "fig11_overlapped_comm"
+  "fig11_overlapped_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_overlapped_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hw_evolution_serialized.dir/fig12_hw_evolution_serialized.cc.o"
+  "CMakeFiles/fig12_hw_evolution_serialized.dir/fig12_hw_evolution_serialized.cc.o.d"
+  "fig12_hw_evolution_serialized"
+  "fig12_hw_evolution_serialized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hw_evolution_serialized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

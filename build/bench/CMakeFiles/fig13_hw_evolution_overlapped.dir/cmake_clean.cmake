@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_hw_evolution_overlapped.dir/fig13_hw_evolution_overlapped.cc.o"
+  "CMakeFiles/fig13_hw_evolution_overlapped.dir/fig13_hw_evolution_overlapped.cc.o.d"
+  "fig13_hw_evolution_overlapped"
+  "fig13_hw_evolution_overlapped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hw_evolution_overlapped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_opmodel_accuracy.dir/fig15_opmodel_accuracy.cc.o"
+  "CMakeFiles/fig15_opmodel_accuracy.dir/fig15_opmodel_accuracy.cc.o.d"
+  "fig15_opmodel_accuracy"
+  "fig15_opmodel_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_opmodel_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_memory_trends.dir/fig6_memory_trends.cc.o"
+  "CMakeFiles/fig6_memory_trends.dir/fig6_memory_trends.cc.o.d"
+  "fig6_memory_trends"
+  "fig6_memory_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_memory_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

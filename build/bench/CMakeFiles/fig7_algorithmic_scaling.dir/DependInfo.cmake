@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_algorithmic_scaling.cc" "bench/CMakeFiles/fig7_algorithmic_scaling.dir/fig7_algorithmic_scaling.cc.o" "gcc" "bench/CMakeFiles/fig7_algorithmic_scaling.dir/fig7_algorithmic_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/twocs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmodel/CMakeFiles/twocs_opmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/twocs_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/twocs_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/twocs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/twocs_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/twocs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/twocs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/twocs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

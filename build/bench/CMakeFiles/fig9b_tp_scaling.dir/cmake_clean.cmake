@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_tp_scaling.dir/fig9b_tp_scaling.cc.o"
+  "CMakeFiles/fig9b_tp_scaling.dir/fig9b_tp_scaling.cc.o.d"
+  "fig9b_tp_scaling"
+  "fig9b_tp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_tp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

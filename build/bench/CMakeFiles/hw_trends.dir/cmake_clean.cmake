@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_trends.dir/hw_trends.cc.o"
+  "CMakeFiles/hw_trends.dir/hw_trends.cc.o.d"
+  "hw_trends"
+  "hw_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_decode.dir/inference_decode.cc.o"
+  "CMakeFiles/inference_decode.dir/inference_decode.cc.o.d"
+  "inference_decode"
+  "inference_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_pressure_history.dir/memory_pressure_history.cc.o"
+  "CMakeFiles/memory_pressure_history.dir/memory_pressure_history.cc.o.d"
+  "memory_pressure_history"
+  "memory_pressure_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_pressure_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

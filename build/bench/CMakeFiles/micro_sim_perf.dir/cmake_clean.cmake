@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sim_perf.dir/micro_sim_perf.cc.o"
+  "CMakeFiles/micro_sim_perf.dir/micro_sim_perf.cc.o.d"
+  "micro_sim_perf"
+  "micro_sim_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

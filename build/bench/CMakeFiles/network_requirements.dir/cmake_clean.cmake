@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_requirements.dir/network_requirements.cc.o"
+  "CMakeFiles/network_requirements.dir/network_requirements.cc.o.d"
+  "network_requirements"
+  "network_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

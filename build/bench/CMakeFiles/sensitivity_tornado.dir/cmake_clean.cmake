@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_tornado.dir/sensitivity_tornado.cc.o"
+  "CMakeFiles/sensitivity_tornado.dir/sensitivity_tornado.cc.o.d"
+  "sensitivity_tornado"
+  "sensitivity_tornado.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_tornado.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_profiling_cost.dir/speedup_profiling_cost.cc.o"
+  "CMakeFiles/speedup_profiling_cost.dir/speedup_profiling_cost.cc.o.d"
+  "speedup_profiling_cost"
+  "speedup_profiling_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_profiling_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

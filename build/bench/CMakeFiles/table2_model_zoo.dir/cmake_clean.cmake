@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_model_zoo.dir/table2_model_zoo.cc.o"
+  "CMakeFiles/table2_model_zoo.dir/table2_model_zoo.cc.o.d"
+  "table2_model_zoo"
+  "table2_model_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_projection_error.dir/validation_projection_error.cc.o"
+  "CMakeFiles/validation_projection_error.dir/validation_projection_error.cc.o.d"
+  "validation_projection_error"
+  "validation_projection_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_projection_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_model_explorer.dir/future_model_explorer.cc.o"
+  "CMakeFiles/future_model_explorer.dir/future_model_explorer.cc.o.d"
+  "future_model_explorer"
+  "future_model_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_model_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

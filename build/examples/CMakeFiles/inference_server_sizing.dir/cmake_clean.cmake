@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_server_sizing.dir/inference_server_sizing.cc.o"
+  "CMakeFiles/inference_server_sizing.dir/inference_server_sizing.cc.o.d"
+  "inference_server_sizing"
+  "inference_server_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_server_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for inference_server_sizing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_expert_parallelism.dir/moe_expert_parallelism.cc.o"
+  "CMakeFiles/moe_expert_parallelism.dir/moe_expert_parallelism.cc.o.d"
+  "moe_expert_parallelism"
+  "moe_expert_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_expert_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

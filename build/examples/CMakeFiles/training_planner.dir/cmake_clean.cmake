@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_planner.dir/training_planner.cc.o"
+  "CMakeFiles/training_planner.dir/training_planner.cc.o.d"
+  "training_planner"
+  "training_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

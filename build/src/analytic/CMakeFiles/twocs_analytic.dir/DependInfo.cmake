@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/complexity.cc" "src/analytic/CMakeFiles/twocs_analytic.dir/complexity.cc.o" "gcc" "src/analytic/CMakeFiles/twocs_analytic.dir/complexity.cc.o.d"
+  "/root/repo/src/analytic/pipeline.cc" "src/analytic/CMakeFiles/twocs_analytic.dir/pipeline.cc.o" "gcc" "src/analytic/CMakeFiles/twocs_analytic.dir/pipeline.cc.o.d"
+  "/root/repo/src/analytic/trends.cc" "src/analytic/CMakeFiles/twocs_analytic.dir/trends.cc.o" "gcc" "src/analytic/CMakeFiles/twocs_analytic.dir/trends.cc.o.d"
+  "/root/repo/src/analytic/zero.cc" "src/analytic/CMakeFiles/twocs_analytic.dir/zero.cc.o" "gcc" "src/analytic/CMakeFiles/twocs_analytic.dir/zero.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/twocs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/twocs_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/twocs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/twocs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/twocs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twocs_analytic.dir/complexity.cc.o"
+  "CMakeFiles/twocs_analytic.dir/complexity.cc.o.d"
+  "CMakeFiles/twocs_analytic.dir/pipeline.cc.o"
+  "CMakeFiles/twocs_analytic.dir/pipeline.cc.o.d"
+  "CMakeFiles/twocs_analytic.dir/trends.cc.o"
+  "CMakeFiles/twocs_analytic.dir/trends.cc.o.d"
+  "CMakeFiles/twocs_analytic.dir/zero.cc.o"
+  "CMakeFiles/twocs_analytic.dir/zero.cc.o.d"
+  "libtwocs_analytic.a"
+  "libtwocs_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twocs_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

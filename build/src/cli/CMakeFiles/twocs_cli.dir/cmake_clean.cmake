@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twocs_cli.dir/main.cc.o"
+  "CMakeFiles/twocs_cli.dir/main.cc.o.d"
+  "twocs"
+  "twocs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twocs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

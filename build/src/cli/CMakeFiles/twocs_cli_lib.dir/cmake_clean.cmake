@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twocs_cli_lib.dir/args.cc.o"
+  "CMakeFiles/twocs_cli_lib.dir/args.cc.o.d"
+  "CMakeFiles/twocs_cli_lib.dir/commands.cc.o"
+  "CMakeFiles/twocs_cli_lib.dir/commands.cc.o.d"
+  "libtwocs_cli_lib.a"
+  "libtwocs_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twocs_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twocs_comm.dir/collectives.cc.o"
+  "CMakeFiles/twocs_comm.dir/collectives.cc.o.d"
+  "CMakeFiles/twocs_comm.dir/ring_sim.cc.o"
+  "CMakeFiles/twocs_comm.dir/ring_sim.cc.o.d"
+  "libtwocs_comm.a"
+  "libtwocs_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twocs_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

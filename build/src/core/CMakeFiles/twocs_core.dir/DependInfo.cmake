@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/amdahl.cc" "src/core/CMakeFiles/twocs_core.dir/amdahl.cc.o" "gcc" "src/core/CMakeFiles/twocs_core.dir/amdahl.cc.o.d"
+  "/root/repo/src/core/case_study.cc" "src/core/CMakeFiles/twocs_core.dir/case_study.cc.o" "gcc" "src/core/CMakeFiles/twocs_core.dir/case_study.cc.o.d"
+  "/root/repo/src/core/cluster_sim.cc" "src/core/CMakeFiles/twocs_core.dir/cluster_sim.cc.o" "gcc" "src/core/CMakeFiles/twocs_core.dir/cluster_sim.cc.o.d"
+  "/root/repo/src/core/cost_study.cc" "src/core/CMakeFiles/twocs_core.dir/cost_study.cc.o" "gcc" "src/core/CMakeFiles/twocs_core.dir/cost_study.cc.o.d"
+  "/root/repo/src/core/inference_study.cc" "src/core/CMakeFiles/twocs_core.dir/inference_study.cc.o" "gcc" "src/core/CMakeFiles/twocs_core.dir/inference_study.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/twocs_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/twocs_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/precision_study.cc" "src/core/CMakeFiles/twocs_core.dir/precision_study.cc.o" "gcc" "src/core/CMakeFiles/twocs_core.dir/precision_study.cc.o.d"
+  "/root/repo/src/core/requirements.cc" "src/core/CMakeFiles/twocs_core.dir/requirements.cc.o" "gcc" "src/core/CMakeFiles/twocs_core.dir/requirements.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/core/CMakeFiles/twocs_core.dir/sensitivity.cc.o" "gcc" "src/core/CMakeFiles/twocs_core.dir/sensitivity.cc.o.d"
+  "/root/repo/src/core/slack.cc" "src/core/CMakeFiles/twocs_core.dir/slack.cc.o" "gcc" "src/core/CMakeFiles/twocs_core.dir/slack.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/core/CMakeFiles/twocs_core.dir/sweep.cc.o" "gcc" "src/core/CMakeFiles/twocs_core.dir/sweep.cc.o.d"
+  "/root/repo/src/core/system_config.cc" "src/core/CMakeFiles/twocs_core.dir/system_config.cc.o" "gcc" "src/core/CMakeFiles/twocs_core.dir/system_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opmodel/CMakeFiles/twocs_opmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/twocs_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/twocs_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/twocs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/twocs_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/twocs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/twocs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/twocs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

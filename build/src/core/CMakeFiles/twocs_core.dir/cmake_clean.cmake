@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twocs_core.dir/amdahl.cc.o"
+  "CMakeFiles/twocs_core.dir/amdahl.cc.o.d"
+  "CMakeFiles/twocs_core.dir/case_study.cc.o"
+  "CMakeFiles/twocs_core.dir/case_study.cc.o.d"
+  "CMakeFiles/twocs_core.dir/cluster_sim.cc.o"
+  "CMakeFiles/twocs_core.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/twocs_core.dir/cost_study.cc.o"
+  "CMakeFiles/twocs_core.dir/cost_study.cc.o.d"
+  "CMakeFiles/twocs_core.dir/inference_study.cc.o"
+  "CMakeFiles/twocs_core.dir/inference_study.cc.o.d"
+  "CMakeFiles/twocs_core.dir/planner.cc.o"
+  "CMakeFiles/twocs_core.dir/planner.cc.o.d"
+  "CMakeFiles/twocs_core.dir/precision_study.cc.o"
+  "CMakeFiles/twocs_core.dir/precision_study.cc.o.d"
+  "CMakeFiles/twocs_core.dir/requirements.cc.o"
+  "CMakeFiles/twocs_core.dir/requirements.cc.o.d"
+  "CMakeFiles/twocs_core.dir/sensitivity.cc.o"
+  "CMakeFiles/twocs_core.dir/sensitivity.cc.o.d"
+  "CMakeFiles/twocs_core.dir/slack.cc.o"
+  "CMakeFiles/twocs_core.dir/slack.cc.o.d"
+  "CMakeFiles/twocs_core.dir/sweep.cc.o"
+  "CMakeFiles/twocs_core.dir/sweep.cc.o.d"
+  "CMakeFiles/twocs_core.dir/system_config.cc.o"
+  "CMakeFiles/twocs_core.dir/system_config.cc.o.d"
+  "libtwocs_core.a"
+  "libtwocs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twocs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

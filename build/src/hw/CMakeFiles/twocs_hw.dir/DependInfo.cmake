@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/catalog.cc" "src/hw/CMakeFiles/twocs_hw.dir/catalog.cc.o" "gcc" "src/hw/CMakeFiles/twocs_hw.dir/catalog.cc.o.d"
+  "/root/repo/src/hw/device_spec.cc" "src/hw/CMakeFiles/twocs_hw.dir/device_spec.cc.o" "gcc" "src/hw/CMakeFiles/twocs_hw.dir/device_spec.cc.o.d"
+  "/root/repo/src/hw/efficiency.cc" "src/hw/CMakeFiles/twocs_hw.dir/efficiency.cc.o" "gcc" "src/hw/CMakeFiles/twocs_hw.dir/efficiency.cc.o.d"
+  "/root/repo/src/hw/kernels.cc" "src/hw/CMakeFiles/twocs_hw.dir/kernels.cc.o" "gcc" "src/hw/CMakeFiles/twocs_hw.dir/kernels.cc.o.d"
+  "/root/repo/src/hw/topology.cc" "src/hw/CMakeFiles/twocs_hw.dir/topology.cc.o" "gcc" "src/hw/CMakeFiles/twocs_hw.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/twocs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twocs_hw.dir/catalog.cc.o"
+  "CMakeFiles/twocs_hw.dir/catalog.cc.o.d"
+  "CMakeFiles/twocs_hw.dir/device_spec.cc.o"
+  "CMakeFiles/twocs_hw.dir/device_spec.cc.o.d"
+  "CMakeFiles/twocs_hw.dir/efficiency.cc.o"
+  "CMakeFiles/twocs_hw.dir/efficiency.cc.o.d"
+  "CMakeFiles/twocs_hw.dir/kernels.cc.o"
+  "CMakeFiles/twocs_hw.dir/kernels.cc.o.d"
+  "CMakeFiles/twocs_hw.dir/topology.cc.o"
+  "CMakeFiles/twocs_hw.dir/topology.cc.o.d"
+  "libtwocs_hw.a"
+  "libtwocs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twocs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

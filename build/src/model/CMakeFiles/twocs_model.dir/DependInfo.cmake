@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/hyperparams.cc" "src/model/CMakeFiles/twocs_model.dir/hyperparams.cc.o" "gcc" "src/model/CMakeFiles/twocs_model.dir/hyperparams.cc.o.d"
+  "/root/repo/src/model/layer_graph.cc" "src/model/CMakeFiles/twocs_model.dir/layer_graph.cc.o" "gcc" "src/model/CMakeFiles/twocs_model.dir/layer_graph.cc.o.d"
+  "/root/repo/src/model/memory.cc" "src/model/CMakeFiles/twocs_model.dir/memory.cc.o" "gcc" "src/model/CMakeFiles/twocs_model.dir/memory.cc.o.d"
+  "/root/repo/src/model/parallel.cc" "src/model/CMakeFiles/twocs_model.dir/parallel.cc.o" "gcc" "src/model/CMakeFiles/twocs_model.dir/parallel.cc.o.d"
+  "/root/repo/src/model/zoo.cc" "src/model/CMakeFiles/twocs_model.dir/zoo.cc.o" "gcc" "src/model/CMakeFiles/twocs_model.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/twocs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/twocs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twocs_model.dir/hyperparams.cc.o"
+  "CMakeFiles/twocs_model.dir/hyperparams.cc.o.d"
+  "CMakeFiles/twocs_model.dir/layer_graph.cc.o"
+  "CMakeFiles/twocs_model.dir/layer_graph.cc.o.d"
+  "CMakeFiles/twocs_model.dir/memory.cc.o"
+  "CMakeFiles/twocs_model.dir/memory.cc.o.d"
+  "CMakeFiles/twocs_model.dir/parallel.cc.o"
+  "CMakeFiles/twocs_model.dir/parallel.cc.o.d"
+  "CMakeFiles/twocs_model.dir/zoo.cc.o"
+  "CMakeFiles/twocs_model.dir/zoo.cc.o.d"
+  "libtwocs_model.a"
+  "libtwocs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twocs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twocs_opmodel.dir/accuracy.cc.o"
+  "CMakeFiles/twocs_opmodel.dir/accuracy.cc.o.d"
+  "CMakeFiles/twocs_opmodel.dir/calibration_io.cc.o"
+  "CMakeFiles/twocs_opmodel.dir/calibration_io.cc.o.d"
+  "CMakeFiles/twocs_opmodel.dir/operator_model.cc.o"
+  "CMakeFiles/twocs_opmodel.dir/operator_model.cc.o.d"
+  "libtwocs_opmodel.a"
+  "libtwocs_opmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twocs_opmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

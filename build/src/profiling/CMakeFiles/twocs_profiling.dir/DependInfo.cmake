@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/cost_ledger.cc" "src/profiling/CMakeFiles/twocs_profiling.dir/cost_ledger.cc.o" "gcc" "src/profiling/CMakeFiles/twocs_profiling.dir/cost_ledger.cc.o.d"
+  "/root/repo/src/profiling/diff.cc" "src/profiling/CMakeFiles/twocs_profiling.dir/diff.cc.o" "gcc" "src/profiling/CMakeFiles/twocs_profiling.dir/diff.cc.o.d"
+  "/root/repo/src/profiling/noise.cc" "src/profiling/CMakeFiles/twocs_profiling.dir/noise.cc.o" "gcc" "src/profiling/CMakeFiles/twocs_profiling.dir/noise.cc.o.d"
+  "/root/repo/src/profiling/profiler.cc" "src/profiling/CMakeFiles/twocs_profiling.dir/profiler.cc.o" "gcc" "src/profiling/CMakeFiles/twocs_profiling.dir/profiler.cc.o.d"
+  "/root/repo/src/profiling/roi.cc" "src/profiling/CMakeFiles/twocs_profiling.dir/roi.cc.o" "gcc" "src/profiling/CMakeFiles/twocs_profiling.dir/roi.cc.o.d"
+  "/root/repo/src/profiling/roofline.cc" "src/profiling/CMakeFiles/twocs_profiling.dir/roofline.cc.o" "gcc" "src/profiling/CMakeFiles/twocs_profiling.dir/roofline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/twocs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/twocs_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/twocs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/twocs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/twocs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

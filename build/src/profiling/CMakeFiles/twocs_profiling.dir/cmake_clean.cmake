@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twocs_profiling.dir/cost_ledger.cc.o"
+  "CMakeFiles/twocs_profiling.dir/cost_ledger.cc.o.d"
+  "CMakeFiles/twocs_profiling.dir/diff.cc.o"
+  "CMakeFiles/twocs_profiling.dir/diff.cc.o.d"
+  "CMakeFiles/twocs_profiling.dir/noise.cc.o"
+  "CMakeFiles/twocs_profiling.dir/noise.cc.o.d"
+  "CMakeFiles/twocs_profiling.dir/profiler.cc.o"
+  "CMakeFiles/twocs_profiling.dir/profiler.cc.o.d"
+  "CMakeFiles/twocs_profiling.dir/roi.cc.o"
+  "CMakeFiles/twocs_profiling.dir/roi.cc.o.d"
+  "CMakeFiles/twocs_profiling.dir/roofline.cc.o"
+  "CMakeFiles/twocs_profiling.dir/roofline.cc.o.d"
+  "libtwocs_profiling.a"
+  "libtwocs_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twocs_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

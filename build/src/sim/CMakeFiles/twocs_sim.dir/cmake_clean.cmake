@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twocs_sim.dir/engine.cc.o"
+  "CMakeFiles/twocs_sim.dir/engine.cc.o.d"
+  "CMakeFiles/twocs_sim.dir/trace.cc.o"
+  "CMakeFiles/twocs_sim.dir/trace.cc.o.d"
+  "libtwocs_sim.a"
+  "libtwocs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twocs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

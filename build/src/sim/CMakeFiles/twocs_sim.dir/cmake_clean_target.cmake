@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtwocs_sim.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twocs_util.dir/logging.cc.o"
+  "CMakeFiles/twocs_util.dir/logging.cc.o.d"
+  "CMakeFiles/twocs_util.dir/rng.cc.o"
+  "CMakeFiles/twocs_util.dir/rng.cc.o.d"
+  "CMakeFiles/twocs_util.dir/stats.cc.o"
+  "CMakeFiles/twocs_util.dir/stats.cc.o.d"
+  "CMakeFiles/twocs_util.dir/table.cc.o"
+  "CMakeFiles/twocs_util.dir/table.cc.o.d"
+  "CMakeFiles/twocs_util.dir/units.cc.o"
+  "CMakeFiles/twocs_util.dir/units.cc.o.d"
+  "libtwocs_util.a"
+  "libtwocs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twocs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

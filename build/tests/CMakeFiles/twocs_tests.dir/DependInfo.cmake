@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytic.cc" "tests/CMakeFiles/twocs_tests.dir/test_analytic.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_analytic.cc.o.d"
+  "/root/repo/tests/test_cluster_sim.cc" "tests/CMakeFiles/twocs_tests.dir/test_cluster_sim.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_cluster_sim.cc.o.d"
+  "/root/repo/tests/test_comm_collectives.cc" "tests/CMakeFiles/twocs_tests.dir/test_comm_collectives.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_comm_collectives.cc.o.d"
+  "/root/repo/tests/test_core_amdahl_slack.cc" "tests/CMakeFiles/twocs_tests.dir/test_core_amdahl_slack.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_core_amdahl_slack.cc.o.d"
+  "/root/repo/tests/test_core_case_cost.cc" "tests/CMakeFiles/twocs_tests.dir/test_core_case_cost.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_core_case_cost.cc.o.d"
+  "/root/repo/tests/test_extensions_core.cc" "tests/CMakeFiles/twocs_tests.dir/test_extensions_core.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_extensions_core.cc.o.d"
+  "/root/repo/tests/test_extensions_model.cc" "tests/CMakeFiles/twocs_tests.dir/test_extensions_model.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_extensions_model.cc.o.d"
+  "/root/repo/tests/test_golden.cc" "tests/CMakeFiles/twocs_tests.dir/test_golden.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_golden.cc.o.d"
+  "/root/repo/tests/test_hw_device.cc" "tests/CMakeFiles/twocs_tests.dir/test_hw_device.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_hw_device.cc.o.d"
+  "/root/repo/tests/test_hw_efficiency.cc" "tests/CMakeFiles/twocs_tests.dir/test_hw_efficiency.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_hw_efficiency.cc.o.d"
+  "/root/repo/tests/test_hw_kernels.cc" "tests/CMakeFiles/twocs_tests.dir/test_hw_kernels.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_hw_kernels.cc.o.d"
+  "/root/repo/tests/test_hw_topology.cc" "tests/CMakeFiles/twocs_tests.dir/test_hw_topology.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_hw_topology.cc.o.d"
+  "/root/repo/tests/test_inference_study.cc" "tests/CMakeFiles/twocs_tests.dir/test_inference_study.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_inference_study.cc.o.d"
+  "/root/repo/tests/test_model_hyperparams.cc" "tests/CMakeFiles/twocs_tests.dir/test_model_hyperparams.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_model_hyperparams.cc.o.d"
+  "/root/repo/tests/test_model_layer_graph.cc" "tests/CMakeFiles/twocs_tests.dir/test_model_layer_graph.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_model_layer_graph.cc.o.d"
+  "/root/repo/tests/test_model_memory.cc" "tests/CMakeFiles/twocs_tests.dir/test_model_memory.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_model_memory.cc.o.d"
+  "/root/repo/tests/test_model_zoo.cc" "tests/CMakeFiles/twocs_tests.dir/test_model_zoo.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_model_zoo.cc.o.d"
+  "/root/repo/tests/test_noise_roofline.cc" "tests/CMakeFiles/twocs_tests.dir/test_noise_roofline.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_noise_roofline.cc.o.d"
+  "/root/repo/tests/test_opmodel.cc" "tests/CMakeFiles/twocs_tests.dir/test_opmodel.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_opmodel.cc.o.d"
+  "/root/repo/tests/test_opmodel_per_label.cc" "tests/CMakeFiles/twocs_tests.dir/test_opmodel_per_label.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_opmodel_per_label.cc.o.d"
+  "/root/repo/tests/test_paper_claims.cc" "tests/CMakeFiles/twocs_tests.dir/test_paper_claims.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_paper_claims.cc.o.d"
+  "/root/repo/tests/test_planner_cli.cc" "tests/CMakeFiles/twocs_tests.dir/test_planner_cli.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_planner_cli.cc.o.d"
+  "/root/repo/tests/test_profile_diff.cc" "tests/CMakeFiles/twocs_tests.dir/test_profile_diff.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_profile_diff.cc.o.d"
+  "/root/repo/tests/test_profiling.cc" "tests/CMakeFiles/twocs_tests.dir/test_profiling.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_profiling.cc.o.d"
+  "/root/repo/tests/test_property_sweeps.cc" "tests/CMakeFiles/twocs_tests.dir/test_property_sweeps.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_property_sweeps.cc.o.d"
+  "/root/repo/tests/test_requirements.cc" "tests/CMakeFiles/twocs_tests.dir/test_requirements.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_requirements.cc.o.d"
+  "/root/repo/tests/test_ring_sim.cc" "tests/CMakeFiles/twocs_tests.dir/test_ring_sim.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_ring_sim.cc.o.d"
+  "/root/repo/tests/test_sensitivity_zoo_cli.cc" "tests/CMakeFiles/twocs_tests.dir/test_sensitivity_zoo_cli.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_sensitivity_zoo_cli.cc.o.d"
+  "/root/repo/tests/test_sim_engine.cc" "tests/CMakeFiles/twocs_tests.dir/test_sim_engine.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_sim_engine.cc.o.d"
+  "/root/repo/tests/test_sim_fuzz.cc" "tests/CMakeFiles/twocs_tests.dir/test_sim_fuzz.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_sim_fuzz.cc.o.d"
+  "/root/repo/tests/test_sp_calibration.cc" "tests/CMakeFiles/twocs_tests.dir/test_sp_calibration.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_sp_calibration.cc.o.d"
+  "/root/repo/tests/test_tree_allreduce.cc" "tests/CMakeFiles/twocs_tests.dir/test_tree_allreduce.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_tree_allreduce.cc.o.d"
+  "/root/repo/tests/test_util_misc.cc" "tests/CMakeFiles/twocs_tests.dir/test_util_misc.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_util_misc.cc.o.d"
+  "/root/repo/tests/test_util_stats.cc" "tests/CMakeFiles/twocs_tests.dir/test_util_stats.cc.o" "gcc" "tests/CMakeFiles/twocs_tests.dir/test_util_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/twocs_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/twocs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmodel/CMakeFiles/twocs_opmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/twocs_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/twocs_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/twocs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/twocs_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/twocs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/twocs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/twocs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
