@@ -18,10 +18,30 @@
 #include <iostream>
 #include <string>
 
+#include "exec/parallel_runner.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
 namespace twocs::bench {
+
+/**
+ * Parse `--jobs N` / `--report FILE` from a bench's raw argv. Unlike
+ * the CLI binary, benches have no top-level FatalError handler, so a
+ * bad value is reported as a one-line diagnostic + exit(1) here
+ * rather than std::terminate.
+ */
+inline exec::RunnerOptions
+runnerOptions(int argc, const char *const *argv, std::string study)
+{
+    try {
+        return exec::RunnerOptions::fromCommandLine(argc, argv,
+                                                    std::move(study));
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(1);
+    }
+}
 
 /** Print the bench banner. */
 inline void

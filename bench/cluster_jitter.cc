@@ -5,6 +5,10 @@
  * per-kernel timing noise on any device stalls the whole group at
  * every layer — the compounding form of the straggler effect, and
  * another cost of communication the closed forms cannot express.
+ *
+ * The (TP group, jitter) grid maps through the ParallelSweepRunner
+ * (`--jobs N`, `--report FILE`); each simulation seeds its own RNG
+ * from the config, so output is byte-identical for any jobs count.
  */
 
 #include "bench_common.hh"
@@ -13,38 +17,57 @@
 using namespace twocs;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Cluster jitter",
                   "End-to-end jitter amplification through per-layer "
                   "all-reduce barriers");
 
+    const exec::RunnerOptions runner =
+        bench::runnerOptions(argc, argv, "cluster_jitter");
+
     core::ClusterSim sim;
+
+    // One simulation per (TP group, jitter) cell; jitter 0 is the
+    // exact reference row.
+    std::vector<core::ClusterSimConfig> configs;
+    for (int p : { 4, 8, 16 }) {
+        for (double jitter : { 0.0, 0.02, 0.10 }) {
+            core::ClusterSimConfig cfg;
+            cfg.tpDegree = p;
+            cfg.computeJitter = jitter;
+            configs.push_back(cfg);
+        }
+    }
+    exec::ParallelSweepRunner map(runner);
+    const std::vector<core::ClusterSimResult> results =
+        map.map(configs, [&](const core::ClusterSimConfig &cfg) {
+            return sim.run(cfg);
+        });
+
     TextTable t({ "TP group", "jitter", "iteration", "comm/device",
                   "stall/device", "slowdown vs exact" });
-
     double worst_amplification = 0.0;
-    for (int p : { 4, 8, 16 }) {
-        core::ClusterSimConfig cfg;
-        cfg.tpDegree = p;
-        const auto exact = sim.run(cfg);
-        for (double jitter : { 0.02, 0.10 }) {
-            cfg.computeJitter = jitter;
-            const auto noisy = sim.run(cfg);
+    for (std::size_t base = 0; base < configs.size(); base += 3) {
+        const auto &exact = results[base];
+        for (std::size_t j = 1; j < 3; ++j) {
+            const auto &cfg = configs[base + j];
+            const auto &noisy = results[base + j];
             const double slowdown =
                 noisy.iterationTime / exact.iterationTime;
             // Amplification: iteration slowdown per unit of kernel
             // jitter (1.0 would mean mean-level impact only).
             worst_amplification =
                 std::max(worst_amplification,
-                         (slowdown - 1.0) / jitter);
-            t.addRowOf(p, formatPercent(jitter),
+                         (slowdown - 1.0) / cfg.computeJitter);
+            t.addRowOf(cfg.tpDegree, formatPercent(cfg.computeJitter),
                        formatSeconds(noisy.iterationTime),
                        formatSeconds(noisy.commTimePerDevice),
                        formatSeconds(noisy.stallTimePerDevice),
                        slowdown);
         }
-        t.addRowOf(p, "0% (exact)", formatSeconds(exact.iterationTime),
+        t.addRowOf(configs[base].tpDegree, "0% (exact)",
+                   formatSeconds(exact.iterationTime),
                    formatSeconds(exact.commTimePerDevice),
                    formatSeconds(exact.stallTimePerDevice), 1.0);
     }

@@ -5,6 +5,10 @@
  * degree sweeps (Table 3 space), via the operator-level projection
  * (the paper's method). The ground-truth simulation of the
  * highlighted points is printed alongside.
+ *
+ * The grid maps through the ParallelSweepRunner: `--jobs N` spreads
+ * the configurations over N worker threads (output is byte-identical
+ * to `--jobs 1`), `--report FILE` captures the RunReport JSON.
  */
 
 #include "bench_common.hh"
@@ -14,45 +18,74 @@
 using namespace twocs;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Figure 10", "Fraction of serialized comm. time");
+
+    const exec::RunnerOptions runner = bench::runnerOptions(
+        argc, argv, "fig10_serialized_comm_fraction");
 
     core::SystemConfig sys;
     core::AmdahlAnalysis analysis(sys);
     const core::SweepSpace space = core::table3();
+    const std::vector<core::ModelLine> lines = core::figure10Lines();
+
+    std::vector<core::SerializedConfig> configs;
+    for (const core::ModelLine &line : lines) {
+        for (std::int64_t tp : space.tpDegrees)
+            configs.push_back({ line.hidden, line.seqLen, tp });
+    }
+    core::SerializedStudyOptions opts;
+    opts.runner = runner;
+    const std::vector<core::AmdahlPoint> points =
+        core::runSerializedStudy(analysis, configs, opts);
 
     TextTable t({ "line (H, SL)", "TP", "compute", "serialized comm",
                   "comm fraction" });
-    for (const core::ModelLine &line : core::figure10Lines()) {
-        for (int tp : space.tpDegrees) {
-            const core::AmdahlPoint p =
-                analysis.evaluate(line.hidden, line.seqLen, 1, tp);
-            t.addRowOf(line.tag + " H=" + std::to_string(line.hidden) +
-                           " SL=" + std::to_string(line.seqLen),
-                       tp, formatSeconds(p.computeTime),
-                       formatSeconds(p.serializedCommTime),
-                       formatPercent(p.commFraction()));
-        }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const core::ModelLine &line = lines[i / space.tpDegrees.size()];
+        const core::AmdahlPoint &p = points[i];
+        t.addRowOf(line.tag + " H=" + std::to_string(line.hidden) +
+                       " SL=" + std::to_string(line.seqLen),
+                   p.tpDegree, formatSeconds(p.computeTime),
+                   formatSeconds(p.serializedCommTime),
+                   formatPercent(p.commFraction()));
     }
     bench::show(t);
 
     std::cout << "\nHighlighted points (required TP per model class), "
                  "projection vs ground truth:\n";
+    // The ground-truth simulations are the expensive part; map them
+    // through the runner as well (no second report file, though).
+    exec::RunnerOptions hl_runner = runner;
+    hl_runner.reportPath.clear();
+    hl_runner.study = "fig10_highlighted_points";
+    exec::ParallelSweepRunner hl_map(hl_runner);
+    struct HighlightPoint
+    {
+        core::AmdahlPoint projected, direct;
+    };
+    const std::vector<HighlightPoint> highlights =
+        hl_map.map(lines, [&](const core::ModelLine &line) {
+            const int tp = static_cast<int>(line.requiredTp);
+            return HighlightPoint{
+                analysis.evaluate(line.hidden, line.seqLen, 1, tp),
+                analysis.evaluateDirect(line.hidden, line.seqLen, 1,
+                                        tp),
+            };
+        });
+
     TextTable hl({ "line", "TP", "projected fraction",
                    "direct-sim fraction" });
     double first = 0.0, last = 0.0;
-    for (const core::ModelLine &line : core::figure10Lines()) {
-        const auto proj = analysis.evaluate(line.hidden, line.seqLen, 1,
-                                            line.requiredTp);
-        const auto direct = analysis.evaluateDirect(
-            line.hidden, line.seqLen, 1, line.requiredTp);
-        hl.addRowOf(line.tag, line.requiredTp,
-                    formatPercent(proj.commFraction()),
-                    formatPercent(direct.commFraction()));
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const HighlightPoint &h = highlights[i];
+        hl.addRowOf(lines[i].tag, h.projected.tpDegree,
+                    formatPercent(h.projected.commFraction()),
+                    formatPercent(h.direct.commFraction()));
         if (first == 0.0)
-            first = proj.commFraction();
-        last = proj.commFraction();
+            first = h.projected.commFraction();
+        last = h.projected.commFraction();
     }
     bench::show(hl);
 
@@ -63,9 +96,8 @@ main()
                       last > first);
     bench::checkBand("projected fraction at required TPs (low end)",
                      first, 0.20, 0.50);
-    bench::checkBand(
-        "ground-truth fraction for H=64K future model",
-        analysis.evaluateDirect(65536, 4096, 1, 256).commFraction(),
-        0.35, 0.55);
+    bench::checkBand("ground-truth fraction for H=64K future model",
+                     highlights.back().direct.commFraction(), 0.35,
+                     0.55);
     return 0;
 }

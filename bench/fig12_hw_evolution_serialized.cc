@@ -3,6 +3,10 @@
  * Regenerates Figure 12: impact of hardware evolution (flop-vs-bw
  * scaling of 1x/2x/4x) on the serialized communication fraction of
  * the Figure 10 model lines at their required TP degrees.
+ *
+ * The (model line) x (hardware generation) grid maps through the
+ * ParallelSweepRunner (`--jobs N`, `--report FILE`); aggregation is
+ * in input order, so any jobs count prints identical output.
  */
 
 #include "bench_common.hh"
@@ -12,29 +16,50 @@
 using namespace twocs;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Figure 12",
                   "Hardware evolution vs serialized comm. fraction");
 
-    TextTable t({ "line", "TP", "flop-vs-bw 1x", "2x", "4x" });
-    double lo2 = 1.0, hi2 = 0.0, lo4 = 1.0, hi4 = 0.0;
+    const exec::RunnerOptions runner = bench::runnerOptions(
+        argc, argv, "fig12_hw_evolution_serialized");
+
     std::vector<core::AmdahlAnalysis> analyses;
     for (double fs : { 1.0, 2.0, 4.0 }) {
         core::SystemConfig sys;
         sys.flopScale = fs;
         analyses.emplace_back(sys);
     }
+    const std::vector<core::ModelLine> lines = core::figure10Lines();
 
-    for (const core::ModelLine &line : core::figure10Lines()) {
-        std::vector<double> f;
-        for (const auto &a : analyses) {
-            f.push_back(a.evaluate(line.hidden, line.seqLen, 1,
-                                   line.requiredTp)
-                            .commFraction());
-        }
-        t.addRowOf(line.tag, line.requiredTp, formatPercent(f[0]),
-                   formatPercent(f[1]), formatPercent(f[2]));
+    // One task per (line, hardware generation) cell.
+    struct Cell
+    {
+        std::size_t line = 0;
+        std::size_t generation = 0;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t l = 0; l < lines.size(); ++l) {
+        for (std::size_t g = 0; g < analyses.size(); ++g)
+            cells.push_back({ l, g });
+    }
+    exec::ParallelSweepRunner map(runner);
+    const std::vector<double> fractions =
+        map.map(cells, [&](const Cell &cell) {
+            const core::ModelLine &line = lines[cell.line];
+            return analyses[cell.generation]
+                .evaluate(line.hidden, line.seqLen, 1,
+                          static_cast<int>(line.requiredTp))
+                .commFraction();
+        });
+
+    TextTable t({ "line", "TP", "flop-vs-bw 1x", "2x", "4x" });
+    double lo2 = 1.0, hi2 = 0.0, lo4 = 1.0, hi4 = 0.0;
+    for (std::size_t l = 0; l < lines.size(); ++l) {
+        const double *f = &fractions[l * analyses.size()];
+        t.addRowOf(lines[l].tag, lines[l].requiredTp,
+                   formatPercent(f[0]), formatPercent(f[1]),
+                   formatPercent(f[2]));
         lo2 = std::min(lo2, f[1]);
         hi2 = std::max(hi2, f[1]);
         lo4 = std::min(lo4, f[2]);

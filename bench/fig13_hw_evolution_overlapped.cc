@@ -3,6 +3,10 @@
  * Regenerates Figure 13: impact of hardware evolution on overlapped
  * (DP) communication as a percentage of compute time. Values >= 100%
  * mean the communication can no longer be hidden.
+ *
+ * The (H, SL*B) x (hardware generation) grid maps through the
+ * ParallelSweepRunner (`--jobs N`, `--report FILE`); aggregation is
+ * in input order, so any jobs count prints identical output.
  */
 
 #include "bench_common.hh"
@@ -12,10 +16,13 @@
 using namespace twocs;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Figure 13",
                   "Hardware evolution vs overlapped comm. percentage");
+
+    const exec::RunnerOptions runner = bench::runnerOptions(
+        argc, argv, "fig13_hw_evolution_overlapped");
 
     std::vector<core::SlackAnalysis> analyses;
     for (double fs : { 1.0, 2.0, 4.0 }) {
@@ -24,21 +31,37 @@ main()
         analyses.emplace_back(sys);
     }
 
+    struct Cell
+    {
+        std::int64_t hidden = 0;
+        std::int64_t slb = 0;
+    };
+    std::vector<Cell> cells;
+    for (std::int64_t h : { 1024, 4096, 16384, 65536 }) {
+        for (std::int64_t slb : { 1024, 2048, 4096, 8192 })
+            cells.push_back({ h, slb });
+    }
+    exec::ParallelSweepRunner map(runner);
+    const auto rows = map.map(cells, [&](const Cell &cell) {
+        std::vector<double> r;
+        r.reserve(analyses.size());
+        for (const auto &a : analyses) {
+            r.push_back(a.evaluate(cell.hidden, cell.slb, 1)
+                            .overlappedCommVsCompute());
+        }
+        return r;
+    });
+
     TextTable t({ "H", "SL*B", "1x", "2x", "4x", "exposed at 4x?" });
     int exposed_count = 0, total = 0;
-    for (std::int64_t h : { 1024, 4096, 16384, 65536 }) {
-        for (std::int64_t slb : { 1024, 2048, 4096, 8192 }) {
-            std::vector<double> r;
-            for (const auto &a : analyses) {
-                r.push_back(
-                    a.evaluate(h, slb, 1).overlappedCommVsCompute());
-            }
-            t.addRowOf(static_cast<long>(h), static_cast<long>(slb),
-                       formatPercent(r[0]), formatPercent(r[1]),
-                       formatPercent(r[2]), r[2] >= 1.0 ? "yes" : "no");
-            exposed_count += r[2] >= 1.0 ? 1 : 0;
-            ++total;
-        }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const std::vector<double> &r = rows[i];
+        t.addRowOf(static_cast<long>(cells[i].hidden),
+                   static_cast<long>(cells[i].slb), formatPercent(r[0]),
+                   formatPercent(r[1]), formatPercent(r[2]),
+                   r[2] >= 1.0 ? "yes" : "no");
+        exposed_count += r[2] >= 1.0 ? 1 : 0;
+        ++total;
     }
     bench::show(t);
 

@@ -11,6 +11,7 @@
 
 #include "core/amdahl.hh"
 #include "core/case_study.hh"
+#include "core/sweep.hh"
 #include "core/system_config.hh"
 #include "opmodel/operator_model.hh"
 
@@ -85,6 +86,31 @@ BM_OperatorModelProjection(benchmark::State &state)
     }
 }
 BENCHMARK(BM_OperatorModelProjection);
+
+void
+BM_SerializedGrid196(benchmark::State &state)
+{
+    // The full Table 3 serialized study (196 configs) through the
+    // ParallelSweepRunner at --jobs {1,2,4}: the speedup of N vs 1
+    // on a multicore host is the parallel-engine scaling figure.
+    const core::AmdahlAnalysis analysis(sys());
+    const std::vector<core::SerializedConfig> configs =
+        core::serializedConfigs(core::table3());
+    core::SerializedStudyOptions opts;
+    opts.runner.jobs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::runSerializedStudy(analysis, configs, opts));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(configs.size()));
+}
+BENCHMARK(BM_SerializedGrid196)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_CaseStudyTimeline(benchmark::State &state)

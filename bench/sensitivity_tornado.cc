@@ -15,13 +15,17 @@
 using namespace twocs;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Sensitivity",
                   "Comm-fraction tornado at H=16K, SL=2K, TP=64");
 
+    const exec::RunnerOptions runner =
+        bench::runnerOptions(argc, argv, "sensitivity_tornado");
+
     core::SensitivityConfig cfg;
-    const auto entries = core::sensitivityTornado(cfg);
+    const auto entries =
+        core::sensitivityTornado(cfg, model::bertLarge(), runner);
 
     TextTable t({ "knob", "x0.5", "baseline", "x2.0", "swing" });
     double tp_swing = 0.0, bw_swing = 0.0, b_swing = 1.0;

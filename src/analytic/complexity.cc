@@ -45,11 +45,14 @@ layerComplexity(const model::Hyperparams &hp,
 }
 
 double
-amdahlEdge(const model::Hyperparams &hp, int tp_degree)
+amdahlEdge(const model::Hyperparams &hp, std::int64_t tp_degree)
 {
     fatalIf(tp_degree < 1, "tp_degree must be >= 1");
-    return (static_cast<double>(hp.hidden) +
-            static_cast<double>(hp.sequenceLength)) /
+    // The sum is formed in std::int64_t (never int): H + SL alone is
+    // safe today, but callers scale these hyperparameters multiple
+    // paper-generations out.
+    const std::int64_t numerator = hp.hidden + hp.sequenceLength;
+    return static_cast<double>(numerator) /
            static_cast<double>(tp_degree);
 }
 

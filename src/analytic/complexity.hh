@@ -12,6 +12,8 @@
 #ifndef TWOCS_ANALYTIC_COMPLEXITY_HH
 #define TWOCS_ANALYTIC_COMPLEXITY_HH
 
+#include <cstdint>
+
 #include "hw/device_spec.hh"
 #include "model/hyperparams.hh"
 #include "model/parallel.hh"
@@ -51,8 +53,13 @@ LayerComplexity layerComplexity(const model::Hyperparams &hp,
 /**
  * Eq. 6 asymptotic form of compute's Amdahl's-law edge over
  * serialized communication: (H + SL) / TP.
+ *
+ * TP is std::int64_t end-to-end: sweep configs carry 64-bit degrees
+ * (H = 65536-scale spaces probe far beyond hardware group sizes),
+ * and a narrow `int` here would silently truncate them.
  */
-double amdahlEdge(const model::Hyperparams &hp, int tp_degree);
+double amdahlEdge(const model::Hyperparams &hp,
+                  std::int64_t tp_degree);
 
 /**
  * Exact edge: training GEMM ops per serialized all-reduce byte for

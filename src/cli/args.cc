@@ -1,5 +1,7 @@
 #include "args.hh"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/logging.hh"
@@ -49,10 +51,13 @@ Args::getInt(const std::string &key, std::int64_t fallback) const
     if (it == options_.end())
         return fallback;
     char *end = nullptr;
+    errno = 0;
     const long long v = std::strtoll(it->second.c_str(), &end, 10);
     fatalIf(end == it->second.c_str() || *end != '\0',
             "option --", key, " expects an integer, got '", it->second,
             "'");
+    fatalIf(errno == ERANGE, "option --", key, " value '", it->second,
+            "' is out of the 64-bit integer range");
     return v;
 }
 
@@ -64,10 +69,15 @@ Args::getDouble(const std::string &key, double fallback) const
     if (it == options_.end())
         return fallback;
     char *end = nullptr;
+    errno = 0;
     const double v = std::strtod(it->second.c_str(), &end);
     fatalIf(end == it->second.c_str() || *end != '\0',
             "option --", key, " expects a number, got '", it->second,
             "'");
+    // ERANGE also fires for harmless denormal underflow; only an
+    // overflow to +/-inf is a user error.
+    fatalIf(errno == ERANGE && std::isinf(v), "option --", key,
+            " value '", it->second, "' overflows a double");
     return v;
 }
 

@@ -34,11 +34,13 @@ class Args
     std::string get(const std::string &key,
                     const std::string &fallback = "") const;
 
-    /** Integer option with a default; fatal() if non-numeric. */
+    /** Integer option with a default; fatal() if non-numeric or out
+     *  of the 64-bit range, naming the flag. */
     std::int64_t getInt(const std::string &key,
                         std::int64_t fallback) const;
 
-    /** Double option with a default; fatal() if non-numeric. */
+    /** Double option with a default; fatal() if non-numeric or
+     *  overflowing, naming the flag. */
     double getDouble(const std::string &key, double fallback) const;
 
     /** Keys the program never consumed (for typo detection). */

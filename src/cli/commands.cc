@@ -12,6 +12,7 @@
 #include "core/slack.hh"
 #include "core/sweep.hh"
 #include "core/system_config.hh"
+#include "exec/parallel_runner.hh"
 #include "model/memory.hh"
 #include "model/zoo.hh"
 #include "profiling/roofline.hh"
@@ -35,6 +36,16 @@ systemFrom(const Args &args)
     if (args.getInt("pin", 0) != 0)
         sys.inNetworkReduction = true;
     return sys;
+}
+
+exec::RunnerOptions
+runnerFrom(const Args &args, const std::string &study)
+{
+    exec::RunnerOptions options;
+    options.jobs = static_cast<int>(args.getInt("jobs", 0));
+    options.reportPath = args.get("report");
+    options.study = study;
+    return options;
 }
 
 hw::Precision
@@ -216,6 +227,30 @@ cmdCluster(const Args &args)
     cfg.seed = args.getInt("seed", 1);
     cfg.system = systemFrom(args);
 
+    const int trials = static_cast<int>(args.getInt("trials", 1));
+    fatalIf(trials < 1, "option --trials expects a positive count, got ",
+            trials);
+    if (trials > 1) {
+        const core::ClusterTrialSummary summary = sim.runTrials(
+            cfg, trials, runnerFrom(args, "cluster_trials"));
+        TextTable t({ "trial (seed)", "iteration", "comm/device",
+                      "stall/device", "stall fraction" });
+        for (int i = 0; i < trials; ++i) {
+            const auto &r = summary.trials[i];
+            t.addRowOf(static_cast<long>(cfg.seed + i),
+                       formatSeconds(r.iterationTime),
+                       formatSeconds(r.commTimePerDevice),
+                       formatSeconds(r.stallTimePerDevice),
+                       formatPercent(r.stallFraction()));
+        }
+        t.print(std::cout);
+        std::cout << "mean iteration "
+                  << formatSeconds(summary.meanIterationTime)
+                  << ", worst iteration "
+                  << formatSeconds(summary.worstIterationTime) << "\n";
+        return 0;
+    }
+
     const core::ClusterSimResult r = sim.run(cfg);
     TextTable t({ "quantity", "value" });
     t.addRowOf("iteration (explicit group)",
@@ -242,29 +277,48 @@ cmdSweep(const Args &args)
 
     if (figure == 10) {
         core::AmdahlAnalysis analysis(sys);
-        TextTable t({ "H", "SL", "TP", "comm_fraction" });
+        std::vector<core::SerializedConfig> configs;
         for (const core::ModelLine &line : core::figure10Lines()) {
-            for (int tp : space.tpDegrees) {
-                const auto p = analysis.evaluate(line.hidden,
-                                                 line.seqLen, 1, tp);
-                t.addRowOf(static_cast<long>(line.hidden),
-                           static_cast<long>(line.seqLen), tp,
-                           p.commFraction());
-            }
+            for (std::int64_t tp : space.tpDegrees)
+                configs.push_back({ line.hidden, line.seqLen, tp });
+        }
+        core::SerializedStudyOptions opts;
+        opts.runner = runnerFrom(args, "sweep_figure10");
+        const auto points =
+            core::runSerializedStudy(analysis, configs, opts);
+
+        TextTable t({ "H", "SL", "TP", "comm_fraction" });
+        for (const core::AmdahlPoint &p : points) {
+            t.addRowOf(static_cast<long>(p.hidden),
+                       static_cast<long>(p.seqLen), p.tpDegree,
+                       p.commFraction());
         }
         csv ? t.printCsv(std::cout) : t.print(std::cout);
     } else if (figure == 11) {
         core::SlackAnalysis analysis(sys);
-        TextTable t({ "H", "SL_x_B", "overlap_vs_compute" });
+        struct OverlapConfig
+        {
+            std::int64_t hidden = 0, seqLen = 0, batch = 0;
+        };
+        std::vector<OverlapConfig> configs;
         for (std::int64_t h : space.hiddens) {
             for (std::int64_t sl : space.seqLens) {
-                for (std::int64_t b : space.batches) {
-                    const auto p = analysis.evaluate(h, sl, b);
-                    t.addRowOf(static_cast<long>(h),
-                               static_cast<long>(p.slTimesB()),
-                               p.overlappedCommVsCompute());
-                }
+                for (std::int64_t b : space.batches)
+                    configs.push_back({ h, sl, b });
             }
+        }
+        exec::ParallelSweepRunner runner(
+            runnerFrom(args, "sweep_figure11"));
+        const auto points =
+            runner.map(configs, [&](const OverlapConfig &c) {
+                return analysis.evaluate(c.hidden, c.seqLen, c.batch);
+            });
+
+        TextTable t({ "H", "SL_x_B", "overlap_vs_compute" });
+        for (const auto &p : points) {
+            t.addRowOf(static_cast<long>(p.hidden),
+                       static_cast<long>(p.slTimesB()),
+                       p.overlappedCommVsCompute());
         }
         csv ? t.printCsv(std::cout) : t.print(std::cout);
     } else {
@@ -392,7 +446,7 @@ printUsage()
         "  plan      rank (TP, PP, DP) layouts by throughput\n"
         "            --model NAME [--max-devices N]\n"
         "  cluster   explicit multi-device group simulation\n"
-        "            [--tp N --jitter X --layers L]\n"
+        "            [--tp N --jitter X --layers L --trials T]\n"
         "  sweep     regenerate a figure's data grid\n"
         "            --figure 10|11 [--csv 1]\n"
         "  inference prefill vs decode Comp-vs-Comm under TP\n"
@@ -405,7 +459,11 @@ printUsage()
         "            --model NAME --tp N --dp N [--out FILE]\n"
         "\n"
         "common options: --device NAME, --precision fp32|fp16|fp8,\n"
-        "                --flop-scale X, --bw-scale X, --pin 1\n";
+        "                --flop-scale X, --bw-scale X, --pin 1\n"
+        "study options:  --jobs N (worker threads; 0 = all cores,\n"
+        "                1 = serial), --report FILE (RunReport JSON:\n"
+        "                wall time, per-config latency p50/p95,\n"
+        "                thread count, task failures)\n";
 }
 
 int

@@ -108,4 +108,32 @@ ClusterSim::run(const ClusterSimConfig &config) const
     return r;
 }
 
+ClusterTrialSummary
+ClusterSim::runTrials(const ClusterSimConfig &config, int num_trials,
+                      const exec::RunnerOptions &runner_options) const
+{
+    fatalIf(num_trials < 1, "need at least one trial");
+
+    std::vector<ClusterSimConfig> trials(
+        static_cast<std::size_t>(num_trials), config);
+    for (int i = 0; i < num_trials; ++i)
+        trials[i].seed = config.seed + static_cast<std::uint64_t>(i);
+
+    exec::RunnerOptions options = runner_options;
+    if (options.study == "study")
+        options.study = "cluster_trials";
+    exec::ParallelSweepRunner runner(options);
+
+    ClusterTrialSummary summary;
+    summary.trials = runner.map(
+        trials, [this](const ClusterSimConfig &c) { return run(c); });
+    for (const ClusterSimResult &r : summary.trials) {
+        summary.meanIterationTime += r.iterationTime;
+        summary.worstIterationTime =
+            std::max(summary.worstIterationTime, r.iterationTime);
+    }
+    summary.meanIterationTime /= static_cast<double>(num_trials);
+    return summary;
+}
+
 } // namespace twocs::core

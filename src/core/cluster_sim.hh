@@ -17,6 +17,7 @@
 #define TWOCS_CORE_CLUSTER_SIM_HH
 
 #include "core/system_config.hh"
+#include "exec/parallel_runner.hh"
 #include "model/zoo.hh"
 #include "sim/engine.hh"
 
@@ -64,6 +65,15 @@ struct ClusterSimResult
     }
 };
 
+/** Aggregate over independently-seeded repeated trials. */
+struct ClusterTrialSummary
+{
+    /** Per-trial results, in seed order (config.seed + i). */
+    std::vector<ClusterSimResult> trials;
+    Seconds meanIterationTime = 0.0;
+    Seconds worstIterationTime = 0.0;
+};
+
 /** Runs the explicit group simulation. */
 class ClusterSim
 {
@@ -73,6 +83,18 @@ class ClusterSim
                         hw::Precision precision = hw::Precision::FP16);
 
     ClusterSimResult run(const ClusterSimConfig &config) const;
+
+    /**
+     * Repeat the simulation `num_trials` times with seeds
+     * config.seed, config.seed + 1, ... — each trial draws its own
+     * jitter — in parallel across runner.jobs worker threads.
+     * Results are aggregated in seed order, so any jobs count
+     * produces identical output.
+     */
+    ClusterTrialSummary runTrials(const ClusterSimConfig &config,
+                                  int num_trials,
+                                  const exec::RunnerOptions &runner =
+                                      {}) const;
 
   private:
     model::Hyperparams baseline_;

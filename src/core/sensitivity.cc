@@ -31,40 +31,55 @@ fractionAt(const SensitivityConfig &c, double h_mul, double sl_mul,
         .commFraction();
 }
 
+/** One of the 13 independent simulations behind the tornado: the
+ *  baseline (slot < 0) or one knob moved to `mul`. */
+struct TornadoTask
+{
+    int slot = -1;
+    double mul = 1.0;
+};
+
 } // namespace
 
 std::vector<SensitivityEntry>
 sensitivityTornado(const SensitivityConfig &config,
-                   const model::Hyperparams &baseline)
+                   const model::Hyperparams &baseline,
+                   const exec::RunnerOptions &runner_options)
 {
-    const double base = fractionAt(config, 1, 1, 1, 1, 1, 1, baseline);
-
-    struct Knob
-    {
-        const char *name;
-        double mul[6]; // h, sl, b, tp, flop, bw — the varied slot
-        int slot;
-    };
     const char *names[6] = { "hidden (H)",      "sequence (SL)",
                              "batch (B)",       "TP degree",
                              "compute FLOPS",   "network bandwidth" };
 
+    // Baseline first, then (low, high) per knob; each task is an
+    // independent ground-truth simulation, so they parallelize.
+    std::vector<TornadoTask> tasks;
+    tasks.push_back({ -1, 1.0 });
+    for (int slot = 0; slot < 6; ++slot) {
+        tasks.push_back({ slot, 0.5 });
+        tasks.push_back({ slot, 2.0 });
+    }
+
+    exec::RunnerOptions options = runner_options;
+    if (options.study == "study")
+        options.study = "sensitivity_tornado";
+    exec::ParallelSweepRunner runner(options);
+    const std::vector<double> fractions =
+        runner.map(tasks, [&](const TornadoTask &task) {
+            double mul[6] = { 1, 1, 1, 1, 1, 1 };
+            if (task.slot >= 0)
+                mul[task.slot] = task.mul;
+            return fractionAt(config, mul[0], mul[1], mul[2], mul[3],
+                              mul[4], mul[5], baseline);
+        });
+
+    const double base = fractions[0];
     std::vector<SensitivityEntry> out;
     for (int slot = 0; slot < 6; ++slot) {
-        double lo_mul[6] = { 1, 1, 1, 1, 1, 1 };
-        double hi_mul[6] = { 1, 1, 1, 1, 1, 1 };
-        lo_mul[slot] = 0.5;
-        hi_mul[slot] = 2.0;
-
         SensitivityEntry e;
         e.knob = names[slot];
         e.fractionBase = base;
-        e.fractionLow =
-            fractionAt(config, lo_mul[0], lo_mul[1], lo_mul[2],
-                       lo_mul[3], lo_mul[4], lo_mul[5], baseline);
-        e.fractionHigh =
-            fractionAt(config, hi_mul[0], hi_mul[1], hi_mul[2],
-                       hi_mul[3], hi_mul[4], hi_mul[5], baseline);
+        e.fractionLow = fractions[1 + 2 * slot];
+        e.fractionHigh = fractions[2 + 2 * slot];
         out.push_back(e);
     }
 

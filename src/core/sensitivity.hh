@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/system_config.hh"
+#include "exec/parallel_runner.hh"
 #include "model/zoo.hh"
 
 namespace twocs::core {
@@ -48,12 +49,15 @@ struct SensitivityConfig
  * Evaluate the comm-fraction sensitivity to each of
  * {H, SL, B, TP, flop scale, network scale} by halving and doubling
  * that knob around the operating point (ground-truth simulation).
- * Entries are sorted by descending swing magnitude.
+ * Entries are sorted by descending swing magnitude. The 13
+ * independent simulations run in parallel across runner.jobs worker
+ * threads; aggregation is deterministic across jobs counts.
  */
 std::vector<SensitivityEntry>
 sensitivityTornado(const SensitivityConfig &config,
                    const model::Hyperparams &baseline =
-                       model::bertLarge());
+                       model::bertLarge(),
+                   const exec::RunnerOptions &runner = {});
 
 } // namespace twocs::core
 

@@ -21,7 +21,7 @@ serializedConfigs(const SweepSpace &space)
                     space.tpDegrees.size());
     for (std::int64_t h : space.hiddens) {
         for (std::int64_t sl : space.seqLens) {
-            for (int tp : space.tpDegrees)
+            for (std::int64_t tp : space.tpDegrees)
                 configs.push_back({ h, sl, tp });
         }
     }
@@ -36,6 +36,26 @@ figure10Lines()
         { "~PaLM (1x)", 16384, 2048, 64 },
         { "PaLM-3x (future)", 65536, 4096, 256 },
     };
+}
+
+std::vector<AmdahlPoint>
+runSerializedStudy(const AmdahlAnalysis &analysis,
+                   const std::vector<SerializedConfig> &configs,
+                   const SerializedStudyOptions &options,
+                   exec::RunReport *report)
+{
+    exec::ParallelSweepRunner runner(options.runner);
+    std::vector<AmdahlPoint> points =
+        runner.map(configs, [&](const SerializedConfig &c) {
+            const int tp = static_cast<int>(c.tpDegree);
+            return options.groundTruth
+                       ? analysis.evaluateDirect(c.hidden, c.seqLen, 1,
+                                                 tp)
+                       : analysis.evaluate(c.hidden, c.seqLen, 1, tp);
+        });
+    if (report != nullptr)
+        *report = runner.lastReport();
+    return points;
 }
 
 } // namespace twocs::core

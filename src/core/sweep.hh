@@ -1,7 +1,8 @@
 /**
  * @file
- * The studied configuration space (paper Table 3) and the highlighted
- * model lines of Figures 10 and 12.
+ * The studied configuration space (paper Table 3), the highlighted
+ * model lines of Figures 10 and 12, and the parallel execution of
+ * the serialized-communication study over that space.
  */
 
 #ifndef TWOCS_CORE_SWEEP_HH
@@ -11,15 +12,24 @@
 #include <string>
 #include <vector>
 
+#include "core/amdahl.hh"
+#include "exec/parallel_runner.hh"
+
 namespace twocs::core {
 
-/** Table 3: parameters and setup of models studied. */
+/**
+ * Table 3: parameters and setup of models studied.
+ *
+ * All dimensions are std::int64_t: H reaches 65536 and products such
+ * as H * SL * fcDim appear when ops/byte ratios are formed, which
+ * overflow 32-bit intermediates at futuristic-PaLM-3x scale.
+ */
 struct SweepSpace
 {
     std::vector<std::int64_t> hiddens;
     std::vector<std::int64_t> batches;
     std::vector<std::int64_t> seqLens;
-    std::vector<int> tpDegrees;
+    std::vector<std::int64_t> tpDegrees;
 };
 
 /** The paper's Table 3 values. */
@@ -30,7 +40,7 @@ struct SerializedConfig
 {
     std::int64_t hidden = 0;
     std::int64_t seqLen = 0;
-    int tpDegree = 0;
+    std::int64_t tpDegree = 0;
 };
 
 /**
@@ -47,11 +57,33 @@ struct ModelLine
     std::int64_t hidden = 0;
     std::int64_t seqLen = 0;
     /** TP degree this model class needs (Section 4.3.2 estimate). */
-    int requiredTp = 0;
+    std::int64_t requiredTp = 0;
 };
 
 /** ~T-NLG, ~PaLM (1x) and the futuristic PaLM-3x lines. */
 std::vector<ModelLine> figure10Lines();
+
+/** Execution options of runSerializedStudy(). */
+struct SerializedStudyOptions
+{
+    /** Evaluate with the full simulated iteration (ground truth)
+     *  instead of the operator-model projection. */
+    bool groundTruth = false;
+    exec::RunnerOptions runner;
+};
+
+/**
+ * Evaluate every configuration of the serialized study, in parallel
+ * across options.runner.jobs worker threads, returning points in
+ * input order (deterministic: `--jobs 1` and `--jobs N` agree
+ * byte-for-byte). When `report` is non-null the map's RunReport is
+ * copied there.
+ */
+std::vector<AmdahlPoint>
+runSerializedStudy(const AmdahlAnalysis &analysis,
+                   const std::vector<SerializedConfig> &configs,
+                   const SerializedStudyOptions &options = {},
+                   exec::RunReport *report = nullptr);
 
 } // namespace twocs::core
 

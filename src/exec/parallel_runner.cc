@@ -1,0 +1,147 @@
+#include "parallel_runner.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace twocs::exec {
+
+namespace {
+
+/** Nearest-rank percentile of an unsorted sample (0 when empty). */
+Seconds
+percentile(std::vector<Seconds> xs, double q)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(xs.size() - 1) + 0.5);
+    return xs[std::min(rank, xs.size() - 1)];
+}
+
+/** Shortest round-trippable decimal form, as in calibration_io. */
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, newlines). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+RunnerOptions::effectiveJobs() const
+{
+    return jobs <= 0 ? ThreadPool::defaultThreads() : jobs;
+}
+
+RunnerOptions
+RunnerOptions::fromCommandLine(int argc, const char *const *argv,
+                               std::string study_name)
+{
+    RunnerOptions options;
+    options.study = std::move(study_name);
+    for (int i = 1; i < argc; ++i) {
+        const std::string key = argv[i];
+        if (key != "--jobs" && key != "--report")
+            continue;
+        fatalIf(i + 1 >= argc, "option '", key,
+                "' is missing a value");
+        const std::string value = argv[++i];
+        if (key == "--report") {
+            options.reportPath = value;
+            continue;
+        }
+        char *end = nullptr;
+        errno = 0;
+        const long v = std::strtol(value.c_str(), &end, 10);
+        fatalIf(end == value.c_str() || *end != '\0' ||
+                    errno == ERANGE || v < 0,
+                "option --jobs expects a non-negative integer, got '",
+                value, "'");
+        options.jobs = static_cast<int>(v);
+    }
+    return options;
+}
+
+Seconds
+RunReport::latencyP50() const
+{
+    return percentile(taskSeconds, 0.50);
+}
+
+Seconds
+RunReport::latencyP95() const
+{
+    return percentile(taskSeconds, 0.95);
+}
+
+void
+RunReport::writeJson(std::ostream &os) const
+{
+    os << "{\n"
+       << "  \"study\": \"" << jsonEscape(study) << "\",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"num_tasks\": " << numTasks << ",\n"
+       << "  \"num_failures\": " << failures.size() << ",\n"
+       << "  \"wall_seconds\": " << jsonNumber(wallTime) << ",\n"
+       << "  \"task_seconds_p50\": " << jsonNumber(latencyP50())
+       << ",\n"
+       << "  \"task_seconds_p95\": " << jsonNumber(latencyP95())
+       << ",\n"
+       << "  \"failures\": [";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n")
+           << "    { \"index\": " << failures[i].index
+           << ", \"message\": \"" << jsonEscape(failures[i].message)
+           << "\" }";
+    }
+    os << (failures.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+void
+maybeWriteReport(const RunnerOptions &options, const RunReport &report)
+{
+    if (options.reportPath.empty())
+        return;
+    std::ofstream os(options.reportPath);
+    fatalIf(!os, "cannot open report file '", options.reportPath,
+            "' for writing");
+    report.writeJson(os);
+    inform("wrote run report ", options.reportPath, " (",
+           report.numTasks, " tasks, jobs=", report.jobs, ")");
+}
+
+void
+ParallelSweepRunner::throwFirstFailure() const
+{
+    const TaskFailure &first = report_.failures.front();
+    fatal("study '", report_.study, "': task ", first.index,
+          " failed: ", first.message, " (", report_.failures.size(),
+          " of ", report_.numTasks, " tasks failed)");
+}
+
+} // namespace twocs::exec

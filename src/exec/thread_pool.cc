@@ -1,0 +1,99 @@
+#include "thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace twocs::exec {
+
+int
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity)
+{
+    fatalIf(queue_capacity == 0,
+            "thread pool queue capacity must be >= 1");
+    if (num_threads <= 0)
+        num_threads = defaultThreads();
+    workers_.reserve(static_cast<std::size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    spaceReady_.notify_all();
+    // std::jthread joins on destruction; workers first drain the
+    // queue, so every submitted task still runs.
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    std::unique_lock lock(mutex_);
+    spaceReady_.wait(lock, [this] {
+        return queue_.size() < capacity_ || stopping_;
+    });
+    panicIf(stopping_, "submit() on a stopping thread pool");
+    queue_.push_back(std::move(task));
+    lock.unlock();
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock lock(mutex_);
+    allIdle_.wait(lock,
+                  [this] { return queue_.empty() && running_ == 0; });
+    if (firstError_ != nullptr) {
+        const std::exception_ptr error = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            workReady_.wait(lock, [this] {
+                return !queue_.empty() || stopping_;
+            });
+            if (queue_.empty())
+                return; // stopping and nothing left to do
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        spaceReady_.notify_one();
+
+        try {
+            task();
+        } catch (...) {
+            const std::lock_guard lock(mutex_);
+            if (firstError_ == nullptr)
+                firstError_ = std::current_exception();
+        }
+
+        {
+            const std::lock_guard lock(mutex_);
+            --running_;
+            if (queue_.empty() && running_ == 0)
+                allIdle_.notify_all();
+        }
+    }
+}
+
+} // namespace twocs::exec

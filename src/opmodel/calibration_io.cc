@@ -1,6 +1,7 @@
 #include "calibration_io.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 
@@ -39,6 +40,26 @@ saveCalibration(const OperatorScalingModel &model, std::ostream &os)
     emitRow(os, kAllToAllKey, model.allToAllBaseline());
 }
 
+namespace {
+
+/**
+ * Parse one numeric CSV field. The whole field must be consumed:
+ * strtod() stopping early (trailing junk, or an extra comma pulled
+ * into the last field) previously mis-parsed rows silently.
+ */
+double
+parseField(const std::string &field, const char *what, int line_no)
+{
+    char *end = nullptr;
+    const double v = std::strtod(field.c_str(), &end);
+    fatalIf(field.empty() || end != field.c_str() + field.size(),
+            "calibration line ", line_no, ": bad ", what, " '", field,
+            "'");
+    return v;
+}
+
+} // namespace
+
 OperatorScalingModel
 loadCalibration(std::istream &is)
 {
@@ -60,26 +81,33 @@ loadCalibration(std::istream &is)
             c1 == std::string::npos ? std::string::npos
                                     : line.find(',', c1 + 1);
         fatalIf(c1 == std::string::npos || c2 == std::string::npos,
-                "calibration line ", line_no, " is not label,dur,pred");
+                "calibration line ", line_no,
+                ": expected label,duration,predictor, got '", line,
+                "'");
 
         const std::string label = line.substr(0, c1);
-        char *end = nullptr;
-        const std::string dur_s = line.substr(c1 + 1, c2 - c1 - 1);
-        const std::string pred_s = line.substr(c2 + 1);
-        const double dur = std::strtod(dur_s.c_str(), &end);
-        fatalIf(end == dur_s.c_str(), "bad duration on line ", line_no);
-        const double pred = std::strtod(pred_s.c_str(), &end);
-        fatalIf(end == pred_s.c_str(), "bad predictor on line ",
-                line_no);
+        fatalIf(label.empty(), "calibration line ", line_no,
+                ": empty operator label");
+        const double dur = parseField(line.substr(c1 + 1, c2 - c1 - 1),
+                                      "duration", line_no);
+        const double pred =
+            parseField(line.substr(c2 + 1), "predictor", line_no);
 
         const BaselinePoint point{ dur, pred };
         if (label == kAllReduceKey) {
+            fatalIf(saw_ar, "calibration line ", line_no,
+                    ": duplicate '", kAllReduceKey, "' row");
             ar = point;
             saw_ar = true;
         } else if (label == kAllToAllKey) {
+            fatalIf(saw_a2a, "calibration line ", line_no,
+                    ": duplicate '", kAllToAllKey, "' row");
             a2a = point;
             saw_a2a = true;
         } else {
+            fatalIf(compute.count(label) != 0, "calibration line ",
+                    line_no, ": duplicate operator label '", label,
+                    "'");
             compute[label] = point;
         }
     }

@@ -25,8 +25,11 @@ void saveCalibration(const OperatorScalingModel &model,
                      std::ostream &os);
 
 /**
- * Parse a calibration saved by saveCalibration(); fatal() on a
- * malformed stream or a calibration without collective baselines.
+ * Parse a calibration saved by saveCalibration(); fatal() — always
+ * naming the offending line number — on a malformed stream, a row
+ * whose numeric fields are not fully consumed, a duplicate operator
+ * label, or a calibration without collective baselines. Values saved
+ * as %.17g round-trip exactly.
  */
 OperatorScalingModel loadCalibration(std::istream &is);
 

@@ -60,6 +60,26 @@ TEST(Complexity, AmdahlEdgeAsymptoticForm)
     EXPECT_THROW(amdahlEdge(hp, 0), FatalError);
 }
 
+TEST(Complexity, AmdahlEdgeSurvivesInt64Scales)
+{
+    // Regression: tp_degree and the H + SL numerator are carried as
+    // std::int64_t. At futuristic-PaLM-3x scale the values stay
+    // modest, but extrapolations a few paper-generations out push
+    // both past 32 bits; narrow int plumbing would overflow (UB).
+    const auto palm3x =
+        bertLarge().withHidden(65536).withSequenceLength(4096);
+    EXPECT_DOUBLE_EQ(amdahlEdge(palm3x, 256),
+                     (65536.0 + 4096.0) / 256.0);
+
+    const auto huge = bertLarge()
+                          .withHidden(std::int64_t{ 3 } << 30)
+                          .withSequenceLength(std::int64_t{ 3 } << 30);
+    // H + SL = 3 * 2^31 (> INT32_MAX); TP = 2^32 (> INT32_MAX).
+    EXPECT_DOUBLE_EQ(amdahlEdge(huge, std::int64_t{ 1 } << 32), 1.5);
+    EXPECT_THROW(amdahlEdge(huge, std::int64_t{ -1 } << 32),
+                 FatalError);
+}
+
 TEST(Complexity, ExactEdgeTracksAsymptoticForm)
 {
     // Across H values, the exact FLOP/byte edge must be proportional

@@ -200,5 +200,74 @@ TEST(Cli, UnknownModelIsFatal)
                  FatalError);
 }
 
+// --- argument hardening ---
+
+cli::Args
+parseArgs(std::initializer_list<const char *> argv_list)
+{
+    std::vector<const char *> argv(argv_list);
+    return cli::Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string
+argFailure(const cli::Args &args, auto getter)
+{
+    try {
+        getter(args);
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "<no error>";
+}
+
+TEST(Args, GetIntRejectsOutOfRangeValues)
+{
+    const auto args = parseArgs(
+        { "twocs", "x", "--tp", "99999999999999999999999" });
+    const std::string msg = argFailure(
+        args, [](const cli::Args &a) { a.getInt("tp", 0); });
+    // The one-line diagnostic must name the offending flag.
+    EXPECT_NE(msg.find("--tp"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("out of the 64-bit integer range"),
+              std::string::npos)
+        << msg;
+}
+
+TEST(Args, GetIntRejectsNonNumericValues)
+{
+    const auto args = parseArgs({ "twocs", "x", "--tp", "16q" });
+    const std::string msg = argFailure(
+        args, [](const cli::Args &a) { a.getInt("tp", 0); });
+    EXPECT_NE(msg.find("option --tp expects an integer, got '16q'"),
+              std::string::npos)
+        << msg;
+    EXPECT_THROW(parseArgs({ "twocs", "x", "--tp", "" }).getInt("tp", 0),
+                 FatalError);
+}
+
+TEST(Args, GetDoubleRejectsOverflowButAllowsUnderflow)
+{
+    const auto args = parseArgs({ "twocs", "x", "--jitter", "1e999" });
+    const std::string msg = argFailure(
+        args, [](const cli::Args &a) { a.getDouble("jitter", 0.0); });
+    EXPECT_NE(msg.find("--jitter"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("overflows a double"), std::string::npos) << msg;
+
+    EXPECT_THROW(parseArgs({ "twocs", "x", "--jitter", "0.5oops" })
+                     .getDouble("jitter", 0.0),
+                 FatalError);
+    // Denormal underflow is representable and harmless, not an error.
+    const auto tiny = parseArgs({ "twocs", "x", "--jitter", "1e-320" });
+    EXPECT_GT(tiny.getDouble("jitter", 0.0), 0.0);
+    EXPECT_LT(tiny.getDouble("jitter", 0.0), 1e-300);
+}
+
+TEST(Args, LargeInt64ValuesPassThrough)
+{
+    const auto args = parseArgs(
+        { "twocs", "x", "--hidden", "4294967296" }); // 2^32
+    EXPECT_EQ(args.getInt("hidden", 0), std::int64_t{ 1 } << 32);
+}
+
 } // namespace
 } // namespace twocs

@@ -133,6 +133,68 @@ TEST(Engine, EmptyScheduleIsValid)
     EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
 }
 
+TEST(Engine, EmptyScheduleTagAndOverlapQueries)
+{
+    EventSimulator des;
+    const ResourceId a = des.addResource("a");
+    const ResourceId b = des.addResource("b");
+    const Schedule s = des.run();
+    EXPECT_DOUBLE_EQ(s.timeByTag("comm"), 0.0);
+    EXPECT_DOUBLE_EQ(s.timeByTag(""), 0.0);
+    EXPECT_DOUBLE_EQ(s.busyTime(a), 0.0);
+    EXPECT_DOUBLE_EQ(s.overlappedTime(a, b), 0.0);
+    EXPECT_DOUBLE_EQ(s.exposedTime(a, b), 0.0);
+}
+
+TEST(Engine, OverlapAgainstNeverBusyResource)
+{
+    // Resource b is registered but never receives a task: it must
+    // act as "always idle", not as an error or as infinite overlap.
+    EventSimulator des;
+    const ResourceId a = des.addResource("a");
+    const ResourceId b = des.addResource("b");
+    des.addTask("work", "comp", a, 4.0);
+    const Schedule s = des.run();
+    EXPECT_DOUBLE_EQ(s.busyTime(b), 0.0);
+    EXPECT_DOUBLE_EQ(s.overlappedTime(a, b), 0.0);
+    EXPECT_DOUBLE_EQ(s.overlappedTime(b, a), 0.0);
+    EXPECT_DOUBLE_EQ(s.exposedTime(a, b), 4.0);
+    EXPECT_DOUBLE_EQ(s.exposedTime(b, a), 0.0);
+    EXPECT_DOUBLE_EQ(s.timeByTag("comp"), 4.0);
+    EXPECT_DOUBLE_EQ(s.timeByTag("nope"), 0.0);
+}
+
+TEST(Engine, ZeroDurationTaskAccounting)
+{
+    EventSimulator des;
+    const ResourceId a = des.addResource("a");
+    const ResourceId b = des.addResource("b");
+    const TaskId marker = des.addTask("marker", "sync", a, 0.0);
+    des.addTask("work", "comp", a, 2.0, { marker });
+    des.addTask("other", "comp", b, 1.0, { marker });
+    const Schedule s = des.run();
+    // Zero-duration tasks place at a definite instant and contribute
+    // nothing to busy, tag, or overlap accounting.
+    EXPECT_DOUBLE_EQ(s.placement(marker).start, 0.0);
+    EXPECT_DOUBLE_EQ(s.placement(marker).end, 0.0);
+    EXPECT_DOUBLE_EQ(s.timeByTag("sync"), 0.0);
+    EXPECT_DOUBLE_EQ(s.busyTime(a), 2.0);
+    EXPECT_DOUBLE_EQ(s.makespan(), 2.0);
+    EXPECT_DOUBLE_EQ(s.overlappedTime(a, b), 1.0);
+}
+
+TEST(Engine, OnlyZeroDurationTasks)
+{
+    EventSimulator des;
+    const ResourceId r = des.addResource("r");
+    const TaskId t0 = des.addTask("m0", "sync", r, 0.0);
+    des.addTask("m1", "sync", r, 0.0, { t0 });
+    const Schedule s = des.run();
+    EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
+    EXPECT_DOUBLE_EQ(s.busyTime(r), 0.0);
+    EXPECT_DOUBLE_EQ(s.timeByTag("sync"), 0.0);
+}
+
 /** Property: makespan is at least the busy time of every resource
  *  and at most the sum of all durations. */
 class MakespanBounds : public ::testing::TestWithParam<int>

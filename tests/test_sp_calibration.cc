@@ -211,6 +211,114 @@ TEST(CalibrationIo, RejectsMalformedStreams)
     EXPECT_THROW(opmodel::loadCalibration(bad_row), FatalError);
 }
 
+/** Runs loadCalibration and returns the FatalError message. */
+std::string
+loadFailure(const std::string &csv)
+{
+    std::stringstream ss(csv);
+    try {
+        opmodel::loadCalibration(ss);
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "<no error>";
+}
+
+TEST(CalibrationIo, RejectsDuplicateOperatorLabel)
+{
+    const std::string msg = loadFailure(
+        "label,duration_s,predictor\n"
+        "fc1_fwd,1e-3,1e9\n"
+        "fc1_fwd,2e-3,2e9\n"
+        "__all_reduce__,1e-3,1e6\n__all_to_all__,1e-3,1e6\n");
+    EXPECT_NE(msg.find("duplicate operator label 'fc1_fwd'"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(CalibrationIo, RejectsDuplicateCollectiveRows)
+{
+    const std::string msg = loadFailure(
+        "label,duration_s,predictor\n"
+        "__all_reduce__,1e-3,1e6\n"
+        "__all_reduce__,2e-3,2e6\n"
+        "__all_to_all__,1e-3,1e6\n");
+    EXPECT_NE(msg.find("duplicate '__all_reduce__' row"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(CalibrationIo, MalformedRowsReportTheirLineNumber)
+{
+    // Previously a predictor field of '1e9,oops' (an extra comma
+    // pulled into the last field) parsed silently as 1e9; every
+    // malformed-row diagnostic must also name the offending line.
+    const std::string extra_comma = loadFailure(
+        "label,duration_s,predictor\n"
+        "fc1_fwd,1e-3,1e9,oops\n"
+        "__all_reduce__,1e-3,1e6\n__all_to_all__,1e-3,1e6\n");
+    EXPECT_NE(extra_comma.find("line 2"), std::string::npos)
+        << extra_comma;
+    EXPECT_NE(extra_comma.find("bad predictor '1e9,oops'"),
+              std::string::npos)
+        << extra_comma;
+
+    const std::string junk = loadFailure(
+        "label,duration_s,predictor\n"
+        "fc1_fwd,1e-3,1e9\n"
+        "fc2_fwd,2e-3x,1e9\n"
+        "__all_reduce__,1e-3,1e6\n__all_to_all__,1e-3,1e6\n");
+    EXPECT_NE(junk.find("line 3"), std::string::npos) << junk;
+    EXPECT_NE(junk.find("bad duration '2e-3x'"), std::string::npos)
+        << junk;
+
+    EXPECT_NE(loadFailure("label,duration_s,predictor\n"
+                          ",1e-3,1e9\n")
+                  .find("line 2: empty operator label"),
+              std::string::npos);
+    EXPECT_NE(loadFailure("label,duration_s,predictor\n"
+                          "fc1_fwd,,1e9\n")
+                  .find("line 2"),
+              std::string::npos);
+    EXPECT_NE(loadFailure("label,duration_s,predictor\n"
+                          "fc1_fwd 1e-3 1e9\n")
+                  .find("line 2"),
+              std::string::npos);
+}
+
+TEST(CalibrationIo, AwkwardDoublesRoundTripBitExact)
+{
+    // %.17g must reproduce every double bit-for-bit, including
+    // non-terminating binary fractions and subnormal-adjacent values.
+    const auto original = opmodel::OperatorScalingModel::fromBaselines(
+        { { "op_a", { 1.0 / 3.0, 1e9 + 1.0 } },
+          { "op_b", { 0.1, 7.0 / 11.0 } } },
+        { 1e-300, 2.0 / 3.0 }, { 0.30000000000000004, 1e6 });
+
+    std::stringstream ss;
+    opmodel::saveCalibration(original, ss);
+    const auto restored = opmodel::loadCalibration(ss);
+
+    const auto &orig_compute = original.computeBaselines();
+    const auto &rest_compute = restored.computeBaselines();
+    ASSERT_EQ(rest_compute.size(), orig_compute.size());
+    for (const auto &[label, point] : orig_compute) {
+        ASSERT_TRUE(rest_compute.count(label)) << label;
+        EXPECT_EQ(rest_compute.at(label).duration, point.duration);
+        EXPECT_EQ(rest_compute.at(label).predictor, point.predictor);
+    }
+    EXPECT_EQ(restored.allReduceBaseline().duration,
+              original.allReduceBaseline().duration);
+    EXPECT_EQ(restored.allReduceBaseline().predictor,
+              original.allReduceBaseline().predictor);
+    EXPECT_EQ(restored.allToAllBaseline().duration,
+              original.allToAllBaseline().duration);
+    EXPECT_EQ(restored.allToAllBaseline().predictor,
+              original.allToAllBaseline().predictor);
+}
+
 TEST(CalibrationIo, FromBaselinesValidates)
 {
     EXPECT_THROW(opmodel::OperatorScalingModel::fromBaselines(
