@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+#
+# Tier-1 gate: the checks every PR must keep green.
+#
+#   1. `tier1`  — full RelWithDebInfo build + the whole ctest suite.
+#   2. `tsan`   — ThreadSanitizer build; runs the concurrency-bearing
+#                 suites (exec ThreadPool/ParallelSweepRunner and the
+#                 svc query service) under TSan.
+#
+# Usage: ci/run_tier1.sh [jobs]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+export CMAKE_BUILD_PARALLEL_LEVEL="${jobs}"
+export CTEST_PARALLEL_LEVEL="${jobs}"
+
+echo "== tier-1: build + full test suite =="
+cmake --workflow --preset tier1
+
+echo "== tier-1: ThreadSanitizer (exec + svc) =="
+cmake --workflow --preset tsan
+
+echo "tier-1 gate: all green"

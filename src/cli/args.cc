@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <string_view>
 
 #include "util/logging.hh"
 
@@ -13,8 +14,12 @@ Args::parse(int argc, const char *const *argv)
 {
     Args args;
     int i = 1;
-    if (i < argc && argv[i][0] != '-')
+    if (i < argc && std::string_view(argv[i]) == "--version") {
+        // The one value-less flag; it acts as the command.
         args.command_ = argv[i++];
+    } else if (i < argc && argv[i][0] != '-') {
+        args.command_ = argv[i++];
+    }
 
     while (i < argc) {
         const std::string key = argv[i];

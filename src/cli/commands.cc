@@ -17,9 +17,11 @@
 #include "model/zoo.hh"
 #include "profiling/roofline.hh"
 #include "sim/trace.hh"
+#include "svc/service.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "util/units.hh"
+#include "util/version.hh"
 
 namespace twocs::cli {
 
@@ -425,12 +427,41 @@ cmdTrace(const Args &args)
     return 0;
 }
 
+int
+cmdServe(const Args &args)
+{
+    svc::ServiceOptions options;
+    options.jobs = static_cast<int>(args.getInt("jobs", 0));
+    const std::int64_t capacity =
+        args.getInt("cache-capacity", 4096);
+    fatalIf(capacity < 0,
+            "serve: --cache-capacity expects a non-negative count, "
+            "got ", capacity);
+    options.cacheCapacity = static_cast<std::size_t>(capacity);
+    const std::int64_t batch = args.getInt("batch", 32);
+    fatalIf(batch <= 0, "serve: --batch expects a positive batch "
+            "size, got ", batch);
+    options.batchCapacity = static_cast<std::size_t>(batch);
+    options.metricsPath = args.get("metrics");
+
+    svc::QueryService service(options);
+    if (args.has("input")) {
+        const std::string path = args.get("input");
+        std::ifstream is(path);
+        fatalIf(!is, "cannot open input file '", path, "'");
+        service.serve(is, std::cout);
+    } else {
+        service.serve(std::cin, std::cout);
+    }
+    return 0;
+}
+
 } // namespace
 
 void
-printUsage()
+printUsage(std::ostream &os)
 {
-    std::cout <<
+    os <<
         "usage: twocs <command> [--key value ...]\n"
         "\n"
         "commands:\n"
@@ -457,6 +488,9 @@ printUsage()
         "            --model NAME [--tp N]\n"
         "  trace     export a timeline as Chrome-trace JSON\n"
         "            --model NAME --tp N --dp N [--out FILE]\n"
+        "  serve     answer JSON-lines projection queries\n"
+        "            [--input FILE --jobs N --cache-capacity N\n"
+        "             --batch N --metrics FILE]\n"
         "\n"
         "common options: --device NAME, --precision fp32|fp16|fp8,\n"
         "                --flop-scale X, --bw-scale X, --pin 1\n"
@@ -495,9 +529,18 @@ runCommand(const Args &args)
         rc = cmdRoofline(args);
     } else if (cmd == "trace") {
         rc = cmdTrace(args);
+    } else if (cmd == "serve") {
+        rc = cmdServe(args);
+    } else if (cmd == "--version") {
+        std::cout << "twocs " << kVersion << "\n";
+    } else if (cmd.empty()) {
+        std::cerr << "error: no command given\n";
+        printUsage(std::cerr);
+        return 2;
     } else {
-        printUsage();
-        return cmd.empty() ? 0 : 2;
+        std::cerr << "error: unknown command '" << cmd << "'\n";
+        printUsage(std::cerr);
+        return 2;
     }
 
     for (const std::string &key : args.unusedKeys())

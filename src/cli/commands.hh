@@ -8,12 +8,15 @@
  *   twocs project  --hidden 65536 --seqlen 4096 --tp 256 [--flop-scale 4]
  *   twocs slack    --hidden 16384 --slb 4096 [--flop-scale 4]
  *   twocs memory   --model MT-NLG [--tp 128]
+ *   twocs serve    [--input FILE --jobs N --cache-capacity N]
  *   twocs plan     --model MT-NLG [--max-devices 2048]
  *   twocs trace    --model BERT --tp 4 --dp 2 --out trace.json
  */
 
 #ifndef TWOCS_CLI_COMMANDS_HH
 #define TWOCS_CLI_COMMANDS_HH
+
+#include <iostream>
 
 #include "cli/args.hh"
 
@@ -22,8 +25,8 @@ namespace twocs::cli {
 /** Dispatch a parsed command line; returns the process exit code. */
 int runCommand(const Args &args);
 
-/** Print the usage text. */
-void printUsage();
+/** Print the usage text (stderr when usage itself is the error). */
+void printUsage(std::ostream &os = std::cout);
 
 } // namespace twocs::cli
 

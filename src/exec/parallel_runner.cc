@@ -1,10 +1,10 @@
 #include "parallel_runner.hh"
 
 #include <cerrno>
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace twocs::exec {
@@ -21,33 +21,6 @@ percentile(std::vector<Seconds> xs, double q)
     const auto rank = static_cast<std::size_t>(
         q * static_cast<double>(xs.size() - 1) + 0.5);
     return xs[std::min(rank, xs.size() - 1)];
-}
-
-/** Shortest round-trippable decimal form, as in calibration_io. */
-std::string
-jsonNumber(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-/** Minimal JSON string escaping (quotes, backslashes, newlines). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        if (c == '\n') {
-            out += "\\n";
-            continue;
-        }
-        out.push_back(c);
-    }
-    return out;
 }
 
 } // namespace
@@ -103,21 +76,21 @@ void
 RunReport::writeJson(std::ostream &os) const
 {
     os << "{\n"
-       << "  \"study\": \"" << jsonEscape(study) << "\",\n"
+       << "  \"study\": " << json::quote(study) << ",\n"
        << "  \"jobs\": " << jobs << ",\n"
        << "  \"num_tasks\": " << numTasks << ",\n"
        << "  \"num_failures\": " << failures.size() << ",\n"
-       << "  \"wall_seconds\": " << jsonNumber(wallTime) << ",\n"
-       << "  \"task_seconds_p50\": " << jsonNumber(latencyP50())
+       << "  \"wall_seconds\": " << json::number(wallTime) << ",\n"
+       << "  \"task_seconds_p50\": " << json::number(latencyP50())
        << ",\n"
-       << "  \"task_seconds_p95\": " << jsonNumber(latencyP95())
+       << "  \"task_seconds_p95\": " << json::number(latencyP95())
        << ",\n"
        << "  \"failures\": [";
     for (std::size_t i = 0; i < failures.size(); ++i) {
         os << (i == 0 ? "\n" : ",\n")
            << "    { \"index\": " << failures[i].index
-           << ", \"message\": \"" << jsonEscape(failures[i].message)
-           << "\" }";
+           << ", \"message\": " << json::quote(failures[i].message)
+           << " }";
     }
     os << (failures.empty() ? "]\n" : "\n  ]\n") << "}\n";
 }

@@ -2,44 +2,9 @@
 
 #include <cstdio>
 
+#include "util/json.hh"
+
 namespace twocs::sim {
-
-namespace {
-
-/** Minimal JSON string escaping (quotes, backslashes, control). */
-std::string
-escape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-} // namespace
 
 void
 exportChromeTrace(const Schedule &schedule, std::ostream &os)
@@ -53,9 +18,10 @@ exportChromeTrace(const Schedule &schedule, std::ostream &os)
             os << ",\n";
         first = false;
         os << "  {\"name\": \"thread_name\", \"ph\": \"M\", "
-           << "\"pid\": 1, \"tid\": " << r << ", \"args\": {\"name\": \""
-           << escape(schedule.resourceName(static_cast<ResourceId>(r)))
-           << "\"}}";
+           << "\"pid\": 1, \"tid\": " << r << ", \"args\": {\"name\": "
+           << json::quote(
+                  schedule.resourceName(static_cast<ResourceId>(r)))
+           << "}}";
     }
 
     const auto &tasks = schedule.tasks();
@@ -69,9 +35,9 @@ exportChromeTrace(const Schedule &schedule, std::ostream &os)
                       "  {\"name\": \"%s\", \"cat\": \"%s\", "
                       "\"ph\": \"X\", \"pid\": 1, \"tid\": %d, "
                       "\"ts\": %.3f, \"dur\": %.3f}",
-                      escape(tasks[i].label).c_str(),
-                      escape(tasks[i].tag).c_str(), tasks[i].resource,
-                      placed[i].start * 1e6,
+                      json::escape(tasks[i].label).c_str(),
+                      json::escape(tasks[i].tag).c_str(),
+                      tasks[i].resource, placed[i].start * 1e6,
                       (placed[i].end - placed[i].start) * 1e6);
         os << buf;
     }

@@ -1,0 +1,72 @@
+#include "cache.hh"
+
+#include <algorithm>
+
+#include "svc/protocol.hh"
+
+namespace twocs::svc {
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity,
+                                 std::size_t shards)
+    : capacity_(capacity)
+{
+    const std::size_t n =
+        std::clamp<std::size_t>(std::min(shards, capacity), 1, 64);
+    perShardCapacity_ =
+        capacity == 0 ? 0 : (capacity + n - 1) / n;
+    shards_ = std::vector<Shard>(n);
+}
+
+ShardedLruCache::Shard &
+ShardedLruCache::shardFor(const std::string &key)
+{
+    return shards_[fnv1a(key) % shards_.size()];
+}
+
+std::optional<std::string>
+ShardedLruCache::get(const std::string &key)
+{
+    if (capacity_ == 0)
+        return std::nullopt;
+    Shard &shard = shardFor(key);
+    const std::lock_guard lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end())
+        return std::nullopt;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+}
+
+void
+ShardedLruCache::put(const std::string &key, std::string value)
+{
+    if (capacity_ == 0)
+        return;
+    Shard &shard = shardFor(key);
+    const std::lock_guard lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        it->second->second = std::move(value);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    if (shard.lru.size() >= perShardCapacity_) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index[key] = shard.lru.begin();
+}
+
+std::size_t
+ShardedLruCache::size() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : shards_) {
+        const std::lock_guard lock(shard.mutex);
+        total += shard.lru.size();
+    }
+    return total;
+}
+
+} // namespace twocs::svc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A sharded LRU cache for rendered query responses.
+ *
+ * The cache maps a canonical query key (see svc/protocol.hh) to the
+ * response payload that was rendered for it, so a repeated
+ * configuration — the dominant access pattern of the Table 3 grid
+ * and the figure sweeps — is answered without re-running the
+ * projection. Keys are distributed over independently locked shards
+ * by their FNV-1a hash; each shard keeps its own LRU list, so
+ * concurrent lookups from the batching scheduler's workers only
+ * contend when they land on the same shard. The full key string is
+ * stored and compared, so a 64-bit hash collision can never alias
+ * two configurations.
+ *
+ * Determinism note: the QueryService only mutates the cache from its
+ * commit phase, which runs on one thread in arrival order, so cache
+ * contents (and therefore hit/miss counters and evictions) are
+ * byte-identical functions of the input stream at any `--jobs`.
+ */
+
+#ifndef TWOCS_SVC_CACHE_HH
+#define TWOCS_SVC_CACHE_HH
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace twocs::svc {
+
+/** String-keyed LRU shards behind independent locks. */
+class ShardedLruCache
+{
+  public:
+    /**
+     * A cache holding at most ~`capacity` entries spread over
+     * `shards` shards (each shard holds ceil(capacity / shards)).
+     * `capacity == 0` disables caching entirely; the shard count is
+     * clamped so tiny caches still evict sensibly.
+     */
+    explicit ShardedLruCache(std::size_t capacity,
+                             std::size_t shards = 8);
+
+    /** Look up `key`, promoting it to most-recently-used. */
+    std::optional<std::string> get(const std::string &key);
+
+    /**
+     * Insert or refresh `key`, evicting the shard's least-recently-
+     * used entry when the shard is full. No-op at capacity 0.
+     */
+    void put(const std::string &key, std::string value);
+
+    /** Entries currently cached (summed over shards). */
+    std::size_t size() const;
+
+    /** Total nominal capacity (0 = caching disabled). */
+    std::size_t capacity() const { return capacity_; }
+
+    std::size_t numShards() const { return shards_.size(); }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** Front = most recently used. */
+        std::list<std::pair<std::string, std::string>> lru;
+        std::unordered_map<std::string, decltype(lru)::iterator> index;
+    };
+
+    Shard &shardFor(const std::string &key);
+
+    std::size_t capacity_ = 0;
+    std::size_t perShardCapacity_ = 0;
+    mutable std::vector<Shard> shards_;
+};
+
+} // namespace twocs::svc
+
+#endif // TWOCS_SVC_CACHE_HH

@@ -1,0 +1,61 @@
+#include "metrics.hh"
+
+#include <algorithm>
+
+#include "util/json.hh"
+
+namespace twocs::svc {
+
+void
+ServiceMetrics::recordBatch(std::size_t size)
+{
+    ++batches_;
+    ++batchSizes_[size];
+}
+
+double
+ServiceMetrics::hitRate() const
+{
+    return requests_ == 0
+               ? 0.0
+               : static_cast<double>(hits_) /
+                     static_cast<double>(requests_);
+}
+
+Seconds
+ServiceMetrics::latencyPercentile(double q) const
+{
+    if (latencySeconds_.empty())
+        return 0.0;
+    std::vector<Seconds> xs = latencySeconds_;
+    std::sort(xs.begin(), xs.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(xs.size() - 1) + 0.5);
+    return xs[std::min(rank, xs.size() - 1)];
+}
+
+void
+ServiceMetrics::writeJson(std::ostream &os) const
+{
+    os << "{\n"
+       << "  \"requests\": " << requests_ << ",\n"
+       << "  \"hits\": " << hits_ << ",\n"
+       << "  \"misses\": " << misses_ << ",\n"
+       << "  \"failures\": " << failures_ << ",\n"
+       << "  \"hit_rate\": " << json::number(hitRate()) << ",\n"
+       << "  \"batches\": " << batches_ << ",\n"
+       << "  \"latency_seconds_p50\": "
+       << json::number(latencyPercentile(0.50)) << ",\n"
+       << "  \"latency_seconds_p95\": "
+       << json::number(latencyPercentile(0.95)) << ",\n"
+       << "  \"batch_size_histogram\": [";
+    bool first = true;
+    for (const auto &[size, count] : batchSizes_) {
+        os << (first ? "\n" : ",\n") << "    { \"size\": " << size
+           << ", \"count\": " << count << " }";
+        first = false;
+    }
+    os << (first ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+} // namespace twocs::svc

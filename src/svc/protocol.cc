@@ -1,0 +1,543 @@
+#include "protocol.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "core/system_config.hh"
+#include "hw/catalog.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace twocs::svc {
+
+namespace {
+
+/** One parsed member value of the flat request object. */
+struct JsonValue
+{
+    enum class Kind { String, Number, Bool, Null } kind;
+    std::string str;  //!< String payload (decoded).
+    double num = 0.0; //!< Number payload.
+    std::string raw;  //!< Verbatim token (numbers, for id echo).
+    bool boolean = false;
+};
+
+struct Member
+{
+    std::string key;
+    JsonValue value;
+    std::size_t offset = 0; //!< Byte offset of the key (diagnostics).
+};
+
+/**
+ * A strict parser for exactly the protocol's shape: one flat JSON
+ * object of string/number/bool/null members. Nested containers are
+ * rejected — a request has no business containing them, and the
+ * restriction keeps the error surface small and the diagnostics
+ * exact.
+ */
+class FlatObjectParser
+{
+  public:
+    explicit FlatObjectParser(const std::string &text) : text_(text) {}
+
+    std::vector<Member> parse()
+    {
+        std::vector<Member> members;
+        skipSpace();
+        expect('{', "a request must be one JSON object");
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            trailingGarbageCheck();
+            return members;
+        }
+        while (true) {
+            skipSpace();
+            Member m;
+            m.offset = pos_;
+            fatalIf(peek() != '"', "byte ", pos_,
+                    ": expected a quoted member key");
+            m.key = parseString();
+            for (const Member &seen : members) {
+                fatalIf(seen.key == m.key, "duplicate field '", m.key,
+                        "'");
+            }
+            skipSpace();
+            expect(':', "expected ':' after key '" + m.key + "'");
+            skipSpace();
+            m.value = parseValue(m.key);
+            members.push_back(std::move(m));
+            skipSpace();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}', "expected ',' or '}' after field '" +
+                            members.back().key + "'");
+            break;
+        }
+        trailingGarbageCheck();
+        return members;
+    }
+
+  private:
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    void expect(char c, const std::string &what)
+    {
+        fatalIf(peek() != c, "byte ", pos_, ": ", what);
+        ++pos_;
+    }
+
+    void trailingGarbageCheck()
+    {
+        skipSpace();
+        fatalIf(pos_ < text_.size(), "byte ", pos_,
+                ": trailing content after the request object");
+    }
+
+    JsonValue parseValue(const std::string &key)
+    {
+        JsonValue v;
+        const char c = peek();
+        if (c == '"') {
+            v.kind = JsonValue::Kind::String;
+            v.str = parseString();
+        } else if (c == 't' || c == 'f') {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = (c == 't');
+            const char *word = v.boolean ? "true" : "false";
+            for (const char *p = word; *p != '\0'; ++p)
+                expect(*p, std::string("expected '") + word + "'");
+        } else if (c == 'n') {
+            v.kind = JsonValue::Kind::Null;
+            for (const char *p = "null"; *p != '\0'; ++p)
+                expect(*p, "expected 'null'");
+        } else if (c == '-' || (c >= '0' && c <= '9')) {
+            v.kind = JsonValue::Kind::Number;
+            const std::size_t start = pos_;
+            while (pos_ < text_.size() &&
+                   (text_[pos_] == '-' || text_[pos_] == '+' ||
+                    text_[pos_] == '.' || text_[pos_] == 'e' ||
+                    text_[pos_] == 'E' ||
+                    (text_[pos_] >= '0' && text_[pos_] <= '9')))
+                ++pos_;
+            v.raw = text_.substr(start, pos_ - start);
+            char *end = nullptr;
+            v.num = std::strtod(v.raw.c_str(), &end);
+            fatalIf(end != v.raw.c_str() + v.raw.size() ||
+                        !std::isfinite(v.num),
+                    "byte ", start, ": '", v.raw,
+                    "' is not a valid JSON number");
+        } else if (c == '{' || c == '[') {
+            fatal("byte ", pos_, ": field '", key,
+                  "' must be a scalar (nested objects/arrays are not "
+                  "part of the protocol)");
+        } else {
+            fatal("byte ", pos_, ": expected a value for field '", key,
+                  "'");
+        }
+        return v;
+    }
+
+    std::string parseString()
+    {
+        expect('"', "expected '\"'");
+        std::string out;
+        while (true) {
+            fatalIf(pos_ >= text_.size(),
+                    "unterminated string (started before byte ", pos_,
+                    ")");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                fatalIf(static_cast<unsigned char>(c) < 0x20, "byte ",
+                        pos_ - 1,
+                        ": raw control character in string");
+                out += c;
+                continue;
+            }
+            fatalIf(pos_ >= text_.size(), "byte ", pos_,
+                    ": dangling escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out += e;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u':
+                out += parseUnicodeEscape();
+                break;
+              default:
+                fatal("byte ", pos_ - 1, ": unknown escape '\\", e,
+                      "'");
+            }
+        }
+    }
+
+    std::string parseUnicodeEscape()
+    {
+        fatalIf(pos_ + 4 > text_.size(), "byte ", pos_,
+                ": truncated \\u escape");
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9')
+                cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+            else
+                fatal("byte ", pos_ - 1, ": bad hex digit in \\u "
+                      "escape");
+        }
+        fatalIf(cp >= 0xd800 && cp <= 0xdfff, "byte ", pos_ - 6,
+                ": surrogate \\u escapes are not supported");
+        // UTF-8 encode the basic-plane code point.
+        std::string out;
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+        return out;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+QueryKind
+kindFromName(const std::string &name)
+{
+    if (name == "project")
+        return QueryKind::Project;
+    if (name == "analyze")
+        return QueryKind::Analyze;
+    if (name == "slack")
+        return QueryKind::Slack;
+    if (name == "memory")
+        return QueryKind::Memory;
+    if (name == "stats")
+        return QueryKind::Stats;
+    fatal("unknown kind '", name,
+          "' (project|analyze|slack|memory|stats)");
+}
+
+/** Whether `key` is a protocol field at all (any kind). */
+bool
+knownField(const std::string &key)
+{
+    for (const char *name :
+         { "hidden", "seqlen", "batch", "tp", "dp", "model",
+           "precision", "ground_truth", "device", "flop_scale",
+           "bw_scale", "pin" }) {
+        if (key == name)
+            return true;
+    }
+    return false;
+}
+
+/** Which fields each kind accepts (beyond `kind` and `id`). */
+bool
+fieldAppliesTo(const std::string &key, QueryKind kind)
+{
+    auto any = [&](std::initializer_list<QueryKind> kinds) {
+        for (const QueryKind k : kinds) {
+            if (k == kind)
+                return true;
+        }
+        return false;
+    };
+    using enum QueryKind;
+    if (key == "hidden" || key == "seqlen")
+        return any({ Project, Slack });
+    if (key == "batch")
+        return any({ Project, Slack, Analyze });
+    if (key == "tp")
+        return any({ Project, Analyze, Memory });
+    if (key == "dp")
+        return any({ Analyze });
+    if (key == "model" || key == "precision")
+        return any({ Analyze, Memory });
+    if (key == "ground_truth")
+        return any({ Project });
+    if (key == "device" || key == "flop_scale" || key == "bw_scale" ||
+        key == "pin")
+        return any({ Project, Analyze, Slack, Memory });
+    return false;
+}
+
+std::int64_t
+intField(const Member &m, std::int64_t lo, std::int64_t hi)
+{
+    fatalIf(m.value.kind != JsonValue::Kind::Number, "field '", m.key,
+            "' expects a number");
+    const double v = m.value.num;
+    fatalIf(v != std::floor(v) || std::fabs(v) > 9.007199254740992e15,
+            "field '", m.key, "' expects an integer, got ",
+            m.value.raw);
+    const auto i = static_cast<std::int64_t>(v);
+    fatalIf(i < lo || i > hi, "field '", m.key, "' must be in [", lo,
+            ", ", hi, "], got ", i);
+    return i;
+}
+
+double
+doubleField(const Member &m, double lo)
+{
+    fatalIf(m.value.kind != JsonValue::Kind::Number, "field '", m.key,
+            "' expects a number");
+    fatalIf(m.value.num < lo, "field '", m.key, "' must be >= ", lo,
+            ", got ", m.value.raw);
+    return m.value.num;
+}
+
+std::string
+stringField(const Member &m)
+{
+    fatalIf(m.value.kind != JsonValue::Kind::String, "field '", m.key,
+            "' expects a string");
+    return m.value.str;
+}
+
+bool
+boolField(const Member &m)
+{
+    fatalIf(m.value.kind != JsonValue::Kind::Bool, "field '", m.key,
+            "' expects true or false");
+    return m.value.boolean;
+}
+
+} // namespace
+
+const char *
+kindName(QueryKind kind)
+{
+    switch (kind) {
+      case QueryKind::Project:
+        return "project";
+      case QueryKind::Analyze:
+        return "analyze";
+      case QueryKind::Slack:
+        return "slack";
+      case QueryKind::Memory:
+        return "memory";
+      case QueryKind::Stats:
+        return "stats";
+    }
+    panic("unreachable query kind");
+}
+
+hw::Precision
+precisionFromName(const std::string &name)
+{
+    if (name == "fp32")
+        return hw::Precision::FP32;
+    if (name == "fp16")
+        return hw::Precision::FP16;
+    if (name == "bf16")
+        return hw::Precision::BF16;
+    if (name == "fp8")
+        return hw::Precision::FP8;
+    fatal("unknown precision '", name, "' (fp32|fp16|bf16|fp8)");
+}
+
+Query
+parseQuery(const std::string &line)
+{
+    const std::vector<Member> members =
+        FlatObjectParser(line).parse();
+
+    const Member *kind_member = nullptr;
+    for (const Member &m : members) {
+        if (m.key == "kind")
+            kind_member = &m;
+    }
+    fatalIf(kind_member == nullptr, "request is missing the 'kind' "
+            "field");
+
+    Query q;
+    q.kind = kindFromName(stringField(*kind_member));
+
+    // Per-kind defaults, mirroring the CLI commands.
+    switch (q.kind) {
+      case QueryKind::Project:
+        q.hidden = 16384;
+        q.seqLen = 2048;
+        q.batch = 1;
+        q.tpDegree = 64;
+        break;
+      case QueryKind::Slack:
+        q.hidden = 16384;
+        q.seqLen = 4096;
+        q.batch = 1;
+        break;
+      case QueryKind::Analyze:
+        q.model = "BERT";
+        q.tpDegree = 1;
+        q.dpDegree = 1;
+        break;
+      case QueryKind::Memory:
+        q.model = "GPT-3";
+        break;
+      case QueryKind::Stats:
+        break;
+    }
+
+    for (const Member &m : members) {
+        if (m.key == "kind")
+            continue;
+        if (m.key == "id") {
+            switch (m.value.kind) {
+              case JsonValue::Kind::Number:
+                q.idJson = m.value.raw;
+                break;
+              case JsonValue::Kind::String:
+                q.idJson = json::quote(m.value.str);
+                break;
+              default:
+                fatal("field 'id' expects a number or a string");
+            }
+            continue;
+        }
+        fatalIf(!knownField(m.key), "unknown field '", m.key, "'");
+        fatalIf(!fieldAppliesTo(m.key, q.kind), "field '", m.key,
+                "' does not apply to kind '", kindName(q.kind), "'");
+        if (m.key == "hidden")
+            q.hidden = intField(m, 1, std::int64_t{ 1 } << 32);
+        else if (m.key == "seqlen")
+            q.seqLen = intField(m, 1, std::int64_t{ 1 } << 32);
+        else if (m.key == "batch") {
+            q.batch = intField(m, 1, std::int64_t{ 1 } << 32);
+            q.batchSet = true;
+        } else if (m.key == "tp") {
+            q.tpDegree = static_cast<int>(intField(m, 1, 1 << 20));
+            q.tpSet = true;
+        } else if (m.key == "dp")
+            q.dpDegree = static_cast<int>(intField(m, 1, 1 << 20));
+        else if (m.key == "model")
+            q.model = stringField(m);
+        else if (m.key == "precision")
+            q.precision = stringField(m);
+        else if (m.key == "ground_truth")
+            q.groundTruth = boolField(m);
+        else if (m.key == "device")
+            q.device = stringField(m);
+        else if (m.key == "flop_scale")
+            q.flopScale = doubleField(m, 1e-6);
+        else if (m.key == "bw_scale")
+            q.bwScale = doubleField(m, 1e-6);
+        else if (m.key == "pin")
+            q.inNetworkReduction = boolField(m);
+        else
+            panic("field table out of sync for '", m.key, "'");
+    }
+
+    if (q.kind != QueryKind::Stats) {
+        // Resolve the device against the catalog now so a typo is a
+        // parse-time diagnostic and the cache key uses the canonical
+        // catalog spelling.
+        q.device = q.device.empty()
+                       ? core::SystemConfig{}.device.name
+                       : hw::deviceByName(q.device).name;
+        precisionFromName(q.precision); // validate the name
+    }
+    return q;
+}
+
+std::string
+canonicalKey(const Query &query)
+{
+    if (query.kind == QueryKind::Stats)
+        return "";
+    std::string key = "v1|";
+    key += kindName(query.kind);
+    key += "|dev=";
+    key += query.device;
+    key += "|fs=";
+    key += json::number(query.flopScale);
+    key += "|bw=";
+    key += json::number(query.bwScale);
+    key += "|pin=";
+    key += query.inNetworkReduction ? '1' : '0';
+    switch (query.kind) {
+      case QueryKind::Project:
+        key += "|h=" + std::to_string(query.hidden);
+        key += "|sl=" + std::to_string(query.seqLen);
+        key += "|b=" + std::to_string(query.batch);
+        key += "|tp=" + std::to_string(query.tpDegree);
+        key += query.groundTruth ? "|gt=1" : "|gt=0";
+        break;
+      case QueryKind::Slack:
+        key += "|h=" + std::to_string(query.hidden);
+        key += "|sl=" + std::to_string(query.seqLen);
+        key += "|b=" + std::to_string(query.batch);
+        break;
+      case QueryKind::Analyze:
+        key += "|model=" + query.model;
+        key += "|tp=" + std::to_string(query.tpDegree);
+        key += "|dp=" + std::to_string(query.dpDegree);
+        key += "|b=";
+        key += query.batchSet ? std::to_string(query.batch) : "zoo";
+        key += "|prec=" + query.precision;
+        break;
+      case QueryKind::Memory:
+        key += "|model=" + query.model;
+        key += "|tp=";
+        key += query.tpSet ? std::to_string(query.tpDegree) : "min";
+        key += "|prec=" + query.precision;
+        break;
+      case QueryKind::Stats:
+        break;
+    }
+    return key;
+}
+
+std::uint64_t
+fnv1a(std::string_view s)
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    for (const char c : s) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+} // namespace twocs::svc

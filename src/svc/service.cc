@@ -1,0 +1,429 @@
+#include "service.hh"
+
+#include <chrono>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/amdahl.hh"
+#include "core/slack.hh"
+#include "core/system_config.hh"
+#include "exec/thread_pool.hh"
+#include "hw/catalog.hh"
+#include "model/layer_graph.hh"
+#include "model/memory.hh"
+#include "model/zoo.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace twocs::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Seconds
+elapsed(Clock::time_point since)
+{
+    return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+/** Response fragment for a failed request. */
+std::string
+errorPayload(const std::string &message)
+{
+    return "\"status\":\"error\",\"message\":" + json::quote(message);
+}
+
+/** Assemble a full response line from an id token and a payload. */
+std::string
+assemble(const std::string &id_json, const std::string &payload)
+{
+    std::string line = "{";
+    if (!id_json.empty())
+        line += "\"id\":" + id_json + ",";
+    line += payload;
+    line += "}";
+    return line;
+}
+
+std::string
+field(const char *name, double v)
+{
+    return std::string(",\"") + name + "\":" + json::number(v);
+}
+
+std::string
+field(const char *name, std::int64_t v)
+{
+    return std::string(",\"") + name + "\":" + std::to_string(v);
+}
+
+std::string
+field(const char *name, bool v)
+{
+    return std::string(",\"") + name + "\":" + (v ? "true" : "false");
+}
+
+std::string
+field(const char *name, const std::string &v)
+{
+    return std::string(",\"") + name + "\":" + json::quote(v);
+}
+
+} // namespace
+
+/** One system's resident state: config + calibrated analyses. */
+struct QueryService::SystemEntry
+{
+    core::SystemConfig system;
+    core::AmdahlAnalysis amdahl;
+    core::SlackAnalysis slack;
+
+    explicit SystemEntry(core::SystemConfig sys)
+        : system(std::move(sys)), amdahl(system), slack(system)
+    {
+    }
+};
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cacheCapacity)
+{
+    fatalIf(options_.jobs < 0,
+            "serve: --jobs expects a non-negative count, got ",
+            options_.jobs);
+    fatalIf(options_.batchCapacity == 0,
+            "serve: --batch expects a positive batch size");
+}
+
+QueryService::~QueryService() = default;
+
+int
+QueryService::effectiveJobs() const
+{
+    return options_.jobs <= 0 ? exec::ThreadPool::defaultThreads()
+                              : options_.jobs;
+}
+
+exec::ThreadPool &
+QueryService::pool()
+{
+    if (!pool_)
+        pool_ = std::make_unique<exec::ThreadPool>(effectiveJobs());
+    return *pool_;
+}
+
+const QueryService::SystemEntry &
+QueryService::systemFor(const Query &query)
+{
+    std::string key = query.device;
+    key += '|';
+    key += json::number(query.flopScale);
+    key += '|';
+    key += json::number(query.bwScale);
+    key += '|';
+    key += query.inNetworkReduction ? '1' : '0';
+
+    auto it = systems_.find(key);
+    if (it == systems_.end()) {
+        core::SystemConfig sys;
+        sys.device = hw::deviceByName(query.device);
+        sys.flopScale = query.flopScale;
+        sys.bwScale = query.bwScale;
+        sys.inNetworkReduction = query.inNetworkReduction;
+        it = systems_
+                 .emplace(std::move(key),
+                          std::make_unique<SystemEntry>(std::move(sys)))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::string
+QueryService::evaluate(const Query &query, const SystemEntry &entry)
+{
+    switch (query.kind) {
+      case QueryKind::Project: {
+        const core::AmdahlPoint p =
+            query.groundTruth
+                ? entry.amdahl.evaluateDirect(query.hidden,
+                                              query.seqLen,
+                                              query.batch,
+                                              query.tpDegree)
+                : entry.amdahl.evaluate(query.hidden, query.seqLen,
+                                        query.batch, query.tpDegree);
+        std::string out = "\"status\":\"ok\",\"kind\":\"project\"";
+        out += field("hidden", query.hidden);
+        out += field("seqlen", query.seqLen);
+        out += field("batch", query.batch);
+        out += field("tp", std::int64_t{ query.tpDegree });
+        out += field("ground_truth", query.groundTruth);
+        out += field("compute_seconds", p.computeTime);
+        out += field("serialized_comm_seconds", p.serializedCommTime);
+        out += field("comm_fraction", p.commFraction());
+        return out;
+      }
+      case QueryKind::Slack: {
+        const core::SlackPoint p = entry.slack.evaluate(
+            query.hidden, query.seqLen, query.batch);
+        std::string out = "\"status\":\"ok\",\"kind\":\"slack\"";
+        out += field("hidden", query.hidden);
+        out += field("seqlen", query.seqLen);
+        out += field("batch", query.batch);
+        out += field("backprop_compute_seconds",
+                     p.backpropComputeTime);
+        out += field("dp_comm_seconds", p.dpCommTime);
+        out += field("overlap_vs_compute",
+                     p.overlappedCommVsCompute());
+        out += field("exposed", p.commExposed());
+        return out;
+      }
+      case QueryKind::Analyze: {
+        model::Hyperparams hp = model::zooModel(query.model).hp;
+        hp = hp.withCompatibleHeads(query.tpDegree);
+        if (query.batchSet)
+            hp = hp.withBatchSize(query.batch);
+        model::ParallelConfig par;
+        par.tpDegree = query.tpDegree;
+        par.dpDegree = query.dpDegree;
+        const model::LayerGraphBuilder graph(
+            hp, par, precisionFromName(query.precision));
+        const profiling::Profile p =
+            entry.system.profiler().profileIteration(graph);
+        std::string out = "\"status\":\"ok\",\"kind\":\"analyze\"";
+        out += field("model", query.model);
+        out += field("tp", std::int64_t{ query.tpDegree });
+        out += field("dp", std::int64_t{ query.dpDegree });
+        out += field("fwd_compute_seconds",
+                     p.timeByRole(model::OpRole::FwdCompute));
+        out += field("bwd_compute_seconds",
+                     p.timeByRole(model::OpRole::BwdCompute));
+        out += field("optimizer_seconds",
+                     p.timeByRole(model::OpRole::OptimizerStep));
+        out += field("serialized_comm_seconds",
+                     p.serializedCommTime());
+        out += field("dp_comm_seconds", p.dpCommTime());
+        out += field("iteration_seconds", p.totalTime());
+        return out;
+      }
+      case QueryKind::Memory: {
+        const model::Hyperparams hp = model::zooModel(query.model).hp;
+        const hw::Precision prec =
+            precisionFromName(query.precision);
+        std::string out = "\"status\":\"ok\",\"kind\":\"memory\"";
+        out += field("model", query.model);
+        out += field("device", entry.system.device.name);
+        if (query.tpSet) {
+            model::ParallelConfig par;
+            par.tpDegree = query.tpDegree;
+            const model::MemoryModel mm(
+                hp.withCompatibleHeads(query.tpDegree), par, prec);
+            const model::MemoryBreakdown b = mm.perDeviceFootprint();
+            out += field("tp", std::int64_t{ query.tpDegree });
+            out += field("weights_bytes", b.weights);
+            out += field("gradients_bytes", b.gradients);
+            out += field("optimizer_bytes", b.optimizerState);
+            out += field("activations_bytes", b.activations);
+            out += field("total_bytes", b.total());
+            out += field("fits",
+                         mm.fitsIn(entry.system.effectiveDevice()));
+        } else {
+            const int tp = model::MemoryModel::minTpDegree(
+                hp, entry.system.effectiveDevice(), 4096, prec);
+            out += field("min_tp", std::int64_t{ tp });
+        }
+        return out;
+      }
+      case QueryKind::Stats:
+        break; // handled by the commit phase, not here
+    }
+    panic("evaluate() called for a non-compute query kind");
+}
+
+std::string
+QueryService::statsPayload() const
+{
+    std::string out = "\"status\":\"ok\",\"kind\":\"stats\"";
+    out += field("requests",
+                 static_cast<std::int64_t>(metrics_.requests()));
+    out += field("hits", static_cast<std::int64_t>(metrics_.hits()));
+    out += field("misses",
+                 static_cast<std::int64_t>(metrics_.misses()));
+    out += field("failures",
+                 static_cast<std::int64_t>(metrics_.failures()));
+    out += field("cache_entries",
+                 static_cast<std::int64_t>(cache_.size()));
+    return out;
+}
+
+void
+QueryService::processBatch(NumberedLines &&lines, std::ostream &out)
+{
+    enum class Outcome { ParseError, CacheHit, Duplicate, Compute,
+                         Stats };
+
+    struct BatchEntry
+    {
+        std::size_t lineNo = 0;
+        Query query;
+        std::string idJson;
+        Outcome outcome = Outcome::ParseError;
+        std::size_t dupOf = 0;
+        std::string key;
+        const SystemEntry *system = nullptr;
+        std::string payload;
+        bool failed = false;
+        Seconds seconds = 0.0;
+    };
+
+    metrics_.recordBatch(lines.size());
+    std::vector<BatchEntry> entries(lines.size());
+
+    // Phase 1 (sequential, arrival order): parse, normalize,
+    // resolve the system (calibrating it on first sight), then
+    // classify against the cache and the batch's own pending keys.
+    std::unordered_map<std::string, std::size_t> pending;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        BatchEntry &e = entries[i];
+        e.lineNo = lines[i].first;
+        const auto start = Clock::now();
+        try {
+            e.query = parseQuery(lines[i].second);
+            e.idJson = e.query.idJson;
+            if (e.query.kind == QueryKind::Stats) {
+                e.outcome = Outcome::Stats;
+            } else {
+                e.system = &systemFor(e.query);
+                e.key = canonicalKey(e.query);
+                if (auto hit = cache_.get(e.key)) {
+                    e.outcome = Outcome::CacheHit;
+                    e.payload = std::move(*hit);
+                } else if (const auto p = pending.find(e.key);
+                           p != pending.end()) {
+                    e.outcome = Outcome::Duplicate;
+                    e.dupOf = p->second;
+                } else {
+                    e.outcome = Outcome::Compute;
+                    pending.emplace(e.key, i);
+                }
+            }
+        } catch (const FatalError &ex) {
+            e.outcome = Outcome::ParseError;
+            e.failed = true;
+            e.payload = errorPayload(
+                "line " + std::to_string(e.lineNo) + ": " + ex.what());
+        }
+        e.seconds = elapsed(start);
+    }
+
+    // Phase 2: evaluate the distinct misses — inline at one job (the
+    // historical sequential order), fanned out over the pool
+    // otherwise. Workers only touch their own entry.
+    const auto runOne = [](BatchEntry &e) {
+        const auto start = Clock::now();
+        try {
+            e.payload = evaluate(e.query, *e.system);
+        } catch (const FatalError &ex) {
+            e.failed = true;
+            e.payload = errorPayload(ex.what());
+        }
+        e.seconds += elapsed(start);
+    };
+    if (effectiveJobs() == 1) {
+        for (BatchEntry &e : entries) {
+            if (e.outcome == Outcome::Compute)
+                runOne(e);
+        }
+    } else {
+        exec::ThreadPool &workers = pool();
+        for (BatchEntry &e : entries) {
+            if (e.outcome == Outcome::Compute)
+                workers.submit([&e, &runOne] { runOne(e); });
+        }
+        workers.drain();
+    }
+
+    // Phase 3 (sequential, arrival order): resolve duplicates,
+    // update counters and the cache, emit responses. A stats query
+    // snapshots the counters as of its own position in the stream.
+    for (BatchEntry &e : entries) {
+        metrics_.recordRequest();
+        switch (e.outcome) {
+          case Outcome::ParseError:
+            metrics_.recordFailure();
+            break;
+          case Outcome::CacheHit:
+            metrics_.recordHit();
+            break;
+          case Outcome::Duplicate: {
+            const BatchEntry &source = entries[e.dupOf];
+            e.payload = source.payload;
+            e.failed = source.failed;
+            e.failed ? metrics_.recordFailure()
+                     : metrics_.recordHit();
+            break;
+          }
+          case Outcome::Compute:
+            if (e.failed) {
+                metrics_.recordFailure();
+            } else {
+                metrics_.recordMiss();
+                cache_.put(e.key, e.payload);
+            }
+            break;
+          case Outcome::Stats:
+            e.payload = statsPayload();
+            break;
+        }
+        metrics_.recordLatency(e.seconds);
+        out << assemble(e.idJson, e.payload) << "\n";
+    }
+    out.flush();
+}
+
+void
+QueryService::serve(std::istream &in, std::ostream &out)
+{
+    NumberedLines batch;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++lineNo_;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        batch.emplace_back(lineNo_, std::move(line));
+        if (batch.size() >= options_.batchCapacity) {
+            processBatch(std::move(batch), out);
+            batch.clear();
+        }
+    }
+    if (!batch.empty())
+        processBatch(std::move(batch), out);
+
+    if (!options_.metricsPath.empty()) {
+        std::ofstream os(options_.metricsPath);
+        fatalIf(!os, "cannot open metrics file '",
+                options_.metricsPath, "' for writing");
+        metrics_.writeJson(os);
+        inform("wrote service metrics ", options_.metricsPath, " (",
+               metrics_.requests(), " requests, hit rate ",
+               json::number(metrics_.hitRate()), ")");
+    }
+}
+
+std::string
+QueryService::handle(const std::string &line)
+{
+    NumberedLines batch;
+    batch.emplace_back(++lineNo_, line);
+    std::ostringstream os;
+    processBatch(std::move(batch), os);
+    std::string response = os.str();
+    if (!response.empty() && response.back() == '\n')
+        response.pop_back();
+    return response;
+}
+
+} // namespace twocs::svc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared JSON text-writing helpers.
+ *
+ * Every JSON emitter in the library — the exec RunReport, the
+ * Chrome-trace export, the svc query protocol and metrics registry —
+ * must agree on two things: how strings are escaped (quotes,
+ * backslashes, control characters) and how doubles are rendered
+ * (shortest round-trippable `%.17g` form, so byte-identical output
+ * is a meaningful determinism contract). This header is that single
+ * definition.
+ */
+
+#ifndef TWOCS_UTIL_JSON_HH
+#define TWOCS_UTIL_JSON_HH
+
+#include <string>
+#include <string_view>
+
+namespace twocs::json {
+
+/**
+ * Escape `s` for inclusion inside a JSON string literal (the
+ * surrounding quotes are not added). Quotes and backslashes get a
+ * backslash, the common control characters use their short escapes
+ * (\b \f \n \r \t), and any other byte below 0x20 becomes \u00XX.
+ */
+std::string escape(std::string_view s);
+
+/** `s` escaped and wrapped in double quotes. */
+std::string quote(std::string_view s);
+
+/**
+ * Shortest round-trippable decimal form of a double (`%.17g`), the
+ * number format shared by every JSON emitter in the library.
+ */
+std::string number(double v);
+
+} // namespace twocs::json
+
+#endif // TWOCS_UTIL_JSON_HH

@@ -288,6 +288,66 @@ TEST(RunReport, MapWritesReportFile)
     std::remove(path.c_str());
 }
 
+TEST(RunReport, SingleTaskPercentilesCollapse)
+{
+    // With one sample, every nearest-rank percentile IS that sample.
+    exec::RunnerOptions o;
+    o.jobs = 1;
+    exec::ParallelSweepRunner runner(o);
+    runner.map(std::vector<int>{ 42 }, [](const int &i) { return i; });
+    const exec::RunReport &r = runner.lastReport();
+    ASSERT_EQ(r.taskSeconds.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.latencyP50(), r.taskSeconds[0]);
+    EXPECT_DOUBLE_EQ(r.latencyP95(), r.taskSeconds[0]);
+}
+
+TEST(RunReport, AllTasksFailedStillReportsEveryTask)
+{
+    exec::RunnerOptions o;
+    o.jobs = 2;
+    o.study = "doomed_study";
+    exec::ParallelSweepRunner runner(o);
+    try {
+        runner.map(std::vector<int>{ 1, 2, 3, 4 },
+                   [](const int &) -> int { fatal("nope"); });
+        FAIL() << "map() should throw when every task fails";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("(4 of 4 tasks failed)"),
+                  std::string::npos)
+            << e.what();
+    }
+    const exec::RunReport &r = runner.lastReport();
+    EXPECT_EQ(r.failures.size(), 4u);
+    // Failed tasks still have measured latencies; the percentiles
+    // stay ordered and finite.
+    EXPECT_EQ(r.taskSeconds.size(), 4u);
+    EXPECT_GE(r.latencyP50(), 0.0);
+    EXPECT_GE(r.latencyP95(), r.latencyP50());
+}
+
+TEST(RunReport, UnopenableReportPathIsOneLineDiagnostic)
+{
+    exec::RunnerOptions o;
+    o.jobs = 1;
+    o.reportPath =
+        testing::TempDir() + "/twocs_no_such_dir/report.json";
+    exec::ParallelSweepRunner runner(o);
+    try {
+        runner.map(std::vector<int>{ 1, 2 },
+                   [](const int &i) { return i; });
+        FAIL() << "map() should fail to write the report";
+    } catch (const FatalError &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("cannot open report file"),
+                  std::string::npos)
+            << message;
+        EXPECT_NE(message.find(o.reportPath), std::string::npos);
+        EXPECT_EQ(message.find('\n'), std::string::npos)
+            << "diagnostic must be one line: " << message;
+    }
+}
+
 // --- ported consumers stay deterministic ---
 
 TEST(ExecConsumers, SensitivityTornadoIdenticalAcrossJobs)

@@ -14,6 +14,7 @@
 #include "model/zoo.hh"
 #include "test_common.hh"
 #include "util/logging.hh"
+#include "util/version.hh"
 
 namespace twocs {
 namespace {
@@ -185,12 +186,46 @@ TEST(Cli, SweepCommandEmitsCsv)
                  FatalError);
 }
 
-TEST(Cli, UnknownCommandPrintsUsageAndFails)
+/** RAII stderr capture, for the usage-on-error contract. */
+class CerrCapture
+{
+  public:
+    CerrCapture() : old_(std::cerr.rdbuf(capture_.rdbuf())) {}
+    ~CerrCapture() { std::cerr.rdbuf(old_); }
+    std::string str() const { return capture_.str(); }
+
+  private:
+    std::ostringstream capture_;
+    std::streambuf *old_;
+};
+
+TEST(Cli, UnknownCommandPrintsUsageToStderrAndFails)
 {
     std::string out;
+    CerrCapture err;
     EXPECT_EQ(run({ "twocs", "frobnicate" }, &out), 2);
-    EXPECT_NE(out.find("usage:"), std::string::npos);
-    EXPECT_EQ(run({ "twocs" }, &out), 0); // bare usage is not an error
+    EXPECT_EQ(out, ""); // nothing on stdout for a usage error
+    EXPECT_NE(err.str().find("unknown command 'frobnicate'"),
+              std::string::npos)
+        << err.str();
+    EXPECT_NE(err.str().find("usage:"), std::string::npos);
+}
+
+TEST(Cli, BareInvocationIsAUsageError)
+{
+    std::string out;
+    CerrCapture err;
+    EXPECT_EQ(run({ "twocs" }, &out), 2);
+    EXPECT_EQ(out, "");
+    EXPECT_NE(err.str().find("no command given"), std::string::npos);
+    EXPECT_NE(err.str().find("usage:"), std::string::npos);
+}
+
+TEST(Cli, VersionFlagPrintsProjectVersion)
+{
+    std::string out;
+    EXPECT_EQ(run({ "twocs", "--version" }, &out), 0);
+    EXPECT_EQ(out, std::string("twocs ") + kVersion + "\n");
 }
 
 TEST(Cli, UnknownModelIsFatal)

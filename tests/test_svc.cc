@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Tests for the projection query service (src/svc): the strict
+ * protocol parser and its diagnostics, canonical cache keys, the
+ * sharded LRU cache, the metrics registry, the batching scheduler's
+ * determinism contract (`--jobs 1` and `--jobs N` agree
+ * byte-for-byte), and the `twocs serve` CLI surface.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli/commands.hh"
+#include "core/amdahl.hh"
+#include "svc/cache.hh"
+#include "svc/protocol.hh"
+#include "svc/service.hh"
+#include "test_common.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace twocs {
+namespace {
+
+// --- protocol parsing ---
+
+/** The FatalError message a line's parse produces ("" if it parses). */
+std::string
+parseError(const std::string &line)
+{
+    try {
+        svc::parseQuery(line);
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(SvcProtocol, DefaultsMirrorTheCliCommands)
+{
+    const svc::Query p = svc::parseQuery("{\"kind\": \"project\"}");
+    EXPECT_EQ(p.hidden, 16384);
+    EXPECT_EQ(p.seqLen, 2048);
+    EXPECT_EQ(p.batch, 1);
+    EXPECT_EQ(p.tpDegree, 64);
+    EXPECT_FALSE(p.groundTruth);
+    EXPECT_EQ(p.device, "MI210");
+
+    const svc::Query s = svc::parseQuery("{\"kind\": \"slack\"}");
+    EXPECT_EQ(s.hidden, 16384);
+    EXPECT_EQ(s.seqLen, 4096);
+    EXPECT_EQ(s.batch, 1);
+
+    const svc::Query a = svc::parseQuery("{\"kind\": \"analyze\"}");
+    EXPECT_EQ(a.model, "BERT");
+    EXPECT_EQ(a.tpDegree, 1);
+    EXPECT_EQ(a.dpDegree, 1);
+    EXPECT_FALSE(a.batchSet);
+
+    const svc::Query m = svc::parseQuery("{\"kind\": \"memory\"}");
+    EXPECT_EQ(m.model, "GPT-3");
+    EXPECT_FALSE(m.tpSet);
+}
+
+TEST(SvcProtocol, StrictParseDiagnostics)
+{
+    EXPECT_NE(parseError("not json")
+                  .find("byte 0: a request must be one JSON object"),
+              std::string::npos);
+    EXPECT_NE(parseError("{}").find("missing the 'kind' field"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"frobnicate\"}")
+                  .find("unknown kind 'frobnicate'"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"project\", \"hiden\": 1}")
+                  .find("unknown field 'hiden'"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"project\", \"dp\": 2}")
+                  .find("field 'dp' does not apply to kind 'project'"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"project\", \"tp\": 4, "
+                         "\"tp\": 8}")
+                  .find("duplicate field 'tp'"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"project\", \"hidden\": \"big\"}")
+                  .find("field 'hidden' expects a number"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"project\", \"hidden\": 2.5}")
+                  .find("field 'hidden' expects an integer"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"project\", \"hidden\": 0}")
+                  .find("field 'hidden' must be in ["),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"project\", "
+                         "\"ground_truth\": 1}")
+                  .find("field 'ground_truth' expects true or false"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"stats\"} trailing")
+                  .find("trailing content after the request object"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"project\", \"tp\": {\"x\": 1}}")
+                  .find("must be a scalar"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"analyze\", "
+                         "\"model\": \"a\\ud800b\"}")
+                  .find("surrogate \\u escapes are not supported"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"analyze\", "
+                         "\"precision\": \"fp12\"}")
+                  .find("unknown precision 'fp12'"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"project\", "
+                         "\"device\": \"HAL9000\"}")
+                  .find("HAL9000"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"kind\": \"stats\", \"id\": null}")
+                  .find("field 'id' expects a number or a string"),
+              std::string::npos);
+}
+
+TEST(SvcProtocol, CanonicalKeyNormalizesSpelling)
+{
+    // Defaults spelled out, reordered, and whitespace-mangled must
+    // produce the same key as the bare request.
+    const std::string bare =
+        svc::canonicalKey(svc::parseQuery("{\"kind\": \"project\"}"));
+    const std::string spelled = svc::canonicalKey(svc::parseQuery(
+        "{ \"tp\":64 ,\"batch\": 1, \"kind\": \"project\","
+        "\"seqlen\": 2048, \"hidden\": 16384, \"id\": 99 }"));
+    EXPECT_EQ(bare, spelled);
+    EXPECT_NE(bare, "");
+
+    // The id is echoed but never part of the key; tp is.
+    EXPECT_NE(svc::canonicalKey(svc::parseQuery(
+                  "{\"kind\": \"project\", \"tp\": 32}")),
+              bare);
+    // Stats queries are never cached.
+    EXPECT_EQ(svc::canonicalKey(svc::parseQuery("{\"kind\": \"stats\"}")),
+              "");
+}
+
+TEST(SvcProtocol, Fnv1aMatchesReferenceVectors)
+{
+    EXPECT_EQ(svc::fnv1a(""), 14695981039346656037ull);
+    EXPECT_EQ(svc::fnv1a("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(svc::fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+// --- the result cache ---
+
+TEST(SvcCache, LruEvictsTheColdestEntry)
+{
+    // One shard of capacity 2 so the eviction order is exact.
+    svc::ShardedLruCache cache(2, 1);
+    cache.put("a", "1");
+    cache.put("b", "2");
+    EXPECT_EQ(cache.get("a").value_or("?"), "1"); // refresh a
+    cache.put("c", "3");                          // evicts b
+    EXPECT_TRUE(cache.get("a").has_value());
+    EXPECT_FALSE(cache.get("b").has_value());
+    EXPECT_EQ(cache.get("c").value_or("?"), "3");
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SvcCache, PutRefreshesAnExistingKey)
+{
+    svc::ShardedLruCache cache(4, 1);
+    cache.put("k", "old");
+    cache.put("k", "new");
+    EXPECT_EQ(cache.get("k").value_or("?"), "new");
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SvcCache, ZeroCapacityDisablesCaching)
+{
+    svc::ShardedLruCache cache(0);
+    cache.put("k", "v");
+    EXPECT_FALSE(cache.get("k").has_value());
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- the query service ---
+
+TEST(SvcService, WarmHitIsByteIdenticalToColdMiss)
+{
+    svc::QueryService service;
+    const std::string line =
+        "{\"kind\": \"project\", \"hidden\": 8192, \"tp\": 16}";
+    const std::string cold = service.handle(line);
+    const std::string warm = service.handle(line);
+    EXPECT_EQ(cold, warm);
+    EXPECT_NE(cold.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_EQ(service.metrics().requests(), 2u);
+    EXPECT_EQ(service.metrics().misses(), 1u);
+    EXPECT_EQ(service.metrics().hits(), 1u);
+    EXPECT_EQ(service.cache().size(), 1u);
+}
+
+TEST(SvcService, ProjectResponseMatchesTheAnalysis)
+{
+    // The service must serve exactly what the library computes.
+    core::AmdahlAnalysis analysis(test::paperSystem());
+    const core::AmdahlPoint p = analysis.evaluate(8192, 2048, 1, 16);
+
+    svc::QueryService service;
+    const std::string response = service.handle(
+        "{\"kind\": \"project\", \"hidden\": 8192, \"tp\": 16}");
+    EXPECT_NE(response.find("\"compute_seconds\":" +
+                            json::number(p.computeTime)),
+              std::string::npos)
+        << response;
+    EXPECT_NE(response.find("\"comm_fraction\":" +
+                            json::number(p.commFraction())),
+              std::string::npos)
+        << response;
+}
+
+TEST(SvcService, IdIsEchoedVerbatim)
+{
+    svc::QueryService service;
+    EXPECT_EQ(service
+                  .handle("{\"id\": 7, \"kind\": \"stats\"}")
+                  .rfind("{\"id\":7,", 0),
+              0u);
+    EXPECT_EQ(service
+                  .handle("{\"id\": \"job-3\", \"kind\": \"stats\"}")
+                  .rfind("{\"id\":\"job-3\",", 0),
+              0u);
+    // A float id is legal and echoed with its spelling intact.
+    EXPECT_EQ(service
+                  .handle("{\"id\": 1e3, \"kind\": \"stats\"}")
+                  .rfind("{\"id\":1e3,", 0),
+              0u);
+}
+
+TEST(SvcService, InBatchDuplicatesAreHitsEvenWithoutACache)
+{
+    // Capacity 0 disables the cache, so the dedup must happen inside
+    // the batch for the duplicate to count as a hit.
+    svc::ServiceOptions options;
+    options.cacheCapacity = 0;
+    svc::QueryService service(options);
+    std::istringstream in(
+        "{\"kind\": \"slack\", \"hidden\": 8192}\n"
+        "{\"kind\": \"slack\", \"hidden\": 8192}\n"
+        "{\"kind\": \"slack\", \"hidden\": 8192}\n");
+    std::ostringstream out;
+    service.serve(in, out);
+    EXPECT_EQ(service.metrics().requests(), 3u);
+    EXPECT_EQ(service.metrics().misses(), 1u);
+    EXPECT_EQ(service.metrics().hits(), 2u);
+    EXPECT_EQ(service.cache().size(), 0u);
+
+    // All three response lines carry the same payload.
+    std::istringstream lines(out.str());
+    std::string first, line;
+    ASSERT_TRUE(std::getline(lines, first));
+    while (std::getline(lines, line))
+        EXPECT_EQ(line, first);
+}
+
+TEST(SvcService, ErrorsAreDiagnosedInlineAndNeverCached)
+{
+    svc::QueryService service;
+    const std::string bad = "{\"kind\": \"project\", \"hiden\": 1}";
+    const std::string first = service.handle(bad);
+    EXPECT_NE(first.find("\"status\":\"error\""), std::string::npos);
+    EXPECT_NE(first.find("unknown field 'hiden'"), std::string::npos);
+    // The diagnostic names the request's line number in the stream.
+    EXPECT_NE(first.find("line 1:"), std::string::npos);
+    service.handle(bad);
+    EXPECT_EQ(service.metrics().failures(), 2u);
+    EXPECT_EQ(service.metrics().hits(), 0u);
+    EXPECT_EQ(service.cache().size(), 0u);
+
+    // An eval-time failure (unknown zoo model passes parsing) is an
+    // error response too, with no line prefix and no cache entry.
+    const std::string evalError = service.handle(
+        "{\"kind\": \"memory\", \"model\": \"ELIZA\"}");
+    EXPECT_NE(evalError.find("\"status\":\"error\""),
+              std::string::npos);
+    EXPECT_EQ(service.metrics().failures(), 3u);
+    EXPECT_EQ(service.cache().size(), 0u);
+}
+
+TEST(SvcService, StatsCountsItselfAtItsStreamPosition)
+{
+    svc::QueryService service;
+    std::istringstream in(
+        "{\"kind\": \"slack\"}\n"
+        "{\"kind\": \"stats\"}\n"
+        "{\"kind\": \"stats\"}\n");
+    std::ostringstream out;
+    service.serve(in, out);
+    // The first stats sees itself as request #2; the second as #3.
+    EXPECT_NE(out.str().find("\"requests\":2,\"hits\":0,\"misses\":1,"
+                             "\"failures\":0,\"cache_entries\":1"),
+              std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find("\"requests\":3"), std::string::npos);
+}
+
+/** A mixed workload exercising every kind, errors and duplicates. */
+std::string
+mixedWorkload()
+{
+    std::ostringstream os;
+    for (const int tp : { 8, 16, 32, 64 }) {
+        os << "{\"kind\": \"project\", \"hidden\": 8192, \"tp\": "
+           << tp << "}\n";
+    }
+    os << "{\"kind\": \"project\", \"hidden\": 8192, \"tp\": 16}\n"
+       << "{\"id\": 1, \"kind\": \"slack\", \"hidden\": 8192}\n"
+       << "{\"kind\": \"analyze\", \"model\": \"BERT\", \"tp\": 4}\n"
+       << "{\"kind\": \"memory\", \"model\": \"GPT-3\"}\n"
+       << "{\"kind\": \"memory\", \"model\": \"ELIZA\"}\n"
+       << "this line is broken\n"
+       << "\n"
+       << "{\"kind\": \"stats\"}\n"
+       << "{\"kind\": \"project\", \"flop_scale\": 4, \"bw_scale\": "
+          "2}\n"
+       << "{\"kind\": \"stats\"}\n";
+    return os.str();
+}
+
+std::string
+serveAtJobs(int jobs, std::size_t batch)
+{
+    svc::ServiceOptions options;
+    options.jobs = jobs;
+    options.batchCapacity = batch;
+    svc::QueryService service(options);
+    std::istringstream in(mixedWorkload());
+    std::ostringstream out;
+    service.serve(in, out);
+    return out.str();
+}
+
+TEST(SvcService, ServeIsByteIdenticalAcrossJobsAndBatchSizes)
+{
+    // The ISSUE's acceptance contract: the response stream —
+    // including every stats counter — must not depend on the worker
+    // count or on how the stream happens to be chopped into batches.
+    const std::string serial = serveAtJobs(1, 32);
+    EXPECT_NE(serial.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_NE(serial.find("\"status\":\"error\""), std::string::npos);
+    for (const int jobs : { 2, 8 })
+        EXPECT_EQ(serveAtJobs(jobs, 32), serial) << jobs;
+    for (const std::size_t batch : { 1u, 3u, 100u })
+        EXPECT_EQ(serveAtJobs(4, batch), serial) << batch;
+}
+
+TEST(SvcService, MetricsFileReportsTheRun)
+{
+    const std::string path =
+        testing::TempDir() + "/twocs_svc_metrics_test.json";
+    std::remove(path.c_str());
+    svc::ServiceOptions options;
+    options.metricsPath = path;
+    options.batchCapacity = 4;
+    svc::QueryService service(options);
+    std::istringstream in(mixedWorkload());
+    std::ostringstream out;
+    service.serve(in, out);
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good()) << path;
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_NE(ss.str().find("\"requests\": 13"), std::string::npos)
+        << ss.str();
+    EXPECT_NE(ss.str().find("\"hit_rate\": "), std::string::npos);
+    EXPECT_NE(ss.str().find("\"latency_seconds_p95\": "),
+              std::string::npos);
+    EXPECT_NE(ss.str().find("\"batch_size_histogram\": ["),
+              std::string::npos);
+    EXPECT_NE(ss.str().find("\"size\": 4"), std::string::npos);
+    std::remove(path.c_str());
+
+    svc::ServiceOptions bad;
+    bad.metricsPath = testing::TempDir() + "/twocs_no_dir/m.json";
+    svc::QueryService doomed(bad);
+    std::istringstream in2("{\"kind\": \"stats\"}\n");
+    std::ostringstream out2;
+    EXPECT_THROW(doomed.serve(in2, out2), FatalError);
+}
+
+// --- the CLI surface ---
+
+/** RAII stdout capture that survives exceptions. */
+class CoutCapture
+{
+  public:
+    CoutCapture() : old_(std::cout.rdbuf(capture_.rdbuf())) {}
+    ~CoutCapture() { std::cout.rdbuf(old_); }
+    std::string str() const { return capture_.str(); }
+
+  private:
+    std::ostringstream capture_;
+    std::streambuf *old_;
+};
+
+std::string
+runCli(std::initializer_list<const char *> argv_list)
+{
+    std::vector<const char *> argv(argv_list);
+    const cli::Args args =
+        cli::Args::parse(static_cast<int>(argv.size()), argv.data());
+    CoutCapture capture;
+    EXPECT_EQ(cli::runCommand(args), 0);
+    return capture.str();
+}
+
+TEST(SvcCli, ServeReadsInputFileIdenticallyAcrossJobs)
+{
+    const std::string path =
+        testing::TempDir() + "/twocs_svc_cli_input.jsonl";
+    {
+        std::ofstream os(path);
+        os << mixedWorkload();
+    }
+    const std::string serial = runCli(
+        { "twocs", "serve", "--input", path.c_str(), "--jobs", "1" });
+    EXPECT_NE(serial.find("\"kind\":\"project\""), std::string::npos);
+    EXPECT_EQ(runCli({ "twocs", "serve", "--input", path.c_str(),
+                       "--jobs", "4", "--batch", "3" }),
+              serial);
+    std::remove(path.c_str());
+}
+
+TEST(SvcCli, ServeRejectsBadFlagsAndMissingInput)
+{
+    auto rc = [](std::initializer_list<const char *> argv_list) {
+        std::vector<const char *> argv(argv_list);
+        const cli::Args args = cli::Args::parse(
+            static_cast<int>(argv.size()), argv.data());
+        CoutCapture capture;
+        return cli::runCommand(args);
+    };
+    EXPECT_THROW(rc({ "twocs", "serve", "--input",
+                      "/definitely/not/here.jsonl" }),
+                 FatalError);
+    EXPECT_THROW(rc({ "twocs", "serve", "--cache-capacity", "-1" }),
+                 FatalError);
+    EXPECT_THROW(rc({ "twocs", "serve", "--batch", "0" }),
+                 FatalError);
+}
+
+} // namespace
+} // namespace twocs
