@@ -19,6 +19,7 @@
 #include <string>
 
 #include "exec/parallel_runner.hh"
+#include "obs/session.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "util/units.hh"
@@ -37,6 +38,31 @@ runnerOptions(int argc, const char *const *argv, std::string study)
     try {
         return exec::RunnerOptions::fromCommandLine(argc, argv,
                                                     std::move(study));
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(1);
+    }
+}
+
+/**
+ * Parse `--trace-out FILE` / `--trace-categories LIST` /
+ * `--trace-format FMT` from a bench's raw argv, with the same
+ * diagnostic + exit(1) policy as runnerOptions(). Pass the result to
+ * an obs::TraceSession in main(); with no --trace-out the session is
+ * inert and the bench output is unchanged.
+ */
+inline obs::TraceOptions
+traceOptions(int argc, const char *const *argv)
+{
+    try {
+        obs::TraceOptions options =
+            obs::TraceOptions::fromCommandLine(argc, argv);
+        fatalIf(!options.outPath.empty() &&
+                    options.format != "chrome" &&
+                    options.format != "folded",
+                "unknown --trace-format '", options.format,
+                "' (chrome|folded)");
+        return options;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         std::exit(1);

@@ -25,6 +25,7 @@ main(int argc, char **argv)
 
     const exec::RunnerOptions runner =
         bench::runnerOptions(argc, argv, "cluster_jitter");
+    obs::TraceSession trace(bench::traceOptions(argc, argv));
 
     core::ClusterSim sim;
 

@@ -24,6 +24,7 @@ main(int argc, char **argv)
 
     const exec::RunnerOptions runner = bench::runnerOptions(
         argc, argv, "fig10_serialized_comm_fraction");
+    obs::TraceSession trace(bench::traceOptions(argc, argv));
 
     core::SystemConfig sys;
     core::AmdahlAnalysis analysis(sys);

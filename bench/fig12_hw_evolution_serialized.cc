@@ -23,6 +23,7 @@ main(int argc, char **argv)
 
     const exec::RunnerOptions runner = bench::runnerOptions(
         argc, argv, "fig12_hw_evolution_serialized");
+    obs::TraceSession trace(bench::traceOptions(argc, argv));
 
     std::vector<core::AmdahlAnalysis> analyses;
     for (double fs : { 1.0, 2.0, 4.0 }) {

@@ -23,6 +23,7 @@ main(int argc, char **argv)
 
     const exec::RunnerOptions runner = bench::runnerOptions(
         argc, argv, "fig13_hw_evolution_overlapped");
+    obs::TraceSession trace(bench::traceOptions(argc, argv));
 
     std::vector<core::SlackAnalysis> analyses;
     for (double fs : { 1.0, 2.0, 4.0 }) {

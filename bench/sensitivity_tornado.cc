@@ -22,6 +22,7 @@ main(int argc, char **argv)
 
     const exec::RunnerOptions runner =
         bench::runnerOptions(argc, argv, "sensitivity_tornado");
+    obs::TraceSession trace(bench::traceOptions(argc, argv));
 
     core::SensitivityConfig cfg;
     const auto entries =

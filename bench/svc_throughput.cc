@@ -100,6 +100,7 @@ main(int argc, char **argv)
     const exec::RunnerOptions opts = bench::runnerOptions(
         argc, argv, "svc_throughput");
     (void)opts; // jobs are swept explicitly below
+    obs::TraceSession trace(bench::traceOptions(argc, argv));
 
     bench::banner("svc_throughput",
                   "query service QPS under a Zipf workload");

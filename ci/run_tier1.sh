@@ -4,8 +4,12 @@
 #
 #   1. `tier1`  — full RelWithDebInfo build + the whole ctest suite.
 #   2. `tsan`   — ThreadSanitizer build; runs the concurrency-bearing
-#                 suites (exec ThreadPool/ParallelSweepRunner and the
-#                 svc query service) under TSan.
+#                 suites (exec ThreadPool/ParallelSweepRunner, the
+#                 svc query service and the obs tracer) under TSan.
+#   3. obs gate — a traced sweep must produce a trace.json that the
+#                 strict parser accepts, and span sites that are
+#                 compiled in but disabled must stay under 1%
+#                 overhead (bench/obs_overhead).
 #
 # Usage: ci/run_tier1.sh [jobs]
 
@@ -19,7 +23,18 @@ export CTEST_PARALLEL_LEVEL="${jobs}"
 echo "== tier-1: build + full test suite =="
 cmake --workflow --preset tier1
 
-echo "== tier-1: ThreadSanitizer (exec + svc) =="
+echo "== tier-1: ThreadSanitizer (exec + svc + obs) =="
 cmake --workflow --preset tsan
+
+echo "== tier-1: traced sweep produces strictly valid JSON =="
+twocs=build-tier1/src/cli/twocs
+trace_out="build-tier1/ci_trace.json"
+rm -f "${trace_out}"
+"${twocs}" sweep --figure 10 --jobs 2 --trace-out "${trace_out}" \
+    > /dev/null
+"${twocs}" validate --trace "${trace_out}"
+
+echo "== tier-1: disabled-tracing overhead < 1% =="
+build-tier1/bench/obs_overhead
 
 echo "tier-1 gate: all green"

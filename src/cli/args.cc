@@ -15,20 +15,52 @@ Args::parse(int argc, const char *const *argv)
     Args args;
     int i = 1;
     if (i < argc && std::string_view(argv[i]) == "--version") {
-        // The one value-less flag; it acts as the command.
+        // The one option-shaped command.
         args.command_ = argv[i++];
     } else if (i < argc && argv[i][0] != '-') {
         args.command_ = argv[i++];
+        if (i < argc && argv[i][0] != '-')
+            args.positional_ = argv[i++];
     }
 
     while (i < argc) {
-        const std::string key = argv[i];
-        fatalIf(key.size() < 3 || key.rfind("--", 0) != 0,
-                "expected an option of the form --key, got '", key,
+        const std::string token = argv[i];
+        fatalIf(token.size() < 3 || token.rfind("--", 0) != 0,
+                "expected an option of the form --key, got '", token,
                 "'");
-        fatalIf(i + 1 >= argc, "option '", key, "' is missing a value");
-        args.options_[key.substr(2)] = argv[i + 1];
-        i += 2;
+        std::string key, value;
+        bool bare = false;
+        if (const auto eq = token.find('=');
+            eq != std::string::npos) {
+            key = token.substr(2, eq - 2);
+            value = token.substr(eq + 1);
+            fatalIf(key.empty(), "option '", token,
+                    "' is missing a key before '='");
+            i += 1;
+        } else {
+            key = token.substr(2);
+            // The next token is this option's value unless it looks
+            // like another option; a lone '-' or a negative number
+            // ("--jitter -0.1") is a value.
+            if (i + 1 < argc &&
+                std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[i + 1];
+                i += 2;
+            } else {
+                value = "1";
+                bare = true;
+                i += 1;
+            }
+        }
+        if (args.options_.count(key) > 0) {
+            warn("option --", key,
+                 " given more than once; the last value wins");
+        }
+        args.options_[key] = std::move(value);
+        if (bare)
+            args.bareKeys_.insert(key);
+        else
+            args.bareKeys_.erase(key);
     }
     return args;
 }
@@ -84,6 +116,22 @@ Args::getDouble(const std::string &key, double fallback) const
     fatalIf(errno == ERANGE && std::isinf(v), "option --", key,
             " value '", it->second, "' overflows a double");
     return v;
+}
+
+std::vector<std::string>
+Args::keys() const
+{
+    std::vector<std::string> all;
+    all.reserve(options_.size());
+    for (const auto &[key, value] : options_)
+        all.push_back(key);
+    return all;
+}
+
+bool
+Args::wasBare(const std::string &key) const
+{
+    return bareKeys_.count(key) > 0;
 }
 
 std::vector<std::string>

@@ -1,7 +1,17 @@
 /**
  * @file
  * A tiny dependency-free command-line argument parser for the twocs
- * CLI: one positional command followed by `--key value` options.
+ * CLI: one positional command (plus one optional positional topic,
+ * used by `twocs help <cmd>`) followed by options in any of three
+ * forms:
+ *
+ *   --key value     (a value token may be negative: `--jitter -0.1`)
+ *   --key=value
+ *   --flag          (bare boolean; stored as "1")
+ *
+ * A repeated option keeps the last value and warn()s. Which flags a
+ * command actually accepts is validated against the declarative
+ * command registry in commands.cc, not here.
  */
 
 #ifndef TWOCS_CLI_ARGS_HH
@@ -9,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -20,13 +31,17 @@ class Args
   public:
     /**
      * Parse argv into a command plus options; fatal() on malformed
-     * input (an option without a value, or an unknown shape).
+     * input (a token that is not an option where one is expected).
      */
     static Args parse(int argc, const char *const *argv);
 
     /** The positional command ("analyze", "plan", ...); empty if
      *  none was given. */
     const std::string &command() const { return command_; }
+
+    /** The optional second positional ("sweep" in `twocs help
+     *  sweep`); empty if none was given. */
+    const std::string &positional() const { return positional_; }
 
     bool has(const std::string &key) const;
 
@@ -43,12 +58,21 @@ class Args
      *  overflowing, naming the flag. */
     double getDouble(const std::string &key, double fallback) const;
 
+    /** Every option key present, sorted (for registry validation). */
+    std::vector<std::string> keys() const;
+
+    /** Whether `key` was given bare (`--flag`), with no value
+     *  token; bare flags are stored as "1". */
+    bool wasBare(const std::string &key) const;
+
     /** Keys the program never consumed (for typo detection). */
     std::vector<std::string> unusedKeys() const;
 
   private:
     std::string command_;
+    std::string positional_;
     std::map<std::string, std::string> options_;
+    std::set<std::string> bareKeys_;
     mutable std::map<std::string, bool> consumed_;
 };
 

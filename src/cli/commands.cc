@@ -1,7 +1,9 @@
 #include "commands.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/amdahl.hh"
 #include "core/case_study.hh"
@@ -15,9 +17,12 @@
 #include "exec/parallel_runner.hh"
 #include "model/memory.hh"
 #include "model/zoo.hh"
+#include "obs/obs.hh"
+#include "obs/session.hh"
 #include "profiling/roofline.hh"
 #include "sim/trace.hh"
 #include "svc/service.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "util/units.hh"
@@ -66,7 +71,7 @@ precisionFrom(const Args &args)
 }
 
 int
-cmdZoo()
+cmdZoo(const Args &)
 {
     TextTable t({ "model", "year", "layers", "H", "heads", "SL",
                   "FC dim", "size (B)" });
@@ -443,6 +448,7 @@ cmdServe(const Args &args)
             "size, got ", batch);
     options.batchCapacity = static_cast<std::size_t>(batch);
     options.metricsPath = args.get("metrics");
+    options.protoVersion = static_cast<int>(args.getInt("proto", 2));
 
     svc::QueryService service(options);
     if (args.has("input")) {
@@ -456,95 +462,411 @@ cmdServe(const Args &args)
     return 0;
 }
 
+int
+cmdValidate(const Args &args)
+{
+    const std::string path = args.get("trace");
+    fatalIf(path.empty(), "validate: --trace FILE is required");
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, "cannot open '", path, "'");
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+    try {
+        json::validate(text);
+    } catch (const FatalError &ex) {
+        fatal("'", path, "' is not valid JSON: ", ex.what());
+    }
+    std::cout << path << ": valid JSON (" << text.size()
+              << " bytes)\n";
+    return 0;
+}
+
+int
+cmdHelp(const Args &args)
+{
+    const std::string &topic = args.positional();
+    if (topic.empty()) {
+        printUsage(std::cout);
+        return 0;
+    }
+    const CommandSpec *spec = findCommand(topic);
+    if (spec == nullptr) {
+        std::cerr << "error: unknown command '" << topic << "'\n";
+        printUsage(std::cerr);
+        return 2;
+    }
+    printCommandHelp(*spec, std::cout);
+    return 0;
+}
+
+// --- the registry ---------------------------------------------------
+
+const char *
+metavar(FlagType type)
+{
+    switch (type) {
+      case FlagType::Int:
+        return "INT";
+      case FlagType::Double:
+        return "NUM";
+      case FlagType::String:
+        return "STR";
+      case FlagType::Bool:
+        return "BOOL";
+    }
+    return "VAL";
+}
+
+const char *
+typeArticle(FlagType type)
+{
+    switch (type) {
+      case FlagType::Int:
+        return "an integer";
+      case FlagType::Double:
+        return "a number";
+      case FlagType::String:
+        return "a string";
+      case FlagType::Bool:
+        return "a boolean";
+    }
+    return "a";
+}
+
+/** Concatenate shared flag groups with a command's own flags. */
+std::vector<FlagSpec>
+flagsOf(std::initializer_list<std::vector<FlagSpec>> groups)
+{
+    std::vector<FlagSpec> all;
+    for (const auto &group : groups)
+        all.insert(all.end(), group.begin(), group.end());
+    return all;
+}
+
+std::vector<CommandSpec>
+buildRegistry()
+{
+    const std::vector<FlagSpec> system = {
+        { "device", FlagType::String, "MI210",
+          "hardware catalog device name" },
+        { "flop-scale", FlagType::Double, "1",
+          "scale device FLOP rate (future hw)" },
+        { "bw-scale", FlagType::Double, "1",
+          "scale link bandwidth (future hw)" },
+        { "pin", FlagType::Bool, "0",
+          "enable in-network (switch) reduction" },
+    };
+    const std::vector<FlagSpec> precision = {
+        { "precision", FlagType::String, "fp16",
+          "number format: fp32|fp16|bf16|fp8" },
+    };
+    const std::vector<FlagSpec> runner = {
+        { "jobs", FlagType::Int, "0",
+          "worker threads (0 = all cores)" },
+        { "report", FlagType::String, "",
+          "write the RunReport JSON here" },
+    };
+    const std::vector<FlagSpec> trace = {
+        { "trace-out", FlagType::String, "",
+          "write a span trace of this run here" },
+        { "trace-categories", FlagType::String, "all",
+          "exec,svc,sim,comm,cli,bench or all" },
+        { "trace-format", FlagType::String, "chrome",
+          "trace file format: chrome|folded" },
+    };
+
+    std::vector<CommandSpec> registry;
+    registry.push_back({ "zoo", "print the Table 2 model zoo", {},
+                         cmdZoo });
+    registry.push_back(
+        { "analyze", "profile a training iteration",
+          flagsOf({ { { "model", FlagType::String, "BERT",
+                        "zoo model name" },
+                      { "tp", FlagType::Int, "1",
+                        "tensor-parallel degree" },
+                      { "dp", FlagType::Int, "1",
+                        "data-parallel degree" },
+                      { "batch", FlagType::Int, "",
+                        "override the zoo batch size" } },
+                    system, precision }),
+          cmdAnalyze });
+    registry.push_back(
+        { "project", "operator-model projection of a future model",
+          flagsOf({ { { "hidden", FlagType::Int, "16384",
+                        "hidden size H" },
+                      { "seqlen", FlagType::Int, "2048",
+                        "sequence length SL" },
+                      { "batch", FlagType::Int, "1",
+                        "batch size B" },
+                      { "tp", FlagType::Int, "64",
+                        "tensor-parallel degree" } },
+                    system }),
+          cmdProject });
+    registry.push_back(
+        { "slack", "overlapped-comm slack analysis",
+          flagsOf({ { { "hidden", FlagType::Int, "16384",
+                        "hidden size H" },
+                      { "slb", FlagType::Int, "4096",
+                        "SL*B token product" },
+                      { "batch", FlagType::Int, "1",
+                        "batch size B" } },
+                    system }),
+          cmdSlack });
+    registry.push_back(
+        { "memory", "per-device footprint / minimum TP",
+          flagsOf({ { { "model", FlagType::String, "GPT-3",
+                        "zoo model name" },
+                      { "tp", FlagType::Int, "",
+                        "footprint at this TP (else min TP)" } },
+                    system, precision }),
+          cmdMemory });
+    registry.push_back(
+        { "plan", "rank (TP, PP, DP) layouts by throughput",
+          flagsOf({ { { "model", FlagType::String, "MT-NLG",
+                        "zoo model name" },
+                      { "max-devices", FlagType::Int, "2048",
+                        "largest device count to consider" },
+                      { "micro-batches", FlagType::Int, "16",
+                        "pipeline micro-batches" } },
+                    system, precision }),
+          cmdPlan });
+    registry.push_back(
+        { "cluster", "explicit multi-device group simulation",
+          flagsOf({ { { "hidden", FlagType::Int, "8192",
+                        "hidden size H" },
+                      { "seqlen", FlagType::Int, "2048",
+                        "sequence length SL" },
+                      { "tp", FlagType::Int, "8",
+                        "tensor-parallel degree" },
+                      { "layers", FlagType::Int, "4",
+                        "transformer layers simulated" },
+                      { "jitter", FlagType::Double, "0",
+                        "per-device compute jitter fraction" },
+                      { "seed", FlagType::Int, "1",
+                        "base RNG seed" },
+                      { "trials", FlagType::Int, "1",
+                        "independent jittered trials" } },
+                    system, runner, trace }),
+          cmdCluster });
+    registry.push_back(
+        { "sweep", "regenerate a figure's data grid",
+          flagsOf({ { { "figure", FlagType::Int, "10",
+                        "figure to regenerate: 10 or 11" },
+                      { "csv", FlagType::Bool, "0",
+                        "emit CSV instead of a table" } },
+                    system, runner, trace }),
+          cmdSweep });
+    registry.push_back(
+        { "inference", "prefill vs decode Comp-vs-Comm under TP",
+          flagsOf({ { { "hidden", FlagType::Int, "12288",
+                        "hidden size H" },
+                      { "context", FlagType::Int, "2048",
+                        "context length" },
+                      { "batch", FlagType::Int, "1",
+                        "batch size B" } },
+                    system }),
+          cmdInference });
+    registry.push_back(
+        { "precision", "comm fraction across number formats",
+          flagsOf({ { { "hidden", FlagType::Int, "16384",
+                        "hidden size H" },
+                      { "seqlen", FlagType::Int, "2048",
+                        "sequence length SL" },
+                      { "batch", FlagType::Int, "1",
+                        "batch size B" },
+                      { "tp", FlagType::Int, "64",
+                        "tensor-parallel degree" } },
+                    system }),
+          cmdPrecision });
+    registry.push_back(
+        { "roofline", "place one layer's kernels on the roofline",
+          flagsOf({ { { "model", FlagType::String, "BERT",
+                        "zoo model name" },
+                      { "tp", FlagType::Int, "1",
+                        "tensor-parallel degree" } },
+                    system, precision }),
+          cmdRoofline });
+    registry.push_back(
+        { "trace", "export a timeline as Chrome-trace JSON",
+          flagsOf({ { { "model", FlagType::String, "BERT",
+                        "zoo model name" },
+                      { "hidden", FlagType::Int, "",
+                        "hidden size (default: the model's)" },
+                      { "seqlen", FlagType::Int, "",
+                        "sequence length (default: the model's)" },
+                      { "batch", FlagType::Int, "",
+                        "batch size (default: the model's)" },
+                      { "tp", FlagType::Int, "8",
+                        "tensor-parallel degree" },
+                      { "dp", FlagType::Int, "2",
+                        "data-parallel degree" },
+                      { "out", FlagType::String, "trace.json",
+                        "output file" } },
+                    system }),
+          cmdTrace });
+    registry.push_back(
+        { "serve", "answer JSON-lines projection queries",
+          flagsOf({ { { "input", FlagType::String, "",
+                        "request file (default: stdin)" },
+                      { "jobs", FlagType::Int, "0",
+                        "worker threads (0 = all cores)" },
+                      { "cache-capacity", FlagType::Int, "4096",
+                        "result-cache entries; 0 disables" },
+                      { "batch", FlagType::Int, "32",
+                        "requests drained per batch" },
+                      { "metrics", FlagType::String, "",
+                        "write service metrics JSON here" },
+                      { "proto", FlagType::Int, "2",
+                        "response protocol: 2, or 1 for legacy" } },
+                    trace }),
+          cmdServe });
+    registry.push_back(
+        { "validate", "strict-parse a JSON artifact",
+          { { "trace", FlagType::String, "",
+              "JSON file to check (required)" } },
+          cmdValidate });
+    registry.push_back({ "help", "show a command's flags and defaults",
+                         {}, cmdHelp });
+    return registry;
+}
+
 } // namespace
+
+const FlagSpec *
+CommandSpec::findFlag(const std::string &flag) const
+{
+    for (const FlagSpec &f : flags) {
+        if (f.name == flag)
+            return &f;
+    }
+    return nullptr;
+}
+
+const std::vector<CommandSpec> &
+commandRegistry()
+{
+    static const std::vector<CommandSpec> registry = buildRegistry();
+    return registry;
+}
+
+const CommandSpec *
+findCommand(const std::string &name)
+{
+    for (const CommandSpec &spec : commandRegistry()) {
+        if (spec.name == name)
+            return &spec;
+    }
+    return nullptr;
+}
 
 void
 printUsage(std::ostream &os)
 {
-    os <<
-        "usage: twocs <command> [--key value ...]\n"
-        "\n"
-        "commands:\n"
-        "  zoo       print the Table 2 model zoo\n"
-        "  analyze   profile a training iteration\n"
-        "            --model NAME --tp N --dp N [--batch B]\n"
-        "  project   operator-model projection of a future model\n"
-        "            --hidden H --seqlen SL --batch B --tp N\n"
-        "  slack     overlapped-comm slack analysis\n"
-        "            --hidden H --slb SL*B [--batch B]\n"
-        "  memory    per-device footprint / minimum TP\n"
-        "            --model NAME [--tp N]\n"
-        "  plan      rank (TP, PP, DP) layouts by throughput\n"
-        "            --model NAME [--max-devices N]\n"
-        "  cluster   explicit multi-device group simulation\n"
-        "            [--tp N --jitter X --layers L --trials T]\n"
-        "  sweep     regenerate a figure's data grid\n"
-        "            --figure 10|11 [--csv 1]\n"
-        "  inference prefill vs decode Comp-vs-Comm under TP\n"
-        "            [--hidden H --context N --batch B]\n"
-        "  precision comm fraction across number formats\n"
-        "            [--hidden H --seqlen SL --tp N]\n"
-        "  roofline  place one layer's kernels on the roofline\n"
-        "            --model NAME [--tp N]\n"
-        "  trace     export a timeline as Chrome-trace JSON\n"
-        "            --model NAME --tp N --dp N [--out FILE]\n"
-        "  serve     answer JSON-lines projection queries\n"
-        "            [--input FILE --jobs N --cache-capacity N\n"
-        "             --batch N --metrics FILE]\n"
-        "\n"
-        "common options: --device NAME, --precision fp32|fp16|fp8,\n"
-        "                --flop-scale X, --bw-scale X, --pin 1\n"
-        "study options:  --jobs N (worker threads; 0 = all cores,\n"
-        "                1 = serial), --report FILE (RunReport JSON:\n"
-        "                wall time, per-config latency p50/p95,\n"
-        "                thread count, task failures)\n";
+    os << "usage: twocs <command> "
+          "[--key value | --key=value | --flag ...]\n"
+          "\n"
+          "commands:\n";
+    std::size_t width = 0;
+    for (const CommandSpec &spec : commandRegistry())
+        width = std::max(width, spec.name.size());
+    for (const CommandSpec &spec : commandRegistry()) {
+        os << "  " << spec.name
+           << std::string(width - spec.name.size() + 2, ' ')
+           << spec.summary << "\n";
+    }
+    os << "\n"
+          "run 'twocs help <command>' for that command's flags;\n"
+          "'twocs --version' prints the library version.\n";
+}
+
+void
+printCommandHelp(const CommandSpec &spec, std::ostream &os)
+{
+    os << "usage: twocs " << spec.name
+       << (spec.name == "help" ? " [command]"
+                               : spec.flags.empty() ? ""
+                                                    : " [flags]")
+       << "\n\n  " << spec.summary << "\n\nflags:\n";
+    if (spec.flags.empty()) {
+        os << "  (none)\n";
+        return;
+    }
+    std::size_t width = 0;
+    for (const FlagSpec &f : spec.flags) {
+        width = std::max(width,
+                         f.name.size() + 3 +
+                             std::string(metavar(f.type)).size());
+    }
+    for (const FlagSpec &f : spec.flags) {
+        const std::string head =
+            "--" + f.name + " " + metavar(f.type);
+        os << "  " << head << std::string(width - head.size() + 2, ' ')
+           << f.help;
+        if (!f.defaultValue.empty())
+            os << " (default: " << f.defaultValue << ")";
+        os << "\n";
+    }
 }
 
 int
 runCommand(const Args &args)
 {
     const std::string &cmd = args.command();
-    int rc = 0;
-    if (cmd == "zoo") {
-        rc = cmdZoo();
-    } else if (cmd == "analyze") {
-        rc = cmdAnalyze(args);
-    } else if (cmd == "project") {
-        rc = cmdProject(args);
-    } else if (cmd == "slack") {
-        rc = cmdSlack(args);
-    } else if (cmd == "memory") {
-        rc = cmdMemory(args);
-    } else if (cmd == "plan") {
-        rc = cmdPlan(args);
-    } else if (cmd == "cluster") {
-        rc = cmdCluster(args);
-    } else if (cmd == "sweep") {
-        rc = cmdSweep(args);
-    } else if (cmd == "inference") {
-        rc = cmdInference(args);
-    } else if (cmd == "precision") {
-        rc = cmdPrecision(args);
-    } else if (cmd == "roofline") {
-        rc = cmdRoofline(args);
-    } else if (cmd == "trace") {
-        rc = cmdTrace(args);
-    } else if (cmd == "serve") {
-        rc = cmdServe(args);
-    } else if (cmd == "--version") {
+    if (cmd == "--version") {
         std::cout << "twocs " << kVersion << "\n";
-    } else if (cmd.empty()) {
+        return 0;
+    }
+    if (cmd.empty()) {
         std::cerr << "error: no command given\n";
         printUsage(std::cerr);
         return 2;
-    } else {
+    }
+    const CommandSpec *spec = findCommand(cmd);
+    if (spec == nullptr) {
         std::cerr << "error: unknown command '" << cmd << "'\n";
         printUsage(std::cerr);
         return 2;
     }
+    if (!args.positional().empty() && cmd != "help") {
+        std::cerr << "error: unexpected argument '"
+                  << args.positional() << "' for command '" << cmd
+                  << "'\n";
+        return 2;
+    }
+    // Typo rejection driven by the declared flag specs.
+    for (const std::string &key : args.keys()) {
+        const FlagSpec *flag = spec->findFlag(key);
+        if (flag == nullptr) {
+            std::cerr << "error: unknown option '--" << key
+                      << "' for command '" << cmd
+                      << "' (see 'twocs help " << cmd << "')\n";
+            return 2;
+        }
+        if (args.wasBare(key) && flag->type != FlagType::Bool) {
+            std::cerr << "error: option '--" << key
+                      << "' of command '" << cmd << "' expects "
+                      << typeArticle(flag->type) << " value\n";
+            return 2;
+        }
+    }
 
-    for (const std::string &key : args.unusedKeys())
-        warn("unused option --", key);
+    obs::TraceOptions trace_options;
+    if (spec->findFlag("trace-out") != nullptr) {
+        trace_options.outPath = args.get("trace-out");
+        if (args.has("trace-categories")) {
+            trace_options.categoryMask = obs::categoryMaskFromList(
+                args.get("trace-categories"));
+        }
+        trace_options.format = args.get("trace-format", "chrome");
+    }
+    obs::TraceSession session(std::move(trace_options));
+    int rc = 0;
+    {
+        TWOCS_OBS_SPAN(obs::Category::Cli, "cmd." + cmd);
+        rc = spec->handler(args);
+    }
+    session.finish();
     return rc;
 }
 

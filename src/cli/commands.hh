@@ -1,32 +1,69 @@
 /**
  * @file
- * twocs CLI commands. Each command maps one library analysis onto a
- * terminal workflow:
+ * The twocs CLI: a declarative command registry and its dispatcher.
  *
- *   twocs zoo
- *   twocs analyze  --model GPT-3 --tp 16 --dp 4 [--flop-scale 2]
- *   twocs project  --hidden 65536 --seqlen 4096 --tp 256 [--flop-scale 4]
- *   twocs slack    --hidden 16384 --slb 4096 [--flop-scale 4]
- *   twocs memory   --model MT-NLG [--tp 128]
- *   twocs serve    [--input FILE --jobs N --cache-capacity N]
- *   twocs plan     --model MT-NLG [--max-devices 2048]
- *   twocs trace    --model BERT --tp 4 --dp 2 --out trace.json
+ * Every command is one CommandSpec row — name, one-line summary,
+ * flag specs (name, type, default, help) and a handler function.
+ * The registry is the single source of truth: the top-level usage
+ * text, the per-command `twocs help <cmd>` pages and the
+ * unknown-flag rejection (exit 2, naming the flag and the command)
+ * are all generated from it, so the help can never drift from what
+ * a handler actually reads.
  */
 
 #ifndef TWOCS_CLI_COMMANDS_HH
 #define TWOCS_CLI_COMMANDS_HH
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "cli/args.hh"
 
 namespace twocs::cli {
 
+/** Value shape of one flag, for help text and bare-flag rules. */
+enum class FlagType { Int, Double, String, Bool };
+
+/** One declared `--flag` of a command. */
+struct FlagSpec
+{
+    std::string name;
+    FlagType type = FlagType::String;
+    /** Rendered in help; empty means "no default" (optional or
+     *  context-dependent). */
+    std::string defaultValue;
+    std::string help;
+};
+
+/** One registered command. */
+struct CommandSpec
+{
+    std::string name;
+    std::string summary;
+    std::vector<FlagSpec> flags;
+    int (*handler)(const Args &) = nullptr;
+
+    /** The declared spec of `flag`, or nullptr. */
+    const FlagSpec *findFlag(const std::string &flag) const;
+};
+
+/** Every registered command, in display order. */
+const std::vector<CommandSpec> &commandRegistry();
+
+/** Registry lookup by command name; nullptr when unknown. */
+const CommandSpec *findCommand(const std::string &name);
+
 /** Dispatch a parsed command line; returns the process exit code. */
 int runCommand(const Args &args);
 
-/** Print the usage text (stderr when usage itself is the error). */
+/** Print the usage text (stderr when usage itself is the error);
+ *  generated from the registry. */
 void printUsage(std::ostream &os = std::cout);
+
+/** Print one command's `twocs help <cmd>` page. */
+void printCommandHelp(const CommandSpec &spec,
+                      std::ostream &os = std::cout);
 
 } // namespace twocs::cli
 

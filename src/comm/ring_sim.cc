@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hw/efficiency.hh"
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace twocs::comm {
@@ -13,6 +14,11 @@ simulateRingAllReduce(const hw::Topology &topology, Bytes payload,
                       const hw::LinkEfficiencyParams &link_params)
 {
     const int p = static_cast<int>(arrival_times.size());
+    TWOCS_OBS_SPAN(obs::Category::Comm, "comm.ring.allreduce", [&] {
+        return "devices=" + std::to_string(p) +
+               " payload_bytes=" + std::to_string(
+                                       static_cast<long long>(payload));
+    });
     fatalIf(p < 2, "ring simulation needs >= 2 devices");
     fatalIf(payload <= 0.0, "ring simulation needs a payload");
     for (Seconds t : arrival_times)
@@ -58,6 +64,9 @@ simulateRingAllReduce(const hw::Topology &topology, Bytes payload,
         }
         prev = std::move(cur);
     }
+    TWOCS_OBS_INSTANT(obs::Category::Comm, "comm.ring.built",
+                      std::to_string(steps) + " steps of " +
+                          std::to_string(p) + " transfers");
 
     RingSimResult result;
     result.schedule = des.run();

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "exec/thread_pool.hh"
+#include "obs/obs.hh"
 #include "util/units.hh"
 
 namespace twocs::exec {
@@ -135,7 +136,15 @@ class ParallelSweepRunner
         std::vector<Result> results(configs.size());
         const auto wall_start = Clock::now();
 
+        TWOCS_OBS_SPAN(obs::Category::Exec,
+                       options_.study + ".map", [&] {
+                           return "tasks=" +
+                                  std::to_string(configs.size()) +
+                                  " jobs=" + std::to_string(jobs);
+                       });
+        const std::string task_label = options_.study + ".task";
         auto runOne = [&](std::size_t i) {
+            TWOCS_OBS_SPAN(obs::Category::Exec, task_label);
             const auto task_start = Clock::now();
             results[i] = fn(configs[i]);
             report_.taskSeconds[i] = elapsed(task_start);
@@ -143,8 +152,11 @@ class ParallelSweepRunner
 
         if (jobs == 1) {
             // Inline on the calling thread: the exact evaluation
-            // order of the historical serialized studies.
+            // order of the historical serialized studies. The
+            // exec.task span mirrors the one ThreadPool workers
+            // emit, keeping span counts jobs-invariant.
             for (std::size_t i = 0; i < configs.size(); ++i) {
+                TWOCS_OBS_SPAN(obs::Category::Exec, "exec.task");
                 try {
                     runOne(i);
                 } catch (const std::exception &e) {

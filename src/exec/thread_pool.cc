@@ -1,5 +1,8 @@
 #include "thread_pool.hh"
 
+#include <string>
+
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace twocs::exec {
@@ -19,8 +22,17 @@ ThreadPool::ThreadPool(int num_threads, std::size_t queue_capacity)
     if (num_threads <= 0)
         num_threads = defaultThreads();
     workers_.reserve(static_cast<std::size_t>(num_threads));
-    for (int i = 0; i < num_threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (int i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this, i] {
+#ifndef TWOCS_OBS_DISABLE
+            if (obs::Tracer::mask() != 0) {
+                obs::Tracer::setThreadName("exec.worker-" +
+                                           std::to_string(i));
+            }
+#endif
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -79,12 +91,17 @@ ThreadPool::workerLoop()
         }
         spaceReady_.notify_one();
 
-        try {
-            task();
-        } catch (...) {
-            const std::lock_guard lock(mutex_);
-            if (firstError_ == nullptr)
-                firstError_ = std::current_exception();
+        {
+            // The inline jobs==1 paths emit the same span, so task
+            // counts are deterministic at any jobs value.
+            TWOCS_OBS_SPAN(obs::Category::Exec, "exec.task");
+            try {
+                task();
+            } catch (...) {
+                const std::lock_guard lock(mutex_);
+                if (firstError_ == nullptr)
+                    firstError_ = std::current_exception();
+            }
         }
 
         {

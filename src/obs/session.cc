@@ -1,0 +1,94 @@
+#include "session.hh"
+
+#include <fstream>
+#include <iostream>
+#include <string_view>
+
+#include "obs/sinks.hh"
+#include "util/logging.hh"
+
+namespace twocs::obs {
+
+TraceOptions
+TraceOptions::fromCommandLine(int argc, const char *const *argv)
+{
+    TraceOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view key = argv[i];
+        std::string value;
+        const auto eq = key.find('=');
+        if (key.rfind("--", 0) == 0 && eq != std::string_view::npos) {
+            value = std::string(key.substr(eq + 1));
+            key = key.substr(0, eq);
+        } else if (i + 1 < argc) {
+            value = argv[i + 1];
+        }
+        if (key != "--trace-out" && key != "--trace-categories" &&
+            key != "--trace-format") {
+            continue;
+        }
+        fatalIf(value.empty(), "option '", std::string(key),
+                "' is missing a value");
+        if (eq == std::string_view::npos)
+            ++i;
+        if (key == "--trace-out")
+            options.outPath = value;
+        else if (key == "--trace-categories")
+            options.categoryMask = categoryMaskFromList(value);
+        else
+            options.format = value;
+    }
+    return options;
+}
+
+TraceSession::TraceSession(TraceOptions options)
+    : options_(std::move(options))
+{
+    if (options_.outPath.empty())
+        return;
+    fatalIf(options_.format != "chrome" &&
+                options_.format != "folded",
+            "--trace-format must be 'chrome' or 'folded', got '",
+            options_.format, "'");
+    Tracer::reset();
+    Tracer::enable(options_.categoryMask);
+    Tracer::setThreadName("main");
+    active_ = true;
+}
+
+TraceSession::~TraceSession()
+{
+    try {
+        finish();
+    } catch (const FatalError &e) {
+        warn("trace session: ", e.what());
+    }
+}
+
+void
+TraceSession::finish()
+{
+    if (!active_)
+        return;
+    active_ = false;
+    Tracer::disable();
+    const TraceSnapshot snap = Tracer::snapshot();
+
+    std::ofstream os(options_.outPath);
+    fatalIf(!os, "cannot open trace file '", options_.outPath,
+            "' for writing");
+    if (options_.format == "folded")
+        writeFoldedStacks(snap, os);
+    else
+        writeChromeTrace(snap, os);
+    os.flush();
+    fatalIf(!os, "failed writing trace file '", options_.outPath,
+            "'");
+
+    writeSummary(snap, std::cerr);
+    inform("wrote span trace ", options_.outPath, " (",
+           snap.spans.size(), " spans, ", options_.format,
+           " format)");
+}
+
+} // namespace twocs::obs

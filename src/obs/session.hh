@@ -1,0 +1,65 @@
+/**
+ * @file
+ * TraceSession: the --trace-out driver glue shared by the CLI
+ * commands and the bench binaries.
+ *
+ * Construction resets and enables the Tracer for the selected
+ * categories; finish() (or destruction, best-effort) snapshots the
+ * spans, writes the chosen sink to the output file, prints the
+ * summary table to stderr and disables the tracer again. With an
+ * empty output path the session is inert and tracing stays off, so
+ * untraced runs remain byte-identical.
+ */
+
+#ifndef TWOCS_OBS_SESSION_HH
+#define TWOCS_OBS_SESSION_HH
+
+#include <string>
+
+#include "obs/obs.hh"
+
+namespace twocs::obs {
+
+/** Parsed --trace-out / --trace-categories / --trace-format. */
+struct TraceOptions
+{
+    /** Trace file path; empty disables the whole session. */
+    std::string outPath;
+    unsigned categoryMask = kAllCategories;
+    /** "chrome" (trace.json event array) or "folded" (stacks). */
+    std::string format = "chrome";
+
+    /**
+     * Scan a raw argv for the trace flags (the bench drivers have no
+     * full CLI parser); other arguments are ignored.
+     */
+    static TraceOptions fromCommandLine(int argc,
+                                        const char *const *argv);
+};
+
+/** RAII ownership of one enable -> record -> write -> disable arc. */
+class TraceSession
+{
+  public:
+    explicit TraceSession(TraceOptions options);
+
+    /** finish(), swallowing write errors into a warn(). */
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    bool active() const { return active_; }
+
+    /** Write the trace file + stderr summary and disable tracing;
+     *  fatal() if the output file cannot be written. */
+    void finish();
+
+  private:
+    TraceOptions options_;
+    bool active_ = false;
+};
+
+} // namespace twocs::obs
+
+#endif // TWOCS_OBS_SESSION_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Trace sinks: serializers from a TraceSnapshot to the formats the
+ * rest of the tooling understands.
+ *
+ *  - Chrome trace.json: a bare JSON event array (the same dialect as
+ *    sim/trace.hh) loadable in chrome://tracing or Perfetto;
+ *  - folded stacks: `lane;outer;inner <microseconds>` lines for
+ *    flamegraph.pl-style tooling;
+ *  - summary: an aligned count/total/p50/p95 table per span label,
+ *    for the end-of-run stderr report.
+ */
+
+#ifndef TWOCS_OBS_SINKS_HH
+#define TWOCS_OBS_SINKS_HH
+
+#include <ostream>
+
+#include "obs/obs.hh"
+
+namespace twocs::obs {
+
+/** Write `snap` as a Chrome trace event array (µs timestamps). */
+void writeChromeTrace(const TraceSnapshot &snap, std::ostream &os);
+
+/** Write `snap` as folded flamegraph stacks (µs sample values). */
+void writeFoldedStacks(const TraceSnapshot &snap, std::ostream &os);
+
+/** Write the per-label count/total/p50/p95 summary table. */
+void writeSummary(const TraceSnapshot &snap, std::ostream &os);
+
+} // namespace twocs::obs
+
+#endif // TWOCS_OBS_SINKS_HH

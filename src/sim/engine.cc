@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace twocs::sim {
@@ -169,6 +170,10 @@ EventSimulator::addTask(std::string label, std::string tag,
 Schedule
 EventSimulator::run() const
 {
+    TWOCS_OBS_SPAN(obs::Category::Sim, "sim.run", [this] {
+        return "tasks=" + std::to_string(tasks_.size()) +
+               " resources=" + std::to_string(resourceNames_.size());
+    });
     std::vector<ScheduledTask> placed(tasks_.size());
     std::vector<Seconds> resource_free(resourceNames_.size(), 0.0);
 
@@ -176,6 +181,10 @@ EventSimulator::run() const
     // backwards, so a single forward pass is a valid simulation.
     for (std::size_t i = 0; i < tasks_.size(); ++i) {
         const Task &t = tasks_[i];
+        TWOCS_OBS_SPAN(obs::Category::Sim, [&t] {
+            return "sim.dispatch." +
+                   (t.tag.empty() ? std::string("task") : t.tag);
+        });
         Seconds ready = resource_free[t.resource];
         for (TaskId dep : t.deps)
             ready = std::max(ready, placed[dep].end);

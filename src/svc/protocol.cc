@@ -540,4 +540,46 @@ fnv1a(std::string_view s)
     return hash;
 }
 
+std::string
+tryExtractIdJson(const std::string &line)
+{
+    const std::size_t key = line.find("\"id\"");
+    if (key == std::string::npos)
+        return "";
+    std::size_t p = key + 4;
+    while (p < line.size() && (line[p] == ' ' || line[p] == '\t'))
+        ++p;
+    if (p >= line.size() || line[p] != ':')
+        return "";
+    ++p;
+    while (p < line.size() && (line[p] == ' ' || line[p] == '\t'))
+        ++p;
+    if (p >= line.size())
+        return "";
+    if (line[p] == '"') {
+        // The raw string token, escapes and all, echoed verbatim.
+        std::size_t q = p + 1;
+        while (q < line.size()) {
+            if (line[q] == '\\')
+                q += 2;
+            else if (line[q] == '"')
+                return line.substr(p, q - p + 1);
+            else
+                ++q;
+        }
+        return "";
+    }
+    if (line[p] == '-' || (line[p] >= '0' && line[p] <= '9')) {
+        std::size_t q = p;
+        while (q < line.size() &&
+               (line[q] == '-' || line[q] == '+' || line[q] == '.' ||
+                line[q] == 'e' || line[q] == 'E' ||
+                (line[q] >= '0' && line[q] <= '9'))) {
+            ++q;
+        }
+        return line.substr(p, q - p);
+    }
+    return "";
+}
+
 } // namespace twocs::svc

@@ -103,6 +103,14 @@ std::string canonicalKey(const Query &query);
 /** 64-bit FNV-1a, the service's canonical string hash. */
 std::uint64_t fnv1a(std::string_view s);
 
+/**
+ * Best-effort extraction of the `id` field's raw JSON token from a
+ * request line that failed strict parsing, so proto-v2 error
+ * responses can still echo the id. Returns "" when no plausible id
+ * is found; never throws.
+ */
+std::string tryExtractIdJson(const std::string &line);
+
 /** Map a protocol precision name to the hw enum; fatal() if unknown. */
 hw::Precision precisionFromName(const std::string &name);
 

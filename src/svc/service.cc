@@ -15,6 +15,7 @@
 #include "model/layer_graph.hh"
 #include "model/memory.hh"
 #include "model/zoo.hh"
+#include "obs/obs.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -30,11 +31,46 @@ elapsed(Clock::time_point since)
     return std::chrono::duration<double>(Clock::now() - since).count();
 }
 
-/** Response fragment for a failed request. */
-std::string
-errorPayload(const std::string &message)
+/**
+ * Scrape the byte offset out of a parser diagnostic ("byte 17: ..."),
+ * -1 when the message carries none.
+ */
+int
+extractByteOffset(const std::string &message)
 {
-    return "\"status\":\"error\",\"message\":" + json::quote(message);
+    const std::size_t pos = message.find("byte ");
+    if (pos == std::string::npos)
+        return -1;
+    int offset = -1;
+    for (std::size_t i = pos + 5;
+         i < message.size() && message[i] >= '0' && message[i] <= '9';
+         ++i) {
+        offset = (offset < 0 ? 0 : offset * 10) + (message[i] - '0');
+    }
+    return offset;
+}
+
+/**
+ * Response fragment for a failed request. Proto v2 wraps the
+ * diagnostic in a structured error object; v1 is the legacy flat
+ * message.
+ */
+std::string
+errorPayload(int proto, const char *code, const std::string &message)
+{
+    if (proto <= 1) {
+        return "\"status\":\"error\",\"message\":" +
+               json::quote(message);
+    }
+    std::string out = "\"status\":\"error\",\"error\":{\"code\":";
+    out += json::quote(code);
+    out += ",\"message\":";
+    out += json::quote(message);
+    const int offset = extractByteOffset(message);
+    if (offset >= 0)
+        out += ",\"offset\":" + std::to_string(offset);
+    out += "}";
+    return out;
 }
 
 /** Assemble a full response line from an id token and a payload. */
@@ -97,6 +133,9 @@ QueryService::QueryService(ServiceOptions options)
             options_.jobs);
     fatalIf(options_.batchCapacity == 0,
             "serve: --batch expects a positive batch size");
+    fatalIf(options_.protoVersion != 1 && options_.protoVersion != 2,
+            "serve: --proto must be 1 or 2, got ",
+            options_.protoVersion);
 }
 
 QueryService::~QueryService() = default;
@@ -247,6 +286,8 @@ std::string
 QueryService::statsPayload() const
 {
     std::string out = "\"status\":\"ok\",\"kind\":\"stats\"";
+    if (options_.protoVersion >= 2)
+        out += field("proto", std::int64_t{ 2 });
     out += field("requests",
                  static_cast<std::int64_t>(metrics_.requests()));
     out += field("hits", static_cast<std::int64_t>(metrics_.hits()));
@@ -256,6 +297,26 @@ QueryService::statsPayload() const
                  static_cast<std::int64_t>(metrics_.failures()));
     out += field("cache_entries",
                  static_cast<std::int64_t>(cache_.size()));
+#ifndef TWOCS_OBS_DISABLE
+    // Deterministic span counts (durations are wall-clock noise and
+    // stay out of the response contract). Only svc-category spans
+    // are reported, and only while a tracer is actually recording —
+    // untraced runs keep the exact pre-tracing response bytes.
+    if (options_.protoVersion >= 2 && obs::Tracer::mask() != 0) {
+        out += ",\"spans\":{";
+        bool first = true;
+        for (const auto &[label, count] : obs::Tracer::countsByLabel(
+                 static_cast<unsigned>(obs::Category::Svc))) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += json::quote(label);
+            out += ':';
+            out += std::to_string(count);
+        }
+        out += "}";
+    }
+#endif
     return out;
 }
 
@@ -285,101 +346,135 @@ QueryService::processBatch(NumberedLines &&lines, std::ostream &out)
     // Phase 1 (sequential, arrival order): parse, normalize,
     // resolve the system (calibrating it on first sight), then
     // classify against the cache and the batch's own pending keys.
-    std::unordered_map<std::string, std::size_t> pending;
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-        BatchEntry &e = entries[i];
-        e.lineNo = lines[i].first;
-        const auto start = Clock::now();
-        try {
-            e.query = parseQuery(lines[i].second);
-            e.idJson = e.query.idJson;
-            if (e.query.kind == QueryKind::Stats) {
-                e.outcome = Outcome::Stats;
-            } else {
-                e.system = &systemFor(e.query);
-                e.key = canonicalKey(e.query);
-                if (auto hit = cache_.get(e.key)) {
-                    e.outcome = Outcome::CacheHit;
-                    e.payload = std::move(*hit);
-                } else if (const auto p = pending.find(e.key);
-                           p != pending.end()) {
-                    e.outcome = Outcome::Duplicate;
-                    e.dupOf = p->second;
+    {
+        TWOCS_OBS_SPAN(obs::Category::Svc, "svc.batch.parse",
+                       [&lines] {
+                           return "requests=" +
+                                  std::to_string(lines.size());
+                       });
+        std::unordered_map<std::string, std::size_t> pending;
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            BatchEntry &e = entries[i];
+            e.lineNo = lines[i].first;
+            const auto start = Clock::now();
+            try {
+                e.query = parseQuery(lines[i].second);
+                e.idJson = e.query.idJson;
+                if (e.query.kind == QueryKind::Stats) {
+                    e.outcome = Outcome::Stats;
                 } else {
-                    e.outcome = Outcome::Compute;
-                    pending.emplace(e.key, i);
+                    e.system = &systemFor(e.query);
+                    e.key = canonicalKey(e.query);
+                    if (auto hit = cache_.get(e.key)) {
+                        e.outcome = Outcome::CacheHit;
+                        e.payload = std::move(*hit);
+                    } else if (const auto p = pending.find(e.key);
+                               p != pending.end()) {
+                        e.outcome = Outcome::Duplicate;
+                        e.dupOf = p->second;
+                    } else {
+                        e.outcome = Outcome::Compute;
+                        pending.emplace(e.key, i);
+                    }
                 }
+            } catch (const FatalError &ex) {
+                e.outcome = Outcome::ParseError;
+                e.failed = true;
+                if (options_.protoVersion >= 2)
+                    e.idJson = tryExtractIdJson(lines[i].second);
+                e.payload = errorPayload(
+                    options_.protoVersion, "parse_error",
+                    "line " + std::to_string(e.lineNo) + ": " +
+                        ex.what());
             }
-        } catch (const FatalError &ex) {
-            e.outcome = Outcome::ParseError;
-            e.failed = true;
-            e.payload = errorPayload(
-                "line " + std::to_string(e.lineNo) + ": " + ex.what());
+            e.seconds = elapsed(start);
         }
-        e.seconds = elapsed(start);
     }
 
     // Phase 2: evaluate the distinct misses — inline at one job (the
     // historical sequential order), fanned out over the pool
-    // otherwise. Workers only touch their own entry.
-    const auto runOne = [](BatchEntry &e) {
-        const auto start = Clock::now();
-        try {
-            e.payload = evaluate(e.query, *e.system);
-        } catch (const FatalError &ex) {
-            e.failed = true;
-            e.payload = errorPayload(ex.what());
+    // otherwise. Workers only touch their own entry. The inline
+    // exec.task span mirrors the ThreadPool worker's, so span counts
+    // are jobs-invariant.
+    {
+        TWOCS_OBS_SPAN(obs::Category::Svc, "svc.batch.evaluate");
+        const auto runOne = [this](BatchEntry &e) {
+            TWOCS_OBS_SPAN(obs::Category::Svc, "svc.evaluate");
+            const auto start = Clock::now();
+            try {
+                e.payload = evaluate(e.query, *e.system);
+            } catch (const FatalError &ex) {
+                e.failed = true;
+                e.payload = errorPayload(options_.protoVersion,
+                                         "eval_error", ex.what());
+            }
+            e.seconds += elapsed(start);
+        };
+        if (effectiveJobs() == 1) {
+            for (BatchEntry &e : entries) {
+                if (e.outcome == Outcome::Compute) {
+                    TWOCS_OBS_SPAN(obs::Category::Exec, "exec.task");
+                    runOne(e);
+                }
+            }
+        } else {
+            exec::ThreadPool &workers = pool();
+            for (BatchEntry &e : entries) {
+                if (e.outcome == Outcome::Compute)
+                    workers.submit([&e, &runOne] { runOne(e); });
+            }
+            workers.drain();
         }
-        e.seconds += elapsed(start);
-    };
-    if (effectiveJobs() == 1) {
-        for (BatchEntry &e : entries) {
-            if (e.outcome == Outcome::Compute)
-                runOne(e);
-        }
-    } else {
-        exec::ThreadPool &workers = pool();
-        for (BatchEntry &e : entries) {
-            if (e.outcome == Outcome::Compute)
-                workers.submit([&e, &runOne] { runOne(e); });
-        }
-        workers.drain();
     }
 
     // Phase 3 (sequential, arrival order): resolve duplicates,
     // update counters and the cache, emit responses. A stats query
     // snapshots the counters as of its own position in the stream.
-    for (BatchEntry &e : entries) {
-        metrics_.recordRequest();
-        switch (e.outcome) {
-          case Outcome::ParseError:
-            metrics_.recordFailure();
-            break;
-          case Outcome::CacheHit:
-            metrics_.recordHit();
-            break;
-          case Outcome::Duplicate: {
-            const BatchEntry &source = entries[e.dupOf];
-            e.payload = source.payload;
-            e.failed = source.failed;
-            e.failed ? metrics_.recordFailure()
-                     : metrics_.recordHit();
-            break;
-          }
-          case Outcome::Compute:
-            if (e.failed) {
+    // Cache hit/miss instants live here (not in the racy phases) so
+    // their order and count are deterministic; the still-open commit
+    // span is invisible to this batch's own stats queries.
+    {
+        TWOCS_OBS_SPAN(obs::Category::Svc, "svc.batch.commit");
+        for (BatchEntry &e : entries) {
+            metrics_.recordRequest();
+            switch (e.outcome) {
+              case Outcome::ParseError:
                 metrics_.recordFailure();
-            } else {
-                metrics_.recordMiss();
-                cache_.put(e.key, e.payload);
+                break;
+              case Outcome::CacheHit:
+                TWOCS_OBS_INSTANT(obs::Category::Svc,
+                                  "svc.cache.hit");
+                metrics_.recordHit();
+                break;
+              case Outcome::Duplicate: {
+                const BatchEntry &source = entries[e.dupOf];
+                e.payload = source.payload;
+                e.failed = source.failed;
+                if (!e.failed) {
+                    TWOCS_OBS_INSTANT(obs::Category::Svc,
+                                      "svc.cache.hit");
+                }
+                e.failed ? metrics_.recordFailure()
+                         : metrics_.recordHit();
+                break;
+              }
+              case Outcome::Compute:
+                if (e.failed) {
+                    metrics_.recordFailure();
+                } else {
+                    TWOCS_OBS_INSTANT(obs::Category::Svc,
+                                      "svc.cache.miss");
+                    metrics_.recordMiss();
+                    cache_.put(e.key, e.payload);
+                }
+                break;
+              case Outcome::Stats:
+                e.payload = statsPayload();
+                break;
             }
-            break;
-          case Outcome::Stats:
-            e.payload = statsPayload();
-            break;
+            metrics_.recordLatency(e.seconds);
+            out << assemble(e.idJson, e.payload) << "\n";
         }
-        metrics_.recordLatency(e.seconds);
-        out << assemble(e.idJson, e.payload) << "\n";
     }
     out.flush();
 }

@@ -65,6 +65,16 @@ struct ServiceOptions
     std::size_t batchCapacity = 32;
     /** When non-empty, serve() writes the metrics JSON here. */
     std::string metricsPath;
+    /**
+     * Response-shape version. 2 (the default) wraps failures in an
+     * `"error": {"code", "message", "offset?"}` object, echoes the
+     * request id even on parse errors, and reports `"proto": 2`
+     * plus a deterministic `spans` count section (when tracing is
+     * on) in stats responses; 1 reproduces the legacy shapes
+     * byte-for-byte. Successful compute payloads are identical in
+     * both, so cached bytes never depend on the version.
+     */
+    int protoVersion = 2;
 };
 
 /**

@@ -2,7 +2,226 @@
 
 #include <cstdio>
 
+#include "util/logging.hh"
+
 namespace twocs::json {
+
+namespace {
+
+/** Recursive-descent validator over the RFC 8259 value grammar. */
+class Validator
+{
+  public:
+    explicit Validator(std::string_view text) : text_(text) {}
+
+    void
+    run()
+    {
+        skipWs();
+        value(0);
+        skipWs();
+        failIf(pos_ != text_.size(), "trailing content");
+    }
+
+  private:
+    static constexpr int kMaxDepth = 128;
+
+    [[noreturn]] void
+    fail(const char *what) const
+    {
+        fatal("byte ", pos_, ": invalid JSON: ", what);
+    }
+
+    void
+    failIf(bool cond, const char *what) const
+    {
+        if (cond)
+            fail(what);
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (peek() == ' ' || peek() == '\t' ||
+                            peek() == '\n' || peek() == '\r')) {
+            ++pos_;
+        }
+    }
+
+    void
+    expect(char c, const char *what)
+    {
+        failIf(atEnd() || peek() != c, what);
+        ++pos_;
+    }
+
+    void
+    literal(std::string_view word)
+    {
+        failIf(text_.substr(pos_, word.size()) != word,
+               "unknown literal");
+        pos_ += word.size();
+    }
+
+    void
+    value(int depth)
+    {
+        failIf(depth > kMaxDepth, "nesting too deep");
+        failIf(atEnd(), "unexpected end of input");
+        switch (peek()) {
+          case '{':
+            object(depth);
+            return;
+          case '[':
+            array(depth);
+            return;
+          case '"':
+            string();
+            return;
+          case 't':
+            literal("true");
+            return;
+          case 'f':
+            literal("false");
+            return;
+          case 'n':
+            literal("null");
+            return;
+          default:
+            number();
+        }
+    }
+
+    void
+    object(int depth)
+    {
+        expect('{', "expected '{'");
+        skipWs();
+        if (!atEnd() && peek() == '}') {
+            ++pos_;
+            return;
+        }
+        for (;;) {
+            skipWs();
+            failIf(atEnd() || peek() != '"',
+                   "expected a string object key");
+            string();
+            skipWs();
+            expect(':', "expected ':' after object key");
+            skipWs();
+            value(depth + 1);
+            skipWs();
+            failIf(atEnd(), "unterminated object");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}', "expected ',' or '}' in object");
+            return;
+        }
+    }
+
+    void
+    array(int depth)
+    {
+        expect('[', "expected '['");
+        skipWs();
+        if (!atEnd() && peek() == ']') {
+            ++pos_;
+            return;
+        }
+        for (;;) {
+            skipWs();
+            value(depth + 1);
+            skipWs();
+            failIf(atEnd(), "unterminated array");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']', "expected ',' or ']' in array");
+            return;
+        }
+    }
+
+    void
+    string()
+    {
+        expect('"', "expected '\"'");
+        for (;;) {
+            failIf(atEnd(), "unterminated string");
+            const unsigned char c =
+                static_cast<unsigned char>(text_[pos_]);
+            failIf(c < 0x20, "raw control character in string");
+            ++pos_;
+            if (c == '"')
+                return;
+            if (c != '\\')
+                continue;
+            failIf(atEnd(), "unterminated escape");
+            const char esc = text_[pos_++];
+            if (esc == 'u') {
+                for (int i = 0; i < 4; ++i) {
+                    failIf(atEnd() || !isHex(text_[pos_]),
+                           "\\u needs four hex digits");
+                    ++pos_;
+                }
+            } else if (esc != '"' && esc != '\\' && esc != '/' &&
+                       esc != 'b' && esc != 'f' && esc != 'n' &&
+                       esc != 'r' && esc != 't') {
+                fail("unknown escape");
+            }
+        }
+    }
+
+    void
+    number()
+    {
+        failIf(atEnd(), "expected a value");
+        if (peek() == '-')
+            ++pos_;
+        failIf(atEnd() || !isDigit(peek()), "malformed number");
+        if (peek() == '0') {
+            ++pos_;
+        } else {
+            while (!atEnd() && isDigit(peek()))
+                ++pos_;
+        }
+        if (!atEnd() && peek() == '.') {
+            ++pos_;
+            failIf(atEnd() || !isDigit(peek()),
+                   "digits must follow '.'");
+            while (!atEnd() && isDigit(peek()))
+                ++pos_;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            failIf(atEnd() || !isDigit(peek()),
+                   "digits must follow the exponent");
+            while (!atEnd() && isDigit(peek()))
+                ++pos_;
+        }
+    }
+
+    static bool isDigit(char c) { return c >= '0' && c <= '9'; }
+
+    static bool
+    isHex(char c)
+    {
+        return isDigit(c) || (c >= 'a' && c <= 'f') ||
+               (c >= 'A' && c <= 'F');
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
 
 std::string
 escape(std::string_view s)
@@ -59,6 +278,12 @@ number(double v)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
+}
+
+void
+validate(std::string_view text)
+{
+    Validator(text).run();
 }
 
 } // namespace twocs::json

@@ -36,6 +36,18 @@ std::string quote(std::string_view s);
  */
 std::string number(double v);
 
+/**
+ * Strictly validate that `text` is one well-formed JSON value
+ * (object, array, string, number, true/false/null) with nothing but
+ * whitespace around it; fatal() with a byte offset otherwise. Used
+ * by `twocs validate` and the tests to check our own emitters
+ * (trace files, reports) without an external JSON dependency.
+ * Escapes are checked syntactically (`\uXXXX` needs four hex
+ * digits; surrogate pairing is not enforced). Nesting is capped at
+ * 128 levels.
+ */
+void validate(std::string_view text);
+
 } // namespace twocs::json
 
 #endif // TWOCS_UTIL_JSON_HH

@@ -142,8 +142,12 @@ TEST(CliArgs, NoCommandIsEmpty)
 
 TEST(CliArgs, RejectsMalformedInput)
 {
-    const char *missing_value[] = { "twocs", "analyze", "--model" };
-    EXPECT_THROW(cli::Args::parse(3, missing_value), FatalError);
+    // A trailing valueless option parses as a bare flag (stored as
+    // "1"); the command registry decides whether that is legal.
+    const char *bare_tail[] = { "twocs", "analyze", "--model" };
+    const cli::Args bare = cli::Args::parse(3, bare_tail);
+    EXPECT_TRUE(bare.wasBare("model"));
+    EXPECT_EQ(bare.get("model"), "1");
 
     const char *bad_key[] = { "twocs", "analyze", "model", "GPT-3" };
     EXPECT_THROW(cli::Args::parse(4, bad_key), FatalError);

@@ -389,6 +389,100 @@ TEST(SvcService, MetricsFileReportsTheRun)
     EXPECT_THROW(doomed.serve(in2, out2), FatalError);
 }
 
+// --- response protocol v2 ---
+
+TEST(SvcProto, V2ErrorsCarryStructuredErrorObject)
+{
+    svc::QueryService service;
+    const std::string parse = service.handle(
+        "{\"kind\": \"project\", \"hiden\": 1}");
+    EXPECT_NE(parse.find("\"status\":\"error\",\"error\":{"
+                         "\"code\":\"parse_error\",\"message\":"),
+              std::string::npos)
+        << parse;
+
+    // A syntax-level diagnostic names a byte offset; v2 surfaces it
+    // as a machine-readable field.
+    const std::string syntax = service.handle("{\"kind\" \"x\"}");
+    EXPECT_NE(syntax.find("\"code\":\"parse_error\""),
+              std::string::npos);
+    EXPECT_NE(syntax.find("\"offset\":"), std::string::npos)
+        << syntax;
+
+    const std::string eval = service.handle(
+        "{\"kind\": \"memory\", \"model\": \"ELIZA\"}");
+    EXPECT_NE(eval.find("\"error\":{\"code\":\"eval_error\""),
+              std::string::npos)
+        << eval;
+}
+
+TEST(SvcProto, V2EchoesRequestIdEvenOnParseErrors)
+{
+    svc::QueryService service;
+    const std::string r = service.handle(
+        "{\"id\": 7, \"kind\": \"project\", \"hiden\": 1}");
+    EXPECT_EQ(r.rfind("{\"id\":7,\"status\":\"error\"", 0), 0u) << r;
+    const std::string s = service.handle(
+        "{\"id\": \"req-9\", \"kind\": \"nope\"}");
+    EXPECT_EQ(s.rfind("{\"id\":\"req-9\",\"status\":\"error\"", 0),
+              0u)
+        << s;
+}
+
+TEST(SvcProto, V2StatsReportsProtocolVersion)
+{
+    svc::QueryService service;
+    const std::string stats = service.handle("{\"kind\": \"stats\"}");
+    EXPECT_NE(stats.find("\"kind\":\"stats\",\"proto\":2,"),
+              std::string::npos)
+        << stats;
+}
+
+TEST(SvcProto, V1KeepsTheLegacyFlatErrorShape)
+{
+    svc::ServiceOptions options;
+    options.protoVersion = 1;
+    svc::QueryService service(options);
+    const std::string err = service.handle(
+        "{\"id\": 7, \"kind\": \"project\", \"hiden\": 1}");
+    // Legacy shape: flat message, no error object, no id echo on
+    // parse errors.
+    EXPECT_EQ(err.rfind("{\"status\":\"error\",\"message\":\"", 0),
+              0u)
+        << err;
+    EXPECT_EQ(err.find("\"error\":{"), std::string::npos);
+    const std::string stats = service.handle("{\"kind\": \"stats\"}");
+    EXPECT_EQ(stats.find("\"proto\""), std::string::npos) << stats;
+
+    svc::ServiceOptions bad;
+    bad.protoVersion = 3;
+    EXPECT_THROW(svc::QueryService{ bad }, FatalError);
+}
+
+TEST(SvcProto, OkPayloadsAreIdenticalAcrossVersions)
+{
+    // The cache key and every success payload are version-invariant;
+    // only diagnostics and stats metadata differ.
+    const std::string req =
+        "{\"kind\": \"project\", \"hidden\": 8192, \"tp\": 16}";
+    svc::ServiceOptions v1;
+    v1.protoVersion = 1;
+    svc::QueryService legacy(v1);
+    svc::QueryService modern;
+    EXPECT_EQ(legacy.handle(req), modern.handle(req));
+}
+
+TEST(SvcProto, IdTokenExtractionIsBestEffort)
+{
+    EXPECT_EQ(svc::tryExtractIdJson("{\"id\": 7, \"kind\": 1}"), "7");
+    EXPECT_EQ(svc::tryExtractIdJson("{\"id\": \"a b\"}"),
+              "\"a b\"");
+    EXPECT_EQ(svc::tryExtractIdJson("{\"id\": -12}"), "-12");
+    EXPECT_EQ(svc::tryExtractIdJson("{\"kind\": \"stats\"}"), "");
+    EXPECT_EQ(svc::tryExtractIdJson("{\"id\""), "");
+    EXPECT_EQ(svc::tryExtractIdJson("not json at all"), "");
+}
+
 // --- the CLI surface ---
 
 /** RAII stdout capture that survives exceptions. */
