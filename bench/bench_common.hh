@@ -15,11 +15,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exec/parallel_runner.hh"
 #include "obs/session.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "util/units.hh"
@@ -92,6 +96,81 @@ checkClaim(const std::string &claim, bool ok)
 {
     std::printf("[%s] %s\n", ok ? "PASS" : "WARN", claim.c_str());
     return ok;
+}
+
+/**
+ * Machine-readable bench results, for the CI regression harness.
+ *
+ * A bench parses `--bench-json FILE` with benchJsonPath(), records
+ * its headline numbers with set(), and calls write() on exit. With
+ * no --bench-json flag the emitter is inert, so interactive runs are
+ * unchanged. The schema is deliberately tiny and append-only:
+ *
+ *   {"schema": "twocs-bench-1",
+ *    "bench": "<name>",
+ *    "metrics": {"<metric>": <number>, ...}}
+ *
+ * CI validates presence of the schema fields only — never timing
+ * values, which depend on the host (see ci/run_tier1.sh).
+ */
+class BenchJson
+{
+  public:
+    BenchJson(std::string bench, std::string path)
+        : bench_(std::move(bench)), path_(std::move(path))
+    {
+    }
+
+    void set(const std::string &metric, double value)
+    {
+        metrics_.emplace_back(metric, value);
+    }
+
+    /** Write the report; returns false (with a diagnostic) if the
+     *  file can't be opened. No-op when no path was given. */
+    bool write() const
+    {
+        if (path_.empty())
+            return true;
+        std::ofstream out(path_);
+        if (!out) {
+            std::fprintf(stderr,
+                         "error: cannot write bench json '%s'\n",
+                         path_.c_str());
+            return false;
+        }
+        out << "{\n  \"schema\": \"twocs-bench-1\",\n  \"bench\": "
+            << json::quote(bench_) << ",\n  \"metrics\": {";
+        bool first = true;
+        for (const auto &[metric, value] : metrics_) {
+            out << (first ? "\n" : ",\n") << "    "
+                << json::quote(metric) << ": "
+                << json::number(value);
+            first = false;
+        }
+        out << "\n  }\n}\n";
+        std::printf("bench json written to %s\n", path_.c_str());
+        return true;
+    }
+
+  private:
+    std::string bench_;
+    std::string path_;
+    /** Insertion-ordered so the artifact diff is stable. */
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/** Extract `--bench-json FILE` from a bench's argv (empty string if
+ *  absent). Both option parsers ignore unknown flags, so this
+ *  composes with runnerOptions()/traceOptions() on the same argv. */
+inline std::string
+benchJsonPath(int argc, const char *const *argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--bench-json")
+            return argv[i + 1];
+    }
+    return std::string();
 }
 
 /** Render a table to stdout (CSV when TWOCS_CSV=1 is set, for

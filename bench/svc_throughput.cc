@@ -101,6 +101,8 @@ main(int argc, char **argv)
         argc, argv, "svc_throughput");
     (void)opts; // jobs are swept explicitly below
     obs::TraceSession trace(bench::traceOptions(argc, argv));
+    bench::BenchJson json("svc_throughput",
+                          bench::benchJsonPath(argc, argv));
 
     bench::banner("svc_throughput",
                   "query service QPS under a Zipf workload");
@@ -138,5 +140,12 @@ main(int argc, char **argv)
     // prints WARN, which is honest rather than wrong.
     bench::checkClaim("jobs 4 achieves >= 2x QPS of jobs 1",
                       results.back().qps >= 2.0 * results.front().qps);
+
+    json.set("requests", static_cast<double>(kRequests));
+    json.set("qps_jobs1", results.front().qps);
+    json.set("qps_jobs4", results.back().qps);
+    json.set("hit_rate", results.front().hitRate);
+    if (!json.write())
+        return 1;
     return 0;
 }

@@ -4,12 +4,21 @@
 #
 #   1. `tier1`  — full RelWithDebInfo build + the whole ctest suite.
 #   2. `tsan`   — ThreadSanitizer build; runs the concurrency-bearing
-#                 suites (exec ThreadPool/ParallelSweepRunner, the
-#                 svc query service and the obs tracer) under TSan.
+#                 suites (exec ThreadPool/parallelFor/
+#                 ParallelSweepRunner, the svc query service and the
+#                 obs tracer) under TSan.
 #   3. obs gate — a traced sweep must produce a trace.json that the
 #                 strict parser accepts, and span sites that are
 #                 compiled in but disabled must stay under 1%
 #                 overhead (bench/obs_overhead).
+#   4. bench regression harness — sweep_throughput emits
+#                 BENCH_sweep_throughput.json, which must be strictly
+#                 valid JSON carrying the twocs-bench-1 schema
+#                 fields. Only schema presence is asserted — never
+#                 timings, so a loaded CI host cannot flake the gate.
+#                 The BENCH_*.json files are collected under
+#                 build-tier1/bench-artifacts/ as the perf-trajectory
+#                 artifact to upload.
 #
 # Usage: ci/run_tier1.sh [jobs]
 
@@ -37,4 +46,16 @@ rm -f "${trace_out}"
 echo "== tier-1: disabled-tracing overhead < 1% =="
 build-tier1/bench/obs_overhead
 
-echo "tier-1 gate: all green"
+echo "== tier-1: bench-regression JSON carries the schema =="
+artifacts="build-tier1/bench-artifacts"
+mkdir -p "${artifacts}"
+bench_json="${artifacts}/BENCH_sweep_throughput.json"
+rm -f "${bench_json}"
+build-tier1/bench/sweep_throughput --jobs 2 \
+    --bench-json "${bench_json}"
+"${twocs}" validate --trace "${bench_json}"
+grep -q '"schema": "twocs-bench-1"' "${bench_json}"
+grep -q '"bench": "sweep_throughput"' "${bench_json}"
+grep -q '"configs_per_sec_stealing"' "${bench_json}"
+
+echo "tier-1 gate: all green (artifacts in ${artifacts})"

@@ -15,6 +15,7 @@
 #ifndef TWOCS_COMM_RING_SIM_HH
 #define TWOCS_COMM_RING_SIM_HH
 
+#include <memory>
 #include <vector>
 
 #include "comm/collectives.hh"
@@ -36,7 +37,9 @@ struct RingSimResult
     Seconds maxStallTime = 0.0;
 
     /** The underlying schedule, for trace export. */
-    sim::Schedule schedule{ {}, {}, {} };
+    sim::Schedule schedule{
+        {}, {}, {}, std::make_shared<util::StringInterner>()
+    };
 };
 
 /**

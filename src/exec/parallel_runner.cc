@@ -85,6 +85,7 @@ RunReport::writeJson(std::ostream &os) const
        << ",\n"
        << "  \"task_seconds_p95\": " << json::number(latencyP95())
        << ",\n"
+       << "  \"queue_high_water\": " << queueHighWater << ",\n"
        << "  \"failures\": [";
     for (std::size_t i = 0; i < failures.size(); ++i) {
         os << (i == 0 ? "\n" : ",\n")

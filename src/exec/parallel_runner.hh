@@ -5,10 +5,11 @@
  * Every study in this library — the Table 3 serialized grid, the
  * sensitivity tornado, cluster jitter trials, the figure benches —
  * maps a vector of configurations through a pure evaluation functor.
- * ParallelSweepRunner executes that map on a ThreadPool and
- * aggregates results **in input order regardless of completion
- * order**, so `--jobs 1` and `--jobs N` produce byte-identical
- * output. Each map() call additionally captures a structured
+ * ParallelSweepRunner executes that map on the chunked work-stealing
+ * exec::parallelFor (or, as a measured baseline, one
+ * ThreadPool::submit per config) and aggregates results **in input
+ * order regardless of completion order**, so `--jobs 1` and
+ * `--jobs N` produce byte-identical output. Each map() call additionally captures a structured
  * RunReport (wall time, per-config latency percentiles, thread
  * count, task failures) that can be emitted as JSON via `--report`.
  *
@@ -32,11 +33,24 @@
 #include <utility>
 #include <vector>
 
+#include "exec/parallel_for.hh"
 #include "exec/thread_pool.hh"
 #include "obs/obs.hh"
 #include "util/units.hh"
 
 namespace twocs::exec {
+
+/** How map() schedules its tasks onto worker threads. */
+enum class Scheduler
+{
+    /** Chunked work-stealing parallelFor: no per-task allocation,
+     *  no shared queue. The default, and the fast path. */
+    WorkStealing,
+    /** One ThreadPool::submit per config: the historical engine,
+     *  kept as the measured baseline for the bench-regression
+     *  harness (bench/sweep_throughput). */
+    SubmitPerTask,
+};
 
 /** Execution knobs shared by the CLI and the bench drivers. */
 struct RunnerOptions
@@ -48,6 +62,10 @@ struct RunnerOptions
     std::string reportPath;
     /** Study label recorded in the report. */
     std::string study = "study";
+    /** Task-scheduling engine; see Scheduler. */
+    Scheduler scheduler = Scheduler::WorkStealing;
+    /** Work-stealing chunk size; 0 selects the grain heuristic. */
+    std::size_t grain = 0;
 
     int effectiveJobs() const;
 
@@ -79,6 +97,9 @@ struct RunReport
     std::vector<Seconds> taskSeconds;
     /** Failed tasks, sorted by input index. */
     std::vector<TaskFailure> failures;
+    /** Deepest the ThreadPool queue got (SubmitPerTask runs only;
+     *  the work-stealing path has no queue to fill, so 0). */
+    std::size_t queueHighWater = 0;
 
     /** Nearest-rank percentiles of taskSeconds (0 when empty). */
     Seconds latencyP50() const;
@@ -142,41 +163,47 @@ class ParallelSweepRunner
                                   std::to_string(configs.size()) +
                                   " jobs=" + std::to_string(jobs);
                        });
+        // Everything string-shaped is built once per map() call;
+        // the per-task lambda only touches preformatted state.
         const std::string task_label = options_.study + ".task";
+        std::mutex failures_mutex;
         auto runOne = [&](std::size_t i) {
+            // Exactly one span per task on every path (inline,
+            // work-stealing, submit-per-task), so per-label span
+            // counts are jobs- and scheduler-invariant.
             TWOCS_OBS_SPAN(obs::Category::Exec, task_label);
             const auto task_start = Clock::now();
-            results[i] = fn(configs[i]);
+            try {
+                results[i] = fn(configs[i]);
+            } catch (const std::exception &e) {
+                const std::lock_guard lock(failures_mutex);
+                if (report_.failures.empty())
+                    report_.failures.reserve(configs.size());
+                report_.failures.push_back({ i, e.what() });
+            }
             report_.taskSeconds[i] = elapsed(task_start);
         };
 
-        if (jobs == 1) {
-            // Inline on the calling thread: the exact evaluation
-            // order of the historical serialized studies. The
-            // exec.task span mirrors the one ThreadPool workers
-            // emit, keeping span counts jobs-invariant.
-            for (std::size_t i = 0; i < configs.size(); ++i) {
-                TWOCS_OBS_SPAN(obs::Category::Exec, "exec.task");
-                try {
-                    runOne(i);
-                } catch (const std::exception &e) {
-                    report_.failures.push_back({ i, e.what() });
-                }
-            }
-        } else {
+        if (options_.scheduler == Scheduler::SubmitPerTask &&
+            jobs > 1) {
+            // Baseline engine: one heap-allocated closure and one
+            // bounded-queue handoff per config.
             ThreadPool pool(jobs);
-            std::mutex failures_mutex;
-            for (std::size_t i = 0; i < configs.size(); ++i) {
-                pool.submit([&, i] {
-                    try {
-                        runOne(i);
-                    } catch (const std::exception &e) {
-                        const std::lock_guard lock(failures_mutex);
-                        report_.failures.push_back({ i, e.what() });
-                    }
-                });
-            }
+            for (std::size_t i = 0; i < configs.size(); ++i)
+                pool.submit([&runOne, i] { runOne(i); });
             pool.drain();
+            report_.queueHighWater = pool.queueHighWater();
+        } else {
+            // Fast path: chunked work stealing, zero per-task
+            // allocations. Results land in per-index slots, so
+            // output is identical no matter who steals what. At
+            // jobs == 1 parallelFor degenerates to the inline serial
+            // loop (same evaluation order as the historical
+            // studies) while still emitting the same spans.
+            ParallelForOptions pf;
+            pf.jobs = jobs;
+            pf.grain = options_.grain;
+            parallelFor(configs.size(), pf, runOne);
         }
 
         report_.wallTime = elapsed(wall_start);

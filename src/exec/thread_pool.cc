@@ -1,5 +1,6 @@
 #include "thread_pool.hh"
 
+#include <algorithm>
 #include <string>
 
 #include "obs/obs.hh"
@@ -51,13 +52,34 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     std::unique_lock lock(mutex_);
+    if (queue_.size() >= capacity_ && !stopping_) {
+        // Backpressure: record that a producer is about to block so
+        // a trace shows *where* sweeps stall on queue capacity.
+        ++blockedProducers_;
+        TWOCS_OBS_INSTANT(obs::Category::Exec, "exec.submit.blocked");
+    }
     spaceReady_.wait(lock, [this] {
         return queue_.size() < capacity_ || stopping_;
     });
     panicIf(stopping_, "submit() on a stopping thread pool");
     queue_.push_back(std::move(task));
+    highWater_ = std::max(highWater_, queue_.size());
     lock.unlock();
     workReady_.notify_one();
+}
+
+std::size_t
+ThreadPool::queueHighWater() const
+{
+    const std::lock_guard lock(mutex_);
+    return highWater_;
+}
+
+std::uint64_t
+ThreadPool::blockedProducers() const
+{
+    const std::lock_guard lock(mutex_);
+    return blockedProducers_;
 }
 
 void
@@ -91,17 +113,15 @@ ThreadPool::workerLoop()
         }
         spaceReady_.notify_one();
 
-        {
-            // The inline jobs==1 paths emit the same span, so task
-            // counts are deterministic at any jobs value.
-            TWOCS_OBS_SPAN(obs::Category::Exec, "exec.task");
-            try {
-                task();
-            } catch (...) {
-                const std::lock_guard lock(mutex_);
-                if (firstError_ == nullptr)
-                    firstError_ = std::current_exception();
-            }
+        // No pool-side span here: the task body owns its own
+        // instrumentation, so per-label span counts stay identical
+        // whether work runs inline, pooled, or work-stolen.
+        try {
+            task();
+        } catch (...) {
+            const std::lock_guard lock(mutex_);
+            if (firstError_ == nullptr)
+                firstError_ = std::current_exception();
         }
 
         {

@@ -2,13 +2,17 @@
  * @file
  * A fixed-size worker pool over one bounded FIFO work queue.
  *
- * The pool is deliberately work-stealing-free: every study in this
- * library decomposes into a flat vector of independent configuration
- * evaluations, so a single shared queue keeps the implementation
- * small and the scheduling easy to reason about. Producers block when
- * the queue is full (bounded memory even for huge sweeps), workers
- * drain the queue to completion on shutdown, and the first exception
- * that escapes a task is captured and rethrown from drain().
+ * The pool is deliberately work-stealing-free: it serves open-ended
+ * producers (the query service's batch fan-out) where tasks arrive
+ * over time, so a single shared queue keeps the implementation small
+ * and the scheduling easy to reason about. Known index ranges go
+ * through the chunked work-stealing exec::parallelFor instead
+ * (parallel_for.hh). Producers block when the queue is full (bounded
+ * memory even for huge sweeps) — queueHighWater()/blockedProducers()
+ * plus an "exec.submit.blocked" trace instant make that backpressure
+ * observable — workers drain the queue to completion on shutdown,
+ * and the first exception that escapes a task is captured and
+ * rethrown from drain().
  */
 
 #ifndef TWOCS_EXEC_THREAD_POOL_HH
@@ -16,6 +20,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -55,6 +60,15 @@ class ThreadPool
     void submit(std::function<void()> task);
 
     /**
+     * Deepest the queue has ever been (backpressure visibility:
+     * a high-water mark at capacity means producers were blocking).
+     */
+    std::size_t queueHighWater() const;
+
+    /** submit() calls that found the queue full and had to wait. */
+    std::uint64_t blockedProducers() const;
+
+    /**
      * Block until every submitted task has finished, then rethrow the
      * first exception that escaped a task (if any).
      */
@@ -66,12 +80,14 @@ class ThreadPool
   private:
     void workerLoop();
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable workReady_;
     std::condition_variable spaceReady_;
     std::condition_variable allIdle_;
     std::deque<std::function<void()>> queue_;
     std::size_t capacity_;
+    std::size_t highWater_ = 0;
+    std::uint64_t blockedProducers_ = 0;
     int running_ = 0;
     bool stopping_ = false;
     std::exception_ptr firstError_;

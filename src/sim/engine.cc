@@ -7,89 +7,6 @@
 
 namespace twocs::sim {
 
-Schedule::Schedule(std::vector<Task> tasks,
-                   std::vector<ScheduledTask> placed,
-                   std::vector<std::string> resource_names)
-    : tasks_(std::move(tasks)), placed_(std::move(placed)),
-      resourceNames_(std::move(resource_names))
-{
-    panicIf(tasks_.size() != placed_.size(),
-            "Schedule task/placement size mismatch");
-}
-
-const std::string &
-Schedule::resourceName(ResourceId resource) const
-{
-    panicIf(resource < 0 ||
-                static_cast<std::size_t>(resource) >=
-                    resourceNames_.size(),
-            "resourceName() of unknown resource ", resource);
-    return resourceNames_[resource];
-}
-
-Seconds
-Schedule::makespan() const
-{
-    Seconds end = 0.0;
-    for (const auto &p : placed_)
-        end = std::max(end, p.end);
-    return end;
-}
-
-Seconds
-Schedule::busyTime(ResourceId resource) const
-{
-    Seconds total = 0.0;
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
-        if (tasks_[i].resource == resource)
-            total += placed_[i].end - placed_[i].start;
-    }
-    return total;
-}
-
-Seconds
-Schedule::timeByTag(const std::string &tag) const
-{
-    Seconds total = 0.0;
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
-        if (tasks_[i].tag == tag)
-            total += placed_[i].end - placed_[i].start;
-    }
-    return total;
-}
-
-const ScheduledTask &
-Schedule::placement(TaskId id) const
-{
-    panicIf(id < 0 || static_cast<std::size_t>(id) >= placed_.size(),
-            "placement() of unknown task ", id);
-    return placed_[id];
-}
-
-std::vector<std::pair<Seconds, Seconds>>
-Schedule::busyIntervals(ResourceId resource) const
-{
-    std::vector<std::pair<Seconds, Seconds>> ivals;
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
-        if (tasks_[i].resource == resource &&
-            placed_[i].end > placed_[i].start) {
-            ivals.emplace_back(placed_[i].start, placed_[i].end);
-        }
-    }
-    std::sort(ivals.begin(), ivals.end());
-    // Merge abutting/overlapping intervals.
-    std::vector<std::pair<Seconds, Seconds>> merged;
-    for (const auto &iv : ivals) {
-        if (!merged.empty() && iv.first <= merged.back().second) {
-            merged.back().second = std::max(merged.back().second,
-                                            iv.second);
-        } else {
-            merged.push_back(iv);
-        }
-    }
-    return merged;
-}
-
 namespace {
 
 /** Total length of the intersection of two merged interval lists. */
@@ -114,11 +31,125 @@ intersectionLength(const std::vector<std::pair<Seconds, Seconds>> &a,
 
 } // namespace
 
+Schedule::Schedule(std::vector<Task> tasks,
+                   std::vector<ScheduledTask> placed,
+                   std::vector<std::string> resource_names,
+                   std::shared_ptr<const util::StringInterner> interner)
+    : tasks_(std::move(tasks)), placed_(std::move(placed)),
+      resourceNames_(std::move(resource_names)),
+      interner_(std::move(interner))
+{
+    panicIf(tasks_.size() != placed_.size(),
+            "Schedule task/placement size mismatch");
+    panicIf(interner_ == nullptr, "Schedule without an interner");
+
+    // One pass over the placements builds every aggregate the
+    // analysis queries need: makespan, per-resource and per-tag
+    // totals, and the sorted+merged busy intervals that
+    // exposedTime()/overlappedTime() intersect. The studies call
+    // those queries repeatedly per schedule; rebuilding intervals
+    // inside each call was the simulator's hottest allocation site.
+    busyTotals_.assign(resourceNames_.size(), 0.0);
+    tagTotals_.assign(interner_->size(), 0.0);
+    std::vector<std::vector<Interval>> raw(resourceNames_.size());
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        const Task &t = tasks_[i];
+        const Seconds dur = placed_[i].end - placed_[i].start;
+        makespan_ = std::max(makespan_, placed_[i].end);
+        busyTotals_[t.resource] += dur;
+        if (t.tag < tagTotals_.size())
+            tagTotals_[t.tag] += dur;
+        if (dur > 0.0)
+            raw[t.resource].emplace_back(placed_[i].start,
+                                         placed_[i].end);
+    }
+    busyIntervals_.resize(raw.size());
+    for (std::size_t r = 0; r < raw.size(); ++r) {
+        std::vector<Interval> &ivals = raw[r];
+        std::sort(ivals.begin(), ivals.end());
+        std::vector<Interval> &merged = busyIntervals_[r];
+        merged.reserve(ivals.size());
+        for (const Interval &iv : ivals) {
+            if (!merged.empty() && iv.first <= merged.back().second) {
+                merged.back().second =
+                    std::max(merged.back().second, iv.second);
+            } else {
+                merged.push_back(iv);
+            }
+        }
+    }
+}
+
+const std::string &
+Schedule::resourceName(ResourceId resource) const
+{
+    panicIf(resource < 0 ||
+                static_cast<std::size_t>(resource) >=
+                    resourceNames_.size(),
+            "resourceName() of unknown resource ", resource);
+    return resourceNames_[resource];
+}
+
+Seconds
+Schedule::busyTime(ResourceId resource) const
+{
+    panicIf(resource < 0 ||
+                static_cast<std::size_t>(resource) >=
+                    busyTotals_.size(),
+            "busyTime() of unknown resource ", resource);
+    return busyTotals_[resource];
+}
+
+Seconds
+Schedule::timeByTag(std::string_view tag) const
+{
+    const util::StringInterner::Id id = interner_->find(tag);
+    if (id == util::StringInterner::kNotFound ||
+        id >= tagTotals_.size()) {
+        return 0.0;
+    }
+    return tagTotals_[id];
+}
+
+const ScheduledTask &
+Schedule::placement(TaskId id) const
+{
+    panicIf(id < 0 || static_cast<std::size_t>(id) >= placed_.size(),
+            "placement() of unknown task ", id);
+    return placed_[id];
+}
+
+std::string_view
+Schedule::taskLabel(TaskId id) const
+{
+    panicIf(id < 0 || static_cast<std::size_t>(id) >= tasks_.size(),
+            "taskLabel() of unknown task ", id);
+    return interner_->view(tasks_[id].label);
+}
+
+std::string_view
+Schedule::taskTag(TaskId id) const
+{
+    panicIf(id < 0 || static_cast<std::size_t>(id) >= tasks_.size(),
+            "taskTag() of unknown task ", id);
+    return interner_->view(tasks_[id].tag);
+}
+
+const std::vector<Schedule::Interval> &
+Schedule::busyIntervals(ResourceId resource) const
+{
+    panicIf(resource < 0 ||
+                static_cast<std::size_t>(resource) >=
+                    busyIntervals_.size(),
+            "interval query of unknown resource ", resource);
+    return busyIntervals_[resource];
+}
+
 Seconds
 Schedule::exposedTime(ResourceId target, ResourceId other) const
 {
-    const auto t_busy = busyIntervals(target);
-    const auto o_busy = busyIntervals(other);
+    const auto &t_busy = busyIntervals(target);
+    const auto &o_busy = busyIntervals(other);
     Seconds target_total = 0.0;
     for (const auto &iv : t_busy)
         target_total += iv.second - iv.first;
@@ -139,7 +170,7 @@ EventSimulator::addResource(std::string name)
 }
 
 TaskId
-EventSimulator::addTask(std::string label, std::string tag,
+EventSimulator::addTask(std::string_view label, std::string_view tag,
                         ResourceId resource, Seconds duration,
                         std::vector<TaskId> deps)
 {
@@ -148,18 +179,18 @@ EventSimulator::addTask(std::string label, std::string tag,
                     resourceNames_.size(),
             "addTask() on unknown resource ", resource);
     fatalIf(duration < 0.0, "addTask() with negative duration for '",
-            label, "'");
+            std::string(label), "'");
 
     const TaskId id = static_cast<TaskId>(tasks_.size());
     for (TaskId dep : deps) {
-        fatalIf(dep < 0 || dep >= id,
-                "task '", label, "' depends on unknown task ", dep);
+        fatalIf(dep < 0 || dep >= id, "task '", std::string(label),
+                "' depends on unknown task ", dep);
     }
 
     Task t;
     t.id = id;
-    t.label = std::move(label);
-    t.tag = std::move(tag);
+    t.label = interner_->intern(label);
+    t.tag = interner_->intern(tag);
     t.resource = resource;
     t.duration = duration;
     t.deps = std::move(deps);
@@ -181,9 +212,11 @@ EventSimulator::run() const
     // backwards, so a single forward pass is a valid simulation.
     for (std::size_t i = 0; i < tasks_.size(); ++i) {
         const Task &t = tasks_[i];
-        TWOCS_OBS_SPAN(obs::Category::Sim, [&t] {
+        TWOCS_OBS_SPAN(obs::Category::Sim, [this, &t] {
+            const std::string_view tag = interner_->view(t.tag);
             return "sim.dispatch." +
-                   (t.tag.empty() ? std::string("task") : t.tag);
+                   (tag.empty() ? std::string("task")
+                                : std::string(tag));
         });
         Seconds ready = resource_free[t.resource];
         for (TaskId dep : t.deps)
@@ -192,7 +225,8 @@ EventSimulator::run() const
         resource_free[t.resource] = placed[i].end;
     }
 
-    return Schedule(tasks_, std::move(placed), resourceNames_);
+    return Schedule(tasks_, std::move(placed), resourceNames_,
+                    interner_);
 }
 
 } // namespace twocs::sim

@@ -9,14 +9,26 @@
  * its dependencies — exactly the semantics of GPU streams plus
  * cross-stream events. The engine is the ground-truth substrate the
  * operator-level projection models are validated against.
+ *
+ * Allocation discipline: task labels and classification tags are
+ * interned (util/interner.hh) — a Task carries two 32-bit ids, not
+ * two strings, so building and running a graph whose vocabulary has
+ * stabilized performs no per-task string allocations. Schedule
+ * precomputes per-resource busy intervals and per-tag totals once at
+ * construction, so the exposed/overlapped-time queries the studies
+ * hammer are O(intervals) lookups instead of per-call rebuilds.
  */
 
 #ifndef TWOCS_SIM_ENGINE_HH
 #define TWOCS_SIM_ENGINE_HH
 
+#include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "util/interner.hh"
 #include "util/units.hh"
 
 namespace twocs::sim {
@@ -27,13 +39,15 @@ using ResourceId = int;
 /** An invalid task id (usable as "no dependency"). */
 inline constexpr TaskId InvalidTask = -1;
 
-/** One unit of work bound to a resource. */
+/** One unit of work bound to a resource. Label and tag are interned
+ *  ids; resolve them through Schedule::taskLabel()/taskTag() or the
+ *  owning interner. */
 struct Task
 {
     TaskId id = InvalidTask;
-    std::string label;
+    util::StringInterner::Id label = 0;
     /** Classification tag aggregated by Schedule::timeByTag(). */
-    std::string tag;
+    util::StringInterner::Id tag = 0;
     ResourceId resource = 0;
     Seconds duration = 0.0;
     std::vector<TaskId> deps;
@@ -52,7 +66,8 @@ class Schedule
 {
   public:
     Schedule(std::vector<Task> tasks, std::vector<ScheduledTask> placed,
-             std::vector<std::string> resource_names);
+             std::vector<std::string> resource_names,
+             std::shared_ptr<const util::StringInterner> interner);
 
     /** Name of a resource (stream), as registered. */
     const std::string &resourceName(ResourceId resource) const;
@@ -60,13 +75,13 @@ class Schedule
     std::size_t numResources() const { return resourceNames_.size(); }
 
     /** Completion time of the last task. */
-    Seconds makespan() const;
+    Seconds makespan() const { return makespan_; }
 
     /** Sum of task durations executed on the given resource. */
     Seconds busyTime(ResourceId resource) const;
 
     /** Sum of durations of tasks carrying the given tag. */
-    Seconds timeByTag(const std::string &tag) const;
+    Seconds timeByTag(std::string_view tag) const;
 
     /**
      * Wall-clock time during which `target` is busy while `other` is
@@ -89,13 +104,29 @@ class Schedule
     /** Start/end of one task by id. */
     const ScheduledTask &placement(TaskId id) const;
 
+    /** Text of one task's label / tag (render-time lookups). */
+    std::string_view taskLabel(TaskId id) const;
+    std::string_view taskTag(TaskId id) const;
+
+    /** The label/tag interner shared with the simulator. */
+    const util::StringInterner &interner() const { return *interner_; }
+
   private:
-    std::vector<std::pair<Seconds, Seconds>>
+    using Interval = std::pair<Seconds, Seconds>;
+
+    const std::vector<Interval> &
     busyIntervals(ResourceId resource) const;
 
     std::vector<Task> tasks_;
     std::vector<ScheduledTask> placed_;
     std::vector<std::string> resourceNames_;
+    std::shared_ptr<const util::StringInterner> interner_;
+    /** Merged busy intervals per resource, built once in the ctor. */
+    std::vector<std::vector<Interval>> busyIntervals_;
+    /** Duration sums indexed by resource / by tag id, ditto. */
+    std::vector<Seconds> busyTotals_;
+    std::vector<Seconds> tagTotals_;
+    Seconds makespan_ = 0.0;
 };
 
 /** Builds a task graph and schedules it. */
@@ -107,14 +138,19 @@ class EventSimulator
 
     /**
      * Append a task to a resource's FIFO queue. Dependencies must be
-     * previously-added task ids.
+     * previously-added task ids. Label and tag are interned; in
+     * steady state (vocabulary already seen) this allocates nothing.
      */
-    TaskId addTask(std::string label, std::string tag,
+    TaskId addTask(std::string_view label, std::string_view tag,
                    ResourceId resource, Seconds duration,
                    std::vector<TaskId> deps = {});
 
     std::size_t numTasks() const { return tasks_.size(); }
     std::size_t numResources() const { return resourceNames_.size(); }
+
+    /** The label/tag intern table (its size() counts the distinct
+     *  strings ever seen — the interning tests pin it down). */
+    const util::StringInterner &interner() const { return *interner_; }
 
     /**
      * Execute: each resource runs its tasks in insertion order, each
@@ -125,6 +161,8 @@ class EventSimulator
   private:
     std::vector<std::string> resourceNames_;
     std::vector<Task> tasks_;
+    std::shared_ptr<util::StringInterner> interner_ =
+        std::make_shared<util::StringInterner>();
 };
 
 } // namespace twocs::sim

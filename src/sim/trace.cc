@@ -30,13 +30,14 @@ exportChromeTrace(const Schedule &schedule, std::ostream &os)
         if (!first)
             os << ",\n";
         first = false;
+        const auto id = static_cast<TaskId>(i);
         char buf[160];
         std::snprintf(buf, sizeof(buf),
                       "  {\"name\": \"%s\", \"cat\": \"%s\", "
                       "\"ph\": \"X\", \"pid\": 1, \"tid\": %d, "
                       "\"ts\": %.3f, \"dur\": %.3f}",
-                      json::escape(tasks[i].label).c_str(),
-                      json::escape(tasks[i].tag).c_str(),
+                      json::escape(schedule.taskLabel(id)).c_str(),
+                      json::escape(schedule.taskTag(id)).c_str(),
                       tasks[i].resource, placed[i].start * 1e6,
                       (placed[i].end - placed[i].start) * 1e6);
         os << buf;

@@ -23,22 +23,28 @@ ShardedLruCache::shardFor(const std::string &key)
     return shards_[fnv1a(key) % shards_.size()];
 }
 
-std::optional<std::string>
+ShardedLruCache::ValuePtr
 ShardedLruCache::get(const std::string &key)
 {
     if (capacity_ == 0)
-        return std::nullopt;
+        return nullptr;
     Shard &shard = shardFor(key);
     const std::lock_guard lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it == shard.index.end())
-        return std::nullopt;
+        return nullptr;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return it->second->second;
 }
 
 void
 ShardedLruCache::put(const std::string &key, std::string value)
+{
+    put(key, std::make_shared<const std::string>(std::move(value)));
+}
+
+void
+ShardedLruCache::put(const std::string &key, ValuePtr value)
 {
     if (capacity_ == 0)
         return;

@@ -24,8 +24,8 @@
 
 #include <cstddef>
 #include <list>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +37,13 @@ class ShardedLruCache
 {
   public:
     /**
+     * Cached payloads are immutable and shared: a hit hands back a
+     * reference to the stored bytes (one refcount bump), not a copy
+     * of a rendered response. Null means miss.
+     */
+    using ValuePtr = std::shared_ptr<const std::string>;
+
+    /**
      * A cache holding at most ~`capacity` entries spread over
      * `shards` shards (each shard holds ceil(capacity / shards)).
      * `capacity == 0` disables caching entirely; the shard count is
@@ -45,14 +52,19 @@ class ShardedLruCache
     explicit ShardedLruCache(std::size_t capacity,
                              std::size_t shards = 8);
 
-    /** Look up `key`, promoting it to most-recently-used. */
-    std::optional<std::string> get(const std::string &key);
+    /** Look up `key`, promoting it to most-recently-used. Returns
+     *  null on a miss; hits never copy the payload. */
+    ValuePtr get(const std::string &key);
 
     /**
      * Insert or refresh `key`, evicting the shard's least-recently-
      * used entry when the shard is full. No-op at capacity 0.
      */
     void put(const std::string &key, std::string value);
+
+    /** put() for a payload the caller already shares (the commit
+     *  phase stores the same bytes it is about to emit). */
+    void put(const std::string &key, ValuePtr value);
 
     /** Entries currently cached (summed over shards). */
     std::size_t size() const;
@@ -67,7 +79,7 @@ class ShardedLruCache
     {
         mutable std::mutex mutex;
         /** Front = most recently used. */
-        std::list<std::pair<std::string, std::string>> lru;
+        std::list<std::pair<std::string, ValuePtr>> lru;
         std::unordered_map<std::string, decltype(lru)::iterator> index;
     };
 

@@ -336,8 +336,17 @@ QueryService::processBatch(NumberedLines &&lines, std::ostream &out)
         std::string key;
         const SystemEntry *system = nullptr;
         std::string payload;
+        /** Cache-resident bytes (hits and committed misses); when
+         *  set, the response body — `payload` stays empty, nothing
+         *  is copied out of the cache. */
+        ShardedLruCache::ValuePtr shared;
         bool failed = false;
         Seconds seconds = 0.0;
+
+        const std::string &body() const
+        {
+            return shared ? *shared : payload;
+        }
     };
 
     metrics_.recordBatch(lines.size());
@@ -367,7 +376,7 @@ QueryService::processBatch(NumberedLines &&lines, std::ostream &out)
                     e.key = canonicalKey(e.query);
                     if (auto hit = cache_.get(e.key)) {
                         e.outcome = Outcome::CacheHit;
-                        e.payload = std::move(*hit);
+                        e.shared = std::move(hit);
                     } else if (const auto p = pending.find(e.key);
                                p != pending.end()) {
                         e.outcome = Outcome::Duplicate;
@@ -393,9 +402,9 @@ QueryService::processBatch(NumberedLines &&lines, std::ostream &out)
 
     // Phase 2: evaluate the distinct misses — inline at one job (the
     // historical sequential order), fanned out over the pool
-    // otherwise. Workers only touch their own entry. The inline
-    // exec.task span mirrors the ThreadPool worker's, so span counts
-    // are jobs-invariant.
+    // otherwise. Workers only touch their own entry. The svc.evaluate
+    // span is the task's only instrumentation on both paths, so span
+    // counts are jobs-invariant.
     {
         TWOCS_OBS_SPAN(obs::Category::Svc, "svc.batch.evaluate");
         const auto runOne = [this](BatchEntry &e) {
@@ -412,10 +421,8 @@ QueryService::processBatch(NumberedLines &&lines, std::ostream &out)
         };
         if (effectiveJobs() == 1) {
             for (BatchEntry &e : entries) {
-                if (e.outcome == Outcome::Compute) {
-                    TWOCS_OBS_SPAN(obs::Category::Exec, "exec.task");
+                if (e.outcome == Outcome::Compute)
                     runOne(e);
-                }
             }
         } else {
             exec::ThreadPool &workers = pool();
@@ -448,7 +455,12 @@ QueryService::processBatch(NumberedLines &&lines, std::ostream &out)
                 break;
               case Outcome::Duplicate: {
                 const BatchEntry &source = entries[e.dupOf];
-                e.payload = source.payload;
+                // Share the source's bytes; a failed source carries
+                // its error in `payload`, a successful one was just
+                // committed to the cache as `shared`.
+                e.shared = source.shared;
+                if (!source.shared)
+                    e.payload = source.payload;
                 e.failed = source.failed;
                 if (!e.failed) {
                     TWOCS_OBS_INSTANT(obs::Category::Svc,
@@ -465,7 +477,11 @@ QueryService::processBatch(NumberedLines &&lines, std::ostream &out)
                     TWOCS_OBS_INSTANT(obs::Category::Svc,
                                       "svc.cache.miss");
                     metrics_.recordMiss();
-                    cache_.put(e.key, e.payload);
+                    // Store the very bytes we are about to emit —
+                    // one allocation, zero copies.
+                    e.shared = std::make_shared<const std::string>(
+                        std::move(e.payload));
+                    cache_.put(e.key, e.shared);
                 }
                 break;
               case Outcome::Stats:
@@ -473,7 +489,7 @@ QueryService::processBatch(NumberedLines &&lines, std::ostream &out)
                 break;
             }
             metrics_.recordLatency(e.seconds);
-            out << assemble(e.idJson, e.payload) << "\n";
+            out << assemble(e.idJson, e.body()) << "\n";
         }
     }
     out.flush();

@@ -1,0 +1,37 @@
+#include "interner.hh"
+
+#include "util/logging.hh"
+
+namespace twocs::util {
+
+StringInterner::Id
+StringInterner::intern(std::string_view s)
+{
+    const auto it = index_.find(s);
+    if (it != index_.end())
+        return it->second;
+    const Id id = static_cast<Id>(strings_.size());
+    panicIf(id == kNotFound, "interner full");
+    strings_.emplace_back(s);
+    // Key the index by a view into the deque-owned copy: deque
+    // growth never moves existing elements.
+    index_.emplace(std::string_view(strings_.back()), id);
+    return id;
+}
+
+StringInterner::Id
+StringInterner::find(std::string_view s) const
+{
+    const auto it = index_.find(s);
+    return it == index_.end() ? kNotFound : it->second;
+}
+
+std::string_view
+StringInterner::view(Id id) const
+{
+    panicIf(id >= strings_.size(), "view() of unknown intern id ",
+            id);
+    return strings_[id];
+}
+
+} // namespace twocs::util

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A string interner: dedupe strings into small dense ids.
+ *
+ * The discrete-event simulator labels and tags every task, but a
+ * realistic task graph draws those from a handful of distinct
+ * strings ("compute", "ring_step", one label per kernel). Interning
+ * turns the per-task cost into one hash probe returning a 32-bit id
+ * — no per-task string storage, id equality instead of string
+ * compares in the aggregation loops — while view() hands the
+ * original text back for rendering.
+ *
+ * Storage is a deque of strings, so the string_views returned by
+ * view() (and the map keys pointing into the same storage) stay
+ * valid for the interner's whole lifetime even as it grows. Not
+ * thread-safe: every producer in twocs builds its graph on one
+ * thread (parallel sweeps give each config its own simulator).
+ */
+
+#ifndef TWOCS_UTIL_INTERNER_HH
+#define TWOCS_UTIL_INTERNER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace twocs::util {
+
+/** Append-only string -> dense id table; see the file comment. */
+class StringInterner
+{
+  public:
+    using Id = std::uint32_t;
+
+    /** find() result for a string that was never interned. */
+    static constexpr Id kNotFound = ~Id{ 0 };
+
+    /** Id of `s`, interning it on first sight. Stable: the same
+     *  string always maps to the same id. */
+    Id intern(std::string_view s);
+
+    /** Id of `s` if it was ever interned, kNotFound otherwise.
+     *  Never allocates. */
+    Id find(std::string_view s) const;
+
+    /** The interned text; valid for the interner's lifetime. */
+    std::string_view view(Id id) const;
+
+    /** Number of distinct strings interned so far. */
+    std::size_t size() const { return strings_.size(); }
+
+  private:
+    std::deque<std::string> strings_;
+    std::unordered_map<std::string_view, Id> index_;
+};
+
+} // namespace twocs::util
+
+#endif // TWOCS_UTIL_INTERNER_HH

@@ -14,10 +14,14 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
+#include <thread>
+
 #include "cli/commands.hh"
 #include "core/cluster_sim.hh"
 #include "core/sensitivity.hh"
 #include "core/sweep.hh"
+#include "exec/parallel_for.hh"
 #include "exec/parallel_runner.hh"
 #include "exec/thread_pool.hh"
 #include "test_common.hh"
@@ -77,6 +81,123 @@ TEST(ThreadPool, ThreadCountSelection)
     EXPECT_EQ(exec::ThreadPool(3).numThreads(), 3);
     EXPECT_EQ(exec::ThreadPool(0).numThreads(),
               exec::ThreadPool::defaultThreads());
+}
+
+TEST(ThreadPool, BackpressureCountersSeeTheFullQueue)
+{
+    exec::ThreadPool pool(1, 2);
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    // Park the only worker, then overfill the bounded queue: the
+    // last submit() must block and be counted as a blocked producer.
+    pool.submit([gate] { gate.wait(); });
+    pool.submit([] {});
+    pool.submit([] {});
+    std::thread unblocker([&release] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        release.set_value();
+    });
+    pool.submit([] {}); // queue is full until the gate opens
+    pool.drain();
+    unblocker.join();
+    EXPECT_EQ(pool.queueHighWater(), 2u);
+    EXPECT_GE(pool.blockedProducers(), 1u);
+}
+
+TEST(ThreadPool, IdlePoolReportsNoBackpressure)
+{
+    exec::ThreadPool pool(2);
+    pool.submit([] {});
+    pool.drain();
+    EXPECT_LE(pool.queueHighWater(), 1u);
+    EXPECT_EQ(pool.blockedProducers(), 0u);
+}
+
+// --- work-stealing parallelFor ---
+
+TEST(ParallelFor, EveryIndexRunsExactlyOnceUnderAdversarialShapes)
+{
+    // Ranges and grains chosen to hit every boundary: empty, single,
+    // primes (chunks never divide evenly), grain > range, and a
+    // grain so large one chunk holds everything.
+    const std::size_t ranges[] = { 0, 1, 2, 3, 97, 196, 256 };
+    const std::size_t grains[] = { 0, 1, 2, 3, 5, 7, 64, 997,
+                                   std::size_t{ 1 } << 40 };
+    for (const std::size_t n : ranges) {
+        for (const std::size_t grain : grains) {
+            for (const int jobs : { 1, 2, 3, 8 }) {
+                std::vector<std::atomic<int>> hits(n);
+                exec::ParallelForOptions o;
+                o.jobs = jobs;
+                o.grain = grain;
+                exec::parallelFor(n, o, [&hits](std::size_t i) {
+                    hits[i].fetch_add(1);
+                });
+                for (std::size_t i = 0; i < n; ++i) {
+                    ASSERT_EQ(hits[i].load(), 1)
+                        << "n=" << n << " grain=" << grain
+                        << " jobs=" << jobs << " i=" << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(ParallelFor, StealingStressIsRaceFree)
+{
+    // Grain 1 with wildly uneven work maximizes deque traffic: every
+    // chunk is a steal candidate and the skewed chunks force idle
+    // workers to raid. Run under the tsan preset, this is the data
+    // race check of the deque.
+    constexpr std::size_t kN = 10000;
+    std::vector<std::atomic<int>> hits(kN);
+    std::atomic<std::int64_t> sum{ 0 };
+    exec::ParallelForOptions o;
+    o.jobs = 8;
+    o.grain = 1;
+    exec::parallelFor(kN, o, [&](std::size_t i) {
+        // Index-dependent spin so early chunks straggle.
+        volatile std::int64_t acc = 0;
+        const int spins = i % 97 == 0 ? 2000 : 10;
+        for (int s = 0; s < spins; ++s)
+            acc += s;
+        sum.fetch_add(static_cast<std::int64_t>(i));
+        hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kN; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << i;
+    EXPECT_EQ(sum.load(),
+              static_cast<std::int64_t>(kN) * (kN - 1) / 2);
+}
+
+TEST(ParallelFor, BodyExceptionPropagatesToCaller)
+{
+    for (const int jobs : { 1, 4 }) {
+        std::atomic<int> ran{ 0 };
+        exec::ParallelForOptions o;
+        o.jobs = jobs;
+        try {
+            exec::parallelFor(64, o, [&](std::size_t i) {
+                ran.fetch_add(1);
+                if (i == 7)
+                    throw std::runtime_error("body boom");
+            });
+            FAIL() << "parallelFor should rethrow at jobs=" << jobs;
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "body boom");
+        }
+        EXPECT_GE(ran.load(), 1) << jobs;
+    }
+}
+
+TEST(ParallelFor, DefaultGrainTargetsAFewChunksPerWorker)
+{
+    EXPECT_EQ(exec::detail::defaultGrain(0, 4), 1u);
+    EXPECT_EQ(exec::detail::defaultGrain(3, 4), 1u);
+    // 196 configs at 4 workers: ~16 chunks of ~12, stealing slack
+    // without per-index deque traffic.
+    EXPECT_EQ(exec::detail::defaultGrain(196, 4), 12u);
+    EXPECT_GE(exec::detail::defaultGrain(1 << 20, 8), 1u << 15);
 }
 
 // --- runner options ---
@@ -237,6 +358,44 @@ TEST(ParallelSweepRunner, JobsClampToTaskCount)
     EXPECT_EQ(runner.lastReport().jobs, 3);
 }
 
+TEST(ParallelSweepRunner, SubmitPerTaskBaselineMatchesWorkStealing)
+{
+    // The two engines must be observationally identical on results;
+    // only their scheduling (and the bench numbers) differ.
+    std::vector<int> configs(53);
+    std::iota(configs.begin(), configs.end(), 0);
+    const auto runWith = [&](exec::Scheduler scheduler) {
+        exec::RunnerOptions o;
+        o.jobs = 4;
+        o.scheduler = scheduler;
+        exec::ParallelSweepRunner runner(o);
+        return runner.map(configs,
+                          [](const int &i) { return 7 * i - 2; });
+    };
+    EXPECT_EQ(runWith(exec::Scheduler::WorkStealing),
+              runWith(exec::Scheduler::SubmitPerTask));
+}
+
+TEST(ParallelSweepRunner, QueueHighWaterSurfacesOnBaselineOnly)
+{
+    std::vector<int> configs(40);
+    const auto reportWith = [&](exec::Scheduler scheduler) {
+        exec::RunnerOptions o;
+        o.jobs = 4;
+        o.scheduler = scheduler;
+        exec::ParallelSweepRunner runner(o);
+        runner.map(configs, [](const int &i) { return i; });
+        return runner.lastReport();
+    };
+    // Submit-per-task funnels every config through the bounded
+    // queue; work stealing never touches it.
+    EXPECT_GE(reportWith(exec::Scheduler::SubmitPerTask)
+                  .queueHighWater,
+              1u);
+    EXPECT_EQ(reportWith(exec::Scheduler::WorkStealing).queueHighWater,
+              0u);
+}
+
 TEST(RunReport, JsonHasDocumentedSchema)
 {
     exec::RunReport r;
@@ -260,6 +419,8 @@ TEST(RunReport, JsonHasDocumentedSchema)
     EXPECT_NE(json.find("\"task_seconds_p50\": 0.5"),
               std::string::npos);
     EXPECT_NE(json.find("\"task_seconds_p95\": 0.75"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"queue_high_water\": 0"),
               std::string::npos);
     EXPECT_NE(json.find("{ \"index\": 1, \"message\": \"bad\\nrow\" }"),
               std::string::npos)

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/case_study.hh"
 #include "sim/engine.hh"
 #include "util/logging.hh"
 
@@ -193,6 +199,132 @@ TEST(Engine, OnlyZeroDurationTasks)
     EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
     EXPECT_DOUBLE_EQ(s.busyTime(r), 0.0);
     EXPECT_DOUBLE_EQ(s.timeByTag("sync"), 0.0);
+}
+
+// --- interning equivalence against a string-keyed baseline ---
+
+/** The pre-interning reference: recompute every aggregate straight
+ *  from tasks()/placements() with string keys and per-call interval
+ *  rebuilds, exactly as Schedule used to. */
+struct StringKeyedBaseline
+{
+    std::map<std::string, double> tagTotals;
+    std::vector<std::vector<std::pair<double, double>>> busy;
+
+    explicit StringKeyedBaseline(const Schedule &s)
+        : busy(s.numResources())
+    {
+        const auto &tasks = s.tasks();
+        const auto &placed = s.placements();
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            const auto id = static_cast<TaskId>(i);
+            const double dur = placed[i].end - placed[i].start;
+            tagTotals[std::string(s.taskTag(id))] += dur;
+            if (dur > 0.0)
+                busy[tasks[i].resource].emplace_back(placed[i].start,
+                                                     placed[i].end);
+        }
+        for (auto &ivals : busy) {
+            std::sort(ivals.begin(), ivals.end());
+            std::vector<std::pair<double, double>> merged;
+            for (const auto &iv : ivals) {
+                if (!merged.empty() &&
+                    iv.first <= merged.back().second) {
+                    merged.back().second =
+                        std::max(merged.back().second, iv.second);
+                } else {
+                    merged.push_back(iv);
+                }
+            }
+            ivals = std::move(merged);
+        }
+    }
+
+    double overlapped(ResourceId a, ResourceId b) const
+    {
+        double total = 0.0;
+        std::size_t i = 0, j = 0;
+        const auto &ba = busy[static_cast<std::size_t>(a)];
+        const auto &bb = busy[static_cast<std::size_t>(b)];
+        while (i < ba.size() && j < bb.size()) {
+            const double lo = std::max(ba[i].first, bb[j].first);
+            const double hi = std::min(ba[i].second, bb[j].second);
+            if (hi > lo)
+                total += hi - lo;
+            if (ba[i].second < bb[j].second)
+                ++i;
+            else
+                ++j;
+        }
+        return total;
+    }
+
+    double exposed(ResourceId target, ResourceId other) const
+    {
+        double busy_total = 0.0;
+        for (const auto &iv : busy[static_cast<std::size_t>(target)])
+            busy_total += iv.second - iv.first;
+        return busy_total - overlapped(target, other);
+    }
+};
+
+TEST(EngineInterning, CaseStudyQueriesMatchStringKeyedBaseline)
+{
+    // The Figure 14 case-study graph is the richest real task graph
+    // in the repo: two streams, five tags, hundreds of tasks. Every
+    // interned-id query must agree with the string-keyed recompute.
+    const core::CaseStudy study;
+    core::CaseStudyConfig cfg;
+    cfg.hidden = 8192;
+    cfg.seqLen = 2048;
+    cfg.tpDegree = 16;
+    cfg.dpDegree = 4;
+    const Schedule s = study.buildSchedule(cfg);
+    ASSERT_GT(s.tasks().size(), 100u);
+    ASSERT_GE(s.numResources(), 2u);
+
+    const StringKeyedBaseline baseline(s);
+    for (const auto &[tag, total] : baseline.tagTotals)
+        EXPECT_DOUBLE_EQ(s.timeByTag(tag), total) << tag;
+    EXPECT_DOUBLE_EQ(s.timeByTag("no_such_tag"), 0.0);
+
+    for (std::size_t a = 0; a < s.numResources(); ++a) {
+        for (std::size_t b = 0; b < s.numResources(); ++b) {
+            const auto ra = static_cast<ResourceId>(a);
+            const auto rb = static_cast<ResourceId>(b);
+            EXPECT_DOUBLE_EQ(s.overlappedTime(ra, rb),
+                             baseline.overlapped(ra, rb))
+                << a << "x" << b;
+            EXPECT_DOUBLE_EQ(s.exposedTime(ra, rb),
+                             baseline.exposed(ra, rb))
+                << a << "x" << b;
+        }
+    }
+}
+
+TEST(EngineInterning, SteadyStateVocabularyStaysSmall)
+{
+    // 3000 tasks over a 5-label, 2-tag vocabulary: the intern table
+    // holds the vocabulary, not the task count, so once every string
+    // has been seen addTask() allocates nothing new.
+    EventSimulator des;
+    const ResourceId r = des.addResource("stream");
+    const char *labels[] = { "qkv", "attn", "mlp_in", "mlp_out",
+                             "allreduce" };
+    const char *tags[] = { "comp", "tp_ar" };
+    for (int i = 0; i < 3000; ++i)
+        des.addTask(labels[i % 5], tags[i % 2], r, 1.0);
+    const std::size_t steady = des.interner().size();
+    EXPECT_LE(steady, 7u);
+    for (int i = 0; i < 100; ++i)
+        des.addTask(labels[i % 5], tags[i % 2], r, 1.0);
+    EXPECT_EQ(des.interner().size(), steady);
+
+    const Schedule s = des.run();
+    EXPECT_EQ(s.taskLabel(0), "qkv");
+    EXPECT_EQ(s.taskTag(0), "comp");
+    // The schedule shares the simulator's table rather than copying.
+    EXPECT_EQ(&s.interner(), &des.interner());
 }
 
 /** Property: makespan is at least the busy time of every resource

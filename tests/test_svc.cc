@@ -152,17 +152,29 @@ TEST(SvcProtocol, Fnv1aMatchesReferenceVectors)
 
 // --- the result cache ---
 
+namespace {
+
+/** Dereference a cache hit ("?" on miss, like value_or before the
+ *  cache moved to shared payloads). */
+std::string
+deref(const svc::ShardedLruCache::ValuePtr &hit)
+{
+    return hit ? *hit : std::string("?");
+}
+
+} // namespace
+
 TEST(SvcCache, LruEvictsTheColdestEntry)
 {
     // One shard of capacity 2 so the eviction order is exact.
     svc::ShardedLruCache cache(2, 1);
     cache.put("a", "1");
     cache.put("b", "2");
-    EXPECT_EQ(cache.get("a").value_or("?"), "1"); // refresh a
-    cache.put("c", "3");                          // evicts b
-    EXPECT_TRUE(cache.get("a").has_value());
-    EXPECT_FALSE(cache.get("b").has_value());
-    EXPECT_EQ(cache.get("c").value_or("?"), "3");
+    EXPECT_EQ(deref(cache.get("a")), "1"); // refresh a
+    cache.put("c", "3");                   // evicts b
+    EXPECT_TRUE(cache.get("a") != nullptr);
+    EXPECT_TRUE(cache.get("b") == nullptr);
+    EXPECT_EQ(deref(cache.get("c")), "3");
     EXPECT_EQ(cache.size(), 2u);
 }
 
@@ -171,15 +183,28 @@ TEST(SvcCache, PutRefreshesAnExistingKey)
     svc::ShardedLruCache cache(4, 1);
     cache.put("k", "old");
     cache.put("k", "new");
-    EXPECT_EQ(cache.get("k").value_or("?"), "new");
+    EXPECT_EQ(deref(cache.get("k")), "new");
     EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SvcCache, HitsShareOneStoredPayload)
+{
+    // Two hits return the same bytes, not two copies: the payload
+    // lives once in the cache and is handed out by reference count.
+    svc::ShardedLruCache cache(4, 1);
+    cache.put("k", "payload");
+    const auto a = cache.get("k");
+    const auto b = cache.get("k");
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(*a, "payload");
 }
 
 TEST(SvcCache, ZeroCapacityDisablesCaching)
 {
     svc::ShardedLruCache cache(0);
     cache.put("k", "v");
-    EXPECT_FALSE(cache.get("k").has_value());
+    EXPECT_TRUE(cache.get("k") == nullptr);
     EXPECT_EQ(cache.size(), 0u);
 }
 

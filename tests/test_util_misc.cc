@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/interner.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "util/units.hh"
@@ -131,6 +132,41 @@ TEST(Table, CountsRowsAndCols)
     EXPECT_EQ(t.numRows(), 0u);
     t.addRowOf(1, 2, 3);
     EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(StringInterner, DedupesAndRoundTrips)
+{
+    util::StringInterner in;
+    const auto a = in.intern("compute");
+    const auto b = in.intern("ring_step");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(in.intern("compute"), a); // same string, same id
+    EXPECT_EQ(in.size(), 2u);
+    EXPECT_EQ(in.view(a), "compute");
+    EXPECT_EQ(in.view(b), "ring_step");
+    EXPECT_THROW(in.view(99), PanicError);
+}
+
+TEST(StringInterner, FindNeverInterns)
+{
+    util::StringInterner in;
+    EXPECT_EQ(in.find("ghost"), util::StringInterner::kNotFound);
+    EXPECT_EQ(in.size(), 0u);
+    const auto id = in.intern("real");
+    EXPECT_EQ(in.find("real"), id);
+    EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(StringInterner, ViewsStayValidAsTheTableGrows)
+{
+    // Storage is a deque: growth must not invalidate earlier views.
+    util::StringInterner in;
+    const std::string_view first = in.view(in.intern("anchor"));
+    for (int i = 0; i < 1000; ++i)
+        in.intern("filler_" + std::to_string(i));
+    EXPECT_EQ(first, "anchor");
+    EXPECT_EQ(in.view(0), "anchor");
+    EXPECT_EQ(in.size(), 1001u);
 }
 
 } // namespace
