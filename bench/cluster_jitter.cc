@@ -9,22 +9,108 @@
  * The (TP group, jitter) grid maps through the ParallelSweepRunner
  * (`--jobs N`, `--report FILE`); each simulation seeds its own RNG
  * from the config, so output is byte-identical for any jobs count.
+ *
+ * With `--bench-json FILE` the binary instead times the Monte Carlo
+ * trial engines against each other — TrialEngine::Rebuild (graph
+ * construction per trial) vs the default compiled-template replay —
+ * verifies they agree bit for bit, and emits the regression
+ * harness's trials/sec numbers.
  */
+
+#include <chrono>
 
 #include "bench_common.hh"
 #include "core/cluster_sim.hh"
 
 using namespace twocs;
 
+namespace {
+
+/** Trials/sec of one engine over `num_trials` jittered trials. */
+double
+measureTrialsPerSec(const core::ClusterSim &sim,
+                    const core::ClusterSimConfig &cfg, int num_trials,
+                    const exec::RunnerOptions &runner,
+                    core::TrialEngine engine)
+{
+    using Clock = std::chrono::steady_clock;
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto start = Clock::now();
+        const core::ClusterTrialSummary summary =
+            sim.runTrials(cfg, num_trials, runner, engine);
+        const std::chrono::duration<double> elapsed =
+            Clock::now() - start;
+        (void)summary;
+        best = std::max(best, num_trials / elapsed.count());
+    }
+    return best;
+}
+
+int
+benchJsonMain(const std::string &json_path,
+              const exec::RunnerOptions &runner)
+{
+    core::ClusterSim sim;
+    core::ClusterSimConfig cfg;
+    cfg.tpDegree = 8;
+    cfg.computeJitter = 0.05;
+    const int num_trials = 32;
+
+    const core::ClusterTrialSummary rebuilt = sim.runTrials(
+        cfg, num_trials, runner, core::TrialEngine::Rebuild);
+    const core::ClusterTrialSummary replayed = sim.runTrials(
+        cfg, num_trials, runner, core::TrialEngine::CompiledReplay);
+    bool identical =
+        rebuilt.meanIterationTime == replayed.meanIterationTime &&
+        rebuilt.worstIterationTime == replayed.worstIterationTime;
+    for (int i = 0; i < num_trials && identical; ++i) {
+        identical =
+            rebuilt.trials[i].iterationTime ==
+                replayed.trials[i].iterationTime &&
+            rebuilt.trials[i].commTimePerDevice ==
+                replayed.trials[i].commTimePerDevice &&
+            rebuilt.trials[i].computeTimePerDevice ==
+                replayed.trials[i].computeTimePerDevice &&
+            rebuilt.trials[i].stallTimePerDevice ==
+                replayed.trials[i].stallTimePerDevice;
+    }
+    bench::checkClaim("compiled replay reproduces the rebuild "
+                      "engine bit for bit",
+                      identical);
+
+    bench::BenchJson json("cluster_jitter", json_path);
+    const double rebuild_rate =
+        measureTrialsPerSec(sim, cfg, num_trials, runner,
+                            core::TrialEngine::Rebuild);
+    const double replay_rate =
+        measureTrialsPerSec(sim, cfg, num_trials, runner,
+                            core::TrialEngine::CompiledReplay);
+    std::printf("Monte Carlo trials: %.0f/sec rebuilt, %.0f/sec "
+                "replayed (%.1fx)\n",
+                rebuild_rate, replay_rate,
+                replay_rate / rebuild_rate);
+    json.set("trials_per_sec_rebuild", rebuild_rate);
+    json.set("trials_per_sec_replay", replay_rate);
+    return json.write() && identical ? 0 : 1;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
+    const exec::RunnerOptions runner =
+        bench::runnerOptions(argc, argv, "cluster_jitter");
+    const std::string json_path =
+        bench::benchJsonPath(argc, const_cast<const char **>(argv));
+    if (!json_path.empty())
+        return benchJsonMain(json_path, runner);
+
     bench::banner("Cluster jitter",
                   "End-to-end jitter amplification through per-layer "
                   "all-reduce barriers");
 
-    const exec::RunnerOptions runner =
-        bench::runnerOptions(argc, argv, "cluster_jitter");
     obs::TraceSession trace(bench::traceOptions(argc, argv));
 
     core::ClusterSim sim;

@@ -7,7 +7,15 @@
  * our explicit ring simulation can. This is the flip side of
  * Section 2.4's "communication may cause compute resources to be
  * idle".
+ *
+ * With `--bench-json FILE` the binary instead times the ring
+ * engines against each other — RingSimEngine::Rebuild (graph built
+ * per call) vs the default per-P compiled-template replay —
+ * verifies they agree bit for bit, and emits the regression
+ * harness's sims/sec numbers.
  */
+
+#include <chrono>
 
 #include "bench_common.hh"
 #include "comm/ring_sim.hh"
@@ -16,9 +24,93 @@
 
 using namespace twocs;
 
-int
-main()
+namespace {
+
+/** Ring simulations/sec for one engine over rotating arrivals. */
+double
+measureSimsPerSec(const hw::Topology &topo, Bytes payload,
+                  const std::vector<std::vector<Seconds>> &arrivals,
+                  comm::RingSimEngine engine)
 {
+    using Clock = std::chrono::steady_clock;
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto start = Clock::now();
+        for (const std::vector<Seconds> &a : arrivals) {
+            const comm::RingSimResult r = comm::simulateRingAllReduce(
+                topo, payload, a, {}, engine);
+            (void)r;
+        }
+        const std::chrono::duration<double> elapsed =
+            Clock::now() - start;
+        best = std::max(
+            best, static_cast<double>(arrivals.size()) /
+                      elapsed.count());
+    }
+    return best;
+}
+
+int
+benchJsonMain(const std::string &json_path)
+{
+    const int p = 16;
+    const Bytes payload = 256.0 * 1024 * 1024;
+    const hw::Topology topo = hw::Topology::singleNode(hw::mi210(), p);
+
+    // A batch of jittered arrival vectors, as the what-if sweeps
+    // issue them: same ring shape, different durations each call.
+    Rng rng(1234);
+    std::vector<std::vector<Seconds>> arrivals(64);
+    for (std::vector<Seconds> &a : arrivals) {
+        a.resize(p);
+        for (Seconds &t : a)
+            t = 10e-3 * rng.noiseFactor(0.2);
+    }
+
+    bool identical = true;
+    for (const std::vector<Seconds> &a : arrivals) {
+        const comm::RingSimResult replayed =
+            comm::simulateRingAllReduce(
+                topo, payload, a, {},
+                comm::RingSimEngine::CompiledReplay);
+        const comm::RingSimResult rebuilt =
+            comm::simulateRingAllReduce(
+                topo, payload, a, {}, comm::RingSimEngine::Rebuild);
+        identical = identical &&
+                    replayed.finishTime == rebuilt.finishTime &&
+                    replayed.collectiveTime ==
+                        rebuilt.collectiveTime &&
+                    replayed.maxStallTime == rebuilt.maxStallTime &&
+                    replayed.deviceFinish == rebuilt.deviceFinish;
+    }
+    bench::checkClaim("compiled ring replay reproduces the rebuild "
+                      "engine bit for bit",
+                      identical);
+
+    bench::BenchJson json("straggler_study", json_path);
+    const double rebuild_rate = measureSimsPerSec(
+        topo, payload, arrivals, comm::RingSimEngine::Rebuild);
+    const double replay_rate = measureSimsPerSec(
+        topo, payload, arrivals, comm::RingSimEngine::CompiledReplay);
+    std::printf("Ring simulations: %.0f/sec rebuilt, %.0f/sec "
+                "replayed (%.1fx)\n",
+                rebuild_rate, replay_rate,
+                replay_rate / rebuild_rate);
+    json.set("sims_per_sec_rebuild", rebuild_rate);
+    json.set("sims_per_sec_replay", replay_rate);
+    return json.write() && identical ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        bench::benchJsonPath(argc, const_cast<const char **>(argv));
+    if (!json_path.empty())
+        return benchJsonMain(json_path);
+
     bench::banner("Straggler study",
                   "Tail-latency amplification through the ring "
                   "all-reduce");

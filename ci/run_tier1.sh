@@ -11,14 +11,17 @@
 #                 strict parser accepts, and span sites that are
 #                 compiled in but disabled must stay under 1%
 #                 overhead (bench/obs_overhead).
-#   4. bench regression harness — sweep_throughput emits
-#                 BENCH_sweep_throughput.json, which must be strictly
+#   4. bench regression harness — sweep_throughput, micro_sim_perf,
+#                 cluster_jitter and straggler_study emit
+#                 BENCH_<name>.json files, which must be strictly
 #                 valid JSON carrying the twocs-bench-1 schema
 #                 fields. Only schema presence is asserted — never
 #                 timings, so a loaded CI host cannot flake the gate.
-#                 The BENCH_*.json files are collected under
-#                 build-tier1/bench-artifacts/ as the perf-trajectory
-#                 artifact to upload.
+#                 (The replay benches do assert bit-identity of the
+#                 compiled-replay vs rebuild engines, which is
+#                 host-independent.) The BENCH_*.json files are
+#                 collected under build-tier1/bench-artifacts/ as the
+#                 perf-trajectory artifact to upload.
 #
 # Usage: ci/run_tier1.sh [jobs]
 
@@ -57,5 +60,33 @@ build-tier1/bench/sweep_throughput --jobs 2 \
 grep -q '"schema": "twocs-bench-1"' "${bench_json}"
 grep -q '"bench": "sweep_throughput"' "${bench_json}"
 grep -q '"configs_per_sec_stealing"' "${bench_json}"
+
+echo "== tier-1: rebuild-vs-replay bench JSON carries the schema =="
+msp_json="${artifacts}/BENCH_micro_sim_perf.json"
+rm -f "${msp_json}"
+build-tier1/bench/micro_sim_perf --bench-json "${msp_json}"
+"${twocs}" validate --trace "${msp_json}"
+grep -q '"schema": "twocs-bench-1"' "${msp_json}"
+grep -q '"bench": "micro_sim_perf"' "${msp_json}"
+grep -q '"tasks_per_sec_rebuild"' "${msp_json}"
+grep -q '"tasks_per_sec_replay"' "${msp_json}"
+
+cj_json="${artifacts}/BENCH_cluster_jitter.json"
+rm -f "${cj_json}"
+build-tier1/bench/cluster_jitter --jobs 2 --bench-json "${cj_json}"
+"${twocs}" validate --trace "${cj_json}"
+grep -q '"schema": "twocs-bench-1"' "${cj_json}"
+grep -q '"bench": "cluster_jitter"' "${cj_json}"
+grep -q '"trials_per_sec_rebuild"' "${cj_json}"
+grep -q '"trials_per_sec_replay"' "${cj_json}"
+
+ss_json="${artifacts}/BENCH_straggler_study.json"
+rm -f "${ss_json}"
+build-tier1/bench/straggler_study --bench-json "${ss_json}"
+"${twocs}" validate --trace "${ss_json}"
+grep -q '"schema": "twocs-bench-1"' "${ss_json}"
+grep -q '"bench": "straggler_study"' "${ss_json}"
+grep -q '"sims_per_sec_rebuild"' "${ss_json}"
+grep -q '"sims_per_sec_replay"' "${ss_json}"
 
 echo "tier-1 gate: all green (artifacts in ${artifacts})"

@@ -1,6 +1,7 @@
 #include "ring_sim.hh"
 
 #include <algorithm>
+#include <map>
 
 #include "hw/efficiency.hh"
 #include "obs/obs.hh"
@@ -8,10 +9,80 @@
 
 namespace twocs::comm {
 
+namespace {
+
+/** A ring graph frozen for one device count, plus the replay
+ *  buffers. Cached per thread: templates are immutable, but the
+ *  scratch and duration buffers are reused in place. */
+struct CompiledRing
+{
+    std::shared_ptr<const sim::GraphTemplate> graph;
+    /** Task id of the final ring step on each device. */
+    std::vector<sim::TaskId> finals;
+    sim::ReplayScratch scratch;
+    std::vector<Seconds> durations;
+};
+
+/** Build the 2(P-1)-step ring graph: arrival task per device, then
+ *  step s on device d depending on its own and its upstream
+ *  neighbour's previous step. Durations are placeholders — the
+ *  replay (or the rebuild caller) supplies the real ones. */
+void
+buildRing(sim::EventSimulator &des, int p, int steps,
+          const std::vector<Seconds> &arrival_times,
+          Seconds step_time, std::vector<sim::TaskId> &finals)
+{
+    std::vector<sim::ResourceId> comm(p);
+    std::vector<sim::TaskId> arrive(p);
+    for (int d = 0; d < p; ++d) {
+        comm[d] = des.addResource("dev" + std::to_string(d));
+        // Arrival modelled as a zero-successor task of length
+        // arrival_times[d] on the device's stream.
+        arrive[d] = des.addTask("arrive", "arrive", comm[d],
+                                arrival_times[d]);
+    }
+
+    std::vector<sim::TaskId> prev = arrive;
+    for (int s = 0; s < steps; ++s) {
+        std::vector<sim::TaskId> cur(p);
+        for (int d = 0; d < p; ++d) {
+            const int upstream = (d + p - 1) % p;
+            cur[d] = des.addTask("step" + std::to_string(s),
+                                 "ring_step", comm[d], step_time,
+                                 { prev[d], prev[upstream] });
+        }
+        prev = std::move(cur);
+    }
+    finals = std::move(prev);
+}
+
+/** The per-thread template cache, keyed by device count. Ring
+ *  templates are tiny (a few KB per P) and the studies touch a
+ *  handful of Ps, so the cache never needs eviction. */
+CompiledRing &
+compiledRingFor(int p, int steps)
+{
+    thread_local std::map<int, CompiledRing> cache;
+    auto [it, inserted] = cache.try_emplace(p);
+    CompiledRing &ring = it->second;
+    if (inserted) {
+        sim::EventSimulator des;
+        buildRing(des, p, steps, std::vector<Seconds>(p, 0.0), 0.0,
+                  ring.finals);
+        ring.graph = des.compile();
+        ring.scratch.bind(*ring.graph);
+        ring.durations.resize(ring.graph->numTasks());
+    }
+    return ring;
+}
+
+} // namespace
+
 RingSimResult
 simulateRingAllReduce(const hw::Topology &topology, Bytes payload,
                       const std::vector<Seconds> &arrival_times,
-                      const hw::LinkEfficiencyParams &link_params)
+                      const hw::LinkEfficiencyParams &link_params,
+                      RingSimEngine engine)
 {
     const int p = static_cast<int>(arrival_times.size());
     TWOCS_OBS_SPAN(obs::Category::Comm, "comm.ring.allreduce", [&] {
@@ -38,44 +109,40 @@ simulateRingAllReduce(const hw::Topology &topology, Bytes payload,
         step_wire + topology.intraLink().latency;
     const int steps = 2 * (p - 1);
 
-    sim::EventSimulator des;
-    std::vector<sim::ResourceId> comm(p);
-    std::vector<sim::TaskId> arrive(p);
-    for (int d = 0; d < p; ++d) {
-        comm[d] = des.addResource("dev" + std::to_string(d));
-        // Arrival modelled as a zero-successor task of length
-        // arrival_times[d] on the device's stream.
-        arrive[d] = des.addTask("arrive", "arrive", comm[d],
-                                arrival_times[d]);
-    }
-
-    // step s on device d needs: own previous step, and the upstream
-    // neighbour's previous step (the chunk it is about to forward).
-    std::vector<sim::TaskId> prev = arrive;
-    for (int s = 0; s < steps; ++s) {
-        std::vector<sim::TaskId> cur(p);
-        for (int d = 0; d < p; ++d) {
-            const int upstream = (d + p - 1) % p;
-            std::vector<sim::TaskId> deps = { prev[d],
-                                              prev[upstream] };
-            cur[d] = des.addTask("step" + std::to_string(s),
-                                 "ring_step", comm[d], step_time,
-                                 deps);
-        }
-        prev = std::move(cur);
-    }
-    TWOCS_OBS_INSTANT(obs::Category::Comm, "comm.ring.built",
-                      std::to_string(steps) + " steps of " +
-                          std::to_string(p) + " transfers");
-
     RingSimResult result;
-    result.schedule = des.run();
+    std::vector<sim::TaskId> finals;
+    const sim::ReplayScratch *placed_source = nullptr;
+
+    if (engine == RingSimEngine::CompiledReplay) {
+        CompiledRing &ring = compiledRingFor(p, steps);
+        // Duration layout mirrors the build order: the p arrival
+        // tasks first, then steps*p identical ring steps.
+        std::copy(arrival_times.begin(), arrival_times.end(),
+                  ring.durations.begin());
+        std::fill(ring.durations.begin() + p, ring.durations.end(),
+                  step_time);
+        sim::replay(*ring.graph, ring.durations, ring.scratch);
+        finals = ring.finals;
+        placed_source = &ring.scratch;
+        result.schedule = sim::Schedule(ring.graph,
+                                        ring.scratch.placements());
+    } else {
+        sim::EventSimulator des;
+        buildRing(des, p, steps, arrival_times, step_time, finals);
+        TWOCS_OBS_INSTANT(obs::Category::Comm, "comm.ring.built",
+                          std::to_string(steps) + " steps of " +
+                              std::to_string(p) + " transfers");
+        result.schedule = des.run();
+    }
+
     result.deviceFinish.resize(p);
     Seconds latest_arrival = 0.0;
     Seconds earliest_arrival = 1e300;
     for (int d = 0; d < p; ++d) {
         result.deviceFinish[d] =
-            result.schedule.placement(prev[d]).end;
+            placed_source != nullptr
+                ? placed_source->placements()[finals[d]].end
+                : result.schedule.placement(finals[d]).end;
         result.finishTime =
             std::max(result.finishTime, result.deviceFinish[d]);
         latest_arrival = std::max(latest_arrival, arrival_times[d]);

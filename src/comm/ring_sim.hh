@@ -10,6 +10,12 @@
  * closed form cannot: what happens when participants arrive at
  * different times (stragglers), and how collective synchronization
  * amplifies tail latency across a data-parallel group.
+ *
+ * The ring's shape depends only on the device count, so the default
+ * engine compiles the 2(P-1)·P-step graph once per P (a per-thread
+ * template cache) and replays it per arrival-time vector with zero
+ * graph construction; RingSimEngine::Rebuild keeps the historical
+ * build-from-scratch path as the byte-identity reference.
  */
 
 #ifndef TWOCS_COMM_RING_SIM_HH
@@ -22,6 +28,18 @@
 #include "sim/engine.hh"
 
 namespace twocs::comm {
+
+/** How simulateRingAllReduce obtains its task graph. */
+enum class RingSimEngine
+{
+    /** Compile the ring template once per device count (per
+     *  thread), replay it per arrival vector. The default. */
+    CompiledReplay,
+    /** Rebuild the EventSimulator graph from scratch on every call
+     *  — the historical path, kept as the measured baseline and the
+     *  byte-identity reference for the replay tests. */
+    Rebuild,
+};
 
 /** Result of one explicit ring simulation. */
 struct RingSimResult
@@ -37,9 +55,7 @@ struct RingSimResult
     Seconds maxStallTime = 0.0;
 
     /** The underlying schedule, for trace export. */
-    sim::Schedule schedule{
-        {}, {}, {}, std::make_shared<util::StringInterner>()
-    };
+    sim::Schedule schedule;
 };
 
 /**
@@ -51,7 +67,8 @@ struct RingSimResult
 RingSimResult simulateRingAllReduce(
     const hw::Topology &topology, Bytes payload,
     const std::vector<Seconds> &arrival_times,
-    const hw::LinkEfficiencyParams &link_params = {});
+    const hw::LinkEfficiencyParams &link_params = {},
+    RingSimEngine engine = RingSimEngine::CompiledReplay);
 
 } // namespace twocs::comm
 

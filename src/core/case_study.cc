@@ -28,6 +28,18 @@ CaseStudy::makeGraph(const CaseStudyConfig &c) const
 sim::Schedule
 CaseStudy::buildSchedule(const CaseStudyConfig &config) const
 {
+    return buildSimulator(config).run();
+}
+
+std::shared_ptr<const sim::GraphTemplate>
+CaseStudy::compileGraph(const CaseStudyConfig &config) const
+{
+    return buildSimulator(config).compile();
+}
+
+sim::EventSimulator
+CaseStudy::buildSimulator(const CaseStudyConfig &config) const
+{
     fatalIf(config.fineGrainedOverlapFraction < 0.0 ||
                 config.fineGrainedOverlapFraction > 1.0,
             "fineGrainedOverlapFraction must be in [0, 1]");
@@ -154,7 +166,7 @@ CaseStudy::buildSchedule(const CaseStudyConfig &config) const
                                    kernels.cost(op.kernel), deps);
     }
 
-    return des.run();
+    return des;
 }
 
 CaseStudyResult

@@ -112,8 +112,15 @@ class CaseStudy
     /** The schedule behind a result, for timeline inspection. */
     sim::Schedule buildSchedule(const CaseStudyConfig &config) const;
 
+    /** The frozen two-stream iteration graph, for replay-many use
+     *  (the micro_sim_perf rebuild-vs-replay configurations). */
+    std::shared_ptr<const sim::GraphTemplate>
+    compileGraph(const CaseStudyConfig &config) const;
+
   private:
     model::LayerGraphBuilder makeGraph(const CaseStudyConfig &c) const;
+    sim::EventSimulator
+    buildSimulator(const CaseStudyConfig &config) const;
 
     model::Hyperparams baseline_;
     hw::Precision precision_;

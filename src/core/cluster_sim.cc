@@ -9,43 +9,54 @@
 
 namespace twocs::core {
 
-ClusterSim::ClusterSim(model::Hyperparams baseline,
-                       hw::Precision precision)
-    : baseline_(std::move(baseline)), precision_(precision)
-{
-}
+namespace {
 
-ClusterSimResult
-ClusterSim::run(const ClusterSimConfig &config) const
+void
+validateConfig(const ClusterSimConfig &config)
 {
     fatalIf(config.tpDegree < 2,
             "cluster simulation needs a TP group of >= 2");
     fatalIf(config.numLayers < 1, "need at least one layer");
     fatalIf(config.computeJitter < 0.0, "jitter must be >= 0");
+}
 
+/**
+ * Build the iteration graph for one TP group. When `rng` is non-null
+ * every compute task's duration is perturbed in place (the legacy
+ * rebuild-per-trial path); with a null rng the graph carries base
+ * durations, ready to be compiled into a template whose replay
+ * applies the same noise factors to the same tasks in the same
+ * order — the two paths are bit-identical by construction.
+ */
+void
+buildIteration(const ClusterSimConfig &config,
+               const model::Hyperparams &baseline,
+               hw::Precision precision, sim::EventSimulator &des,
+               std::vector<sim::ResourceId> &compute,
+               std::vector<sim::ResourceId> &comm, Rng *rng)
+{
     const int p = config.tpDegree;
-    model::Hyperparams hp = baseline_.withHidden(config.hidden)
+    model::Hyperparams hp = baseline.withHidden(config.hidden)
                                 .withSequenceLength(config.seqLen)
                                 .withBatchSize(config.batch)
                                 .withCompatibleHeads(p);
     hp.numLayers = config.numLayers;
     model::ParallelConfig par;
     par.tpDegree = p;
-    const model::LayerGraphBuilder graph(hp, par, precision_);
+    const model::LayerGraphBuilder graph(hp, par, precision);
     const hw::KernelCostModel kernels = config.system.kernelModel();
     const hw::Topology topo = config.system.topology();
 
     // Ring-step timing (one chunk per step per device).
     const int rings = topo.parallelRings();
 
-    sim::EventSimulator des;
-    std::vector<sim::ResourceId> compute(p), comm(p);
+    compute.resize(p);
+    comm.resize(p);
     for (int d = 0; d < p; ++d) {
         compute[d] = des.addResource("compute" + std::to_string(d));
         comm[d] = des.addResource("comm" + std::to_string(d));
     }
 
-    Rng rng(config.seed);
     std::vector<sim::TaskId> last(p, sim::InvalidTask);
 
     for (const model::TrainingOp &op : graph.iterationOps()) {
@@ -80,7 +91,9 @@ ClusterSim::run(const ClusterSimConfig &config) const
             const Seconds base = kernels.cost(op.kernel);
             for (int d = 0; d < p; ++d) {
                 const Seconds dur =
-                    base * rng.noiseFactor(config.computeJitter);
+                    rng != nullptr
+                        ? base * rng->noiseFactor(config.computeJitter)
+                        : base;
                 std::vector<sim::TaskId> deps;
                 if (last[d] != sim::InvalidTask)
                     deps.push_back(last[d]);
@@ -89,15 +102,23 @@ ClusterSim::run(const ClusterSimConfig &config) const
             }
         }
     }
+}
 
-    const sim::Schedule sched = des.run();
-
+/** Aggregate one simulated iteration exactly the way the legacy
+ *  Schedule-based path does: same per-resource sums in the same
+ *  order, so replay and rebuild agree to the last bit. */
+template <typename BusyFn>
+ClusterSimResult
+aggregate(Seconds makespan, int p,
+          const std::vector<sim::ResourceId> &compute,
+          const std::vector<sim::ResourceId> &comm, BusyFn &&busy)
+{
     ClusterSimResult r;
-    r.iterationTime = sched.makespan();
+    r.iterationTime = makespan;
     Seconds comm_busy = 0.0, compute_busy = 0.0;
     for (int d = 0; d < p; ++d) {
-        compute_busy += sched.busyTime(compute[d]);
-        comm_busy += sched.busyTime(comm[d]);
+        compute_busy += busy(compute[d]);
+        comm_busy += busy(comm[d]);
     }
     r.computeTimePerDevice = compute_busy / p;
     r.commTimePerDevice = comm_busy / p;
@@ -108,11 +129,50 @@ ClusterSim::run(const ClusterSimConfig &config) const
     return r;
 }
 
+} // namespace
+
+ClusterSim::ClusterSim(model::Hyperparams baseline,
+                       hw::Precision precision)
+    : baseline_(std::move(baseline)), precision_(precision)
+{
+}
+
+ClusterSimResult
+ClusterSim::run(const ClusterSimConfig &config) const
+{
+    validateConfig(config);
+
+    Rng rng(config.seed);
+    sim::EventSimulator des;
+    std::vector<sim::ResourceId> compute, comm;
+    buildIteration(config, baseline_, precision_, des, compute, comm,
+                   &rng);
+
+    const sim::Schedule sched = des.run();
+    return aggregate(sched.makespan(), config.tpDegree, compute, comm,
+                     [&](sim::ResourceId r) {
+                         return sched.busyTime(r);
+                     });
+}
+
+std::shared_ptr<const sim::GraphTemplate>
+ClusterSim::compileIteration(const ClusterSimConfig &config) const
+{
+    validateConfig(config);
+    sim::EventSimulator des;
+    std::vector<sim::ResourceId> compute, comm;
+    buildIteration(config, baseline_, precision_, des, compute, comm,
+                   nullptr);
+    return des.compile();
+}
+
 ClusterTrialSummary
 ClusterSim::runTrials(const ClusterSimConfig &config, int num_trials,
-                      const exec::RunnerOptions &runner_options) const
+                      const exec::RunnerOptions &runner_options,
+                      TrialEngine engine) const
 {
     fatalIf(num_trials < 1, "need at least one trial");
+    validateConfig(config);
 
     std::vector<ClusterSimConfig> trials(
         static_cast<std::size_t>(num_trials), config);
@@ -125,8 +185,59 @@ ClusterSim::runTrials(const ClusterSimConfig &config, int num_trials,
     exec::ParallelSweepRunner runner(options);
 
     ClusterTrialSummary summary;
-    summary.trials = runner.map(
-        trials, [this](const ClusterSimConfig &c) { return run(c); });
+    if (engine == TrialEngine::CompiledReplay) {
+        // Compile once; each trial only fills a duration vector and
+        // replays. Resource ids are the builder's: compute d and
+        // comm d interleave as 2d / 2d + 1.
+        const std::shared_ptr<const sim::GraphTemplate> graph =
+            compileIteration(config);
+        const int p = config.tpDegree;
+        std::vector<sim::ResourceId> compute(p), comm(p);
+        for (int d = 0; d < p; ++d) {
+            compute[d] = 2 * d;
+            comm[d] = 2 * d + 1;
+        }
+        // Which tasks draw a noise factor: exactly the tasks the
+        // legacy path perturbs, in the same (task id) order.
+        const util::StringInterner::Id compute_tag =
+            graph->interner().find("compute");
+        std::vector<std::uint8_t> jitterable(graph->numTasks(), 0);
+        for (std::size_t i = 0; i < graph->numTasks(); ++i) {
+            jitterable[i] =
+                graph->taskTagId(static_cast<sim::TaskId>(i)) ==
+                compute_tag;
+        }
+
+        summary.trials = runner.map(
+            trials, [&](const ClusterSimConfig &c) {
+                // One arena per worker thread, reused across the
+                // trials that worker executes: the per-trial work is
+                // a duration fill + one allocation-free replay.
+                thread_local sim::ReplayScratch scratch;
+                thread_local std::vector<Seconds> durations;
+                const std::vector<Seconds> &base =
+                    graph->baseDurations();
+                durations.resize(base.size());
+                Rng rng(c.seed);
+                for (std::size_t i = 0; i < base.size(); ++i) {
+                    durations[i] =
+                        jitterable[i]
+                            ? base[i] *
+                                  rng.noiseFactor(c.computeJitter)
+                            : base[i];
+                }
+                sim::replay(*graph, durations, scratch);
+                return aggregate(scratch.makespan(), p, compute,
+                                 comm, [&](sim::ResourceId r) {
+                                     return scratch.busyTotal(r);
+                                 });
+            });
+    } else {
+        summary.trials = runner.map(
+            trials,
+            [this](const ClusterSimConfig &c) { return run(c); });
+    }
+
     for (const ClusterSimResult &r : summary.trials) {
         summary.meanIterationTime += r.iterationTime;
         summary.worstIterationTime =

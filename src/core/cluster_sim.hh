@@ -11,6 +11,13 @@
  * noise. Because the four per-layer all-reduces act as
  * synchronization barriers, per-device jitter compounds into
  * iteration-level slowdown that no single-device model can see.
+ *
+ * Monte Carlo trials share one graph shape: runTrials() compiles the
+ * per-iteration layer graph once (sim::GraphTemplate) and maps
+ * jittered duration vectors over the trials, one replay-scratch
+ * arena per worker thread — a trial allocates nothing and
+ * re-validates nothing. TrialEngine::Rebuild keeps the historical
+ * build-per-trial path as the byte-identity reference.
  */
 
 #ifndef TWOCS_CORE_CLUSTER_SIM_HH
@@ -74,6 +81,18 @@ struct ClusterTrialSummary
     Seconds worstIterationTime = 0.0;
 };
 
+/** How runTrials() obtains each trial's task graph. */
+enum class TrialEngine
+{
+    /** Compile the iteration graph once, replay a jittered duration
+     *  vector per trial (zero per-trial allocation). The default. */
+    CompiledReplay,
+    /** Rebuild the EventSimulator graph on every trial — the
+     *  historical path, kept as the measured baseline and the
+     *  byte-identity reference for the replay tests. */
+    Rebuild,
+};
+
 /** Runs the explicit group simulation. */
 class ClusterSim
 {
@@ -88,13 +107,23 @@ class ClusterSim
      * Repeat the simulation `num_trials` times with seeds
      * config.seed, config.seed + 1, ... — each trial draws its own
      * jitter — in parallel across runner.jobs worker threads.
-     * Results are aggregated in seed order, so any jobs count
-     * produces identical output.
+     * Results are aggregated in seed order, so any jobs count (and
+     * either engine) produces identical output.
      */
     ClusterTrialSummary runTrials(const ClusterSimConfig &config,
                                   int num_trials,
                                   const exec::RunnerOptions &runner =
-                                      {}) const;
+                                      {},
+                                  TrialEngine engine =
+                                      TrialEngine::CompiledReplay) const;
+
+    /**
+     * Freeze the iteration graph for `config` (base durations, no
+     * jitter applied). Exposed for the replay benches and tests;
+     * runTrials() uses it internally.
+     */
+    std::shared_ptr<const sim::GraphTemplate>
+    compileIteration(const ClusterSimConfig &config) const;
 
   private:
     model::Hyperparams baseline_;

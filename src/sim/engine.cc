@@ -31,17 +31,13 @@ intersectionLength(const std::vector<std::pair<Seconds, Seconds>> &a,
 
 } // namespace
 
-Schedule::Schedule(std::vector<Task> tasks,
-                   std::vector<ScheduledTask> placed,
-                   std::vector<std::string> resource_names,
-                   std::shared_ptr<const util::StringInterner> interner)
-    : tasks_(std::move(tasks)), placed_(std::move(placed)),
-      resourceNames_(std::move(resource_names)),
-      interner_(std::move(interner))
+Schedule::Schedule(std::shared_ptr<const GraphTemplate> graph,
+                   std::vector<ScheduledTask> placed)
+    : graph_(std::move(graph)), placed_(std::move(placed))
 {
-    panicIf(tasks_.size() != placed_.size(),
+    panicIf(graph_ == nullptr, "Schedule without a graph template");
+    panicIf(graph_->numTasks() != placed_.size(),
             "Schedule task/placement size mismatch");
-    panicIf(interner_ == nullptr, "Schedule without an interner");
 
     // One pass over the placements builds every aggregate the
     // analysis queries need: makespan, per-resource and per-tag
@@ -49,19 +45,20 @@ Schedule::Schedule(std::vector<Task> tasks,
     // exposedTime()/overlappedTime() intersect. The studies call
     // those queries repeatedly per schedule; rebuilding intervals
     // inside each call was the simulator's hottest allocation site.
-    busyTotals_.assign(resourceNames_.size(), 0.0);
-    tagTotals_.assign(interner_->size(), 0.0);
-    std::vector<std::vector<Interval>> raw(resourceNames_.size());
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
-        const Task &t = tasks_[i];
+    busyTotals_.assign(graph_->numResources(), 0.0);
+    tagTotals_.assign(graph_->interner().size(), 0.0);
+    std::vector<std::vector<Interval>> raw(graph_->numResources());
+    for (std::size_t i = 0; i < placed_.size(); ++i) {
+        const auto id = static_cast<TaskId>(i);
+        const ResourceId res = graph_->taskResource(id);
         const Seconds dur = placed_[i].end - placed_[i].start;
         makespan_ = std::max(makespan_, placed_[i].end);
-        busyTotals_[t.resource] += dur;
-        if (t.tag < tagTotals_.size())
-            tagTotals_[t.tag] += dur;
+        busyTotals_[res] += dur;
+        const util::StringInterner::Id tag = graph_->taskTagId(id);
+        if (tag < tagTotals_.size())
+            tagTotals_[tag] += dur;
         if (dur > 0.0)
-            raw[t.resource].emplace_back(placed_[i].start,
-                                         placed_[i].end);
+            raw[res].emplace_back(placed_[i].start, placed_[i].end);
     }
     busyIntervals_.resize(raw.size());
     for (std::size_t r = 0; r < raw.size(); ++r) {
@@ -80,14 +77,17 @@ Schedule::Schedule(std::vector<Task> tasks,
     }
 }
 
+const GraphTemplate &
+Schedule::graph() const
+{
+    panicIf(graph_ == nullptr, "graph() of an empty Schedule");
+    return *graph_;
+}
+
 const std::string &
 Schedule::resourceName(ResourceId resource) const
 {
-    panicIf(resource < 0 ||
-                static_cast<std::size_t>(resource) >=
-                    resourceNames_.size(),
-            "resourceName() of unknown resource ", resource);
-    return resourceNames_[resource];
+    return graph().resourceName(resource);
 }
 
 Seconds
@@ -103,7 +103,10 @@ Schedule::busyTime(ResourceId resource) const
 Seconds
 Schedule::timeByTag(std::string_view tag) const
 {
-    const util::StringInterner::Id id = interner_->find(tag);
+    if (graph_ == nullptr)
+        return 0.0;
+    const util::StringInterner::Id id =
+        graph_->interner().find(tag);
     if (id == util::StringInterner::kNotFound ||
         id >= tagTotals_.size()) {
         return 0.0;
@@ -119,20 +122,28 @@ Schedule::placement(TaskId id) const
     return placed_[id];
 }
 
+ResourceId
+Schedule::taskResource(TaskId id) const
+{
+    return graph().taskResource(id);
+}
+
 std::string_view
 Schedule::taskLabel(TaskId id) const
 {
-    panicIf(id < 0 || static_cast<std::size_t>(id) >= tasks_.size(),
-            "taskLabel() of unknown task ", id);
-    return interner_->view(tasks_[id].label);
+    return graph().taskLabel(id);
 }
 
 std::string_view
 Schedule::taskTag(TaskId id) const
 {
-    panicIf(id < 0 || static_cast<std::size_t>(id) >= tasks_.size(),
-            "taskTag() of unknown task ", id);
-    return interner_->view(tasks_[id].tag);
+    return graph().taskTag(id);
+}
+
+const util::StringInterner &
+Schedule::interner() const
+{
+    return graph().interner();
 }
 
 const std::vector<Schedule::Interval> &
@@ -172,7 +183,7 @@ EventSimulator::addResource(std::string name)
 TaskId
 EventSimulator::addTask(std::string_view label, std::string_view tag,
                         ResourceId resource, Seconds duration,
-                        std::vector<TaskId> deps)
+                        std::span<const TaskId> deps)
 {
     fatalIf(resource < 0 ||
                 static_cast<std::size_t>(resource) >=
@@ -181,52 +192,59 @@ EventSimulator::addTask(std::string_view label, std::string_view tag,
     fatalIf(duration < 0.0, "addTask() with negative duration for '",
             std::string(label), "'");
 
-    const TaskId id = static_cast<TaskId>(tasks_.size());
+    const TaskId id = static_cast<TaskId>(resources_.size());
     for (TaskId dep : deps) {
         fatalIf(dep < 0 || dep >= id, "task '", std::string(label),
                 "' depends on unknown task ", dep);
     }
 
-    Task t;
-    t.id = id;
-    t.label = interner_->intern(label);
-    t.tag = interner_->intern(tag);
-    t.resource = resource;
-    t.duration = duration;
-    t.deps = std::move(deps);
-    tasks_.push_back(std::move(t));
+    labels_.push_back(interner_->intern(label));
+    tags_.push_back(interner_->intern(tag));
+    resources_.push_back(resource);
+    durations_.push_back(duration);
+    depEdges_.insert(depEdges_.end(), deps.begin(), deps.end());
+    depOffsets_.push_back(
+        static_cast<std::uint32_t>(depEdges_.size()));
     return id;
+}
+
+std::shared_ptr<const GraphTemplate>
+EventSimulator::compile() const
+{
+    auto tmpl = std::make_shared<GraphTemplate>();
+    tmpl->resourceNames_ = resourceNames_;
+    tmpl->labels_ = labels_;
+    tmpl->tags_ = tags_;
+    tmpl->resources_ = resources_;
+    tmpl->durations_ = durations_;
+    tmpl->depOffsets_ = depOffsets_;
+    tmpl->depEdges_ = depEdges_;
+    tmpl->interner_ = interner_;
+    // Per-tag dispatch span labels, built exactly once per compile
+    // so replay's per-task tracing never concatenates a string.
+    tmpl->dispatchLabels_.reserve(interner_->size());
+    for (util::StringInterner::Id id = 0; id < interner_->size();
+         ++id) {
+        const std::string_view text = interner_->view(id);
+        tmpl->dispatchLabels_.push_back(
+            "sim.dispatch." +
+            (text.empty() ? std::string("task")
+                          : std::string(text)));
+    }
+    return tmpl;
 }
 
 Schedule
 EventSimulator::run() const
 {
     TWOCS_OBS_SPAN(obs::Category::Sim, "sim.run", [this] {
-        return "tasks=" + std::to_string(tasks_.size()) +
+        return "tasks=" + std::to_string(resources_.size()) +
                " resources=" + std::to_string(resourceNames_.size());
     });
-    std::vector<ScheduledTask> placed(tasks_.size());
-    std::vector<Seconds> resource_free(resourceNames_.size(), 0.0);
-
-    // Tasks were added in program order and dependencies point
-    // backwards, so a single forward pass is a valid simulation.
-    for (std::size_t i = 0; i < tasks_.size(); ++i) {
-        const Task &t = tasks_[i];
-        TWOCS_OBS_SPAN(obs::Category::Sim, [this, &t] {
-            const std::string_view tag = interner_->view(t.tag);
-            return "sim.dispatch." +
-                   (tag.empty() ? std::string("task")
-                                : std::string(tag));
-        });
-        Seconds ready = resource_free[t.resource];
-        for (TaskId dep : t.deps)
-            ready = std::max(ready, placed[dep].end);
-        placed[i] = { t.id, ready, ready + t.duration };
-        resource_free[t.resource] = placed[i].end;
-    }
-
-    return Schedule(tasks_, std::move(placed), resourceNames_,
-                    interner_);
+    std::shared_ptr<const GraphTemplate> tmpl = compile();
+    ReplayScratch scratch;
+    replay(*tmpl, {}, scratch);
+    return Schedule(std::move(tmpl), scratch.placements());
 }
 
 } // namespace twocs::sim

@@ -11,68 +11,56 @@
  * operator-level projection models are validated against.
  *
  * Allocation discipline: task labels and classification tags are
- * interned (util/interner.hh) — a Task carries two 32-bit ids, not
- * two strings, so building and running a graph whose vocabulary has
- * stabilized performs no per-task string allocations. Schedule
- * precomputes per-resource busy intervals and per-tag totals once at
- * construction, so the exposed/overlapped-time queries the studies
- * hammer are O(intervals) lookups instead of per-call rebuilds.
+ * interned (util/interner.hh) — a task carries two 32-bit ids, not
+ * two strings — and the graph is stored flat with CSR dependencies
+ * (sim/graph.hh): one offsets[] + one edges[] array instead of a
+ * per-task heap vector. EventSimulator is the builder; compile()
+ * freezes the graph into an immutable GraphTemplate that replay()
+ * can run against arbitrary duration vectors with zero per-trial
+ * allocations, and run() itself is just compile-once + replay-once.
+ * Schedule precomputes per-resource busy intervals and per-tag
+ * totals once at construction, so the exposed/overlapped-time
+ * queries the studies hammer are O(intervals) lookups instead of
+ * per-call rebuilds.
  */
 
 #ifndef TWOCS_SIM_ENGINE_HH
 #define TWOCS_SIM_ENGINE_HH
 
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "sim/graph.hh"
 #include "util/interner.hh"
 #include "util/units.hh"
 
 namespace twocs::sim {
 
-using TaskId = int;
-using ResourceId = int;
-
-/** An invalid task id (usable as "no dependency"). */
-inline constexpr TaskId InvalidTask = -1;
-
-/** One unit of work bound to a resource. Label and tag are interned
- *  ids; resolve them through Schedule::taskLabel()/taskTag() or the
- *  owning interner. */
-struct Task
-{
-    TaskId id = InvalidTask;
-    util::StringInterner::Id label = 0;
-    /** Classification tag aggregated by Schedule::timeByTag(). */
-    util::StringInterner::Id tag = 0;
-    ResourceId resource = 0;
-    Seconds duration = 0.0;
-    std::vector<TaskId> deps;
-};
-
-/** Execution record of one task. */
-struct ScheduledTask
-{
-    TaskId id = InvalidTask;
-    Seconds start = 0.0;
-    Seconds end = 0.0;
-};
-
-/** The result of running an EventSimulator. */
+/** The result of running an EventSimulator: a frozen graph template
+ *  plus the placement of every task. Cheaply default-constructible
+ *  (an empty schedule with no graph behind it), so result structs
+ *  can hold one by value without a throwaway allocation. */
 class Schedule
 {
   public:
-    Schedule(std::vector<Task> tasks, std::vector<ScheduledTask> placed,
-             std::vector<std::string> resource_names,
-             std::shared_ptr<const util::StringInterner> interner);
+    Schedule() = default;
+
+    Schedule(std::shared_ptr<const GraphTemplate> graph,
+             std::vector<ScheduledTask> placed);
 
     /** Name of a resource (stream), as registered. */
     const std::string &resourceName(ResourceId resource) const;
 
-    std::size_t numResources() const { return resourceNames_.size(); }
+    std::size_t numResources() const
+    {
+        return graph_ == nullptr ? 0 : graph_->numResources();
+    }
+    std::size_t numTasks() const { return placed_.size(); }
 
     /** Completion time of the last task. */
     Seconds makespan() const { return makespan_; }
@@ -95,7 +83,9 @@ class Schedule
      */
     Seconds overlappedTime(ResourceId a, ResourceId b) const;
 
-    const std::vector<Task> &tasks() const { return tasks_; }
+    /** The frozen graph behind this schedule (tasks, CSR deps). */
+    const GraphTemplate &graph() const;
+
     const std::vector<ScheduledTask> &placements() const
     {
         return placed_;
@@ -104,12 +94,15 @@ class Schedule
     /** Start/end of one task by id. */
     const ScheduledTask &placement(TaskId id) const;
 
+    /** Resource of one task by id. */
+    ResourceId taskResource(TaskId id) const;
+
     /** Text of one task's label / tag (render-time lookups). */
     std::string_view taskLabel(TaskId id) const;
     std::string_view taskTag(TaskId id) const;
 
     /** The label/tag interner shared with the simulator. */
-    const util::StringInterner &interner() const { return *interner_; }
+    const util::StringInterner &interner() const;
 
   private:
     using Interval = std::pair<Seconds, Seconds>;
@@ -117,10 +110,8 @@ class Schedule
     const std::vector<Interval> &
     busyIntervals(ResourceId resource) const;
 
-    std::vector<Task> tasks_;
+    std::shared_ptr<const GraphTemplate> graph_;
     std::vector<ScheduledTask> placed_;
-    std::vector<std::string> resourceNames_;
-    std::shared_ptr<const util::StringInterner> interner_;
     /** Merged busy intervals per resource, built once in the ctor. */
     std::vector<std::vector<Interval>> busyIntervals_;
     /** Duration sums indexed by resource / by tag id, ditto. */
@@ -129,7 +120,8 @@ class Schedule
     Seconds makespan_ = 0.0;
 };
 
-/** Builds a task graph and schedules it. */
+/** Builds a task graph (CSR-natively), compiles it into a
+ *  GraphTemplate, and schedules it. */
 class EventSimulator
 {
   public:
@@ -139,13 +131,23 @@ class EventSimulator
     /**
      * Append a task to a resource's FIFO queue. Dependencies must be
      * previously-added task ids. Label and tag are interned; in
-     * steady state (vocabulary already seen) this allocates nothing.
+     * steady state (vocabulary already seen) the only growth is the
+     * flat task/edge arrays — no per-task heap vector.
      */
     TaskId addTask(std::string_view label, std::string_view tag,
                    ResourceId resource, Seconds duration,
-                   std::vector<TaskId> deps = {});
+                   std::span<const TaskId> deps = {});
 
-    std::size_t numTasks() const { return tasks_.size(); }
+    TaskId addTask(std::string_view label, std::string_view tag,
+                   ResourceId resource, Seconds duration,
+                   std::initializer_list<TaskId> deps)
+    {
+        return addTask(label, tag, resource, duration,
+                       std::span<const TaskId>(deps.begin(),
+                                               deps.end()));
+    }
+
+    std::size_t numTasks() const { return resources_.size(); }
     std::size_t numResources() const { return resourceNames_.size(); }
 
     /** The label/tag intern table (its size() counts the distinct
@@ -153,14 +155,27 @@ class EventSimulator
     const util::StringInterner &interner() const { return *interner_; }
 
     /**
+     * Freeze the graph built so far into an immutable, shareable
+     * template: every addTask() validation already happened, so
+     * replaying the template needs none.
+     */
+    std::shared_ptr<const GraphTemplate> compile() const;
+
+    /**
      * Execute: each resource runs its tasks in insertion order, each
      * task starting once the resource is free and all deps finished.
+     * Equivalent to compile() + one replay() of the base durations.
      */
     Schedule run() const;
 
   private:
     std::vector<std::string> resourceNames_;
-    std::vector<Task> tasks_;
+    std::vector<util::StringInterner::Id> labels_;
+    std::vector<util::StringInterner::Id> tags_;
+    std::vector<ResourceId> resources_;
+    std::vector<Seconds> durations_;
+    std::vector<std::uint32_t> depOffsets_ = { 0 };
+    std::vector<TaskId> depEdges_;
     std::shared_ptr<util::StringInterner> interner_ =
         std::make_shared<util::StringInterner>();
 };

@@ -24,9 +24,8 @@ exportChromeTrace(const Schedule &schedule, std::ostream &os)
            << "}}";
     }
 
-    const auto &tasks = schedule.tasks();
     const auto &placed = schedule.placements();
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (std::size_t i = 0; i < placed.size(); ++i) {
         if (!first)
             os << ",\n";
         first = false;
@@ -38,7 +37,8 @@ exportChromeTrace(const Schedule &schedule, std::ostream &os)
                       "\"ts\": %.3f, \"dur\": %.3f}",
                       json::escape(schedule.taskLabel(id)).c_str(),
                       json::escape(schedule.taskTag(id)).c_str(),
-                      tasks[i].resource, placed[i].start * 1e6,
+                      schedule.taskResource(id),
+                      placed[i].start * 1e6,
                       (placed[i].end - placed[i].start) * 1e6);
         os << buf;
     }

@@ -83,6 +83,89 @@ TEST(ClusterSim, LargerGroupsSpendMoreTimeCommunicating)
     EXPECT_GT(p16.commFraction(), p4.commFraction());
 }
 
+void
+expectIdentical(const ClusterTrialSummary &a,
+                const ClusterTrialSummary &b)
+{
+    EXPECT_EQ(a.meanIterationTime, b.meanIterationTime);
+    EXPECT_EQ(a.worstIterationTime, b.worstIterationTime);
+    ASSERT_EQ(a.trials.size(), b.trials.size());
+    for (std::size_t i = 0; i < a.trials.size(); ++i) {
+        EXPECT_EQ(a.trials[i].iterationTime,
+                  b.trials[i].iterationTime)
+            << i;
+        EXPECT_EQ(a.trials[i].commTimePerDevice,
+                  b.trials[i].commTimePerDevice)
+            << i;
+        EXPECT_EQ(a.trials[i].computeTimePerDevice,
+                  b.trials[i].computeTimePerDevice)
+            << i;
+        EXPECT_EQ(a.trials[i].stallTimePerDevice,
+                  b.trials[i].stallTimePerDevice)
+            << i;
+    }
+}
+
+TEST(ClusterReplay, TrialsMatchRebuildBitForBitAtAnyJobs)
+{
+    // The compiled-replay trial engine must reproduce the
+    // rebuild-per-trial engine exactly — same seeds, same noise
+    // draws, same FP accumulation order — at every jobs count.
+    ClusterSim sim;
+    const ClusterSimConfig cfg = smallConfig(4, 0.10);
+    exec::RunnerOptions serial;
+    serial.jobs = 1;
+    const ClusterTrialSummary reference =
+        sim.runTrials(cfg, 8, serial, TrialEngine::Rebuild);
+    for (int jobs : { 1, 2, 4 }) {
+        exec::RunnerOptions runner;
+        runner.jobs = jobs;
+        expectIdentical(reference,
+                        sim.runTrials(cfg, 8, runner,
+                                      TrialEngine::CompiledReplay));
+        expectIdentical(reference,
+                        sim.runTrials(cfg, 8, runner,
+                                      TrialEngine::Rebuild));
+    }
+}
+
+TEST(ClusterReplay, SingleTrialMatchesRun)
+{
+    // One replayed trial with the base seed is exactly run().
+    ClusterSim sim;
+    const ClusterSimConfig cfg = smallConfig(4, 0.05);
+    const ClusterSimResult direct = sim.run(cfg);
+    const ClusterTrialSummary trials =
+        sim.runTrials(cfg, 1, {}, TrialEngine::CompiledReplay);
+    ASSERT_EQ(trials.trials.size(), 1u);
+    EXPECT_EQ(trials.trials[0].iterationTime, direct.iterationTime);
+    EXPECT_EQ(trials.trials[0].commTimePerDevice,
+              direct.commTimePerDevice);
+    EXPECT_EQ(trials.trials[0].computeTimePerDevice,
+              direct.computeTimePerDevice);
+    EXPECT_EQ(trials.trials[0].stallTimePerDevice,
+              direct.stallTimePerDevice);
+}
+
+TEST(ClusterReplay, CompiledIterationExposesShape)
+{
+    ClusterSim sim;
+    const ClusterSimConfig cfg = smallConfig(4);
+    const std::shared_ptr<const sim::GraphTemplate> graph =
+        sim.compileIteration(cfg);
+    ASSERT_NE(graph, nullptr);
+    // One compute + one comm stream per device.
+    EXPECT_EQ(graph->numResources(), 8u);
+    EXPECT_GT(graph->numTasks(), 0u);
+    EXPECT_GT(graph->numEdges(), 0u);
+    // The builder interleaves streams: compute d at 2d, comm at
+    // 2d + 1 (the replay engine relies on this layout).
+    EXPECT_EQ(graph->resourceName(0), "compute0");
+    EXPECT_EQ(graph->resourceName(1), "comm0");
+    EXPECT_EQ(graph->resourceName(6), "compute3");
+    EXPECT_EQ(graph->resourceName(7), "comm3");
+}
+
 TEST(ClusterSim, Validation)
 {
     ClusterSim sim;

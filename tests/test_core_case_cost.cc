@@ -130,7 +130,7 @@ TEST_F(CaseStudyFixture, ScheduleHasTwoStreams)
     // TP all-reduces are never overlapped with compute: the exposed
     // comm time is at least the serialized total.
     EXPECT_GE(s.exposedTime(1, 0), s.timeByTag("tp_ar") * 0.999);
-    EXPECT_GT(s.tasks().size(), 100u);
+    EXPECT_GT(s.numTasks(), 100u);
 }
 
 TEST_F(CaseStudyFixture, FasterNetworkShrinksCommShare)

@@ -101,7 +101,74 @@ TEST(RingSim, ScheduleIsExportable)
     const RingSimResult r = simulateRingAllReduce(
         node(4), 64e6, std::vector<Seconds>(4, 0.0));
     EXPECT_EQ(r.schedule.numResources(), 4u);
-    EXPECT_EQ(r.schedule.tasks().size(), 4u + 4u * 6u);
+    EXPECT_EQ(r.schedule.numTasks(), 4u + 4u * 6u);
+}
+
+void
+expectIdentical(const RingSimResult &a, const RingSimResult &b)
+{
+    EXPECT_EQ(a.finishTime, b.finishTime);
+    EXPECT_EQ(a.collectiveTime, b.collectiveTime);
+    EXPECT_EQ(a.maxStallTime, b.maxStallTime);
+    ASSERT_EQ(a.deviceFinish.size(), b.deviceFinish.size());
+    for (std::size_t d = 0; d < a.deviceFinish.size(); ++d)
+        EXPECT_EQ(a.deviceFinish[d], b.deviceFinish[d]) << d;
+    ASSERT_EQ(a.schedule.numTasks(), b.schedule.numTasks());
+    for (std::size_t i = 0; i < a.schedule.numTasks(); ++i) {
+        const auto id = static_cast<sim::TaskId>(i);
+        EXPECT_EQ(a.schedule.placement(id).start,
+                  b.schedule.placement(id).start)
+            << i;
+        EXPECT_EQ(a.schedule.placement(id).end,
+                  b.schedule.placement(id).end)
+            << i;
+    }
+}
+
+TEST(RingReplay, MatchesRebuildBitForBit)
+{
+    // The compiled-template replay must agree with a from-scratch
+    // graph build on every exported number — not approximately,
+    // bit for bit (identical recurrence, identical FP order).
+    const std::vector<Seconds> skewed = { 0.0, 1e-3, 2e-3, 8e-3,
+                                          5e-4, 0.0, 3e-3, 1e-4 };
+    const RingSimResult replayed = simulateRingAllReduce(
+        node(8), 64e6, skewed, {}, RingSimEngine::CompiledReplay);
+    const RingSimResult rebuilt = simulateRingAllReduce(
+        node(8), 64e6, skewed, {}, RingSimEngine::Rebuild);
+    expectIdentical(replayed, rebuilt);
+}
+
+TEST(RingReplay, CachedTemplateReplaysAreIndependent)
+{
+    // Repeated calls for the same P reuse one thread-local template
+    // and scratch; each call's result must depend only on its own
+    // arrival vector, and the shared interner must not grow.
+    const std::vector<Seconds> a = { 0.0, 2e-3, 0.0, 1e-3 };
+    const std::vector<Seconds> b = { 4e-3, 0.0, 5e-4, 0.0 };
+    const RingSimResult first =
+        simulateRingAllReduce(node(4), 64e6, a);
+    const std::size_t vocabulary =
+        first.schedule.interner().size();
+    simulateRingAllReduce(node(4), 64e6, b);
+    const RingSimResult again =
+        simulateRingAllReduce(node(4), 64e6, a);
+    expectIdentical(first, again);
+    EXPECT_EQ(again.schedule.interner().size(), vocabulary);
+}
+
+TEST(RingReplay, DistinctDeviceCountsGetDistinctTemplates)
+{
+    for (int p : { 2, 3, 4, 8 }) {
+        const RingSimResult r = simulateRingAllReduce(
+            node(p), 64e6, std::vector<Seconds>(p, 0.0));
+        EXPECT_EQ(r.schedule.numResources(),
+                  static_cast<std::size_t>(p));
+        EXPECT_EQ(r.schedule.numTasks(),
+                  static_cast<std::size_t>(p) +
+                      static_cast<std::size_t>(p) * 2 *
+                          (static_cast<std::size_t>(p) - 1));
+    }
 }
 
 } // namespace

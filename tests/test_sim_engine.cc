@@ -204,7 +204,7 @@ TEST(Engine, OnlyZeroDurationTasks)
 // --- interning equivalence against a string-keyed baseline ---
 
 /** The pre-interning reference: recompute every aggregate straight
- *  from tasks()/placements() with string keys and per-call interval
+ *  from the placements with string keys and per-call interval
  *  rebuilds, exactly as Schedule used to. */
 struct StringKeyedBaseline
 {
@@ -214,15 +214,14 @@ struct StringKeyedBaseline
     explicit StringKeyedBaseline(const Schedule &s)
         : busy(s.numResources())
     {
-        const auto &tasks = s.tasks();
         const auto &placed = s.placements();
-        for (std::size_t i = 0; i < tasks.size(); ++i) {
+        for (std::size_t i = 0; i < placed.size(); ++i) {
             const auto id = static_cast<TaskId>(i);
             const double dur = placed[i].end - placed[i].start;
             tagTotals[std::string(s.taskTag(id))] += dur;
             if (dur > 0.0)
-                busy[tasks[i].resource].emplace_back(placed[i].start,
-                                                     placed[i].end);
+                busy[s.taskResource(id)].emplace_back(placed[i].start,
+                                                      placed[i].end);
         }
         for (auto &ivals : busy) {
             std::sort(ivals.begin(), ivals.end());
@@ -280,7 +279,7 @@ TEST(EngineInterning, CaseStudyQueriesMatchStringKeyedBaseline)
     cfg.tpDegree = 16;
     cfg.dpDegree = 4;
     const Schedule s = study.buildSchedule(cfg);
-    ASSERT_GT(s.tasks().size(), 100u);
+    ASSERT_GT(s.numTasks(), 100u);
     ASSERT_GE(s.numResources(), 2u);
 
     const StringKeyedBaseline baseline(s);

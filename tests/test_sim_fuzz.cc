@@ -53,19 +53,20 @@ TEST_P(EngineFuzz, ScheduleInvariantsHold)
     }
 
     const Schedule s = des.run();
-    const auto &tasks = s.tasks();
+    const GraphTemplate &graph = s.graph();
     const auto &placed = s.placements();
 
     // 1. Every task runs for exactly its duration, non-negatively.
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-        EXPECT_NEAR(placed[i].end - placed[i].start, tasks[i].duration,
-                    1e-12);
+    for (std::size_t i = 0; i < placed.size(); ++i) {
+        const auto id = static_cast<TaskId>(i);
+        EXPECT_NEAR(placed[i].end - placed[i].start,
+                    graph.baseDuration(id), 1e-12);
         EXPECT_GE(placed[i].start, 0.0);
     }
 
     // 2. Dependencies: no task starts before its deps end.
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-        for (TaskId dep : tasks[i].deps)
+    for (std::size_t i = 0; i < placed.size(); ++i) {
+        for (TaskId dep : graph.deps(static_cast<TaskId>(i)))
             EXPECT_GE(placed[i].start, placed[dep].end - 1e-12);
     }
 
@@ -73,8 +74,9 @@ TEST_P(EngineFuzz, ScheduleInvariantsHold)
     //    earlier than the previous task on its resource ended
     //    (transitively covers all pairs).
     std::vector<TaskId> last_on(fc.resources, InvalidTask);
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-        const ResourceId r = tasks[i].resource;
+    for (std::size_t i = 0; i < placed.size(); ++i) {
+        const ResourceId r =
+            graph.taskResource(static_cast<TaskId>(i));
         if (last_on[r] != InvalidTask) {
             EXPECT_GE(placed[i].start,
                       placed[last_on[r]].end - 1e-12)
