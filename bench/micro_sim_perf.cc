@@ -22,6 +22,7 @@
 #include "core/sweep.hh"
 #include "core/system_config.hh"
 #include "opmodel/operator_model.hh"
+#include "sim/passes.hh"
 
 using namespace twocs;
 
@@ -199,32 +200,75 @@ measureRebuildTasksPerSec()
     return best;
 }
 
+/**
+ * Best-of-5 replay rate of a compiled graph, expressed in
+ * *source-graph* tasks per second: a pass-rewritten graph is
+ * credited with the `equivalents` tasks of the graph it stands in
+ * for, so pass-on and pass-off rates compare the same simulated
+ * work and their ratio is the pass's replay speedup.
+ */
+double
+measureReplayEquivalentsPerSec(const sim::GraphTemplate &graph,
+                               std::size_t equivalents)
+{
+    sim::ReplayScratch scratch;
+    scratch.bind(graph);
+
+    // Replays are much cheaper than rebuilds; batch them so each
+    // rep measures well above the clock's resolution. Rewritten
+    // graphs can be tiny, so size the batch to ~1M tasks per rep.
+    const int replays = std::max<int>(
+        64, static_cast<int>(
+                1000000 / std::max<std::size_t>(graph.numTasks(), 1)));
+
+    using Clock = std::chrono::steady_clock;
+    double best = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+        const auto start = Clock::now();
+        for (int i = 0; i < replays; ++i)
+            sim::replay(graph, {}, scratch);
+        const std::chrono::duration<double> elapsed =
+            Clock::now() - start;
+        best = std::max(best,
+                        replays * static_cast<double>(equivalents) /
+                            elapsed.count());
+    }
+    return best;
+}
+
 double
 measureReplayTasksPerSec()
 {
     const core::CaseStudy study;
     const std::shared_ptr<const sim::GraphTemplate> graph =
         study.compileGraph(benchCaseConfig());
-    sim::ReplayScratch scratch;
-    scratch.bind(*graph);
+    return measureReplayEquivalentsPerSec(*graph,
+                                          graph->numTasks());
+}
 
-    using Clock = std::chrono::steady_clock;
-    double best = 0.0;
-    for (int rep = 0; rep < 5; ++rep) {
-        // Replays are much cheaper than rebuilds; batch them so each
-        // rep measures well above the clock's resolution.
-        constexpr int kReplays = 64;
-        const auto start = Clock::now();
-        for (int i = 0; i < kReplays; ++i)
-            sim::replay(*graph, {}, scratch);
-        const std::chrono::duration<double> elapsed =
-            Clock::now() - start;
-        best = std::max(
-            best, kReplays *
-                      static_cast<double>(graph->numTasks()) /
-                      elapsed.count());
+/**
+ * A chain-heavy synthetic graph: a few long single-dependency
+ * same-resource runs of "compute" tasks — FuseLinearChains'
+ * best-case shape, where each chain collapses to one task.
+ */
+std::shared_ptr<const sim::GraphTemplate>
+buildChainGraph()
+{
+    constexpr int kChains = 4;
+    constexpr int kLinks = 4096;
+    sim::EventSimulator des;
+    for (int c = 0; c < kChains; ++c) {
+        const sim::ResourceId res =
+            des.addResource("chain" + std::to_string(c));
+        sim::TaskId prev = sim::InvalidTask;
+        for (int i = 0; i < kLinks; ++i) {
+            prev = prev == sim::InvalidTask
+                       ? des.addTask("op", "compute", res, 1e-6, {})
+                       : des.addTask("op", "compute", res, 1e-6,
+                                     { prev });
+        }
     }
-    return best;
+    return des.compile();
 }
 
 } // namespace
@@ -246,6 +290,47 @@ main(int argc, char **argv)
         json.set("tasks_per_sec", rebuild);
         json.set("tasks_per_sec_rebuild", rebuild);
         json.set("tasks_per_sec_replay", replay);
+
+        // Pass-off vs pass-on replay of a chain-heavy graph: the
+        // fused rate is credited in source-task equivalents, so the
+        // ratio is FuseLinearChains' replay speedup.
+        const std::shared_ptr<const sim::GraphTemplate> chain =
+            buildChainGraph();
+        const sim::PassPipeline fuse =
+            sim::PassPipeline::parse("fuse");
+        using Clock = std::chrono::steady_clock;
+        const auto compile_start = Clock::now();
+        const std::shared_ptr<const sim::GraphTemplate> fused =
+            fuse.apply(chain);
+        const std::chrono::duration<double> compile_elapsed =
+            Clock::now() - compile_start;
+        const double chain_off = measureReplayEquivalentsPerSec(
+            *chain, chain->numTasks());
+        const double chain_on = measureReplayEquivalentsPerSec(
+            *fused, chain->numTasks());
+        std::printf("fuse pass: chain graph %zu -> %zu tasks, "
+                    "%.0f -> %.0f equiv tasks/sec (%.1fx), "
+                    "rewrite %.2f ms\n",
+                    chain->numTasks(), fused->numTasks(), chain_off,
+                    chain_on, chain_on / chain_off,
+                    compile_elapsed.count() * 1e3);
+        json.set("pass_chain_tasks_per_sec_replay", chain_off);
+        json.set("pass_chain_tasks_per_sec_replay_fused", chain_on);
+        json.set("pass_fuse_speedup", chain_on / chain_off);
+        json.set("pass_fuse_compile_ms",
+                 compile_elapsed.count() * 1e3);
+
+        // The same pass over the real case-study graph (fewer
+        // fusable runs than the synthetic chains, so this is the
+        // honest end-to-end number).
+        const core::CaseStudy study;
+        const std::shared_ptr<const sim::GraphTemplate> case_graph =
+            study.compileGraph(benchCaseConfig());
+        const std::shared_ptr<const sim::GraphTemplate> case_fused =
+            fuse.apply(case_graph);
+        const double case_on = measureReplayEquivalentsPerSec(
+            *case_fused, case_graph->numTasks());
+        json.set("tasks_per_sec_replay_fused", case_on);
         return json.write() ? 0 : 1;
     }
     benchmark::Initialize(&argc, argv);

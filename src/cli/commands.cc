@@ -24,6 +24,7 @@
 #include "svc/service.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 #include "util/version.hh"
@@ -233,6 +234,7 @@ cmdCluster(const Args &args)
     cfg.computeJitter = args.getDouble("jitter", 0.0);
     cfg.seed = args.getInt("seed", 1);
     cfg.system = systemFrom(args);
+    cfg.passes = args.get("passes");
 
     const int trials = static_cast<int>(args.getInt("trials", 1));
     fatalIf(trials < 1, "option --trials expects a positive count, got ",
@@ -244,7 +246,8 @@ cmdCluster(const Args &args)
                       "stall/device", "stall fraction" });
         for (int i = 0; i < trials; ++i) {
             const auto &r = summary.trials[i];
-            t.addRowOf(static_cast<long>(cfg.seed + i),
+            t.addRowOf(std::to_string(splitmixSeed(
+                           cfg.seed, static_cast<std::uint64_t>(i))),
                        formatSeconds(r.iterationTime),
                        formatSeconds(r.commTimePerDevice),
                        formatSeconds(r.stallTimePerDevice),
@@ -276,11 +279,18 @@ cmdCluster(const Args &args)
 int
 cmdSweep(const Args &args)
 {
-    // Regenerate the Figure 10 or 11 data grid, optionally as CSV.
+    // Regenerate the Figure 10, 11 or 14 data grid, optionally as
+    // CSV.
     const std::int64_t figure = args.getInt("figure", 10);
     const bool csv = args.getInt("csv", 0) != 0;
     const core::SystemConfig sys = systemFrom(args);
     const core::SweepSpace space = core::table3();
+    const std::string passes = args.get("passes");
+    // Figures 10 and 11 are closed-form grids: there is no task
+    // graph for a pass pipeline to rewrite.
+    fatalIf(!passes.empty() && figure != 14,
+            "--passes only applies to --figure 14 (the event-engine "
+            "case study); figure ", figure, " is analytic");
 
     if (figure == 10) {
         core::AmdahlAnalysis analysis(sys);
@@ -328,8 +338,34 @@ cmdSweep(const Args &args)
                        p.overlappedCommVsCompute());
         }
         csv ? t.printCsv(std::cout) : t.print(std::cout);
+    } else if (figure == 14) {
+        // The case study's scenario bars run on the event engine,
+        // so this is the sweep mode a pass pipeline applies to.
+        core::CaseStudy study;
+        core::CaseStudyConfig base;
+        base.system = sys;
+        base.passes = passes;
+        core::CaseStudyConfig internode = base;
+        internode.interNodeDp = true;
+
+        const std::vector<
+            std::pair<const char *, core::CaseStudyConfig>>
+            scenarios = { { "tp+dp_intra", base },
+                          { "tp+dp_inter", internode } };
+        TextTable t({ "scenario", "iteration", "compute",
+                      "serialized_comm", "exposed_comm",
+                      "hidden_comm" });
+        for (const auto &[name, cfg] : scenarios) {
+            const core::CaseStudyResult r = study.run(cfg);
+            t.addRowOf(name, formatSeconds(r.makespan),
+                       formatPercent(r.computeFraction()),
+                       formatPercent(r.serializedCommFraction()),
+                       formatPercent(r.exposedCommFraction()),
+                       formatPercent(r.hiddenCommFraction()));
+        }
+        csv ? t.printCsv(std::cout) : t.print(std::cout);
     } else {
-        fatal("--figure must be 10 or 11, got ", figure);
+        fatal("--figure must be 10, 11 or 14, got ", figure);
     }
     return 0;
 }
@@ -646,15 +682,19 @@ buildRegistry()
                       { "seed", FlagType::Int, "1",
                         "base RNG seed" },
                       { "trials", FlagType::Int, "1",
-                        "independent jittered trials" } },
+                        "independent jittered trials" },
+                      { "passes", FlagType::String, "",
+                        "graph pass pipeline, e.g. fuse,dce" } },
                     system, runner, trace }),
           cmdCluster });
     registry.push_back(
         { "sweep", "regenerate a figure's data grid",
           flagsOf({ { { "figure", FlagType::Int, "10",
-                        "figure to regenerate: 10 or 11" },
+                        "figure to regenerate: 10, 11 or 14" },
                       { "csv", FlagType::Bool, "0",
-                        "emit CSV instead of a table" } },
+                        "emit CSV instead of a table" },
+                      { "passes", FlagType::String, "",
+                        "graph pass pipeline (figure 14 only)" } },
                     system, runner, trace }),
           cmdSweep });
     registry.push_back(

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
+#include <tuple>
 
 #include "hw/efficiency.hh"
 #include "obs/obs.hh"
@@ -11,22 +13,29 @@ namespace twocs::comm {
 
 namespace {
 
-/** A ring graph frozen for one device count, plus the replay
- *  buffers. Cached per thread: templates are immutable, but the
- *  scratch and duration buffers are reused in place. */
+/** A ring graph frozen for one (device count, step count, pass
+ *  pipeline), plus the replay buffers. Cached per thread: templates
+ *  are immutable, but the scratch and duration buffers are reused
+ *  in place. */
 struct CompiledRing
 {
     std::shared_ptr<const sim::GraphTemplate> graph;
     /** Task id of the final ring step on each device. */
     std::vector<sim::TaskId> finals;
+    /** For each compiled task: the device whose arrival time fills
+     *  its duration, or -1 for ring steps, whose duration is the
+     *  task's base duration (its step multiplicity after any pass
+     *  rewriting) times the step time. */
+    std::vector<int> fillDevice;
     sim::ReplayScratch scratch;
     std::vector<Seconds> durations;
 };
 
-/** Build the 2(P-1)-step ring graph: arrival task per device, then
+/** Build the stepped ring graph: arrival task per device, then
  *  step s on device d depending on its own and its upstream
- *  neighbour's previous step. Durations are placeholders — the
- *  replay (or the rebuild caller) supplies the real ones. */
+ *  neighbour's previous step. The template path passes placeholder
+ *  durations (zero arrivals, unit steps) that replay scales; the
+ *  rebuild path bakes the real ones in. */
 void
 buildRing(sim::EventSimulator &des, int p, int steps,
           const std::vector<Seconds> &arrival_times,
@@ -56,20 +65,49 @@ buildRing(sim::EventSimulator &des, int p, int steps,
     finals = std::move(prev);
 }
 
-/** The per-thread template cache, keyed by device count. Ring
- *  templates are tiny (a few KB per P) and the studies touch a
- *  handful of Ps, so the cache never needs eviction. */
+/** The per-thread template cache. Keyed by device count AND step
+ *  count — all-reduce (2(P-1) steps) and reduce-scatter (P-1) share
+ *  a P — and by the pass pipeline's spec for rewritten variants.
+ *  Ring templates are tiny (a few KB each) and the studies touch a
+ *  handful of keys, so the cache never needs eviction. */
 CompiledRing &
-compiledRingFor(int p, int steps)
+compiledRingFor(int p, int steps, const sim::PassPipeline *passes)
 {
-    thread_local std::map<int, CompiledRing> cache;
-    auto [it, inserted] = cache.try_emplace(p);
+    using Key = std::tuple<int, int, std::string>;
+    thread_local std::map<Key, CompiledRing> cache;
+    const bool rewritten = passes != nullptr && !passes->empty();
+    auto [it, inserted] = cache.try_emplace(
+        Key{ p, steps, rewritten ? passes->describe() : "" });
     CompiledRing &ring = it->second;
     if (inserted) {
         sim::EventSimulator des;
-        buildRing(des, p, steps, std::vector<Seconds>(p, 0.0), 0.0,
-                  ring.finals);
-        ring.graph = des.compile();
+        std::vector<sim::TaskId> base_finals;
+        buildRing(des, p, steps, std::vector<Seconds>(p, 0.0), 1.0,
+                  base_finals);
+        const std::shared_ptr<const sim::GraphTemplate> base =
+            des.compile();
+        if (rewritten) {
+            // Mark the final steps terminal so elimination keeps
+            // them and fusion/tiling retargets them, then track
+            // where the arrival tasks (template ids 0..p-1) landed.
+            const sim::GraphBuilder::Compiled compiled =
+                passes->rewrite(*base, base_finals);
+            ring.graph = compiled.graph;
+            ring.finals = compiled.terminals;
+            ring.fillDevice.assign(ring.graph->numTasks(), -1);
+            for (int d = 0; d < p; ++d) {
+                const sim::TaskId cid =
+                    compiled.taskMap[static_cast<std::size_t>(d)];
+                if (cid != sim::InvalidTask)
+                    ring.fillDevice[static_cast<std::size_t>(cid)] = d;
+            }
+        } else {
+            ring.graph = base;
+            ring.finals = std::move(base_finals);
+            ring.fillDevice.assign(ring.graph->numTasks(), -1);
+            for (int d = 0; d < p; ++d)
+                ring.fillDevice[static_cast<std::size_t>(d)] = d;
+        }
         ring.scratch.bind(*ring.graph);
         ring.durations.resize(ring.graph->numTasks());
     }
@@ -78,11 +116,31 @@ compiledRingFor(int p, int steps)
 
 } // namespace
 
+Seconds
+ringStepTime(const hw::Topology &topology, Bytes payload, int devices,
+             const hw::LinkEfficiencyParams &link_params)
+{
+    fatalIf(devices < 2, "ring step time needs >= 2 devices");
+    fatalIf(payload <= 0.0, "ring step time needs a payload");
+    // Per-step transfer: each device forwards one chunk of S/P
+    // bytes, split across its share of the parallel rings.
+    const int rings = topology.parallelRings();
+    const Bytes chunk = payload / devices;
+    const Bytes per_ring = chunk / rings;
+    // Utilization follows the per-ring share — what each physical
+    // link actually carries per step. The efficiency lookup floors
+    // degenerate sub-byte shares at one byte so the saturation
+    // curve stays defined; the wire term uses the true share.
+    const double eff = hw::linkEfficiency(
+        std::max(per_ring, 1.0), link_params);
+    return per_ring / (topology.intraLink().bandwidth * eff) +
+           topology.intraLink().latency;
+}
+
 RingSimResult
-simulateRingAllReduce(const hw::Topology &topology, Bytes payload,
-                      const std::vector<Seconds> &arrival_times,
-                      const hw::LinkEfficiencyParams &link_params,
-                      RingSimEngine engine)
+simulateRingCollective(const hw::Topology &topology, Bytes payload,
+                       const std::vector<Seconds> &arrival_times,
+                       const RingSimOptions &options)
 {
     const int p = static_cast<int>(arrival_times.size());
     TWOCS_OBS_SPAN(obs::Category::Comm, "comm.ring.allreduce", [&] {
@@ -95,32 +153,34 @@ simulateRingAllReduce(const hw::Topology &topology, Bytes payload,
     for (Seconds t : arrival_times)
         fatalIf(t < 0.0, "arrival times must be non-negative");
 
-    // Per-step transfer: each device forwards one chunk of S/P bytes
-    // over its share of the parallel rings.
-    const int rings = topology.parallelRings();
-    const Bytes chunk = payload / p;
-    const Bytes per_ring = chunk / rings;
-    // Utilization follows the device's total per-step payload.
-    const double eff = hw::linkEfficiency(
-        std::max(per_ring, 1.0), link_params);
-    const Seconds step_wire =
-        per_ring / (topology.intraLink().bandwidth * eff);
     const Seconds step_time =
-        step_wire + topology.intraLink().latency;
-    const int steps = 2 * (p - 1);
+        ringStepTime(topology, payload, p, options.linkParams);
+    const int steps = options.collective == RingCollective::AllReduce
+                          ? 2 * (p - 1)
+                          : p - 1;
+    const bool rewritten =
+        options.passes != nullptr && !options.passes->empty();
 
     RingSimResult result;
     std::vector<sim::TaskId> finals;
     const sim::ReplayScratch *placed_source = nullptr;
 
-    if (engine == RingSimEngine::CompiledReplay) {
-        CompiledRing &ring = compiledRingFor(p, steps);
-        // Duration layout mirrors the build order: the p arrival
-        // tasks first, then steps*p identical ring steps.
-        std::copy(arrival_times.begin(), arrival_times.end(),
-                  ring.durations.begin());
-        std::fill(ring.durations.begin() + p, ring.durations.end(),
-                  step_time);
+    if (options.engine == RingSimEngine::CompiledReplay) {
+        CompiledRing &ring =
+            compiledRingFor(p, steps, options.passes);
+        // Duration fill mirrors the template's placeholders: an
+        // arrival task takes its device's arrival time; a ring step
+        // takes its base duration (1.0, or the fused step count
+        // after pass rewriting) times the step time.
+        const std::vector<Seconds> &base =
+            ring.graph->baseDurations();
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            ring.durations[i] =
+                ring.fillDevice[i] >= 0
+                    ? arrival_times[static_cast<std::size_t>(
+                          ring.fillDevice[i])]
+                    : base[i] * step_time;
+        }
         sim::replay(*ring.graph, ring.durations, ring.scratch);
         finals = ring.finals;
         placed_source = &ring.scratch;
@@ -132,7 +192,20 @@ simulateRingAllReduce(const hw::Topology &topology, Bytes payload,
         TWOCS_OBS_INSTANT(obs::Category::Comm, "comm.ring.built",
                           std::to_string(steps) + " steps of " +
                               std::to_string(p) + " transfers");
-        result.schedule = des.run();
+        if (rewritten) {
+            // Rebuild-with-passes stays a valid cross-check: the
+            // real durations are baked in, so the rewrite (which
+            // sums them through fusions) needs no scaling.
+            const sim::GraphBuilder::Compiled compiled =
+                options.passes->rewrite(*des.compile(), finals);
+            finals = compiled.terminals;
+            sim::ReplayScratch scratch;
+            sim::replay(*compiled.graph, {}, scratch);
+            result.schedule = sim::Schedule(compiled.graph,
+                                            scratch.placements());
+        } else {
+            result.schedule = des.run();
+        }
     }
 
     result.deviceFinish.resize(p);
@@ -158,6 +231,19 @@ simulateRingAllReduce(const hw::Topology &topology, Bytes payload,
     if (result.maxStallTime < 0.0)
         result.maxStallTime = 0.0;
     return result;
+}
+
+RingSimResult
+simulateRingAllReduce(const hw::Topology &topology, Bytes payload,
+                      const std::vector<Seconds> &arrival_times,
+                      const hw::LinkEfficiencyParams &link_params,
+                      RingSimEngine engine)
+{
+    RingSimOptions options;
+    options.linkParams = link_params;
+    options.engine = engine;
+    return simulateRingCollective(topology, payload, arrival_times,
+                                  options);
 }
 
 } // namespace twocs::comm

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "sim/passes.hh"
 #include "util/logging.hh"
 
 namespace twocs::core {
@@ -28,13 +29,22 @@ CaseStudy::makeGraph(const CaseStudyConfig &c) const
 sim::Schedule
 CaseStudy::buildSchedule(const CaseStudyConfig &config) const
 {
-    return buildSimulator(config).run();
+    if (config.passes.empty())
+        return buildSimulator(config).run();
+    // Pass-rewritten variants exist only in compiled form: rewrite,
+    // replay the base durations, and wrap the placements.
+    const std::shared_ptr<const sim::GraphTemplate> graph =
+        compileGraph(config);
+    sim::ReplayScratch scratch;
+    sim::replay(*graph, {}, scratch);
+    return sim::Schedule(graph, scratch.placements());
 }
 
 std::shared_ptr<const sim::GraphTemplate>
 CaseStudy::compileGraph(const CaseStudyConfig &config) const
 {
-    return buildSimulator(config).compile();
+    return sim::PassPipeline::parse(config.passes)
+        .apply(buildSimulator(config).compile());
 }
 
 sim::EventSimulator

@@ -67,6 +67,11 @@ struct CaseStudyConfig
      * after the last bucket lands, as real frameworks do.
      */
     Bytes dpBucketBytes = 0.0;
+
+    /** Graph pass pipeline (sim::PassPipeline::parse syntax, e.g.
+     *  "fuse") applied between build and compile. Empty = the
+     *  byte-identity reference path. */
+    std::string passes;
 };
 
 /** Timeline decomposition of one training iteration. */

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 
-#include "hw/efficiency.hh"
+#include "comm/ring_sim.hh"
 #include "model/layer_graph.hh"
+#include "sim/passes.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -47,9 +48,6 @@ buildIteration(const ClusterSimConfig &config,
     const hw::KernelCostModel kernels = config.system.kernelModel();
     const hw::Topology topo = config.system.topology();
 
-    // Ring-step timing (one chunk per step per device).
-    const int rings = topo.parallelRings();
-
     compute.resize(p);
     comm.resize(p);
     for (int d = 0; d < p; ++d) {
@@ -61,14 +59,11 @@ buildIteration(const ClusterSimConfig &config,
 
     for (const model::TrainingOp &op : graph.iterationOps()) {
         if (op.isComm()) {
-            // Explicit ring all-reduce across the group.
-            const Bytes chunk = op.commBytes / p;
-            const Bytes per_ring = std::max(chunk / rings, 1.0);
-            const double eff = hw::linkEfficiency(
-                per_ring, config.system.linkEfficiency);
-            const Seconds step_time =
-                per_ring / (topo.intraLink().bandwidth * eff) +
-                topo.intraLink().latency;
+            // Explicit ring all-reduce across the group; step
+            // timing shares comm::ringStepTime's pinned per-ring
+            // share semantics.
+            const Seconds step_time = comm::ringStepTime(
+                topo, op.commBytes, p, config.system.linkEfficiency);
             const int steps = 2 * (p - 1);
 
             std::vector<sim::TaskId> prev = last;
@@ -129,6 +124,58 @@ aggregate(Seconds makespan, int p,
     return r;
 }
 
+/** Tasks that draw a noise factor during replay: exactly the tasks
+ *  the legacy rebuild path perturbs, in the same (task id) order. */
+std::vector<std::uint8_t>
+jitterMask(const sim::GraphTemplate &graph)
+{
+    const util::StringInterner::Id compute_tag =
+        graph.interner().find("compute");
+    std::vector<std::uint8_t> jitterable(graph.numTasks(), 0);
+    for (std::size_t i = 0; i < graph.numTasks(); ++i) {
+        jitterable[i] =
+            graph.taskTagId(static_cast<sim::TaskId>(i)) ==
+            compute_tag;
+    }
+    return jitterable;
+}
+
+/** One jittered replay of a compiled iteration graph, aggregated
+ *  exactly like the legacy path. Resource ids are the builder's:
+ *  compute d and comm d interleave as 2d / 2d + 1. */
+ClusterSimResult
+replayTrial(const sim::GraphTemplate &graph,
+            const std::vector<std::uint8_t> &jitterable,
+            const ClusterSimConfig &config, sim::ReplayScratch &scratch,
+            std::vector<Seconds> &durations)
+{
+    const std::vector<Seconds> &base = graph.baseDurations();
+    durations.resize(base.size());
+    Rng rng(config.seed);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        durations[i] =
+            jitterable[i]
+                ? base[i] * rng.noiseFactor(config.computeJitter)
+                : base[i];
+    }
+    sim::replay(graph, durations, scratch);
+
+    // Reused across a worker's trials, like the caller's buffers —
+    // a trial stays allocation-free in steady state.
+    const int p = config.tpDegree;
+    thread_local std::vector<sim::ResourceId> compute, comm;
+    compute.resize(p);
+    comm.resize(p);
+    for (int d = 0; d < p; ++d) {
+        compute[d] = 2 * d;
+        comm[d] = 2 * d + 1;
+    }
+    return aggregate(scratch.makespan(), p, compute, comm,
+                     [&](sim::ResourceId r) {
+                         return scratch.busyTotal(r);
+                     });
+}
+
 } // namespace
 
 ClusterSim::ClusterSim(model::Hyperparams baseline,
@@ -141,6 +188,19 @@ ClusterSimResult
 ClusterSim::run(const ClusterSimConfig &config) const
 {
     validateConfig(config);
+
+    if (!config.passes.empty()) {
+        // A pass-rewritten graph only exists in compiled form, so
+        // this path is compile + one jittered replay; the jitter
+        // draws happen in compiled task order either way, keeping
+        // run() and a one-trial runTrials() identical.
+        const std::shared_ptr<const sim::GraphTemplate> graph =
+            compileIteration(config);
+        sim::ReplayScratch scratch;
+        std::vector<Seconds> durations;
+        return replayTrial(*graph, jitterMask(*graph), config,
+                           scratch, durations);
+    }
 
     Rng rng(config.seed);
     sim::EventSimulator des;
@@ -163,7 +223,8 @@ ClusterSim::compileIteration(const ClusterSimConfig &config) const
     std::vector<sim::ResourceId> compute, comm;
     buildIteration(config, baseline_, precision_, des, compute, comm,
                    nullptr);
-    return des.compile();
+    return sim::PassPipeline::parse(config.passes)
+        .apply(des.compile());
 }
 
 ClusterTrialSummary
@@ -176,8 +237,14 @@ ClusterSim::runTrials(const ClusterSimConfig &config, int num_trials,
 
     std::vector<ClusterSimConfig> trials(
         static_cast<std::size_t>(num_trials), config);
-    for (int i = 0; i < num_trials; ++i)
-        trials[i].seed = config.seed + static_cast<std::uint64_t>(i);
+    for (int i = 0; i < num_trials; ++i) {
+        // splitmix-derived per-trial seeds: config.seed + i would
+        // make base seeds s and s + 1 share almost all of their
+        // trial streams. Both engines read trials[i].seed, so they
+        // stay bit-identical at any jobs count.
+        trials[i].seed =
+            splitmixSeed(config.seed, static_cast<std::uint64_t>(i));
+    }
 
     exec::RunnerOptions options = runner_options;
     if (options.study == "study")
@@ -191,22 +258,8 @@ ClusterSim::runTrials(const ClusterSimConfig &config, int num_trials,
         // comm d interleave as 2d / 2d + 1.
         const std::shared_ptr<const sim::GraphTemplate> graph =
             compileIteration(config);
-        const int p = config.tpDegree;
-        std::vector<sim::ResourceId> compute(p), comm(p);
-        for (int d = 0; d < p; ++d) {
-            compute[d] = 2 * d;
-            comm[d] = 2 * d + 1;
-        }
-        // Which tasks draw a noise factor: exactly the tasks the
-        // legacy path perturbs, in the same (task id) order.
-        const util::StringInterner::Id compute_tag =
-            graph->interner().find("compute");
-        std::vector<std::uint8_t> jitterable(graph->numTasks(), 0);
-        for (std::size_t i = 0; i < graph->numTasks(); ++i) {
-            jitterable[i] =
-                graph->taskTagId(static_cast<sim::TaskId>(i)) ==
-                compute_tag;
-        }
+        const std::vector<std::uint8_t> jitterable =
+            jitterMask(*graph);
 
         summary.trials = runner.map(
             trials, [&](const ClusterSimConfig &c) {
@@ -215,22 +268,8 @@ ClusterSim::runTrials(const ClusterSimConfig &config, int num_trials,
                 // a duration fill + one allocation-free replay.
                 thread_local sim::ReplayScratch scratch;
                 thread_local std::vector<Seconds> durations;
-                const std::vector<Seconds> &base =
-                    graph->baseDurations();
-                durations.resize(base.size());
-                Rng rng(c.seed);
-                for (std::size_t i = 0; i < base.size(); ++i) {
-                    durations[i] =
-                        jitterable[i]
-                            ? base[i] *
-                                  rng.noiseFactor(c.computeJitter)
-                            : base[i];
-                }
-                sim::replay(*graph, durations, scratch);
-                return aggregate(scratch.makespan(), p, compute,
-                                 comm, [&](sim::ResourceId r) {
-                                     return scratch.busyTotal(r);
-                                 });
+                return replayTrial(*graph, jitterable, c, scratch,
+                                   durations);
             });
     } else {
         summary.trials = runner.map(

@@ -47,6 +47,11 @@ struct ClusterSimConfig
     /** Per-kernel, per-device relative timing jitter (0 = exact). */
     double computeJitter = 0.0;
     std::uint64_t seed = 1;
+
+    /** Graph pass pipeline (sim::PassPipeline::parse syntax, e.g.
+     *  "fuse,dce") applied to the compiled iteration graph before
+     *  any replay. Empty = the byte-identity reference path. */
+    std::string passes;
 };
 
 /** Cluster-simulation outputs. */
@@ -75,7 +80,8 @@ struct ClusterSimResult
 /** Aggregate over independently-seeded repeated trials. */
 struct ClusterTrialSummary
 {
-    /** Per-trial results, in seed order (config.seed + i). */
+    /** Per-trial results, in trial-index order; trial i runs with
+     *  seed util-rng splitmixSeed(config.seed, i). */
     std::vector<ClusterSimResult> trials;
     Seconds meanIterationTime = 0.0;
     Seconds worstIterationTime = 0.0;
@@ -104,11 +110,12 @@ class ClusterSim
     ClusterSimResult run(const ClusterSimConfig &config) const;
 
     /**
-     * Repeat the simulation `num_trials` times with seeds
-     * config.seed, config.seed + 1, ... — each trial draws its own
-     * jitter — in parallel across runner.jobs worker threads.
-     * Results are aggregated in seed order, so any jobs count (and
-     * either engine) produces identical output.
+     * Repeat the simulation `num_trials` times, trial i seeded with
+     * splitmixSeed(config.seed, i) — a per-trial mix rather than
+     * config.seed + i, so adjacent base seeds do not share almost
+     * all of their trial streams — in parallel across runner.jobs
+     * worker threads. Results are aggregated in trial order, so any
+     * jobs count (and either engine) produces identical output.
      */
     ClusterTrialSummary runTrials(const ClusterSimConfig &config,
                                   int num_trials,
@@ -119,8 +126,9 @@ class ClusterSim
 
     /**
      * Freeze the iteration graph for `config` (base durations, no
-     * jitter applied). Exposed for the replay benches and tests;
-     * runTrials() uses it internally.
+     * jitter applied), with config.passes already run over it.
+     * Exposed for the replay benches and tests; runTrials() uses it
+     * internally.
      */
     std::shared_ptr<const sim::GraphTemplate>
     compileIteration(const ClusterSimConfig &config) const;

@@ -1,0 +1,822 @@
+/**
+ * @file
+ * Graph pass implementations; see passes.hh for the architecture
+ * and the bit-identity contract each pass must uphold.
+ */
+
+#include "sim/passes.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+#include <utility>
+
+#include "sim/engine.hh"
+#include "util/logging.hh"
+
+namespace twocs::sim {
+
+// ---------------------------------------------------------------
+// GraphBuilder
+// ---------------------------------------------------------------
+
+GraphBuilder::GraphBuilder(const GraphTemplate &graph)
+{
+    resourceNames_.reserve(graph.numResources());
+    for (std::size_t r = 0; r < graph.numResources(); ++r)
+        resourceNames_.push_back(
+            graph.resourceName(static_cast<ResourceId>(r)));
+
+    const std::size_t n = graph.numTasks();
+    nodes_.reserve(n);
+    order_.reserve(n);
+    redirect_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto id = static_cast<TaskId>(i);
+        Node node;
+        node.label = std::string(graph.taskLabel(id));
+        node.tag = std::string(graph.taskTag(id));
+        node.resource = graph.taskResource(id);
+        node.duration = graph.baseDuration(id);
+        const std::span<const TaskId> deps = graph.deps(id);
+        node.deps.assign(deps.begin(), deps.end());
+        nodes_.push_back(std::move(node));
+        order_.push_back(id);
+        redirect_.push_back(id);
+    }
+}
+
+ResourceId
+GraphBuilder::addResource(std::string name)
+{
+    resourceNames_.push_back(std::move(name));
+    return static_cast<ResourceId>(resourceNames_.size() - 1);
+}
+
+const std::string &
+GraphBuilder::resourceName(ResourceId resource) const
+{
+    panicIf(resource < 0 ||
+                static_cast<std::size_t>(resource) >=
+                    resourceNames_.size(),
+            "GraphBuilder: resource ", resource, " out of range");
+    return resourceNames_[static_cast<std::size_t>(resource)];
+}
+
+ResourceId
+GraphBuilder::resourceByName(std::string_view name)
+{
+    for (std::size_t r = 0; r < resourceNames_.size(); ++r) {
+        if (resourceNames_[r] == name)
+            return static_cast<ResourceId>(r);
+    }
+    return addResource(std::string(name));
+}
+
+TaskId
+GraphBuilder::addTask(std::string label, std::string tag,
+                      ResourceId resource, Seconds duration,
+                      std::vector<TaskId> deps)
+{
+    panicIf(resource < 0 ||
+                static_cast<std::size_t>(resource) >=
+                    resourceNames_.size(),
+            "GraphBuilder: task '", label, "' uses unknown resource ",
+            resource);
+    panicIf(duration < 0.0, "GraphBuilder: task '", label,
+            "' has negative duration ", duration);
+    for (TaskId d : deps) {
+        panicIf(d < 0 ||
+                    static_cast<std::size_t>(d) >= nodes_.size(),
+                "GraphBuilder: task '", label,
+                "' depends on unknown node ", d);
+    }
+    const auto id = static_cast<TaskId>(nodes_.size());
+    Node node;
+    node.label = std::move(label);
+    node.tag = std::move(tag);
+    node.resource = resource;
+    node.duration = duration;
+    node.deps = std::move(deps);
+    nodes_.push_back(std::move(node));
+    order_.push_back(id);
+    redirect_.push_back(id);
+    return id;
+}
+
+TaskId
+GraphBuilder::insertTaskAfter(TaskId anchor, std::string label,
+                              std::string tag, ResourceId resource,
+                              Seconds duration,
+                              std::vector<TaskId> deps)
+{
+    panicIf(anchor < 0 ||
+                static_cast<std::size_t>(anchor) >= nodes_.size() ||
+                !nodes_[static_cast<std::size_t>(anchor)].alive,
+            "GraphBuilder: insertion anchor ", anchor,
+            " is not an alive node");
+    const TaskId id = addTask(std::move(label), std::move(tag),
+                              resource, duration, std::move(deps));
+    // addTask appended id to order_; move it to just after the
+    // anchor so it takes over the anchor's FIFO position.
+    order_.pop_back();
+    const auto at = std::find(order_.begin(), order_.end(), anchor);
+    panicIf(at == order_.end(),
+            "GraphBuilder: anchor ", anchor, " missing from order");
+    order_.insert(at + 1, id);
+    return id;
+}
+
+std::size_t
+GraphBuilder::numAlive() const
+{
+    std::size_t alive = 0;
+    for (const Node &node : nodes_)
+        alive += node.alive ? 1 : 0;
+    return alive;
+}
+
+GraphBuilder::Node &
+GraphBuilder::node(TaskId id)
+{
+    panicIf(id < 0 || static_cast<std::size_t>(id) >= nodes_.size(),
+            "GraphBuilder: node ", id, " out of range");
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+const GraphBuilder::Node &
+GraphBuilder::node(TaskId id) const
+{
+    panicIf(id < 0 || static_cast<std::size_t>(id) >= nodes_.size(),
+            "GraphBuilder: node ", id, " out of range");
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+TaskId
+GraphBuilder::resolve(TaskId id) const
+{
+    panicIf(id < 0 || static_cast<std::size_t>(id) >= nodes_.size(),
+            "GraphBuilder: node ", id, " out of range");
+    while (redirect_[static_cast<std::size_t>(id)] != id)
+        id = redirect_[static_cast<std::size_t>(id)];
+    return id;
+}
+
+std::vector<TaskId>
+GraphBuilder::resolvedDeps(TaskId id) const
+{
+    std::vector<TaskId> out;
+    const Node &n = node(id);
+    out.reserve(n.deps.size());
+    for (TaskId d : n.deps) {
+        const TaskId r = resolve(d);
+        if (!nodes_[static_cast<std::size_t>(r)].alive)
+            continue;
+        if (std::find(out.begin(), out.end(), r) == out.end())
+            out.push_back(r);
+    }
+    return out;
+}
+
+void
+GraphBuilder::fuseInto(TaskId survivor, TaskId victim)
+{
+    const TaskId s = resolve(survivor);
+    panicIf(resolve(victim) != victim || !node(victim).alive,
+            "GraphBuilder: fuse victim ", victim,
+            " already fused or dead");
+    panicIf(s == victim, "GraphBuilder: cannot fuse ", victim,
+            " into itself");
+    nodes_[static_cast<std::size_t>(victim)].alive = false;
+    redirect_[static_cast<std::size_t>(victim)] = s;
+}
+
+void
+GraphBuilder::kill(TaskId id)
+{
+    node(id).alive = false;
+}
+
+void
+GraphBuilder::markTerminal(TaskId id)
+{
+    panicIf(!node(id).alive,
+            "GraphBuilder: terminal mark on dead node ", id);
+    if (std::find(terminals_.begin(), terminals_.end(), id) ==
+        terminals_.end())
+        terminals_.push_back(id);
+}
+
+void
+GraphBuilder::retargetTerminal(TaskId from, TaskId to)
+{
+    const auto at =
+        std::find(terminals_.begin(), terminals_.end(), from);
+    if (at == terminals_.end())
+        return;
+    if (to == InvalidTask) {
+        terminals_.erase(at);
+        return;
+    }
+    // Keep the list duplicate-free if `to` is already marked.
+    if (std::find(terminals_.begin(), terminals_.end(), to) !=
+        terminals_.end()) {
+        terminals_.erase(at);
+        return;
+    }
+    *at = to;
+}
+
+GraphBuilder::Compiled
+GraphBuilder::compile() const
+{
+    EventSimulator sim;
+    for (const std::string &name : resourceNames_)
+        sim.addResource(name);
+
+    Compiled out;
+    out.taskMap.assign(nodes_.size(), InvalidTask);
+
+    std::vector<TaskId> deps;
+    for (TaskId id : order_) {
+        const Node &n = nodes_[static_cast<std::size_t>(id)];
+        if (!n.alive)
+            continue;
+        deps.clear();
+        for (TaskId r : resolvedDeps(id)) {
+            const TaskId cid = out.taskMap[static_cast<std::size_t>(r)];
+            panicIf(cid == InvalidTask,
+                    "GraphBuilder: task '", n.label,
+                    "' depends on node ", r,
+                    " which is not emitted yet (cycle or bad pass)");
+            deps.push_back(cid);
+        }
+        // A dep on a node that was killed without a redirect is a
+        // pass bug: resolvedDeps() silently dropped it above, so
+        // double-check against the raw list.
+        for (TaskId d : n.deps) {
+            const TaskId r = resolve(d);
+            panicIf(!nodes_[static_cast<std::size_t>(r)].alive,
+                    "GraphBuilder: task '", n.label,
+                    "' depends on killed node ", d,
+                    " (pass forgot to rewire consumers)");
+        }
+        out.taskMap[static_cast<std::size_t>(id)] =
+            sim.addTask(n.label, n.tag, n.resource, n.duration, deps);
+    }
+
+    // Fused nodes resolve to their survivor's compiled id.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].alive)
+            continue;
+        const TaskId r = resolve(static_cast<TaskId>(i));
+        if (r != static_cast<TaskId>(i) &&
+            nodes_[static_cast<std::size_t>(r)].alive)
+            out.taskMap[i] = out.taskMap[static_cast<std::size_t>(r)];
+    }
+
+    out.terminals.reserve(terminals_.size());
+    for (TaskId t : terminals_) {
+        const TaskId r = resolve(t);
+        panicIf(!nodes_[static_cast<std::size_t>(r)].alive,
+                "GraphBuilder: terminal ", t, " resolves to a dead ",
+                "node (pass removed an output without retargeting)");
+        out.terminals.push_back(
+            out.taskMap[static_cast<std::size_t>(r)]);
+    }
+
+    out.graph = sim.compile();
+    return out;
+}
+
+// ---------------------------------------------------------------
+// FuseLinearChains
+// ---------------------------------------------------------------
+
+bool
+FuseLinearChains::apply(GraphBuilder &graph) const
+{
+    const std::size_t n = graph.numNodes();
+
+    // Consumer counts over resolved deps; kept current as folds
+    // transfer a victim's consumers to its survivor.
+    std::vector<int> consumers(n, 0);
+    for (TaskId id : graph.order()) {
+        if (!graph.node(id).alive)
+            continue;
+        for (TaskId d : graph.resolvedDeps(id))
+            ++consumers[static_cast<std::size_t>(d)];
+    }
+
+    // A fold into a terminal-marked node would change that node's
+    // recorded end time; marks migrate onto survivors as chains
+    // collapse, so track them as a live bitmap.
+    std::vector<char> terminal(n, 0);
+    for (TaskId t : graph.terminals())
+        terminal[static_cast<std::size_t>(graph.resolve(t))] = 1;
+
+    // Last alive task per resource as of the current program-order
+    // position — the FIFO-adjacency witness.
+    std::vector<TaskId> lastAlive(graph.numResources(), InvalidTask);
+
+    bool changed = false;
+    for (TaskId id : graph.order()) {
+        if (!graph.node(id).alive)
+            continue;
+        const std::vector<TaskId> deps = graph.resolvedDeps(id);
+        const ResourceId res = graph.node(id).resource;
+        if (deps.size() == 1) {
+            const TaskId u = deps[0];
+            const GraphBuilder::Node &pred = graph.node(u);
+            if (pred.alive && pred.resource == res &&
+                pred.tag == graph.node(id).tag &&
+                lastAlive[static_cast<std::size_t>(res)] == u &&
+                consumers[static_cast<std::size_t>(u)] == 1 &&
+                !terminal[static_cast<std::size_t>(u)]) {
+                // Fold id into u: program-order duration sum, one
+                // accumulation per surviving task.
+                graph.node(u).duration += graph.node(id).duration;
+                graph.fuseInto(u, id);
+                consumers[static_cast<std::size_t>(u)] =
+                    consumers[static_cast<std::size_t>(id)];
+                terminal[static_cast<std::size_t>(u)] |=
+                    terminal[static_cast<std::size_t>(id)];
+                changed = true;
+                // u stays the resource's last alive task, so the
+                // next chain link folds in the same sweep.
+                continue;
+            }
+        }
+        lastAlive[static_cast<std::size_t>(res)] = id;
+    }
+    return changed;
+}
+
+// ---------------------------------------------------------------
+// DeadNodeElimination
+// ---------------------------------------------------------------
+
+bool
+DeadNodeElimination::apply(GraphBuilder &graph) const
+{
+    // No marked outputs: every sink is implicitly an output, so
+    // nothing is provably dead.
+    if (graph.terminals().empty())
+        return false;
+
+    const std::size_t n = graph.numNodes();
+    std::vector<char> live(n, 0);
+    for (TaskId t : graph.terminals())
+        live[static_cast<std::size_t>(graph.resolve(t))] = 1;
+
+    // One reverse program-order sweep computes the keep set: a node
+    // is kept if a terminal (transitively) depends on it, or if any
+    // kept task runs later on its resource — removing such a node
+    // could shorten the kept task's FIFO wait, and this pass
+    // promises *exact* preservation of surviving placements.
+    std::vector<char> keep(n, 0);
+    std::vector<char> keptAfter(graph.numResources(), 0);
+    const std::vector<TaskId> &order = graph.order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const TaskId id = *it;
+        const GraphBuilder::Node &node = graph.node(id);
+        if (!node.alive)
+            continue;
+        const auto res = static_cast<std::size_t>(node.resource);
+        if (!live[static_cast<std::size_t>(id)] && !keptAfter[res])
+            continue;
+        keep[static_cast<std::size_t>(id)] = 1;
+        keptAfter[res] = 1;
+        // Kept tasks need their dependencies; deps point backwards
+        // in program order, so marking them live here is enough.
+        for (TaskId d : graph.resolvedDeps(id))
+            live[static_cast<std::size_t>(d)] = 1;
+    }
+
+    bool changed = false;
+    for (TaskId id : order) {
+        if (!graph.node(id).alive || keep[static_cast<std::size_t>(id)])
+            continue;
+        graph.kill(id);
+        changed = true;
+    }
+    return changed;
+}
+
+// ---------------------------------------------------------------
+// TileGemm
+// ---------------------------------------------------------------
+
+TileGemm::TileGemm(int tiles, std::string tag)
+    : tiles_(tiles), tag_(std::move(tag))
+{
+    fatalIf(tiles_ < 1, "tile_gemm: tile count must be >= 1, got ",
+            tiles_);
+    fatalIf(tag_.empty(), "tile_gemm: tag must not be empty");
+}
+
+bool
+TileGemm::apply(GraphBuilder &graph) const
+{
+    if (tiles_ == 1)
+        return false;
+
+    std::vector<TaskId> matches;
+    for (TaskId id : graph.order()) {
+        if (graph.node(id).alive && graph.node(id).tag == tag_)
+            matches.push_back(id);
+    }
+
+    for (TaskId t : matches) {
+        // Copy before inserting: insertion reallocates the node
+        // vector and would invalidate a reference.
+        const std::string label = graph.node(t).label;
+        const ResourceId resource = graph.node(t).resource;
+        const Seconds tileTime =
+            graph.node(t).duration / static_cast<Seconds>(tiles_);
+
+        // Snapshot the consumers before the tiles exist, so the
+        // tiles' own chain deps are not rewired.
+        std::vector<std::pair<TaskId, std::size_t>> uses;
+        for (TaskId id : graph.order()) {
+            if (!graph.node(id).alive || id == t)
+                continue;
+            const std::vector<TaskId> &deps = graph.node(id).deps;
+            for (std::size_t k = 0; k < deps.size(); ++k) {
+                if (graph.resolve(deps[k]) == t)
+                    uses.emplace_back(id, k);
+            }
+        }
+
+        // The original task becomes tile 0; tiles 1..N-1 chain
+        // behind it in its own FIFO slot, ahead of every later task
+        // on the resource.
+        graph.node(t).duration = tileTime;
+        TaskId prev = t;
+        for (int k = 1; k < tiles_; ++k) {
+            std::ostringstream name;
+            name << label << "_t" << k;
+            prev = graph.insertTaskAfter(prev, name.str(), tag_,
+                                         resource, tileTime, { prev });
+        }
+
+        // Consumers (and any terminal mark) now wait for the last
+        // tile — the end of the whole original task.
+        for (const auto &[id, k] : uses)
+            graph.node(id).deps[k] = prev;
+        graph.retargetTerminal(t, prev);
+    }
+    return !matches.empty();
+}
+
+std::string
+TileGemm::spec() const
+{
+    std::ostringstream out;
+    out << name() << "=" << tiles_;
+    if (tag_ != "compute")
+        out << ":" << tag_;
+    return out.str();
+}
+
+// ---------------------------------------------------------------
+// SpliceCollective
+// ---------------------------------------------------------------
+
+SpliceCollective::SpliceCollective(Options options)
+    : options_(std::move(options))
+{
+    fatalIf(options_.steps < 0,
+            "splice: step count must be >= 0, got ", options_.steps);
+    fatalIf(options_.steps > 0 && options_.producerTag.empty(),
+            "splice_ring: producer tag must not be empty");
+    fatalIf(options_.collectiveTag.empty(),
+            "splice: collective tag must not be empty");
+    fatalIf(options_.steps > 0 && options_.stepTime < 0.0,
+            "splice_ring: step time must be >= 0, got ",
+            options_.stepTime);
+}
+
+bool
+SpliceCollective::apply(GraphBuilder &graph) const
+{
+    if (options_.steps == 0) {
+        // Remove mode: bypass every task tagged collectiveTag,
+        // rewiring consumers to the removed task's own (already
+        // rewritten) dependencies — a transitive bypass that works
+        // for chains of removed tasks in one forward sweep.
+        std::vector<char> removed(graph.numNodes(), 0);
+        std::vector<std::vector<TaskId>> bypass(graph.numNodes());
+        bool changed = false;
+        for (TaskId id : graph.order()) {
+            if (!graph.node(id).alive)
+                continue;
+            std::vector<TaskId> deps;
+            for (TaskId d : graph.node(id).deps) {
+                const TaskId r = graph.resolve(d);
+                const auto ri = static_cast<std::size_t>(r);
+                if (removed[ri]) {
+                    for (TaskId b : bypass[ri]) {
+                        if (std::find(deps.begin(), deps.end(), b) ==
+                            deps.end())
+                            deps.push_back(b);
+                    }
+                } else if (std::find(deps.begin(), deps.end(), r) ==
+                           deps.end()) {
+                    deps.push_back(r);
+                }
+            }
+            graph.node(id).deps = std::move(deps);
+            if (graph.node(id).tag != options_.collectiveTag)
+                continue;
+            const auto idx = static_cast<std::size_t>(id);
+            removed[idx] = 1;
+            bypass[idx] = graph.node(id).deps;
+            graph.retargetTerminal(id, bypass[idx].empty()
+                                           ? InvalidTask
+                                           : bypass[idx].front());
+            graph.kill(id);
+            changed = true;
+        }
+        return changed;
+    }
+
+    // Insert mode: chain `steps` collective tasks behind every
+    // producer and serialize its consumers after the last step.
+    std::vector<TaskId> producers;
+    for (TaskId id : graph.order()) {
+        if (graph.node(id).alive &&
+            graph.node(id).tag == options_.producerTag)
+            producers.push_back(id);
+    }
+
+    for (TaskId t : producers) {
+        std::vector<std::pair<TaskId, std::size_t>> uses;
+        for (TaskId id : graph.order()) {
+            if (!graph.node(id).alive || id == t)
+                continue;
+            const std::vector<TaskId> &deps = graph.node(id).deps;
+            for (std::size_t k = 0; k < deps.size(); ++k) {
+                if (graph.resolve(deps[k]) == t)
+                    uses.emplace_back(id, k);
+            }
+        }
+
+        const ResourceId resource =
+            options_.resource.empty()
+                ? graph.node(t).resource
+                : graph.resourceByName(options_.resource);
+        TaskId prev = t;
+        for (int s = 0; s < options_.steps; ++s) {
+            std::ostringstream name;
+            name << options_.label << "_s" << s;
+            prev = graph.insertTaskAfter(prev, name.str(),
+                                         options_.collectiveTag,
+                                         resource, options_.stepTime,
+                                         { prev });
+        }
+        for (const auto &[id, k] : uses)
+            graph.node(id).deps[k] = prev;
+    }
+    return !producers.empty();
+}
+
+std::string
+SpliceCollective::spec() const
+{
+    std::ostringstream out;
+    if (options_.steps > 0) {
+        out << "splice_ring=" << options_.producerTag << ":"
+            << options_.steps << ":" << options_.stepTime;
+    } else {
+        out << "splice_out=" << options_.collectiveTag;
+    }
+    return out.str();
+}
+
+// ---------------------------------------------------------------
+// Registry and parsing
+// ---------------------------------------------------------------
+
+namespace {
+
+void
+requireNoArg(std::string_view name, std::string_view arg)
+{
+    fatalIf(!arg.empty(), "pass '", name,
+            "' takes no argument, got '", arg, "'");
+}
+
+int
+parseInt(std::string_view name, std::string_view text)
+{
+    int value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    fatalIf(ec != std::errc{} || ptr != text.data() + text.size(),
+            "pass '", name, "': '", text, "' is not an integer");
+    return value;
+}
+
+Seconds
+parseSeconds(std::string_view name, std::string_view text)
+{
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(std::string(text), &used);
+        fatalIf(used != text.size(), "pass '", name, "': '", text,
+                "' is not a number");
+        return value;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        fatal("pass '", name, "': '", text, "' is not a number");
+    }
+}
+
+std::unique_ptr<Pass>
+makeFuse(std::string_view arg)
+{
+    requireNoArg("fuse", arg);
+    return std::make_unique<FuseLinearChains>();
+}
+
+std::unique_ptr<Pass>
+makeDce(std::string_view arg)
+{
+    requireNoArg("dce", arg);
+    return std::make_unique<DeadNodeElimination>();
+}
+
+std::unique_ptr<Pass>
+makeTileGemm(std::string_view arg)
+{
+    fatalIf(arg.empty(),
+            "pass 'tile_gemm' needs an argument: tile_gemm=<tiles>",
+            "[:<tag>]");
+    const std::size_t colon = arg.find(':');
+    const std::string_view count = arg.substr(0, colon);
+    std::string tag = "compute";
+    if (colon != std::string_view::npos) {
+        tag = std::string(arg.substr(colon + 1));
+    }
+    return std::make_unique<TileGemm>(parseInt("tile_gemm", count),
+                                      std::move(tag));
+}
+
+std::unique_ptr<Pass>
+makeSpliceOut(std::string_view arg)
+{
+    SpliceCollective::Options options;
+    options.collectiveTag =
+        arg.empty() ? "ring_step" : std::string(arg);
+    options.steps = 0;
+    return std::make_unique<SpliceCollective>(std::move(options));
+}
+
+std::unique_ptr<Pass>
+makeSpliceRing(std::string_view arg)
+{
+    const std::size_t c1 = arg.find(':');
+    const std::size_t c2 =
+        c1 == std::string_view::npos ? c1 : arg.find(':', c1 + 1);
+    fatalIf(c1 == std::string_view::npos ||
+                c2 == std::string_view::npos,
+            "pass 'splice_ring' needs ",
+            "splice_ring=<producer_tag>:<steps>:<step_seconds>, ",
+            "got '", arg, "'");
+    SpliceCollective::Options options;
+    options.producerTag = std::string(arg.substr(0, c1));
+    options.steps =
+        parseInt("splice_ring", arg.substr(c1 + 1, c2 - c1 - 1));
+    fatalIf(options.steps < 1,
+            "pass 'splice_ring': step count must be >= 1");
+    options.stepTime = parseSeconds("splice_ring", arg.substr(c2 + 1));
+    options.label = "spliced_ring";
+    return std::make_unique<SpliceCollective>(std::move(options));
+}
+
+} // namespace
+
+const std::vector<PassSpec> &
+passRegistry()
+{
+    static const std::vector<PassSpec> registry = {
+        { "fuse",
+          "collapse linear same-resource, same-tag task chains",
+          makeFuse },
+        { "dce", "drop tasks no marked terminal depends on",
+          makeDce },
+        { "tile_gemm",
+          "tile_gemm=<tiles>[:<tag>] — split tagged tasks into "
+          "dependency-chained tiles",
+          makeTileGemm },
+        { "splice_out",
+          "splice_out[=<tag>] — remove tagged collective tasks "
+          "(default tag ring_step)",
+          makeSpliceOut },
+        { "splice_ring",
+          "splice_ring=<producer_tag>:<steps>:<step_seconds> — "
+          "chain a serialized collective behind tagged producers",
+          makeSpliceRing },
+    };
+    return registry;
+}
+
+std::unique_ptr<Pass>
+makePass(std::string_view spec)
+{
+    const std::size_t eq = spec.find('=');
+    const std::string_view name = spec.substr(0, eq);
+    const std::string_view arg =
+        eq == std::string_view::npos ? std::string_view{}
+                                     : spec.substr(eq + 1);
+    for (const PassSpec &entry : passRegistry()) {
+        if (entry.name == name)
+            return entry.make(arg);
+    }
+    std::string known;
+    for (const PassSpec &entry : passRegistry()) {
+        if (!known.empty())
+            known += ", ";
+        known += entry.name;
+    }
+    fatal("unknown pass '", name, "' (known passes: ", known, ")");
+}
+
+// ---------------------------------------------------------------
+// PassPipeline
+// ---------------------------------------------------------------
+
+void
+PassPipeline::add(std::unique_ptr<Pass> pass)
+{
+    panicIf(pass == nullptr, "PassPipeline: null pass");
+    passes_.push_back(std::move(pass));
+}
+
+std::string
+PassPipeline::describe() const
+{
+    std::string out;
+    for (const std::unique_ptr<Pass> &pass : passes_) {
+        if (!out.empty())
+            out += ",";
+        out += pass->spec();
+    }
+    return out;
+}
+
+PassPipeline
+PassPipeline::parse(std::string_view list)
+{
+    PassPipeline pipeline;
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+        std::size_t end = list.find(',', begin);
+        if (end == std::string_view::npos)
+            end = list.size();
+        std::string_view item = list.substr(begin, end - begin);
+        while (!item.empty() && item.front() == ' ')
+            item.remove_prefix(1);
+        while (!item.empty() && item.back() == ' ')
+            item.remove_suffix(1);
+        if (!item.empty() && item != "none")
+            pipeline.add(makePass(item));
+        begin = end + 1;
+    }
+    return pipeline;
+}
+
+void
+PassPipeline::run(GraphBuilder &graph) const
+{
+    for (const std::unique_ptr<Pass> &pass : passes_)
+        pass->apply(graph);
+}
+
+std::shared_ptr<const GraphTemplate>
+PassPipeline::apply(std::shared_ptr<const GraphTemplate> graph) const
+{
+    panicIf(graph == nullptr, "PassPipeline: null graph");
+    // The Passes::None bit-identity path: hand the same immutable
+    // template straight back.
+    if (passes_.empty())
+        return graph;
+    GraphBuilder builder(*graph);
+    run(builder);
+    return builder.compile().graph;
+}
+
+GraphBuilder::Compiled
+PassPipeline::rewrite(const GraphTemplate &graph,
+                      std::span<const TaskId> terminals) const
+{
+    GraphBuilder builder(graph);
+    for (TaskId t : terminals)
+        builder.markTerminal(t);
+    run(builder);
+    return builder.compile();
+}
+
+} // namespace twocs::sim

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Graph transformation passes over compiled simulation templates.
+ *
+ * PR 5 froze simulation graphs into immutable CSR GraphTemplates
+ * that can only replay what was built. The paper's projection
+ * method, though, is "perturb one knob, re-simulate the iteration
+ * graph" — fused operator chains, tiled GEMMs (the T3 overlap
+ * prerequisite), spliced-in or spliced-out collectives are all
+ * *variants* of one source graph, and hand-writing a builder per
+ * variant does not scale to the 3D-parallelism scenario space. This
+ * module adds a popart-style pattern/pass layer that rewrites a
+ * graph *between* build and compile():
+ *
+ *   template --> GraphBuilder --> Pass... --> GraphBuilder::compile()
+ *
+ * GraphBuilder is the mutable middle form: nodes carry their label,
+ * tag, resource, duration and dependency list as plain data, with a
+ * separate program-order list so passes can insert tasks at a
+ * specific FIFO position and kill or merge others without
+ * invalidating ids. compile() re-freezes the surviving nodes into a
+ * fresh GraphTemplate (re-running every EventSimulator validation)
+ * and reports where each original task and marked terminal ended up.
+ *
+ * Bit-identity contract: an empty PassPipeline hands the input
+ * template back unchanged, and a no-pass round trip through
+ * GraphBuilder reproduces the source template's replay() placements
+ * byte for byte. Passes that declare preservesTiming() keep every
+ * terminal task's end time within exact FP reproducibility: a fused
+ * or tiled task sums its member durations in program order (one
+ * accumulation per surviving task), so results agree with the
+ * un-rewritten reference up to FP associativity — and dead-node
+ * elimination, which removes nothing a live task waits on, is exact.
+ */
+
+#ifndef TWOCS_SIM_PASSES_HH
+#define TWOCS_SIM_PASSES_HH
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/graph.hh"
+
+namespace twocs::sim {
+
+/**
+ * A mutable task graph, convertible to and from the frozen CSR
+ * GraphTemplate. Node ids are stable across every mutation: nodes
+ * are stored append-only, program order lives in a separate list,
+ * and removal is a tombstone (kill) or a redirect (fuseInto), so a
+ * pass never re-numbers the graph under its own feet.
+ */
+class GraphBuilder
+{
+  public:
+    /** One task in the mutable graph. */
+    struct Node
+    {
+        std::string label;
+        std::string tag;
+        ResourceId resource = 0;
+        Seconds duration = 0.0;
+        /** Dependencies as builder node ids (may point at killed or
+         *  fused nodes; compile() resolves redirects). */
+        std::vector<TaskId> deps;
+        bool alive = true;
+    };
+
+    GraphBuilder() = default;
+
+    /** Thaw a compiled template: same resources, tasks in compiled
+     *  order, dependency lists copied edge for edge. */
+    explicit GraphBuilder(const GraphTemplate &graph);
+
+    ResourceId addResource(std::string name);
+    std::size_t numResources() const { return resourceNames_.size(); }
+    const std::string &resourceName(ResourceId resource) const;
+    /** Id of the named resource, adding it if absent. */
+    ResourceId resourceByName(std::string_view name);
+
+    /** Append a task at the end of program order. */
+    TaskId addTask(std::string label, std::string tag,
+                   ResourceId resource, Seconds duration,
+                   std::vector<TaskId> deps = {});
+
+    /**
+     * Insert a task immediately after `anchor` in program order —
+     * i.e. into `anchor`'s FIFO slot on its resource, ahead of every
+     * later task. The anchor must be alive.
+     */
+    TaskId insertTaskAfter(TaskId anchor, std::string label,
+                           std::string tag, ResourceId resource,
+                           Seconds duration,
+                           std::vector<TaskId> deps = {});
+
+    /** Total nodes ever added (alive + dead). */
+    std::size_t numNodes() const { return nodes_.size(); }
+    std::size_t numAlive() const;
+
+    Node &node(TaskId id);
+    const Node &node(TaskId id) const;
+
+    /** Program order over node ids; killed/fused nodes still appear
+     *  (skipped at compile) so positions stay stable mid-pass. */
+    const std::vector<TaskId> &order() const { return order_; }
+
+    /** Follow fuseInto() redirects to the surviving node. */
+    TaskId resolve(TaskId id) const;
+
+    /** This node's dependencies, redirect-resolved, deduplicated
+     *  (first occurrence kept) and restricted to alive nodes. */
+    std::vector<TaskId> resolvedDeps(TaskId id) const;
+
+    /**
+     * Merge `victim` into `survivor`: the victim dies and every
+     * reference to it (deps, terminal marks) resolves to the
+     * survivor at compile time. The caller owns the semantics (e.g.
+     * summing durations); this only records the redirect.
+     */
+    void fuseInto(TaskId survivor, TaskId victim);
+
+    /** Tombstone a node. References to it must be rewired by the
+     *  caller before compile() — a live dep on a killed node is a
+     *  compile-time panic, not a silent drop. */
+    void kill(TaskId id);
+
+    /**
+     * Mark a task as a graph output: dead-node elimination keeps its
+     * ancestry, and compile() reports its compiled id. With no marks
+     * every sink is implicitly terminal (nothing is removable).
+     */
+    void markTerminal(TaskId id);
+    const std::vector<TaskId> &terminals() const { return terminals_; }
+    /** Move a terminal mark (e.g. a tiled task's mark moves to its
+     *  last tile); `to == InvalidTask` drops the mark. No-op if
+     *  `from` is not marked. */
+    void retargetTerminal(TaskId from, TaskId to);
+
+    /** compile() result: the frozen graph plus id bookkeeping. */
+    struct Compiled
+    {
+        std::shared_ptr<const GraphTemplate> graph;
+        /** Builder node id -> compiled task id (through redirects);
+         *  InvalidTask for killed nodes. */
+        std::vector<TaskId> taskMap;
+        /** Compiled ids of the marked terminals, in mark order. */
+        std::vector<TaskId> terminals;
+    };
+
+    /**
+     * Freeze the surviving nodes, in program order, into a fresh
+     * immutable GraphTemplate. Every EventSimulator validation
+     * re-runs; deps are redirect-resolved and deduplicated; a
+     * forward-pointing or dangling dependency panics.
+     */
+    Compiled compile() const;
+
+  private:
+    std::vector<std::string> resourceNames_;
+    std::vector<Node> nodes_;
+    std::vector<TaskId> order_;
+    /** Redirect chain for fused nodes (identity when not fused). */
+    std::vector<TaskId> redirect_;
+    std::vector<TaskId> terminals_;
+};
+
+/**
+ * One graph rewrite. Passes are stateless beyond their construction
+ * parameters and may be applied to any builder; apply() returns
+ * whether anything changed.
+ */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Registry name, e.g. "fuse". */
+    virtual std::string_view name() const = 0;
+
+    /** Canonical "name=arg" spec text — parses back to an
+     *  equivalent pass, and distinguishes parameterizations where
+     *  name() alone cannot (cache keys, describe()). */
+    virtual std::string spec() const { return std::string(name()); }
+
+    /**
+     * Whether the pass preserves every terminal task's end time
+     * (within FP associativity — see the file comment). Structural
+     * what-if passes (collective splicing) return false.
+     */
+    virtual bool preservesTiming() const { return true; }
+
+    /** Rewrite the builder in place; true if anything changed. */
+    virtual bool apply(GraphBuilder &graph) const = 0;
+};
+
+/**
+ * Collapse linear task chains into single tasks. A task v is folded
+ * into its predecessor u when v's only dependency is u, u's only
+ * consumer is v, both share one resource and one tag, u is not a
+ * marked terminal, and v immediately follows u in the resource's
+ * FIFO order (so the fold cannot reorder unrelated work). Durations
+ * are summed in program order; labels keep the head's text. Runs of
+ * any length collapse in one application.
+ */
+class FuseLinearChains : public Pass
+{
+  public:
+    std::string_view name() const override { return "fuse"; }
+    bool apply(GraphBuilder &graph) const override;
+};
+
+/**
+ * Drop tasks no marked terminal depends on. Conservative by
+ * construction: a dead task is removed only when no kept task runs
+ * after it on the same resource (removal can then never change a
+ * kept task's FIFO wait), so surviving placements — including every
+ * terminal end time — are preserved *exactly*, not approximately.
+ * Without explicit terminals nothing is removable.
+ */
+class DeadNodeElimination : public Pass
+{
+  public:
+    std::string_view name() const override { return "dce"; }
+    bool apply(GraphBuilder &graph) const override;
+};
+
+/**
+ * Split every task carrying `tag` into `tiles` dependency-chained
+ * tiles of duration/tiles each, occupying the original task's FIFO
+ * slot; consumers are rewired to the last tile. This is the T3
+ * prerequisite: once a GEMM is tiles, a later pass can
+ * dependency-link each tile to a collective chunk so communication
+ * streams under compute.
+ */
+class TileGemm : public Pass
+{
+  public:
+    explicit TileGemm(int tiles, std::string tag = "compute");
+
+    std::string_view name() const override { return "tile_gemm"; }
+    std::string spec() const override;
+    bool apply(GraphBuilder &graph) const override;
+
+    int tiles() const { return tiles_; }
+    const std::string &tag() const { return tag_; }
+
+  private:
+    int tiles_;
+    std::string tag_;
+};
+
+/**
+ * Insert or remove a ring-step subgraph around tagged tasks.
+ *
+ * Insert mode (steps > 0): behind every task tagged `producerTag`,
+ * chain `steps` tasks of `stepTime` each (tagged `collectiveTag`) on
+ * the producer's resource — or on `resource` when named — and make
+ * the producer's consumers wait for the last step. Models adding a
+ * serialized collective behind a producer.
+ *
+ * Remove mode (steps == 0): kill every task tagged `collectiveTag`,
+ * rewiring each consumer to the killed task's own dependencies (a
+ * transitive bypass). Models an idealized "free collective" what-if.
+ * A terminal mark on a removed task retargets to its first
+ * dependency.
+ *
+ * Either direction changes timing by design: preservesTiming() is
+ * false and the pass is excluded from the end-time property
+ * contract.
+ */
+class SpliceCollective : public Pass
+{
+  public:
+    struct Options
+    {
+        /** Insert mode: tasks to splice a collective behind. */
+        std::string producerTag;
+        /** Tag of inserted steps / tag selecting steps to remove. */
+        std::string collectiveTag = "ring_step";
+        /** Label of inserted steps. */
+        std::string label = "spliced_step";
+        /** Inserted chain length; 0 selects remove mode. */
+        int steps = 0;
+        /** Duration of each inserted step. */
+        Seconds stepTime = 0.0;
+        /** Resource name for inserted steps; empty = producer's. */
+        std::string resource;
+    };
+
+    explicit SpliceCollective(Options options);
+
+    std::string_view name() const override
+    {
+        return options_.steps > 0 ? "splice_ring" : "splice_out";
+    }
+    std::string spec() const override;
+    bool preservesTiming() const override { return false; }
+    bool apply(GraphBuilder &graph) const override;
+
+    const Options &options() const { return options_; }
+
+  private:
+    Options options_;
+};
+
+/** One registered pass kind, for listings and CLI parsing. */
+struct PassSpec
+{
+    std::string name;
+    std::string summary;
+    /** Build an instance from the (possibly empty) `name=arg` text;
+     *  throws FatalError on a malformed argument. */
+    std::unique_ptr<Pass> (*make)(std::string_view arg);
+};
+
+/** Every registered pass kind, in display order. */
+const std::vector<PassSpec> &passRegistry();
+
+/** Build one pass from "name" or "name=arg" (FatalError when the
+ *  name is unknown or the argument malformed). */
+std::unique_ptr<Pass> makePass(std::string_view spec);
+
+/**
+ * An ordered list of passes applied between build and compile().
+ * Parsed from the CLI `--passes fuse,dce,tile_gemm=4` syntax; an
+ * empty pipeline is the bit-identity reference path (apply() hands
+ * the input template straight back).
+ */
+class PassPipeline
+{
+  public:
+    PassPipeline() = default;
+
+    void add(std::unique_ptr<Pass> pass);
+
+    bool empty() const { return passes_.empty(); }
+    std::size_t size() const { return passes_.size(); }
+
+    /** Canonical comma-joined pass specs — parse(describe()) is an
+     *  equivalent pipeline (cache-key friendly). */
+    std::string describe() const;
+
+    /** Parse a comma-separated pass list; FatalError on unknown
+     *  names or malformed arguments. Empty text = empty pipeline. */
+    static PassPipeline parse(std::string_view list);
+
+    /** Run every pass, in order, on a builder. */
+    void run(GraphBuilder &graph) const;
+
+    /**
+     * Rewrite a compiled template: thaw, run the passes, re-freeze.
+     * An empty pipeline returns `graph` unchanged (same pointer —
+     * the Passes::None byte-identity path).
+     */
+    std::shared_ptr<const GraphTemplate>
+    apply(std::shared_ptr<const GraphTemplate> graph) const;
+
+    /**
+     * Like apply(), but marks `terminals` (template task ids) before
+     * rewriting and reports where they and every other task ended
+     * up. Always round-trips through GraphBuilder, even when empty.
+     */
+    GraphBuilder::Compiled
+    rewrite(const GraphTemplate &graph,
+            std::span<const TaskId> terminals) const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+} // namespace twocs::sim
+
+#endif // TWOCS_SIM_PASSES_HH

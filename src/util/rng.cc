@@ -26,6 +26,16 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+splitmixSeed(std::uint64_t seed, std::uint64_t index)
+{
+    // XOR the golden-ratio-spread index into the seed (rather than
+    // adding, as the Rng constructor's state expansion does), then
+    // run one finalizer round over the combined word.
+    std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+    return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     for (auto &s : state_)

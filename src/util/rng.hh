@@ -13,6 +13,17 @@
 
 namespace twocs {
 
+/**
+ * Derive an independent stream seed from a base seed and a stream
+ * index via a splitmix64 finalizer mix of the pair. Adjacent base
+ * seeds with `seed + i` style derivation produce almost entirely
+ * overlapping stream families (base s, stream 1 == base s+1,
+ * stream 0); this mix decorrelates both axes. The mix is distinct
+ * from Rng's own state expansion, so splitmixSeed(s, 0) does not
+ * collide with any internal Rng(s) state word.
+ */
+std::uint64_t splitmixSeed(std::uint64_t seed, std::uint64_t index);
+
 /** xoshiro256** with splitmix64 seeding. */
 class Rng
 {

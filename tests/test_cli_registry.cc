@@ -138,10 +138,12 @@ TEST(CliRegistry, GoldenHelpPageForSweep)
         "  regenerate a figure's data grid\n"
         "\n"
         "flags:\n"
-        "  --figure INT            figure to regenerate: 10 or 11"
+        "  --figure INT            figure to regenerate: 10, 11 or 14"
         " (default: 10)\n"
         "  --csv BOOL              emit CSV instead of a table"
         " (default: 0)\n"
+        "  --passes STR            graph pass pipeline (figure 14"
+        " only)\n"
         "  --device STR            hardware catalog device name"
         " (default: MI210)\n"
         "  --flop-scale NUM        scale device FLOP rate (future hw)"

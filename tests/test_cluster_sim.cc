@@ -9,6 +9,7 @@
 #include "core/cluster_sim.hh"
 #include "test_common.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace twocs::core {
 namespace {
@@ -131,10 +132,13 @@ TEST(ClusterReplay, TrialsMatchRebuildBitForBitAtAnyJobs)
 
 TEST(ClusterReplay, SingleTrialMatchesRun)
 {
-    // One replayed trial with the base seed is exactly run().
+    // Trial 0 runs with the splitmix-derived seed; run() with that
+    // same seed reproduces it exactly.
     ClusterSim sim;
     const ClusterSimConfig cfg = smallConfig(4, 0.05);
-    const ClusterSimResult direct = sim.run(cfg);
+    ClusterSimConfig derived = cfg;
+    derived.seed = splitmixSeed(cfg.seed, 0);
+    const ClusterSimResult direct = sim.run(derived);
     const ClusterTrialSummary trials =
         sim.runTrials(cfg, 1, {}, TrialEngine::CompiledReplay);
     ASSERT_EQ(trials.trials.size(), 1u);
@@ -145,6 +149,27 @@ TEST(ClusterReplay, SingleTrialMatchesRun)
               direct.computeTimePerDevice);
     EXPECT_EQ(trials.trials[0].stallTimePerDevice,
               direct.stallTimePerDevice);
+}
+
+TEST(ClusterReplay, AdjacentBaseSeedsDrawDistinctTrialStreams)
+{
+    // The old config.seed + i derivation made base seeds s and
+    // s + 1 share all but one of their trial streams; the splitmix
+    // mix must decorrelate the whole family.
+    ClusterSim sim;
+    ClusterSimConfig a = smallConfig(4, 0.10);
+    ClusterSimConfig b = a;
+    a.seed = 7;
+    b.seed = 8;
+    const ClusterTrialSummary ta = sim.runTrials(a, 6);
+    const ClusterTrialSummary tb = sim.runTrials(b, 6);
+    for (std::size_t i = 0; i < ta.trials.size(); ++i) {
+        for (std::size_t j = 0; j < tb.trials.size(); ++j) {
+            EXPECT_NE(ta.trials[i].iterationTime,
+                      tb.trials[j].iterationTime)
+                << i << " vs " << j;
+        }
+    }
 }
 
 TEST(ClusterReplay, CompiledIterationExposesShape)

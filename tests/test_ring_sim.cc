@@ -7,6 +7,7 @@
 
 #include "comm/ring_sim.hh"
 #include "hw/catalog.hh"
+#include "hw/efficiency.hh"
 #include "util/logging.hh"
 
 namespace twocs::comm {
@@ -169,6 +170,126 @@ TEST(RingReplay, DistinctDeviceCountsGetDistinctTemplates)
                       static_cast<std::size_t>(p) * 2 *
                           (static_cast<std::size_t>(p) - 1));
     }
+}
+
+TEST(RingSim, StepTimeFollowsPerRingShare)
+{
+    // Pinned semantics: both the wire term and the efficiency
+    // lookup see the per-ring share of the per-device chunk — what
+    // one physical link actually carries per step.
+    const int p = 8;
+    const Bytes payload = 64e6;
+    const hw::Topology topo = node(p);
+    ASSERT_GT(topo.parallelRings(), 1); // multi-ring fabric
+    const Bytes per_ring =
+        payload / p / topo.parallelRings();
+    const Seconds expected =
+        per_ring /
+            (topo.intraLink().bandwidth *
+             hw::linkEfficiency(per_ring, {})) +
+        topo.intraLink().latency;
+    EXPECT_DOUBLE_EQ(ringStepTime(topo, payload, p), expected);
+}
+
+TEST(RingSim, StepTimeTinyPayloadFloorsOnlyTheEfficiencyLookup)
+{
+    // A sub-byte per-ring share: the efficiency lookup floors its
+    // argument at one byte (keeping the saturation curve defined),
+    // but the wire term must use the true share — the old clamp on
+    // the wire term overstated tiny payloads by orders of magnitude.
+    const int p = 4;
+    const hw::Topology topo = node(p);
+    const Bytes payload = 1.0; // 1 byte across 4 devices and rings
+    const Bytes per_ring = payload / p / topo.parallelRings();
+    ASSERT_LT(per_ring, 1.0);
+    const Seconds expected =
+        per_ring /
+            (topo.intraLink().bandwidth *
+             hw::linkEfficiency(1.0, {})) +
+        topo.intraLink().latency;
+    const Seconds got = ringStepTime(topo, payload, p);
+    EXPECT_DOUBLE_EQ(got, expected);
+    EXPECT_GT(got, topo.intraLink().latency);
+    // The historical clamp fed a full byte to the wire term too,
+    // overstating sub-byte steps several-fold.
+    const Seconds clamped =
+        1.0 /
+            (topo.intraLink().bandwidth *
+             hw::linkEfficiency(1.0, {})) +
+        topo.intraLink().latency;
+    EXPECT_LT(got, clamped);
+}
+
+TEST(RingSim, StepTimeValidation)
+{
+    EXPECT_THROW(ringStepTime(node(4), 64e6, 1), FatalError);
+    EXPECT_THROW(ringStepTime(node(4), 0.0, 4), FatalError);
+}
+
+TEST(RingReplay, StepCountsForOneDeviceCountDoNotCollide)
+{
+    // Regression: the compiled-ring cache used to key on the device
+    // count alone, so the first step count requested for a given P
+    // was silently replayed for every later request — a
+    // reduce-scatter after an all-reduce (or vice versa) on the
+    // same thread got the wrong graph. Both orders must yield the
+    // right template every time.
+    const int p = 4;
+    const std::vector<Seconds> arrivals(p, 0.0);
+    const auto tasks = [&](RingCollective collective) {
+        RingSimOptions options;
+        options.collective = collective;
+        return simulateRingCollective(node(p), 64e6, arrivals,
+                                      options);
+    };
+    const std::size_t up = p;
+    const RingSimResult rs1 = tasks(RingCollective::ReduceScatter);
+    EXPECT_EQ(rs1.schedule.numTasks(), up + up * (up - 1));
+    const RingSimResult ar = tasks(RingCollective::AllReduce);
+    EXPECT_EQ(ar.schedule.numTasks(), up + up * 2 * (up - 1));
+    const RingSimResult rs2 = tasks(RingCollective::ReduceScatter);
+    EXPECT_EQ(rs2.schedule.numTasks(), up + up * (up - 1));
+    expectIdentical(rs1, rs2);
+    // Half the steps, so the reduce-scatter finishes strictly
+    // earlier and in about half the collective time.
+    EXPECT_LT(rs1.finishTime, ar.finishTime);
+    EXPECT_NEAR(rs1.collectiveTime / ar.collectiveTime, 0.5, 0.05);
+}
+
+TEST(RingReplay, PassRewrittenTemplateMatchesRebuild)
+{
+    // Tiling every ring step into two chained half-steps preserves
+    // each device's finish time, and the pass-rewritten compiled
+    // template must agree with the pass-rewritten from-scratch
+    // build bit for bit.
+    const int p = 4;
+    const std::vector<Seconds> skewed = { 0.0, 2e-3, 5e-4, 1e-3 };
+    const sim::PassPipeline tile =
+        sim::PassPipeline::parse("tile_gemm=2:ring_step");
+    RingSimOptions replayOpts;
+    replayOpts.passes = &tile;
+    const RingSimResult rewritten =
+        simulateRingCollective(node(p), 64e6, skewed, replayOpts);
+    RingSimOptions rebuildOpts = replayOpts;
+    rebuildOpts.engine = RingSimEngine::Rebuild;
+    const RingSimResult rebuilt =
+        simulateRingCollective(node(p), 64e6, skewed, rebuildOpts);
+    expectIdentical(rewritten, rebuilt);
+
+    // Twice the step tasks; same device finish times as the
+    // untouched reference (t/2 + t/2 == t exactly, starts shift by
+    // at most FP association).
+    const RingSimResult reference =
+        simulateRingCollective(node(p), 64e6, skewed);
+    EXPECT_EQ(rewritten.schedule.numTasks(),
+              static_cast<std::size_t>(p) +
+                  static_cast<std::size_t>(p) * 2 * 2 * (p - 1));
+    ASSERT_EQ(rewritten.deviceFinish.size(),
+              reference.deviceFinish.size());
+    for (std::size_t d = 0; d < reference.deviceFinish.size(); ++d)
+        EXPECT_NEAR(rewritten.deviceFinish[d],
+                    reference.deviceFinish[d], 1e-12)
+            << d;
 }
 
 } // namespace
