@@ -13,14 +13,20 @@
  * a nontrivial stream.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <deque>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hh"
 #include "core/sweep.hh"
+#include "net/client.hh"
+#include "net/server.hh"
 #include "svc/service.hh"
 #include "util/rng.hh"
 
@@ -92,11 +98,188 @@ replay(const std::string &workload, int jobs)
     return result;
 }
 
+/** Split one rendered workload back into request lines. */
+std::vector<std::string>
+splitLines(const std::string &workload)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(workload);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+bool
+isOverloaded(const std::string &response)
+{
+    return response.find("\"code\":\"overloaded\"") !=
+           std::string::npos;
+}
+
+struct NetRunResult
+{
+    double qpsSustained = 0.0;
+    double p99Ms = 0.0;
+    double shedRate = 0.0;
+    std::size_t responses = 0;
+    std::size_t sheds = 0;
+};
+
+/**
+ * Open-loop offered load over loopback TCP: each connection sends
+ * its slice of the workload on a fixed schedule (offered QPS split
+ * across connections) regardless of response progress — the
+ * closed-loop coordination that hides queueing is absent, so p99
+ * reflects what a real open client population would see. Replies
+ * come back FIFO per connection, so latency pairing is a deque of
+ * send timestamps.
+ */
+NetRunResult
+runOpenLoop(const std::vector<std::string> &lines, int port,
+            double offeredQps, int connections)
+{
+    using Clock = std::chrono::steady_clock;
+    std::mutex mutex; // guards the shared latency/shed tallies
+    std::vector<double> latenciesMs;
+    std::size_t sheds = 0;
+    std::size_t responses = 0;
+    Clock::time_point lastResponse = Clock::now();
+
+    const auto start = Clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < connections; ++c) {
+        threads.emplace_back([&, c] {
+            net::BlockingClient client(port);
+            std::mutex sentMutex;
+            std::deque<Clock::time_point> sent;
+
+            std::thread reader([&] {
+                std::string response;
+                while (client.recvLine(response)) {
+                    const auto now = Clock::now();
+                    Clock::time_point sendTime;
+                    {
+                        std::lock_guard<std::mutex> lock(sentMutex);
+                        sendTime = sent.front();
+                        sent.pop_front();
+                    }
+                    const double ms =
+                        std::chrono::duration<double, std::milli>(
+                            now - sendTime)
+                            .count();
+                    std::lock_guard<std::mutex> lock(mutex);
+                    latenciesMs.push_back(ms);
+                    ++responses;
+                    if (isOverloaded(response))
+                        ++sheds;
+                    lastResponse = now;
+                }
+            });
+
+            // This connection owns every `connections`-th request,
+            // each due at its open-loop slot on the shared clock.
+            for (std::size_t i = static_cast<std::size_t>(c);
+                 i < lines.size();
+                 i += static_cast<std::size_t>(connections)) {
+                const auto due =
+                    start + std::chrono::duration_cast<
+                                Clock::duration>(
+                                std::chrono::duration<double>(
+                                    static_cast<double>(i) /
+                                    offeredQps));
+                std::this_thread::sleep_until(due);
+                {
+                    std::lock_guard<std::mutex> lock(sentMutex);
+                    sent.push_back(Clock::now());
+                }
+                client.sendLine(lines[i]);
+            }
+            client.shutdownWrite();
+            reader.join();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    NetRunResult result;
+    result.responses = responses;
+    result.sheds = sheds;
+    const double seconds =
+        std::chrono::duration<double>(lastResponse - start).count();
+    result.qpsSustained =
+        seconds > 0.0 ? static_cast<double>(responses) / seconds
+                      : 0.0;
+    result.shedRate =
+        responses > 0
+            ? static_cast<double>(sheds) /
+                  static_cast<double>(responses)
+            : 0.0;
+    if (!latenciesMs.empty()) {
+        std::sort(latenciesMs.begin(), latenciesMs.end());
+        const std::size_t rank = static_cast<std::size_t>(
+            std::ceil(0.99 *
+                      static_cast<double>(latenciesMs.size()))) -
+            1;
+        result.p99Ms = latenciesMs[rank];
+    }
+    return result;
+}
+
+/**
+ * `--connect PORT` saturation driver (the CI loopback smoke): blast
+ * the workload at an already-running server as fast as the socket
+ * accepts, then report how many responses were `overloaded`.
+ */
+int
+runSaturationDriver(int port, std::size_t requests)
+{
+    const std::vector<std::string> lines =
+        splitLines(makeWorkload(requests, 1.1, 0x5eed));
+    net::BlockingClient client(port);
+    std::size_t sheds = 0;
+    std::size_t responses = 0;
+    std::thread reader([&] {
+        std::string response;
+        while (client.recvLine(response)) {
+            ++responses;
+            if (isOverloaded(response))
+                ++sheds;
+        }
+    });
+    for (const std::string &line : lines)
+        client.sendLine(line);
+    client.shutdownWrite();
+    reader.join();
+    std::printf("connect driver: responses=%zu overloaded=%zu\n",
+                responses, sheds);
+    return responses == requests ? 0 : 1;
+}
+
+/** Scan argv for `--flag value`; fallback when absent. */
+long
+argValue(int argc, char **argv, const char *flag, long fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return std::strtol(argv[i + 1], nullptr, 10);
+    }
+    return fallback;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (const long port = argValue(argc, argv, "--connect", -1);
+        port >= 0) {
+        const long requests =
+            argValue(argc, argv, "--requests", 2000);
+        return runSaturationDriver(
+            static_cast<int>(port),
+            static_cast<std::size_t>(requests));
+    }
     const exec::RunnerOptions opts = bench::runnerOptions(
         argc, argv, "svc_throughput");
     (void)opts; // jobs are swept explicitly below
@@ -141,10 +324,43 @@ main(int argc, char **argv)
     bench::checkClaim("jobs 4 achieves >= 2x QPS of jobs 1",
                       results.back().qps >= 2.0 * results.front().qps);
 
+    // --- open-loop offered load over loopback TCP ----------------
+    constexpr double kOfferedQps = 1500.0;
+    constexpr int kConnections = 4;
+    constexpr std::size_t kNetRequests = 600;
+
+    net::ServerOptions serverOptions;
+    serverOptions.shards = 4;
+    serverOptions.queueDepth = 64;
+    serverOptions.service.jobs = 1; // shards are the parallelism
+    net::Server server(std::move(serverOptions));
+    server.start();
+    const NetRunResult net = runOpenLoop(
+        splitLines(makeWorkload(kNetRequests, kSkew, 0x5eed)),
+        server.port(), kOfferedQps, kConnections);
+    server.stop();
+    server.join();
+
+    TextTable nt({ "offered QPS", "sustained QPS", "p99 ms",
+                   "shed rate" });
+    nt.addRowOf(kOfferedQps, net.qpsSustained, net.p99Ms,
+                formatPercent(net.shedRate));
+    bench::show(nt);
+    std::cout << "(" << kNetRequests << " requests over "
+              << kConnections << " loopback connections, "
+              << serverOptions.shards << " shards, queue depth "
+              << serverOptions.queueDepth << ")\n";
+    bench::checkClaim(
+        "every offered request was answered (computed or shed)",
+        net.responses == kNetRequests);
+
     json.set("requests", static_cast<double>(kRequests));
     json.set("qps_jobs1", results.front().qps);
     json.set("qps_jobs4", results.back().qps);
     json.set("hit_rate", results.front().hitRate);
+    json.set("net_qps_sustained", net.qpsSustained);
+    json.set("net_p99_ms", net.p99Ms);
+    json.set("net_shed_rate", net.shedRate);
     if (!json.write())
         return 1;
     return 0;

@@ -12,8 +12,8 @@
 #                 compiled in but disabled must stay under 1%
 #                 overhead (bench/obs_overhead).
 #   4. bench regression harness — sweep_throughput, micro_sim_perf,
-#                 cluster_jitter and straggler_study emit
-#                 BENCH_<name>.json files, which must be strictly
+#                 cluster_jitter, straggler_study and svc_throughput
+#                 emit BENCH_<name>.json files, which must be strictly
 #                 valid JSON carrying the twocs-bench-1 schema
 #                 fields. Only schema presence is asserted — never
 #                 timings, so a loaded CI host cannot flake the gate.
@@ -22,6 +22,14 @@
 #                 host-independent.) The BENCH_*.json files are
 #                 collected under build-tier1/bench-artifacts/ as the
 #                 perf-trajectory artifact to upload.
+#   5. loopback serve smoke — `twocs serve --listen` with a 2-deep
+#                 shard queue is saturated over TCP by the
+#                 svc_throughput --connect driver: every request must
+#                 be answered (computed or a structured `overloaded`
+#                 shed), at least one shed must occur, and SIGTERM
+#                 must drain cleanly (exit 0 + "drained:" report).
+#   6. obs compile-out — -DTWOCS_OBS_DISABLE=ON must still build the
+#                 net layer (its span sites compile to nothing).
 #
 # Usage: ci/run_tier1.sh [jobs]
 
@@ -93,5 +101,44 @@ grep -q '"schema": "twocs-bench-1"' "${ss_json}"
 grep -q '"bench": "straggler_study"' "${ss_json}"
 grep -q '"sims_per_sec_rebuild"' "${ss_json}"
 grep -q '"sims_per_sec_replay"' "${ss_json}"
+
+svc_json="${artifacts}/BENCH_svc_throughput.json"
+rm -f "${svc_json}"
+build-tier1/bench/svc_throughput --bench-json "${svc_json}"
+"${twocs}" validate --trace "${svc_json}"
+grep -q '"schema": "twocs-bench-1"' "${svc_json}"
+grep -q '"bench": "svc_throughput"' "${svc_json}"
+grep -q '"net_qps_sustained"' "${svc_json}"
+grep -q '"net_p99_ms"' "${svc_json}"
+grep -q '"net_shed_rate"' "${svc_json}"
+
+echo "== tier-1: loopback serve smoke (shed under saturation, clean drain) =="
+serve_log="build-tier1/ci_serve.log"
+rm -f "${serve_log}"
+"${twocs}" serve --listen 0 --shards 2 --queue-depth 2 --jobs 1 \
+    2> "${serve_log}" &
+serve_pid=$!
+port=""
+for _ in $(seq 1 50); do
+    port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "${serve_log}")"
+    [ -n "${port}" ] && break
+    sleep 0.1
+done
+[ -n "${port}" ] || { echo "serve never reported its port"; exit 1; }
+driver_out="$(build-tier1/bench/svc_throughput \
+    --connect "${port}" --requests 2000)"
+echo "${driver_out}"
+echo "${driver_out}" | grep -q 'responses=2000'
+# A 2-deep queue under a 2000-request blast must shed.
+echo "${driver_out}" | grep -Eq 'overloaded=[1-9][0-9]*'
+kill -TERM "${serve_pid}"
+wait "${serve_pid}"
+grep -q 'drained:' "${serve_log}"
+
+echo "== tier-1: -DTWOCS_OBS_DISABLE still builds the net layer =="
+cmake -B build-obsoff -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTWOCS_OBS_DISABLE=ON > /dev/null
+cmake --build build-obsoff --target twocs_net twocs_cli > /dev/null
 
 echo "tier-1 gate: all green (artifacts in ${artifacts})"

@@ -1,9 +1,13 @@
 #include "commands.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <unistd.h>
 
 #include "core/amdahl.hh"
 #include "core/case_study.hh"
@@ -17,6 +21,10 @@
 #include "exec/parallel_runner.hh"
 #include "model/memory.hh"
 #include "model/zoo.hh"
+#include "net/framer.hh"
+#include "net/server.hh"
+#include "net/shard.hh"
+#include "net/stream.hh"
 #include "obs/obs.hh"
 #include "obs/session.hh"
 #include "profiling/roofline.hh"
@@ -468,6 +476,25 @@ cmdTrace(const Args &args)
     return 0;
 }
 
+namespace {
+
+/** The serve loop's stop eventfd, for the signal handlers. */
+std::atomic<int> g_serveStopFd{ -1 };
+
+/** SIGTERM/SIGINT: one async-signal-safe eventfd write asks the
+ *  server for a graceful drain. */
+void
+serveStopHandler(int)
+{
+    const int fd = g_serveStopFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        const std::uint64_t one = 1;
+        (void)!::write(fd, &one, sizeof one);
+    }
+}
+
+} // namespace
+
 int
 cmdServe(const Args &args)
 {
@@ -486,14 +513,73 @@ cmdServe(const Args &args)
     options.metricsPath = args.get("metrics");
     options.protoVersion = static_cast<int>(args.getInt("proto", 2));
 
+    const std::int64_t maxLine = args.getInt(
+        "max-line-bytes",
+        static_cast<std::int64_t>(
+            net::LineFramer::kDefaultMaxLineBytes));
+    fatalIf(maxLine <= 0,
+            "serve: --max-line-bytes expects a positive byte "
+            "count, got ", maxLine);
+    const auto maxLineBytes = static_cast<std::size_t>(maxLine);
+
+    if (args.has("listen")) {
+        net::ServerOptions serverOptions;
+        serverOptions.port =
+            static_cast<int>(args.getInt("listen", 0));
+        serverOptions.shards =
+            static_cast<int>(args.getInt("shards", 4));
+        const std::int64_t depth = args.getInt("queue-depth", 128);
+        fatalIf(depth <= 0,
+                "serve: --queue-depth expects a positive count, "
+                "got ", depth);
+        serverOptions.queueDepth = static_cast<std::size_t>(depth);
+        serverOptions.shedPolicy = net::shedPolicyFromName(
+            args.get("shed-policy", "reject"));
+        serverOptions.retryAfterMs =
+            args.getInt("retry-after-ms", 50);
+        serverOptions.maxLineBytes = maxLineBytes;
+        // The server writes the aggregate of every shard's registry;
+        // per-shard services must not race it for the same file.
+        serverOptions.metricsPath = options.metricsPath;
+        options.metricsPath.clear();
+        serverOptions.service = options;
+
+        net::Server server(std::move(serverOptions));
+        g_serveStopFd.store(server.stopEventFd(),
+                            std::memory_order_relaxed);
+        struct sigaction action = {};
+        action.sa_handler = serveStopHandler;
+        struct sigaction oldTerm = {};
+        struct sigaction oldInt = {};
+        ::sigaction(SIGTERM, &action, &oldTerm);
+        ::sigaction(SIGINT, &action, &oldInt);
+
+        inform("listening on 127.0.0.1:", server.port(), " (",
+               args.getInt("shards", 4), " shards, queue depth ",
+               depth, ", shed policy ",
+               args.get("shed-policy", "reject"), ")");
+        server.run();
+
+        ::sigaction(SIGTERM, &oldTerm, nullptr);
+        ::sigaction(SIGINT, &oldInt, nullptr);
+        g_serveStopFd.store(-1, std::memory_order_relaxed);
+
+        const net::ServerStats stats = server.stats();
+        inform("drained: ", stats.accepted, " connections, ",
+               stats.requests, " requests, ", stats.sheds,
+               " shed, ", stats.overlongLines, " overlong");
+        return 0;
+    }
+
     svc::QueryService service(options);
     if (args.has("input")) {
         const std::string path = args.get("input");
         std::ifstream is(path);
         fatalIf(!is, "cannot open input file '", path, "'");
-        service.serve(is, std::cout);
+        net::serveStream(service, is, std::cout, maxLineBytes);
     } else {
-        service.serve(std::cin, std::cout);
+        net::serveStream(service, std::cin, std::cout,
+                         maxLineBytes);
     }
     return 0;
 }
@@ -607,7 +693,7 @@ buildRegistry()
         { "trace-out", FlagType::String, "",
           "write a span trace of this run here" },
         { "trace-categories", FlagType::String, "all",
-          "exec,svc,sim,comm,cli,bench or all" },
+          "exec,svc,sim,comm,cli,bench,net or all" },
         { "trace-format", FlagType::String, "chrome",
           "trace file format: chrome|folded" },
     };
@@ -758,7 +844,20 @@ buildRegistry()
                       { "metrics", FlagType::String, "",
                         "write service metrics JSON here" },
                       { "proto", FlagType::Int, "2",
-                        "response protocol: 2, or 1 for legacy" } },
+                        "response protocol: 2, or 1 for legacy" },
+                      { "listen", FlagType::Int, "",
+                        "serve over TCP on 127.0.0.1:PORT "
+                        "(0 = ephemeral)" },
+                      { "shards", FlagType::Int, "4",
+                        "worker shards (socket mode)" },
+                      { "queue-depth", FlagType::Int, "128",
+                        "bounded requests per shard queue" },
+                      { "shed-policy", FlagType::String, "reject",
+                        "overflow policy: reject or oldest" },
+                      { "retry-after-ms", FlagType::Int, "50",
+                        "retry hint in overloaded errors" },
+                      { "max-line-bytes", FlagType::Int, "1048576",
+                        "per-request-line byte cap" } },
                     trace }),
           cmdServe });
     registry.push_back(

@@ -1,0 +1,124 @@
+#include "client.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace twocs::net {
+
+BlockingClient::BlockingClient(int port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    fatalIf(fd_ < 0,
+            "net: client socket() failed: ", std::strerror(errno));
+    const int yes = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    fatalIf(::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) < 0,
+            "net: cannot connect to 127.0.0.1:", port, ": ",
+            std::strerror(errno));
+}
+
+BlockingClient::~BlockingClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+BlockingClient::BlockingClient(BlockingClient &&other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)),
+      consumed_(other.consumed_)
+{
+    other.fd_ = -1;
+}
+
+void
+BlockingClient::sendAll(const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        fatalIf(n <= 0,
+                "net: client send failed: ", std::strerror(errno));
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void
+BlockingClient::sendLine(const std::string &line)
+{
+    sendAll(line + "\n");
+}
+
+bool
+BlockingClient::recvLine(std::string &out)
+{
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n', consumed_);
+        if (nl != std::string::npos) {
+            out.assign(buffer_, consumed_, nl - consumed_);
+            consumed_ = nl + 1;
+            if (consumed_ == buffer_.size()) {
+                buffer_.clear();
+                consumed_ = 0;
+            }
+            return true;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        // A reset is how a draining server that stopped reading can
+        // end the conversation; for a line client it means EOF.
+        if (n < 0 && errno == ECONNRESET)
+            return false;
+        fatalIf(n < 0,
+                "net: client recv failed: ", std::strerror(errno));
+        if (n == 0)
+            return false;
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+std::string
+BlockingClient::drainAll()
+{
+    std::string all = buffer_.substr(consumed_);
+    buffer_.clear();
+    consumed_ = 0;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && errno == ECONNRESET)
+            return all;
+        fatalIf(n < 0,
+                "net: client recv failed: ", std::strerror(errno));
+        if (n == 0)
+            return all;
+        all.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+void
+BlockingClient::shutdownWrite()
+{
+    ::shutdown(fd_, SHUT_WR);
+}
+
+} // namespace twocs::net

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A small blocking loopback client for the network front-end.
+ *
+ * This is the test/bench counterpart of the server: a plain
+ * blocking socket with line-oriented send/receive so e2e tests and
+ * the open-loop bench driver don't each reimplement connect() and
+ * newline reassembly. Deliberately synchronous — the interesting
+ * concurrency lives on the server side.
+ */
+
+#ifndef TWOCS_NET_CLIENT_HH
+#define TWOCS_NET_CLIENT_HH
+
+#include <cstddef>
+#include <string>
+
+namespace twocs::net {
+
+class BlockingClient
+{
+  public:
+    /** Connect to 127.0.0.1:port; fatal() on failure. */
+    explicit BlockingClient(int port);
+    ~BlockingClient();
+
+    BlockingClient(const BlockingClient &) = delete;
+    BlockingClient &operator=(const BlockingClient &) = delete;
+    BlockingClient(BlockingClient &&other) noexcept;
+
+    /** Send all of `data` (retrying partial writes). */
+    void sendAll(const std::string &data);
+
+    /** sendAll(line + "\n"). */
+    void sendLine(const std::string &line);
+
+    /** Receive one response line (without the newline) into `out`;
+     *  false at EOF with nothing buffered. */
+    bool recvLine(std::string &out);
+
+    /** Read until the server closes; returns everything received
+     *  (including whatever recvLine had not yet consumed). */
+    std::string drainAll();
+
+    /** Half-close: no more requests, but keep reading responses. */
+    void shutdownWrite();
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+    std::size_t consumed_ = 0;
+};
+
+} // namespace twocs::net
+
+#endif // TWOCS_NET_CLIENT_HH

@@ -1,0 +1,93 @@
+#include "framer.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace twocs::net {
+
+LineFramer::LineFramer(std::size_t max_line_bytes)
+    : maxLineBytes_(max_line_bytes)
+{
+    fatalIf(maxLineBytes_ == 0,
+            "max-line-bytes expects a positive byte count");
+}
+
+void
+LineFramer::completeLine()
+{
+    if (discarding_) {
+        Frame f;
+        f.kind = Frame::Kind::Overlong;
+        f.droppedBytes = discarded_;
+        ready_.push_back(std::move(f));
+        discarding_ = false;
+        discarded_ = 0;
+        return;
+    }
+    // getline-compatible: a \r\n terminator is one line break.
+    if (!partial_.empty() && partial_.back() == '\r')
+        partial_.pop_back();
+    Frame f;
+    f.kind = Frame::Kind::Line;
+    f.text = std::move(partial_);
+    partial_.clear();
+    ready_.push_back(std::move(f));
+}
+
+void
+LineFramer::feed(const char *data, std::size_t n)
+{
+    std::size_t begin = 0;
+    while (begin < n) {
+        const char *nl = static_cast<const char *>(
+            std::memchr(data + begin, '\n', n - begin));
+        const std::size_t end =
+            nl == nullptr ? n : static_cast<std::size_t>(nl - data);
+        const std::size_t span = end - begin;
+        if (discarding_) {
+            discarded_ += span;
+        } else if (partial_.size() + span > maxLineBytes_) {
+            // The line just crossed the cap: drop what we buffered
+            // and switch to discard mode until the next newline.
+            discarding_ = true;
+            discarded_ = partial_.size() + span;
+            partial_.clear();
+        } else {
+            partial_.append(data + begin, span);
+        }
+        if (nl == nullptr)
+            break;
+        completeLine();
+        begin = end + 1;
+    }
+}
+
+bool
+LineFramer::pop(Frame &out)
+{
+    if (ready_.empty())
+        return false;
+    out = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
+}
+
+bool
+LineFramer::finish(Frame &out)
+{
+    if (!ready_.empty()) {
+        out = std::move(ready_.front());
+        ready_.pop_front();
+        return true;
+    }
+    if (discarding_ || !partial_.empty()) {
+        completeLine();
+        out = std::move(ready_.front());
+        ready_.pop_front();
+        return true;
+    }
+    return false;
+}
+
+} // namespace twocs::net

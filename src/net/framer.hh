@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Incremental JSON-line framing for byte streams.
+ *
+ * TCP hands the server arbitrary byte chunks: a request line may be
+ * split across packets, and one packet may carry many lines. The
+ * LineFramer turns that stream back into the protocol's units — one
+ * complete line per frame — while enforcing the max-line-bytes cap
+ * that closes the unbounded-line DoS: a line that grows past the cap
+ * is dropped *incrementally* (the partial bytes are discarded as
+ * they arrive, never buffered), the framer resynchronizes at the
+ * next newline, and the caller gets an `Overlong` frame to answer
+ * with a structured error. The same machine drives both the socket
+ * connections and the framed stdin path, so both reject overlong
+ * input with identical responses.
+ */
+
+#ifndef TWOCS_NET_FRAMER_HH
+#define TWOCS_NET_FRAMER_HH
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+namespace twocs::net {
+
+/** One framing event popped from a LineFramer. */
+struct Frame
+{
+    enum class Kind
+    {
+        Line,     //!< A complete line (without its newline).
+        Overlong, //!< A line over the cap was dropped to the next
+                  //!< newline (or stream end).
+    };
+
+    Kind kind = Kind::Line;
+    /** The line's bytes (Line frames only; trailing \r stripped). */
+    std::string text;
+    /** Overlong frames: how many bytes the dropped line held. */
+    std::size_t droppedBytes = 0;
+};
+
+/** A push-based line reassembler with a hard per-line byte cap. */
+class LineFramer
+{
+  public:
+    /** The serve default: 1 MiB per request line. */
+    static constexpr std::size_t kDefaultMaxLineBytes = 1u << 20;
+
+    explicit LineFramer(
+        std::size_t max_line_bytes = kDefaultMaxLineBytes);
+
+    /** Append `n` raw stream bytes; complete frames become pop()able
+     *  immediately. Never buffers more than the cap per line. */
+    void feed(const char *data, std::size_t n);
+
+    /** Pop the next complete frame in stream order; false if none. */
+    bool pop(Frame &out);
+
+    /**
+     * Flush the unterminated tail as a final frame at end of stream
+     * (getline semantics: a last line without a newline still
+     * counts). Returns false when nothing was pending.
+     */
+    bool finish(Frame &out);
+
+    /** Bytes currently buffered for the incomplete line. */
+    std::size_t pendingBytes() const { return partial_.size(); }
+
+    /** True while the current line is being discarded as overlong. */
+    bool discarding() const { return discarding_; }
+
+    std::size_t maxLineBytes() const { return maxLineBytes_; }
+
+  private:
+    void completeLine();
+
+    std::size_t maxLineBytes_;
+    std::string partial_;
+    bool discarding_ = false;
+    std::size_t discarded_ = 0;
+    std::deque<Frame> ready_;
+};
+
+} // namespace twocs::net
+
+#endif // TWOCS_NET_FRAMER_HH

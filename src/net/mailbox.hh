@@ -1,0 +1,135 @@
+/**
+ * @file
+ * A bounded mailbox between the event loop and one worker shard.
+ *
+ * The message-passing seam of the network front-end, in the spirit
+ * of actor-VM worker queues: the epoll thread is the single producer
+ * (tryPush / stealOldest during admission), the shard thread the
+ * single consumer (popWait). Capacity is a hard bound — tryPush
+ * *fails* rather than grows, which is what makes admission control
+ * and load shedding possible: the caller decides what to do with the
+ * overflow (reject the newcomer or evict the oldest), and server
+ * memory stays bounded no matter the offered load.
+ *
+ * A plain mutex + condvar implementation is deliberate: the queue
+ * depth is small (the --queue-depth knob), handoffs are rare
+ * relative to request evaluation cost, and the lock keeps the
+ * high-water accounting and close() semantics trivially race-free
+ * (TSan-clean without atomics choreography).
+ */
+
+#ifndef TWOCS_NET_MAILBOX_HH
+#define TWOCS_NET_MAILBOX_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace twocs::net {
+
+/** Bounded FIFO handoff queue; see the file comment for roles. */
+template <typename T>
+class Mailbox
+{
+  public:
+    explicit Mailbox(std::size_t capacity) : capacity_(capacity)
+    {
+        fatalIf(capacity_ == 0,
+                "mailbox capacity must be positive (got 0)");
+    }
+
+    /** Enqueue unless full or closed; never blocks. On failure the
+     *  caller keeps ownership of `item` (it is not moved from), so
+     *  the admission policy can still answer or reroute it. */
+    bool tryPush(T &&item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+            if (items_.size() > highWater_)
+                highWater_ = items_.size();
+        }
+        cv_.notify_one();
+        return true;
+    }
+
+    /** Remove and return the oldest queued item (the shed-oldest
+     *  policy's eviction); nullopt when empty. */
+    std::optional<T> stealOldest()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /**
+     * Block until an item arrives or the mailbox is closed *and*
+     * drained. Returns false only at that final state, so a closed
+     * mailbox still delivers everything that was admitted — the
+     * graceful-drain contract.
+     */
+    bool popWait(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock,
+                 [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        return true;
+    }
+
+    /** Refuse new pushes; wake the consumer to drain and exit. */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    /** Deepest the queue has ever been (admission metrics). */
+    std::size_t highWater() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return highWater_;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<T> items_;
+    std::size_t capacity_;
+    std::size_t highWater_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace twocs::net
+
+#endif // TWOCS_NET_MAILBOX_HH

@@ -52,10 +52,11 @@ enum class Category : unsigned
     Comm = 1u << 3,  //!< collective simulations (ring all-reduce)
     Cli = 1u << 4,   //!< top-level CLI command handlers
     Bench = 1u << 5, //!< bench drivers
+    Net = 1u << 6,   //!< network front-end (accept/read/dispatch/shed)
 };
 
 /** Mask selecting every category. */
-inline constexpr unsigned kAllCategories = 0x3fu;
+inline constexpr unsigned kAllCategories = 0x7fu;
 
 /** Lower-case category name ("exec", "svc", ...). */
 const char *categoryName(Category category);

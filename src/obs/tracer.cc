@@ -129,6 +129,8 @@ categoryName(Category category)
         return "cli";
       case Category::Bench:
         return "bench";
+      case Category::Net:
+        return "net";
     }
     return "unknown";
 }
@@ -139,6 +141,7 @@ categoryMaskFromList(const std::string &list)
     static constexpr Category kAll[] = {
         Category::Exec, Category::Svc,  Category::Sim,
         Category::Comm, Category::Cli,  Category::Bench,
+        Category::Net,
     };
 
     unsigned mask = 0;
@@ -166,7 +169,7 @@ categoryMaskFromList(const std::string &list)
             }
         }
         fatalIf(!known, "unknown trace category '", name,
-                "' (exec, svc, sim, comm, cli, bench or all)");
+                "' (exec, svc, sim, comm, cli, bench, net or all)");
     }
     fatalIf(!any,
             "--trace-categories expects a non-empty category list");

@@ -35,6 +35,29 @@ ServiceMetrics::latencyPercentile(double q) const
 }
 
 void
+ServiceMetrics::absorb(const ServiceMetrics &other)
+{
+    requests_ += other.requests_;
+    hits_ += other.hits_;
+    misses_ += other.misses_;
+    failures_ += other.failures_;
+    batches_ += other.batches_;
+    sheds_ += other.sheds_;
+    overlongs_ += other.overlongs_;
+    queueDepthHighWater_ =
+        std::max(queueDepthHighWater_, other.queueDepthHighWater_);
+    connectionsOpened_ += other.connectionsOpened_;
+    openConnections_ += other.openConnections_;
+    connectionsHighWater_ =
+        std::max(connectionsHighWater_, other.connectionsHighWater_);
+    latencySeconds_.insert(latencySeconds_.end(),
+                           other.latencySeconds_.begin(),
+                           other.latencySeconds_.end());
+    for (const auto &[size, count] : other.batchSizes_)
+        batchSizes_[size] += count;
+}
+
+void
 ServiceMetrics::writeJson(std::ostream &os) const
 {
     os << "{\n"
@@ -44,6 +67,13 @@ ServiceMetrics::writeJson(std::ostream &os) const
        << "  \"failures\": " << failures_ << ",\n"
        << "  \"hit_rate\": " << json::number(hitRate()) << ",\n"
        << "  \"batches\": " << batches_ << ",\n"
+       << "  \"sheds\": " << sheds_ << ",\n"
+       << "  \"overlong_lines\": " << overlongs_ << ",\n"
+       << "  \"queue_depth_high_water\": " << queueDepthHighWater_
+       << ",\n"
+       << "  \"connections_opened\": " << connectionsOpened_ << ",\n"
+       << "  \"connections_high_water\": " << connectionsHighWater_
+       << ",\n"
        << "  \"latency_seconds_p50\": "
        << json::number(latencyPercentile(0.50)) << ",\n"
        << "  \"latency_seconds_p95\": "

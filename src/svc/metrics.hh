@@ -50,11 +50,61 @@ class ServiceMetrics
     /** Per-request service latency sample. */
     void recordLatency(Seconds s) { latencySeconds_.push_back(s); }
 
+    /** A request rejected by admission control (load shedding). */
+    void recordShed() { ++sheds_; }
+
+    /** A line dropped for exceeding the max-line-bytes cap. */
+    void recordOverlong() { ++overlongs_; }
+
+    /** Observe one shard queue's depth; keeps the high-water mark. */
+    void noteQueueDepth(std::size_t depth)
+    {
+        if (depth > queueDepthHighWater_)
+            queueDepthHighWater_ = depth;
+    }
+
+    /** Connection lifecycle events (the socket front-end). */
+    void recordConnectionOpen()
+    {
+        ++connectionsOpened_;
+        ++openConnections_;
+        if (openConnections_ > connectionsHighWater_)
+            connectionsHighWater_ = openConnections_;
+    }
+    void recordConnectionClose()
+    {
+        if (openConnections_ > 0)
+            --openConnections_;
+    }
+
     std::uint64_t requests() const { return requests_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t failures() const { return failures_; }
     std::uint64_t batches() const { return batches_; }
+    std::uint64_t sheds() const { return sheds_; }
+    std::uint64_t overlongs() const { return overlongs_; }
+    std::size_t queueDepthHighWater() const
+    {
+        return queueDepthHighWater_;
+    }
+    std::uint64_t connectionsOpened() const
+    {
+        return connectionsOpened_;
+    }
+    std::uint64_t openConnections() const { return openConnections_; }
+    std::uint64_t connectionsHighWater() const
+    {
+        return connectionsHighWater_;
+    }
+
+    /**
+     * Fold another registry into this one: counters and histograms
+     * sum, high-water marks take the max, latency reservoirs
+     * concatenate. The socket front-end aggregates its per-shard
+     * service registries this way before writing `--metrics`.
+     */
+    void absorb(const ServiceMetrics &other);
 
     /** Hits over requests (0 when no requests yet). */
     double hitRate() const;
@@ -75,6 +125,12 @@ class ServiceMetrics
     std::uint64_t misses_ = 0;
     std::uint64_t failures_ = 0;
     std::uint64_t batches_ = 0;
+    std::uint64_t sheds_ = 0;
+    std::uint64_t overlongs_ = 0;
+    std::size_t queueDepthHighWater_ = 0;
+    std::uint64_t connectionsOpened_ = 0;
+    std::uint64_t openConnections_ = 0;
+    std::uint64_t connectionsHighWater_ = 0;
     std::vector<Seconds> latencySeconds_;
     /** batch size -> occurrence count. */
     std::map<std::size_t, std::uint64_t> batchSizes_;

@@ -111,6 +111,20 @@ std::uint64_t fnv1a(std::string_view s);
  */
 std::string tryExtractIdJson(const std::string &line);
 
+/**
+ * A complete response line (no trailing newline) for a failure
+ * detected outside the batching pipeline — admission-control
+ * shedding and overlong-line drops in the network front-end. Proto
+ * v2 renders the structured `error` object with `code`; v1 the
+ * legacy flat `message`. `extraJson` (e.g. `"retry_after_ms":50`)
+ * is spliced into the v2 error object verbatim; `idJson` is echoed
+ * when non-empty, exactly like eval errors from the service.
+ */
+std::string errorResponseLine(int proto, const std::string &idJson,
+                              const char *code,
+                              const std::string &message,
+                              const std::string &extraJson = "");
+
 /** Map a protocol precision name to the hw enum; fatal() if unknown. */
 hw::Precision precisionFromName(const std::string &name);
 

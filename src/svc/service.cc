@@ -513,22 +513,40 @@ QueryService::serve(std::istream &in, std::ostream &out)
     if (!batch.empty())
         processBatch(std::move(batch), out);
 
-    if (!options_.metricsPath.empty()) {
-        std::ofstream os(options_.metricsPath);
-        fatalIf(!os, "cannot open metrics file '",
-                options_.metricsPath, "' for writing");
-        metrics_.writeJson(os);
-        inform("wrote service metrics ", options_.metricsPath, " (",
-               metrics_.requests(), " requests, hit rate ",
-               json::number(metrics_.hitRate()), ")");
-    }
+    writeMetricsIfConfigured();
+}
+
+void
+QueryService::writeMetricsIfConfigured()
+{
+    if (options_.metricsPath.empty())
+        return;
+    std::ofstream os(options_.metricsPath);
+    fatalIf(!os, "cannot open metrics file '", options_.metricsPath,
+            "' for writing");
+    metrics_.writeJson(os);
+    inform("wrote service metrics ", options_.metricsPath, " (",
+           metrics_.requests(), " requests, hit rate ",
+           json::number(metrics_.hitRate()), ")");
+}
+
+void
+QueryService::processLines(NumberedLines &&lines, std::ostream &out)
+{
+    processBatch(std::move(lines), out);
 }
 
 std::string
 QueryService::handle(const std::string &line)
 {
+    return handle(line, ++lineNo_);
+}
+
+std::string
+QueryService::handle(const std::string &line, std::size_t lineNo)
+{
     NumberedLines batch;
-    batch.emplace_back(++lineNo_, line);
+    batch.emplace_back(lineNo, line);
     std::ostringstream os;
     processBatch(std::move(batch), os);
     std::string response = os.str();

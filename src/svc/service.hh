@@ -108,6 +108,30 @@ class QueryService
      */
     std::string handle(const std::string &line);
 
+    /**
+     * handle() with an explicit line number for diagnostics, instead
+     * of the service's own running count. The network front-end's
+     * shard workers use this so a parse error names the line's
+     * position *within its connection's stream* — making error
+     * responses byte-identical to serving the same file over stdin.
+     */
+    std::string handle(const std::string &line, std::size_t lineNo);
+
+    /** Numbered raw request lines forming one scheduler batch. */
+    using NumberedLines = std::vector<std::pair<std::size_t, std::string>>;
+
+    /**
+     * Feed one externally assembled batch through the scheduler —
+     * the entry point for drivers that own their read loop (the
+     * framed stdin path in src/net). Lines carry their own stream
+     * positions; responses are written in arrival order.
+     */
+    void processLines(NumberedLines &&lines, std::ostream &out);
+
+    /** Write the metrics JSON when options.metricsPath is set (a
+     *  serve() epilogue external drivers can invoke themselves). */
+    void writeMetricsIfConfigured();
+
     const ServiceMetrics &metrics() const { return metrics_; }
     const ShardedLruCache &cache() const { return cache_; }
     const ServiceOptions &options() const { return options_; }
@@ -118,9 +142,6 @@ class QueryService
   private:
     /** One system's resident calibrated analyses. */
     struct SystemEntry;
-
-    /** Numbered raw request lines forming one scheduler batch. */
-    using NumberedLines = std::vector<std::pair<std::size_t, std::string>>;
 
     void processBatch(NumberedLines &&lines, std::ostream &out);
 

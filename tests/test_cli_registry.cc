@@ -157,8 +157,8 @@ TEST(CliRegistry, GoldenHelpPageForSweep)
         "  --report STR            write the RunReport JSON here\n"
         "  --trace-out STR         write a span trace of this run"
         " here\n"
-        "  --trace-categories STR  exec,svc,sim,comm,cli,bench or all"
-        " (default: all)\n"
+        "  --trace-categories STR  exec,svc,sim,comm,cli,bench,net"
+        " or all (default: all)\n"
         "  --trace-format STR      trace file format: chrome|folded"
         " (default: chrome)\n");
 }
