@@ -24,7 +24,7 @@ main()
     const model::Hyperparams dense_hp =
         model::bertLarge().withHidden(4096).withCompatibleHeads(4);
 
-    model::ParallelConfig dense_par;
+    model::ParallelPlan dense_par;
     dense_par.tpDegree = 4;
     const model::LayerGraphBuilder dense(dense_hp, dense_par);
     const auto dense_profile = profiler.profileLayer(dense, 0);
@@ -40,7 +40,7 @@ main()
 
     double last_share = 0.0;
     for (int ep : { 2, 4, 8, 16 }) {
-        model::ParallelConfig par;
+        model::ParallelPlan par;
         par.tpDegree = 4;
         par.epDegree = ep;
         const model::LayerGraphBuilder moe(dense_hp.withMoe(ep * 2),

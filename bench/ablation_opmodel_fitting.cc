@@ -24,7 +24,7 @@ evalGemmError(const opmodel::OperatorScalingModel &m,
               const std::vector<std::int64_t> &hiddens)
 {
     ErrorAccumulator err;
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     for (std::int64_t h : hiddens) {
         const model::LayerGraphBuilder target(
             model::bertLarge().withHidden(h), par);
@@ -48,7 +48,7 @@ main()
 
     core::SystemConfig sys;
     const auto profiler = sys.profiler();
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     const std::vector<std::int64_t> withheld = { 16384, 32768, 65536 };
 
     // (a) Single point at BERT scale (the paper's method).

@@ -26,7 +26,7 @@ main()
 
     // Per-micro-batch time of one pipeline stage (layers/stages
     // layers of forward+backward), measured on the substrate.
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = 8;
     const model::LayerGraphBuilder graph(hp.withCompatibleHeads(8),
                                          par);

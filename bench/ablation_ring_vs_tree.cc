@@ -26,8 +26,8 @@ main()
     TextTable t({ "devices", "payload", "ring", "tree", "auto picks" });
     for (int p : { 8, 64, 256 }) {
         for (Bytes s : { 64e3, 1e6, 16e6, 256e6 }) {
-            const Seconds ring = m.allReduce(s, p).total;
-            const Seconds tree = m.treeAllReduce(s, p).total;
+            const Seconds ring = m.cost({ comm::CollectiveKind::AllReduce, s, p }).total;
+            const Seconds tree = m.cost({ comm::CollectiveKind::AllReduce, s, p, comm::CollectiveAlgorithm::Tree }).total;
             t.addRowOf(p, formatBytes(s), formatSeconds(ring),
                        formatSeconds(tree),
                        tree < ring ? "tree" : "ring");
@@ -50,19 +50,19 @@ main()
 
     bench::checkClaim("the tree wins for small payloads at large "
                       "group sizes",
-                      m.treeAllReduce(64e3, 256).total <
-                          m.allReduce(64e3, 256).total);
+                      m.cost({ comm::CollectiveKind::AllReduce, 64e3, 256, comm::CollectiveAlgorithm::Tree }).total <
+                          m.cost({ comm::CollectiveKind::AllReduce, 64e3, 256 }).total);
     bench::checkClaim("the ring wins for large payloads",
-                      m.allReduce(1e9, 8).total <
-                          m.treeAllReduce(1e9, 8).total);
+                      m.cost({ comm::CollectiveKind::AllReduce, 1e9, 8 }).total <
+                          m.cost({ comm::CollectiveKind::AllReduce, 1e9, 8, comm::CollectiveAlgorithm::Tree }).total);
     bench::checkClaim("the crossover payload grows with group size "
                       "(more ring latency steps to amortize)",
                       cross256 > cross8);
     bench::checkClaim("auto selection never loses to either "
                       "algorithm",
                       m.allReduceAuto(64e3, 256).total <=
-                              m.allReduce(64e3, 256).total &&
+                              m.cost({ comm::CollectiveKind::AllReduce, 64e3, 256 }).total &&
                           m.allReduceAuto(1e9, 8).total <=
-                              m.treeAllReduce(1e9, 8).total);
+                              m.cost({ comm::CollectiveKind::AllReduce, 1e9, 8, comm::CollectiveAlgorithm::Tree }).total);
     return 0;
 }

@@ -41,7 +41,7 @@ main()
                                "modeling");
 
     core::SystemConfig sys;
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     model::LayerGraphBuilder baseline(model::bertLarge(), par);
     opmodel::AccuracyEvaluator eval(sys.profiler(), baseline);
 

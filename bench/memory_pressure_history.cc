@@ -23,7 +23,7 @@ maxFeasibleBatch(const model::Hyperparams &hp, int tp,
 {
     std::int64_t best = 0;
     for (std::int64_t b = 1; b <= 64; b *= 2) {
-        model::ParallelConfig par;
+        model::ParallelPlan par;
         par.tpDegree = tp;
         const model::MemoryModel mm(
             hp.withBatchSize(b).withCompatibleHeads(tp), par);

@@ -54,14 +54,14 @@ BM_AllReduceCost(benchmark::State &state)
     const comm::CollectiveModel m = sys().collectiveModel();
     for (auto _ : state)
         benchmark::DoNotOptimize(
-            m.allReduce(256e6, static_cast<int>(state.range(0))));
+            m.cost({ comm::CollectiveKind::AllReduce, 256e6, static_cast<int>(state.range(0)) }));
 }
 BENCHMARK(BM_AllReduceCost)->Arg(4)->Arg(64)->Arg(256);
 
 void
 BM_BuildIterationOps(benchmark::State &state)
 {
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = 8;
     par.dpDegree = 4;
     const model::LayerGraphBuilder g(model::bertLarge(), par);
@@ -73,7 +73,7 @@ BENCHMARK(BM_BuildIterationOps);
 void
 BM_ProfileIteration(benchmark::State &state)
 {
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = 8;
     par.dpDegree = 4;
     const model::LayerGraphBuilder g(model::bertLarge(), par);

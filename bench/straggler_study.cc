@@ -37,8 +37,7 @@ measureSimsPerSec(const hw::Topology &topo, Bytes payload,
     for (int rep = 0; rep < 3; ++rep) {
         const auto start = Clock::now();
         for (const std::vector<Seconds> &a : arrivals) {
-            const comm::RingSimResult r = comm::simulateRingAllReduce(
-                topo, payload, a, {}, engine);
+            const comm::RingSimResult r = comm::simulateRingCollective(topo, payload, a, { {}, engine });
             (void)r;
         }
         const std::chrono::duration<double> elapsed =
@@ -70,12 +69,9 @@ benchJsonMain(const std::string &json_path)
     bool identical = true;
     for (const std::vector<Seconds> &a : arrivals) {
         const comm::RingSimResult replayed =
-            comm::simulateRingAllReduce(
-                topo, payload, a, {},
-                comm::RingSimEngine::CompiledReplay);
+            comm::simulateRingCollective(topo, payload, a, { {}, comm::RingSimEngine::CompiledReplay });
         const comm::RingSimResult rebuilt =
-            comm::simulateRingAllReduce(
-                topo, payload, a, {}, comm::RingSimEngine::Rebuild);
+            comm::simulateRingCollective(topo, payload, a, { {}, comm::RingSimEngine::Rebuild });
         identical = identical &&
                     replayed.finishTime == rebuilt.finishTime &&
                     replayed.collectiveTime ==
@@ -133,10 +129,10 @@ main(int argc, char **argv)
                 a = base_compute * rng.noiseFactor(jitter);
 
             const comm::RingSimResult r =
-                comm::simulateRingAllReduce(topo, payload, arrivals);
+                comm::simulateRingCollective(topo, payload, arrivals);
             const std::vector<Seconds> uniform(p, base_compute);
             const comm::RingSimResult ideal =
-                comm::simulateRingAllReduce(topo, payload, uniform);
+                comm::simulateRingCollective(topo, payload, uniform);
 
             const double slowdown = r.finishTime / ideal.finishTime;
             worst_slowdown = std::max(worst_slowdown, slowdown);

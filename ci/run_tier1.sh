@@ -22,13 +22,20 @@
 #                 host-independent.) The BENCH_*.json files are
 #                 collected under build-tier1/bench-artifacts/ as the
 #                 perf-trajectory artifact to upload.
-#   5. loopback serve smoke — `twocs serve --listen` with a 2-deep
+#   5. 3D-parallelism gate — the zoo3d_parallel_sweep bench must emit
+#                 the collective_lowering_* schema keys, `twocs sweep
+#                 --figure 12` under a full `--parallel` plan (flat
+#                 and hierarchical topology) must be byte-identical
+#                 across --jobs, and the deprecated collective/plan
+#                 shims must not be referenced outside their shim
+#                 files.
+#   6. loopback serve smoke — `twocs serve --listen` with a 2-deep
 #                 shard queue is saturated over TCP by the
 #                 svc_throughput --connect driver: every request must
 #                 be answered (computed or a structured `overloaded`
 #                 shed), at least one shed must occur, and SIGTERM
 #                 must drain cleanly (exit 0 + "drained:" report).
-#   6. obs compile-out — -DTWOCS_OBS_DISABLE=ON must still build the
+#   7. obs compile-out — -DTWOCS_OBS_DISABLE=ON must still build the
 #                 net layer (its span sites compile to nothing).
 #
 # Usage: ci/run_tier1.sh [jobs]
@@ -111,6 +118,53 @@ grep -q '"bench": "svc_throughput"' "${svc_json}"
 grep -q '"net_qps_sustained"' "${svc_json}"
 grep -q '"net_p99_ms"' "${svc_json}"
 grep -q '"net_shed_rate"' "${svc_json}"
+
+echo "== tier-1: 3D zoo sweep carries the collective_lowering keys =="
+zoo_json="${artifacts}/BENCH_zoo3d_parallel_sweep.json"
+rm -f "${zoo_json}"
+build-tier1/bench/zoo3d_parallel_sweep --jobs 2 \
+    --bench-json "${zoo_json}"
+"${twocs}" validate --trace "${zoo_json}"
+grep -q '"schema": "twocs-bench-1"' "${zoo_json}"
+grep -q '"bench": "zoo3d_parallel_sweep"' "${zoo_json}"
+grep -q '"collective_lowering_zero2_wire_ratio"' "${zoo_json}"
+grep -q '"collective_lowering_zero3_wire_ratio"' "${zoo_json}"
+grep -q '"collective_lowering_pp_p2p_bytes"' "${zoo_json}"
+grep -q '"collective_lowering_ar_wire_bytes"' "${zoo_json}"
+
+echo "== tier-1: 3D-plan sweeps byte-identical across --jobs =="
+plan="tp=8,pp=4,dp=2,zero=1"
+f12_one="$("${twocs}" sweep --figure 12 --parallel "${plan}" --jobs 1)"
+f12_four="$("${twocs}" sweep --figure 12 --parallel "${plan}" --jobs 4)"
+[ "${f12_one}" = "${f12_four}" ]
+hier_one="$("${twocs}" sweep --figure 12 --parallel "${plan}" \
+    --topology multi:8 --jobs 1)"
+hier_two="$("${twocs}" sweep --figure 12 --parallel "${plan}" \
+    --topology multi:8 --jobs 2)"
+[ "${hier_one}" = "${hier_two}" ]
+
+echo "== tier-1: deprecated collective wrappers stay shim-only =="
+# The per-kind CollectiveModel methods and simulateRingAllReduce are
+# one-release migration shims: only the shim sites themselves (and
+# their deprecation tests) may reference them.
+if grep -RnE '(->|\.)(allReduce|treeAllReduce|allGather|reduceScatter|broadcast|allToAll|hierarchicalAllReduce)\(' \
+    src bench tests --include='*.cc' --include='*.hh' \
+    | grep -v 'src/comm/collectives'; then
+    echo "deprecated CollectiveModel wrapper used outside the shim"
+    exit 1
+fi
+if grep -Rn 'simulateRingAllReduce' src bench tests \
+    --include='*.cc' --include='*.hh' \
+    | grep -v 'src/comm/ring_sim'; then
+    echo "deprecated simulateRingAllReduce used outside the shim"
+    exit 1
+fi
+if grep -Rn 'ParallelConfig' src bench tests \
+    --include='*.cc' --include='*.hh' \
+    | grep -v 'src/model/parallel.hh'; then
+    echo "deprecated ParallelConfig alias used outside the shim"
+    exit 1
+fi
 
 echo "== tier-1: loopback serve smoke (shed under saturation, clean drain) =="
 serve_log="build-tier1/ci_serve.log"

@@ -32,7 +32,7 @@ main()
 
     // 1. Profile the BERT baseline (this is the only step that needs
     //    the machine; ~one layer of kernels plus one collective).
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     const model::LayerGraphBuilder baseline(model::bertLarge(), par);
     std::cout << "calibrating from "
               << baseline.forwardLayerOps(0).size() +
@@ -77,7 +77,7 @@ main()
         { "PaLM-3x", 65536, 4096, 256 },
     };
     for (const auto &f : futures) {
-        model::ParallelConfig tpar;
+        model::ParallelPlan tpar;
         tpar.tpDegree = f.tp;
         const model::LayerGraphBuilder target(
             model::bertLarge()

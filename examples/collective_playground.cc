@@ -28,7 +28,7 @@ main()
     comm::CollectiveModel node(hw::Topology::singleNode(dev, 4));
     TextTable sat({ "payload", "time", "achieved bus BW" });
     for (Bytes s = 256.0 * 1024; s <= 2e9; s *= 4.0) {
-        const comm::CollectiveCost c = node.allReduce(s, 4);
+        const comm::CollectiveCost c = node.cost({ comm::CollectiveKind::AllReduce, s, 4 });
         sat.addRowOf(formatBytes(s), formatSeconds(c.total),
                      formatRate(node.achievedAllReduceBandwidth(s, 4),
                                 "B"));
@@ -62,8 +62,8 @@ main()
     comm::CollectiveModel pin(hw::Topology::singleNode(dev, 8));
     pin.setInNetworkReduction(true);
     std::cout << "\nRing vs in-network reduction (256 MiB, 8 devices): "
-              << formatSeconds(wide.allReduce(payload, 8).total)
-              << " -> " << formatSeconds(pin.allReduce(payload, 8).total)
+              << formatSeconds(wide.cost({ comm::CollectiveKind::AllReduce, payload, 8 }).total)
+              << " -> " << formatSeconds(pin.cost({ comm::CollectiveKind::AllReduce, payload, 8 }).total)
               << "\n";
 
     // 4. Hierarchical all-reduce across nodes (Section 4.3.7).
@@ -78,8 +78,8 @@ main()
     TextTable hier({ "payload", "flat fabric", "hierarchical" });
     for (Bytes s : { 16e6, 128e6, 1e9 }) {
         hier.addRowOf(formatBytes(s),
-                      formatSeconds(flat.allReduce(s, 64).total),
-                      formatSeconds(cluster.allReduce(s, 64).total));
+                      formatSeconds(flat.cost({ comm::CollectiveKind::AllReduce, s, 64 }).total),
+                      formatSeconds(cluster.cost({ comm::CollectiveKind::AllReduce, s, 64 }).total));
     }
     hier.print(std::cout);
 

@@ -64,7 +64,7 @@ compare(const core::SystemConfig &sys, const model::Hyperparams &hp,
     // routed activations.
     const Bytes a2a_bytes = 2.0 * static_cast<double>(tokens) * top_k *
                             hp.hidden / ep_degree;
-    r.moeAllToAll = 2.0 * colls.allToAll(a2a_bytes, ep_degree).total;
+    r.moeAllToAll = 2.0 * colls.cost({ comm::CollectiveKind::AllToAll, a2a_bytes, ep_degree }).total;
     return r;
 }
 

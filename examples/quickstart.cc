@@ -25,7 +25,7 @@ main()
 {
     // 1. Pick a model and a distributed setup.
     model::Hyperparams hp = model::zooModel("GPT-3").hp;
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = 16;
     par.dpDegree = 4;
     hp = hp.withCompatibleHeads(par.tpDegree);

@@ -36,7 +36,7 @@ main(int argc, char **argv)
     // Memory-driven TP floor (Section 4.3.2's premise).
     const int min_tp = model::MemoryModel::minTpDegree(entry.hp, device);
     {
-        model::ParallelConfig par;
+        model::ParallelPlan par;
         par.tpDegree = min_tp;
         const model::MemoryModel mem(
             entry.hp.withCompatibleHeads(min_tp), par);

@@ -7,7 +7,7 @@ namespace twocs::analytic {
 
 LayerComplexity
 layerComplexity(const model::Hyperparams &hp,
-                const model::ParallelConfig &par, hw::Precision precision)
+                const model::ParallelPlan &par, hw::Precision precision)
 {
     hp.validate();
     par.validate(hp);
@@ -58,7 +58,7 @@ amdahlEdge(const model::Hyperparams &hp, std::int64_t tp_degree)
 
 double
 amdahlEdgeExact(const model::Hyperparams &hp,
-                const model::ParallelConfig &par, hw::Precision precision)
+                const model::ParallelPlan &par, hw::Precision precision)
 {
     const LayerComplexity lc = layerComplexity(hp, par, precision);
     return lc.trainingOps / lc.serializedCommBytes;
@@ -73,7 +73,7 @@ slackAdvantage(const model::Hyperparams &hp)
 
 double
 slackAdvantageExact(const model::Hyperparams &hp,
-                    const model::ParallelConfig &par,
+                    const model::ParallelPlan &par,
                     hw::Precision precision)
 {
     const LayerComplexity lc = layerComplexity(hp, par, precision);

@@ -46,7 +46,7 @@ struct LayerComplexity
 
 /** Evaluate the closed forms for one model and parallel setup. */
 LayerComplexity layerComplexity(const model::Hyperparams &hp,
-                                const model::ParallelConfig &par,
+                                const model::ParallelPlan &par,
                                 hw::Precision precision =
                                     hw::Precision::FP16);
 
@@ -66,7 +66,7 @@ double amdahlEdge(const model::Hyperparams &hp,
  * one layer. Dimensionally FLOP/byte.
  */
 double amdahlEdgeExact(const model::Hyperparams &hp,
-                       const model::ParallelConfig &par,
+                       const model::ParallelPlan &par,
                        hw::Precision precision = hw::Precision::FP16);
 
 /**
@@ -80,7 +80,7 @@ double slackAdvantage(const model::Hyperparams &hp);
  * one layer. Dimensionally FLOP/byte.
  */
 double slackAdvantageExact(const model::Hyperparams &hp,
-                           const model::ParallelConfig &par,
+                           const model::ParallelPlan &par,
                            hw::Precision precision =
                                hw::Precision::FP16);
 

@@ -39,25 +39,25 @@ zeroCommCost(const comm::CollectiveModel &collectives, Bytes model_bytes,
       case ZeroStage::OptimizerSharding:
         // Gradients all-reduced; stage 1 only changes where the
         // optimizer state lives.
-        add(collectives.allReduce(model_bytes, dp_degree));
+        add(collectives.cost({ comm::CollectiveKind::AllReduce, model_bytes, dp_degree }));
         break;
       case ZeroStage::GradientSharding:
         // Reduce-scatter gradients to their owning shard, update
         // there, all-gather the refreshed parameters.
-        add(collectives.reduceScatter(model_bytes, dp_degree));
-        add(collectives.allGather(model_bytes / dp_degree, dp_degree));
+        add(collectives.cost({ comm::CollectiveKind::ReduceScatter, model_bytes, dp_degree }));
+        add(collectives.cost({ comm::CollectiveKind::AllGather, model_bytes / dp_degree, dp_degree }));
         break;
       case ZeroStage::ParameterSharding:
         // Parameters re-gathered for the forward AND backward pass,
         // gradients reduce-scattered: 1.5x plain-DP traffic.
-        add(collectives.allGather(model_bytes / dp_degree, dp_degree));
-        add(collectives.allGather(model_bytes / dp_degree, dp_degree));
-        add(collectives.reduceScatter(model_bytes, dp_degree));
+        add(collectives.cost({ comm::CollectiveKind::AllGather, model_bytes / dp_degree, dp_degree }));
+        add(collectives.cost({ comm::CollectiveKind::AllGather, model_bytes / dp_degree, dp_degree }));
+        add(collectives.cost({ comm::CollectiveKind::ReduceScatter, model_bytes, dp_degree }));
         break;
     }
 
     const Bytes plain =
-        collectives.allReduce(model_bytes, dp_degree).bytesOnWire;
+        collectives.cost({ comm::CollectiveKind::AllReduce, model_bytes, dp_degree }).bytesOnWire;
     cost.trafficVsPlainDp = cost.wireBytes / plain;
     return cost;
 }

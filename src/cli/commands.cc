@@ -51,7 +51,40 @@ systemFrom(const Args &args)
     sys.bwScale = args.getDouble("bw-scale", 1.0);
     if (args.getInt("pin", 0) != 0)
         sys.inNetworkReduction = true;
+
+    // --topology single (default) | multi:<perNode>[:slowdown]
+    const std::string topo = args.get("topology", "single");
+    if (topo != "single") {
+        fatalIf(topo.rfind("multi:", 0) != 0,
+                "--topology expects 'single' or "
+                "'multi:<devicesPerNode>[:slowdown]', got '", topo,
+                "'");
+        std::string spec = topo.substr(6);
+        const std::size_t colon = spec.find(':');
+        std::string per_node = spec.substr(0, colon);
+        try {
+            sys.devicesPerNode = std::stoi(per_node);
+            if (colon != std::string::npos)
+                sys.interNodeSlowdown =
+                    std::stod(spec.substr(colon + 1));
+        } catch (const std::exception &) {
+            fatal("--topology multi: expects numeric "
+                  "<devicesPerNode>[:slowdown], got '", topo, "'");
+        }
+        fatalIf(sys.devicesPerNode < 2,
+                "--topology multi: needs >= 2 devices per node, got ",
+                sys.devicesPerNode);
+    }
     return sys;
+}
+
+/** Parse `--parallel tp=8,pp=4,dp=2,zero=1,ep=8` into a plan. */
+model::ParallelPlan
+parallelFrom(const Args &args)
+{
+    if (!args.has("parallel"))
+        return model::ParallelPlan{};
+    return model::ParallelPlan::parse(args.get("parallel"));
 }
 
 exec::RunnerOptions
@@ -99,17 +132,19 @@ int
 cmdAnalyze(const Args &args)
 {
     const core::SystemConfig sys = systemFrom(args);
-    const int tp = static_cast<int>(args.getInt("tp", 1));
-    const int dp = static_cast<int>(args.getInt("dp", 1));
+    model::ParallelPlan par;
+    if (args.has("parallel")) {
+        par = parallelFrom(args);
+    } else {
+        par.tpDegree = static_cast<int>(args.getInt("tp", 1));
+        par.dpDegree = static_cast<int>(args.getInt("dp", 1));
+    }
     model::Hyperparams hp =
         model::zooModel(args.get("model", "BERT")).hp;
-    hp = hp.withCompatibleHeads(tp);
+    hp = hp.withCompatibleHeads(par.tpDegree);
     if (args.has("batch"))
         hp = hp.withBatchSize(args.getInt("batch", hp.batchSize));
 
-    model::ParallelConfig par;
-    par.tpDegree = tp;
-    par.dpDegree = dp;
     const model::LayerGraphBuilder graph(hp, par, precisionFrom(args));
     const profiling::Profile p =
         sys.profiler().profileIteration(graph);
@@ -135,10 +170,15 @@ cmdProject(const Args &args)
 {
     const core::SystemConfig sys = systemFrom(args);
     core::AmdahlAnalysis analysis(sys);
+    model::ParallelPlan par;
+    if (args.has("parallel")) {
+        par = parallelFrom(args);
+    } else {
+        par.tpDegree = static_cast<int>(args.getInt("tp", 64));
+    }
     const core::AmdahlPoint p = analysis.evaluate(
         args.getInt("hidden", 16384), args.getInt("seqlen", 2048),
-        args.getInt("batch", 1),
-        static_cast<int>(args.getInt("tp", 64)));
+        args.getInt("batch", 1), par);
     std::cout << "compute " << formatSeconds(p.computeTime)
               << ", serialized comm "
               << formatSeconds(p.serializedCommTime)
@@ -173,7 +213,7 @@ cmdMemory(const Args &args)
 
     if (args.has("tp")) {
         const int tp = static_cast<int>(args.getInt("tp", 1));
-        model::ParallelConfig par;
+        model::ParallelPlan par;
         par.tpDegree = tp;
         const model::MemoryModel mm(hp.withCompatibleHeads(tp), par,
                                     precisionFrom(args));
@@ -238,6 +278,11 @@ cmdCluster(const Args &args)
     cfg.hidden = args.getInt("hidden", 8192);
     cfg.seqLen = args.getInt("seqlen", 2048);
     cfg.tpDegree = static_cast<int>(args.getInt("tp", 8));
+    if (args.has("parallel")) {
+        cfg.plan = parallelFrom(args);
+        if (cfg.plan.tpDegree > 1)
+            cfg.tpDegree = cfg.plan.tpDegree;
+    }
     cfg.numLayers = static_cast<int>(args.getInt("layers", 4));
     cfg.computeJitter = args.getDouble("jitter", 0.0);
     cfg.seed = args.getInt("seed", 1);
@@ -308,6 +353,7 @@ cmdSweep(const Args &args)
                 configs.push_back({ line.hidden, line.seqLen, tp });
         }
         core::SerializedStudyOptions opts;
+        opts.basePlan = parallelFrom(args);
         opts.runner = runnerFrom(args, "sweep_figure10");
         const auto points =
             core::runSerializedStudy(analysis, configs, opts);
@@ -316,6 +362,50 @@ cmdSweep(const Args &args)
         for (const core::AmdahlPoint &p : points) {
             t.addRowOf(static_cast<long>(p.hidden),
                        static_cast<long>(p.seqLen), p.tpDegree,
+                       p.commFraction());
+        }
+        csv ? t.printCsv(std::cout) : t.print(std::cout);
+    } else if (figure == 12) {
+        // Hardware evolution: the Figure 10 model lines at each
+        // compute scaling step, optionally under a full 3D plan.
+        core::SerializedStudyOptions opts;
+        opts.basePlan = parallelFrom(args);
+        opts.runner = runnerFrom(args, "sweep_figure12");
+        std::vector<core::EvolutionConfig> configs =
+            core::figure12Configs();
+        // An explicit tp= in --parallel pins the TP degree for every
+        // line; otherwise each line keeps its required TP.
+        if (opts.basePlan.tpDegree > 1) {
+            for (core::EvolutionConfig &c : configs)
+                c.tpDegree = opts.basePlan.tpDegree;
+        }
+        const auto points =
+            core::runHardwareEvolutionStudy(sys, configs, opts);
+
+        TextTable t({ "model", "flop_scale", "H", "SL", "TP", "plan",
+                      "comm_fraction" });
+        for (const core::EvolutionPoint &p : points) {
+            t.addRowOf(p.config.tag, p.config.flopScale,
+                       static_cast<long>(p.config.hidden),
+                       static_cast<long>(p.config.seqLen),
+                       p.point.tpDegree, p.point.plan.summary(),
+                       p.point.commFraction());
+        }
+        csv ? t.printCsv(std::cout) : t.print(std::cout);
+    } else if (figure == 2) {
+        // The table-2-style 3D zoo: every published configuration
+        // profiled ground-truth under its full plan.
+        const auto points = core::runParallelZooStudy(
+            sys, runnerFrom(args, "sweep_zoo3d"));
+        TextTable t({ "model", "plan", "devices", "compute",
+                      "serialized_comm", "dp_comm",
+                      "comm_fraction" });
+        for (const core::ZooStudyPoint &p : points) {
+            t.addRowOf(p.model, p.plan.summary(),
+                       static_cast<long>(p.devices),
+                       formatSeconds(p.computeTime),
+                       formatSeconds(p.serializedCommTime),
+                       formatSeconds(p.dpCommTime),
                        p.commFraction());
         }
         csv ? t.printCsv(std::cout) : t.print(std::cout);
@@ -373,7 +463,7 @@ cmdSweep(const Args &args)
         }
         csv ? t.printCsv(std::cout) : t.print(std::cout);
     } else {
-        fatal("--figure must be 10, 11 or 14, got ", figure);
+        fatal("--figure must be 2, 10, 11, 12 or 14, got ", figure);
     }
     return 0;
 }
@@ -428,7 +518,7 @@ cmdRoofline(const Args &args)
     const model::Hyperparams hp = model::zooModel(
                                       args.get("model", "BERT"))
                                       .hp.withCompatibleHeads(tp);
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = tp;
     const model::LayerGraphBuilder graph(hp, par, prec);
     const profiling::Profile profile =
@@ -678,6 +768,12 @@ buildRegistry()
           "scale link bandwidth (future hw)" },
         { "pin", FlagType::Bool, "0",
           "enable in-network (switch) reduction" },
+        { "topology", FlagType::String, "single",
+          "fabric: single or multi:<perNode>[:slowdown]" },
+    };
+    const std::vector<FlagSpec> parallel = {
+        { "parallel", FlagType::String, "",
+          "3D plan, e.g. tp=8,pp=4,dp=2,zero=1,ep=8" },
     };
     const std::vector<FlagSpec> precision = {
         { "precision", FlagType::String, "fp16",
@@ -711,7 +807,7 @@ buildRegistry()
                         "data-parallel degree" },
                       { "batch", FlagType::Int, "",
                         "override the zoo batch size" } },
-                    system, precision }),
+                    parallel, system, precision }),
           cmdAnalyze });
     registry.push_back(
         { "project", "operator-model projection of a future model",
@@ -723,7 +819,7 @@ buildRegistry()
                         "batch size B" },
                       { "tp", FlagType::Int, "64",
                         "tensor-parallel degree" } },
-                    system }),
+                    parallel, system }),
           cmdProject });
     registry.push_back(
         { "slack", "overlapped-comm slack analysis",
@@ -771,17 +867,17 @@ buildRegistry()
                         "independent jittered trials" },
                       { "passes", FlagType::String, "",
                         "graph pass pipeline, e.g. fuse,dce" } },
-                    system, runner, trace }),
+                    parallel, system, runner, trace }),
           cmdCluster });
     registry.push_back(
         { "sweep", "regenerate a figure's data grid",
           flagsOf({ { { "figure", FlagType::Int, "10",
-                        "figure to regenerate: 10, 11 or 14" },
+                        "figure to regenerate: 2, 10, 11, 12 or 14" },
                       { "csv", FlagType::Bool, "0",
                         "emit CSV instead of a table" },
                       { "passes", FlagType::String, "",
                         "graph pass pipeline (figure 14 only)" } },
-                    system, runner, trace }),
+                    parallel, system, runner, trace }),
           cmdSweep });
     registry.push_back(
         { "inference", "prefill vs decode Comp-vs-Comm under TP",
@@ -844,7 +940,7 @@ buildRegistry()
                       { "metrics", FlagType::String, "",
                         "write service metrics JSON here" },
                       { "proto", FlagType::Int, "2",
-                        "response protocol: 2, or 1 for legacy" },
+                        "response protocol: 3, 2, or 1 for legacy" },
                       { "listen", FlagType::Int, "",
                         "serve over TCP on 127.0.0.1:PORT "
                         "(0 = ephemeral)" },

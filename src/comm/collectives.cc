@@ -20,8 +20,28 @@ collectiveKindName(CollectiveKind kind)
         return "broadcast";
       case CollectiveKind::AllToAll:
         return "all_to_all";
+      case CollectiveKind::PointToPoint:
+        return "point_to_point";
     }
     panic("unknown collective kind");
+}
+
+std::string
+collectiveAlgorithmName(CollectiveAlgorithm algorithm)
+{
+    switch (algorithm) {
+      case CollectiveAlgorithm::Auto:
+        return "auto";
+      case CollectiveAlgorithm::Ring:
+        return "ring";
+      case CollectiveAlgorithm::Tree:
+        return "tree";
+      case CollectiveAlgorithm::Hierarchical:
+        return "hierarchical";
+      case CollectiveAlgorithm::PointToPoint:
+        return "point_to_point";
+    }
+    panic("unknown collective algorithm");
 }
 
 CollectiveModel::CollectiveModel(hw::Topology topology,
@@ -58,30 +78,40 @@ CollectiveModel::intraWireTime(Bytes wire_bytes_per_device) const
 }
 
 CollectiveCost
-CollectiveModel::allReduce(Bytes bytes, int participants) const
+CollectiveModel::allReduceImpl(Bytes bytes, int participants) const
 {
     checkArgs(bytes, participants);
 
     if (topology_.crossesNodes() &&
         participants > topology_.devicesPerNode()) {
-        return hierarchicalAllReduce(bytes, participants);
+        return hierarchicalAllReduceImpl(bytes, participants);
     }
-
-    CollectiveCost c;
-    const double p = participants;
 
     if (inNetworkReduction_) {
         // Devices push data to the reducing switch and receive the
         // result: bytes cross each device's port once each way.
+        CollectiveCost c;
         c.steps = 2;
         c.bytesOnWire = bytes;
-    } else {
-        // Ring: reduce-scatter then all-gather, (P-1) steps each,
-        // chunk of S/P bytes per step.
-        c.steps = 2 * (participants - 1);
-        c.bytesOnWire = 2.0 * bytes * (p - 1.0) / p;
+        c.wireTime = intraWireTime(c.bytesOnWire);
+        c.latencyTime = c.steps * topology_.intraLink().latency;
+        c.total = c.wireTime + c.latencyTime;
+        return c;
     }
+    return ringAllReduceImpl(bytes, participants);
+}
 
+CollectiveCost
+CollectiveModel::ringAllReduceImpl(Bytes bytes, int participants) const
+{
+    checkArgs(bytes, participants);
+
+    CollectiveCost c;
+    const double p = participants;
+    // Ring: reduce-scatter then all-gather, (P-1) steps each,
+    // chunk of S/P bytes per step.
+    c.steps = 2 * (participants - 1);
+    c.bytesOnWire = 2.0 * bytes * (p - 1.0) / p;
     c.wireTime = intraWireTime(c.bytesOnWire);
     c.latencyTime = c.steps * topology_.intraLink().latency;
     c.total = c.wireTime + c.latencyTime;
@@ -89,7 +119,7 @@ CollectiveModel::allReduce(Bytes bytes, int participants) const
 }
 
 CollectiveCost
-CollectiveModel::treeAllReduce(Bytes bytes, int participants) const
+CollectiveModel::treeAllReduceImpl(Bytes bytes, int participants) const
 {
     checkArgs(bytes, participants);
 
@@ -116,8 +146,8 @@ CollectiveModel::treeAllReduce(Bytes bytes, int participants) const
 CollectiveCost
 CollectiveModel::allReduceAuto(Bytes bytes, int participants) const
 {
-    const CollectiveCost ring = allReduce(bytes, participants);
-    const CollectiveCost tree = treeAllReduce(bytes, participants);
+    const CollectiveCost ring = allReduceImpl(bytes, participants);
+    const CollectiveCost tree = treeAllReduceImpl(bytes, participants);
     return tree.total < ring.total ? tree : ring;
 }
 
@@ -127,18 +157,18 @@ CollectiveModel::ringTreeCrossover(int participants) const
     fatalIf(participants < 2, "crossover needs >= 2 participants");
     Bytes lo = 64.0;      // tree certainly wins here
     Bytes hi = 16.0e9;    // ring certainly wins here
-    if (treeAllReduce(lo, participants).total >=
-        allReduce(lo, participants).total) {
+    if (treeAllReduceImpl(lo, participants).total >=
+        allReduceImpl(lo, participants).total) {
         return 0.0; // ring wins everywhere
     }
-    if (treeAllReduce(hi, participants).total <
-        allReduce(hi, participants).total) {
+    if (treeAllReduceImpl(hi, participants).total <
+        allReduceImpl(hi, participants).total) {
         return hi; // tree wins across the whole studied range
     }
     for (int i = 0; i < 60 && hi / lo > 1.01; ++i) {
         const Bytes mid = std::sqrt(lo * hi);
-        if (treeAllReduce(mid, participants).total <
-            allReduce(mid, participants).total) {
+        if (treeAllReduceImpl(mid, participants).total <
+            allReduceImpl(mid, participants).total) {
             lo = mid;
         } else {
             hi = mid;
@@ -148,7 +178,7 @@ CollectiveModel::ringTreeCrossover(int participants) const
 }
 
 CollectiveCost
-CollectiveModel::allGather(Bytes bytes, int participants) const
+CollectiveModel::allGatherImpl(Bytes bytes, int participants) const
 {
     checkArgs(bytes, participants);
 
@@ -164,7 +194,7 @@ CollectiveModel::allGather(Bytes bytes, int participants) const
 }
 
 CollectiveCost
-CollectiveModel::reduceScatter(Bytes bytes, int participants) const
+CollectiveModel::reduceScatterImpl(Bytes bytes, int participants) const
 {
     checkArgs(bytes, participants);
 
@@ -179,7 +209,7 @@ CollectiveModel::reduceScatter(Bytes bytes, int participants) const
 }
 
 CollectiveCost
-CollectiveModel::broadcast(Bytes bytes, int participants) const
+CollectiveModel::broadcastImpl(Bytes bytes, int participants) const
 {
     checkArgs(bytes, participants);
 
@@ -195,7 +225,7 @@ CollectiveModel::broadcast(Bytes bytes, int participants) const
 }
 
 CollectiveCost
-CollectiveModel::allToAll(Bytes bytes, int participants) const
+CollectiveModel::allToAllImpl(Bytes bytes, int participants) const
 {
     checkArgs(bytes, participants);
 
@@ -211,11 +241,12 @@ CollectiveModel::allToAll(Bytes bytes, int participants) const
 }
 
 CollectiveCost
-CollectiveModel::hierarchicalAllReduce(Bytes bytes, int participants) const
+CollectiveModel::hierarchicalAllReduceImpl(Bytes bytes,
+                                           int participants) const
 {
     fatalIf(bytes <= 0.0, "collective with non-positive payload");
     fatalIf(!topology_.crossesNodes(),
-            "hierarchicalAllReduce() on a single-node topology");
+            "hierarchical all-reduce on a single-node topology");
 
     if (participants == 0)
         participants = topology_.numDevices();
@@ -229,8 +260,9 @@ CollectiveModel::hierarchicalAllReduce(Bytes bytes, int participants) const
     CollectiveCost c;
 
     // Phase 1: intra-node reduce-scatter.
-    const CollectiveCost rs =
-        per_node >= 2 ? reduceScatter(bytes, per_node) : CollectiveCost{};
+    const CollectiveCost rs = per_node >= 2
+                                  ? reduceScatterImpl(bytes, per_node)
+                                  : CollectiveCost{};
 
     // Phase 2: inter-node all-reduce of the local shard.
     const Bytes shard = bytes / per_node;
@@ -243,8 +275,9 @@ CollectiveModel::hierarchicalAllReduce(Bytes bytes, int participants) const
         2.0 * (nodes - 1) * topology_.interLink().latency;
 
     // Phase 3: intra-node all-gather of the reduced shards.
-    const CollectiveCost ag =
-        per_node >= 2 ? allGather(shard, per_node) : CollectiveCost{};
+    const CollectiveCost ag = per_node >= 2
+                                  ? allGatherImpl(shard, per_node)
+                                  : CollectiveCost{};
 
     c.steps = rs.steps + 2 * (nodes - 1) + ag.steps;
     c.bytesOnWire = rs.bytesOnWire + inter_wire + ag.bytesOnWire;
@@ -255,29 +288,152 @@ CollectiveModel::hierarchicalAllReduce(Bytes bytes, int participants) const
 }
 
 CollectiveCost
+CollectiveModel::pointToPointImpl(Bytes bytes) const
+{
+    fatalIf(bytes <= 0.0, "collective with non-positive payload");
+
+    // Pipeline-stage boundaries land on the slow tier when the
+    // topology has one: consecutive stages live on different nodes.
+    const hw::LinkSpec &link = topology_.crossesNodes()
+                                   ? topology_.interLink()
+                                   : topology_.intraLink();
+    CollectiveCost c;
+    c.steps = 1;
+    c.bytesOnWire = bytes;
+    const double eff = hw::linkEfficiency(bytes, linkParams_);
+    c.wireTime = bytes / (link.bandwidth * eff);
+    c.latencyTime = link.latency;
+    c.total = c.wireTime + c.latencyTime;
+    return c;
+}
+
+CollectiveAlgorithm
+CollectiveModel::resolveAlgorithm(const CollectiveDesc &desc) const
+{
+    if (desc.kind == CollectiveKind::PointToPoint)
+        return CollectiveAlgorithm::PointToPoint;
+    if (desc.algorithm != CollectiveAlgorithm::Auto)
+        return desc.algorithm;
+    if (desc.kind == CollectiveKind::AllReduce &&
+        topology_.crossesNodes() &&
+        desc.participants > topology_.devicesPerNode()) {
+        return CollectiveAlgorithm::Hierarchical;
+    }
+    return CollectiveAlgorithm::Ring;
+}
+
+CollectiveCost
 CollectiveModel::cost(const CollectiveDesc &desc) const
 {
-    switch (desc.kind) {
-      case CollectiveKind::AllReduce:
-        return allReduce(desc.bytes, desc.participants);
-      case CollectiveKind::AllGather:
-        return allGather(desc.bytes, desc.participants);
-      case CollectiveKind::ReduceScatter:
-        return reduceScatter(desc.bytes, desc.participants);
-      case CollectiveKind::Broadcast:
-        return broadcast(desc.bytes, desc.participants);
-      case CollectiveKind::AllToAll:
-        return allToAll(desc.bytes, desc.participants);
+    if (desc.kind == CollectiveKind::PointToPoint) {
+        fatalIf(desc.participants != 2,
+                "point_to_point needs exactly 2 participants, got ",
+                desc.participants);
+        fatalIf(desc.algorithm != CollectiveAlgorithm::Auto &&
+                    desc.algorithm !=
+                        CollectiveAlgorithm::PointToPoint,
+                "point_to_point cannot run the ",
+                collectiveAlgorithmName(desc.algorithm),
+                " algorithm");
+        return pointToPointImpl(desc.bytes);
     }
-    panic("unknown collective kind");
+
+    if (desc.kind == CollectiveKind::AllReduce) {
+        switch (desc.algorithm) {
+          case CollectiveAlgorithm::Auto:
+            return allReduceImpl(desc.bytes, desc.participants);
+          case CollectiveAlgorithm::Ring:
+            return ringAllReduceImpl(desc.bytes, desc.participants);
+          case CollectiveAlgorithm::Tree:
+            return treeAllReduceImpl(desc.bytes, desc.participants);
+          case CollectiveAlgorithm::Hierarchical:
+            return hierarchicalAllReduceImpl(desc.bytes,
+                                             desc.participants);
+          case CollectiveAlgorithm::PointToPoint:
+            fatal("all_reduce cannot run the point_to_point "
+                  "algorithm");
+        }
+        panic("unknown collective algorithm");
+    }
+
+    fatalIf(desc.algorithm != CollectiveAlgorithm::Auto &&
+                desc.algorithm != CollectiveAlgorithm::Ring,
+            collectiveKindName(desc.kind), " only runs the ring "
+            "algorithm; got ",
+            collectiveAlgorithmName(desc.algorithm));
+    switch (desc.kind) {
+      case CollectiveKind::AllGather:
+        return allGatherImpl(desc.bytes, desc.participants);
+      case CollectiveKind::ReduceScatter:
+        return reduceScatterImpl(desc.bytes, desc.participants);
+      case CollectiveKind::Broadcast:
+        return broadcastImpl(desc.bytes, desc.participants);
+      case CollectiveKind::AllToAll:
+        return allToAllImpl(desc.bytes, desc.participants);
+      default:
+        panic("unknown collective kind");
+    }
+}
+
+CollectiveCost
+CollectiveModel::allReduce(Bytes bytes, int participants) const
+{
+    return allReduceImpl(bytes, participants);
+}
+
+CollectiveCost
+CollectiveModel::treeAllReduce(Bytes bytes, int participants) const
+{
+    return treeAllReduceImpl(bytes, participants);
+}
+
+CollectiveCost
+CollectiveModel::allGather(Bytes bytes, int participants) const
+{
+    return allGatherImpl(bytes, participants);
+}
+
+CollectiveCost
+CollectiveModel::reduceScatter(Bytes bytes, int participants) const
+{
+    return reduceScatterImpl(bytes, participants);
+}
+
+CollectiveCost
+CollectiveModel::broadcast(Bytes bytes, int participants) const
+{
+    return broadcastImpl(bytes, participants);
+}
+
+CollectiveCost
+CollectiveModel::allToAll(Bytes bytes, int participants) const
+{
+    return allToAllImpl(bytes, participants);
+}
+
+CollectiveCost
+CollectiveModel::hierarchicalAllReduce(Bytes bytes,
+                                       int participants) const
+{
+    return hierarchicalAllReduceImpl(bytes, participants);
 }
 
 ByteRate
 CollectiveModel::achievedAllReduceBandwidth(Bytes bytes,
                                             int participants) const
 {
-    const CollectiveCost c = allReduce(bytes, participants);
+    const CollectiveCost c = allReduceImpl(bytes, participants);
     return c.bytesOnWire / c.total;
+}
+
+CollectiveCost
+cost(const CollectiveDesc &desc, const hw::Topology &topology,
+     const hw::LinkEfficiencyParams &link_params,
+     bool in_network_reduction)
+{
+    CollectiveModel model(topology, link_params);
+    model.setInNetworkReduction(in_network_reduction);
+    return model.cost(desc);
 }
 
 } // namespace twocs::comm

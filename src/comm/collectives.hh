@@ -5,10 +5,19 @@
  * This is the RCCL/NCCL stand-in: bandwidth-optimal ring algorithms
  * (all-reduce = reduce-scatter + all-gather), plus the collectives
  * needed by the paper's extensions (all-gather and reduce-scatter for
- * ZeRO-style techniques, all-to-all for expert parallelism, broadcast)
- * and a hierarchical all-reduce for multi-node setups. Costs combine
- * per-step link latency with a message-size bandwidth ramp, matching
- * the saturation behaviour of Figure 15(c).
+ * ZeRO-style techniques, all-to-all for expert parallelism, broadcast,
+ * point-to-point sends for pipeline stages) and a hierarchical
+ * all-reduce for multi-node setups. Costs combine per-step link
+ * latency with a message-size bandwidth ramp, matching the saturation
+ * behaviour of Figure 15(c).
+ *
+ * The single entry point is `cost(CollectiveDesc)`: a descriptor
+ * names the collective kind, payload, group size, and (optionally) a
+ * forced algorithm; `Auto` picks per topology tier — the flat ring on
+ * one node, the hierarchical reduce-scatter/all-reduce/all-gather
+ * when the group spans nodes, and the switch reduction when
+ * in-network reduction is enabled. The per-kind named methods are
+ * deprecated thin wrappers kept one release for mechanical migration.
  */
 
 #ifndef TWOCS_COMM_COLLECTIVES_HH
@@ -30,10 +39,36 @@ enum class CollectiveKind
     ReduceScatter,
     Broadcast,
     AllToAll,
+    /** One stage-boundary activation/gradient send (pipeline
+     *  parallelism): exactly two participants. */
+    PointToPoint,
 };
 
 /** Human-readable name ("all_reduce", ...). */
 std::string collectiveKindName(CollectiveKind kind);
+
+/** How a collective is executed on the fabric. */
+enum class CollectiveAlgorithm
+{
+    /** Pick per topology tier: ring on one node, hierarchical when
+     *  the group spans nodes, switch reduction when in-network
+     *  reduction is on. */
+    Auto,
+    /** Force the flat bandwidth-optimal ring. */
+    Ring,
+    /** Force the binary tree (all-reduce only): latency-optimal
+     *  where the ring is bandwidth-optimal. */
+    Tree,
+    /** Force intra-node reduce-scatter / inter-node all-reduce /
+     *  intra-node all-gather (all-reduce only; needs a multi-node
+     *  topology). */
+    Hierarchical,
+    /** A single direct send between two peers. */
+    PointToPoint,
+};
+
+/** Human-readable name ("auto", "ring", ...). */
+std::string collectiveAlgorithmName(CollectiveAlgorithm algorithm);
 
 /** One collective invocation. */
 struct CollectiveDesc
@@ -43,6 +78,8 @@ struct CollectiveDesc
     Bytes bytes = 0.0;
     /** Number of participating devices. */
     int participants = 0;
+    /** Execution algorithm; Auto defers to the topology tier. */
+    CollectiveAlgorithm algorithm = CollectiveAlgorithm::Auto;
 };
 
 /** Cost breakdown of one collective. */
@@ -64,7 +101,7 @@ struct CollectiveCost
  *
  * Projection setups (any TP degree on the measured node fabric) use
  * the intra-node ring path; topologies that cross nodes route through
- * hierarchicalAllReduce() automatically.
+ * the hierarchical algorithm automatically.
  */
 class CollectiveModel
 {
@@ -82,10 +119,16 @@ class CollectiveModel
     void setInNetworkReduction(bool enabled);
     bool inNetworkReduction() const { return inNetworkReduction_; }
 
-    /** Dispatch on the descriptor's kind. */
+    /** THE entry point: dispatch on the descriptor's kind and
+     *  algorithm. */
     CollectiveCost cost(const CollectiveDesc &desc) const;
 
+    /** The concrete algorithm cost() will run for this descriptor
+     *  (what Auto resolves to on this topology). */
+    CollectiveAlgorithm resolveAlgorithm(const CollectiveDesc &desc) const;
+
     /** Ring all-reduce of `bytes` across `participants` devices. */
+    [[deprecated("build a CollectiveDesc and call cost()")]]
     CollectiveCost allReduce(Bytes bytes, int participants) const;
 
     /**
@@ -94,6 +137,8 @@ class CollectiveModel
      * ring is bandwidth-optimal. Collective libraries pick per size;
      * see allReduceAuto().
      */
+    [[deprecated("build a CollectiveDesc with "
+                 "CollectiveAlgorithm::Tree and call cost()")]]
     CollectiveCost treeAllReduce(Bytes bytes, int participants) const;
 
     /** NCCL/RCCL-style algorithm selection: the cheaper of ring and
@@ -105,15 +150,19 @@ class CollectiveModel
     Bytes ringTreeCrossover(int participants) const;
 
     /** Ring all-gather; bytes = per-device contribution. */
+    [[deprecated("build a CollectiveDesc and call cost()")]]
     CollectiveCost allGather(Bytes bytes, int participants) const;
 
     /** Ring reduce-scatter; bytes = full tensor size. */
+    [[deprecated("build a CollectiveDesc and call cost()")]]
     CollectiveCost reduceScatter(Bytes bytes, int participants) const;
 
     /** Pipelined ring broadcast of `bytes`. */
+    [[deprecated("build a CollectiveDesc and call cost()")]]
     CollectiveCost broadcast(Bytes bytes, int participants) const;
 
     /** All-to-all exchange; bytes = per-device send total. */
+    [[deprecated("build a CollectiveDesc and call cost()")]]
     CollectiveCost allToAll(Bytes bytes, int participants) const;
 
     /**
@@ -122,6 +171,8 @@ class CollectiveModel
      * all-reduce spans more devices than one node holds
      * (Section 4.3.7). `participants` defaults to every device.
      */
+    [[deprecated("build a CollectiveDesc with "
+                 "CollectiveAlgorithm::Hierarchical and call cost()")]]
     CollectiveCost hierarchicalAllReduce(Bytes bytes,
                                          int participants = 0) const;
 
@@ -134,6 +185,20 @@ class CollectiveModel
                                         int participants) const;
 
   private:
+    CollectiveCost allReduceImpl(Bytes bytes, int participants) const;
+    CollectiveCost ringAllReduceImpl(Bytes bytes,
+                                     int participants) const;
+    CollectiveCost treeAllReduceImpl(Bytes bytes,
+                                     int participants) const;
+    CollectiveCost allGatherImpl(Bytes bytes, int participants) const;
+    CollectiveCost reduceScatterImpl(Bytes bytes,
+                                     int participants) const;
+    CollectiveCost broadcastImpl(Bytes bytes, int participants) const;
+    CollectiveCost allToAllImpl(Bytes bytes, int participants) const;
+    CollectiveCost hierarchicalAllReduceImpl(Bytes bytes,
+                                             int participants) const;
+    CollectiveCost pointToPointImpl(Bytes bytes) const;
+
     /** Bandwidth time for per-device wire bytes on the intra fabric. */
     Seconds intraWireTime(Bytes wire_bytes_per_device) const;
 
@@ -141,6 +206,15 @@ class CollectiveModel
     hw::LinkEfficiencyParams linkParams_;
     bool inNetworkReduction_ = false;
 };
+
+/**
+ * Cost a collective on a topology in one call — the free-function
+ * face of the API for callers that do not hold a resident model.
+ */
+CollectiveCost cost(const CollectiveDesc &desc,
+                    const hw::Topology &topology,
+                    const hw::LinkEfficiencyParams &link_params = {},
+                    bool in_network_reduction = false);
 
 } // namespace twocs::comm
 

@@ -114,7 +114,8 @@ RingSimResult simulateRingCollective(
     const RingSimOptions &options = {});
 
 /** simulateRingCollective with RingCollective::AllReduce — the
- *  historical entry point, kept for its many call sites. */
+ *  historical entry point, kept one release for migration. */
+[[deprecated("call simulateRingCollective() with RingSimOptions")]]
 RingSimResult simulateRingAllReduce(
     const hw::Topology &topology, Bytes payload,
     const std::vector<Seconds> &arrival_times,

@@ -9,7 +9,7 @@ namespace {
 model::LayerGraphBuilder
 baselineGraph(const model::Hyperparams &hp, hw::Precision precision)
 {
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = 1;
     par.dpDegree = 1;
     return model::LayerGraphBuilder(hp, par, precision);
@@ -31,22 +31,42 @@ model::LayerGraphBuilder
 AmdahlAnalysis::makeGraph(std::int64_t hidden, std::int64_t seq_len,
                           std::int64_t batch, int tp_degree) const
 {
-    const model::Hyperparams hp = baseline_.withHidden(hidden)
-                                      .withSequenceLength(seq_len)
-                                      .withBatchSize(batch)
-                                      .withCompatibleHeads(tp_degree);
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = tp_degree;
     par.dpDegree = 1;
-    return model::LayerGraphBuilder(hp, par, precision_);
+    return makeGraph(hidden, seq_len, batch, par);
+}
+
+model::LayerGraphBuilder
+AmdahlAnalysis::makeGraph(std::int64_t hidden, std::int64_t seq_len,
+                          std::int64_t batch,
+                          const model::ParallelPlan &plan) const
+{
+    const model::Hyperparams hp =
+        baseline_.withHidden(hidden)
+            .withSequenceLength(seq_len)
+            .withBatchSize(batch)
+            .withCompatibleHeads(plan.tpDegree);
+    return model::LayerGraphBuilder(hp, plan, precision_);
 }
 
 AmdahlPoint
 AmdahlAnalysis::evaluate(std::int64_t hidden, std::int64_t seq_len,
                          std::int64_t batch, int tp_degree) const
 {
+    model::ParallelPlan par;
+    par.tpDegree = tp_degree;
+    par.dpDegree = 1;
+    return evaluate(hidden, seq_len, batch, par);
+}
+
+AmdahlPoint
+AmdahlAnalysis::evaluate(std::int64_t hidden, std::int64_t seq_len,
+                         std::int64_t batch,
+                         const model::ParallelPlan &plan) const
+{
     const model::LayerGraphBuilder graph =
-        makeGraph(hidden, seq_len, batch, tp_degree);
+        makeGraph(hidden, seq_len, batch, plan);
     const opmodel::ProjectedBreakdown pb =
         scalingModel_.projectIteration(graph);
 
@@ -54,7 +74,8 @@ AmdahlAnalysis::evaluate(std::int64_t hidden, std::int64_t seq_len,
     p.hidden = hidden;
     p.seqLen = seq_len;
     p.batch = batch;
-    p.tpDegree = tp_degree;
+    p.tpDegree = plan.tpDegree;
+    p.plan = plan;
     p.computeTime = pb.computeTime();
     p.serializedCommTime = pb.serializedComm;
     return p;
@@ -64,15 +85,28 @@ AmdahlPoint
 AmdahlAnalysis::evaluateDirect(std::int64_t hidden, std::int64_t seq_len,
                                std::int64_t batch, int tp_degree) const
 {
+    model::ParallelPlan par;
+    par.tpDegree = tp_degree;
+    par.dpDegree = 1;
+    return evaluateDirect(hidden, seq_len, batch, par);
+}
+
+AmdahlPoint
+AmdahlAnalysis::evaluateDirect(std::int64_t hidden,
+                               std::int64_t seq_len,
+                               std::int64_t batch,
+                               const model::ParallelPlan &plan) const
+{
     const model::LayerGraphBuilder graph =
-        makeGraph(hidden, seq_len, batch, tp_degree);
+        makeGraph(hidden, seq_len, batch, plan);
     const profiling::Profile prof = profiler_.profileIteration(graph);
 
     AmdahlPoint p;
     p.hidden = hidden;
     p.seqLen = seq_len;
     p.batch = batch;
-    p.tpDegree = tp_degree;
+    p.tpDegree = plan.tpDegree;
+    p.plan = plan;
     p.computeTime = prof.computeTime();
     p.serializedCommTime = prof.serializedCommTime();
     return p;

@@ -30,6 +30,10 @@ struct AmdahlPoint
     std::int64_t seqLen = 0;
     std::int64_t batch = 0;
     int tpDegree = 0;
+    /** Full parallel plan behind the point (plan.tpDegree ==
+     *  tpDegree; the extra axes default to 1 for legacy TP-only
+     *  sweeps). */
+    model::ParallelPlan plan;
 
     Seconds computeTime = 0.0;
     Seconds serializedCommTime = 0.0;
@@ -59,17 +63,39 @@ class AmdahlAnalysis
     AmdahlPoint evaluate(std::int64_t hidden, std::int64_t seq_len,
                          std::int64_t batch, int tp_degree) const;
 
+    /** evaluate() under a full 3D plan: the projected iteration
+     *  carries the plan's PP sends, ZeRO shard traffic and MoE
+     *  all-to-alls in addition to the TP all-reduces. */
+    AmdahlPoint evaluate(std::int64_t hidden, std::int64_t seq_len,
+                         std::int64_t batch,
+                         const model::ParallelPlan &plan) const;
+
     /** Ground truth: full simulated iteration. */
     AmdahlPoint evaluateDirect(std::int64_t hidden,
                                std::int64_t seq_len,
                                std::int64_t batch,
                                int tp_degree) const;
 
+    /** evaluateDirect() under a full 3D plan. */
+    AmdahlPoint evaluateDirect(std::int64_t hidden,
+                               std::int64_t seq_len,
+                               std::int64_t batch,
+                               const model::ParallelPlan &plan) const;
+
     /** Target-model graph for a configuration (baseline template). */
     model::LayerGraphBuilder makeGraph(std::int64_t hidden,
                                        std::int64_t seq_len,
                                        std::int64_t batch,
                                        int tp_degree) const;
+
+    /** Target-model graph under a full 3D plan. The head count is
+     *  adjusted for TP divisibility; every other plan constraint
+     *  (layer/stage/expert splits) must already hold and is enforced
+     *  by ParallelPlan::validate(). */
+    model::LayerGraphBuilder
+    makeGraph(std::int64_t hidden, std::int64_t seq_len,
+              std::int64_t batch,
+              const model::ParallelPlan &plan) const;
 
     const opmodel::OperatorScalingModel &scalingModel() const
     {

@@ -20,7 +20,7 @@ CaseStudy::makeGraph(const CaseStudyConfig &c) const
                                       .withSequenceLength(c.seqLen)
                                       .withBatchSize(c.batch)
                                       .withCompatibleHeads(c.tpDegree);
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = c.tpDegree;
     par.dpDegree = c.dpDegree;
     return model::LayerGraphBuilder(hp, par, precision_);
@@ -96,10 +96,9 @@ CaseStudy::buildSimulator(const CaseStudyConfig &config) const
             const bool a2a = op.role == model::OpRole::EpAllToAll;
             const Seconds dur =
                 a2a ? tp_coll
-                          .allToAll(op.commBytes,
-                                    graph.parallel().epDegree)
+                          .cost({ comm::CollectiveKind::AllToAll, op.commBytes, graph.parallel().epDegree })
                           .total
-                    : tp_coll.allReduce(op.commBytes, config.tpDegree)
+                    : tp_coll.cost({ comm::CollectiveKind::AllReduce, op.commBytes, config.tpDegree })
                           .total;
             std::vector<sim::TaskId> deps;
             if (last_compute != sim::InvalidTask)
@@ -125,7 +124,7 @@ CaseStudy::buildSimulator(const CaseStudyConfig &config) const
           }
           case model::OpRole::DpAllReduce: {
             const Seconds dur =
-                dp_coll.allReduce(op.commBytes, config.dpDegree).total *
+                dp_coll.cost({ comm::CollectiveKind::AllReduce, op.commBytes, config.dpDegree }).total *
                 interference;
             std::vector<sim::TaskId> deps;
             if (last_compute != sim::InvalidTask)

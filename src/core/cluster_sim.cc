@@ -4,6 +4,7 @@
 
 #include "comm/ring_sim.hh"
 #include "model/layer_graph.hh"
+#include "profiling/profiler.hh"
 #include "sim/passes.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -42,11 +43,12 @@ buildIteration(const ClusterSimConfig &config,
                                 .withBatchSize(config.batch)
                                 .withCompatibleHeads(p);
     hp.numLayers = config.numLayers;
-    model::ParallelConfig par;
+    model::ParallelPlan par = config.plan;
     par.tpDegree = p;
     const model::LayerGraphBuilder graph(hp, par, precision);
     const hw::KernelCostModel kernels = config.system.kernelModel();
     const hw::Topology topo = config.system.topology();
+    const comm::CollectiveModel coll = config.system.collectiveModel();
 
     compute.resize(p);
     comm.resize(p);
@@ -59,6 +61,26 @@ buildIteration(const ClusterSimConfig &config,
 
     for (const model::TrainingOp &op : graph.iterationOps()) {
         if (op.isComm()) {
+            const bool tp_ring =
+                op.role == model::OpRole::TpAllReduceFwd ||
+                op.role == model::OpRole::TpAllReduceBwd;
+            if (!tp_ring) {
+                // Plan collectives outside the explicit TP group
+                // (DP/ZeRO shard traffic, PP boundary sends, MoE
+                // all-to-alls): each device serializes the
+                // closed-form collective cost on its comm stream.
+                const Seconds dur =
+                    coll.cost(profiling::collectiveDescFor(op, par))
+                        .total;
+                for (int d = 0; d < p; ++d) {
+                    std::vector<sim::TaskId> deps;
+                    if (last[d] != sim::InvalidTask)
+                        deps.push_back(last[d]);
+                    last[d] = des.addTask(op.kernel.label, "plan_coll",
+                                          comm[d], dur, deps);
+                }
+                continue;
+            }
             // Explicit ring all-reduce across the group; step
             // timing shares comm::ringStepTime's pinned per-ring
             // share semantics.

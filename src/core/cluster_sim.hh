@@ -42,6 +42,18 @@ struct ClusterSimConfig
      *  graph small; results scale linearly in layers). */
     int numLayers = 4;
 
+    /**
+     * Full 3D plan whose non-TP axes (PP, micro-batches, DP, ZeRO,
+     * EP) extend the simulated iteration: their collectives appear
+     * as closed-form-cost steps on each device's communication
+     * stream, while the TP group itself stays an explicit
+     * neighbour-dependent ring. The plan's tpDegree is overridden by
+     * `tpDegree` above (the group actually instantiated); the
+     * default trivial plan reproduces the historical TP-only graph
+     * byte-for-byte.
+     */
+    model::ParallelPlan plan;
+
     SystemConfig system;
 
     /** Per-kernel, per-device relative timing jitter (0 = exact). */

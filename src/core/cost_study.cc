@@ -18,7 +18,7 @@ profilingCostStudy(const SystemConfig &system,
 
     // --- What the strategy executes. ---
     // One baseline training iteration (TP = 1, single device).
-    model::ParallelConfig base_par;
+    model::ParallelPlan base_par;
     const model::LayerGraphBuilder base_graph(baseline, base_par);
     const profiling::Profile base_profile =
         profiler.profileIteration(base_graph);
@@ -31,7 +31,7 @@ profilingCostStudy(const SystemConfig &system,
          s *= 2.0) {
         result.ledger.recordExecuted(
             "all-reduce calibration", profiler.collectiveModel()
-                                          .allReduce(s, 4)
+                                          .cost({ comm::CollectiveKind::AllReduce, s, 4 })
                                           .total,
             repetitions);
     }

@@ -12,16 +12,16 @@ InferenceStudy::InferenceStudy(const SystemConfig &system,
 
 model::LayerGraphBuilder
 InferenceStudy::makeGraph(std::int64_t hidden, std::int64_t seq_len,
-                          std::int64_t batch, int tp_degree) const
+                          std::int64_t batch,
+                          const model::ParallelPlan &plan) const
 {
-    const model::Hyperparams hp = baseline_.withHidden(hidden)
-                                      .withSequenceLength(seq_len)
-                                      .withBatchSize(batch)
-                                      .withCompatibleHeads(tp_degree);
-    model::ParallelConfig par;
-    par.tpDegree = tp_degree;
+    const model::Hyperparams hp =
+        baseline_.withHidden(hidden)
+            .withSequenceLength(seq_len)
+            .withBatchSize(batch)
+            .withCompatibleHeads(plan.tpDegree);
     // No optimizer or DP in inference.
-    return model::LayerGraphBuilder(hp, par, precision_,
+    return model::LayerGraphBuilder(hp, plan, precision_,
                                     /*include_optimizer=*/false);
 }
 
@@ -30,8 +30,18 @@ InferenceStudy::decodeStep(std::int64_t hidden,
                            std::int64_t context_len, std::int64_t batch,
                            int tp_degree) const
 {
+    model::ParallelPlan par;
+    par.tpDegree = tp_degree;
+    return decodeStep(hidden, context_len, batch, par);
+}
+
+DecodePoint
+InferenceStudy::decodeStep(std::int64_t hidden,
+                           std::int64_t context_len, std::int64_t batch,
+                           const model::ParallelPlan &plan) const
+{
     const model::LayerGraphBuilder graph =
-        makeGraph(hidden, context_len, batch, tp_degree);
+        makeGraph(hidden, context_len, batch, plan);
     const profiling::Profile p = profiler_.profileOps(
         graph.decodeStepOps(context_len), graph.parallel());
 
@@ -39,7 +49,7 @@ InferenceStudy::decodeStep(std::int64_t hidden,
     d.hidden = hidden;
     d.contextLen = context_len;
     d.batch = batch;
-    d.tpDegree = tp_degree;
+    d.tpDegree = plan.tpDegree;
     d.computeTime = p.computeTime();
     d.serializedCommTime = p.serializedCommTime();
     return d;
@@ -49,8 +59,18 @@ PrefillPoint
 InferenceStudy::prefill(std::int64_t hidden, std::int64_t seq_len,
                         std::int64_t batch, int tp_degree) const
 {
+    model::ParallelPlan par;
+    par.tpDegree = tp_degree;
+    return prefill(hidden, seq_len, batch, par);
+}
+
+PrefillPoint
+InferenceStudy::prefill(std::int64_t hidden, std::int64_t seq_len,
+                        std::int64_t batch,
+                        const model::ParallelPlan &plan) const
+{
     const model::LayerGraphBuilder graph =
-        makeGraph(hidden, seq_len, batch, tp_degree);
+        makeGraph(hidden, seq_len, batch, plan);
     const profiling::Profile p =
         profiler_.profileOps(graph.inferenceOps(), graph.parallel());
 
@@ -58,7 +78,7 @@ InferenceStudy::prefill(std::int64_t hidden, std::int64_t seq_len,
     d.hidden = hidden;
     d.seqLen = seq_len;
     d.batch = batch;
-    d.tpDegree = tp_degree;
+    d.tpDegree = plan.tpDegree;
     d.computeTime = p.computeTime();
     d.serializedCommTime = p.serializedCommTime();
     return d;

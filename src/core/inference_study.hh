@@ -85,15 +85,27 @@ class InferenceStudy
                            std::int64_t context_len,
                            std::int64_t batch, int tp_degree) const;
 
+    /** decodeStep() under a full plan (TP/SP/EP matter at inference;
+     *  the training-only DP/ZeRO axes emit nothing here). */
+    DecodePoint decodeStep(std::int64_t hidden,
+                           std::int64_t context_len,
+                           std::int64_t batch,
+                           const model::ParallelPlan &plan) const;
+
     /** Prompt prefill of seq_len tokens. */
     PrefillPoint prefill(std::int64_t hidden, std::int64_t seq_len,
                          std::int64_t batch, int tp_degree) const;
 
+    /** prefill() under a full plan. */
+    PrefillPoint prefill(std::int64_t hidden, std::int64_t seq_len,
+                         std::int64_t batch,
+                         const model::ParallelPlan &plan) const;
+
   private:
-    model::LayerGraphBuilder makeGraph(std::int64_t hidden,
-                                       std::int64_t seq_len,
-                                       std::int64_t batch,
-                                       int tp_degree) const;
+    model::LayerGraphBuilder
+    makeGraph(std::int64_t hidden, std::int64_t seq_len,
+              std::int64_t batch,
+              const model::ParallelPlan &plan) const;
 
     SystemConfig system_;
     model::Hyperparams baseline_;

@@ -34,7 +34,7 @@ LayoutPlanner::evaluate(int tp, int dp, int pp, bool recompute,
     c.recompute = recompute;
 
     const model::Hyperparams hp = hp_.withCompatibleHeads(tp);
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = tp;
     par.dpDegree = dp;
 

@@ -16,7 +16,7 @@ precisionStudy(const SystemConfig &system, std::int64_t hidden,
                                       .withSequenceLength(seq_len)
                                       .withBatchSize(batch)
                                       .withCompatibleHeads(tp_degree);
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = tp_degree;
 
     std::vector<PrecisionPoint> points;

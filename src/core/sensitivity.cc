@@ -22,12 +22,13 @@ fractionAt(const SensitivityConfig &c, double h_mul, double sl_mul,
         return std::max<std::int64_t>(
             1, static_cast<std::int64_t>(std::llround(v)));
     };
+    model::ParallelPlan plan = c.plan;
+    plan.tpDegree =
+        static_cast<int>(round_pow2(c.tpDegree * tp_mul));
     return analysis
         .evaluateDirect(round_pow2(c.hidden * h_mul),
                         round_pow2(c.seqLen * sl_mul),
-                        round_pow2(c.batch * b_mul),
-                        static_cast<int>(round_pow2(c.tpDegree *
-                                                    tp_mul)))
+                        round_pow2(c.batch * b_mul), plan)
         .commFraction();
 }
 

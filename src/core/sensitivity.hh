@@ -42,6 +42,9 @@ struct SensitivityConfig
     std::int64_t seqLen = 2048;
     std::int64_t batch = 1;
     int tpDegree = 64;
+    /** Non-TP plan axes (PP/ZeRO/EP/...) held fixed while the six
+     *  knobs swing; the TP knob overrides plan.tpDegree. */
+    model::ParallelPlan plan;
     SystemConfig system;
 };
 

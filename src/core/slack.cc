@@ -19,7 +19,7 @@ SlackAnalysis::evaluate(std::int64_t hidden, std::int64_t seq_len,
                                       .withSequenceLength(seq_len)
                                       .withBatchSize(batch)
                                       .withCompatibleHeads(tp_degree);
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = tp_degree;
     par.dpDegree = dp_degree;
     const model::LayerGraphBuilder graph(hp, par, precision_);

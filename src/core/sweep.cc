@@ -1,6 +1,24 @@
 #include "sweep.hh"
 
+#include <map>
+
+#include "model/zoo.hh"
+#include "util/logging.hh"
+
 namespace twocs::core {
+
+namespace {
+
+/** Extend a TP-axis value into the options' base plan. */
+model::ParallelPlan
+planAtTp(const model::ParallelPlan &base, std::int64_t tp)
+{
+    model::ParallelPlan plan = base;
+    plan.tpDegree = static_cast<int>(tp);
+    return plan;
+}
+
+} // namespace
 
 SweepSpace
 table3()
@@ -47,11 +65,96 @@ runSerializedStudy(const AmdahlAnalysis &analysis,
     exec::ParallelSweepRunner runner(options.runner);
     std::vector<AmdahlPoint> points =
         runner.map(configs, [&](const SerializedConfig &c) {
-            const int tp = static_cast<int>(c.tpDegree);
+            const model::ParallelPlan plan =
+                planAtTp(options.basePlan, c.tpDegree);
             return options.groundTruth
                        ? analysis.evaluateDirect(c.hidden, c.seqLen, 1,
-                                                 tp)
-                       : analysis.evaluate(c.hidden, c.seqLen, 1, tp);
+                                                 plan)
+                       : analysis.evaluate(c.hidden, c.seqLen, 1,
+                                           plan);
+        });
+    if (report != nullptr)
+        *report = runner.lastReport();
+    return points;
+}
+
+std::vector<EvolutionConfig>
+figure12Configs(const std::vector<double> &flop_scales)
+{
+    std::vector<EvolutionConfig> configs;
+    for (double scale : flop_scales) {
+        for (const ModelLine &line : figure10Lines()) {
+            configs.push_back({ line.tag, line.hidden, line.seqLen,
+                                line.requiredTp, scale });
+        }
+    }
+    return configs;
+}
+
+std::vector<EvolutionPoint>
+runHardwareEvolutionStudy(const SystemConfig &base,
+                          const std::vector<EvolutionConfig> &configs,
+                          const SerializedStudyOptions &options,
+                          exec::RunReport *report)
+{
+    // One calibration per distinct compute scaling, built up front so
+    // worker threads only read them.
+    std::map<double, AmdahlAnalysis> analyses;
+    for (const EvolutionConfig &c : configs) {
+        if (analyses.count(c.flopScale) != 0)
+            continue;
+        fatalIf(c.flopScale <= 0.0,
+                "flop scale must be > 0, got ", c.flopScale);
+        SystemConfig sys = base;
+        sys.flopScale = base.flopScale * c.flopScale;
+        analyses.emplace(c.flopScale, AmdahlAnalysis(sys));
+    }
+
+    exec::ParallelSweepRunner runner(options.runner);
+    std::vector<EvolutionPoint> points =
+        runner.map(configs, [&](const EvolutionConfig &c) {
+            const AmdahlAnalysis &analysis = analyses.at(c.flopScale);
+            const model::ParallelPlan plan =
+                planAtTp(options.basePlan, c.tpDegree);
+            EvolutionPoint p;
+            p.config = c;
+            p.point = options.groundTruth
+                          ? analysis.evaluateDirect(c.hidden, c.seqLen,
+                                                    1, plan)
+                          : analysis.evaluate(c.hidden, c.seqLen, 1,
+                                              plan);
+            return p;
+        });
+    if (report != nullptr)
+        *report = runner.lastReport();
+    return points;
+}
+
+std::vector<ZooStudyPoint>
+runParallelZooStudy(const SystemConfig &system,
+                    const exec::RunnerOptions &runner_options,
+                    exec::RunReport *report)
+{
+    const profiling::IterationProfiler profiler = system.profiler();
+    const std::vector<model::ParallelZooEntry> &zoo =
+        model::parallelZoo();
+
+    exec::ParallelSweepRunner runner(runner_options);
+    std::vector<ZooStudyPoint> points =
+        runner.map(zoo, [&](const model::ParallelZooEntry &e) {
+            const model::Hyperparams &hp = model::zooModel(e.model).hp;
+            const model::LayerGraphBuilder graph(hp, e.plan);
+            const profiling::Profile prof =
+                profiler.profileIteration(graph);
+
+            ZooStudyPoint p;
+            p.model = e.model;
+            p.plan = e.plan;
+            p.devices = e.plan.totalDevices();
+            p.computeTime = prof.computeTime();
+            p.serializedCommTime = prof.serializedCommTime();
+            p.dpCommTime = prof.dpCommTime();
+            return p;
         });
     if (report != nullptr)
         *report = runner.lastReport();

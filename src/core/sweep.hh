@@ -69,6 +69,13 @@ struct SerializedStudyOptions
     /** Evaluate with the full simulated iteration (ground truth)
      *  instead of the operator-model projection. */
     bool groundTruth = false;
+    /**
+     * Plan applied to every configuration: the sweep's TP axis
+     * replaces basePlan.tpDegree while the other axes (PP, micro-
+     * batches, DP, ZeRO, EP, SP) ride along, so a `--parallel`
+     * template turns the TP-only grid into a full 3D scenario space.
+     */
+    model::ParallelPlan basePlan;
     exec::RunnerOptions runner;
 };
 
@@ -84,6 +91,73 @@ runSerializedStudy(const AmdahlAnalysis &analysis,
                    const std::vector<SerializedConfig> &configs,
                    const SerializedStudyOptions &options = {},
                    exec::RunReport *report = nullptr);
+
+/** One Figure 12 cell: a model line at one compute-scaling step. */
+struct EvolutionConfig
+{
+    std::string tag;
+    std::int64_t hidden = 0;
+    std::int64_t seqLen = 0;
+    std::int64_t tpDegree = 0;
+    /** Device FLOP scaling relative to the base system. */
+    double flopScale = 1.0;
+};
+
+/**
+ * The Figure 12 grid: every figure10Lines() model at each compute
+ * scaling step (the paper's 1x/2x/4x hardware-evolution scenarios).
+ */
+std::vector<EvolutionConfig>
+figure12Configs(const std::vector<double> &flop_scales = { 1.0, 2.0,
+                                                           4.0 });
+
+/** One evaluated Figure 12 cell. */
+struct EvolutionPoint
+{
+    EvolutionConfig config;
+    AmdahlPoint point;
+};
+
+/**
+ * Evaluate the hardware-evolution study: one operator-model
+ * calibration per distinct flop scale (on `base` scaled accordingly),
+ * then every cell in parallel. options.basePlan extends each cell's
+ * TP degree into a full 3D plan exactly as in runSerializedStudy().
+ * Deterministic: results are in input order at any --jobs.
+ */
+std::vector<EvolutionPoint>
+runHardwareEvolutionStudy(const SystemConfig &base,
+                          const std::vector<EvolutionConfig> &configs,
+                          const SerializedStudyOptions &options = {},
+                          exec::RunReport *report = nullptr);
+
+/** One 3D-zoo model's ground-truth profile under its plan. */
+struct ZooStudyPoint
+{
+    std::string model;
+    model::ParallelPlan plan;
+    std::int64_t devices = 0;
+
+    Seconds computeTime = 0.0;
+    Seconds serializedCommTime = 0.0;
+    Seconds dpCommTime = 0.0;
+
+    /** Serialized comm share of the critical path. */
+    double commFraction() const
+    {
+        return serializedCommTime / (computeTime + serializedCommTime);
+    }
+};
+
+/**
+ * Profile every parallelZoo() configuration with the full simulated
+ * iteration (ground truth, no projection): the table-2-style 3D zoo
+ * study. Deterministic at any --jobs.
+ */
+std::vector<ZooStudyPoint>
+runParallelZooStudy(const SystemConfig &system,
+                    const exec::RunnerOptions &runner = {},
+                    exec::RunReport *report = nullptr);
 
 } // namespace twocs::core
 

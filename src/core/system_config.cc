@@ -17,7 +17,21 @@ SystemConfig::topology() const
 {
     fatalIf(maxDomainDevices < 2,
             "SystemConfig.maxDomainDevices must be >= 2");
-    return hw::Topology::singleNode(effectiveDevice(), maxDomainDevices);
+    const hw::DeviceSpec dev = effectiveDevice();
+    if (devicesPerNode <= 0)
+        return hw::Topology::singleNode(dev, maxDomainDevices);
+
+    fatalIf(interNodeSlowdown < 1.0,
+            "inter-node slowdown must be >= 1");
+    hw::LinkSpec inter = dev.link;
+    inter.bandwidth = dev.link.bandwidth / interNodeSlowdown;
+    inter.latency = dev.link.latency * 4.0;
+    int total = maxDomainDevices;
+    if (total % devicesPerNode != 0)
+        total = (total / devicesPerNode + 1) * devicesPerNode;
+    if (total < 2 * devicesPerNode)
+        total = 2 * devicesPerNode;
+    return hw::Topology::multiNode(dev, total, devicesPerNode, inter);
 }
 
 hw::KernelCostModel

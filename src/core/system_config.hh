@@ -46,6 +46,17 @@ struct SystemConfig
     /** Model processing-in-network switches (Section 5). */
     bool inNetworkReduction = false;
 
+    /**
+     * Hierarchical-fabric tier: 0 keeps the paper's optimistic
+     * single-domain assumption; a positive value builds a multi-node
+     * topology with this many devices per node, so collectives that
+     * span nodes route through the hierarchical algorithm (the
+     * `--topology multi:<perNode>[:slowdown]` CLI surface).
+     */
+    int devicesPerNode = 0;
+    /** Inter-node bandwidth penalty for the multi-node tier. */
+    double interNodeSlowdown = 4.0;
+
     /** Efficiency-curve tuning (defaults calibrated for MI210). */
     hw::GemmEfficiencyParams gemmEfficiency;
     hw::MemEfficiencyParams memEfficiency;
@@ -54,7 +65,8 @@ struct SystemConfig
     /** The device after evolution scaling. */
     hw::DeviceSpec effectiveDevice() const;
 
-    /** Single-domain topology sized to maxDomainDevices. */
+    /** Topology sized to maxDomainDevices: single-domain by
+     *  default, multi-node when devicesPerNode is set. */
     hw::Topology topology() const;
 
     /** Kernel cost model on the effective device. */

@@ -18,8 +18,18 @@ opRoleName(OpRole role)
         return "tp_allreduce_bwd";
       case OpRole::DpAllReduce:
         return "dp_allreduce";
+      case OpRole::DpReduceScatter:
+        return "dp_reduce_scatter";
+      case OpRole::DpAllGather:
+        return "dp_allgather";
+      case OpRole::ZeroParamAllGather:
+        return "zero_param_allgather";
       case OpRole::EpAllToAll:
         return "ep_alltoall";
+      case OpRole::PpSendFwd:
+        return "pp_send_fwd";
+      case OpRole::PpSendBwd:
+        return "pp_send_bwd";
       case OpRole::OptimizerStep:
         return "optimizer_step";
     }
@@ -43,10 +53,15 @@ TrainingOp::isComm() const
 {
     return role == OpRole::TpAllReduceFwd ||
            role == OpRole::TpAllReduceBwd ||
-           role == OpRole::DpAllReduce || role == OpRole::EpAllToAll;
+           role == OpRole::DpAllReduce ||
+           role == OpRole::DpReduceScatter ||
+           role == OpRole::DpAllGather ||
+           role == OpRole::ZeroParamAllGather ||
+           role == OpRole::EpAllToAll || role == OpRole::PpSendFwd ||
+           role == OpRole::PpSendBwd;
 }
 
-LayerGraphBuilder::LayerGraphBuilder(Hyperparams hp, ParallelConfig par,
+LayerGraphBuilder::LayerGraphBuilder(Hyperparams hp, ParallelPlan par,
                                      hw::Precision precision,
                                      bool include_optimizer,
                                      bool fuse_elementwise,
@@ -178,6 +193,15 @@ LayerGraphBuilder::epAllToAllBytes() const
 }
 
 Bytes
+LayerGraphBuilder::ppBoundaryBytes() const
+{
+    // One micro-batch's activation tensor crosses the stage
+    // boundary: B * SL * H elements (same shape as a TP all-reduce
+    // payload, Eq. 5).
+    return tpAllReduceBytes();
+}
+
+Bytes
 LayerGraphBuilder::layerWeightGradBytes() const
 {
     return attnWeightGradBytes() + fcWeightGradBytes();
@@ -187,6 +211,41 @@ double
 LayerGraphBuilder::perDeviceLayerParams() const
 {
     return layerWeightGradBytes() / hw::precisionBytes(precision_);
+}
+
+void
+LayerGraphBuilder::pushDpGradOps(std::vector<TrainingOp> &ops,
+                                 SubLayer sub, int layer,
+                                 Bytes grad_bytes) const
+{
+    if (par_.dpDegree < 2)
+        return;
+    if (par_.zeroStage <= 1) {
+        // Plain DP / ZeRO-1: the monolithic gradient all-reduce
+        // (optimizer-state sharding moves no extra gradient bytes).
+        push(ops, commOp(OpRole::DpAllReduce, sub, layer, grad_bytes));
+        return;
+    }
+    // ZeRO-2/3 lowering: reduce-scatter the full gradient, then
+    // all-gather each rank's reduced shard — the same ring wire
+    // volume as the all-reduce it replaces.
+    push(ops, commOp(OpRole::DpReduceScatter, sub, layer, grad_bytes));
+    push(ops, commOp(OpRole::DpAllGather, sub, layer,
+                     grad_bytes / par_.dpDegree));
+}
+
+void
+LayerGraphBuilder::pushZeroParamGather(std::vector<TrainingOp> &ops,
+                                       SubLayer sub, int layer,
+                                       Bytes weight_bytes) const
+{
+    if (par_.zeroStage < 3 || par_.dpDegree < 2)
+        return;
+    // ZeRO-3 holds 1/dp of every weight tensor per rank; the
+    // sub-layer all-gathers the full tensor before using it, on the
+    // critical path of both passes.
+    push(ops, commOp(OpRole::ZeroParamAllGather, sub, layer,
+                     weight_bytes / par_.dpDegree));
 }
 
 std::vector<TrainingOp>
@@ -203,6 +262,11 @@ LayerGraphBuilder::forwardSubLayerOps(int layer, SubLayer sub) const
 
     std::vector<TrainingOp> ops;
     const OpRole fwd = OpRole::FwdCompute;
+
+    pushZeroParamGather(ops, sub, layer,
+                        sub == SubLayer::Attention
+                            ? attnWeightGradBytes()
+                            : fcWeightGradBytes());
 
     if (sub == SubLayer::Attention) {
         push(ops, elemOp(fwd, sub, layer, hw::KernelKind::LayerNorm,
@@ -269,7 +333,8 @@ LayerGraphBuilder::forwardSubLayerOps(int layer, SubLayer sub) const
 }
 
 std::vector<TrainingOp>
-LayerGraphBuilder::backwardSubLayerOps(int layer, SubLayer sub) const
+LayerGraphBuilder::backwardSubLayerOps(int layer, SubLayer sub,
+                                       bool final_micro) const
 {
     const std::int64_t b = hp_.batchSize;
     const std::int64_t sl = hp_.sequenceLength;
@@ -290,6 +355,7 @@ LayerGraphBuilder::backwardSubLayerOps(int layer, SubLayer sub) const
                       tokens * hp_.moe.topK * hp_.moe.capacityFactor)
                 : tokens;
 
+        pushZeroParamGather(ops, sub, layer, fcWeightGradBytes());
         push(ops, elemOp(bwd, sub, layer, hw::KernelKind::Residual,
                              "residual2_bwd", tokens * h));
         push(ops, elemOp(bwd, sub, layer, hw::KernelKind::Dropout,
@@ -326,11 +392,10 @@ LayerGraphBuilder::backwardSubLayerOps(int layer, SubLayer sub) const
         }
         push(ops, elemOp(bwd, sub, layer, hw::KernelKind::LayerNorm,
                              "ln2_bwd", tokens * h));
-        if (par_.dpDegree > 1) {
-            push(ops, commOp(OpRole::DpAllReduce, sub, layer,
-                                 fcWeightGradBytes()));
-        }
+        if (final_micro)
+            pushDpGradOps(ops, sub, layer, fcWeightGradBytes());
     } else {
+        pushZeroParamGather(ops, sub, layer, attnWeightGradBytes());
         push(ops, elemOp(bwd, sub, layer, hw::KernelKind::Residual,
                              "residual1_bwd", tokens * h));
         push(ops, elemOp(bwd, sub, layer, hw::KernelKind::Dropout,
@@ -363,10 +428,8 @@ LayerGraphBuilder::backwardSubLayerOps(int layer, SubLayer sub) const
         }
         push(ops, elemOp(bwd, sub, layer, hw::KernelKind::LayerNorm,
                              "ln1_bwd", tokens * h));
-        if (par_.dpDegree > 1) {
-            push(ops, commOp(OpRole::DpAllReduce, sub, layer,
-                                 attnWeightGradBytes()));
-        }
+        if (final_micro)
+            pushDpGradOps(ops, sub, layer, attnWeightGradBytes());
     }
     return ops;
 }
@@ -383,7 +446,7 @@ LayerGraphBuilder::forwardLayerOps(int layer) const
 }
 
 std::vector<TrainingOp>
-LayerGraphBuilder::backwardLayerOps(int layer) const
+LayerGraphBuilder::backwardLayerOps(int layer, bool final_micro) const
 {
     std::vector<TrainingOp> ops;
     if (recomputeActivations_) {
@@ -400,13 +463,13 @@ LayerGraphBuilder::backwardLayerOps(int layer) const
 
     // Backward traverses sub-layers in reverse: FC first.
     std::vector<TrainingOp> fc_ops =
-        backwardSubLayerOps(layer, SubLayer::FeedForward);
+        backwardSubLayerOps(layer, SubLayer::FeedForward, final_micro);
     ops.insert(ops.end(), fc_ops.begin(), fc_ops.end());
     std::vector<TrainingOp> attn_ops =
-        backwardSubLayerOps(layer, SubLayer::Attention);
+        backwardSubLayerOps(layer, SubLayer::Attention, final_micro);
     ops.insert(ops.end(), attn_ops.begin(), attn_ops.end());
 
-    if (includeOptimizer_) {
+    if (includeOptimizer_ && final_micro) {
         const std::int64_t layer_params =
             static_cast<std::int64_t>(perDeviceLayerParams());
         TrainingOp op = elemOp(OpRole::OptimizerStep,
@@ -424,14 +487,35 @@ LayerGraphBuilder::backwardLayerOps(int layer) const
 std::vector<TrainingOp>
 LayerGraphBuilder::iterationOps() const
 {
+    // One device's stream: its pipeline stage's layers, once per
+    // micro-batch. With pp == 1 this is the whole model once — the
+    // paper's original iteration.
+    const int stage_layers = hp_.numLayers / par_.ppDegree;
+    const bool pipelined = par_.ppDegree > 1;
+
     std::vector<TrainingOp> ops;
-    for (int l = 0; l < hp_.numLayers; ++l) {
-        auto layer_ops = forwardLayerOps(l);
-        ops.insert(ops.end(), layer_ops.begin(), layer_ops.end());
+    for (int micro = 0; micro < par_.microBatches; ++micro) {
+        for (int l = 0; l < stage_layers; ++l) {
+            auto layer_ops = forwardLayerOps(l);
+            ops.insert(ops.end(), layer_ops.begin(), layer_ops.end());
+        }
+        if (pipelined) {
+            // The micro-batch's activations cross to the next stage.
+            push(ops, commOp(OpRole::PpSendFwd, SubLayer::FeedForward,
+                             stage_layers - 1, ppBoundaryBytes()));
+        }
     }
-    for (int l = hp_.numLayers - 1; l >= 0; --l) {
-        auto layer_ops = backwardLayerOps(l);
-        ops.insert(ops.end(), layer_ops.begin(), layer_ops.end());
+    for (int micro = 0; micro < par_.microBatches; ++micro) {
+        const bool final_micro = micro == par_.microBatches - 1;
+        for (int l = stage_layers - 1; l >= 0; --l) {
+            auto layer_ops = backwardLayerOps(l, final_micro);
+            ops.insert(ops.end(), layer_ops.begin(), layer_ops.end());
+        }
+        if (pipelined) {
+            // The micro-batch's input gradient returns upstream.
+            push(ops, commOp(OpRole::PpSendBwd, SubLayer::Attention, 0,
+                             ppBoundaryBytes()));
+        }
     }
     return ops;
 }

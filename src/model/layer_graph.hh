@@ -10,7 +10,11 @@
  * the parameter matrices are sliced across devices and four
  * activation/error all-reduces per layer land on the critical path
  * (two forward, two backward). DP adds one overlappable weight-
- * gradient all-reduce per sub-layer.
+ * gradient all-reduce per sub-layer — or, under ZeRO stages 2/3, a
+ * reduce-scatter + all-gather pair (plus serialized ZeRO-3 parameter
+ * all-gathers). Pipeline parallelism restricts the stream to one
+ * stage's layers, repeated per micro-batch, with point-to-point
+ * boundary sends; MoE routing adds all-to-alls.
  */
 
 #ifndef TWOCS_MODEL_LAYER_GRAPH_HH
@@ -34,7 +38,20 @@ enum class OpRole
     TpAllReduceFwd, //!< serialized activation all-reduce (forward)
     TpAllReduceBwd, //!< serialized error all-reduce (backward)
     DpAllReduce,    //!< overlappable weight-gradient all-reduce
+    /** Overlappable gradient reduce-scatter (ZeRO stage >= 2 lowers
+     *  the monolithic DP all-reduce to RS + AG). */
+    DpReduceScatter,
+    /** Overlappable gathered-shard all-gather, the second half of
+     *  the ZeRO-2/3 gradient exchange. */
+    DpAllGather,
+    /** Serialized parameter all-gather before a sub-layer touches
+     *  its ZeRO-3-sharded weights (forward and backward). */
+    ZeroParamAllGather,
     EpAllToAll,     //!< serialized MoE token exchange (Section 6.1.1)
+    /** Serialized pipeline-stage activation send (forward). */
+    PpSendFwd,
+    /** Serialized pipeline-stage gradient send (backward). */
+    PpSendBwd,
     OptimizerStep,  //!< parameter update after gradients are ready
 };
 
@@ -65,8 +82,14 @@ struct TrainingOp
     bool isComm() const;
     bool isCompute() const { return !isComm(); }
 
-    /** Only DP gradient all-reduces may overlap compute. */
-    bool overlappable() const { return role == OpRole::DpAllReduce; }
+    /** Only DP gradient collectives (all-reduce, or the ZeRO
+     *  reduce-scatter + all-gather pair) may overlap compute. */
+    bool overlappable() const
+    {
+        return role == OpRole::DpAllReduce ||
+               role == OpRole::DpReduceScatter ||
+               role == OpRole::DpAllGather;
+    }
 };
 
 /** Emits the per-layer / per-iteration operator streams. */
@@ -85,28 +108,42 @@ class LayerGraphBuilder
      *        activation memory the MemoryModel's checkpointing mode
      *        assumes.
      */
-    LayerGraphBuilder(Hyperparams hp, ParallelConfig par,
+    LayerGraphBuilder(Hyperparams hp, ParallelPlan par,
                       hw::Precision precision = hw::Precision::FP16,
                       bool include_optimizer = true,
                       bool fuse_elementwise = true,
                       bool recompute_activations = false);
 
     const Hyperparams &hyperparams() const { return hp_; }
-    const ParallelConfig &parallel() const { return par_; }
+    const ParallelPlan &parallel() const { return par_; }
     hw::Precision precision() const { return precision_; }
 
-    /** Forward operators of one layer, in issue order. */
+    /** Forward operators of one layer, in issue order (including
+     *  the ZeRO-3 parameter all-gathers when the plan shards
+     *  parameters). */
     std::vector<TrainingOp> forwardLayerOps(int layer) const;
 
     /**
      * Backward operators of one layer (reverse order of forward),
      * including WG/IG GEMMs, the two serialized TP all-reduces, the
-     * per-sub-layer DP gradient all-reduces, and (optionally) the
-     * optimizer step.
+     * per-sub-layer DP gradient collectives (all-reduce, or the
+     * ZeRO reduce-scatter + all-gather lowering), and (optionally)
+     * the optimizer step. `final_micro = false` emits the gradient-
+     * accumulation form: compute only, no DP collectives and no
+     * optimizer (every pipeline micro-batch but the last).
      */
-    std::vector<TrainingOp> backwardLayerOps(int layer) const;
+    std::vector<TrainingOp> backwardLayerOps(
+        int layer, bool final_micro = true) const;
 
-    /** A full training iteration over all layers. */
+    /**
+     * A full training iteration: every micro-batch's forward over
+     * this device's pipeline stage (numLayers / ppDegree layers,
+     * each boundary crossing as a PpSendFwd), then every
+     * micro-batch's backward (PpSendBwd per boundary), with DP
+     * gradient collectives and the optimizer on the final
+     * micro-batch only. A trivial plan (pp = 1) reproduces the
+     * paper's original all-layer stream.
+     */
     std::vector<TrainingOp> iterationOps() const;
 
     /**
@@ -131,6 +168,10 @@ class LayerGraphBuilder
     /** Payload of one TP activation/error all-reduce (Eq. 5). */
     Bytes tpAllReduceBytes() const;
 
+    /** Payload of one pipeline stage-boundary send: a micro-batch's
+     *  activation (or gradient) tensor, B * SL * H elements. */
+    Bytes ppBoundaryBytes() const;
+
     /** Weight-gradient bytes of the attention sub-layer (per dev). */
     Bytes attnWeightGradBytes() const;
 
@@ -151,7 +192,17 @@ class LayerGraphBuilder
     std::vector<TrainingOp> forwardSubLayerOps(int layer,
                                                SubLayer sub) const;
     std::vector<TrainingOp> backwardSubLayerOps(int layer,
-                                                SubLayer sub) const;
+                                                SubLayer sub,
+                                                bool final_micro) const;
+
+    /** Per-sub-layer DP gradient exchange, lowered per the plan's
+     *  ZeRO stage. */
+    void pushDpGradOps(std::vector<TrainingOp> &ops, SubLayer sub,
+                       int layer, Bytes grad_bytes) const;
+    /** ZeRO-3 parameter all-gather ahead of a sub-layer's use. */
+    void pushZeroParamGather(std::vector<TrainingOp> &ops,
+                             SubLayer sub, int layer,
+                             Bytes weight_bytes) const;
 
     TrainingOp gemmOp(OpRole role, SubLayer sub, int layer,
                       const std::string &label, std::int64_t m,
@@ -166,7 +217,7 @@ class LayerGraphBuilder
     void push(std::vector<TrainingOp> &ops, TrainingOp op) const;
 
     Hyperparams hp_;
-    ParallelConfig par_;
+    ParallelPlan par_;
     hw::Precision precision_;
     bool includeOptimizer_;
     bool fuseElementwise_;

@@ -1,10 +1,12 @@
 #include "memory.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace twocs::model {
 
-MemoryModel::MemoryModel(Hyperparams hp, ParallelConfig par,
+MemoryModel::MemoryModel(Hyperparams hp, ParallelPlan par,
                          hw::Precision precision, MemoryOptions options)
     : hp_(std::move(hp)), par_(par), precision_(precision),
       options_(options)
@@ -17,14 +19,23 @@ MemoryBreakdown
 MemoryModel::perDeviceFootprint() const
 {
     const double prec = hw::precisionBytes(precision_);
-    const double params_per_dev = hp_.totalParams() / par_.tpDegree;
+    // TP slices every weight matrix; PP assigns each device only its
+    // stage's layers, so model state shards over both axes.
+    const double model_shard = static_cast<double>(par_.tpDegree) *
+                               static_cast<double>(par_.ppDegree);
+    const double params_per_dev = hp_.totalParams() / model_shard;
+    const double dp = static_cast<double>(par_.dpDegree);
 
     MemoryBreakdown mb;
     mb.weights = prec * params_per_dev;
+    if (par_.zeroStage >= 3)
+        mb.weights /= dp;
     mb.gradients = prec * params_per_dev;
+    if (par_.zeroStage >= 2)
+        mb.gradients /= dp;
     mb.optimizerState = options_.optimizerBytesPerParam * params_per_dev;
-    if (options_.shardOptimizerOverDp)
-        mb.optimizerState /= par_.dpDegree;
+    if (options_.shardOptimizerOverDp || par_.zeroStage >= 1)
+        mb.optimizerState /= dp;
 
     const double b = static_cast<double>(hp_.batchSize);
     const double sl = static_cast<double>(hp_.sequenceLength);
@@ -37,10 +48,17 @@ MemoryModel::perDeviceFootprint() const
     const double full_width_share =
         par_.sequenceParallel ? 1.0 / t : 1.0;
 
+    // A device holds only its pipeline stage's layers, but the 1F1B
+    // schedule keeps up to ppDegree micro-batches' activations alive
+    // at once (B is the per-micro-batch size).
+    const double live_layers =
+        (static_cast<double>(hp_.numLayers) / par_.ppDegree) *
+        std::min(par_.microBatches, par_.ppDegree);
+
     if (options_.activationCheckpointing) {
         // Only each layer's input survives until backprop.
         mb.activations =
-            hp_.numLayers * prec * b * sl * h * full_width_share;
+            live_layers * prec * b * sl * h * full_width_share;
     } else {
         // Full stashing, Megatron-style estimate per layer:
         // s*b*h*(34 + 5*a*s/h) bytes at FP16, sliced by TP except the
@@ -49,7 +67,7 @@ MemoryModel::perDeviceFootprint() const
         const double per_layer =
             sl * b * h * (26.0 / t + 8.0 * full_width_share) +
             5.0 * a * sl * sl * b / t;
-        mb.activations = hp_.numLayers * per_layer * (prec / 2.0);
+        mb.activations = live_layers * per_layer * (prec / 2.0);
     }
     return mb;
 }
@@ -72,7 +90,7 @@ MemoryModel::minTpDegree(const Hyperparams &hp,
     for (int tp = 1; tp <= max_tp; tp *= 2) {
         if (hp.hidden % tp != 0 || hp.fcDim % tp != 0)
             continue;
-        ParallelConfig par;
+        ParallelPlan par;
         par.tpDegree = tp;
         MemoryModel mm(hp.withCompatibleHeads(tp), par, precision,
                        options);

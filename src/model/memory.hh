@@ -48,11 +48,17 @@ struct MemoryOptions
 class MemoryModel
 {
   public:
-    MemoryModel(Hyperparams hp, ParallelConfig par,
+    MemoryModel(Hyperparams hp, ParallelPlan par,
                 hw::Precision precision = hw::Precision::FP16,
                 MemoryOptions options = {});
 
-    /** Footprint on one device. */
+    /**
+     * Footprint on one device. Model state shards over TP x PP;
+     * ZeRO stages further shard optimizer state (stage >= 1),
+     * gradients (stage >= 2) and weights (stage == 3) over DP.
+     * Activations account for the 1F1B schedule keeping up to
+     * ppDegree micro-batches in flight per stage.
+     */
     MemoryBreakdown perDeviceFootprint() const;
 
     /** Whether the footprint fits in the device's HBM (with a small
@@ -72,7 +78,7 @@ class MemoryModel
 
   private:
     Hyperparams hp_;
-    ParallelConfig par_;
+    ParallelPlan par_;
     hw::Precision precision_;
     MemoryOptions options_;
 };

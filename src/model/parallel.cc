@@ -1,24 +1,48 @@
 #include "parallel.hh"
 
+#include <sstream>
+
 #include "util/logging.hh"
 
 namespace twocs::model {
 
 void
-ParallelConfig::validate(const Hyperparams &hp) const
+ParallelPlan::validate(const Hyperparams &hp) const
 {
     fatalIf(tpDegree < 1, "tpDegree must be >= 1, got ", tpDegree);
+    fatalIf(ppDegree < 1, "ppDegree must be >= 1, got ", ppDegree);
     fatalIf(dpDegree < 1, "dpDegree must be >= 1, got ", dpDegree);
+    fatalIf(epDegree < 1, "epDegree must be >= 1, got ", epDegree);
+    fatalIf(microBatches < 1,
+            "microBatches must be >= 1, got ", microBatches);
     fatalIf(hp.hidden % tpDegree != 0,
             hp.name, ": hidden (", hp.hidden,
-            ") not divisible by TP degree ", tpDegree);
+            ") not divisible by TP degree ", tpDegree,
+            "; pick a TP degree that divides the hidden dimension");
     fatalIf(hp.fcDim % tpDegree != 0,
             hp.name, ": fcDim (", hp.fcDim,
-            ") not divisible by TP degree ", tpDegree);
+            ") not divisible by TP degree ", tpDegree,
+            "; pick a TP degree that divides the FC dimension");
     fatalIf(hp.numHeads % tpDegree != 0,
             hp.name, ": numHeads (", hp.numHeads,
-            ") not divisible by TP degree ", tpDegree);
-    fatalIf(epDegree < 1, "epDegree must be >= 1, got ", epDegree);
+            ") not divisible by TP degree ", tpDegree,
+            "; pick a TP degree that divides the head count");
+    fatalIf(hp.numLayers % ppDegree != 0,
+            hp.name, ": numLayers (", hp.numLayers,
+            ") not divisible by PP degree ", ppDegree,
+            "; every pipeline stage must hold the same number of "
+            "layers — pick a ppDegree dividing ", hp.numLayers);
+    fatalIf(ppDegree == 1 && microBatches != 1,
+            hp.name, ": microBatches (", microBatches,
+            ") without pipelining; set ppDegree > 1 or drop the "
+            "micro-batch split");
+    fatalIf(zeroStage < 0 || zeroStage > 3,
+            "zeroStage must be in [0, 3], got ", zeroStage);
+    fatalIf(zeroStage > 0 && dpDegree < 2,
+            hp.name, ": zeroStage ", zeroStage,
+            " shards state over the data-parallel group but "
+            "dpDegree is ", dpDegree,
+            "; raise dpDegree or drop the ZeRO stage");
     fatalIf(sequenceParallel && tpDegree < 2,
             hp.name, ": sequence parallelism requires TP >= 2");
     fatalIf(sequenceParallel && hp.sequenceLength % tpDegree != 0,
@@ -28,11 +52,112 @@ ParallelConfig::validate(const Hyperparams &hp) const
     if (hp.moe.enabled()) {
         fatalIf(hp.moe.numExperts % epDegree != 0,
                 hp.name, ": numExperts (", hp.moe.numExperts,
-                ") not divisible by EP degree ", epDegree);
+                ") not divisible by EP degree ", epDegree,
+                "; every expert shard must hold the same number of "
+                "experts — pick an epDegree dividing ",
+                hp.moe.numExperts);
     } else {
         fatalIf(epDegree != 1,
                 hp.name, ": epDegree > 1 requires an MoE model");
     }
+}
+
+namespace {
+
+int
+planInt(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t consumed = 0;
+        const int parsed = std::stoi(value, &consumed);
+        fatalIf(consumed != value.size() || parsed < 1,
+                "--parallel: '", key, "' needs a positive integer, "
+                "got '", value, "'");
+        return parsed;
+    } catch (const std::exception &) {
+        fatal("--parallel: '", key, "' needs a positive integer, "
+              "got '", value, "'");
+    }
+}
+
+bool
+planBool(const std::string &key, const std::string &value)
+{
+    if (value == "1" || value == "true")
+        return true;
+    if (value == "0" || value == "false")
+        return false;
+    fatal("--parallel: '", key, "' needs 0/1, got '", value, "'");
+}
+
+} // namespace
+
+ParallelPlan
+ParallelPlan::parse(const std::string &spec)
+{
+    ParallelPlan plan;
+    std::istringstream in(spec);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        fatalIf(eq == std::string::npos,
+                "--parallel: expected key=value, got '", item, "'");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "tp") {
+            plan.tpDegree = planInt(key, value);
+        } else if (key == "pp") {
+            plan.ppDegree = planInt(key, value);
+        } else if (key == "micro") {
+            plan.microBatches = planInt(key, value);
+        } else if (key == "dp") {
+            plan.dpDegree = planInt(key, value);
+        } else if (key == "zero") {
+            std::size_t consumed = 0;
+            int stage = -1;
+            try {
+                stage = std::stoi(value, &consumed);
+            } catch (const std::exception &) {
+            }
+            fatalIf(consumed != value.size() || stage < 0 ||
+                        stage > 3,
+                    "--parallel: 'zero' needs a stage in [0, 3], "
+                    "got '", value, "'");
+            plan.zeroStage = stage;
+        } else if (key == "ep") {
+            plan.epDegree = planInt(key, value);
+        } else if (key == "sp") {
+            plan.sequenceParallel = planBool(key, value);
+        } else if (key == "overlap") {
+            plan.overlapDpComm = planBool(key, value);
+        } else {
+            fatal("--parallel: unknown key '", key,
+                  "' (accepted: tp, pp, micro, dp, zero, ep, sp, "
+                  "overlap)");
+        }
+    }
+    // Pipelining without an explicit micro-batch count defaults to
+    // one micro-batch per stage (the smallest schedule that keeps
+    // every stage busy once).
+    if (plan.ppDegree > 1 && plan.microBatches == 1 &&
+        spec.find("micro=") == std::string::npos) {
+        plan.microBatches = plan.ppDegree;
+    }
+    return plan;
+}
+
+std::string
+ParallelPlan::summary() const
+{
+    std::ostringstream out;
+    out << "tp=" << tpDegree << ",pp=" << ppDegree
+        << ",micro=" << microBatches << ",dp=" << dpDegree
+        << ",zero=" << zeroStage << ",ep=" << epDegree
+        << ",sp=" << (sequenceParallel ? 1 : 0)
+        << ",overlap=" << (overlapDpComm ? 1 : 0);
+    return out.str();
 }
 
 } // namespace twocs::model

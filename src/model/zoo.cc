@@ -77,6 +77,61 @@ extendedZoo()
     return zoo;
 }
 
+namespace {
+
+ParallelZooEntry
+makePlan(const std::string &model, int tp, int pp, int micro, int dp,
+         int zero, int ep)
+{
+    ParallelZooEntry e;
+    e.model = model;
+    e.plan.tpDegree = tp;
+    e.plan.ppDegree = pp;
+    e.plan.microBatches = micro;
+    e.plan.dpDegree = dp;
+    e.plan.zeroStage = zero;
+    e.plan.epDegree = ep;
+    e.plan.validate(zooModel(model).hp);
+    return e;
+}
+
+} // namespace
+
+const std::vector<ParallelZooEntry> &
+parallelZoo()
+{
+    // Degrees follow the published training setups where known
+    // (Megatron-LM, GPT-3, MT-NLG, LLaMA-2) and commonly reported
+    // estimates for the rest; micro-batch counts are chosen to keep
+    // the 1F1B bubble small at each pipeline depth. Every plan
+    // divides its model's layers, heads and FC width exactly —
+    // asserted by validate() at first use.
+    static const std::vector<ParallelZooEntry> zoo = {
+        //       model           tp  pp  micro  dp  zero  ep
+        makePlan("BERT",          1,  1,     1,  8,    0,  1),
+        makePlan("GPT-2",         1,  4,     8, 16,    0,  1),
+        makePlan("Megatron-LM",   8,  2,     4,  8,    0,  1),
+        makePlan("T-NLG",         4,  2,     4, 16,    1,  1),
+        makePlan("GPT-3",         8,  8,    16, 16,    1,  1),
+        makePlan("MT-NLG",        8, 35,    35, 12,    1,  1),
+        makePlan("PaLM",          8,  2,     4, 32,    1,  1),
+        makePlan("LLaMA-2-70B",   8,  4,     8, 32,    1,  1),
+        makePlan("GPT-4-class",   8, 12,    16,  8,    1, 16),
+        makePlan("Frontier-2025", 8,  1,     1, 64,    3,  1),
+    };
+    return zoo;
+}
+
+const ParallelZooEntry &
+parallelZooConfig(const std::string &name)
+{
+    for (const ParallelZooEntry &e : parallelZoo()) {
+        if (e.model == name)
+            return e;
+    }
+    fatal("unknown 3D zoo config '", name, "'");
+}
+
 const ZooEntry &
 zooModel(const std::string &name)
 {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "model/hyperparams.hh"
+#include "model/parallel.hh"
 
 namespace twocs::model {
 
@@ -44,6 +45,29 @@ const std::vector<ZooEntry> &extendedZoo();
 
 /** Look up a zoo model by name; fatal() when unknown. */
 const ZooEntry &zooModel(const std::string &name);
+
+/**
+ * One zoo model paired with a published-style 3D parallel plan: the
+ * ground-truth table behind the 3D-parallelism studies. Every plan
+ * validates against its model's hyperparameters at construction.
+ */
+struct ParallelZooEntry
+{
+    /** Name of the extendedZoo() model the plan applies to. */
+    std::string model;
+    ParallelPlan plan;
+};
+
+/**
+ * Table-2-style zoo of full 3D training setups, publication order:
+ * DP-only BERT through ZeRO-3 frontier models, with TP/PP/ZeRO/EP
+ * degrees following the published (or, for estimates, commonly
+ * reported) training configurations.
+ */
+const std::vector<ParallelZooEntry> &parallelZoo();
+
+/** Look up a 3D zoo config by model name; fatal() when unknown. */
+const ParallelZooEntry &parallelZooConfig(const std::string &name);
 
 /** BERT-Large: the paper's baseline model for operator profiling. */
 Hyperparams bertLarge();

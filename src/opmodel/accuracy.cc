@@ -105,7 +105,7 @@ AccuracyEvaluator::allReduceVsBytes(const std::vector<Bytes> &sizes,
         p.sweepValue = s;
         p.projected = base.duration * s / base.predictor;
         p.measured =
-            profiler_.collectiveModel().allReduce(s, participants).total;
+            profiler_.collectiveModel().cost({ comm::CollectiveKind::AllReduce, s, participants }).total;
         p.relError = relativeError(p.projected, p.measured);
         errors.add(p.projected, p.measured);
         series.points.push_back(p);

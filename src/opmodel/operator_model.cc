@@ -24,7 +24,7 @@ OperatorScalingModel::calibrate(const profiling::IterationProfiler &profiler,
     OperatorScalingModel m;
 
     // Compute operators: profile one representative layer.
-    const model::ParallelConfig &par = baseline.parallel();
+    const model::ParallelPlan &par = baseline.parallel();
     std::vector<model::TrainingOp> ops = baseline.forwardLayerOps(0);
     std::vector<model::TrainingOp> bwd = baseline.backwardLayerOps(0);
     ops.insert(ops.end(), bwd.begin(), bwd.end());
@@ -48,13 +48,11 @@ OperatorScalingModel::calibrate(const profiling::IterationProfiler &profiler,
     fatalIf(ar_calib_bytes <= 0.0, "AR calibration size must be > 0");
     fatalIf(ar_calib_participants < 2,
             "AR calibration needs >= 2 participants");
-    const comm::CollectiveCost ar = profiler.collectiveModel().allReduce(
-        ar_calib_bytes, ar_calib_participants);
+    const comm::CollectiveCost ar = profiler.collectiveModel().cost({ comm::CollectiveKind::AllReduce, ar_calib_bytes, ar_calib_participants });
     m.allReduceBaseline_ = { ar.total, ar_calib_bytes };
 
     const comm::CollectiveCost a2a =
-        profiler.collectiveModel().allToAll(ar_calib_bytes,
-                                            ar_calib_participants);
+        profiler.collectiveModel().cost({ comm::CollectiveKind::AllToAll, ar_calib_bytes, ar_calib_participants });
     m.allToAllBaseline_ = { a2a.total, ar_calib_bytes };
 
     return m;
@@ -111,10 +109,10 @@ OperatorScalingModel::calibrateFitted(
         sizes.push_back(s);
         ar_times.push_back(
             profiler.collectiveModel()
-                .allReduce(s, ar_calib_participants)
+                .cost({ comm::CollectiveKind::AllReduce, s, ar_calib_participants })
                 .total);
         a2a_times.push_back(profiler.collectiveModel()
-                                .allToAll(s, ar_calib_participants)
+                                .cost({ comm::CollectiveKind::AllToAll, s, ar_calib_participants })
                                 .total);
     }
     m.allReduceBaseline_ = { fitProportional(sizes, ar_times).slope,
@@ -185,9 +183,14 @@ OperatorScalingModel::projectIteration(
           case model::OpRole::TpAllReduceFwd:
           case model::OpRole::TpAllReduceBwd:
           case model::OpRole::EpAllToAll:
+          case model::OpRole::PpSendFwd:
+          case model::OpRole::PpSendBwd:
+          case model::OpRole::ZeroParamAllGather:
             pb.serializedComm += t;
             break;
           case model::OpRole::DpAllReduce:
+          case model::OpRole::DpReduceScatter:
+          case model::OpRole::DpAllGather:
             pb.dpComm += t;
             break;
         }

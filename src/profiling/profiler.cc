@@ -10,7 +10,57 @@ ProfileRecord::isComm() const
     return role == model::OpRole::TpAllReduceFwd ||
            role == model::OpRole::TpAllReduceBwd ||
            role == model::OpRole::DpAllReduce ||
-           role == model::OpRole::EpAllToAll;
+           role == model::OpRole::DpReduceScatter ||
+           role == model::OpRole::DpAllGather ||
+           role == model::OpRole::ZeroParamAllGather ||
+           role == model::OpRole::EpAllToAll ||
+           role == model::OpRole::PpSendFwd ||
+           role == model::OpRole::PpSendBwd;
+}
+
+comm::CollectiveDesc
+collectiveDescFor(const model::TrainingOp &op,
+                  const model::ParallelPlan &par)
+{
+    panicIf(!op.isComm(), "collectiveDescFor() on a compute op");
+
+    comm::CollectiveDesc desc;
+    desc.bytes = op.commBytes;
+    switch (op.role) {
+      case model::OpRole::TpAllReduceFwd:
+      case model::OpRole::TpAllReduceBwd:
+        desc.kind = comm::CollectiveKind::AllReduce;
+        desc.participants = par.tpDegree;
+        break;
+      case model::OpRole::DpAllReduce:
+        desc.kind = comm::CollectiveKind::AllReduce;
+        desc.participants = par.dpDegree;
+        break;
+      case model::OpRole::DpReduceScatter:
+        desc.kind = comm::CollectiveKind::ReduceScatter;
+        desc.participants = par.dpDegree;
+        break;
+      case model::OpRole::DpAllGather:
+      case model::OpRole::ZeroParamAllGather:
+        desc.kind = comm::CollectiveKind::AllGather;
+        desc.participants = par.dpDegree;
+        break;
+      case model::OpRole::EpAllToAll:
+        desc.kind = comm::CollectiveKind::AllToAll;
+        desc.participants = par.epDegree;
+        break;
+      case model::OpRole::PpSendFwd:
+      case model::OpRole::PpSendBwd:
+        desc.kind = comm::CollectiveKind::PointToPoint;
+        desc.participants = 2;
+        break;
+      default:
+        panic("comm op '", op.kernel.label, "' has no collective");
+    }
+    panicIf(desc.participants < 2,
+            "comm op '", op.kernel.label,
+            "' with fewer than two participants");
+    return desc;
 }
 
 void
@@ -50,17 +100,23 @@ Profile::computeTime() const
 Seconds
 Profile::serializedCommTime() const
 {
-    // TP all-reduces and MoE all-to-alls both sit on the critical
-    // path (Sections 2.3.3 and 6.1.1).
+    // TP all-reduces, MoE all-to-alls, pipeline boundary sends and
+    // ZeRO-3 parameter all-gathers all sit on the critical path
+    // (Sections 2.3.3 and 6.1.1, plus the 3D-parallelism lowering).
     return timeByRole(model::OpRole::TpAllReduceFwd) +
            timeByRole(model::OpRole::TpAllReduceBwd) +
-           timeByRole(model::OpRole::EpAllToAll);
+           timeByRole(model::OpRole::EpAllToAll) +
+           timeByRole(model::OpRole::PpSendFwd) +
+           timeByRole(model::OpRole::PpSendBwd) +
+           timeByRole(model::OpRole::ZeroParamAllGather);
 }
 
 Seconds
 Profile::dpCommTime() const
 {
-    return timeByRole(model::OpRole::DpAllReduce);
+    return timeByRole(model::OpRole::DpAllReduce) +
+           timeByRole(model::OpRole::DpReduceScatter) +
+           timeByRole(model::OpRole::DpAllGather);
 }
 
 std::vector<ProfileRecord>
@@ -93,7 +149,7 @@ IterationProfiler::IterationProfiler(hw::KernelCostModel kernel_model,
 
 ProfileRecord
 IterationProfiler::profileOp(const model::TrainingOp &op,
-                             const model::ParallelConfig &par) const
+                             const model::ParallelPlan &par) const
 {
     ProfileRecord r;
     r.label = op.kernel.label;
@@ -102,19 +158,8 @@ IterationProfiler::profileOp(const model::TrainingOp &op,
     r.layerIndex = op.layerIndex;
 
     if (op.isComm()) {
-        int participants = par.tpDegree;
-        if (op.role == model::OpRole::DpAllReduce)
-            participants = par.dpDegree;
-        else if (op.role == model::OpRole::EpAllToAll)
-            participants = par.epDegree;
-        panicIf(participants < 2,
-                "comm op '", op.kernel.label,
-                "' with fewer than two participants");
         const comm::CollectiveCost c =
-            op.role == model::OpRole::EpAllToAll
-                ? collectiveModel_.allToAll(op.commBytes, participants)
-                : collectiveModel_.allReduce(op.commBytes,
-                                             participants);
+            collectiveModel_.cost(collectiveDescFor(op, par));
         r.duration = c.total;
         r.bytes = op.commBytes;
         r.elems = 0;
@@ -131,7 +176,7 @@ IterationProfiler::profileOp(const model::TrainingOp &op,
 
 Profile
 IterationProfiler::profileOps(const std::vector<model::TrainingOp> &ops,
-                              const model::ParallelConfig &par) const
+                              const model::ParallelPlan &par) const
 {
     Profile p;
     for (const model::TrainingOp &op : ops)

@@ -46,6 +46,14 @@ struct ProfileRecord
     bool isComm() const;
 };
 
+/**
+ * Lower one communication op to its collective descriptor: the kind
+ * follows the op's role, the participant count comes from the plan's
+ * matching axis (TP / DP / EP; pipeline sends are pairwise).
+ */
+comm::CollectiveDesc collectiveDescFor(const model::TrainingOp &op,
+                                       const model::ParallelPlan &par);
+
 /** A recorded execution (an iteration, a layer, or an ROI). */
 class Profile
 {
@@ -103,11 +111,11 @@ class IterationProfiler
 
     /** Cost one operator (collective participants from `par`). */
     ProfileRecord profileOp(const model::TrainingOp &op,
-                            const model::ParallelConfig &par) const;
+                            const model::ParallelPlan &par) const;
 
     /** Profile an explicit operator stream. */
     Profile profileOps(const std::vector<model::TrainingOp> &ops,
-                       const model::ParallelConfig &par) const;
+                       const model::ParallelPlan &par) const;
 
     /** Profile a full training iteration of the model. */
     Profile profileIteration(const model::LayerGraphBuilder &graph) const;

@@ -29,7 +29,7 @@ SlackRoi
 RoiExtractor::slackRoi(const model::LayerGraphBuilder &graph,
                        model::SubLayer sub, int layer_index) const
 {
-    const model::ParallelConfig &par = graph.parallel();
+    const model::ParallelPlan &par = graph.parallel();
     fatalIf(par.dpDegree < 2,
             "slack ROI needs a data-parallel setup (dpDegree >= 2)");
 

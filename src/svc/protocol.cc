@@ -13,14 +13,18 @@ namespace twocs::svc {
 
 namespace {
 
-/** One parsed member value of the flat request object. */
+struct Member;
+
+/** One parsed member value of the request object. */
 struct JsonValue
 {
-    enum class Kind { String, Number, Bool, Null } kind;
+    enum class Kind { String, Number, Bool, Null, Object } kind;
     std::string str;  //!< String payload (decoded).
     double num = 0.0; //!< Number payload.
     std::string raw;  //!< Verbatim token (numbers, for id echo).
     bool boolean = false;
+    /** Nested members (the structured `parallel` object only). */
+    std::vector<Member> object;
 };
 
 struct Member
@@ -31,11 +35,12 @@ struct Member
 };
 
 /**
- * A strict parser for exactly the protocol's shape: one flat JSON
- * object of string/number/bool/null members. Nested containers are
- * rejected — a request has no business containing them, and the
- * restriction keeps the error surface small and the diagnostics
- * exact.
+ * A strict parser for exactly the protocol's shape: one JSON object
+ * of string/number/bool/null members, flat except for the single
+ * structured `parallel` object (whose own members must be scalars).
+ * Any other nested container is rejected — a request has no business
+ * containing them, and the restriction keeps the error surface small
+ * and the diagnostics exact.
  */
 class FlatObjectParser
 {
@@ -44,13 +49,23 @@ class FlatObjectParser
 
     std::vector<Member> parse()
     {
-        std::vector<Member> members;
         skipSpace();
-        expect('{', "a request must be one JSON object");
+        std::vector<Member> members =
+            parseObject("a request must be one JSON object",
+                        /*nested=*/false);
+        trailingGarbageCheck();
+        return members;
+    }
+
+  private:
+    std::vector<Member> parseObject(const std::string &open_what,
+                                    bool nested)
+    {
+        std::vector<Member> members;
+        expect('{', open_what);
         skipSpace();
         if (peek() == '}') {
             ++pos_;
-            trailingGarbageCheck();
             return members;
         }
         while (true) {
@@ -67,7 +82,7 @@ class FlatObjectParser
             skipSpace();
             expect(':', "expected ':' after key '" + m.key + "'");
             skipSpace();
-            m.value = parseValue(m.key);
+            m.value = parseValue(m.key, nested);
             members.push_back(std::move(m));
             skipSpace();
             const char c = peek();
@@ -79,11 +94,8 @@ class FlatObjectParser
                             members.back().key + "'");
             break;
         }
-        trailingGarbageCheck();
         return members;
     }
-
-  private:
     char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
 
     void skipSpace()
@@ -107,10 +119,17 @@ class FlatObjectParser
                 ": trailing content after the request object");
     }
 
-    JsonValue parseValue(const std::string &key)
+    JsonValue parseValue(const std::string &key, bool nested)
     {
         JsonValue v;
         const char c = peek();
+        if (c == '{' && !nested && key == "parallel") {
+            v.kind = JsonValue::Kind::Object;
+            v.object = parseObject(
+                "expected an object for field 'parallel'",
+                /*nested=*/true);
+            return v;
+        }
         if (c == '"') {
             v.kind = JsonValue::Kind::String;
             v.str = parseString();
@@ -142,8 +161,8 @@ class FlatObjectParser
                     "' is not a valid JSON number");
         } else if (c == '{' || c == '[') {
             fatal("byte ", pos_, ": field '", key,
-                  "' must be a scalar (nested objects/arrays are not "
-                  "part of the protocol)");
+                  "' must be a scalar (the only structured field is "
+                  "the top-level 'parallel' object)");
         } else {
             fatal("byte ", pos_, ": expected a value for field '", key,
                   "'");
@@ -264,9 +283,9 @@ bool
 knownField(const std::string &key)
 {
     for (const char *name :
-         { "hidden", "seqlen", "batch", "tp", "dp", "model",
-           "precision", "ground_truth", "device", "flop_scale",
-           "bw_scale", "pin" }) {
+         { "hidden", "seqlen", "batch", "tp", "dp", "parallel",
+           "model", "precision", "ground_truth", "device",
+           "flop_scale", "bw_scale", "pin" }) {
         if (key == name)
             return true;
     }
@@ -289,7 +308,7 @@ fieldAppliesTo(const std::string &key, QueryKind kind)
         return any({ Project, Slack });
     if (key == "batch")
         return any({ Project, Slack, Analyze });
-    if (key == "tp")
+    if (key == "tp" || key == "parallel")
         return any({ Project, Analyze, Memory });
     if (key == "dp")
         return any({ Analyze });
@@ -342,6 +361,52 @@ boolField(const Member &m)
     fatalIf(m.value.kind != JsonValue::Kind::Bool, "field '", m.key,
             "' expects true or false");
     return m.value.boolean;
+}
+
+/**
+ * Apply the structured `parallel` object's members onto `plan`
+ * (already seeded with the kind's defaults). Sets `*tp_named` when
+ * the object spells out `tp`, which is what flips memory queries from
+ * minimum-TP mode to footprint-at-TP mode.
+ */
+void
+parallelField(const Member &m, model::ParallelPlan *plan,
+              bool *tp_named)
+{
+    fatalIf(m.value.kind != JsonValue::Kind::Object,
+            "field 'parallel' expects an object, e.g. "
+            "{\"tp\": 8, \"pp\": 4, \"dp\": 2, \"zero\": 1}");
+    for (const Member &sub : m.value.object) {
+        // Re-key diagnostics as 'parallel.tp' etc. so they cannot be
+        // mistaken for the deprecated flat fields.
+        Member named = sub;
+        named.key = "parallel." + sub.key;
+        if (sub.key == "tp") {
+            plan->tpDegree =
+                static_cast<int>(intField(named, 1, 1 << 20));
+            *tp_named = true;
+        } else if (sub.key == "pp")
+            plan->ppDegree =
+                static_cast<int>(intField(named, 1, 1 << 20));
+        else if (sub.key == "micro")
+            plan->microBatches =
+                static_cast<int>(intField(named, 1, 1 << 20));
+        else if (sub.key == "dp")
+            plan->dpDegree =
+                static_cast<int>(intField(named, 1, 1 << 20));
+        else if (sub.key == "zero")
+            plan->zeroStage = static_cast<int>(intField(named, 0, 3));
+        else if (sub.key == "ep")
+            plan->epDegree =
+                static_cast<int>(intField(named, 1, 1 << 20));
+        else if (sub.key == "sp")
+            plan->sequenceParallel = boolField(named);
+        else if (sub.key == "overlap")
+            plan->overlapDpComm = boolField(named);
+        else
+            fatal("unknown field 'parallel.", sub.key,
+                  "' (tp|pp|micro|dp|zero|ep|sp|overlap)");
+    }
 }
 
 } // namespace
@@ -420,6 +485,9 @@ parseQuery(const std::string &line)
         break;
     }
 
+    bool flat_tp = false;
+    bool flat_dp = false;
+    bool plan_tp_named = false;
     for (const Member &m : members) {
         if (m.key == "kind")
             continue;
@@ -449,9 +517,19 @@ parseQuery(const std::string &line)
         } else if (m.key == "tp") {
             q.tpDegree = static_cast<int>(intField(m, 1, 1 << 20));
             q.tpSet = true;
-        } else if (m.key == "dp")
+            flat_tp = true;
+        } else if (m.key == "dp") {
             q.dpDegree = static_cast<int>(intField(m, 1, 1 << 20));
-        else if (m.key == "model")
+            flat_dp = true;
+        } else if (m.key == "parallel") {
+            // Seed with the kind's tp/dp defaults so a plan that
+            // omits an axis means "the default", same as omitting the
+            // flat field did.
+            q.plan.tpDegree = q.tpDegree;
+            q.plan.dpDegree = q.dpDegree;
+            parallelField(m, &q.plan, &plan_tp_named);
+            q.planSet = true;
+        } else if (m.key == "model")
             q.model = stringField(m);
         else if (m.key == "precision")
             q.precision = stringField(m);
@@ -469,6 +547,27 @@ parseQuery(const std::string &line)
             panic("field table out of sync for '", m.key, "'");
     }
 
+    // Normalize the two parallelism spellings into one canonical
+    // form: q.plan always carries the full plan and q.tpDegree /
+    // q.dpDegree always mirror it, so `"tp": 8` and
+    // `"parallel": {"tp": 8}` produce identical queries (and thus
+    // identical cache keys).
+    if (q.planSet) {
+        fatalIf(flat_tp || flat_dp,
+                "the deprecated flat '", flat_tp ? "tp" : "dp",
+                "' field cannot be combined with the structured "
+                "'parallel' object; move it into 'parallel'");
+        q.tpDegree = q.plan.tpDegree;
+        q.dpDegree = q.plan.dpDegree;
+        if (plan_tp_named)
+            q.tpSet = true;
+    } else {
+        q.plan.tpDegree = q.tpDegree;
+        q.plan.dpDegree = q.dpDegree;
+        if (flat_tp || flat_dp)
+            q.usedDeprecatedParallelFields = true;
+    }
+
     if (q.kind != QueryKind::Stats) {
         // Resolve the device against the catalog now so a typo is a
         // parse-time diagnostic and the cache key uses the canonical
@@ -481,12 +580,31 @@ parseQuery(const std::string &line)
     return q;
 }
 
+namespace {
+
+/** The plan axes beyond tp/dp (which the per-kind fields already
+ *  render), for kinds where a plan applies. */
+std::string
+planSuffix(const model::ParallelPlan &plan)
+{
+    std::string s;
+    s += "|pp=" + std::to_string(plan.ppDegree);
+    s += "|mb=" + std::to_string(plan.microBatches);
+    s += "|zero=" + std::to_string(plan.zeroStage);
+    s += "|ep=" + std::to_string(plan.epDegree);
+    s += plan.sequenceParallel ? "|sp=1" : "|sp=0";
+    s += plan.overlapDpComm ? "|ov=1" : "|ov=0";
+    return s;
+}
+
+} // namespace
+
 std::string
 canonicalKey(const Query &query)
 {
     if (query.kind == QueryKind::Stats)
         return "";
-    std::string key = "v1|";
+    std::string key = "v2|";
     key += kindName(query.kind);
     key += "|dev=";
     key += query.device;
@@ -502,6 +620,8 @@ canonicalKey(const Query &query)
         key += "|sl=" + std::to_string(query.seqLen);
         key += "|b=" + std::to_string(query.batch);
         key += "|tp=" + std::to_string(query.tpDegree);
+        key += "|dp=" + std::to_string(query.dpDegree);
+        key += planSuffix(query.plan);
         key += query.groundTruth ? "|gt=1" : "|gt=0";
         break;
       case QueryKind::Slack:
@@ -513,6 +633,7 @@ canonicalKey(const Query &query)
         key += "|model=" + query.model;
         key += "|tp=" + std::to_string(query.tpDegree);
         key += "|dp=" + std::to_string(query.dpDegree);
+        key += planSuffix(query.plan);
         key += "|b=";
         key += query.batchSet ? std::to_string(query.batch) : "zoo";
         key += "|prec=" + query.precision;
@@ -521,6 +642,8 @@ canonicalKey(const Query &query)
         key += "|model=" + query.model;
         key += "|tp=";
         key += query.tpSet ? std::to_string(query.tpDegree) : "min";
+        key += "|dp=" + std::to_string(query.dpDegree);
+        key += planSuffix(query.plan);
         key += "|prec=" + query.precision;
         break;
       case QueryKind::Stats:

@@ -2,10 +2,18 @@
  * @file
  * The JSON-lines request protocol of the projection query service.
  *
- * One request per line, one flat JSON object per request:
+ * One request per line, one JSON object per request:
  *
  *   {"id": 7, "kind": "project", "hidden": 65536, "seqlen": 4096,
- *    "batch": 1, "tp": 256, "flop_scale": 4}
+ *    "batch": 1, "parallel": {"tp": 256, "pp": 4, "zero": 1},
+ *    "flop_scale": 4}
+ *
+ * The object is flat except for the single structured `parallel`
+ * member (proto v3), which carries the full 3D plan: tp, pp, micro,
+ * dp, zero, ep, sp. The flat `tp`/`dp` fields of proto v2 still
+ * parse — they are deprecated aliases for a tp/dp-only plan, counted
+ * in the stats `deprecated_field_requests` counter — but cannot be
+ * combined with a `parallel` object in one request.
  *
  * Query kinds mirror the CLI analyses: `project` (operator-model
  * serialized-comm projection, optionally `"ground_truth": true` for
@@ -33,6 +41,7 @@
 #include <string_view>
 
 #include "hw/device_spec.hh"
+#include "model/parallel.hh"
 
 namespace twocs::svc {
 
@@ -60,6 +69,19 @@ struct Query
     std::int64_t batch = 0;
     int tpDegree = 0;
     int dpDegree = 1;
+    /**
+     * Full 3D plan (proto v3's structured `"parallel": {"tp": 8,
+     * "pp": 4, ...}` object). Always normalized after parsing:
+     * plan.tpDegree/dpDegree mirror tpDegree/dpDegree above whether
+     * the request used the structured object or the deprecated flat
+     * `tp`/`dp` fields.
+     */
+    model::ParallelPlan plan;
+    /** Whether the request carried the structured `parallel` object. */
+    bool planSet = false;
+    /** Whether the request used the deprecated flat `tp`/`dp` fields
+     *  (surfaces as `deprecated_field_requests` in v3 stats). */
+    bool usedDeprecatedParallelFields = false;
     /** Whether the request named `tp` (memory: footprint-at-TP mode
      *  vs minimum-TP mode). */
     bool tpSet = false;

@@ -109,6 +109,20 @@ field(const char *name, const std::string &v)
     return std::string(",\"") + name + "\":" + json::quote(v);
 }
 
+/**
+ * Whether the plan engages any axis beyond the plain tp/dp the flat
+ * v2 fields could already express. Only such plans get a `parallel`
+ * summary field in the response, so v1/v2 request streams keep their
+ * exact historical response bytes.
+ */
+bool
+planBeyondTpDp(const model::ParallelPlan &plan)
+{
+    return plan.ppDegree > 1 || plan.microBatches > 1 ||
+           plan.zeroStage > 0 || plan.epDegree > 1 ||
+           plan.sequenceParallel || !plan.overlapDpComm;
+}
+
 } // namespace
 
 /** One system's resident state: config + calibrated analyses. */
@@ -133,8 +147,8 @@ QueryService::QueryService(ServiceOptions options)
             options_.jobs);
     fatalIf(options_.batchCapacity == 0,
             "serve: --batch expects a positive batch size");
-    fatalIf(options_.protoVersion != 1 && options_.protoVersion != 2,
-            "serve: --proto must be 1 or 2, got ",
+    fatalIf(options_.protoVersion < 1 || options_.protoVersion > 3,
+            "serve: --proto must be 1, 2 or 3, got ",
             options_.protoVersion);
 }
 
@@ -190,15 +204,16 @@ QueryService::evaluate(const Query &query, const SystemEntry &entry)
             query.groundTruth
                 ? entry.amdahl.evaluateDirect(query.hidden,
                                               query.seqLen,
-                                              query.batch,
-                                              query.tpDegree)
+                                              query.batch, query.plan)
                 : entry.amdahl.evaluate(query.hidden, query.seqLen,
-                                        query.batch, query.tpDegree);
+                                        query.batch, query.plan);
         std::string out = "\"status\":\"ok\",\"kind\":\"project\"";
         out += field("hidden", query.hidden);
         out += field("seqlen", query.seqLen);
         out += field("batch", query.batch);
         out += field("tp", std::int64_t{ query.tpDegree });
+        if (planBeyondTpDp(query.plan))
+            out += field("parallel", query.plan.summary());
         out += field("ground_truth", query.groundTruth);
         out += field("compute_seconds", p.computeTime);
         out += field("serialized_comm_seconds", p.serializedCommTime);
@@ -225,17 +240,17 @@ QueryService::evaluate(const Query &query, const SystemEntry &entry)
         hp = hp.withCompatibleHeads(query.tpDegree);
         if (query.batchSet)
             hp = hp.withBatchSize(query.batch);
-        model::ParallelConfig par;
-        par.tpDegree = query.tpDegree;
-        par.dpDegree = query.dpDegree;
+        query.plan.validate(hp);
         const model::LayerGraphBuilder graph(
-            hp, par, precisionFromName(query.precision));
+            hp, query.plan, precisionFromName(query.precision));
         const profiling::Profile p =
             entry.system.profiler().profileIteration(graph);
         std::string out = "\"status\":\"ok\",\"kind\":\"analyze\"";
         out += field("model", query.model);
         out += field("tp", std::int64_t{ query.tpDegree });
         out += field("dp", std::int64_t{ query.dpDegree });
+        if (planBeyondTpDp(query.plan))
+            out += field("parallel", query.plan.summary());
         out += field("fwd_compute_seconds",
                      p.timeByRole(model::OpRole::FwdCompute));
         out += field("bwd_compute_seconds",
@@ -256,12 +271,14 @@ QueryService::evaluate(const Query &query, const SystemEntry &entry)
         out += field("model", query.model);
         out += field("device", entry.system.device.name);
         if (query.tpSet) {
-            model::ParallelConfig par;
-            par.tpDegree = query.tpDegree;
-            const model::MemoryModel mm(
-                hp.withCompatibleHeads(query.tpDegree), par, prec);
+            const model::Hyperparams mhp =
+                hp.withCompatibleHeads(query.tpDegree);
+            query.plan.validate(mhp);
+            const model::MemoryModel mm(mhp, query.plan, prec);
             const model::MemoryBreakdown b = mm.perDeviceFootprint();
             out += field("tp", std::int64_t{ query.tpDegree });
+            if (planBeyondTpDp(query.plan))
+                out += field("parallel", query.plan.summary());
             out += field("weights_bytes", b.weights);
             out += field("gradients_bytes", b.gradients);
             out += field("optimizer_bytes", b.optimizerState);
@@ -287,7 +304,8 @@ QueryService::statsPayload() const
 {
     std::string out = "\"status\":\"ok\",\"kind\":\"stats\"";
     if (options_.protoVersion >= 2)
-        out += field("proto", std::int64_t{ 2 });
+        out += field("proto",
+                     std::int64_t{ options_.protoVersion });
     out += field("requests",
                  static_cast<std::int64_t>(metrics_.requests()));
     out += field("hits", static_cast<std::int64_t>(metrics_.hits()));
@@ -295,6 +313,10 @@ QueryService::statsPayload() const
                  static_cast<std::int64_t>(metrics_.misses()));
     out += field("failures",
                  static_cast<std::int64_t>(metrics_.failures()));
+    if (options_.protoVersion >= 3)
+        out += field("deprecated_field_requests",
+                     static_cast<std::int64_t>(
+                         metrics_.deprecatedFields()));
     out += field("cache_entries",
                  static_cast<std::int64_t>(cache_.size()));
 #ifndef TWOCS_OBS_DISABLE
@@ -444,6 +466,8 @@ QueryService::processBatch(NumberedLines &&lines, std::ostream &out)
         TWOCS_OBS_SPAN(obs::Category::Svc, "svc.batch.commit");
         for (BatchEntry &e : entries) {
             metrics_.recordRequest();
+            if (e.query.usedDeprecatedParallelFields)
+                metrics_.recordDeprecatedField();
             switch (e.outcome) {
               case Outcome::ParseError:
                 metrics_.recordFailure();

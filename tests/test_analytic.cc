@@ -11,12 +11,12 @@ namespace {
 
 using model::bertLarge;
 using model::modelZoo;
-using model::ParallelConfig;
+using model::ParallelPlan;
 
-ParallelConfig
+ParallelPlan
 par(int tp)
 {
-    ParallelConfig p;
+    ParallelPlan p;
     p.tpDegree = tp;
     return p;
 }

@@ -138,12 +138,14 @@ TEST(CliRegistry, GoldenHelpPageForSweep)
         "  regenerate a figure's data grid\n"
         "\n"
         "flags:\n"
-        "  --figure INT            figure to regenerate: 10, 11 or 14"
-        " (default: 10)\n"
+        "  --figure INT            figure to regenerate: 2, 10, 11,"
+        " 12 or 14 (default: 10)\n"
         "  --csv BOOL              emit CSV instead of a table"
         " (default: 0)\n"
         "  --passes STR            graph pass pipeline (figure 14"
         " only)\n"
+        "  --parallel STR          3D plan, e.g."
+        " tp=8,pp=4,dp=2,zero=1,ep=8\n"
         "  --device STR            hardware catalog device name"
         " (default: MI210)\n"
         "  --flop-scale NUM        scale device FLOP rate (future hw)"
@@ -152,6 +154,8 @@ TEST(CliRegistry, GoldenHelpPageForSweep)
         " (default: 1)\n"
         "  --pin BOOL              enable in-network (switch)"
         " reduction (default: 0)\n"
+        "  --topology STR          fabric: single or"
+        " multi:<perNode>[:slowdown] (default: single)\n"
         "  --jobs INT              worker threads (0 = all cores)"
         " (default: 0)\n"
         "  --report STR            write the RunReport JSON here\n"

@@ -18,7 +18,7 @@ constexpr Bytes MiB = 1024.0 * 1024.0;
 TEST(AllReduce, RingWireTraffic)
 {
     const CollectiveModel m = nodeModel();
-    const CollectiveCost c = m.allReduce(64 * MiB, 4);
+    const CollectiveCost c = m.cost({ comm::CollectiveKind::AllReduce, 64 * MiB, 4 });
     // Ring all-reduce moves 2*S*(P-1)/P bytes per device.
     EXPECT_DOUBLE_EQ(c.bytesOnWire, 2.0 * 64 * MiB * 3.0 / 4.0);
     EXPECT_EQ(c.steps, 6);
@@ -49,7 +49,7 @@ TEST(AllReduce, TimeMonotoneInPayload)
     const CollectiveModel m = nodeModel(64);
     Seconds prev = 0.0;
     for (Bytes s = MiB; s <= 1024 * MiB; s *= 4) {
-        const Seconds t = m.allReduce(s, 16).total;
+        const Seconds t = m.cost({ comm::CollectiveKind::AllReduce, s, 16 }).total;
         EXPECT_GT(t, prev);
         prev = t;
     }
@@ -60,7 +60,7 @@ TEST(AllReduce, TimeMonotoneInParticipants)
     const CollectiveModel m = nodeModel(256);
     Seconds prev = 0.0;
     for (int p = 2; p <= 256; p *= 2) {
-        const Seconds t = m.allReduce(64 * MiB, p).total;
+        const Seconds t = m.cost({ comm::CollectiveKind::AllReduce, 64 * MiB, p }).total;
         EXPECT_GT(t, prev);
         prev = t;
     }
@@ -69,14 +69,14 @@ TEST(AllReduce, TimeMonotoneInParticipants)
 TEST(AllReduce, RejectsBadArguments)
 {
     const CollectiveModel m = nodeModel();
-    EXPECT_THROW(m.allReduce(0.0, 4), FatalError);
-    EXPECT_THROW(m.allReduce(MiB, 1), FatalError);
+    EXPECT_THROW(m.cost({ comm::CollectiveKind::AllReduce, 0.0, 4 }), FatalError);
+    EXPECT_THROW(m.cost({ comm::CollectiveKind::AllReduce, MiB, 1 }), FatalError);
 }
 
 TEST(AllGather, WireTraffic)
 {
     const CollectiveModel m = nodeModel();
-    const CollectiveCost c = m.allGather(16 * MiB, 4);
+    const CollectiveCost c = m.cost({ comm::CollectiveKind::AllGather, 16 * MiB, 4 });
     EXPECT_DOUBLE_EQ(c.bytesOnWire, 16 * MiB * 3.0);
     EXPECT_EQ(c.steps, 3);
 }
@@ -84,7 +84,7 @@ TEST(AllGather, WireTraffic)
 TEST(ReduceScatter, WireTraffic)
 {
     const CollectiveModel m = nodeModel();
-    const CollectiveCost c = m.reduceScatter(64 * MiB, 4);
+    const CollectiveCost c = m.cost({ comm::CollectiveKind::ReduceScatter, 64 * MiB, 4 });
     EXPECT_DOUBLE_EQ(c.bytesOnWire, 64 * MiB * 3.0 / 4.0);
 }
 
@@ -93,9 +93,9 @@ TEST(ReduceScatterPlusAllGather, ComposeToAllReduce)
     // The ring all-reduce is exactly RS(S) + AG(S/P) in traffic.
     const CollectiveModel m = nodeModel();
     const Bytes s = 64 * MiB;
-    const CollectiveCost ar = m.allReduce(s, 4);
-    const CollectiveCost rs = m.reduceScatter(s, 4);
-    const CollectiveCost ag = m.allGather(s / 4, 4);
+    const CollectiveCost ar = m.cost({ comm::CollectiveKind::AllReduce, s, 4 });
+    const CollectiveCost rs = m.cost({ comm::CollectiveKind::ReduceScatter, s, 4 });
+    const CollectiveCost ag = m.cost({ comm::CollectiveKind::AllGather, s / 4, 4 });
     EXPECT_NEAR(ar.bytesOnWire, rs.bytesOnWire + ag.bytesOnWire, 1.0);
     EXPECT_EQ(ar.steps, rs.steps + ag.steps);
 }
@@ -103,7 +103,7 @@ TEST(ReduceScatterPlusAllGather, ComposeToAllReduce)
 TEST(Broadcast, PipelinedCost)
 {
     const CollectiveModel m = nodeModel();
-    const CollectiveCost c = m.broadcast(32 * MiB, 4);
+    const CollectiveCost c = m.cost({ comm::CollectiveKind::Broadcast, 32 * MiB, 4 });
     EXPECT_DOUBLE_EQ(c.bytesOnWire, 32 * MiB);
     EXPECT_EQ(c.steps, 3);
 }
@@ -111,7 +111,7 @@ TEST(Broadcast, PipelinedCost)
 TEST(AllToAll, WireTraffic)
 {
     const CollectiveModel m = nodeModel(8);
-    const CollectiveCost c = m.allToAll(64 * MiB, 8);
+    const CollectiveCost c = m.cost({ comm::CollectiveKind::AllToAll, 64 * MiB, 8 });
     EXPECT_DOUBLE_EQ(c.bytesOnWire, 64 * MiB * 7.0 / 8.0);
 }
 
@@ -122,9 +122,9 @@ TEST(Dispatch, CostMatchesDirectCalls)
     d.kind = CollectiveKind::AllReduce;
     d.bytes = 8 * MiB;
     d.participants = 4;
-    EXPECT_DOUBLE_EQ(m.cost(d).total, m.allReduce(8 * MiB, 4).total);
+    EXPECT_DOUBLE_EQ(m.cost(d).total, m.cost({ comm::CollectiveKind::AllReduce, 8 * MiB, 4 }).total);
     d.kind = CollectiveKind::AllToAll;
-    EXPECT_DOUBLE_EQ(m.cost(d).total, m.allToAll(8 * MiB, 4).total);
+    EXPECT_DOUBLE_EQ(m.cost(d).total, m.cost({ comm::CollectiveKind::AllToAll, 8 * MiB, 4 }).total);
 }
 
 TEST(InNetworkReduction, HalvesAllReduceTraffic)
@@ -132,9 +132,9 @@ TEST(InNetworkReduction, HalvesAllReduceTraffic)
     // Section 5, Technique 2: PIN gives a ~2x effective bandwidth
     // benefit over ring all-reduce.
     CollectiveModel m = nodeModel();
-    const CollectiveCost ring = m.allReduce(256 * MiB, 4);
+    const CollectiveCost ring = m.cost({ comm::CollectiveKind::AllReduce, 256 * MiB, 4 });
     m.setInNetworkReduction(true);
-    const CollectiveCost pin = m.allReduce(256 * MiB, 4);
+    const CollectiveCost pin = m.cost({ comm::CollectiveKind::AllReduce, 256 * MiB, 4 });
     EXPECT_NEAR(pin.bytesOnWire, ring.bytesOnWire / 1.5, 1.0);
     EXPECT_LT(pin.total, ring.total);
 }
@@ -148,8 +148,8 @@ TEST(Hierarchical, UsedWhenSpanningNodes)
         hw::Topology::multiNode(hw::mi210(), 64, 4, inter));
     const CollectiveModel single = nodeModel(64);
 
-    const Seconds t_multi = multi.allReduce(256 * MiB, 16).total;
-    const Seconds t_single = single.allReduce(256 * MiB, 16).total;
+    const Seconds t_multi = multi.cost({ comm::CollectiveKind::AllReduce, 256 * MiB, 16 }).total;
+    const Seconds t_single = single.cost({ comm::CollectiveKind::AllReduce, 256 * MiB, 16 }).total;
     EXPECT_GT(t_multi, t_single);
 }
 
@@ -162,21 +162,21 @@ TEST(Hierarchical, IntraNodeCollectivesUnaffected)
         hw::Topology::multiNode(hw::mi210(), 64, 4, inter));
     const CollectiveModel single = nodeModel(4);
     // A 4-wide all-reduce stays inside one node.
-    EXPECT_DOUBLE_EQ(multi.allReduce(64 * MiB, 4).total,
-                     single.allReduce(64 * MiB, 4).total);
+    EXPECT_DOUBLE_EQ(multi.cost({ comm::CollectiveKind::AllReduce, 64 * MiB, 4 }).total,
+                     single.cost({ comm::CollectiveKind::AllReduce, 64 * MiB, 4 }).total);
 }
 
 TEST(Hierarchical, ExplicitCallValidation)
 {
     const CollectiveModel single = nodeModel(8);
-    EXPECT_THROW(single.hierarchicalAllReduce(MiB), FatalError);
+    EXPECT_THROW(single.cost({ comm::CollectiveKind::AllReduce, MiB, 0, comm::CollectiveAlgorithm::Hierarchical }), FatalError);
 
     hw::LinkSpec inter;
     inter.bandwidth = 1e10;
     const CollectiveModel multi(
         hw::Topology::multiNode(hw::mi210(), 16, 4, inter));
-    EXPECT_THROW(multi.hierarchicalAllReduce(MiB, 6), FatalError);
-    EXPECT_NO_THROW(multi.hierarchicalAllReduce(MiB, 8));
+    EXPECT_THROW(multi.cost({ comm::CollectiveKind::AllReduce, MiB, 6, comm::CollectiveAlgorithm::Hierarchical }), FatalError);
+    EXPECT_NO_THROW(multi.cost({ comm::CollectiveKind::AllReduce, MiB, 8, comm::CollectiveAlgorithm::Hierarchical }));
 }
 
 TEST(Hierarchical, PhaseAccountingIsConsistent)
@@ -186,7 +186,7 @@ TEST(Hierarchical, PhaseAccountingIsConsistent)
     inter.latency = 12e-6;
     const CollectiveModel multi(
         hw::Topology::multiNode(hw::mi210(), 32, 4, inter));
-    const CollectiveCost c = multi.hierarchicalAllReduce(256 * MiB, 32);
+    const CollectiveCost c = multi.cost({ comm::CollectiveKind::AllReduce, 256 * MiB, 32, comm::CollectiveAlgorithm::Hierarchical });
     // Phases: intra RS (3 steps) + inter AR (2*(8-1)=14) + intra AG
     // (3 steps).
     EXPECT_EQ(c.steps, 3 + 14 + 3);
@@ -217,8 +217,8 @@ TEST_P(SubLinearGrowth, DoublingPayloadAtMostDoublesTime)
 {
     const CollectiveModel m = nodeModel();
     const Bytes s = GetParam();
-    const Seconds t1 = m.allReduce(s, 4).total;
-    const Seconds t2 = m.allReduce(2.0 * s, 4).total;
+    const Seconds t1 = m.cost({ comm::CollectiveKind::AllReduce, s, 4 }).total;
+    const Seconds t2 = m.cost({ comm::CollectiveKind::AllReduce, 2.0 * s, 4 }).total;
     EXPECT_GE(t2, t1);
     EXPECT_LE(t2, 2.0 * t1 + 1e-12);
 }

@@ -25,7 +25,7 @@ paperSystem()
 inline model::LayerGraphBuilder
 bertGraph(int tp = 1, int dp = 1)
 {
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = tp;
     par.dpDegree = dp;
     return model::LayerGraphBuilder(model::bertLarge(), par);

@@ -43,9 +43,9 @@ TEST(SystemConfig, InterNodeModelIsSlower)
 {
     SystemConfig sys;
     const Seconds intra =
-        sys.collectiveModel().allReduce(256e6, 8).total;
+        sys.collectiveModel().cost({ comm::CollectiveKind::AllReduce, 256e6, 8 }).total;
     const Seconds inter =
-        sys.interNodeCollectiveModel(4, 8.0).allReduce(256e6, 8).total;
+        sys.interNodeCollectiveModel(4, 8.0).cost({ comm::CollectiveKind::AllReduce, 256e6, 8 }).total;
     EXPECT_GT(inter, 2.0 * intra);
     EXPECT_THROW(sys.interNodeCollectiveModel(4, 0.5), FatalError);
 }

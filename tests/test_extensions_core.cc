@@ -150,7 +150,7 @@ TEST(FittedOpModel, MatchesOrBeatsSinglePointOnHSweep)
           model::bertLarge().withHidden(8192) });
 
     // Evaluate both on a withheld H point.
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     const model::LayerGraphBuilder target(
         model::bertLarge().withHidden(16384), par);
     ErrorAccumulator err_single, err_fitted;
@@ -177,7 +177,7 @@ TEST(FittedOpModel, ExactOnPureLinearOperator)
     ar.kernel.label = "tp_allreduce_fwd";
     ar.commBytes = 128.0 * 1024 * 1024;
     const Seconds truth =
-        profiler.collectiveModel().allReduce(ar.commBytes, 4).total;
+        profiler.collectiveModel().cost({ comm::CollectiveKind::AllReduce, ar.commBytes, 4 }).total;
     EXPECT_NEAR(fitted.projectOp(ar) / truth, 1.0, 0.05);
 }
 

@@ -23,7 +23,7 @@ namespace {
 model::LayerGraphBuilder
 moeGraph(int experts, int ep, int tp = 1, int dp = 1)
 {
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = tp;
     par.dpDegree = dp;
     par.epDegree = ep;
@@ -52,7 +52,7 @@ TEST(Moe, ConfigValidation)
 
 TEST(Moe, EpDegreeRequiresMoeModel)
 {
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.epDegree = 4;
     EXPECT_THROW(model::LayerGraphBuilder(model::bertLarge(), par),
                  FatalError);
@@ -143,7 +143,7 @@ TEST(Moe, MoeRaisesCommShareVsDense)
     const auto profiler = test::paperSystem().profiler();
     const auto dense_profile =
         profiler.profileLayer(test::bertGraph(4, 1), 0);
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = 4;
     par.epDegree = 8;
     const model::LayerGraphBuilder moe(

@@ -29,8 +29,7 @@ TEST(Golden, BertLayerProfileOnMi210)
 
 TEST(Golden, AllReduce64MiBOn4Gpus)
 {
-    const auto c = test::paperSystem().collectiveModel().allReduce(
-        64.0 * 1024 * 1024, 4);
+    const auto c = test::paperSystem().collectiveModel().cost({ comm::CollectiveKind::AllReduce, 64.0 * 1024 * 1024, 4 });
     EXPECT_NEAR(c.total, 7.7024e-4, kTol * 7.7024e-4);
 }
 

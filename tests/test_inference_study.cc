@@ -23,7 +23,7 @@ class InferenceFixture : public ::testing::Test
 
 TEST_F(InferenceFixture, DecodeStepOpsShape)
 {
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = 8;
     const model::LayerGraphBuilder g(
         model::bertLarge().withCompatibleHeads(8), par);

@@ -13,7 +13,7 @@ namespace {
 LayerGraphBuilder
 graph(int tp, int dp, bool optimizer = true, bool fused = true)
 {
-    ParallelConfig par;
+    ParallelPlan par;
     par.tpDegree = tp;
     par.dpDegree = dp;
     return LayerGraphBuilder(bertLarge().withCompatibleHeads(tp), par,
@@ -198,7 +198,7 @@ TEST(LayerGraph, GemmShapesRespectSlicing)
 
 TEST(LayerGraph, ParallelValidation)
 {
-    ParallelConfig par;
+    ParallelPlan par;
     par.tpDegree = 3; // 1024 % 3 != 0
     EXPECT_THROW(LayerGraphBuilder(bertLarge(), par), FatalError);
     par.tpDegree = 0;
@@ -226,7 +226,7 @@ class ScalingProperty : public ::testing::TestWithParam<int>
 TEST_P(ScalingProperty, FlopsLinearInBatch)
 {
     const int b = GetParam();
-    ParallelConfig par;
+    ParallelPlan par;
     par.tpDegree = 4;
     const LayerGraphBuilder g1(bertLarge().withBatchSize(1), par);
     const LayerGraphBuilder gb(bertLarge().withBatchSize(b), par);

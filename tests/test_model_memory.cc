@@ -11,7 +11,7 @@ namespace {
 MemoryModel
 mm(const Hyperparams &hp, int tp, int dp = 1, MemoryOptions opts = {})
 {
-    ParallelConfig par;
+    ParallelPlan par;
     par.tpDegree = tp;
     par.dpDegree = dp;
     return MemoryModel(hp.withCompatibleHeads(tp), par,

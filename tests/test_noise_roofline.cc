@@ -178,7 +178,7 @@ TEST(Roofline, LargeTransformerLayerIsMostlyComputeBound)
     // The Gshard-style observation the paper leans on (Section
     // 4.2.3): key Transformer operations of large models run compute
     // bound at high utilization.
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = 8;
     const model::LayerGraphBuilder g(
         model::bertLarge().withHidden(12288).withSequenceLength(2048),

@@ -377,9 +377,7 @@ TEST(ObsDeterminism, OneTraceCoversExecSvcSimAndComm)
     svc::QueryService service;
     service.handle(
         "{\"kind\": \"project\", \"hidden\": 4096, \"tp\": 8}");
-    comm::simulateRingAllReduce(
-        hw::Topology::singleNode(hw::mi210(), 4), 1e6,
-        std::vector<Seconds>(4, 0.0));
+    comm::simulateRingCollective(hw::Topology::singleNode(hw::mi210(), 4), 1e6, std::vector<Seconds>(4, 0.0));
     // The exec layer's own span ("exec.parallel_for"): neither the
     // pool workers nor the scheduler emit per-task spans anymore,
     // so cover the category with an explicit parallel loop.

@@ -56,7 +56,7 @@ TEST(OperatorModel, GemmProjectionScalesLinearlyWithPredictor)
     // double exactly (the model is linear in the predictor).
     const OperatorScalingModel m = calibrated();
     const auto base = twocs::test::bertGraph(1);
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     const model::LayerGraphBuilder doubled(
         model::bertLarge().withSequenceLength(1024), par);
 

@@ -182,9 +182,9 @@ TEST(PaperClaims, Section5_PinDoublesEffectiveBandwidth)
 {
     // "PIN ... provides a 2x effective network bandwidth benefit."
     core::SystemConfig sys;
-    const Seconds ring = sys.collectiveModel().allReduce(1e9, 16).total;
+    const Seconds ring = sys.collectiveModel().cost({ comm::CollectiveKind::AllReduce, 1e9, 16 }).total;
     sys.inNetworkReduction = true;
-    const Seconds pin = sys.collectiveModel().allReduce(1e9, 16).total;
+    const Seconds pin = sys.collectiveModel().cost({ comm::CollectiveKind::AllReduce, 1e9, 16 }).total;
     EXPECT_IN_RANGE(ring / pin, 1.7, 2.2);
 }
 

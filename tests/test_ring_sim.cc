@@ -27,9 +27,9 @@ TEST(RingSim, UniformArrivalMatchesClosedForm)
     const Bytes payload = 1e9;
     const std::vector<Seconds> arrivals(p, 0.0);
     const RingSimResult sim =
-        simulateRingAllReduce(node(p), payload, arrivals);
+        simulateRingCollective(node(p), payload, arrivals);
     const Seconds closed =
-        CollectiveModel(node(p)).allReduce(payload, p).total;
+        CollectiveModel(node(p)).cost({ comm::CollectiveKind::AllReduce, payload, p }).total;
     EXPECT_NEAR(sim.finishTime / closed, 1.0, 0.10);
     EXPECT_NEAR(sim.maxStallTime, 0.0, 1e-9);
 }
@@ -38,7 +38,7 @@ TEST(RingSim, AllDevicesFinishTogetherWhenUniform)
 {
     const std::vector<Seconds> arrivals(6, 1e-3);
     const RingSimResult r =
-        simulateRingAllReduce(node(6), 64e6, arrivals);
+        simulateRingCollective(node(6), 64e6, arrivals);
     for (Seconds f : r.deviceFinish)
         EXPECT_NEAR(f, r.finishTime, 1e-12);
 }
@@ -47,10 +47,10 @@ TEST(RingSim, StragglerDelaysEveryone)
 {
     std::vector<Seconds> arrivals(8, 1e-3);
     const RingSimResult base =
-        simulateRingAllReduce(node(8), 64e6, arrivals);
+        simulateRingCollective(node(8), 64e6, arrivals);
     arrivals[3] = 5e-3; // one straggler
     const RingSimResult slow =
-        simulateRingAllReduce(node(8), 64e6, arrivals);
+        simulateRingCollective(node(8), 64e6, arrivals);
 
     // Everyone's finish moves out by roughly the straggler's delay.
     EXPECT_NEAR(slow.finishTime - base.finishTime, 4e-3, 1e-3);
@@ -63,9 +63,8 @@ TEST(RingSim, CollectiveTimeExcludesArrivalSkew)
 {
     std::vector<Seconds> arrivals = { 0.0, 1e-3, 2e-3, 8e-3 };
     const RingSimResult r =
-        simulateRingAllReduce(node(4), 64e6, arrivals);
-    const RingSimResult uniform = simulateRingAllReduce(
-        node(4), 64e6, std::vector<Seconds>(4, 8e-3));
+        simulateRingCollective(node(4), 64e6, arrivals);
+    const RingSimResult uniform = simulateRingCollective(node(4), 64e6, std::vector<Seconds>(4, 8e-3));
     // Once the last device arrives, the remaining work is at most a
     // full collective (pipelining may have absorbed earlier steps).
     EXPECT_LE(r.collectiveTime, uniform.collectiveTime * 1.001);
@@ -75,32 +74,27 @@ TEST(RingSim, CollectiveTimeExcludesArrivalSkew)
 TEST(RingSim, MoreDevicesMoreSteps)
 {
     const Seconds t4 =
-        simulateRingAllReduce(node(4), 64e6,
-                              std::vector<Seconds>(4, 0.0))
+        simulateRingCollective(node(4), 64e6, std::vector<Seconds>(4, 0.0))
             .finishTime;
     const Seconds t16 =
-        simulateRingAllReduce(node(16), 64e6,
-                              std::vector<Seconds>(16, 0.0))
+        simulateRingCollective(node(16), 64e6, std::vector<Seconds>(16, 0.0))
             .finishTime;
     EXPECT_GT(t16, t4);
 }
 
 TEST(RingSim, Validation)
 {
-    EXPECT_THROW(simulateRingAllReduce(node(4), 64e6, { 0.0 }),
+    EXPECT_THROW(simulateRingCollective(node(4), 64e6, { 0.0 }),
                  FatalError);
-    EXPECT_THROW(simulateRingAllReduce(node(4), 0.0,
-                                       std::vector<Seconds>(4, 0.0)),
+    EXPECT_THROW(simulateRingCollective(node(4), 0.0, std::vector<Seconds>(4, 0.0)),
                  FatalError);
-    EXPECT_THROW(simulateRingAllReduce(node(4), 64e6,
-                                       { 0.0, 0.0, -1.0, 0.0 }),
+    EXPECT_THROW(simulateRingCollective(node(4), 64e6, { 0.0, 0.0, -1.0, 0.0 }),
                  FatalError);
 }
 
 TEST(RingSim, ScheduleIsExportable)
 {
-    const RingSimResult r = simulateRingAllReduce(
-        node(4), 64e6, std::vector<Seconds>(4, 0.0));
+    const RingSimResult r = simulateRingCollective(node(4), 64e6, std::vector<Seconds>(4, 0.0));
     EXPECT_EQ(r.schedule.numResources(), 4u);
     EXPECT_EQ(r.schedule.numTasks(), 4u + 4u * 6u);
 }
@@ -133,10 +127,8 @@ TEST(RingReplay, MatchesRebuildBitForBit)
     // bit for bit (identical recurrence, identical FP order).
     const std::vector<Seconds> skewed = { 0.0, 1e-3, 2e-3, 8e-3,
                                           5e-4, 0.0, 3e-3, 1e-4 };
-    const RingSimResult replayed = simulateRingAllReduce(
-        node(8), 64e6, skewed, {}, RingSimEngine::CompiledReplay);
-    const RingSimResult rebuilt = simulateRingAllReduce(
-        node(8), 64e6, skewed, {}, RingSimEngine::Rebuild);
+    const RingSimResult replayed = simulateRingCollective(node(8), 64e6, skewed, { {}, RingSimEngine::CompiledReplay });
+    const RingSimResult rebuilt = simulateRingCollective(node(8), 64e6, skewed, { {}, RingSimEngine::Rebuild });
     expectIdentical(replayed, rebuilt);
 }
 
@@ -148,12 +140,12 @@ TEST(RingReplay, CachedTemplateReplaysAreIndependent)
     const std::vector<Seconds> a = { 0.0, 2e-3, 0.0, 1e-3 };
     const std::vector<Seconds> b = { 4e-3, 0.0, 5e-4, 0.0 };
     const RingSimResult first =
-        simulateRingAllReduce(node(4), 64e6, a);
+        simulateRingCollective(node(4), 64e6, a);
     const std::size_t vocabulary =
         first.schedule.interner().size();
-    simulateRingAllReduce(node(4), 64e6, b);
+    simulateRingCollective(node(4), 64e6, b);
     const RingSimResult again =
-        simulateRingAllReduce(node(4), 64e6, a);
+        simulateRingCollective(node(4), 64e6, a);
     expectIdentical(first, again);
     EXPECT_EQ(again.schedule.interner().size(), vocabulary);
 }
@@ -161,8 +153,7 @@ TEST(RingReplay, CachedTemplateReplaysAreIndependent)
 TEST(RingReplay, DistinctDeviceCountsGetDistinctTemplates)
 {
     for (int p : { 2, 3, 4, 8 }) {
-        const RingSimResult r = simulateRingAllReduce(
-            node(p), 64e6, std::vector<Seconds>(p, 0.0));
+        const RingSimResult r = simulateRingCollective(node(p), 64e6, std::vector<Seconds>(p, 0.0));
         EXPECT_EQ(r.schedule.numResources(),
                   static_cast<std::size_t>(p));
         EXPECT_EQ(r.schedule.numTasks(),

@@ -22,7 +22,7 @@ namespace {
 model::LayerGraphBuilder
 spGraph(bool sp, int tp = 8)
 {
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = tp;
     par.sequenceParallel = sp;
     return model::LayerGraphBuilder(
@@ -31,7 +31,7 @@ spGraph(bool sp, int tp = 8)
 
 TEST(SequenceParallel, RequiresTensorParallelism)
 {
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.sequenceParallel = true;
     EXPECT_THROW(model::LayerGraphBuilder(model::bertLarge(), par),
                  FatalError);
@@ -39,7 +39,7 @@ TEST(SequenceParallel, RequiresTensorParallelism)
 
 TEST(SequenceParallel, RequiresDivisibleSequence)
 {
-    model::ParallelConfig par;
+    model::ParallelPlan par;
     par.tpDegree = 8;
     par.sequenceParallel = true;
     EXPECT_THROW(model::LayerGraphBuilder(
@@ -86,9 +86,9 @@ TEST(SequenceParallel, CutsComputeTimeSlightly)
 
 TEST(SequenceParallel, ShrinksActivationMemory)
 {
-    model::ParallelConfig plain;
+    model::ParallelPlan plain;
     plain.tpDegree = 8;
-    model::ParallelConfig sp = plain;
+    model::ParallelPlan sp = plain;
     sp.sequenceParallel = true;
 
     model::MemoryOptions full;

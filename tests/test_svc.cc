@@ -480,7 +480,7 @@ TEST(SvcProto, V1KeepsTheLegacyFlatErrorShape)
     EXPECT_EQ(stats.find("\"proto\""), std::string::npos) << stats;
 
     svc::ServiceOptions bad;
-    bad.protoVersion = 3;
+    bad.protoVersion = 4;
     EXPECT_THROW(svc::QueryService{ bad }, FatalError);
 }
 
@@ -549,6 +549,123 @@ TEST(SvcCli, ServeReadsInputFileIdenticallyAcrossJobs)
                        "--jobs", "4", "--batch", "3" }),
               serial);
     std::remove(path.c_str());
+}
+
+// --- proto v3: the structured `parallel` object ---
+
+TEST(SvcProtoV3, StructuredParallelObjectParses)
+{
+    const svc::Query q = svc::parseQuery(
+        "{\"kind\": \"project\", \"parallel\": {\"tp\": 8, \"pp\": 4, "
+        "\"micro\": 16, \"dp\": 2, \"zero\": 1, \"ep\": 1, "
+        "\"sp\": true, \"overlap\": false}}");
+    EXPECT_TRUE(q.planSet);
+    EXPECT_FALSE(q.usedDeprecatedParallelFields);
+    EXPECT_EQ(q.plan.tpDegree, 8);
+    EXPECT_EQ(q.plan.ppDegree, 4);
+    EXPECT_EQ(q.plan.microBatches, 16);
+    EXPECT_EQ(q.plan.dpDegree, 2);
+    EXPECT_EQ(q.plan.zeroStage, 1);
+    EXPECT_TRUE(q.plan.sequenceParallel);
+    EXPECT_FALSE(q.plan.overlapDpComm);
+    // The flat mirrors track the plan.
+    EXPECT_EQ(q.tpDegree, 8);
+    EXPECT_EQ(q.dpDegree, 2);
+    EXPECT_TRUE(q.tpSet);
+}
+
+TEST(SvcProtoV3, FlatFieldsAreDeprecatedAliasesWithTheSameKey)
+{
+    const svc::Query flat = svc::parseQuery(
+        "{\"kind\": \"analyze\", \"tp\": 8, \"dp\": 4}");
+    EXPECT_TRUE(flat.usedDeprecatedParallelFields);
+    EXPECT_FALSE(flat.planSet);
+    EXPECT_EQ(flat.plan.tpDegree, 8);
+    EXPECT_EQ(flat.plan.dpDegree, 4);
+
+    const svc::Query structured = svc::parseQuery(
+        "{\"kind\": \"analyze\", \"parallel\": {\"tp\": 8, "
+        "\"dp\": 4}}");
+    EXPECT_FALSE(structured.usedDeprecatedParallelFields);
+    // Same configuration, same cache key — however spelled.
+    EXPECT_EQ(svc::canonicalKey(flat), svc::canonicalKey(structured));
+}
+
+TEST(SvcProtoV3, ParseDiagnostics)
+{
+    // Flat aliases cannot combine with the structured object.
+    EXPECT_NE(parseError("{\"kind\": \"analyze\", \"tp\": 8, "
+                         "\"parallel\": {\"dp\": 2}}")
+                  .find("cannot be combined"),
+              std::string::npos);
+    // Unknown plan axes are named with the accepted list.
+    EXPECT_NE(parseError("{\"kind\": \"project\", \"parallel\": "
+                         "{\"tpp\": 8}}")
+                  .find("parallel.tpp"),
+              std::string::npos);
+    // Sub-field diagnostics carry the parallel. prefix.
+    EXPECT_NE(parseError("{\"kind\": \"project\", \"parallel\": "
+                         "{\"zero\": 9}}")
+                  .find("parallel.zero"),
+              std::string::npos);
+    // 'parallel' is the ONLY field that may nest; anything else
+    // keeps the flat-object contract.
+    EXPECT_NE(parseError("{\"kind\": \"project\", \"hidden\": "
+                         "{\"x\": 1}}")
+                  .find("must be a scalar"),
+              std::string::npos);
+    // No double nesting inside the plan either.
+    EXPECT_NE(parseError("{\"kind\": \"project\", \"parallel\": "
+                         "{\"tp\": {\"x\": 1}}}")
+                  .find("must be a scalar"),
+              std::string::npos);
+    // Plans do not apply to slack queries.
+    EXPECT_NE(parseError("{\"kind\": \"slack\", \"parallel\": "
+                         "{\"tp\": 2}}")
+                  .find("does not apply"),
+              std::string::npos);
+}
+
+TEST(SvcProtoV3, NonTrivialPlansShowUpInTheResponse)
+{
+    svc::QueryService service;
+    const std::string plain = service.handle(
+        "{\"kind\": \"analyze\", \"model\": \"BERT\", \"parallel\": "
+        "{\"tp\": 2}}");
+    // tp-only plans keep the exact pre-v3 response shape.
+    EXPECT_EQ(plain.find("\"parallel\""), std::string::npos) << plain;
+
+    const std::string lowered = service.handle(
+        "{\"kind\": \"analyze\", \"model\": \"BERT\", \"parallel\": "
+        "{\"tp\": 2, \"dp\": 4, \"zero\": 2}}");
+    EXPECT_NE(lowered.find("\"parallel\":\"tp=2,pp=1,micro=1,dp=4,"
+                           "zero=2,ep=1,sp=0,overlap=1\""),
+              std::string::npos)
+        << lowered;
+    EXPECT_NE(lowered.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(SvcProtoV3, StatsCountDeprecatedFieldRequests)
+{
+    svc::ServiceOptions options;
+    options.protoVersion = 3;
+    svc::QueryService service(options);
+    service.handle("{\"kind\": \"analyze\", \"tp\": 2}");
+    service.handle("{\"kind\": \"analyze\", \"parallel\": "
+                   "{\"tp\": 2}}");
+    const std::string stats = service.handle("{\"kind\": \"stats\"}");
+    EXPECT_NE(stats.find("\"proto\":3"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"deprecated_field_requests\":1"),
+              std::string::npos)
+        << stats;
+
+    // v2 stats keep their historical shape: no deprecation counter.
+    svc::QueryService v2;
+    v2.handle("{\"kind\": \"analyze\", \"tp\": 2}");
+    const std::string old = v2.handle("{\"kind\": \"stats\"}");
+    EXPECT_EQ(old.find("deprecated_field_requests"),
+              std::string::npos)
+        << old;
 }
 
 TEST(SvcCli, ServeRejectsBadFlagsAndMissingInput)

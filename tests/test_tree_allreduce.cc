@@ -22,16 +22,16 @@ model(int devices = 256)
 TEST(TreeAllReduce, StepCountIsLogarithmic)
 {
     const CollectiveModel m = model();
-    EXPECT_EQ(m.treeAllReduce(1e6, 2).steps, 2);
-    EXPECT_EQ(m.treeAllReduce(1e6, 8).steps, 6);
-    EXPECT_EQ(m.treeAllReduce(1e6, 9).steps, 8); // ceil(lg 9) = 4
-    EXPECT_EQ(m.treeAllReduce(1e6, 256).steps, 16);
+    EXPECT_EQ(m.cost({ comm::CollectiveKind::AllReduce, 1e6, 2, comm::CollectiveAlgorithm::Tree }).steps, 2);
+    EXPECT_EQ(m.cost({ comm::CollectiveKind::AllReduce, 1e6, 8, comm::CollectiveAlgorithm::Tree }).steps, 6);
+    EXPECT_EQ(m.cost({ comm::CollectiveKind::AllReduce, 1e6, 9, comm::CollectiveAlgorithm::Tree }).steps, 8); // ceil(lg 9) = 4
+    EXPECT_EQ(m.cost({ comm::CollectiveKind::AllReduce, 1e6, 256, comm::CollectiveAlgorithm::Tree }).steps, 16);
 }
 
 TEST(TreeAllReduce, WireBytesScaleWithDepth)
 {
     const CollectiveModel m = model();
-    const CollectiveCost c = m.treeAllReduce(1e6, 16);
+    const CollectiveCost c = m.cost({ comm::CollectiveKind::AllReduce, 1e6, 16, comm::CollectiveAlgorithm::Tree });
     EXPECT_DOUBLE_EQ(c.bytesOnWire, 2.0 * 4 * 1e6);
     EXPECT_DOUBLE_EQ(c.total, c.wireTime + c.latencyTime);
 }
@@ -39,22 +39,22 @@ TEST(TreeAllReduce, WireBytesScaleWithDepth)
 TEST(TreeAllReduce, BeatsRingForSmallPayloadsAtScale)
 {
     const CollectiveModel m = model();
-    EXPECT_LT(m.treeAllReduce(32e3, 128).total,
-              m.allReduce(32e3, 128).total);
+    EXPECT_LT(m.cost({ comm::CollectiveKind::AllReduce, 32e3, 128, comm::CollectiveAlgorithm::Tree }).total,
+              m.cost({ comm::CollectiveKind::AllReduce, 32e3, 128 }).total);
 }
 
 TEST(TreeAllReduce, LosesToRingForLargePayloads)
 {
     const CollectiveModel m = model();
-    EXPECT_GT(m.treeAllReduce(1e9, 8).total,
-              m.allReduce(1e9, 8).total);
+    EXPECT_GT(m.cost({ comm::CollectiveKind::AllReduce, 1e9, 8, comm::CollectiveAlgorithm::Tree }).total,
+              m.cost({ comm::CollectiveKind::AllReduce, 1e9, 8 }).total);
 }
 
 TEST(TreeAllReduce, Validation)
 {
     const CollectiveModel m = model();
-    EXPECT_THROW(m.treeAllReduce(0.0, 8), FatalError);
-    EXPECT_THROW(m.treeAllReduce(1e6, 1), FatalError);
+    EXPECT_THROW(m.cost({ comm::CollectiveKind::AllReduce, 0.0, 8, comm::CollectiveAlgorithm::Tree }), FatalError);
+    EXPECT_THROW(m.cost({ comm::CollectiveKind::AllReduce, 1e6, 1, comm::CollectiveAlgorithm::Tree }), FatalError);
     EXPECT_THROW(m.ringTreeCrossover(1), FatalError);
 }
 
@@ -64,8 +64,8 @@ TEST(AllReduceAuto, PicksTheMinimumEverywhere)
     for (int p : { 2, 8, 64, 256 }) {
         for (Bytes s : { 1e4, 1e6, 1e8, 2e9 }) {
             const Seconds a = m.allReduceAuto(s, p).total;
-            EXPECT_LE(a, m.allReduce(s, p).total);
-            EXPECT_LE(a, m.treeAllReduce(s, p).total);
+            EXPECT_LE(a, m.cost({ comm::CollectiveKind::AllReduce, s, p }).total);
+            EXPECT_LE(a, m.cost({ comm::CollectiveKind::AllReduce, s, p, comm::CollectiveAlgorithm::Tree }).total);
         }
     }
 }
@@ -76,10 +76,10 @@ TEST(Crossover, SeparatesTheRegimes)
     const Bytes x = m.ringTreeCrossover(64);
     ASSERT_GT(x, 0.0);
     ASSERT_LT(x, 16e9);
-    EXPECT_LT(m.treeAllReduce(x / 2, 64).total,
-              m.allReduce(x / 2, 64).total);
-    EXPECT_GE(m.treeAllReduce(2 * x, 64).total,
-              m.allReduce(2 * x, 64).total);
+    EXPECT_LT(m.cost({ comm::CollectiveKind::AllReduce, x / 2, 64, comm::CollectiveAlgorithm::Tree }).total,
+              m.cost({ comm::CollectiveKind::AllReduce, x / 2, 64 }).total);
+    EXPECT_GE(m.cost({ comm::CollectiveKind::AllReduce, 2 * x, 64, comm::CollectiveAlgorithm::Tree }).total,
+              m.cost({ comm::CollectiveKind::AllReduce, 2 * x, 64 }).total);
 }
 
 /** Property: the crossover grows monotonically with group size. */
