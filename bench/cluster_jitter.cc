@@ -21,6 +21,7 @@
 
 #include "bench_common.hh"
 #include "core/cluster_sim.hh"
+#include "sim/graph.hh"
 
 using namespace twocs;
 
@@ -31,20 +32,135 @@ double
 measureTrialsPerSec(const core::ClusterSim &sim,
                     const core::ClusterSimConfig &cfg, int num_trials,
                     const exec::RunnerOptions &runner,
-                    core::TrialEngine engine)
+                    core::TrialEngine engine, int lane_width = 8)
 {
     using Clock = std::chrono::steady_clock;
     double best = 0.0;
     for (int rep = 0; rep < 3; ++rep) {
         const auto start = Clock::now();
-        const core::ClusterTrialSummary summary =
-            sim.runTrials(cfg, num_trials, runner, engine);
+        const core::ClusterTrialSummary summary = sim.runTrials(
+            cfg, num_trials, runner, engine, lane_width);
         const std::chrono::duration<double> elapsed =
             Clock::now() - start;
         (void)summary;
         best = std::max(best, num_trials / elapsed.count());
     }
     return best;
+}
+
+/**
+ * Replay-stage speedup: replayBatch vs one replay() per trial over
+ * the same pre-generated duration vectors, so the measured section
+ * is exactly the graph walk both ways — the primitive the batched
+ * engine contributes. Also verifies the two walks agree bit for bit
+ * on every lane's makespan. Returns batched-rate / sequential-rate
+ * and sets `identical`.
+ */
+double
+measureReplayStageSpeedup(const sim::GraphTemplate &graph,
+                          int num_trials, int lane_width,
+                          bool &identical)
+{
+    using Clock = std::chrono::steady_clock;
+    const std::size_t n = graph.numTasks();
+    const std::size_t lanes = static_cast<std::size_t>(lane_width);
+    const std::vector<Seconds> &base = graph.baseDurations();
+
+    // Deterministic per-trial duration scaling, generated up front —
+    // the timed sections below are exactly the two graph walks.
+    const auto duration = [&](int trial, std::size_t task) {
+        return base[task] * (1.0 + 0.01 * static_cast<double>(trial));
+    };
+    std::vector<std::vector<Seconds>> trial_durations(
+        static_cast<std::size_t>(num_trials));
+    for (int t = 0; t < num_trials; ++t) {
+        trial_durations[static_cast<std::size_t>(t)].resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            trial_durations[static_cast<std::size_t>(t)][i] =
+                duration(t, i);
+    }
+    struct SoaBlock
+    {
+        std::size_t first = 0;
+        std::size_t lanes = 0;
+        std::vector<Seconds> soa;
+    };
+    std::vector<SoaBlock> blocks;
+    for (int first = 0; first < num_trials; first += lane_width) {
+        SoaBlock block;
+        block.first = static_cast<std::size_t>(first);
+        block.lanes = std::min(
+            lanes, static_cast<std::size_t>(num_trials - first));
+        block.soa.resize(n * block.lanes);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t l = 0; l < block.lanes; ++l)
+                block.soa[i * block.lanes + l] =
+                    duration(first + static_cast<int>(l), i);
+        }
+        blocks.push_back(std::move(block));
+    }
+
+    sim::ReplayScratch scratch;
+    scratch.bind(graph);
+    double seq_best = 0.0;
+    std::vector<Seconds> seq_makespans(
+        static_cast<std::size_t>(num_trials));
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto start = Clock::now();
+        for (int t = 0; t < num_trials; ++t) {
+            sim::replay(
+                graph,
+                trial_durations[static_cast<std::size_t>(t)],
+                scratch);
+            seq_makespans[static_cast<std::size_t>(t)] =
+                scratch.makespan();
+        }
+        const std::chrono::duration<double> elapsed =
+            Clock::now() - start;
+        seq_best = std::max(seq_best, num_trials / elapsed.count());
+    }
+
+    sim::BatchScratch batch;
+    double batch_best = 0.0;
+    identical = true;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto start = Clock::now();
+        for (const SoaBlock &block : blocks) {
+            batch.bind(graph, block.lanes);
+            sim::replayBatch(graph, block.soa, block.lanes, batch);
+            for (std::size_t l = 0; l < block.lanes; ++l) {
+                identical = identical &&
+                            batch.makespan(l) ==
+                                seq_makespans[block.first + l];
+            }
+        }
+        const std::chrono::duration<double> elapsed =
+            Clock::now() - start;
+        batch_best =
+            std::max(batch_best, num_trials / elapsed.count());
+    }
+    return batch_best / seq_best;
+}
+
+/** Whether two trial summaries agree bit for bit. */
+bool
+summariesIdentical(const core::ClusterTrialSummary &a,
+                   const core::ClusterTrialSummary &b)
+{
+    bool identical = a.meanIterationTime == b.meanIterationTime &&
+                     a.worstIterationTime == b.worstIterationTime &&
+                     a.trials.size() == b.trials.size();
+    for (std::size_t i = 0; i < a.trials.size() && identical; ++i) {
+        identical = a.trials[i].iterationTime ==
+                        b.trials[i].iterationTime &&
+                    a.trials[i].commTimePerDevice ==
+                        b.trials[i].commTimePerDevice &&
+                    a.trials[i].computeTimePerDevice ==
+                        b.trials[i].computeTimePerDevice &&
+                    a.trials[i].stallTimePerDevice ==
+                        b.trials[i].stallTimePerDevice;
+    }
+    return identical;
 }
 
 int
@@ -61,23 +177,18 @@ benchJsonMain(const std::string &json_path,
         cfg, num_trials, runner, core::TrialEngine::Rebuild);
     const core::ClusterTrialSummary replayed = sim.runTrials(
         cfg, num_trials, runner, core::TrialEngine::CompiledReplay);
-    bool identical =
-        rebuilt.meanIterationTime == replayed.meanIterationTime &&
-        rebuilt.worstIterationTime == replayed.worstIterationTime;
-    for (int i = 0; i < num_trials && identical; ++i) {
-        identical =
-            rebuilt.trials[i].iterationTime ==
-                replayed.trials[i].iterationTime &&
-            rebuilt.trials[i].commTimePerDevice ==
-                replayed.trials[i].commTimePerDevice &&
-            rebuilt.trials[i].computeTimePerDevice ==
-                replayed.trials[i].computeTimePerDevice &&
-            rebuilt.trials[i].stallTimePerDevice ==
-                replayed.trials[i].stallTimePerDevice;
-    }
+    // Odd lane width on purpose: the last block is a partial lane.
+    const core::ClusterTrialSummary batched = sim.runTrials(
+        cfg, num_trials, runner, core::TrialEngine::BatchedReplay, 5);
+    const bool identical = summariesIdentical(rebuilt, replayed);
     bench::checkClaim("compiled replay reproduces the rebuild "
                       "engine bit for bit",
                       identical);
+    const bool batch_identical =
+        summariesIdentical(replayed, batched);
+    bench::checkClaim("batched SoA replay reproduces the sequential "
+                      "engines bit for bit",
+                      batch_identical);
 
     bench::BenchJson json("cluster_jitter", json_path);
     const double rebuild_rate =
@@ -86,13 +197,38 @@ benchJsonMain(const std::string &json_path,
     const double replay_rate =
         measureTrialsPerSec(sim, cfg, num_trials, runner,
                             core::TrialEngine::CompiledReplay);
+    const double batched_rate =
+        measureTrialsPerSec(sim, cfg, num_trials, runner,
+                            core::TrialEngine::BatchedReplay, 8);
+
+    // The replay-stage comparison isolates replayBatch vs per-trial
+    // replay(); the end-to-end engine rates above also carry each
+    // trial's jitter draws, which both engines pay identically.
+    const std::shared_ptr<const sim::GraphTemplate> graph =
+        sim.compileIteration(cfg);
+    bool stage_identical = false;
+    const double stage_speedup = measureReplayStageSpeedup(
+        *graph, 128, 16, stage_identical);
+    bench::checkClaim("replayBatch reproduces per-trial replay() bit "
+                      "for bit on the replay stage",
+                      stage_identical);
+
     std::printf("Monte Carlo trials: %.0f/sec rebuilt, %.0f/sec "
-                "replayed (%.1fx)\n",
+                "replayed (%.1fx), %.0f/sec batched end-to-end "
+                "(%.2fx over replay); replay stage alone %.1fx "
+                "batched over sequential\n",
                 rebuild_rate, replay_rate,
-                replay_rate / rebuild_rate);
+                replay_rate / rebuild_rate, batched_rate,
+                batched_rate / replay_rate, stage_speedup);
     json.set("trials_per_sec_rebuild", rebuild_rate);
     json.set("trials_per_sec_replay", replay_rate);
-    return json.write() && identical ? 0 : 1;
+    json.set("trials_per_sec_batched", batched_rate);
+    json.set("batch_speedup", stage_speedup);
+    json.set("batch_engine_speedup", batched_rate / replay_rate);
+    return json.write() && identical && batch_identical &&
+                   stage_identical
+               ? 0
+               : 1;
 }
 
 } // namespace

@@ -83,18 +83,59 @@ benchJsonMain(const std::string &json_path)
                       "engine bit for bit",
                       identical);
 
+    // The SoA-batched path over the same arrival vectors: one
+    // replayBatch block walk instead of 64 sequential replays.
+    const std::vector<comm::RingSimResult> batched_results =
+        comm::simulateRingCollectiveBatch(topo, payload, arrivals);
+    bool batch_identical =
+        batched_results.size() == arrivals.size();
+    for (std::size_t i = 0;
+         i < arrivals.size() && batch_identical; ++i) {
+        const comm::RingSimResult replayed =
+            comm::simulateRingCollective(
+                topo, payload, arrivals[i],
+                { {}, comm::RingSimEngine::CompiledReplay });
+        batch_identical =
+            batched_results[i].finishTime == replayed.finishTime &&
+            batched_results[i].collectiveTime ==
+                replayed.collectiveTime &&
+            batched_results[i].maxStallTime ==
+                replayed.maxStallTime &&
+            batched_results[i].deviceFinish == replayed.deviceFinish;
+    }
+    bench::checkClaim("batched ring replay reproduces the "
+                      "per-vector engine bit for bit",
+                      batch_identical);
+
     bench::BenchJson json("straggler_study", json_path);
     const double rebuild_rate = measureSimsPerSec(
         topo, payload, arrivals, comm::RingSimEngine::Rebuild);
     const double replay_rate = measureSimsPerSec(
         topo, payload, arrivals, comm::RingSimEngine::CompiledReplay);
+    using Clock = std::chrono::steady_clock;
+    double batched_rate = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto start = Clock::now();
+        const std::vector<comm::RingSimResult> results =
+            comm::simulateRingCollectiveBatch(topo, payload,
+                                              arrivals);
+        const std::chrono::duration<double> elapsed =
+            Clock::now() - start;
+        (void)results;
+        batched_rate = std::max(
+            batched_rate, static_cast<double>(arrivals.size()) /
+                              elapsed.count());
+    }
     std::printf("Ring simulations: %.0f/sec rebuilt, %.0f/sec "
-                "replayed (%.1fx)\n",
+                "replayed (%.1fx), %.0f/sec batched (%.1fx over "
+                "replay)\n",
                 rebuild_rate, replay_rate,
-                replay_rate / rebuild_rate);
+                replay_rate / rebuild_rate, batched_rate,
+                batched_rate / replay_rate);
     json.set("sims_per_sec_rebuild", rebuild_rate);
     json.set("sims_per_sec_replay", replay_rate);
-    return json.write() && identical ? 0 : 1;
+    json.set("sims_per_sec_batched", batched_rate);
+    return json.write() && identical && batch_identical ? 0 : 1;
 }
 
 } // namespace

@@ -18,8 +18,9 @@
 #                 fields. Only schema presence is asserted — never
 #                 timings, so a loaded CI host cannot flake the gate.
 #                 (The replay benches do assert bit-identity of the
-#                 compiled-replay vs rebuild engines, which is
-#                 host-independent.) The BENCH_*.json files are
+#                 compiled-replay vs rebuild engines — and of the
+#                 batched-SoA and delta-replay paths vs the
+#                 sequential oracle — which is host-independent.) The BENCH_*.json files are
 #                 collected under build-tier1/bench-artifacts/ as the
 #                 perf-trajectory artifact to upload.
 #   5. 3D-parallelism gate — the zoo3d_parallel_sweep bench must emit
@@ -90,6 +91,9 @@ grep -q '"pass_chain_tasks_per_sec_replay"' "${msp_json}"
 grep -q '"pass_chain_tasks_per_sec_replay_fused"' "${msp_json}"
 grep -q '"pass_fuse_speedup"' "${msp_json}"
 grep -q '"pass_fuse_compile_ms"' "${msp_json}"
+grep -q '"delta_replay_speedup"' "${msp_json}"
+grep -q '"delta_cone_frac"' "${msp_json}"
+grep -q '"delta_fallback_frac"' "${msp_json}"
 
 cj_json="${artifacts}/BENCH_cluster_jitter.json"
 rm -f "${cj_json}"
@@ -99,6 +103,8 @@ grep -q '"schema": "twocs-bench-1"' "${cj_json}"
 grep -q '"bench": "cluster_jitter"' "${cj_json}"
 grep -q '"trials_per_sec_rebuild"' "${cj_json}"
 grep -q '"trials_per_sec_replay"' "${cj_json}"
+grep -q '"trials_per_sec_batched"' "${cj_json}"
+grep -q '"batch_speedup"' "${cj_json}"
 
 ss_json="${artifacts}/BENCH_straggler_study.json"
 rm -f "${ss_json}"
@@ -108,6 +114,7 @@ grep -q '"schema": "twocs-bench-1"' "${ss_json}"
 grep -q '"bench": "straggler_study"' "${ss_json}"
 grep -q '"sims_per_sec_rebuild"' "${ss_json}"
 grep -q '"sims_per_sec_replay"' "${ss_json}"
+grep -q '"sims_per_sec_batched"' "${ss_json}"
 
 svc_json="${artifacts}/BENCH_svc_throughput.json"
 rm -f "${svc_json}"
@@ -131,6 +138,17 @@ grep -q '"collective_lowering_zero2_wire_ratio"' "${zoo_json}"
 grep -q '"collective_lowering_zero3_wire_ratio"' "${zoo_json}"
 grep -q '"collective_lowering_pp_p2p_bytes"' "${zoo_json}"
 grep -q '"collective_lowering_ar_wire_bytes"' "${zoo_json}"
+
+echo "== tier-1: batched trial engine byte-identical to replay at any --jobs =="
+cluster_flags="--trials 8 --jitter 0.05 --tp 4"
+seq_out="$("${twocs}" cluster ${cluster_flags} --engine replay --jobs 1)"
+[ "${seq_out}" = "$("${twocs}" cluster ${cluster_flags} \
+    --engine batched --lanes 4 --jobs 1)" ]
+[ "${seq_out}" = "$("${twocs}" cluster ${cluster_flags} \
+    --engine batched --lanes 4 --jobs 4)" ]
+# An odd lane width leaves a partial tail block; output must not care.
+[ "${seq_out}" = "$("${twocs}" cluster ${cluster_flags} \
+    --engine batched --lanes 3 --jobs 4)" ]
 
 echo "== tier-1: 3D-plan sweeps byte-identical across --jobs =="
 plan="tp=8,pp=4,dp=2,zero=1"

@@ -293,8 +293,25 @@ cmdCluster(const Args &args)
     fatalIf(trials < 1, "option --trials expects a positive count, got ",
             trials);
     if (trials > 1) {
+        const std::string engine_name = args.get("engine", "replay");
+        core::TrialEngine engine = core::TrialEngine::CompiledReplay;
+        if (engine_name == "replay")
+            engine = core::TrialEngine::CompiledReplay;
+        else if (engine_name == "rebuild")
+            engine = core::TrialEngine::Rebuild;
+        else if (engine_name == "batched")
+            engine = core::TrialEngine::BatchedReplay;
+        else
+            fatal("option --engine expects replay|rebuild|batched, "
+                  "got '",
+                  engine_name, "'");
+        const int lanes = static_cast<int>(args.getInt("lanes", 8));
+        fatalIf(lanes < 1,
+                "option --lanes expects a positive lane width, got ",
+                lanes);
         const core::ClusterTrialSummary summary = sim.runTrials(
-            cfg, trials, runnerFrom(args, "cluster_trials"));
+            cfg, trials, runnerFrom(args, "cluster_trials"), engine,
+            lanes);
         TextTable t({ "trial (seed)", "iteration", "comm/device",
                       "stall/device", "stall fraction" });
         for (int i = 0; i < trials; ++i) {
@@ -865,6 +882,10 @@ buildRegistry()
                         "base RNG seed" },
                       { "trials", FlagType::Int, "1",
                         "independent jittered trials" },
+                      { "engine", FlagType::String, "replay",
+                        "trial engine: replay|rebuild|batched" },
+                      { "lanes", FlagType::Int, "8",
+                        "SoA lane width for --engine batched" },
                       { "passes", FlagType::String, "",
                         "graph pass pipeline, e.g. fuse,dce" } },
                     parallel, system, runner, trace }),

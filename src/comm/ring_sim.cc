@@ -29,6 +29,9 @@ struct CompiledRing
     std::vector<int> fillDevice;
     sim::ReplayScratch scratch;
     std::vector<Seconds> durations;
+    /** Batched-replay buffers (simulateRingCollectiveBatch). */
+    sim::BatchScratch batch;
+    std::vector<Seconds> durationsSoa;
 };
 
 /** Build the stepped ring graph: arrival task per device, then
@@ -231,6 +234,100 @@ simulateRingCollective(const hw::Topology &topology, Bytes payload,
     if (result.maxStallTime < 0.0)
         result.maxStallTime = 0.0;
     return result;
+}
+
+std::vector<RingSimResult>
+simulateRingCollectiveBatch(
+    const hw::Topology &topology, Bytes payload,
+    const std::vector<std::vector<Seconds>> &arrival_sets,
+    const RingSimOptions &options)
+{
+    std::vector<RingSimResult> results(arrival_sets.size());
+    if (arrival_sets.empty())
+        return results;
+
+    if (options.engine == RingSimEngine::Rebuild) {
+        // The byte-identity reference: one full build per vector.
+        for (std::size_t i = 0; i < arrival_sets.size(); ++i)
+            results[i] = simulateRingCollective(
+                topology, payload, arrival_sets[i], options);
+        return results;
+    }
+
+    const int p = static_cast<int>(arrival_sets.front().size());
+    TWOCS_OBS_SPAN(obs::Category::Comm, "comm.ring.batch", [&] {
+        return "devices=" + std::to_string(p) +
+               " lanes=" + std::to_string(arrival_sets.size());
+    });
+    fatalIf(p < 2, "ring simulation needs >= 2 devices");
+    fatalIf(payload <= 0.0, "ring simulation needs a payload");
+    for (const std::vector<Seconds> &arrivals : arrival_sets) {
+        fatalIf(static_cast<int>(arrivals.size()) != p,
+                "every arrival vector in a batch must have the same "
+                "device count");
+        for (Seconds t : arrivals)
+            fatalIf(t < 0.0, "arrival times must be non-negative");
+    }
+
+    const Seconds step_time =
+        ringStepTime(topology, payload, p, options.linkParams);
+    const int steps = options.collective == RingCollective::AllReduce
+                          ? 2 * (p - 1)
+                          : p - 1;
+    CompiledRing &ring = compiledRingFor(p, steps, options.passes);
+    const std::vector<Seconds> &base = ring.graph->baseDurations();
+    const std::size_t n = base.size();
+
+    // Lane blocks bound the SoA buffer: ring graphs are tiny, so 32
+    // lanes keep a block well inside cache while amortizing the
+    // graph walk.
+    constexpr std::size_t MaxLanes = 32;
+    for (std::size_t first = 0; first < arrival_sets.size();
+         first += MaxLanes) {
+        const std::size_t lanes =
+            std::min(MaxLanes, arrival_sets.size() - first);
+        ring.durationsSoa.resize(n * lanes);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t l = 0; l < lanes; ++l) {
+                ring.durationsSoa[i * lanes + l] =
+                    ring.fillDevice[i] >= 0
+                        ? arrival_sets[first + l]
+                                      [static_cast<std::size_t>(
+                                          ring.fillDevice[i])]
+                        : base[i] * step_time;
+            }
+        }
+        ring.batch.bind(*ring.graph, lanes);
+        sim::replayBatch(*ring.graph, ring.durationsSoa, lanes,
+                         ring.batch);
+
+        for (std::size_t l = 0; l < lanes; ++l) {
+            const std::vector<Seconds> &arrivals =
+                arrival_sets[first + l];
+            RingSimResult &result = results[first + l];
+            result.deviceFinish.resize(p);
+            Seconds latest_arrival = 0.0;
+            Seconds earliest_arrival = 1e300;
+            for (int d = 0; d < p; ++d) {
+                result.deviceFinish[d] =
+                    ring.batch.taskEnd(ring.finals[d], l);
+                result.finishTime = std::max(result.finishTime,
+                                             result.deviceFinish[d]);
+                latest_arrival =
+                    std::max(latest_arrival, arrivals[d]);
+                earliest_arrival =
+                    std::min(earliest_arrival, arrivals[d]);
+            }
+            result.collectiveTime =
+                result.finishTime - latest_arrival;
+            result.maxStallTime = result.finishTime -
+                                  earliest_arrival -
+                                  steps * step_time;
+            if (result.maxStallTime < 0.0)
+                result.maxStallTime = 0.0;
+        }
+    }
+    return results;
 }
 
 RingSimResult

@@ -113,6 +113,23 @@ RingSimResult simulateRingCollective(
     const std::vector<Seconds> &arrival_times,
     const RingSimOptions &options = {});
 
+/**
+ * simulateRingCollective over many arrival vectors at once: all sets
+ * must have the same device count, and the compiled ring template is
+ * advanced through sim::replayBatch in structure-of-arrays lane
+ * blocks instead of one graph walk per vector — the straggler-study
+ * path for thousands of jittered arrival draws. Results are
+ * bit-identical to calling simulateRingCollective per vector, except
+ * that the per-result `schedule` is left empty (batched replay keeps
+ * only ends; use the single-shot API when a trace export is needed).
+ * RingSimEngine::Rebuild falls back to per-vector calls and keeps
+ * the full schedules — the byte-identity reference.
+ */
+std::vector<RingSimResult> simulateRingCollectiveBatch(
+    const hw::Topology &topology, Bytes payload,
+    const std::vector<std::vector<Seconds>> &arrival_sets,
+    const RingSimOptions &options = {});
+
 /** simulateRingCollective with RingCollective::AllReduce — the
  *  historical entry point, kept one release for migration. */
 [[deprecated("call simulateRingCollective() with RingSimOptions")]]

@@ -146,18 +146,21 @@ aggregate(Seconds makespan, int p,
     return r;
 }
 
-/** Tasks that draw a noise factor during replay: exactly the tasks
- *  the legacy rebuild path perturbs, in the same (task id) order. */
-std::vector<std::uint8_t>
-jitterMask(const sim::GraphTemplate &graph)
+/** Tasks that draw a noise factor during replay, in increasing task
+ *  id order: exactly the tasks the legacy rebuild path perturbs, in
+ *  the order it draws for them. An index list instead of a mask so
+ *  the per-trial fill is a bulk copy plus the draws, not a branchy
+ *  pass over every task. */
+std::vector<std::uint32_t>
+jitterIndices(const sim::GraphTemplate &graph)
 {
     const util::StringInterner::Id compute_tag =
         graph.interner().find("compute");
-    std::vector<std::uint8_t> jitterable(graph.numTasks(), 0);
+    std::vector<std::uint32_t> jitterable;
     for (std::size_t i = 0; i < graph.numTasks(); ++i) {
-        jitterable[i] =
-            graph.taskTagId(static_cast<sim::TaskId>(i)) ==
-            compute_tag;
+        if (graph.taskTagId(static_cast<sim::TaskId>(i)) ==
+            compute_tag)
+            jitterable.push_back(static_cast<std::uint32_t>(i));
     }
     return jitterable;
 }
@@ -167,19 +170,19 @@ jitterMask(const sim::GraphTemplate &graph)
  *  compute d and comm d interleave as 2d / 2d + 1. */
 ClusterSimResult
 replayTrial(const sim::GraphTemplate &graph,
-            const std::vector<std::uint8_t> &jitterable,
+            const std::vector<std::uint32_t> &jitter_idx,
             const ClusterSimConfig &config, sim::ReplayScratch &scratch,
             std::vector<Seconds> &durations)
 {
+    // The worker arenas are deliberately recycled across runTrials
+    // calls with different graphs — the explicit rebind opt-in.
+    scratch.bind(graph);
     const std::vector<Seconds> &base = graph.baseDurations();
-    durations.resize(base.size());
+    durations.assign(base.begin(), base.end());
     Rng rng(config.seed);
-    for (std::size_t i = 0; i < base.size(); ++i) {
+    for (const std::uint32_t i : jitter_idx)
         durations[i] =
-            jitterable[i]
-                ? base[i] * rng.noiseFactor(config.computeJitter)
-                : base[i];
-    }
+            base[i] * rng.noiseFactor(config.computeJitter);
     sim::replay(graph, durations, scratch);
 
     // Reused across a worker's trials, like the caller's buffers —
@@ -220,7 +223,7 @@ ClusterSim::run(const ClusterSimConfig &config) const
             compileIteration(config);
         sim::ReplayScratch scratch;
         std::vector<Seconds> durations;
-        return replayTrial(*graph, jitterMask(*graph), config,
+        return replayTrial(*graph, jitterIndices(*graph), config,
                            scratch, durations);
     }
 
@@ -252,9 +255,10 @@ ClusterSim::compileIteration(const ClusterSimConfig &config) const
 ClusterTrialSummary
 ClusterSim::runTrials(const ClusterSimConfig &config, int num_trials,
                       const exec::RunnerOptions &runner_options,
-                      TrialEngine engine) const
+                      TrialEngine engine, int lane_width) const
 {
     fatalIf(num_trials < 1, "need at least one trial");
+    fatalIf(lane_width < 1, "need a lane width of >= 1");
     validateConfig(config);
 
     std::vector<ClusterSimConfig> trials(
@@ -280,8 +284,8 @@ ClusterSim::runTrials(const ClusterSimConfig &config, int num_trials,
         // comm d interleave as 2d / 2d + 1.
         const std::shared_ptr<const sim::GraphTemplate> graph =
             compileIteration(config);
-        const std::vector<std::uint8_t> jitterable =
-            jitterMask(*graph);
+        const std::vector<std::uint32_t> jitterable =
+            jitterIndices(*graph);
 
         summary.trials = runner.map(
             trials, [&](const ClusterSimConfig &c) {
@@ -293,6 +297,76 @@ ClusterSim::runTrials(const ClusterSimConfig &config, int num_trials,
                 return replayTrial(*graph, jitterable, c, scratch,
                                    durations);
             });
+    } else if (engine == TrialEngine::BatchedReplay) {
+        // Compile once, advance lane_width trials per SoA forward
+        // pass. Blocks parallelize like trials did; within a block
+        // each lane draws its trial's jitter stream in task order —
+        // the exact sequential draws — so the engines agree bit for
+        // bit at any jobs count and any lane width.
+        const std::shared_ptr<const sim::GraphTemplate> graph =
+            compileIteration(config);
+        const std::vector<std::uint32_t> jitterable =
+            jitterIndices(*graph);
+        const std::vector<Seconds> &base = graph->baseDurations();
+        const std::size_t n = base.size();
+        const int p = config.tpDegree;
+
+        const int blocks =
+            (num_trials + lane_width - 1) / lane_width;
+        std::vector<int> block_ids(static_cast<std::size_t>(blocks));
+        for (int b = 0; b < blocks; ++b)
+            block_ids[static_cast<std::size_t>(b)] = b;
+
+        const std::vector<std::vector<ClusterSimResult>> per_block =
+            runner.map(block_ids, [&](int b) {
+                const int first = b * lane_width;
+                const std::size_t lanes = static_cast<std::size_t>(
+                    std::min(lane_width, num_trials - first));
+                thread_local sim::BatchScratch scratch;
+                thread_local std::vector<Seconds> soa;
+                soa.resize(n * lanes);
+                // Broadcast the base durations across the lanes,
+                // then overwrite only the jitterable rows — each
+                // lane draws its trial's stream in task order, the
+                // exact sequential draws.
+                for (std::size_t i = 0; i < n; ++i) {
+                    Seconds *row = soa.data() + i * lanes;
+                    for (std::size_t l = 0; l < lanes; ++l)
+                        row[l] = base[i];
+                }
+                for (std::size_t l = 0; l < lanes; ++l) {
+                    Rng rng(trials[static_cast<std::size_t>(first) + l]
+                                .seed);
+                    for (const std::uint32_t i : jitterable)
+                        soa[i * lanes + l] =
+                            base[i] *
+                            rng.noiseFactor(config.computeJitter);
+                }
+                scratch.bind(*graph, lanes);
+                sim::replayBatch(*graph, soa, lanes, scratch);
+
+                thread_local std::vector<sim::ResourceId> compute,
+                    comm;
+                compute.resize(p);
+                comm.resize(p);
+                for (int d = 0; d < p; ++d) {
+                    compute[d] = 2 * d;
+                    comm[d] = 2 * d + 1;
+                }
+                std::vector<ClusterSimResult> results(lanes);
+                for (std::size_t l = 0; l < lanes; ++l) {
+                    results[l] = aggregate(
+                        scratch.makespan(l), p, compute, comm,
+                        [&](sim::ResourceId r) {
+                            return scratch.busyTotal(r, l);
+                        });
+                }
+                return results;
+            });
+        summary.trials.reserve(static_cast<std::size_t>(num_trials));
+        for (const std::vector<ClusterSimResult> &block : per_block)
+            summary.trials.insert(summary.trials.end(), block.begin(),
+                                  block.end());
     } else {
         summary.trials = runner.map(
             trials,

@@ -109,6 +109,15 @@ enum class TrialEngine
      *  historical path, kept as the measured baseline and the
      *  byte-identity reference for the replay tests. */
     Rebuild,
+    /**
+     * Compile once, then advance trials through sim::replayBatch in
+     * lane blocks of runTrials' lane_width: one structure-of-arrays
+     * forward pass per block instead of one graph walk per trial,
+     * parallelized over blocks. Bit-identical to the other engines
+     * at any jobs count and any lane width (each lane reproduces
+     * its trial's sequential op order exactly).
+     */
+    BatchedReplay,
 };
 
 /** Runs the explicit group simulation. */
@@ -127,14 +136,18 @@ class ClusterSim
      * config.seed + i, so adjacent base seeds do not share almost
      * all of their trial streams — in parallel across runner.jobs
      * worker threads. Results are aggregated in trial order, so any
-     * jobs count (and either engine) produces identical output.
+     * jobs count (and any engine) produces identical output.
+     * lane_width only affects TrialEngine::BatchedReplay: trials are
+     * grouped into SoA blocks of that many duration lanes (the tail
+     * block may be narrower).
      */
     ClusterTrialSummary runTrials(const ClusterSimConfig &config,
                                   int num_trials,
                                   const exec::RunnerOptions &runner =
                                       {},
                                   TrialEngine engine =
-                                      TrialEngine::CompiledReplay) const;
+                                      TrialEngine::CompiledReplay,
+                                  int lane_width = 8) const;
 
     /**
      * Freeze the iteration graph for `config` (base durations, no

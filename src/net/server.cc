@@ -560,7 +560,9 @@ Server::run()
         std::ofstream os(options_.metricsPath);
         fatalIf(!os, "cannot open metrics file '",
                 options_.metricsPath, "' for writing");
-        merged.writeJson(os);
+        merged.writeJson(os, pool_ ? pool_->shardMetrics()
+                                   : std::vector<
+                                         const svc::ServiceMetrics *>{});
         inform("wrote service metrics ", options_.metricsPath, " (",
                merged.requests(), " requests, ", merged.sheds(),
                " sheds)");

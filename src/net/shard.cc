@@ -182,4 +182,14 @@ ShardPool::foldMetrics(svc::ServiceMetrics &into) const
     }
 }
 
+std::vector<const svc::ServiceMetrics *>
+ShardPool::shardMetrics() const
+{
+    std::vector<const svc::ServiceMetrics *> out;
+    out.reserve(shards_.size());
+    for (const auto &shard : shards_)
+        out.push_back(&shard->service->metrics());
+    return out;
+}
+
 } // namespace twocs::net

@@ -145,6 +145,10 @@ class ShardPool
      *  high-water marks) into `into`. Call after drain(). */
     void foldMetrics(svc::ServiceMetrics &into) const;
 
+    /** Each shard service's registry, in shard order — the metrics
+     *  export's per-shard latency section. Call after drain(). */
+    std::vector<const svc::ServiceMetrics *> shardMetrics() const;
+
     /** The deterministic `overloaded` response for a request line. */
     std::string overloadedResponse(const std::string &line) const;
 

@@ -1,6 +1,8 @@
 #include "graph.hh"
 
 #include <algorithm>
+#include <functional>
+#include <limits>
 
 #include "obs/obs.hh"
 #include "util/logging.hh"
@@ -74,6 +76,72 @@ GraphTemplate::deps(TaskId id) const
              depEdges_.data() + depOffsets_[i + 1] };
 }
 
+std::span<const TaskId>
+GraphTemplate::successors(TaskId id) const
+{
+    panicIf(id < 0 ||
+                static_cast<std::size_t>(id) + 1 >=
+                    succOffsets_.size(),
+            "successors() of unknown task ", id);
+    const std::size_t i = static_cast<std::size_t>(id);
+    return { succEdges_.data() + succOffsets_[i],
+             succEdges_.data() + succOffsets_[i + 1] };
+}
+
+TaskId
+GraphTemplate::prevOnResource(TaskId id) const
+{
+    panicIf(id < 0 ||
+                static_cast<std::size_t>(id) >=
+                    prevOnResource_.size(),
+            "prevOnResource() of unknown task ", id);
+    return prevOnResource_[id];
+}
+
+TaskId
+GraphTemplate::nextOnResource(TaskId id) const
+{
+    panicIf(id < 0 ||
+                static_cast<std::size_t>(id) >=
+                    nextOnResource_.size(),
+            "nextOnResource() of unknown task ", id);
+    return nextOnResource_[id];
+}
+
+void
+GraphTemplate::buildReplayIndex()
+{
+    const std::size_t n = numTasks();
+    succOffsets_.assign(n + 1, 0);
+    for (TaskId dep : depEdges_)
+        ++succOffsets_[static_cast<std::size_t>(dep) + 1];
+    for (std::size_t i = 0; i < n; ++i)
+        succOffsets_[i + 1] += succOffsets_[i];
+    succEdges_.resize(depEdges_.size());
+    std::vector<std::uint32_t> cursor(succOffsets_.begin(),
+                                      succOffsets_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::uint32_t e = depOffsets_[i]; e < depOffsets_[i + 1];
+             ++e) {
+            const std::size_t dep =
+                static_cast<std::size_t>(depEdges_[e]);
+            succEdges_[cursor[dep]++] = static_cast<TaskId>(i);
+        }
+    }
+
+    prevOnResource_.assign(n, InvalidTask);
+    nextOnResource_.assign(n, InvalidTask);
+    std::vector<TaskId> last_on(numResources(), InvalidTask);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = static_cast<std::size_t>(resources_[i]);
+        prevOnResource_[i] = last_on[r];
+        if (last_on[r] != InvalidTask)
+            nextOnResource_[static_cast<std::size_t>(last_on[r])] =
+                static_cast<TaskId>(i);
+        last_on[r] = static_cast<TaskId>(i);
+    }
+}
+
 const std::string &
 GraphTemplate::dispatchLabel(util::StringInterner::Id tag) const
 {
@@ -85,6 +153,7 @@ GraphTemplate::dispatchLabel(util::StringInterner::Id tag) const
 void
 ReplayScratch::bind(const GraphTemplate &graph)
 {
+    bound_ = &graph;
     placed_.resize(graph.numTasks());
     resourceFree_.resize(graph.numResources());
     busyTotals_.resize(graph.numResources());
@@ -108,6 +177,11 @@ replay(const GraphTemplate &graph,
     panicIf(!durations.empty() && durations.size() != n,
             "replay() durations size ", durations.size(),
             " does not match the template's ", n, " tasks");
+    panicIf(scratch.bound_ != nullptr && scratch.bound_ != &graph,
+            "replay() scratch is still bound to another template "
+            "(shape ",
+            scratch.placed_.size(),
+            " tasks); call bind() to reuse the arena");
     const Seconds *dur = durations.empty()
                              ? graph.durations_.data()
                              : durations.data();
@@ -150,6 +224,496 @@ replay(const GraphTemplate &graph,
         scratch.makespan_ =
             std::max(scratch.makespan_, placed[i].end);
     }
+    ++scratch.generation_;
+}
+
+void
+BatchScratch::bind(const GraphTemplate &graph, std::size_t lanes)
+{
+    panicIf(lanes == 0, "BatchScratch needs at least one lane");
+    bound_ = &graph;
+    lanes_ = lanes;
+    ends_.resize(graph.numTasks() * lanes);
+    ready_.resize(lanes);
+    resourceFree_.resize(graph.numResources() * lanes);
+    busyTotals_.resize(graph.numResources() * lanes);
+    makespans_.resize(lanes);
+}
+
+Seconds
+BatchScratch::makespan(std::size_t lane) const
+{
+    panicIf(lane >= makespans_.size(),
+            "makespan() of unknown lane ", lane);
+    return makespans_[lane];
+}
+
+Seconds
+BatchScratch::busyTotal(ResourceId resource, std::size_t lane) const
+{
+    panicIf(resource < 0 || lane >= lanes_ ||
+                static_cast<std::size_t>(resource) * lanes_ + lane >=
+                    busyTotals_.size(),
+            "busyTotal() of unknown resource ", resource, " lane ",
+            lane);
+    return busyTotals_[static_cast<std::size_t>(resource) * lanes_ +
+                       lane];
+}
+
+Seconds
+BatchScratch::taskEnd(TaskId id, std::size_t lane) const
+{
+    panicIf(id < 0 || lane >= lanes_ ||
+                static_cast<std::size_t>(id) * lanes_ + lane >=
+                    ends_.size(),
+            "taskEnd() of unknown task ", id, " lane ", lane);
+    return ends_[static_cast<std::size_t>(id) * lanes_ + lane];
+}
+
+namespace {
+
+/**
+ * The lane-interleaved replay recurrence with a compile-time lane
+ * width: the `ready` and makespan rows live in registers and every
+ * lane loop fully unrolls, which is where the batch engine's
+ * throughput comes from. The computation is op-for-op the dynamic
+ * loop below — specializing the trip count changes no FP semantics.
+ */
+template <std::size_t L>
+[[gnu::always_inline]] inline void
+replayBatchLanesImpl(std::size_t n, const ResourceId *res,
+                     const std::uint32_t *offsets, const TaskId *edges,
+                     const Seconds *__restrict soa,
+                     Seconds *__restrict ends,
+                     Seconds *__restrict resource_free,
+                     Seconds *__restrict busy,
+                     Seconds *__restrict makespans)
+{
+    Seconds ms[L];
+    for (std::size_t l = 0; l < L; ++l)
+        ms[l] = makespans[l];
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = static_cast<std::size_t>(res[i]);
+        Seconds *__restrict rf_row = resource_free + r * L;
+        Seconds ready[L];
+        for (std::size_t l = 0; l < L; ++l)
+            ready[l] = rf_row[l];
+        for (std::uint32_t e = offsets[i]; e < offsets[i + 1]; ++e) {
+            const Seconds *__restrict dep_row =
+                ends + static_cast<std::size_t>(edges[e]) * L;
+            for (std::size_t l = 0; l < L; ++l)
+                ready[l] = std::max(ready[l], dep_row[l]);
+        }
+        Seconds *__restrict end_row = ends + i * L;
+        Seconds *__restrict busy_row = busy + r * L;
+        const Seconds *__restrict dur_row = soa + i * L;
+        for (std::size_t l = 0; l < L; ++l) {
+            const Seconds end = ready[l] + dur_row[l];
+            end_row[l] = end;
+            rf_row[l] = end;
+            busy_row[l] += end - ready[l];
+            ms[l] = std::max(ms[l], end);
+        }
+    }
+    for (std::size_t l = 0; l < L; ++l)
+        makespans[l] = ms[l];
+}
+
+template <std::size_t L>
+void
+replayBatchLanes(std::size_t n, const ResourceId *res,
+                 const std::uint32_t *offsets, const TaskId *edges,
+                 const Seconds *__restrict soa,
+                 Seconds *__restrict ends,
+                 Seconds *__restrict resource_free,
+                 Seconds *__restrict busy,
+                 Seconds *__restrict makespans)
+{
+    replayBatchLanesImpl<L>(n, res, offsets, edges, soa, ends,
+                            resource_free, busy, makespans);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+// Wider-vector clones of the same body, selected at runtime. Only
+// max/add/sub touch the lane values and those are IEEE-exact at any
+// vector width (and neither target enables FMA contraction), so the
+// clones stay bit-identical to the baseline kernel.
+#define TWOCS_BATCH_ISA_CLONES 1
+#pragma GCC push_options
+#pragma GCC target("avx2")
+template <std::size_t L>
+void
+replayBatchLanesAvx2(std::size_t n, const ResourceId *res,
+                     const std::uint32_t *offsets, const TaskId *edges,
+                     const Seconds *__restrict soa,
+                     Seconds *__restrict ends,
+                     Seconds *__restrict resource_free,
+                     Seconds *__restrict busy,
+                     Seconds *__restrict makespans)
+{
+    replayBatchLanesImpl<L>(n, res, offsets, edges, soa, ends,
+                            resource_free, busy, makespans);
+}
+#pragma GCC pop_options
+
+#pragma GCC push_options
+#pragma GCC target("avx512f")
+template <std::size_t L>
+void
+replayBatchLanesAvx512(std::size_t n, const ResourceId *res,
+                       const std::uint32_t *offsets,
+                       const TaskId *edges,
+                       const Seconds *__restrict soa,
+                       Seconds *__restrict ends,
+                       Seconds *__restrict resource_free,
+                       Seconds *__restrict busy,
+                       Seconds *__restrict makespans)
+{
+    replayBatchLanesImpl<L>(n, res, offsets, edges, soa, ends,
+                            resource_free, busy, makespans);
+}
+#pragma GCC pop_options
+#endif
+
+template <std::size_t L>
+void
+replayBatchDispatch(std::size_t n, const ResourceId *res,
+                    const std::uint32_t *offsets, const TaskId *edges,
+                    const Seconds *__restrict soa,
+                    Seconds *__restrict ends,
+                    Seconds *__restrict resource_free,
+                    Seconds *__restrict busy,
+                    Seconds *__restrict makespans)
+{
+#ifdef TWOCS_BATCH_ISA_CLONES
+    static const int isa = __builtin_cpu_supports("avx512f") ? 2
+                           : __builtin_cpu_supports("avx2")  ? 1
+                                                             : 0;
+    if (isa == 2) {
+        replayBatchLanesAvx512<L>(n, res, offsets, edges, soa, ends,
+                                  resource_free, busy, makespans);
+        return;
+    }
+    if (isa == 1) {
+        replayBatchLanesAvx2<L>(n, res, offsets, edges, soa, ends,
+                                resource_free, busy, makespans);
+        return;
+    }
+#endif
+    replayBatchLanes<L>(n, res, offsets, edges, soa, ends,
+                        resource_free, busy, makespans);
+}
+
+} // namespace
+
+void
+replayBatch(const GraphTemplate &graph,
+            std::span<const Seconds> durations_soa, std::size_t lanes,
+            BatchScratch &scratch)
+{
+    const std::size_t n = graph.numTasks();
+    panicIf(lanes == 0, "replayBatch() needs at least one lane");
+    panicIf(!durations_soa.empty() &&
+                durations_soa.size() != n * lanes,
+            "replayBatch() SoA size ", durations_soa.size(),
+            " does not match ", n, " tasks x ", lanes, " lanes");
+    panicIf(scratch.bound_ != nullptr && scratch.bound_ != &graph,
+            "replayBatch() scratch is still bound to another "
+            "template; call bind() to reuse the arena");
+
+    TWOCS_OBS_SPAN(obs::Category::Sim, "sim.replay_batch", [&] {
+        return "tasks=" + std::to_string(n) +
+               " lanes=" + std::to_string(lanes);
+    });
+
+    scratch.bind(graph, lanes);
+    std::fill(scratch.resourceFree_.begin(),
+              scratch.resourceFree_.end(), 0.0);
+    std::fill(scratch.busyTotals_.begin(),
+              scratch.busyTotals_.end(), 0.0);
+    std::fill(scratch.makespans_.begin(), scratch.makespans_.end(),
+              0.0);
+
+    // Raw restrict-qualified pointers: the rows live in distinct
+    // arenas (and a task's dependency rows precede its own end row),
+    // so telling the compiler so lets the lane loops vectorize
+    // without runtime overlap checks.
+    const std::size_t L = lanes;
+    Seconds *__restrict ends = scratch.ends_.data();
+    Seconds *__restrict ready = scratch.ready_.data();
+    Seconds *__restrict resource_free = scratch.resourceFree_.data();
+    Seconds *__restrict busy = scratch.busyTotals_.data();
+    Seconds *__restrict makespans = scratch.makespans_.data();
+    const ResourceId *res = graph.resources_.data();
+    const std::uint32_t *offsets = graph.depOffsets_.data();
+    const TaskId *edges = graph.depEdges_.data();
+    const bool broadcast = durations_soa.empty();
+    const Seconds *base = graph.durations_.data();
+    const Seconds *__restrict soa = durations_soa.data();
+
+    // The sequential recurrence, lane-interleaved: every lane sees
+    // exactly the op sequence replay() would run for its duration
+    // vector (ready = stream-free, then dep maxes in edge order,
+    // then one add), so each lane is bit-identical to a sequential
+    // replay — the inner loops just run over `L` adjacent doubles.
+    // Common widths take the unrolled register kernel.
+    if (!broadcast) {
+        switch (L) {
+          case 2:
+            replayBatchDispatch<2>(n, res, offsets, edges, soa, ends,
+                                resource_free, busy, makespans);
+            return;
+          case 4:
+            replayBatchDispatch<4>(n, res, offsets, edges, soa, ends,
+                                resource_free, busy, makespans);
+            return;
+          case 8:
+            replayBatchDispatch<8>(n, res, offsets, edges, soa, ends,
+                                resource_free, busy, makespans);
+            return;
+          case 16:
+            replayBatchDispatch<16>(n, res, offsets, edges, soa, ends,
+                                resource_free, busy, makespans);
+            return;
+          default:
+            break;
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = static_cast<std::size_t>(res[i]);
+        Seconds *__restrict rf_row = resource_free + r * L;
+        for (std::size_t l = 0; l < L; ++l)
+            ready[l] = rf_row[l];
+        for (std::uint32_t e = offsets[i]; e < offsets[i + 1]; ++e) {
+            const Seconds *__restrict dep_row =
+                ends + static_cast<std::size_t>(edges[e]) * L;
+            for (std::size_t l = 0; l < L; ++l)
+                ready[l] = std::max(ready[l], dep_row[l]);
+        }
+        Seconds *__restrict end_row = ends + i * L;
+        Seconds *__restrict busy_row = busy + r * L;
+        if (broadcast) {
+            const Seconds d = base[i];
+            for (std::size_t l = 0; l < L; ++l) {
+                const Seconds end = ready[l] + d;
+                end_row[l] = end;
+                rf_row[l] = end;
+                busy_row[l] += end - ready[l];
+                makespans[l] = std::max(makespans[l], end);
+            }
+        } else {
+            const Seconds *__restrict dur_row = soa + i * L;
+            for (std::size_t l = 0; l < L; ++l) {
+                const Seconds end = ready[l] + dur_row[l];
+                end_row[l] = end;
+                rf_row[l] = end;
+                busy_row[l] += end - ready[l];
+                makespans[l] = std::max(makespans[l], end);
+            }
+        }
+    }
+}
+
+Seconds
+DeltaScratch::taskStart(TaskId id) const
+{
+    panicIf(id < 0 || static_cast<std::size_t>(id) >= starts_.size(),
+            "taskStart() of unknown task ", id);
+    if (full_)
+        return fullScratch_
+            .placements()[static_cast<std::size_t>(id)]
+            .start;
+    return starts_[static_cast<std::size_t>(id)];
+}
+
+Seconds
+DeltaScratch::taskEnd(TaskId id) const
+{
+    panicIf(id < 0 || static_cast<std::size_t>(id) >= ends_.size(),
+            "taskEnd() of unknown task ", id);
+    if (full_)
+        return fullScratch_
+            .placements()[static_cast<std::size_t>(id)]
+            .end;
+    return ends_[static_cast<std::size_t>(id)];
+}
+
+double
+DeltaScratch::coneFraction() const
+{
+    return graph_ == nullptr || graph_->numTasks() == 0
+               ? 0.0
+               : static_cast<double>(cone_) /
+                     static_cast<double>(graph_->numTasks());
+}
+
+void
+DeltaScratch::rebase(const GraphTemplate &graph,
+                     const ReplayScratch &base)
+{
+    graph_ = &graph;
+    base_ = &base;
+    baseGeneration_ = base.generation();
+    const std::size_t n = graph.numTasks();
+    starts_.resize(n);
+    ends_.resize(n);
+    const std::vector<ScheduledTask> &placed = base.placements();
+    for (std::size_t i = 0; i < n; ++i) {
+        starts_[i] = placed[i].start;
+        ends_[i] = placed[i].end;
+    }
+    stamp_.assign(n, 0);
+    epoch_ = 0;
+    heap_.clear();
+    undo_.clear();
+    baseMakespan_ = base.makespan();
+    fullScratch_.bind(graph);
+    fullDurations_ = graph.baseDurations();
+}
+
+void
+DeltaScratch::restore()
+{
+    // A fallback query undoes its partial walk before replaying, so
+    // starts_/ends_ always hold the base placements plus at most the
+    // latest incremental query's cone — the undo log covers it.
+    for (const Undo &u : undo_) {
+        starts_[static_cast<std::size_t>(u.id)] = u.start;
+        ends_[static_cast<std::size_t>(u.id)] = u.end;
+    }
+    undo_.clear();
+}
+
+Seconds
+replayDelta(const GraphTemplate &graph, const ReplayScratch &base,
+            TaskId task, Seconds new_duration, DeltaScratch &scratch)
+{
+    const std::size_t n = graph.numTasks();
+    panicIf(task < 0 || static_cast<std::size_t>(task) >= n,
+            "replayDelta() of unknown task ", task);
+    panicIf(base.boundTemplate() != &graph,
+            "replayDelta() base replay is not bound to this "
+            "template");
+
+    if (scratch.graph_ != &graph || scratch.base_ != &base ||
+        scratch.baseGeneration_ != base.generation())
+        scratch.rebase(graph, base);
+    else
+        scratch.restore();
+
+    if (++scratch.epoch_ == 0) {
+        // uint32 epoch wrapped: reset the stamps once and restart.
+        std::fill(scratch.stamp_.begin(), scratch.stamp_.end(), 0);
+        scratch.epoch_ = 1;
+    }
+    const std::uint32_t epoch = scratch.epoch_;
+    scratch.cone_ = 0;
+    scratch.full_ = false;
+
+    const std::size_t limit = std::max<std::size_t>(
+        1, static_cast<std::size_t>(scratch.crossoverFraction *
+                                    static_cast<double>(n)));
+
+    std::vector<TaskId> &heap = scratch.heap_;
+    heap.clear();
+    const auto push = [&](TaskId t) {
+        if (t == InvalidTask)
+            return;
+        std::uint32_t &stamp =
+            scratch.stamp_[static_cast<std::size_t>(t)];
+        if (stamp == epoch)
+            return;
+        stamp = epoch;
+        heap.push_back(t);
+        std::push_heap(heap.begin(), heap.end(),
+                       std::greater<TaskId>());
+    };
+    push(task);
+
+    Seconds changed_max = -std::numeric_limits<Seconds>::infinity();
+    bool holder_shrunk = false;
+    bool fell_back = false;
+
+    // Frontier walk in increasing task-id order: every pushed id is
+    // greater than the id it was pushed from (deps point backwards,
+    // FIFO heirs forwards), so by the time a task pops, all of its
+    // inputs hold their final values.
+    while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(),
+                      std::greater<TaskId>());
+        const TaskId i = heap.back();
+        heap.pop_back();
+        if (++scratch.cone_ > limit) {
+            fell_back = true;
+            break;
+        }
+        const std::size_t ti = static_cast<std::size_t>(i);
+        const TaskId prev = graph.prevOnResource(i);
+        Seconds ready =
+            prev == InvalidTask
+                ? 0.0
+                : scratch.ends_[static_cast<std::size_t>(prev)];
+        for (TaskId dep : graph.deps(i))
+            ready = std::max(
+                ready,
+                scratch.ends_[static_cast<std::size_t>(dep)]);
+        const Seconds dur =
+            i == task ? new_duration : graph.baseDuration(i);
+        const Seconds end = ready + dur;
+        if (ready == scratch.starts_[ti] && end == scratch.ends_[ti])
+            continue; // placement bitwise unchanged: prune here
+        scratch.undo_.push_back({ i, scratch.starts_[ti],
+                                  scratch.ends_[ti] });
+        if (scratch.ends_[ti] == scratch.baseMakespan_ &&
+            end < scratch.ends_[ti])
+            holder_shrunk = true;
+        scratch.starts_[ti] = ready;
+        scratch.ends_[ti] = end;
+        changed_max = std::max(changed_max, end);
+        for (TaskId s : graph.successors(i))
+            push(s);
+        push(graph.nextOnResource(i));
+    }
+
+    if (fell_back) {
+        // The cone crossed the crossover threshold: a plain forward
+        // pass is cheaper than finishing the walk. Undo the partial
+        // cone, replay once with the perturbed vector, and adopt its
+        // placements wholesale.
+        for (const DeltaScratch::Undo &u : scratch.undo_) {
+            scratch.starts_[static_cast<std::size_t>(u.id)] = u.start;
+            scratch.ends_[static_cast<std::size_t>(u.id)] = u.end;
+        }
+        scratch.undo_.clear();
+        heap.clear();
+        scratch.full_ = true;
+        scratch.fullDurations_[static_cast<std::size_t>(task)] =
+            new_duration;
+        replay(graph, scratch.fullDurations_, scratch.fullScratch_);
+        scratch.fullDurations_[static_cast<std::size_t>(task)] =
+            graph.baseDuration(task);
+        // starts_/ends_ stay at the base placements; taskStart() /
+        // taskEnd() read the fallback pass's placements directly
+        // while full_ is set, so no wholesale copy is needed.
+        scratch.makespan_ = scratch.fullScratch_.makespan();
+        return scratch.makespan_;
+    }
+
+    if (scratch.undo_.empty()) {
+        scratch.makespan_ = scratch.baseMakespan_;
+    } else if (holder_shrunk) {
+        // A task that attained the base makespan got faster: rescan.
+        // The fold starts at 0.0 and runs in task order, exactly
+        // like the sequential pass.
+        Seconds m = 0.0;
+        for (const Seconds end : scratch.ends_)
+            m = std::max(m, end);
+        scratch.makespan_ = m;
+    } else {
+        scratch.makespan_ = std::max(scratch.baseMakespan_,
+                                     changed_max);
+    }
+    return scratch.makespan_;
 }
 
 } // namespace twocs::sim

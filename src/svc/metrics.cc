@@ -58,8 +58,25 @@ ServiceMetrics::absorb(const ServiceMetrics &other)
         batchSizes_[size] += count;
 }
 
+Seconds
+ServiceMetrics::latencyMax() const
+{
+    Seconds max = 0.0;
+    for (const Seconds s : latencySeconds_)
+        max = std::max(max, s);
+    return max;
+}
+
 void
 ServiceMetrics::writeJson(std::ostream &os) const
+{
+    writeJson(os, {});
+}
+
+void
+ServiceMetrics::writeJson(
+    std::ostream &os,
+    const std::vector<const ServiceMetrics *> &shards) const
 {
     os << "{\n"
        << "  \"requests\": " << requests_ << ",\n"
@@ -81,7 +98,26 @@ ServiceMetrics::writeJson(std::ostream &os) const
        << json::number(latencyPercentile(0.50)) << ",\n"
        << "  \"latency_seconds_p95\": "
        << json::number(latencyPercentile(0.95)) << ",\n"
-       << "  \"batch_size_histogram\": [";
+       << "  \"latency_seconds_p99\": "
+       << json::number(latencyPercentile(0.99)) << ",\n"
+       << "  \"latency_seconds_max\": " << json::number(latencyMax())
+       << ",\n";
+    if (!shards.empty()) {
+        os << "  \"shards\": [";
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            const ServiceMetrics &m = *shards[i];
+            os << (i == 0 ? "\n" : ",\n") << "    { \"shard\": " << i
+               << ", \"requests\": " << m.requests()
+               << ", \"latency_seconds_p50\": "
+               << json::number(m.latencyPercentile(0.50))
+               << ", \"latency_seconds_p99\": "
+               << json::number(m.latencyPercentile(0.99))
+               << ", \"latency_seconds_max\": "
+               << json::number(m.latencyMax()) << " }";
+        }
+        os << "\n  ],\n";
+    }
+    os << "  \"batch_size_histogram\": [";
     bool first = true;
     for (const auto &[size, count] : batchSizes_) {
         os << (first ? "\n" : ",\n") << "    { \"size\": " << size

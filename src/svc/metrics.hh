@@ -117,12 +117,23 @@ class ServiceMetrics
     /** Nearest-rank percentile of the latency reservoir. */
     Seconds latencyPercentile(double q) const;
 
+    /** Largest latency sample (0 when the reservoir is empty). */
+    Seconds latencyMax() const;
+
     /**
      * Write the full registry as a JSON document (the `--metrics
-     * FILE` payload): counters, hit rate, latency p50/p95 and the
-     * batch-size histogram (buckets are exact batch sizes).
+     * FILE` payload): counters, hit rate, latency p50/p95/p99/max
+     * and the batch-size histogram (buckets are exact batch sizes).
+     * The overload taking `shards` additionally emits a `"shards"`
+     * array with each shard registry's request count and latency
+     * p50/p99/max, in shard order — the socket front-end passes its
+     * per-shard service registries here so tail latency can be
+     * attributed to the shard that incurred it.
      */
     void writeJson(std::ostream &os) const;
+    void writeJson(std::ostream &os,
+                   const std::vector<const ServiceMetrics *> &shards)
+        const;
 
   private:
     std::uint64_t requests_ = 0;

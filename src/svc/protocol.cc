@@ -123,10 +123,11 @@ class FlatObjectParser
     {
         JsonValue v;
         const char c = peek();
-        if (c == '{' && !nested && key == "parallel") {
+        if (c == '{' && !nested &&
+            (key == "parallel" || key == "perturb")) {
             v.kind = JsonValue::Kind::Object;
             v.object = parseObject(
-                "expected an object for field 'parallel'",
+                "expected an object for field '" + key + "'",
                 /*nested=*/true);
             return v;
         }
@@ -161,8 +162,9 @@ class FlatObjectParser
                     "' is not a valid JSON number");
         } else if (c == '{' || c == '[') {
             fatal("byte ", pos_, ": field '", key,
-                  "' must be a scalar (the only structured field is "
-                  "the top-level 'parallel' object)");
+                  "' must be a scalar (the only structured fields "
+                  "are the top-level 'parallel' and 'perturb' "
+                  "objects)");
         } else {
             fatal("byte ", pos_, ": expected a value for field '", key,
                   "'");
@@ -272,10 +274,12 @@ kindFromName(const std::string &name)
         return QueryKind::Slack;
     if (name == "memory")
         return QueryKind::Memory;
+    if (name == "perturb")
+        return QueryKind::Perturb;
     if (name == "stats")
         return QueryKind::Stats;
     fatal("unknown kind '", name,
-          "' (project|analyze|slack|memory|stats)");
+          "' (project|analyze|slack|memory|perturb|stats)");
 }
 
 /** Whether `key` is a protocol field at all (any kind). */
@@ -284,7 +288,7 @@ knownField(const std::string &key)
 {
     for (const char *name :
          { "hidden", "seqlen", "batch", "tp", "dp", "parallel",
-           "model", "precision", "ground_truth", "device",
+           "perturb", "model", "precision", "ground_truth", "device",
            "flop_scale", "bw_scale", "pin" }) {
         if (key == name)
             return true;
@@ -305,20 +309,22 @@ fieldAppliesTo(const std::string &key, QueryKind kind)
     };
     using enum QueryKind;
     if (key == "hidden" || key == "seqlen")
-        return any({ Project, Slack });
+        return any({ Project, Slack, Perturb });
     if (key == "batch")
-        return any({ Project, Slack, Analyze });
+        return any({ Project, Slack, Analyze, Perturb });
     if (key == "tp" || key == "parallel")
-        return any({ Project, Analyze, Memory });
+        return any({ Project, Analyze, Memory, Perturb });
     if (key == "dp")
-        return any({ Analyze });
+        return any({ Analyze, Perturb });
+    if (key == "perturb")
+        return any({ Perturb });
     if (key == "model" || key == "precision")
         return any({ Analyze, Memory });
     if (key == "ground_truth")
         return any({ Project });
     if (key == "device" || key == "flop_scale" || key == "bw_scale" ||
         key == "pin")
-        return any({ Project, Analyze, Slack, Memory });
+        return any({ Project, Analyze, Slack, Memory, Perturb });
     return false;
 }
 
@@ -409,6 +415,32 @@ parallelField(const Member &m, model::ParallelPlan *plan,
     }
 }
 
+/** Apply the structured `perturb` object: the what-if task id and
+ *  its duration multiplier. */
+void
+perturbField(const Member &m, Query *q)
+{
+    fatalIf(m.value.kind != JsonValue::Kind::Object,
+            "field 'perturb' expects an object, e.g. "
+            "{\"task\": 12, \"scale\": 1.05}");
+    bool task_named = false;
+    for (const Member &sub : m.value.object) {
+        Member named = sub;
+        named.key = "perturb." + sub.key;
+        if (sub.key == "task") {
+            q->perturbTask =
+                intField(named, 0, std::int64_t{ 1 } << 32);
+            task_named = true;
+        } else if (sub.key == "scale")
+            q->perturbScale = doubleField(named, 0.0);
+        else
+            fatal("unknown field 'perturb.", sub.key,
+                  "' (task|scale)");
+    }
+    fatalIf(!task_named, "field 'perturb' requires 'task'");
+    q->perturbSet = true;
+}
+
 } // namespace
 
 const char *
@@ -423,6 +455,8 @@ kindName(QueryKind kind)
         return "slack";
       case QueryKind::Memory:
         return "memory";
+      case QueryKind::Perturb:
+        return "perturb";
       case QueryKind::Stats:
         return "stats";
     }
@@ -481,6 +515,16 @@ parseQuery(const std::string &line)
       case QueryKind::Memory:
         q.model = "GPT-3";
         break;
+      case QueryKind::Perturb:
+        // The resident what-if graph defaults to the bench-sized
+        // case study (micro_sim_perf's benchCaseConfig), so the
+        // first query against a system stays cheap to compile.
+        q.hidden = 8192;
+        q.seqLen = 2048;
+        q.batch = 1;
+        q.tpDegree = 16;
+        q.dpDegree = 4;
+        break;
       case QueryKind::Stats:
         break;
     }
@@ -529,7 +573,9 @@ parseQuery(const std::string &line)
             q.plan.dpDegree = q.dpDegree;
             parallelField(m, &q.plan, &plan_tp_named);
             q.planSet = true;
-        } else if (m.key == "model")
+        } else if (m.key == "perturb")
+            perturbField(m, &q);
+        else if (m.key == "model")
             q.model = stringField(m);
         else if (m.key == "precision")
             q.precision = stringField(m);
@@ -567,6 +613,16 @@ parseQuery(const std::string &line)
         if (flat_tp || flat_dp)
             q.usedDeprecatedParallelFields = true;
     }
+
+    fatalIf(q.kind == QueryKind::Perturb && !q.perturbSet,
+            "kind 'perturb' requires the structured 'perturb' "
+            "object, e.g. {\"task\": 12, \"scale\": 1.05}");
+    fatalIf(q.kind == QueryKind::Perturb &&
+                (q.plan.ppDegree > 1 || q.plan.microBatches > 1 ||
+                 q.plan.zeroStage > 0 || q.plan.epDegree > 1 ||
+                 q.plan.sequenceParallel || !q.plan.overlapDpComm),
+            "kind 'perturb' replays the two-stream tp/dp case-study "
+            "graph; 'parallel' axes beyond tp/dp are not supported");
 
     if (q.kind != QueryKind::Stats) {
         // Resolve the device against the catalog now so a typo is a
@@ -645,6 +701,16 @@ canonicalKey(const Query &query)
         key += "|dp=" + std::to_string(query.dpDegree);
         key += planSuffix(query.plan);
         key += "|prec=" + query.precision;
+        break;
+      case QueryKind::Perturb:
+        key += "|h=" + std::to_string(query.hidden);
+        key += "|sl=" + std::to_string(query.seqLen);
+        key += "|b=" + std::to_string(query.batch);
+        key += "|tp=" + std::to_string(query.tpDegree);
+        key += "|dp=" + std::to_string(query.dpDegree);
+        key += planSuffix(query.plan);
+        key += "|task=" + std::to_string(query.perturbTask);
+        key += "|scale=" + json::number(query.perturbScale);
         break;
       case QueryKind::Stats:
         break;

@@ -8,19 +8,23 @@
  *    "batch": 1, "parallel": {"tp": 256, "pp": 4, "zero": 1},
  *    "flop_scale": 4}
  *
- * The object is flat except for the single structured `parallel`
- * member (proto v3), which carries the full 3D plan: tp, pp, micro,
- * dp, zero, ep, sp. The flat `tp`/`dp` fields of proto v2 still
- * parse — they are deprecated aliases for a tp/dp-only plan, counted
- * in the stats `deprecated_field_requests` counter — but cannot be
- * combined with a `parallel` object in one request.
+ * The object is flat except for two structured members: `parallel`
+ * (proto v3), which carries the full 3D plan — tp, pp, micro, dp,
+ * zero, ep, sp — and `perturb`, which carries a what-if
+ * perturbation: {"task": N, "scale": r}. The flat `tp`/`dp` fields
+ * of proto v2 still parse — they are deprecated aliases for a
+ * tp/dp-only plan, counted in the stats `deprecated_field_requests`
+ * counter — but cannot be combined with a `parallel` object in one
+ * request.
  *
  * Query kinds mirror the CLI analyses: `project` (operator-model
  * serialized-comm projection, optionally `"ground_truth": true` for
  * the full simulated iteration), `analyze` (zoo-model iteration
  * breakdown), `slack` (overlapped DP-comm analysis), `memory`
- * (per-device footprint / minimum TP) and `stats` (service counter
- * snapshot). Parsing is strict: malformed JSON, unknown fields,
+ * (per-device footprint / minimum TP), `perturb` (delta-replay
+ * what-if over the case-study graph: "this task `scale`x slower,
+ * new makespan?") and `stats` (service counter snapshot). Parsing
+ * is strict: malformed JSON, unknown fields,
  * fields that do not apply to the requested kind, wrong value types
  * and out-of-range values are all rejected with a diagnostic naming
  * the byte offset or field, so a misspelled key can never silently
@@ -46,7 +50,7 @@
 namespace twocs::svc {
 
 /** What a request asks for. */
-enum class QueryKind { Project, Analyze, Slack, Memory, Stats };
+enum class QueryKind { Project, Analyze, Slack, Memory, Perturb, Stats };
 
 /** The protocol name of a kind ("project", ...). */
 const char *kindName(QueryKind kind);
@@ -95,6 +99,15 @@ struct Query
     /** project: evaluate the full simulated iteration instead of the
      *  operator-model projection. */
     bool groundTruth = false;
+
+    // --- what-if perturbation (perturb) ---
+    /** Task id whose duration the what-if rescales. */
+    std::int64_t perturbTask = 0;
+    /** Multiplier applied to the task's base duration. */
+    double perturbScale = 1.0;
+    /** Whether the request carried the structured `perturb` object
+     *  (required for kind "perturb"). */
+    bool perturbSet = false;
 
     // --- system under study (all compute kinds) ---
     /** Resolved catalog device name (never empty after parsing). */

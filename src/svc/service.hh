@@ -146,6 +146,8 @@ class QueryService
   private:
     /** One system's resident calibrated analyses. */
     struct SystemEntry;
+    /** One case-study graph resident for delta-replay what-ifs. */
+    struct PerturbEntry;
 
     void processBatch(NumberedLines &&lines, std::ostream &out);
 
@@ -153,9 +155,19 @@ class QueryService
      *  from the sequential phases only. */
     const SystemEntry &systemFor(const Query &query);
 
-    /** Pure per-query evaluation; safe to call from workers. */
+    /** Perturb-graph registry lookup, compiling the case-study
+     *  template and its base replay on first sight of a (system,
+     *  hidden, seqlen, batch, tp, dp) configuration. Sequential
+     *  phases only. */
+    PerturbEntry &perturbFor(const Query &query,
+                             const SystemEntry &system);
+
+    /** Per-query evaluation; safe to call from workers. Pure except
+     *  for perturb queries, which serialize on their entry's mutex
+     *  (the delta scratch is shared mutable state). */
     static std::string evaluate(const Query &query,
-                                const SystemEntry &system);
+                                const SystemEntry &system,
+                                PerturbEntry *perturb);
 
     /** Deterministic counter snapshot for a `stats` response. */
     std::string statsPayload() const;
@@ -166,6 +178,7 @@ class QueryService
     ShardedLruCache cache_;
     ServiceMetrics metrics_;
     std::map<std::string, std::unique_ptr<SystemEntry>> systems_;
+    std::map<std::string, std::unique_ptr<PerturbEntry>> perturbs_;
     std::unique_ptr<exec::ThreadPool> pool_;
     std::size_t lineNo_ = 0;
 };

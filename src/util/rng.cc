@@ -88,8 +88,12 @@ Rng::noiseFactor(double rel_stddev)
         return 1.0;
     // Log-normal with unit mean: exp(sigma*Z - sigma^2/2) where
     // sigma approximates the relative stddev for small values.
-    const double sigma =
-        std::sqrt(std::log(1.0 + rel_stddev * rel_stddev));
+    if (rel_stddev != cachedRelStddev_) {
+        cachedRelStddev_ = rel_stddev;
+        cachedSigma_ =
+            std::sqrt(std::log(1.0 + rel_stddev * rel_stddev));
+    }
+    const double sigma = cachedSigma_;
     return std::exp(sigma * nextGaussian() - 0.5 * sigma * sigma);
 }
 

@@ -49,6 +49,11 @@ class Rng
     std::uint64_t state_[4];
     bool hasSpare_ = false;
     double spare_ = 0.0;
+    /** noiseFactor()'s derived sigma, cached per rel_stddev: the
+     *  sqrt/log setup dominates a draw and almost every caller uses
+     *  one stddev for a whole study. Same formula, same bits. */
+    double cachedRelStddev_ = -1.0;
+    double cachedSigma_ = 0.0;
 };
 
 } // namespace twocs

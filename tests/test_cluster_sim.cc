@@ -130,6 +130,30 @@ TEST(ClusterReplay, TrialsMatchRebuildBitForBitAtAnyJobs)
     }
 }
 
+TEST(ClusterReplay, BatchedTrialsMatchRebuildAtAnyJobsAndLanes)
+{
+    // The SoA-batched engine must reproduce the rebuild engine
+    // exactly at every jobs count and lane width — including lane
+    // widths that leave a partial tail block (5 over 8 trials) and
+    // the degenerate single-lane case.
+    ClusterSim sim;
+    const ClusterSimConfig cfg = smallConfig(4, 0.10);
+    exec::RunnerOptions serial;
+    serial.jobs = 1;
+    const ClusterTrialSummary reference =
+        sim.runTrials(cfg, 8, serial, TrialEngine::Rebuild);
+    for (int jobs : { 1, 2, 4 }) {
+        for (int lanes : { 1, 4, 5 }) {
+            exec::RunnerOptions runner;
+            runner.jobs = jobs;
+            expectIdentical(
+                reference,
+                sim.runTrials(cfg, 8, runner,
+                              TrialEngine::BatchedReplay, lanes));
+        }
+    }
+}
+
 TEST(ClusterReplay, SingleTrialMatchesRun)
 {
     // Trial 0 runs with the splitmix-derived seed; run() with that

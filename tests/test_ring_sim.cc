@@ -9,6 +9,7 @@
 #include "hw/catalog.hh"
 #include "hw/efficiency.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace twocs::comm {
 namespace {
@@ -130,6 +131,36 @@ TEST(RingReplay, MatchesRebuildBitForBit)
     const RingSimResult replayed = simulateRingCollective(node(8), 64e6, skewed, { {}, RingSimEngine::CompiledReplay });
     const RingSimResult rebuilt = simulateRingCollective(node(8), 64e6, skewed, { {}, RingSimEngine::Rebuild });
     expectIdentical(replayed, rebuilt);
+}
+
+TEST(RingReplay, BatchMatchesPerVectorBitForBit)
+{
+    // The SoA-batched entry point must reproduce the per-vector
+    // replay on every exported number for every lane, including a
+    // batch size that is not a multiple of the internal lane width.
+    Rng rng(99);
+    std::vector<std::vector<Seconds>> arrivals(11);
+    for (std::vector<Seconds> &a : arrivals) {
+        a.resize(8);
+        for (Seconds &t : a)
+            t = rng.nextDouble() * 5e-3;
+    }
+    const std::vector<RingSimResult> batched =
+        simulateRingCollectiveBatch(node(8), 64e6, arrivals);
+    ASSERT_EQ(batched.size(), arrivals.size());
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const RingSimResult single = simulateRingCollective(
+            node(8), 64e6, arrivals[i],
+            { {}, RingSimEngine::CompiledReplay });
+        EXPECT_EQ(batched[i].finishTime, single.finishTime) << i;
+        EXPECT_EQ(batched[i].collectiveTime, single.collectiveTime)
+            << i;
+        EXPECT_EQ(batched[i].maxStallTime, single.maxStallTime) << i;
+        EXPECT_EQ(batched[i].deviceFinish, single.deviceFinish) << i;
+        // Batched replay keeps only ends; the schedule is empty by
+        // contract.
+        EXPECT_EQ(batched[i].schedule.numTasks(), 0u) << i;
+    }
 }
 
 TEST(RingReplay, CachedTemplateReplaysAreIndependent)

@@ -262,5 +262,299 @@ TEST(GraphReplay, ConcurrentReplaysShareOneTemplate)
         EXPECT_EQ(mismatches[t], 0) << "thread " << t;
 }
 
+TEST(GraphTemplate, ReplayIndexCoversDepsAndFifoChains)
+{
+    // The reverse CSR and per-resource FIFO chains that delta-replay
+    // walks, on the diamond: src(a) -> {left(a), right(b)} ->
+    // sink(a).
+    const EventSimulator des = buildDiamond();
+    const std::shared_ptr<const GraphTemplate> g = des.compile();
+
+    ASSERT_EQ(g->successors(0).size(), 2u);
+    EXPECT_EQ(g->successors(0)[0], 1);
+    EXPECT_EQ(g->successors(0)[1], 2);
+    ASSERT_EQ(g->successors(1).size(), 1u);
+    EXPECT_EQ(g->successors(1)[0], 3);
+    EXPECT_TRUE(g->successors(3).empty());
+
+    EXPECT_EQ(g->prevOnResource(0), InvalidTask);
+    EXPECT_EQ(g->nextOnResource(0), 1);
+    EXPECT_EQ(g->prevOnResource(1), 0);
+    EXPECT_EQ(g->nextOnResource(1), 3);
+    EXPECT_EQ(g->prevOnResource(2), InvalidTask);
+    EXPECT_EQ(g->nextOnResource(2), InvalidTask);
+    EXPECT_EQ(g->prevOnResource(3), 1);
+    EXPECT_EQ(g->nextOnResource(3), InvalidTask);
+}
+
+TEST(GraphTemplate, ReplayRejectsScratchBoundElsewhere)
+{
+    // The rebinding contract: a scratch still bound to another
+    // template panics instead of silently re-allocating; an explicit
+    // bind() is the opt-in for arena reuse.
+    const std::shared_ptr<const GraphTemplate> small =
+        buildDiamond().compile();
+    EventSimulator des;
+    const ResourceId r = des.addResource("r");
+    TaskId prev = InvalidTask;
+    for (int i = 0; i < 10; ++i)
+        prev = des.addTask("t", "comp", r, 1.0,
+                           prev == InvalidTask
+                               ? std::vector<TaskId>{}
+                               : std::vector<TaskId>{ prev });
+    const std::shared_ptr<const GraphTemplate> big = des.compile();
+
+    ReplayScratch scratch;
+    replay(*small, {}, scratch);
+    EXPECT_EQ(scratch.boundTemplate(), small.get());
+    EXPECT_THROW(replay(*big, {}, scratch), PanicError);
+    scratch.bind(*big);
+    replay(*big, {}, scratch);
+    EXPECT_EQ(scratch.boundTemplate(), big.get());
+    EXPECT_DOUBLE_EQ(scratch.makespan(), 10.0);
+
+    BatchScratch batch;
+    replayBatch(*small, {}, 2, batch);
+    EXPECT_THROW(replayBatch(*big, {}, 2, batch), PanicError);
+    batch.bind(*big, 3);
+    replayBatch(*big, {}, 3, batch);
+    EXPECT_DOUBLE_EQ(batch.makespan(2), 10.0);
+}
+
+/**
+ * A pseudo-random layered DAG over a few resources: tasks get
+ * random durations, random dependencies on earlier tasks, and a
+ * random resource — the adversarial shape for the batched and delta
+ * walks (irregular fan-in, interleaved FIFO chains).
+ */
+std::shared_ptr<const GraphTemplate>
+buildRandomDag(std::uint64_t seed, int num_tasks, int num_resources)
+{
+    Rng rng(seed);
+    EventSimulator des;
+    std::vector<ResourceId> resources;
+    for (int r = 0; r < num_resources; ++r)
+        resources.push_back(
+            des.addResource("r" + std::to_string(r)));
+    for (int i = 0; i < num_tasks; ++i) {
+        std::vector<TaskId> deps;
+        const int fan_in =
+            static_cast<int>(rng.nextU64() % 3); // 0..2 deps
+        for (int d = 0; d < fan_in && i > 0; ++d) {
+            const auto dep = static_cast<TaskId>(
+                rng.nextU64() % static_cast<std::uint64_t>(i));
+            deps.push_back(dep);
+        }
+        const ResourceId res =
+            resources[rng.nextU64() %
+                      static_cast<std::uint64_t>(num_resources)];
+        des.addTask("t", "comp", res, rng.nextDouble() + 0.1, deps);
+    }
+    return des.compile();
+}
+
+TEST(BatchReplay, LaneWidthsMatchSequentialBitForBit)
+{
+    // Property test across the lane widths the dispatcher treats
+    // differently: 1 (degenerate), 4 (unrolled ISA clone), 33 (odd,
+    // generic loop).
+    const std::shared_ptr<const GraphTemplate> g =
+        buildRandomDag(42, 300, 4);
+    const std::size_t n = g->numTasks();
+
+    for (const std::size_t lanes : { 1u, 4u, 33u }) {
+        Rng rng(lanes);
+        std::vector<Seconds> soa(n * lanes);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t l = 0; l < lanes; ++l)
+                soa[i * lanes + l] = rng.nextDouble() + 0.01;
+
+        BatchScratch batch;
+        replayBatch(*g, soa, lanes, batch);
+
+        ReplayScratch seq;
+        seq.bind(*g);
+        std::vector<Seconds> durations(n);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            for (std::size_t i = 0; i < n; ++i)
+                durations[i] = soa[i * lanes + l];
+            replay(*g, durations, seq);
+            EXPECT_EQ(batch.makespan(l), seq.makespan())
+                << "lanes " << lanes << " lane " << l;
+            for (std::size_t r = 0; r < g->numResources(); ++r)
+                EXPECT_EQ(batch.busyTotal(static_cast<ResourceId>(r),
+                                          l),
+                          seq.busyTotal(static_cast<ResourceId>(r)))
+                    << "lanes " << lanes << " lane " << l
+                    << " resource " << r;
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(
+                    batch.taskEnd(static_cast<TaskId>(i), l),
+                    seq.placements()[i].end)
+                    << "lanes " << lanes << " lane " << l << " task "
+                    << i;
+        }
+    }
+}
+
+TEST(BatchReplay, EmptyDurationsBroadcastBaseDurations)
+{
+    const std::shared_ptr<const GraphTemplate> g =
+        buildRandomDag(43, 100, 3);
+    ReplayScratch seq;
+    replay(*g, {}, seq);
+    BatchScratch batch;
+    replayBatch(*g, {}, 5, batch);
+    for (std::size_t l = 0; l < 5; ++l)
+        EXPECT_EQ(batch.makespan(l), seq.makespan()) << l;
+}
+
+TEST(BatchReplay, ConcurrentBatchedReplaysShareOneTemplate)
+{
+    // Thread contract for the batched walk: one immutable template,
+    // one BatchScratch per thread. (Runs under TSan via the tsan
+    // preset filter.)
+    const std::shared_ptr<const GraphTemplate> g =
+        buildRandomDag(44, 256, 4);
+    const std::size_t n = g->numTasks();
+    constexpr std::size_t kLanes = 8;
+
+    auto soaFor = [&](std::uint64_t seed) {
+        Rng rng(seed);
+        std::vector<Seconds> soa(n * kLanes);
+        for (Seconds &x : soa)
+            x = rng.nextDouble() + 0.01;
+        return soa;
+    };
+
+    constexpr int kThreads = 8;
+    std::vector<std::vector<Seconds>> reference(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        BatchScratch batch;
+        replayBatch(*g, soaFor(static_cast<std::uint64_t>(t)),
+                    kLanes, batch);
+        reference[t].resize(kLanes);
+        for (std::size_t l = 0; l < kLanes; ++l)
+            reference[t][l] = batch.makespan(l);
+    }
+
+    std::vector<int> mismatches(kThreads, 0);
+    {
+        std::vector<std::jthread> workers;
+        workers.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            workers.emplace_back([&, t] {
+                const std::vector<Seconds> soa =
+                    soaFor(static_cast<std::uint64_t>(t));
+                BatchScratch batch;
+                for (int i = 0; i < 50; ++i) {
+                    replayBatch(*g, soa, kLanes, batch);
+                    for (std::size_t l = 0; l < kLanes; ++l)
+                        if (batch.makespan(l) != reference[t][l])
+                            ++mismatches[t];
+                }
+            });
+        }
+    }
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}
+
+TEST(DeltaReplay, EverySingleTaskPerturbationMatchesOracle)
+{
+    // Exhaustive sweep over a random DAG: perturb each task in turn
+    // (grow and shrink), answer via replayDelta, and compare the
+    // makespan and every placement against a full replay with the
+    // same one-entry change. Run once with the crossover disabled
+    // (pure cone walk) and once with it forced (pure fallback).
+    const std::shared_ptr<const GraphTemplate> g =
+        buildRandomDag(45, 200, 3);
+    const std::size_t n = g->numTasks();
+
+    ReplayScratch base;
+    base.bind(*g);
+    replay(*g, {}, base);
+
+    ReplayScratch oracle;
+    oracle.bind(*g);
+    std::vector<Seconds> durations(n);
+    for (std::size_t i = 0; i < n; ++i)
+        durations[i] = g->baseDuration(i);
+
+    for (const double crossover : { 2.0, 0.0 }) {
+        DeltaScratch delta;
+        delta.crossoverFraction = crossover;
+        for (const double scale : { 1.7, 0.3 }) {
+            for (std::size_t t = 0; t < n; ++t) {
+                const Seconds perturbed =
+                    g->baseDuration(static_cast<TaskId>(t)) * scale;
+                const Seconds fast = replayDelta(
+                    *g, base, static_cast<TaskId>(t), perturbed,
+                    delta);
+                durations[t] = perturbed;
+                replay(*g, durations, oracle);
+                durations[t] =
+                    g->baseDuration(static_cast<TaskId>(t));
+
+                ASSERT_EQ(fast, oracle.makespan())
+                    << "crossover " << crossover << " scale "
+                    << scale << " task " << t;
+                EXPECT_EQ(delta.makespan(), fast);
+                // With the crossover disabled the walk must finish
+                // incrementally; forced to 0 it may still answer a
+                // one-task cone (a sink) without falling back.
+                if (crossover == 2.0)
+                    EXPECT_FALSE(delta.usedFullReplay())
+                        << "crossover " << crossover << " task "
+                        << t;
+                for (std::size_t i = 0; i < n; ++i) {
+                    ASSERT_EQ(
+                        delta.taskStart(static_cast<TaskId>(i)),
+                        oracle.placements()[i].start)
+                        << "crossover " << crossover << " scale "
+                        << scale << " task " << t << " place " << i;
+                    ASSERT_EQ(delta.taskEnd(static_cast<TaskId>(i)),
+                              oracle.placements()[i].end)
+                        << "crossover " << crossover << " scale "
+                        << scale << " task " << t << " place " << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(DeltaReplay, ResyncsWhenTheBaseReplayChanges)
+{
+    // The generation contract: replaying new durations into the base
+    // scratch invalidates the delta cache, which must resync rather
+    // than answer against stale placements.
+    const std::shared_ptr<const GraphTemplate> g =
+        buildRandomDag(46, 50, 2);
+    const std::size_t n = g->numTasks();
+
+    ReplayScratch base;
+    base.bind(*g);
+    replay(*g, {}, base);
+
+    DeltaScratch delta;
+    const Seconds before = replayDelta(
+        *g, base, 0, g->baseDuration(0) * 2.0, delta);
+
+    // Rebase: double every duration and replay into the same
+    // scratch. Delta answers must now be computed against the new
+    // baseline... except replayDelta() requires the base replay to
+    // hold the *template's* base durations, so replay those again.
+    std::vector<Seconds> doubled(n);
+    for (std::size_t i = 0; i < n; ++i)
+        doubled[i] = g->baseDuration(static_cast<TaskId>(i)) * 2.0;
+    replay(*g, doubled, base);
+    replay(*g, {}, base);
+
+    const Seconds after = replayDelta(
+        *g, base, 0, g->baseDuration(0) * 2.0, delta);
+    EXPECT_EQ(before, after);
+    EXPECT_EQ(delta.baseMakespan(), base.makespan());
+}
+
 } // namespace
 } // namespace twocs::sim

@@ -16,6 +16,8 @@
 
 #include "cli/commands.hh"
 #include "core/amdahl.hh"
+#include "core/case_study.hh"
+#include "sim/graph.hh"
 #include "svc/cache.hh"
 #include "svc/protocol.hh"
 #include "svc/service.hh"
@@ -666,6 +668,75 @@ TEST(SvcProtoV3, StatsCountDeprecatedFieldRequests)
     EXPECT_EQ(old.find("deprecated_field_requests"),
               std::string::npos)
         << old;
+}
+
+// --- proto-v3 perturb queries ---
+
+TEST(SvcPerturb, ResponseMatchesDeltaReplay)
+{
+    // The serve endpoint must report exactly what the library's
+    // delta-replay computes for the same case-study graph.
+    core::CaseStudyConfig cfg;
+    cfg.hidden = 8192;
+    cfg.seqLen = 2048;
+    cfg.batch = 1;
+    cfg.tpDegree = 16;
+    cfg.dpDegree = 4;
+    const core::CaseStudy study;
+    const std::shared_ptr<const sim::GraphTemplate> graph =
+        study.compileGraph(cfg);
+    sim::ReplayScratch base;
+    base.bind(*graph);
+    sim::replay(*graph, {}, base);
+    sim::DeltaScratch delta;
+    const Seconds expected = sim::replayDelta(
+        *graph, base, 3, graph->baseDuration(3) * 1.5, delta);
+
+    svc::QueryService service;
+    const std::string response = service.handle(
+        "{\"kind\": \"perturb\", \"perturb\": {\"task\": 3, "
+        "\"scale\": 1.5}}");
+    EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos)
+        << response;
+    EXPECT_NE(response.find("\"base_seconds\":" +
+                            json::number(base.makespan())),
+              std::string::npos)
+        << response;
+    EXPECT_NE(response.find("\"perturbed_seconds\":" +
+                            json::number(expected)),
+              std::string::npos)
+        << response;
+    EXPECT_NE(response.find("\"cone_tasks\":"), std::string::npos);
+
+    // Repeats are byte-identical (and cacheable like any query).
+    EXPECT_EQ(response,
+              service.handle(
+                  "{\"kind\": \"perturb\", \"perturb\": {\"task\": "
+                  "3, \"scale\": 1.5}}"));
+}
+
+TEST(SvcPerturb, ParseDiagnostics)
+{
+    // kind 'perturb' requires the structured object...
+    EXPECT_NE(parseError("{\"kind\": \"perturb\"}").find("perturb"),
+              std::string::npos);
+    // ...and replays the tp/dp case-study graph only.
+    EXPECT_NE(parseError("{\"kind\": \"perturb\", \"perturb\": "
+                         "{\"task\": 0}, \"parallel\": "
+                         "{\"tp\": 8, \"pp\": 4}}")
+                  .find("tp/dp"),
+              std::string::npos);
+}
+
+TEST(SvcPerturb, OutOfRangeTaskIsAnInlineEvalError)
+{
+    svc::QueryService service;
+    const std::string response = service.handle(
+        "{\"kind\": \"perturb\", \"perturb\": {\"task\": 1000000, "
+        "\"scale\": 1.5}}");
+    EXPECT_NE(response.find("\"status\":\"error\""),
+              std::string::npos)
+        << response;
 }
 
 TEST(SvcCli, ServeRejectsBadFlagsAndMissingInput)
