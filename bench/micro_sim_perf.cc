@@ -22,6 +22,7 @@
 #include "core/sweep.hh"
 #include "core/system_config.hh"
 #include "opmodel/operator_model.hh"
+#include "sim/graph_cache.hh"
 #include "sim/passes.hh"
 
 using namespace twocs;
@@ -455,6 +456,74 @@ main(int argc, char **argv)
         json.set("delta_replay_speedup", delta_speedup);
         json.set("delta_cone_frac", mean_cone_frac);
         json.set("delta_fallback_frac", fallback_frac);
+
+        // The incremental sweep engines over the hardware-evolution
+        // grid on a widened compute-scaling axis — the duration-only
+        // sweep axis where points share a graph structure. Rebuild
+        // pays a fresh build per point (the oracle); delta compiles
+        // one template per model line and refills durations per
+        // point; cached is measured warm (the repeated-sweep rate a
+        // resident process sees).
+        const std::vector<core::EvolutionConfig> evo =
+            core::figure12Configs(
+                { 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.5, 3.0 });
+        exec::RunnerOptions one_job;
+        one_job.jobs = 1;
+        sim::GraphCache &cache = sim::GraphCache::instance();
+        const auto sweepRate = [&](core::SweepEngine engine,
+                                   bool cold) {
+            using Clock = std::chrono::steady_clock;
+            double best = 0.0;
+            for (int rep = 0; rep < 3; ++rep) {
+                if (cold)
+                    cache.clear();
+                const auto start = Clock::now();
+                std::vector<core::SimulatedEvolutionPoint> points =
+                    core::runSimulatedEvolutionStudy(sys(), evo,
+                                                     engine, one_job);
+                const std::chrono::duration<double> elapsed =
+                    Clock::now() - start;
+                benchmark::DoNotOptimize(
+                    points.front().result.makespan);
+                best = std::max(best, static_cast<double>(evo.size()) /
+                                          elapsed.count());
+            }
+            return best;
+        };
+        cache.clear();
+        const double sweep_rebuild =
+            sweepRate(core::SweepEngine::Rebuild, false);
+        const double sweep_delta =
+            sweepRate(core::SweepEngine::Delta, true);
+        const double sweep_cached =
+            sweepRate(core::SweepEngine::Cached, false);
+
+        // Hit rate of a warm repeated sweep (every structural key is
+        // resident after the runs above).
+        cache.resetStats();
+        core::runSimulatedEvolutionStudy(
+            sys(), evo, core::SweepEngine::Cached, one_job);
+        const double hit_rate = cache.stats().hitRate();
+
+        const double delta_sweep_speedup =
+            sweep_delta / sweep_rebuild;
+        std::printf("sweep engines (%zu points, --jobs 1): "
+                    "%.0f rebuild, %.0f cached, %.0f delta "
+                    "points/sec; delta %.1fx over rebuild, warm hit "
+                    "rate %.2f\n",
+                    evo.size(), sweep_rebuild, sweep_cached,
+                    sweep_delta, delta_sweep_speedup, hit_rate);
+        // Timing claim: PASS/WARN only (CI never gates on host
+        // speed); the bit-identity claims above are what must hold.
+        bench::checkBand(
+            "delta sweep engine >= 2x over per-point rebuild on the "
+            "duration-only axis",
+            delta_sweep_speedup, 2.0, 1e9);
+        json.set("sweep_points_per_sec_rebuild", sweep_rebuild);
+        json.set("sweep_points_per_sec_cached", sweep_cached);
+        json.set("sweep_points_per_sec_delta", sweep_delta);
+        json.set("graph_cache_hit_rate", hit_rate);
+        json.set("delta_sweep_speedup", delta_sweep_speedup);
         return json.write() && delta_identical ? 0 : 1;
     }
     benchmark::Initialize(&argc, argv);

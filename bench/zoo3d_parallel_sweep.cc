@@ -100,11 +100,58 @@ main(int argc, char **argv)
     bench::checkBand("PP boundary send moves prec*B*SL*H bytes",
                      p2p.bytesOnWire / boundary, 0.999, 1.001);
 
+    // --- incremental sweep engines vs the rebuild oracle ----------
+    // The cached and delta engines (DESIGN.md §16) must reproduce the
+    // per-point-rebuild study bit for bit, serial and parallel, with
+    // the graph cache warm or cold — reuse is a pure perf change.
+    const std::vector<core::EvolutionConfig> evo =
+        core::figure12Configs({ 1.0, 2.0, 4.0 });
+    exec::RunnerOptions one_job;
+    one_job.jobs = 1;
+    exec::RunnerOptions four_jobs;
+    four_jobs.jobs = 4;
+    const std::vector<core::SimulatedEvolutionPoint> oracle =
+        core::runSimulatedEvolutionStudy(
+            system, evo, core::SweepEngine::Rebuild, one_job);
+    const auto matchesOracle =
+        [&](const std::vector<core::SimulatedEvolutionPoint> &pts) {
+            if (pts.size() != oracle.size())
+                return false;
+            for (std::size_t i = 0; i < pts.size(); ++i) {
+                const core::CaseStudyResult &a = oracle[i].result;
+                const core::CaseStudyResult &b = pts[i].result;
+                if (a.makespan != b.makespan ||
+                    a.computeTime != b.computeTime ||
+                    a.serializedCommTime != b.serializedCommTime ||
+                    a.dpCommTime != b.dpCommTime ||
+                    a.dpExposedTime != b.dpExposedTime ||
+                    a.overlappedCommTime != b.overlappedCommTime)
+                    return false;
+            }
+            return true;
+        };
+    bool identical = true;
+    for (const core::SweepEngine engine :
+         { core::SweepEngine::Cached, core::SweepEngine::Delta }) {
+        for (const exec::RunnerOptions &opts :
+             { one_job, four_jobs }) {
+            identical =
+                identical &&
+                matchesOracle(core::runSimulatedEvolutionStudy(
+                    system, evo, engine, opts));
+        }
+    }
+    const bool engines_ok = bench::checkClaim(
+        "cached and delta sweep engines match the rebuild oracle "
+        "bit for bit at --jobs 1 and 4",
+        identical);
+
     report.set("zoo_models", static_cast<double>(points.size()));
     report.set("zoo_max_comm_fraction", max_frac);
+    report.set("sweep_engines_bit_identical", identical ? 1.0 : 0.0);
     report.set("collective_lowering_zero2_wire_ratio", zero2_ratio);
     report.set("collective_lowering_zero3_wire_ratio", zero3_ratio);
     report.set("collective_lowering_pp_p2p_bytes", p2p.bytesOnWire);
     report.set("collective_lowering_ar_wire_bytes", ar.bytesOnWire);
-    return report.write() ? 0 : 1;
+    return report.write() && engines_ok ? 0 : 1;
 }

@@ -94,6 +94,11 @@ grep -q '"pass_fuse_compile_ms"' "${msp_json}"
 grep -q '"delta_replay_speedup"' "${msp_json}"
 grep -q '"delta_cone_frac"' "${msp_json}"
 grep -q '"delta_fallback_frac"' "${msp_json}"
+grep -q '"sweep_points_per_sec_rebuild"' "${msp_json}"
+grep -q '"sweep_points_per_sec_cached"' "${msp_json}"
+grep -q '"sweep_points_per_sec_delta"' "${msp_json}"
+grep -q '"graph_cache_hit_rate"' "${msp_json}"
+grep -q '"delta_sweep_speedup"' "${msp_json}"
 
 cj_json="${artifacts}/BENCH_cluster_jitter.json"
 rm -f "${cj_json}"
@@ -138,6 +143,7 @@ grep -q '"collective_lowering_zero2_wire_ratio"' "${zoo_json}"
 grep -q '"collective_lowering_zero3_wire_ratio"' "${zoo_json}"
 grep -q '"collective_lowering_pp_p2p_bytes"' "${zoo_json}"
 grep -q '"collective_lowering_ar_wire_bytes"' "${zoo_json}"
+grep -q '"sweep_engines_bit_identical": 1' "${zoo_json}"
 
 echo "== tier-1: batched trial engine byte-identical to replay at any --jobs =="
 cluster_flags="--trials 8 --jitter 0.05 --tp 4"
@@ -160,6 +166,26 @@ hier_one="$("${twocs}" sweep --figure 12 --parallel "${plan}" \
 hier_two="$("${twocs}" sweep --figure 12 --parallel "${plan}" \
     --topology multi:8 --jobs 2)"
 [ "${hier_one}" = "${hier_two}" ]
+
+echo "== tier-1: incremental sweep engines byte-identical to rebuild =="
+# The cached and delta engines route through the process-wide graph
+# cache; their CLI output must match the per-point-rebuild oracle
+# byte for byte at any --jobs.
+f12_rebuild="$("${twocs}" sweep --figure 12 --engine rebuild --jobs 1)"
+[ "${f12_rebuild}" = "$("${twocs}" sweep --figure 12 --engine cached \
+    --jobs 1)" ]
+[ "${f12_rebuild}" = "$("${twocs}" sweep --figure 12 --engine cached \
+    --jobs 4)" ]
+[ "${f12_rebuild}" = "$("${twocs}" sweep --figure 12 --engine delta \
+    --jobs 1)" ]
+[ "${f12_rebuild}" = "$("${twocs}" sweep --figure 12 --engine delta \
+    --jobs 4)" ]
+# --lanes outside the batched trial engine is a configuration error.
+if "${twocs}" cluster --trials 4 --engine replay --lanes 4 \
+    > /dev/null 2>&1; then
+    echo "cluster accepted --lanes without --engine batched"
+    exit 1
+fi
 
 echo "== tier-1: deprecated collective wrappers stay shim-only =="
 # The per-kind CollectiveModel methods and simulateRingAllReduce are

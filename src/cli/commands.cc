@@ -305,6 +305,11 @@ cmdCluster(const Args &args)
             fatal("option --engine expects replay|rebuild|batched, "
                   "got '",
                   engine_name, "'");
+        fatalIf(args.has("lanes") &&
+                    engine != core::TrialEngine::BatchedReplay,
+                "option --lanes requires --engine batched (SoA lane "
+                "width has no effect on --engine ",
+                engine_name, ")");
         const int lanes = static_cast<int>(args.getInt("lanes", 8));
         fatalIf(lanes < 1,
                 "option --lanes expects a positive lane width, got ",
@@ -331,6 +336,9 @@ cmdCluster(const Args &args)
         return 0;
     }
 
+    fatalIf(args.has("lanes"),
+            "option --lanes requires --engine batched with --trials "
+            "> 1; a single run replays one trial without SoA lanes");
     const core::ClusterSimResult r = sim.run(cfg);
     TextTable t({ "quantity", "value" });
     t.addRowOf("iteration (explicit group)",
@@ -361,6 +369,10 @@ cmdSweep(const Args &args)
     fatalIf(!passes.empty() && figure != 14,
             "--passes only applies to --figure 14 (the event-engine "
             "case study); figure ", figure, " is analytic");
+    fatalIf(args.has("engine") && figure != 12,
+            "--engine only applies to --figure 12 (the "
+            "hardware-evolution study); figure ", figure,
+            " has a single evaluation path");
 
     if (figure == 10) {
         core::AmdahlAnalysis analysis(sys);
@@ -385,30 +397,65 @@ cmdSweep(const Args &args)
     } else if (figure == 12) {
         // Hardware evolution: the Figure 10 model lines at each
         // compute scaling step, optionally under a full 3D plan.
-        core::SerializedStudyOptions opts;
-        opts.basePlan = parallelFrom(args);
-        opts.runner = runnerFrom(args, "sweep_figure12");
+        const core::SweepEngine engine =
+            core::sweepEngineFromName(args.get("engine", "model"));
         std::vector<core::EvolutionConfig> configs =
             core::figure12Configs();
-        // An explicit tp= in --parallel pins the TP degree for every
-        // line; otherwise each line keeps its required TP.
-        if (opts.basePlan.tpDegree > 1) {
-            for (core::EvolutionConfig &c : configs)
-                c.tpDegree = opts.basePlan.tpDegree;
-        }
-        const auto points =
-            core::runHardwareEvolutionStudy(sys, configs, opts);
+        if (engine == core::SweepEngine::Model) {
+            core::SerializedStudyOptions opts;
+            opts.basePlan = parallelFrom(args);
+            opts.runner = runnerFrom(args, "sweep_figure12");
+            // An explicit tp= in --parallel pins the TP degree for
+            // every line; otherwise each line keeps its required TP.
+            if (opts.basePlan.tpDegree > 1) {
+                for (core::EvolutionConfig &c : configs)
+                    c.tpDegree = opts.basePlan.tpDegree;
+            }
+            const auto points =
+                core::runHardwareEvolutionStudy(sys, configs, opts);
 
-        TextTable t({ "model", "flop_scale", "H", "SL", "TP", "plan",
-                      "comm_fraction" });
-        for (const core::EvolutionPoint &p : points) {
-            t.addRowOf(p.config.tag, p.config.flopScale,
-                       static_cast<long>(p.config.hidden),
-                       static_cast<long>(p.config.seqLen),
-                       p.point.tpDegree, p.point.plan.summary(),
-                       p.point.commFraction());
+            TextTable t({ "model", "flop_scale", "H", "SL", "TP",
+                          "plan", "comm_fraction" });
+            for (const core::EvolutionPoint &p : points) {
+                t.addRowOf(p.config.tag, p.config.flopScale,
+                           static_cast<long>(p.config.hidden),
+                           static_cast<long>(p.config.seqLen),
+                           p.point.tpDegree, p.point.plan.summary(),
+                           p.point.commFraction());
+            }
+            csv ? t.printCsv(std::cout) : t.print(std::cout);
+        } else {
+            // Ground truth on the event engine: rebuild is the
+            // per-point oracle, cached/delta reuse templates through
+            // the process-wide graph cache and stay byte-identical
+            // to it (DESIGN.md §16).
+            fatalIf(args.has("parallel"),
+                    "--parallel only applies to --engine model: the "
+                    "event-engine study runs each line at its "
+                    "required TP degree");
+            const auto points = core::runSimulatedEvolutionStudy(
+                sys, configs, engine,
+                runnerFrom(args, "sweep_figure12"));
+
+            TextTable t({ "model", "flop_scale", "H", "SL", "TP",
+                          "iteration", "compute", "serialized_comm",
+                          "exposed_comm", "hidden_comm" });
+            for (const core::SimulatedEvolutionPoint &p : points) {
+                t.addRowOf(p.config.tag, p.config.flopScale,
+                           static_cast<long>(p.config.hidden),
+                           static_cast<long>(p.config.seqLen),
+                           static_cast<long>(p.config.tpDegree),
+                           formatSeconds(p.result.makespan),
+                           formatPercent(p.result.computeFraction()),
+                           formatPercent(
+                               p.result.serializedCommFraction()),
+                           formatPercent(
+                               p.result.exposedCommFraction()),
+                           formatPercent(
+                               p.result.hiddenCommFraction()));
+            }
+            csv ? t.printCsv(std::cout) : t.print(std::cout);
         }
-        csv ? t.printCsv(std::cout) : t.print(std::cout);
     } else if (figure == 2) {
         // The table-2-style 3D zoo: every published configuration
         // profiled ground-truth under its full plan.
@@ -897,7 +944,10 @@ buildRegistry()
                       { "csv", FlagType::Bool, "0",
                         "emit CSV instead of a table" },
                       { "passes", FlagType::String, "",
-                        "graph pass pipeline (figure 14 only)" } },
+                        "graph pass pipeline (figure 14 only)" },
+                      { "engine", FlagType::String, "model",
+                        "figure 12 evaluation engine: "
+                        "model|rebuild|cached|delta" } },
                     parallel, system, runner, trace }),
           cmdSweep });
     registry.push_back(

@@ -1,25 +1,22 @@
 #include "ring_sim.hh"
 
 #include <algorithm>
-#include <map>
+#include <memory>
 #include <string>
-#include <tuple>
 
 #include "hw/efficiency.hh"
 #include "obs/obs.hh"
+#include "sim/graph_cache.hh"
 #include "util/logging.hh"
 
 namespace twocs::comm {
 
 namespace {
 
-/** A ring graph frozen for one (device count, step count, pass
- *  pipeline), plus the replay buffers. Cached per thread: templates
- *  are immutable, but the scratch and duration buffers are reused
- *  in place. */
-struct CompiledRing
+/** Immutable derived data cached alongside a ring template in the
+ *  process-wide sim::GraphCache (its type-erased aux slot). */
+struct RingAux
 {
-    std::shared_ptr<const sim::GraphTemplate> graph;
     /** Task id of the final ring step on each device. */
     std::vector<sim::TaskId> finals;
     /** For each compiled task: the device whose arrival time fills
@@ -27,9 +24,36 @@ struct CompiledRing
      *  task's base duration (its step multiplicity after any pass
      *  rewriting) times the step time. */
     std::vector<int> fillDevice;
+};
+
+/** A ring template resolved through the shared cache, plus the
+ *  calling thread's replay buffers. The template and aux rows are
+ *  immutable and shared by every thread; the buffers are the one
+ *  thread-local piece left. */
+struct CompiledRing
+{
+    std::shared_ptr<const sim::GraphTemplate> graph;
+    std::shared_ptr<const RingAux> aux;
+    const std::vector<sim::TaskId> *finals = nullptr;
+    const std::vector<int> *fillDevice = nullptr;
+    sim::ReplayScratch *scratch = nullptr;
+    std::vector<Seconds> *durations = nullptr;
+    /** Batched-replay buffers (simulateRingCollectiveBatch). */
+    sim::BatchScratch *batch = nullptr;
+    std::vector<Seconds> *durationsSoa = nullptr;
+};
+
+/** Per-thread replay buffers, shared across every ring key the
+ *  thread touches (one arena, rebound per template — the explicit
+ *  bind() opt-in from the scratch contract). The `bound` member pins
+ *  the template the scratch was last bound to, so an eviction from
+ *  the shared cache can never free a template while a thread-local
+ *  raw pointer still refers to it. */
+struct RingBuffers
+{
+    std::shared_ptr<const sim::GraphTemplate> bound;
     sim::ReplayScratch scratch;
     std::vector<Seconds> durations;
-    /** Batched-replay buffers (simulateRingCollectiveBatch). */
     sim::BatchScratch batch;
     std::vector<Seconds> durationsSoa;
 };
@@ -68,52 +92,77 @@ buildRing(sim::EventSimulator &des, int p, int steps,
     finals = std::move(prev);
 }
 
-/** The per-thread template cache. Keyed by device count AND step
- *  count — all-reduce (2(P-1) steps) and reduce-scatter (P-1) share
- *  a P — and by the pass pipeline's spec for rewritten variants.
- *  Ring templates are tiny (a few KB each) and the studies touch a
- *  handful of keys, so the cache never needs eviction. */
-CompiledRing &
+/** Resolve a ring template through the process-wide graph cache.
+ *  Keyed by device count AND step count — all-reduce (2(P-1) steps)
+ *  and reduce-scatter (P-1) share a P — and by the pass pipeline's
+ *  spec for rewritten variants. The compile callable builds both the
+ *  template and its RingAux derived rows; every thread then replays
+ *  the one shared immutable copy through its own RingBuffers. */
+CompiledRing
 compiledRingFor(int p, int steps, const sim::PassPipeline *passes)
 {
-    using Key = std::tuple<int, int, std::string>;
-    thread_local std::map<Key, CompiledRing> cache;
     const bool rewritten = passes != nullptr && !passes->empty();
-    auto [it, inserted] = cache.try_emplace(
-        Key{ p, steps, rewritten ? passes->describe() : "" });
-    CompiledRing &ring = it->second;
-    if (inserted) {
-        sim::EventSimulator des;
-        std::vector<sim::TaskId> base_finals;
-        buildRing(des, p, steps, std::vector<Seconds>(p, 0.0), 1.0,
-                  base_finals);
-        const std::shared_ptr<const sim::GraphTemplate> base =
-            des.compile();
-        if (rewritten) {
-            // Mark the final steps terminal so elimination keeps
-            // them and fusion/tiling retargets them, then track
-            // where the arrival tasks (template ids 0..p-1) landed.
-            const sim::GraphBuilder::Compiled compiled =
-                passes->rewrite(*base, base_finals);
-            ring.graph = compiled.graph;
-            ring.finals = compiled.terminals;
-            ring.fillDevice.assign(ring.graph->numTasks(), -1);
-            for (int d = 0; d < p; ++d) {
-                const sim::TaskId cid =
-                    compiled.taskMap[static_cast<std::size_t>(d)];
-                if (cid != sim::InvalidTask)
-                    ring.fillDevice[static_cast<std::size_t>(cid)] = d;
+    const std::string key =
+        "ring|p=" + std::to_string(p) +
+        "|steps=" + std::to_string(steps) +
+        "|passes=" + (rewritten ? passes->describe() : "");
+
+    const sim::GraphCache::Compiled cached =
+        sim::GraphCache::instance().getOrCompile(key, [&] {
+            sim::EventSimulator des;
+            std::vector<sim::TaskId> base_finals;
+            buildRing(des, p, steps, std::vector<Seconds>(p, 0.0),
+                      1.0, base_finals);
+            const std::shared_ptr<const sim::GraphTemplate> base =
+                des.compile();
+            auto aux = std::make_shared<RingAux>();
+            sim::GraphCache::Compiled out;
+            if (rewritten) {
+                // Mark the final steps terminal so elimination keeps
+                // them and fusion/tiling retargets them, then track
+                // where the arrival tasks (template ids 0..p-1)
+                // landed.
+                const sim::GraphBuilder::Compiled compiled =
+                    passes->rewrite(*base, base_finals);
+                out.graph = compiled.graph;
+                aux->finals = compiled.terminals;
+                aux->fillDevice.assign(out.graph->numTasks(), -1);
+                for (int d = 0; d < p; ++d) {
+                    const sim::TaskId cid =
+                        compiled
+                            .taskMap[static_cast<std::size_t>(d)];
+                    if (cid != sim::InvalidTask) {
+                        aux->fillDevice[static_cast<std::size_t>(
+                            cid)] = d;
+                    }
+                }
+            } else {
+                out.graph = base;
+                aux->finals = std::move(base_finals);
+                aux->fillDevice.assign(out.graph->numTasks(), -1);
+                for (int d = 0; d < p; ++d)
+                    aux->fillDevice[static_cast<std::size_t>(d)] = d;
             }
-        } else {
-            ring.graph = base;
-            ring.finals = std::move(base_finals);
-            ring.fillDevice.assign(ring.graph->numTasks(), -1);
-            for (int d = 0; d < p; ++d)
-                ring.fillDevice[static_cast<std::size_t>(d)] = d;
-        }
-        ring.scratch.bind(*ring.graph);
-        ring.durations.resize(ring.graph->numTasks());
+            out.aux = std::move(aux);
+            return out;
+        });
+
+    thread_local RingBuffers buffers;
+    if (buffers.bound.get() != cached.graph.get()) {
+        buffers.bound = cached.graph;
+        buffers.scratch.bind(*cached.graph);
     }
+    buffers.durations.resize(cached.graph->numTasks());
+
+    CompiledRing ring;
+    ring.graph = cached.graph;
+    ring.aux = sim::GraphCache::auxAs<RingAux>(cached);
+    ring.finals = &ring.aux->finals;
+    ring.fillDevice = &ring.aux->fillDevice;
+    ring.scratch = &buffers.scratch;
+    ring.durations = &buffers.durations;
+    ring.batch = &buffers.batch;
+    ring.durationsSoa = &buffers.durationsSoa;
     return ring;
 }
 
@@ -169,7 +218,7 @@ simulateRingCollective(const hw::Topology &topology, Bytes payload,
     const sim::ReplayScratch *placed_source = nullptr;
 
     if (options.engine == RingSimEngine::CompiledReplay) {
-        CompiledRing &ring =
+        const CompiledRing ring =
             compiledRingFor(p, steps, options.passes);
         // Duration fill mirrors the template's placeholders: an
         // arrival task takes its device's arrival time; a ring step
@@ -178,17 +227,17 @@ simulateRingCollective(const hw::Topology &topology, Bytes payload,
         const std::vector<Seconds> &base =
             ring.graph->baseDurations();
         for (std::size_t i = 0; i < base.size(); ++i) {
-            ring.durations[i] =
-                ring.fillDevice[i] >= 0
+            (*ring.durations)[i] =
+                (*ring.fillDevice)[i] >= 0
                     ? arrival_times[static_cast<std::size_t>(
-                          ring.fillDevice[i])]
+                          (*ring.fillDevice)[i])]
                     : base[i] * step_time;
         }
-        sim::replay(*ring.graph, ring.durations, ring.scratch);
-        finals = ring.finals;
-        placed_source = &ring.scratch;
+        sim::replay(*ring.graph, *ring.durations, *ring.scratch);
+        finals = *ring.finals;
+        placed_source = ring.scratch;
         result.schedule = sim::Schedule(ring.graph,
-                                        ring.scratch.placements());
+                                        ring.scratch->placements());
     } else {
         sim::EventSimulator des;
         buildRing(des, p, steps, arrival_times, step_time, finals);
@@ -274,7 +323,8 @@ simulateRingCollectiveBatch(
     const int steps = options.collective == RingCollective::AllReduce
                           ? 2 * (p - 1)
                           : p - 1;
-    CompiledRing &ring = compiledRingFor(p, steps, options.passes);
+    const CompiledRing ring =
+        compiledRingFor(p, steps, options.passes);
     const std::vector<Seconds> &base = ring.graph->baseDurations();
     const std::size_t n = base.size();
 
@@ -286,20 +336,20 @@ simulateRingCollectiveBatch(
          first += MaxLanes) {
         const std::size_t lanes =
             std::min(MaxLanes, arrival_sets.size() - first);
-        ring.durationsSoa.resize(n * lanes);
+        ring.durationsSoa->resize(n * lanes);
         for (std::size_t i = 0; i < n; ++i) {
             for (std::size_t l = 0; l < lanes; ++l) {
-                ring.durationsSoa[i * lanes + l] =
-                    ring.fillDevice[i] >= 0
+                (*ring.durationsSoa)[i * lanes + l] =
+                    (*ring.fillDevice)[i] >= 0
                         ? arrival_sets[first + l]
                                       [static_cast<std::size_t>(
-                                          ring.fillDevice[i])]
+                                          (*ring.fillDevice)[i])]
                         : base[i] * step_time;
             }
         }
-        ring.batch.bind(*ring.graph, lanes);
-        sim::replayBatch(*ring.graph, ring.durationsSoa, lanes,
-                         ring.batch);
+        ring.batch->bind(*ring.graph, lanes);
+        sim::replayBatch(*ring.graph, *ring.durationsSoa, lanes,
+                         *ring.batch);
 
         for (std::size_t l = 0; l < lanes; ++l) {
             const std::vector<Seconds> &arrivals =
@@ -310,7 +360,7 @@ simulateRingCollectiveBatch(
             Seconds earliest_arrival = 1e300;
             for (int d = 0; d < p; ++d) {
                 result.deviceFinish[d] =
-                    ring.batch.taskEnd(ring.finals[d], l);
+                    ring.batch->taskEnd((*ring.finals)[d], l);
                 result.finishTime = std::max(result.finishTime,
                                              result.deviceFinish[d]);
                 latest_arrival =

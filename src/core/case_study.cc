@@ -1,7 +1,10 @@
 #include "case_study.hh"
 
+#include <ios>
 #include <map>
+#include <sstream>
 
+#include "sim/graph_cache.hh"
 #include "sim/passes.hh"
 #include "util/logging.hh"
 
@@ -40,15 +43,107 @@ CaseStudy::buildSchedule(const CaseStudyConfig &config) const
     return sim::Schedule(graph, scratch.placements());
 }
 
+std::string
+CaseStudy::cacheKey(const CaseStudyConfig &config) const
+{
+    // The key covers every config field buildSimulator() reads into
+    // the graph's shape or base durations (durations are baked into
+    // a case-study template, so even duration-only knobs like the
+    // interference slowdown must key). Doubles render in hexfloat so
+    // distinct values can never collide through decimal rounding.
+    std::ostringstream os;
+    os << "case|"
+       << baseline_.withHidden(config.hidden)
+              .withSequenceLength(config.seqLen)
+              .withBatchSize(config.batch)
+              .withCompatibleHeads(config.tpDegree)
+              .fingerprint()
+       << "|tp=" << config.tpDegree << ",dp=" << config.dpDegree
+       << "|sys=" << config.system.fingerprint() << std::hexfloat
+       << "|indp=" << (config.interNodeDp ? 1 : 0) << ':'
+       << config.interNodeSlowdown << ':' << config.devicesPerNode
+       << "|ovl=" << config.fineGrainedOverlapFraction
+       << "|intf=" << config.commInterferenceSlowdown
+       << "|off=" << (config.offloadCommunication ? 1 : 0)
+       << "|bkt=" << config.dpBucketBytes
+       << "|prec=" << hw::precisionName(precision_)
+       << "|passes=" << config.passes;
+    return os.str();
+}
+
 std::shared_ptr<const sim::GraphTemplate>
 CaseStudy::compileGraph(const CaseStudyConfig &config) const
 {
-    return sim::PassPipeline::parse(config.passes)
-        .apply(buildSimulator(config).compile());
+    // Both entry points share one cache row per key: an empty pass
+    // pipeline routes through the recipe-building compile, so a
+    // later compileCaseWithRecipe() hit never recompiles.
+    if (config.passes.empty())
+        return compileCaseWithRecipe(config).graph;
+    return sim::GraphCache::instance()
+        .getOrCompile(cacheKey(config),
+                      [&] {
+                          sim::GraphCache::Compiled out;
+                          out.graph =
+                              sim::PassPipeline::parse(config.passes)
+                                  .apply(
+                                      buildSimulator(config)
+                                          .compile());
+                          return out;
+                      })
+        .graph;
+}
+
+CompiledCase
+CaseStudy::compileCaseWithRecipe(const CaseStudyConfig &config) const
+{
+    fatalIf(!config.passes.empty(),
+            "duration recipes require an empty pass pipeline: pass "
+            "rewriting merges task durations, so per-task refill "
+            "rules stop being well-defined (got passes '",
+            config.passes, "')");
+
+    const sim::GraphCache::Compiled cached =
+        sim::GraphCache::instance().getOrCompile(
+            cacheKey(config), [&] {
+                auto recipe =
+                    std::make_shared<std::vector<DurationRule>>();
+                sim::GraphCache::Compiled out;
+                out.graph =
+                    buildSimulator(config, recipe.get()).compile();
+                out.aux = std::move(recipe);
+                return out;
+            });
+
+    CompiledCase cc;
+    cc.graph = cached.graph;
+    cc.recipe =
+        sim::GraphCache::auxAs<std::vector<DurationRule>>(cached);
+    if (cc.recipe == nullptr) {
+        // The row was populated by the recipe-less compileGraph()
+        // path; rebuild just the rules (the shape is already right).
+        auto recipe = std::make_shared<std::vector<DurationRule>>();
+        buildSimulator(config, recipe.get());
+        cc.recipe = std::move(recipe);
+    }
+    return cc;
+}
+
+void
+CaseStudy::fillDurations(const std::vector<DurationRule> &recipe,
+                         const hw::KernelCostModel &kernels,
+                         std::vector<Seconds> &durations)
+{
+    durations.resize(recipe.size());
+    for (std::size_t i = 0; i < recipe.size(); ++i) {
+        const DurationRule &rule = recipe[i];
+        durations[i] =
+            rule.kernelCosted ? kernels.cost(rule.kernel) : rule.fixed;
+    }
 }
 
 sim::EventSimulator
-CaseStudy::buildSimulator(const CaseStudyConfig &config) const
+CaseStudy::buildSimulator(const CaseStudyConfig &config,
+                          std::vector<DurationRule> *recipe) const
 {
     fatalIf(config.fineGrainedOverlapFraction < 0.0 ||
                 config.fineGrainedOverlapFraction > 1.0,
@@ -75,6 +170,20 @@ CaseStudy::buildSimulator(const CaseStudyConfig &config) const
     sim::EventSimulator des;
     const sim::ResourceId compute = des.addResource("compute");
     const sim::ResourceId comm_stream = des.addResource("comm");
+
+    // Recipe recording mirrors the addTask order exactly: one rule
+    // per task, indexed by the task id the builder assigns. The
+    // collective-model costs never read the compute-scaling knobs,
+    // so they are baked as fixed values; compute costs re-derive
+    // from the kernel descriptor under a sibling's own system.
+    const auto ruleFixed = [&](Seconds dur) {
+        if (recipe != nullptr)
+            recipe->push_back(DurationRule{ false, {}, dur });
+    };
+    const auto ruleKernel = [&](const hw::KernelDesc &kernel) {
+        if (recipe != nullptr)
+            recipe->push_back(DurationRule{ true, kernel, 0.0 });
+    };
 
     sim::TaskId last_compute = sim::InvalidTask;
     sim::TaskId pending_serializer = sim::InvalidTask;
@@ -112,6 +221,7 @@ CaseStudy::buildSimulator(const CaseStudyConfig &config) const
             pending_serializer = des.addTask(
                 op.kernel.label, tag, comm_stream, dur * (1.0 - f),
                 deps);
+            ruleFixed(dur * (1.0 - f));
             if (f > 0.0) {
                 // The decomposed tail streams under the dependent
                 // compute that already has its first chunks; it is
@@ -119,6 +229,7 @@ CaseStudy::buildSimulator(const CaseStudyConfig &config) const
                 des.addTask(op.kernel.label, "overlap_tail",
                             comm_stream, dur * f * interference,
                             { pending_serializer });
+                ruleFixed(dur * f * interference);
             }
             break;
           }
@@ -131,6 +242,7 @@ CaseStudy::buildSimulator(const CaseStudyConfig &config) const
                 deps.push_back(last_compute);
             const sim::TaskId tid = des.addTask(
                 op.kernel.label, "dp_ar", comm_stream, dur, deps);
+            ruleFixed(dur);
             layer_dp_tasks[op.layerIndex].push_back(tid);
             last_dp_task = tid;
             break;
@@ -161,6 +273,7 @@ CaseStudy::buildSimulator(const CaseStudyConfig &config) const
             last_compute =
                 des.addTask(op.kernel.label, tag, compute,
                             kernels.cost(op.kernel), deps);
+            ruleKernel(op.kernel);
             break;
           }
         }
@@ -173,15 +286,15 @@ CaseStudy::buildSimulator(const CaseStudyConfig &config) const
                                           // buckets are done too
         last_compute = des.addTask(op.kernel.label, "optim", compute,
                                    kernels.cost(op.kernel), deps);
+        ruleKernel(op.kernel);
     }
 
     return des;
 }
 
 CaseStudyResult
-CaseStudy::run(const CaseStudyConfig &config) const
+CaseStudy::resultFromSchedule(const sim::Schedule &sched)
 {
-    const sim::Schedule sched = buildSchedule(config);
     constexpr sim::ResourceId compute = 0;
     constexpr sim::ResourceId comm_stream = 1;
 
@@ -197,6 +310,12 @@ CaseStudy::run(const CaseStudyConfig &config) const
                           : 0.0;
     r.overlappedCommTime = sched.overlappedTime(comm_stream, compute);
     return r;
+}
+
+CaseStudyResult
+CaseStudy::run(const CaseStudyConfig &config) const
+{
+    return resultFromSchedule(buildSchedule(config));
 }
 
 } // namespace twocs::core

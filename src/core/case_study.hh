@@ -104,6 +104,33 @@ struct CaseStudyResult
     double computeFraction() const { return computeTime / makespan; }
 };
 
+/**
+ * How one compiled task's duration is (re)derived for a sibling
+ * configuration that shares the graph's structure: either a baked
+ * value every sibling shares (collective costs, which never read the
+ * compute-scaling knobs), or a kernel descriptor the sibling re-costs
+ * under its own system. The rules are indexed by compiled task id
+ * and only exist for empty pass pipelines (pass rewriting merges
+ * durations, so per-task rules stop being well-defined).
+ */
+struct DurationRule
+{
+    /** Re-cost `kernel` under the point's kernel model when true;
+     *  use `fixed` verbatim otherwise. */
+    bool kernelCosted = false;
+    hw::KernelDesc kernel;
+    Seconds fixed = 0.0;
+};
+
+/** A cached template plus the per-task duration recipe that lets
+ *  structure-sharing siblings refill durations bit-identically to a
+ *  from-scratch build (the delta sweep engine's unit of reuse). */
+struct CompiledCase
+{
+    std::shared_ptr<const sim::GraphTemplate> graph;
+    std::shared_ptr<const std::vector<DurationRule>> recipe;
+};
+
 /** Runs the two-stream timeline for a configuration. */
 class CaseStudy
 {
@@ -118,14 +145,42 @@ class CaseStudy
     sim::Schedule buildSchedule(const CaseStudyConfig &config) const;
 
     /** The frozen two-stream iteration graph, for replay-many use
-     *  (the micro_sim_perf rebuild-vs-replay configurations). */
+     *  (the micro_sim_perf rebuild-vs-replay configurations).
+     *  Resolved through the process-wide sim::GraphCache. */
     std::shared_ptr<const sim::GraphTemplate>
     compileGraph(const CaseStudyConfig &config) const;
+
+    /**
+     * compileGraph() plus the duration recipe, for evaluating a
+     * family of configurations that share this one's structure but
+     * re-cost compute under different hardware scaling (the
+     * incremental sweep engine). Requires an empty pass pipeline.
+     */
+    CompiledCase
+    compileCaseWithRecipe(const CaseStudyConfig &config) const;
+
+    /** Aggregate a schedule into the Figure 14 decomposition (the
+     *  one aggregation every engine shares, so replayed and rebuilt
+     *  paths agree bit for bit). */
+    static CaseStudyResult
+    resultFromSchedule(const sim::Schedule &sched);
+
+    /** Evaluate a recipe under one kernel model into `durations`
+     *  (resized to the recipe): fixed rules verbatim, kernel rules
+     *  re-costed — exactly the numbers a from-scratch build at the
+     *  same configuration would bake in. */
+    static void fillDurations(const std::vector<DurationRule> &recipe,
+                              const hw::KernelCostModel &kernels,
+                              std::vector<Seconds> &durations);
 
   private:
     model::LayerGraphBuilder makeGraph(const CaseStudyConfig &c) const;
     sim::EventSimulator
-    buildSimulator(const CaseStudyConfig &config) const;
+    buildSimulator(const CaseStudyConfig &config,
+                   std::vector<DurationRule> *recipe = nullptr) const;
+    /** The structural cache key compileGraph()/compileCaseWithRecipe()
+     *  store under. */
+    std::string cacheKey(const CaseStudyConfig &config) const;
 
     model::Hyperparams baseline_;
     hw::Precision precision_;

@@ -5,6 +5,7 @@
 #include "comm/ring_sim.hh"
 #include "model/layer_graph.hh"
 #include "profiling/profiler.hh"
+#include "sim/graph_cache.hh"
 #include "sim/passes.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -244,12 +245,38 @@ std::shared_ptr<const sim::GraphTemplate>
 ClusterSim::compileIteration(const ClusterSimConfig &config) const
 {
     validateConfig(config);
-    sim::EventSimulator des;
-    std::vector<sim::ResourceId> compute, comm;
-    buildIteration(config, baseline_, precision_, des, compute, comm,
-                   nullptr);
-    return sim::PassPipeline::parse(config.passes)
-        .apply(des.compile());
+    // The cache key covers exactly what buildIteration() reads into
+    // the graph's shape and base durations: the derived
+    // hyperparameters (the same overrides buildIteration applies),
+    // the plan, the system under study, the precision, and the pass
+    // pipeline. Seeds and jitter are replay inputs, not compile
+    // inputs, and stay out of the key.
+    model::Hyperparams hp =
+        baseline_.withHidden(config.hidden)
+            .withSequenceLength(config.seqLen)
+            .withBatchSize(config.batch)
+            .withCompatibleHeads(config.tpDegree);
+    hp.numLayers = config.numLayers;
+    model::ParallelPlan par = config.plan;
+    par.tpDegree = config.tpDegree;
+    const std::string key =
+        "cluster|" + hp.fingerprint() + "|plan=" + par.summary() +
+        "|sys=" + config.system.fingerprint() +
+        "|prec=" + hw::precisionName(precision_) +
+        "|passes=" + config.passes;
+
+    const sim::GraphCache::Compiled cached =
+        sim::GraphCache::instance().getOrCompile(key, [&] {
+            sim::EventSimulator des;
+            std::vector<sim::ResourceId> compute, comm;
+            buildIteration(config, baseline_, precision_, des,
+                           compute, comm, nullptr);
+            sim::GraphCache::Compiled out;
+            out.graph = sim::PassPipeline::parse(config.passes)
+                            .apply(des.compile());
+            return out;
+        });
+    return cached.graph;
 }
 
 ClusterTrialSummary

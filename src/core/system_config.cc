@@ -1,5 +1,8 @@
 #include "system_config.hh"
 
+#include <ios>
+#include <sstream>
+
 #include "util/logging.hh"
 
 namespace twocs::core {
@@ -78,6 +81,24 @@ SystemConfig::interNodeCollectiveModel(int devices_per_node,
     comm::CollectiveModel cm(topo, linkEfficiency);
     cm.setInNetworkReduction(inNetworkReduction);
     return cm;
+}
+
+std::string
+SystemConfig::fingerprint() const
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << "dev=" << device.name << ",fs=" << flopScale
+       << ",bs=" << bwScale << ",dom=" << maxDomainDevices
+       << ",inr=" << (inNetworkReduction ? 1 : 0)
+       << ",dpn=" << devicesPerNode << ",ins=" << interNodeSlowdown
+       << ",ge=" << gemmEfficiency.peakFraction << ':'
+       << gemmEfficiency.kHalf
+       << ",me=" << memEfficiency.peakFraction << ':'
+       << memEfficiency.rampBytes
+       << ",le=" << linkEfficiency.peakFraction << ':'
+       << linkEfficiency.halfSaturation;
+    return os.str();
 }
 
 } // namespace twocs::core

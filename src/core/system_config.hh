@@ -86,6 +86,14 @@ struct SystemConfig
     comm::CollectiveModel
     interNodeCollectiveModel(int devices_per_node,
                              double slowdown) const;
+
+    /**
+     * Canonical structural key fragment for sim::GraphCache: every
+     * field that feeds a compiled graph's shape or base durations,
+     * doubles rendered in hexfloat so distinct values can never
+     * collide through decimal rounding.
+     */
+    std::string fingerprint() const;
 };
 
 } // namespace twocs::core

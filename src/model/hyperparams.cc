@@ -1,5 +1,8 @@
 #include "hyperparams.hh"
 
+#include <ios>
+#include <sstream>
+
 #include "util/logging.hh"
 
 namespace twocs::model {
@@ -144,6 +147,19 @@ Hyperparams::withBatchSize(std::int64_t b) const
     Hyperparams out = *this;
     out.batchSize = b;
     return out;
+}
+
+std::string
+Hyperparams::fingerprint() const
+{
+    std::ostringstream os;
+    os << "hp=" << name << ",ty=" << layerTypeName(type)
+       << ",l=" << numLayers << ",h=" << hidden
+       << ",nh=" << numHeads << ",sl=" << sequenceLength
+       << ",b=" << batchSize << ",fc=" << fcDim
+       << ",v=" << vocabSize << ",moe=" << moe.numExperts << ':'
+       << moe.topK << ':' << std::hexfloat << moe.capacityFactor;
+    return os.str();
 }
 
 } // namespace twocs::model

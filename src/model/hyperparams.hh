@@ -94,6 +94,14 @@ struct Hyperparams
     /** Copy with Mixture-of-Experts enabled (Section 6.1.1). */
     Hyperparams withMoe(int num_experts, int top_k = 2,
                         double capacity_factor = 1.25) const;
+
+    /**
+     * Canonical structural key fragment for sim::GraphCache: every
+     * hyperparameter that shapes a built iteration graph or its base
+     * durations (the capacity factor in hexfloat so distinct values
+     * never collide through decimal rounding).
+     */
+    std::string fingerprint() const;
 };
 
 } // namespace twocs::model

@@ -1,0 +1,172 @@
+#include "graph_cache.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.hh"
+#include "util/logging.hh"
+
+namespace twocs::sim {
+
+GraphCache &
+GraphCache::instance()
+{
+    static GraphCache cache;
+    return cache;
+}
+
+GraphCache::GraphCache() = default;
+
+GraphCache::GraphCache(std::size_t capacity)
+    : capacity_(capacity)
+{
+}
+
+std::size_t
+GraphCache::shardIndex(std::string_view key)
+{
+    // FNV-1a over the full key. The shard choice is a load-balancing
+    // detail only; correctness rests on the full-string equality in
+    // the shard map.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h % kShards);
+}
+
+GraphCache::Shard &
+GraphCache::shardFor(std::string_view key)
+{
+    return shards_[shardIndex(key)];
+}
+
+std::size_t
+GraphCache::shardCapacity() const
+{
+    const std::size_t total =
+        capacity_.load(std::memory_order_relaxed);
+    if (total == 0)
+        return 0;
+    return std::max<std::size_t>(1, total / kShards);
+}
+
+void
+GraphCache::evictOver(Shard &shard, std::size_t limit)
+{
+    while (shard.lru.size() > limit) {
+        const Entry &victim = shard.lru.back();
+        TWOCS_OBS_INSTANT(obs::Category::Sim, "sim.cache.evict",
+                          victim.key);
+        shard.byKey.erase(std::string_view(victim.key));
+        shard.lru.pop_back();
+        ++shard.evictions;
+    }
+}
+
+GraphCache::Compiled
+GraphCache::getOrCompile(std::string_view key,
+                         const std::function<Compiled()> &compile)
+{
+    Shard &shard = shardFor(key);
+    const std::size_t limit = shardCapacity();
+    if (limit > 0) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        const auto it = shard.byKey.find(key);
+        if (it != shard.byKey.end()) {
+            ++shard.hits;
+            shard.lru.splice(shard.lru.begin(), shard.lru,
+                             it->second);
+            TWOCS_OBS_INSTANT(obs::Category::Sim, "sim.cache.hit",
+                              std::string(key));
+            return shard.lru.front().value;
+        }
+        ++shard.misses;
+    } else {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        ++shard.misses;
+    }
+    TWOCS_OBS_INSTANT(obs::Category::Sim, "sim.cache.miss",
+                      std::string(key));
+
+    // Compile outside every lock: concurrent misses (same key or
+    // not) proceed in parallel instead of serializing the cache.
+    Compiled built = compile();
+    panicIf(built.graph == nullptr,
+            "graph cache compile callback returned a null graph for "
+            "key '",
+            std::string(key), "'");
+    if (limit == 0)
+        return built;
+
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.byKey.find(key);
+    if (it != shard.byKey.end()) {
+        // Lost the compile race: keep the first insert so every
+        // caller that cached a pointer sees one canonical template.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return shard.lru.front().value;
+    }
+    shard.lru.push_front(Entry{ std::string(key),
+                                std::move(built) });
+    shard.byKey.emplace(std::string_view(shard.lru.front().key),
+                        shard.lru.begin());
+    evictOver(shard, limit);
+    return shard.lru.front().value;
+}
+
+GraphCacheStats
+GraphCache::stats() const
+{
+    GraphCacheStats out;
+    out.capacity = capacity_.load(std::memory_order_relaxed);
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        out.hits += shard.hits;
+        out.misses += shard.misses;
+        out.evictions += shard.evictions;
+        out.entries += shard.lru.size();
+    }
+    return out;
+}
+
+void
+GraphCache::clear()
+{
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.byKey.clear();
+        shard.lru.clear();
+    }
+}
+
+void
+GraphCache::setCapacity(std::size_t capacity)
+{
+    capacity_.store(capacity, std::memory_order_relaxed);
+    const std::size_t limit = shardCapacity();
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        evictOver(shard, limit);
+    }
+}
+
+std::size_t
+GraphCache::capacity() const
+{
+    return capacity_.load(std::memory_order_relaxed);
+}
+
+void
+GraphCache::resetStats()
+{
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.hits = 0;
+        shard.misses = 0;
+        shard.evictions = 0;
+    }
+}
+
+} // namespace twocs::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/graph_cache.hh"
 #include "util/json.hh"
 
 namespace twocs::svc {
@@ -102,6 +103,18 @@ ServiceMetrics::writeJson(
        << json::number(latencyPercentile(0.99)) << ",\n"
        << "  \"latency_seconds_max\": " << json::number(latencyMax())
        << ",\n";
+    // Process-wide compiled-graph cache behind the resident perturb
+    // templates. Operator telemetry only: hit/miss splits depend on
+    // scheduling, so this never appears in deterministic query
+    // responses.
+    const sim::GraphCacheStats gc =
+        sim::GraphCache::instance().stats();
+    os << "  \"graph_cache\": { \"hits\": " << gc.hits
+       << ", \"misses\": " << gc.misses
+       << ", \"evictions\": " << gc.evictions
+       << ", \"entries\": " << gc.entries
+       << ", \"capacity\": " << gc.capacity
+       << ", \"hit_rate\": " << json::number(gc.hitRate()) << " },\n";
     if (!shards.empty()) {
         os << "  \"shards\": [";
         for (std::size_t i = 0; i < shards.size(); ++i) {

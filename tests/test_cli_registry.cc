@@ -144,6 +144,8 @@ TEST(CliRegistry, GoldenHelpPageForSweep)
         " (default: 0)\n"
         "  --passes STR            graph pass pipeline (figure 14"
         " only)\n"
+        "  --engine STR            figure 12 evaluation engine:"
+        " model|rebuild|cached|delta (default: model)\n"
         "  --parallel STR          3D plan, e.g."
         " tp=8,pp=4,dp=2,zero=1,ep=8\n"
         "  --device STR            hardware catalog device name"
@@ -209,6 +211,50 @@ TEST(CliRegistry, BareNonBooleanFlagIsRejected)
                   &out, &err),
               0);
     EXPECT_NE(out.find("H,SL_x_B"), std::string::npos);
+}
+
+TEST(CliRegistry, ClusterRejectsLanesWithoutBatchedEngine)
+{
+    // --lanes configures the batched engine's SoA width; accepting
+    // it silently on any other engine (or in single-run mode, where
+    // no trial engine runs at all) would hide a misconfiguration.
+    EXPECT_THROW(run({ "twocs", "cluster", "--trials", "4",
+                       "--engine", "replay", "--lanes", "4" },
+                     nullptr),
+                 FatalError);
+    EXPECT_THROW(run({ "twocs", "cluster", "--trials", "4",
+                       "--engine", "rebuild", "--lanes", "4" },
+                     nullptr),
+                 FatalError);
+    EXPECT_THROW(run({ "twocs", "cluster", "--lanes", "4" }, nullptr),
+                 FatalError);
+    // The flag stays accepted where it means something.
+    std::string out;
+    EXPECT_EQ(run({ "twocs", "cluster", "--trials", "2", "--engine",
+                    "batched", "--lanes", "2" },
+                  &out),
+              0);
+    EXPECT_NE(out.find("mean iteration"), std::string::npos);
+}
+
+TEST(CliRegistry, SweepEngineFlagIsValidated)
+{
+    // Unknown engine names and --engine on an analytic figure are
+    // configuration errors, not silent fallbacks.
+    EXPECT_THROW(run({ "twocs", "sweep", "--figure", "12", "--engine",
+                       "warp" },
+                     nullptr),
+                 FatalError);
+    EXPECT_THROW(run({ "twocs", "sweep", "--figure", "10", "--engine",
+                       "cached" },
+                     nullptr),
+                 FatalError);
+    // The event-engine study rejects --parallel (it runs each model
+    // line at its required TP).
+    EXPECT_THROW(run({ "twocs", "sweep", "--figure", "12", "--engine",
+                       "delta", "--parallel", "tp=8" },
+                     nullptr),
+                 FatalError);
 }
 
 TEST(CliRegistry, StrayPositionalIsRejected)
